@@ -1,0 +1,164 @@
+//! Betweenness Centrality (Brandes) — paper Algorithm 3.
+//!
+//! Brandes' two-phase algorithm: a forward BFS accumulating shortest-path
+//! counts (`num`), then a *backward* sweep over `reverse(E)` accumulating
+//! dependency scores (`b`). The backward phase must revisit the exact
+//! frontier of every BFS level — "since the frontiers visited in every step
+//! of the first phase need to be tracked, it is difficult to directly
+//! implement this algorithm in a traditional vertex-centric model which
+//! does not supply a vertexSubset structure". Here each recursion level
+//! simply holds its frontier as a local variable.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex Brandes state.
+#[derive(Clone)]
+pub struct BcVertex {
+    /// BFS level from the root (-1 = unvisited).
+    pub level: i64,
+    /// Number of shortest paths from the root (`σ`).
+    pub num: f64,
+    /// Dependency score (`δ`).
+    pub b: f64,
+}
+flash_runtime::full_sync!(BcVertex);
+
+/// Table II plan: all three properties cross vertex boundaries.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "level")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "num")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "num")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "num")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "level")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "level")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "b")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "b")
+}
+
+/// The recursive kernel `BC(S, curLevel)` of Algorithm 3.
+fn bc_recurse(ctx: &mut FlashContext<BcVertex>, s: &VertexSubset, cur_level: i64) {
+    if s.is_empty() {
+        return;
+    }
+    // Forward: descendants accumulate path counts.
+    let a = ctx.edge_map(
+        s,
+        &EdgeSet::forward(),
+        |_, _, _| true,
+        |_, src, d| d.num += src.num,
+        |_, d| d.level == -1,
+        |t, d| d.num += t.num,
+    );
+    let a = ctx.vertex_map(&a, |_, _| true, move |_, val| val.level = cur_level);
+    bc_recurse(ctx, &a, cur_level + 1);
+    // Backward: parents accumulate dependencies from this frontier.
+    ctx.edge_map(
+        s,
+        &EdgeSet::reverse(),
+        |_, src, d| d.level == src.level - 1,
+        |_, src, d| d.b += d.num / src.num * (1.0 + src.b),
+        |_, _| true,
+        |t, d| d.b += t.b,
+    );
+}
+
+/// Runs single-source Brandes from `root`; returns per-vertex dependency
+/// scores `δ_root(v)` (the betweenness contribution of this root).
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+    root: VertexId,
+) -> Result<AlgoOutput<Vec<f64>>, RuntimeError> {
+    let mut ctx: FlashContext<BcVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| BcVertex {
+            level: -1,
+            num: 0.0,
+            b: 0.0,
+        })?;
+
+    // FLASH-ALGORITHM-BEGIN: bc
+    let all = ctx.all();
+    ctx.vertex_map(
+        &all,
+        |_, _| true,
+        move |v, val| {
+            if v == root {
+                val.level = 0;
+                val.num = 1.0;
+            } else {
+                val.level = -1;
+                val.num = 0.0;
+            }
+            val.b = 0.0;
+        },
+    );
+    let u = ctx.vertex_filter(&all, |v, _| v == root);
+    bc_recurse(&mut ctx, &u, 1);
+    // FLASH-ALGORITHM-END: bc
+
+    let result = ctx.collect(|_, val| val.b);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, root: VertexId, workers: usize) {
+        let g = Arc::new(g);
+        let (_, expect) = reference::brandes_single_source(&g, root);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential(), root).unwrap();
+        for (v, &want) in expect.iter().enumerate() {
+            let got = if v as u32 == root { 0.0 } else { out.result[v] };
+            assert!(
+                (got - want).abs() < 1e-9,
+                "vertex {v}: got {got}, expect {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_dependencies() {
+        check(generators::path(6, true), 0, 2);
+    }
+
+    #[test]
+    fn diamond_splits_dependency() {
+        let g = flash_graph::GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 0, 2);
+    }
+
+    #[test]
+    fn random_graph_matches_brandes() {
+        check(generators::erdos_renyi(60, 150, 5), 7, 4);
+        check(generators::rmat(7, 5, Default::default(), 2), 0, 3);
+    }
+
+    #[test]
+    fn star_center_carries_everything() {
+        let g = generators::star(8, true);
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(2).sequential(), 1).unwrap();
+        // From leaf 1, hub 0 lies on paths to all 6 other leaves.
+        assert!((out.result[0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+        assert!(plan().is_critical("num"));
+        assert!(plan().is_critical("b"));
+    }
+}

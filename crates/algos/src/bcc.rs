@@ -1,0 +1,270 @@
+//! Biconnected Components — paper Algorithm 19 (after Slota et al. \[47\]).
+//!
+//! Pipeline: (1) a max-(degree, id) label propagation picks one root per
+//! connected component; (2) a BFS from all roots builds a spanning tree
+//! (`dis`, `p`); (3) every *non-tree* edge closes a cycle, and all tree
+//! edges on that cycle belong to one biconnected component — merged with
+//! the paper's `dsu` built-in ([`flash_graph::DisjointSets`]), each tree
+//! edge represented by its child endpoint; (4) a global `REDUCE` merges
+//! the union–find and labels every vertex's parent edge.
+//!
+//! Following the paper, the join/reduce phase runs as a global auxiliary
+//! operator (driver-side over authoritative master state) rather than as
+//! edge maps — its walks hop along arbitrary tree paths, far outside any
+//! vertex's neighborhood.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{DisjointSets, Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-vertex BCC state (`-1` = unset, as in the paper).
+#[derive(Clone)]
+pub struct BccVertex {
+    /// Component label candidate (id of the max-(deg, id) vertex).
+    pub cid: u32,
+    /// Degree carried along with `cid` during the max propagation.
+    pub d: u32,
+    /// BFS depth from the component root (-1 = unvisited).
+    pub dis: i64,
+    /// BFS tree parent (-1 = root or unvisited).
+    pub p: i64,
+}
+flash_runtime::full_sync!(BccVertex);
+
+/// The result: per-vertex BCC label of the edge to the BFS parent
+/// (roots and isolated vertices get their own id), plus articulation
+/// vertices.
+#[derive(Debug, Clone)]
+pub struct BccResult {
+    /// `label[v]` identifies the biconnected component of edge `(v, p(v))`.
+    pub label: Vec<VertexId>,
+    /// BFS tree parent per vertex (`None` for roots).
+    pub parent: Vec<Option<VertexId>>,
+}
+
+/// Table II plan for BCC.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "cid")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "cid")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "cid")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "cid")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "d")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "p")
+}
+
+/// Runs BCC on a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<BccResult>, RuntimeError> {
+    assert!(graph.is_symmetric(), "BCC needs an undirected graph");
+    let g = Arc::clone(graph);
+    let mut ctx: FlashContext<BccVertex> =
+        FlashContext::build(Arc::clone(graph), config, |v| BccVertex {
+            cid: v,
+            d: 0,
+            dis: -1,
+            p: -1,
+        })?;
+
+    // FLASH-ALGORITHM-BEGIN: bcc
+    let all = ctx.all();
+    let mut a = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        move |v, val| {
+            val.cid = v;
+            val.d = g.degree(v) as u32;
+            val.dis = -1;
+            val.p = -1;
+        },
+    );
+    // CC round: propagate the maximum (degree, id) vertex per component.
+    let beats = |sd: u32, scid: u32, dd: u32, dcid: u32| sd > dd || (sd == dd && scid > dcid);
+    let budget = 2 * ctx.num_vertices() + 8;
+    let mut rounds = 0usize;
+    while !a.is_empty() {
+        a = ctx.edge_map(
+            &a,
+            &EdgeSet::forward(),
+            move |_, s, d| beats(s.d, s.cid, d.d, d.cid),
+            |_, s, d| {
+                d.cid = s.cid;
+                d.d = s.d;
+            },
+            |_, _| true,
+            move |t, d| {
+                if beats(t.d, t.cid, d.d, d.cid) {
+                    d.cid = t.cid;
+                    d.d = t.d;
+                }
+            },
+        );
+        rounds += 1;
+        if rounds > budget {
+            return Err(RuntimeError::NotConverged { supersteps: rounds });
+        }
+    }
+    // BFS round from the roots, then parent assignment per level edge.
+    let mut a = ctx.vertex_map(&all, |v, val| val.cid == v, |_, val| val.dis = 0);
+    while !a.is_empty() {
+        a = ctx.edge_map(
+            &a,
+            &EdgeSet::forward(),
+            |_, _, _| true,
+            |_, s, d| d.dis = s.dis + 1,
+            |_, d| d.dis == -1,
+            |t, d| d.dis = t.dis,
+        );
+    }
+    ctx.edge_map(
+        &all,
+        &EdgeSet::forward(),
+        |_, s, d| d.dis >= 1 && s.dis == d.dis - 1,
+        |e, _, d| d.p = e.src as i64,
+        |_, d| d.p == -1,
+        |t, d| d.p = t.p,
+    );
+    // JOINEDGES + REDUCE: merge tree edges (represented by their child
+    // endpoint) along the cycle each non-tree edge closes.
+    let t0 = Instant::now();
+    let n = ctx.num_vertices();
+    let mut dsu = DisjointSets::new(n);
+    let mut joined_edges = 0u64;
+    for (s, d, _) in ctx.graph_arc().edges() {
+        // Each undirected non-tree, non-self edge once.
+        if s <= d {
+            continue;
+        }
+        let (vs, vd) = (ctx.value(s), ctx.value(d));
+        if vd.p == s as i64 || vs.p == d as i64 {
+            continue;
+        }
+        joined_edges += 1;
+        let (mut x, mut y) = (s, d);
+        let mut reps: Vec<VertexId> = Vec::new();
+        while x != y {
+            let (dx, dy) = (ctx.value(x).dis, ctx.value(y).dis);
+            if dx >= dy {
+                reps.push(x);
+                x = ctx.value(x).p as VertexId;
+            } else {
+                reps.push(y);
+                y = ctx.value(y).p as VertexId;
+            }
+        }
+        for i in 1..reps.len() {
+            dsu.union(reps[0], reps[i]);
+        }
+    }
+    ctx.cluster_mut()
+        .record_global(joined_edges, joined_edges * 12, t0.elapsed());
+    // FLASH-ALGORITHM-END: bcc
+
+    let label = (0..n as VertexId).map(|v| dsu.find(v)).collect();
+    let parent = (0..n as VertexId)
+        .map(|v| {
+            let p = ctx.value(v).p;
+            (p >= 0).then_some(p as VertexId)
+        })
+        .collect();
+    Ok(AlgoOutput::new(
+        BccResult { label, parent },
+        ctx.take_stats(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    /// Checks the FLASH labelling against Hopcroft–Tarjan edge BCCs: for
+    /// every pair of tree edges, same FLASH label ⟺ same reference BCC.
+    fn check(g: Graph, workers: usize) {
+        let g = Arc::new(g);
+        let (ref_labels, _) = reference::bcc_edges(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        let BccResult { label, parent } = out.result;
+        // Collect (flash label, reference label) pairs for all tree edges.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for v in 0..g.num_vertices() as u32 {
+            if let Some(p) = parent[v as usize] {
+                let key = if v < p { (v, p) } else { (p, v) };
+                pairs.push((label[v as usize], ref_labels[&key]));
+            }
+        }
+        // Bijection check between the two labelings.
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (a, b) in pairs {
+            assert_eq!(*fwd.entry(a).or_insert(b), b, "flash label {a} split");
+            assert_eq!(*bwd.entry(b).or_insert(a), a, "reference label {b} split");
+        }
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = flash_graph::GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+
+    #[test]
+    fn path_has_one_bcc_per_edge() {
+        let g = Arc::new(generators::path(6, true));
+        let out = run(&g, ClusterConfig::with_workers(2).sequential()).unwrap();
+        let mut labels: Vec<u32> = (0..6u32)
+            .filter(|&v| out.result.parent[v as usize].is_some())
+            .map(|v| out.result.label[v as usize])
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5, "every bridge is its own BCC");
+    }
+
+    #[test]
+    fn cycle_is_a_single_bcc() {
+        let g = Arc::new(generators::cycle(8, true));
+        let out = run(&g, ClusterConfig::with_workers(3).sequential()).unwrap();
+        let labels: std::collections::HashSet<u32> = (0..8u32)
+            .filter(|&v| out.result.parent[v as usize].is_some())
+            .map(|v| out.result.label[v as usize])
+            .collect();
+        assert_eq!(labels.len(), 1);
+    }
+
+    #[test]
+    fn random_graphs_match_hopcroft_tarjan() {
+        check(generators::erdos_renyi(60, 90, 21), 4);
+        check(generators::erdos_renyi(80, 160, 22), 3);
+        check(generators::watts_strogatz(60, 4, 0.3, 5), 2);
+    }
+
+    #[test]
+    fn disconnected_graphs_work() {
+        let g = flash_graph::GraphBuilder::new(8)
+            .edges([(0, 1), (1, 2), (0, 2), (4, 5), (5, 6)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

@@ -1,0 +1,130 @@
+//! Breadth-First Search — paper Algorithm 2.
+
+use crate::common::{AlgoOutput, INF};
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex BFS state: the hop distance from the root.
+#[derive(Clone)]
+pub struct BfsVertex {
+    /// Distance from the root (`INF` when unreached).
+    pub dis: u32,
+}
+flash_runtime::full_sync!(BfsVertex);
+
+/// The Table II access plan of BFS: `dis` is got and put on sparse-map
+/// targets, hence critical — which is why [`BfsVertex`] syncs fully.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "dis")
+}
+
+/// Runs BFS from `root`, returning per-vertex hop distances (`INF` for
+/// unreachable vertices).
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+    root: VertexId,
+) -> Result<AlgoOutput<Vec<u32>>, RuntimeError> {
+    let mut ctx: FlashContext<BfsVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| BfsVertex { dis: INF })?;
+
+    // FLASH-ALGORITHM-BEGIN: bfs
+    let all = ctx.all();
+    ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |v, val| val.dis = if v == root { 0 } else { INF },
+    );
+    let mut frontier = ctx.vertex_filter(&all, |v, _| v == root);
+    while !frontier.is_empty() {
+        frontier = ctx.edge_map(
+            &frontier,
+            &EdgeSet::forward(),
+            |_, _, _| true,
+            |_, s, d| d.dis = s.dis + 1,
+            |_, d| d.dis == INF,
+            |t, d| d.dis = t.dis,
+        );
+    }
+    // FLASH-ALGORITHM-END: bfs
+
+    let result = ctx.collect(|_, val| val.dis);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    fn check_against_reference(g: Graph, root: VertexId, workers: usize) {
+        let g = Arc::new(g);
+        let expect = flash_graph::stats::bfs_levels(&g, root);
+        let cfg = ClusterConfig::with_workers(workers).sequential();
+        let out = run(&g, cfg, root).unwrap();
+        for (v, &e) in expect.iter().enumerate() {
+            if e == usize::MAX {
+                assert_eq!(out.result[v], INF, "vertex {v}");
+            } else {
+                assert_eq!(out.result[v] as usize, e, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_on_grid_matches_reference() {
+        check_against_reference(generators::grid2d(7, 9), 0, 3);
+    }
+
+    #[test]
+    fn bfs_on_skewed_graph_matches_reference() {
+        check_against_reference(generators::rmat(8, 6, Default::default(), 3), 5, 4);
+    }
+
+    #[test]
+    fn bfs_on_directed_graph_respects_direction() {
+        let g = flash_graph::GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (3, 2)])
+            .build()
+            .unwrap();
+        check_against_reference(g, 0, 2);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = Arc::new(
+            flash_graph::GraphBuilder::new(4)
+                .edges([(0, 1), (2, 3)])
+                .symmetric(true)
+                .build()
+                .unwrap(),
+        );
+        let out = run(&g, ClusterConfig::with_workers(2).sequential(), 0).unwrap();
+        assert_eq!(out.result, vec![0, 1, INF, INF]);
+    }
+
+    #[test]
+    fn superstep_count_tracks_eccentricity() {
+        let g = Arc::new(generators::path(9, true));
+        let out = run(&g, ClusterConfig::with_workers(2).sequential(), 0).unwrap();
+        // 2 init vmaps + 8 productive edge maps + 1 empty-output edge map.
+        assert_eq!(out.supersteps(), 2 + 8 + 1);
+        let frontiers = out.stats.frontier_sizes();
+        // Each BFS frontier on a path has exactly one vertex.
+        assert!(frontiers[2..].iter().all(|&f| f == 1));
+    }
+
+    #[test]
+    fn plan_marks_dis_critical() {
+        let p = plan();
+        p.validate().unwrap();
+        assert!(p.is_critical("dis"));
+    }
+}

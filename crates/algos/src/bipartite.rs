@@ -1,0 +1,221 @@
+//! Bipartiteness check / 2-coloring by BFS parity.
+//!
+//! A graph is bipartite iff no edge joins two vertices of the same BFS
+//! parity. One BFS-style propagation assigns sides; a final `EDGEMAP`
+//! pass over all edges detects conflicts — a natural two-phase FLASH
+//! program with a global reduction at the end.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex state: component label and the assigned side.
+#[derive(Clone)]
+pub struct BipVertex {
+    /// Component label (min id), for one-seed-per-component rooting.
+    pub comp: u32,
+    /// 0 or 1 once assigned; -1 before.
+    pub side: i8,
+    /// Set when an incident edge is monochromatic.
+    pub conflict: bool,
+}
+flash_runtime::full_sync!(BipVertex);
+
+/// The verdict: a 2-coloring when bipartite, or `None` with the conflict
+/// count when not.
+#[derive(Debug, Clone)]
+pub struct BipResult {
+    /// The side assignment (valid iff `bipartite`; unreached vertices of
+    /// other components are colored independently).
+    pub sides: Vec<i8>,
+    /// Whether the graph is bipartite.
+    pub bipartite: bool,
+}
+
+/// Table II plan.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "comp")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "comp")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "comp")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "comp")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "side")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "side")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "side")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "side")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "side")
+        .access(OpKind::EdgeMapDense, Role::Target, Access::Put, "conflict")
+}
+
+/// Checks bipartiteness of a symmetric graph (all components).
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<BipResult>, RuntimeError> {
+    assert!(
+        graph.is_symmetric(),
+        "bipartiteness is an undirected notion"
+    );
+    let mut ctx: FlashContext<BipVertex> =
+        FlashContext::build(Arc::clone(graph), config, |v| BipVertex {
+            comp: v,
+            side: -1,
+            conflict: false,
+        })?;
+
+    // FLASH-ALGORITHM-BEGIN: bipartite
+    let all = ctx.all();
+    ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |v, val| {
+            val.comp = v;
+            val.side = -1;
+            val.conflict = false;
+        },
+    );
+    // Phase 1: min-id component labels, so each component roots exactly
+    // one parity tree (two roots could disagree where their trees meet).
+    let mut u = all.clone();
+    while !u.is_empty() {
+        u = ctx.edge_map(
+            &u,
+            &EdgeSet::forward(),
+            |_, s, d| s.comp < d.comp,
+            |_, s, d| d.comp = d.comp.min(s.comp),
+            |_, _| true,
+            |t, d| d.comp = d.comp.min(t.comp),
+        );
+    }
+    // Phase 2: parity BFS from each component's root.
+    let mut frontier = ctx.vertex_map(&all, |v, val| val.comp == v, |_, val| val.side = 0);
+    while !frontier.is_empty() {
+        frontier = ctx.edge_map(
+            &frontier,
+            &EdgeSet::forward(),
+            |_, s, _| s.side >= 0,
+            |_, s, d| d.side = 1 - s.side,
+            |_, d| d.side == -1,
+            |t, d| d.side = t.side,
+        );
+    }
+    // Phase 3: conflict detection over every edge.
+    ctx.edge_map_dense(
+        &all,
+        &EdgeSet::forward(),
+        |e, s, d| e.src != e.dst && s.side == d.side,
+        |_, _, d| d.conflict = true,
+        |_, _| true,
+    );
+    let conflicts = ctx.fold(
+        &all,
+        0u64,
+        |acc, _, val| acc + u64::from(val.conflict),
+        |a, b| a + b,
+    );
+    // FLASH-ALGORITHM-END: bipartite
+
+    let sides = ctx.collect(|_, val| val.side);
+    Ok(AlgoOutput::new(
+        BipResult {
+            sides,
+            bipartite: conflicts == 0,
+        },
+        ctx.take_stats(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> BipResult {
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        // Verify the verdict independently: odd cycle ⟺ not bipartite.
+        if out.result.bipartite {
+            for (s, d, _) in g.edges() {
+                if s != d {
+                    assert_ne!(
+                        out.result.sides[s as usize], out.result.sides[d as usize],
+                        "edge ({s},{d}) monochromatic in a claimed 2-coloring"
+                    );
+                }
+            }
+        }
+        out.result
+    }
+
+    #[test]
+    fn even_structures_are_bipartite() {
+        assert!(check(generators::path(9, true), 2).bipartite);
+        assert!(check(generators::cycle(8, true), 2).bipartite);
+        assert!(check(generators::bipartite_complete(4, 5), 3).bipartite);
+        assert!(check(generators::grid2d(6, 7), 2).bipartite);
+        assert!(check(generators::binary_tree(15, true), 2).bipartite);
+    }
+
+    #[test]
+    fn odd_cycles_are_not() {
+        assert!(!check(generators::cycle(7, true), 2).bipartite);
+        assert!(!check(generators::complete(4), 2).bipartite);
+    }
+
+    #[test]
+    fn multiple_components_all_checked() {
+        // Bipartite square + odd triangle: overall not bipartite.
+        let g = flash_graph::GraphBuilder::new(7)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (4, 6)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        assert!(!check(g, 2).bipartite);
+        // Two bipartite components: bipartite.
+        let g = flash_graph::GraphBuilder::new(6)
+            .edges([(0, 1), (2, 3), (3, 4), (4, 5)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        assert!(check(g, 2).bipartite);
+    }
+
+    #[test]
+    fn verdict_matches_brute_force_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = generators::erdos_renyi(30, 25 + seed as usize * 8, seed);
+            // Brute force via BFS 2-coloring.
+            let brute = {
+                let mut color = vec![-1i8; 30];
+                let mut ok = true;
+                for s in 0..30u32 {
+                    if color[s as usize] != -1 {
+                        continue;
+                    }
+                    color[s as usize] = 0;
+                    let mut q = std::collections::VecDeque::from([s]);
+                    while let Some(v) = q.pop_front() {
+                        for &t in g.out_neighbors(v) {
+                            if color[t as usize] == -1 {
+                                color[t as usize] = 1 - color[v as usize];
+                                q.push_back(t);
+                            } else if color[t as usize] == color[v as usize] {
+                                ok = false;
+                            }
+                        }
+                    }
+                }
+                ok
+            };
+            assert_eq!(check(g, 3).bipartite, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! Bridge Detection — named by the paper's introduction among the
+//! algorithms "almost infeasible" under the classic ISVP abstraction.
+//!
+//! A bridge is an edge whose removal disconnects its endpoints. Built
+//! directly on the BCC machinery (paper Algorithm 19): an edge is a
+//! bridge iff its biconnected component contains no other edge. With the
+//! tree edges labelled by [`crate::bcc`], a tree edge is a bridge iff its
+//! BCC label is unique among tree edges *and* no non-tree edge joined its
+//! component (non-tree edges always close a cycle, so any BCC they touch
+//! is bridge-free).
+
+use crate::bcc;
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::ProgramPlan;
+use flash_runtime::RuntimeError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result: bridges as `s < d` endpoint pairs, sorted.
+pub type Bridges = Vec<(VertexId, VertexId)>;
+
+/// Same property footprint as BCC.
+pub fn plan() -> ProgramPlan {
+    bcc::plan()
+}
+
+/// Finds all bridges of a symmetric graph.
+pub fn run(graph: &Arc<Graph>, config: ClusterConfig) -> Result<AlgoOutput<Bridges>, RuntimeError> {
+    // FLASH-ALGORITHM-BEGIN: bridges
+    let out = bcc::run(graph, config)?;
+    let bcc::BccResult { label, parent } = &out.result;
+    // Count tree edges per biconnected component ...
+    let mut members: HashMap<u32, u64> = HashMap::new();
+    for v in 0..graph.num_vertices() as VertexId {
+        if parent[v as usize].is_some() {
+            *members.entry(label[v as usize]).or_insert(0) += 1;
+        }
+    }
+    // ... and mark components that some non-tree edge joined (those lie on
+    // a cycle, so none of their edges is a bridge).
+    let mut cyclic: HashMap<u32, bool> = HashMap::new();
+    for (s, d, _) in graph.edges() {
+        if s <= d {
+            continue;
+        }
+        let tree_edge = parent[s as usize] == Some(d) || parent[d as usize] == Some(s);
+        if !tree_edge {
+            // A non-tree edge (s, d): the cycle it closes was merged into
+            // one component — the component of s's parent edge (if s is
+            // not a root; otherwise d's).
+            let l = if parent[s as usize].is_some() {
+                label[s as usize]
+            } else {
+                label[d as usize]
+            };
+            cyclic.insert(l, true);
+        }
+    }
+    let mut bridges: Bridges =
+        (0..graph.num_vertices() as VertexId)
+            .filter_map(|v| {
+                let p = parent[v as usize]?;
+                let l = label[v as usize];
+                (members[&l] == 1 && !cyclic.contains_key(&l)).then(|| {
+                    if v < p {
+                        (v, p)
+                    } else {
+                        (p, v)
+                    }
+                })
+            })
+            .collect();
+    bridges.sort_unstable();
+    // FLASH-ALGORITHM-END: bridges
+    Ok(AlgoOutput::new(bridges, out.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    /// Brute-force bridge finder: remove each edge and test connectivity.
+    fn reference_bridges(g: &Graph) -> Bridges {
+        let mut out = Vec::new();
+        let undirected: Vec<(u32, u32)> = g
+            .edges()
+            .filter(|&(s, d, _)| s < d)
+            .map(|(s, d, _)| (s, d))
+            .collect();
+        for &(a, b) in &undirected {
+            let mut dsu = flash_graph::DisjointSets::new(g.num_vertices());
+            for &(s, d) in &undirected {
+                if (s, d) != (a, b) {
+                    dsu.union(s, d);
+                }
+            }
+            if !dsu.same(a, b) {
+                out.push((a, b));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn check(g: Graph, workers: usize) {
+        let g = Arc::new(g);
+        let expect = reference_bridges(&g);
+        let got = run(&g, ClusterConfig::with_workers(workers).sequential())
+            .unwrap()
+            .result;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        check(generators::path(8, true), 2);
+        check(generators::star(7, true), 2);
+        check(generators::binary_tree(15, true), 3);
+    }
+
+    #[test]
+    fn cycles_have_no_bridges() {
+        check(generators::cycle(9, true), 2);
+        check(generators::complete(6), 2);
+    }
+
+    #[test]
+    fn barbell_finds_exactly_the_bar() {
+        // Two triangles joined by one edge (2, 3).
+        let g = flash_graph::GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let g = Arc::new(g);
+        let got = run(&g, ClusterConfig::with_workers(2).sequential())
+            .unwrap()
+            .result;
+        assert_eq!(got, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn random_sparse_graphs_match_brute_force() {
+        check(generators::erdos_renyi(40, 45, 7), 3);
+        check(generators::erdos_renyi(50, 60, 8), 2);
+        check(generators::watts_strogatz(40, 2, 0.2, 9), 2);
+    }
+
+    #[test]
+    fn disconnected_components_each_contribute() {
+        let g = flash_graph::GraphBuilder::new(7)
+            .edges([(0, 1), (1, 2), (0, 2), (3, 4), (5, 6)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+}

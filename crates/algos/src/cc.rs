@@ -1,0 +1,117 @@
+//! Connected Components by label propagation — paper Algorithm 9.
+//!
+//! The standard ISVP formulation: every vertex starts labelled with its own
+//! id and adopts the minimum label among its neighbors until quiescence.
+//! "Simple and scalable, but not necessarily efficient. As the label is
+//! propagated only one hop at a time, it may require many iterations to
+//! converge, especially for graphs that have large diameters" — which is
+//! exactly what the evaluation shows on the road networks, and what
+//! [`crate::cc_opt`] fixes.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex state: the component label.
+#[derive(Clone)]
+pub struct CcVertex {
+    /// Current component label (min vertex id seen so far).
+    pub cc: u32,
+}
+flash_runtime::full_sync!(CcVertex);
+
+/// Table II plan: `cc` is read as dense source / written on sparse targets.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "cc")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "cc")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "cc")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "cc")
+}
+
+/// Runs label-propagation CC; `labels[v]` = minimum id in `v`'s component.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<VertexId>>, RuntimeError> {
+    let mut ctx: FlashContext<CcVertex> =
+        FlashContext::build(Arc::clone(graph), config, |v| CcVertex { cc: v })?;
+
+    // FLASH-ALGORITHM-BEGIN: cc
+    let mut u = ctx.vertex_map(&ctx.all(), |_, _| true, |v, val| val.cc = v);
+    while !u.is_empty() {
+        u = ctx.edge_map(
+            &u,
+            &EdgeSet::forward(),
+            |_, s, d| s.cc < d.cc,
+            |_, s, d| d.cc = d.cc.min(s.cc),
+            |_, _| true,
+            |t, d| d.cc = d.cc.min(t.cc),
+        );
+    }
+    // FLASH-ALGORITHM-END: cc
+
+    let result = ctx.collect(|_, val| val.cc);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> AlgoOutput<Vec<u32>> {
+        let g = Arc::new(g);
+        let expect = reference::cc_labels(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert_eq!(out.result, expect);
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        check(generators::erdos_renyi(120, 150, 7), 4);
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = flash_graph::GraphBuilder::new(7)
+            .edges([(0, 1), (1, 2), (3, 4), (5, 6)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let out = check(g, 2);
+        assert_eq!(out.result, vec![0, 0, 0, 3, 3, 5, 5]);
+    }
+
+    #[test]
+    fn isolated_vertices_self_label() {
+        let g = flash_graph::GraphBuilder::new(3).build().unwrap();
+        let out = check(g, 2);
+        assert_eq!(out.result, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn iteration_count_scales_with_diameter() {
+        // On a path, min-label propagation needs Θ(n) edge maps — the
+        // weakness the optimized algorithm removes (paper: 6262 vs 7
+        // iterations on road-USA).
+        let out = check(generators::path(40, true), 2);
+        assert!(
+            out.supersteps() >= 39,
+            "expected ≈ diameter supersteps, got {}",
+            out.supersteps()
+        );
+    }
+
+    #[test]
+    fn plan_is_valid_and_cc_critical() {
+        let p = plan();
+        p.validate().unwrap();
+        assert!(p.is_critical("cc"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Optimized Connected Components by star contraction — paper Algorithm 10.
+//!
+//! The algorithm of Qin et al. \[20\] maintains a parent-pointer forest
+//! `p(v)`: each round it (1) detects *stars* (depth-one trees), (2) hooks
+//! stars onto neighboring trees — conditionally (to smaller roots), then
+//! unconditionally — and (3) halves tree depth by pointer jumping
+//! (`p(v) = p(p(v))`). Convergence takes O(log |V|) rounds instead of
+//! O(diameter), the source of the order-of-magnitude speedup on road
+//! networks (paper: 7 iterations vs 6262 for Algorithm 9 on road-USA).
+//!
+//! The messages travel along *virtual* parent edges (`join(U, p)`,
+//! `join(p, U)`), not graph edges — "it could not be implemented in the
+//! models that do not support communication beyond neighborhood".
+//!
+//! One mechanical deviation from the pseudocode: Algorithm 10 line 29
+//! pushes along `join(join(U,p),p)` (to the grandparent), but a virtual
+//! edge-set function can only read the *local* vertex's state. The dense
+//! step of line 28 therefore also records the grandparent into a scratch
+//! field `gp`, and line 29 pushes along `join(U, gp)` — the same edge set,
+//! materialized one superstep earlier.
+
+use crate::common::{AlgoOutput, INF};
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::{RuntimeError, VertexData};
+use std::sync::Arc;
+
+/// Per-vertex state of the star-contraction algorithm.
+#[derive(Clone)]
+pub struct CcOptVertex {
+    /// Parent pointer `p(v)` (the tree structure).
+    pub p: u32,
+    /// Hooking candidate `f(v)`.
+    pub f: u32,
+    /// Star flag `s(v)`.
+    pub s: bool,
+    /// Grandparent scratch `p(p(v))`, recorded during star detection.
+    pub gp: u32,
+    /// Round-start snapshot of `p` for convergence detection — read only
+    /// by the master, hence *not* part of the critical projection.
+    pub old: u32,
+}
+
+/// The critical projection: everything except the master-local `old`.
+#[derive(Clone)]
+pub struct CcOptCritical {
+    p: u32,
+    f: u32,
+    s: bool,
+    gp: u32,
+}
+
+impl VertexData for CcOptVertex {
+    type Critical = CcOptCritical;
+    fn critical(&self) -> CcOptCritical {
+        CcOptCritical {
+            p: self.p,
+            f: self.f,
+            s: self.s,
+            gp: self.gp,
+        }
+    }
+    fn apply_critical(&mut self, c: CcOptCritical) {
+        self.p = c.p;
+        self.f = c.f;
+        self.s = c.s;
+        self.gp = c.gp;
+    }
+}
+
+/// Table II plan for CC-opt: `p`, `f`, `s`, `gp` cross vertex boundaries in
+/// edge maps; `old` lives only in `VERTEXMAP`s.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "f")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "f")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "s")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "s")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "gp")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "old")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "old")
+}
+
+type Ctx = FlashContext<CcOptVertex>;
+
+/// `STARDETECTION(U)` — marks `s(v) = true` exactly for vertices in depth-one
+/// trees (Algorithm 10 lines 26–30).
+fn star_detection(ctx: &mut Ctx, u: &VertexSubset) {
+    let all = ctx.all();
+    // All candidates optimistically stars.
+    ctx.vertex_map(u, |_, _| true, |_, val| val.s = true);
+    // Pull the parent's parent: record gp, clear s when p(p(v)) ≠ p(v).
+    let parent_in: EdgeSet<CcOptVertex> = EdgeSet::custom_in(|_, val: &CcOptVertex| vec![val.p]);
+    let u_bits = u.clone();
+    ctx.edge_map_dense(
+        &all,
+        &parent_in,
+        |_, _, _| true,
+        |_, s, d| {
+            d.gp = s.p;
+            if s.p != d.p {
+                d.s = false;
+            }
+        },
+        move |v, _| u_bits.contains(v),
+    );
+    // A vertex whose grandparent differs also un-stars that grandparent.
+    let deep = ctx.vertex_filter(u, |_, val| !val.s);
+    ctx.edge_map_sparse(
+        &deep,
+        &EdgeSet::custom_out(|_, val: &CcOptVertex| vec![val.gp]),
+        |_, _, _| true,
+        |_, _, d| d.s = false,
+        |_, _| true,
+        |_, d| d.s = false,
+    );
+    // Inherit the parent's verdict: a child of a non-star root is not in a star.
+    let u_bits = u.clone();
+    ctx.edge_map_dense(
+        &all,
+        &parent_in,
+        |_, s, d| !s.s && d.s,
+        |_, _, d| d.s = false,
+        move |v, _| u_bits.contains(v),
+    );
+}
+
+/// `STARHOOKING(U, cond)` — hooks star roots onto neighboring trees
+/// (Algorithm 10 lines 48–52). `cond = true` hooks only onto smaller
+/// parents; `cond = false` hooks unconditionally.
+fn star_hooking(ctx: &mut Ctx, u: &VertexSubset, cond: bool) {
+    let all = ctx.all();
+    let w = ctx.vertex_map(
+        u,
+        |_, val| val.s,
+        move |_, val| val.f = if cond { val.p } else { INF },
+    );
+    // Star members collect the minimum foreign parent over graph edges.
+    ctx.edge_map_dense(
+        &all,
+        &EdgeSet::targets_in(&w),
+        |_, s, d| s.p != d.p,
+        |_, s, d| d.f = d.f.min(s.p),
+        |_, _| true,
+    );
+    // Members forward their candidate to the root along parent edges.
+    ctx.edge_map_sparse(
+        &w,
+        &EdgeSet::custom_out(|_, val: &CcOptVertex| vec![val.p]),
+        |e, s, _| s.p != e.src && s.f != INF && s.f != s.p,
+        |_, s, d| d.f = d.f.min(s.f),
+        |_, _| true,
+        |t, d| d.f = d.f.min(t.f),
+    );
+    // Roots hook onto the winning foreign parent.
+    ctx.vertex_map(
+        &w,
+        |v, val| val.p == v && val.f != INF && val.f != val.p,
+        |_, val| val.p = val.f,
+    );
+}
+
+/// `POINTERJUMPING(U)` — `p(v) = p(p(v))` (Algorithm 10 lines 56–57).
+fn pointer_jumping(ctx: &mut Ctx, u: &VertexSubset) {
+    let all = ctx.all();
+    let u_bits = u.clone();
+    ctx.edge_map_dense(
+        &all,
+        &EdgeSet::custom_in(|_, val: &CcOptVertex| vec![val.p]),
+        |_, _, _| true,
+        |_, s, d| d.p = s.p,
+        move |v, _| u_bits.contains(v),
+    );
+}
+
+/// Runs star-contraction CC; `labels[v]` identifies `v`'s component (the
+/// root id of its final star). Requires a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<VertexId>>, RuntimeError> {
+    assert!(
+        graph.is_symmetric(),
+        "connected components are defined on undirected (symmetric) graphs"
+    );
+    let mut ctx: Ctx = FlashContext::build(Arc::clone(graph), config, |v| CcOptVertex {
+        p: v,
+        f: v,
+        s: false,
+        gp: v,
+        old: v,
+    })?;
+
+    // FLASH-ALGORITHM-BEGIN: cc_opt
+    let all = ctx.all();
+    ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |v, val| {
+            val.p = v;
+            val.f = v;
+            val.s = false;
+        },
+    );
+    // Initial hooking: p = min(own id, min neighbor id).
+    ctx.edge_map_dense(
+        &all,
+        &EdgeSet::forward(),
+        |_, _, _| true,
+        |e, _, d| d.p = d.p.min(e.src),
+        |_, _| true,
+    );
+    // Mark vertices pointed at by someone.
+    ctx.edge_map_sparse(
+        &all,
+        &EdgeSet::custom_out(|_, val: &CcOptVertex| vec![val.p]),
+        |_, _, _| true,
+        |_, _, d| d.s = true,
+        |_, _| true,
+        |_, d| d.s = true,
+    );
+    // Lone self-roots (nobody points at them): re-point to a real neighbor.
+    let lone = ctx.vertex_map(&all, |v, val| val.p == v && !val.s, |_, val| val.p = INF);
+    ctx.edge_map_dense(
+        &all,
+        &EdgeSet::targets_in(&lone),
+        |_, _, _| true,
+        |e, _, d| d.p = d.p.min(e.src),
+        |_, _| true,
+    );
+    // Isolated vertices are their own component and drop out.
+    let isolated = ctx.vertex_map(&all, |_, val| val.p == INF, |v, val| val.p = v);
+    let u = all.minus(&isolated);
+
+    let n = ctx.num_vertices();
+    let round_budget = 4 * (usize::BITS - n.leading_zeros()) as usize + 16;
+    let mut rounds = 0usize;
+    loop {
+        if u.is_empty() {
+            break;
+        }
+        ctx.vertex_map(&u, |_, _| true, |_, val| val.old = val.p);
+        star_detection(&mut ctx, &u);
+        star_hooking(&mut ctx, &u, true);
+        star_detection(&mut ctx, &u);
+        star_hooking(&mut ctx, &u, false);
+        pointer_jumping(&mut ctx, &u);
+        let changed = ctx.vertex_filter(&u, |_, val| val.p != val.old);
+        if changed.is_empty() {
+            break;
+        }
+        rounds += 1;
+        if rounds > round_budget {
+            return Err(RuntimeError::NotConverged {
+                supersteps: ctx.stats().num_supersteps(),
+            });
+        }
+    }
+    // FLASH-ALGORITHM-END: cc_opt
+
+    let result = ctx.collect(|_, val| val.p);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+/// Number of contraction rounds a finished run took (each round is a fixed
+/// 21-superstep block after the 6-superstep prologue). Used by the
+/// iteration-count comparison of §V ("7 iterations … while Algorithm 9
+/// takes 6262").
+pub fn rounds_of(stats: &flash_runtime::RunStats) -> usize {
+    stats.num_supersteps().saturating_sub(6) / 21
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> AlgoOutput<Vec<u32>> {
+        let g = Arc::new(g);
+        let expect = reference::cc_labels(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert_eq!(
+            reference::canonicalize(&out.result),
+            expect,
+            "component partition mismatch"
+        );
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        check(generators::erdos_renyi(150, 170, 11), 4);
+    }
+
+    #[test]
+    fn matches_reference_on_many_components() {
+        let mut b = flash_graph::GraphBuilder::new(40).symmetric(true);
+        // 10 disjoint paths of 4 vertices.
+        for i in 0..10u32 {
+            b = b.edges([
+                (4 * i, 4 * i + 1),
+                (4 * i + 1, 4 * i + 2),
+                (4 * i + 2, 4 * i + 3),
+            ]);
+        }
+        check(b.build().unwrap(), 3);
+    }
+
+    #[test]
+    fn handles_isolated_vertices() {
+        let g = flash_graph::GraphBuilder::new(5)
+            .edges([(1, 2)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+
+    #[test]
+    fn converges_logarithmically_on_long_path() {
+        // The whole point: O(log n) rounds on a diameter-Θ(n) graph.
+        let out = check(generators::path(512, true), 4);
+        let rounds = rounds_of(&out.stats);
+        assert!(
+            rounds <= 14,
+            "star contraction took {rounds} rounds on a 512-path"
+        );
+    }
+
+    #[test]
+    fn fewer_iterations_than_label_propagation_on_grid() {
+        // The paper's headline: 7 contraction rounds vs 6262 propagation
+        // iterations on road-USA. At grid-40 scale the gap is already wide.
+        let g = generators::grid2d(40, 40);
+        let basic = crate::cc::run(
+            &Arc::new(g.clone()),
+            ClusterConfig::with_workers(2).sequential(),
+        )
+        .unwrap();
+        let opt = check(g, 2);
+        let rounds = rounds_of(&opt.stats);
+        assert!(
+            rounds * 6 < basic.supersteps(),
+            "opt {} rounds vs basic {} propagation supersteps",
+            rounds,
+            basic.supersteps()
+        );
+    }
+
+    #[test]
+    fn star_and_complete_graphs() {
+        check(generators::star(33, true), 2);
+        check(generators::complete(17), 2);
+    }
+
+    #[test]
+    fn plan_keeps_old_local() {
+        let p = plan();
+        p.validate().unwrap();
+        assert!(p.is_critical("p"));
+        assert!(p.is_critical("s"));
+        assert!(!p.is_critical("old"), "snapshot must stay master-local");
+    }
+}

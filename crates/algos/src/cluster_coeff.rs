@@ -1,0 +1,247 @@
+//! Clustering Coefficient — one of the non-ISVP algorithms the paper's
+//! introduction names as "almost infeasible" for classic vertex-centric
+//! abstractions.
+//!
+//! The local clustering coefficient of `v` is
+//! `2·tri(v) / (deg(v)·(deg(v)−1))`: the fraction of closed wedges at `v`.
+//! Built like Algorithm 14 (TC), but every triangle must be credited to
+//! **all three** corners: the oriented counting map runs in both edge
+//! orientations (crediting the two lower-ranked corners), and a final
+//! gather pushes one credit to each triangle's apex — a read of arbitrary
+//! vertices' neighbor lists, beyond the basic ISVP pattern.
+
+use crate::common::{rank_above, AlgoOutput};
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::{RuntimeError, VertexData};
+use std::sync::Arc;
+
+/// Per-vertex state.
+#[derive(Clone, Default)]
+pub struct CcoefVertex {
+    /// Sorted higher-ranked neighbor ids.
+    pub out: Vec<u32>,
+    /// Triangles incident to this vertex.
+    pub tri: u64,
+}
+
+impl VertexData for CcoefVertex {
+    type Critical = CcoefVertex;
+    fn critical(&self) -> CcoefVertex {
+        self.clone()
+    }
+    fn apply_critical(&mut self, c: CcoefVertex) {
+        *self = c;
+    }
+    fn bytes(&self) -> usize {
+        8 + 4 * self.out.len()
+    }
+    fn critical_bytes(c: &CcoefVertex) -> usize {
+        c.bytes()
+    }
+}
+
+/// Table II plan.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "out")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "out")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "out")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "out")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "tri")
+}
+
+/// Runs local clustering-coefficient computation; `result[v] ∈ [0, 1]`
+/// (0 for degree < 2). Requires a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<f64>>, RuntimeError> {
+    assert!(
+        graph.is_symmetric(),
+        "clustering coefficients need an undirected graph"
+    );
+    let g1 = Arc::clone(graph);
+    let g2 = Arc::clone(graph);
+    let mut ctx: FlashContext<CcoefVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| CcoefVertex::default())?;
+
+    // FLASH-ALGORITHM-BEGIN: cluster_coeff
+    let all = ctx.all();
+    let u = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |_, val| {
+            val.tri = 0;
+            val.out.clear();
+        },
+    );
+    // Oriented neighbor lists (higher-ranked neighbors, as in TC).
+    let u = ctx.edge_map(
+        &u,
+        &EdgeSet::forward(),
+        move |e, _, _| rank_above(g1.degree(e.src), e.src, g1.degree(e.dst), e.dst),
+        |e, _, d| {
+            if let Err(pos) = d.out.binary_search(&e.src) {
+                d.out.insert(pos, e.src);
+            }
+        },
+        |_, _| true,
+        |t, d| {
+            for &x in &t.out {
+                if let Err(pos) = d.out.binary_search(&x) {
+                    d.out.insert(pos, x);
+                }
+            }
+        },
+    );
+    // Per-edge wedge closure: each triangle {a < b < c by rank} shows up
+    // as |out(a) ∩ out(b)| ∋ c on the edge (a, b). Credit both endpoints
+    // by running the counting map in both orientations; the apex c gets
+    // its credit in the pass below.
+    let g3 = Arc::clone(graph);
+    ctx.edge_map(
+        &u,
+        &EdgeSet::forward(),
+        move |e, _, _| rank_above(g2.degree(e.dst), e.dst, g2.degree(e.src), e.src),
+        |_, s, d| {
+            d.tri += crate::reference::sorted_intersection_size(&s.out, &d.out);
+        },
+        |_, _| true,
+        |t, d| d.tri += t.tri,
+    );
+    ctx.edge_map(
+        &u,
+        &EdgeSet::forward(),
+        move |e, _, _| rank_above(g3.degree(e.src), e.src, g3.degree(e.dst), e.dst),
+        |_, s, d| {
+            d.tri += crate::reference::sorted_intersection_size(&s.out, &d.out);
+        },
+        |_, _| true,
+        |t, d| d.tri += t.tri,
+    );
+    // Apex credit: each rank-ascending edge (s, d) also closes one wedge
+    // at every common higher neighbor x — pushed along *virtual* edges to
+    // those arbitrary apexes (communication beyond the neighborhood, as
+    // in RC/CL).
+    let mut apex_credit: Vec<u64> = vec![0; ctx.num_vertices()];
+    let credits = ctx.gather(
+        |w| {
+            let verts = w.current_slice();
+            let mut local: Vec<(u32, u64)> = Vec::new();
+            for &s in w.masters() {
+                let s_out = &verts[s as usize].out;
+                for &d in s_out {
+                    for x in crate::reference::sorted_intersection(s_out, &verts[d as usize].out) {
+                        local.push((x, 1));
+                    }
+                }
+            }
+            local
+        },
+        |part| part.len() * 12,
+    );
+    for part in credits {
+        for (x, c) in part {
+            apex_credit[x as usize] += c;
+        }
+    }
+    // FLASH-ALGORITHM-END: cluster_coeff
+
+    let g = ctx.graph_arc();
+    let result = ctx.collect(|v, val| {
+        let deg = g.degree(v) as u64;
+        if deg < 2 {
+            return 0.0;
+        }
+        // tri credited at both lower corners + apex credit covers the
+        // third: total triangles through v.
+        let tri = val.tri + apex_credit[v as usize];
+        2.0 * tri as f64 / (deg * (deg - 1)) as f64
+    });
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    /// Brute-force local clustering coefficient.
+    fn reference_ccoef(g: &Graph) -> Vec<f64> {
+        (0..g.num_vertices() as u32)
+            .map(|v| {
+                let nbrs: Vec<u32> = {
+                    let mut a = g.out_neighbors(v).to_vec();
+                    a.sort_unstable();
+                    a.dedup();
+                    a.retain(|&x| x != v);
+                    a
+                };
+                let deg = nbrs.len();
+                if deg < 2 {
+                    return 0.0;
+                }
+                let mut closed = 0u64;
+                for (i, &a) in nbrs.iter().enumerate() {
+                    for &b in &nbrs[i + 1..] {
+                        if g.has_edge(a, b) {
+                            closed += 1;
+                        }
+                    }
+                }
+                2.0 * closed as f64 / (deg * (deg - 1)) as f64
+            })
+            .collect()
+    }
+
+    fn check(g: Graph, workers: usize) {
+        let g = Arc::new(g);
+        let expect = reference_ccoef(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        for (v, (&got, &want)) in out.result.iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-12, "vertex {v}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = Arc::new(generators::complete(7));
+        let out = run(&g, ClusterConfig::with_workers(2).sequential()).unwrap();
+        assert!(out.result.iter().all(|&c| (c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn trees_and_cycles_have_zero() {
+        let g = Arc::new(generators::star(9, true));
+        let out = run(&g, ClusterConfig::with_workers(2).sequential()).unwrap();
+        assert!(out.result.iter().all(|&c| c == 0.0));
+        let g = Arc::new(generators::cycle(8, true));
+        let out = run(&g, ClusterConfig::with_workers(2).sequential()).unwrap();
+        assert!(out.result.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        check(generators::erdos_renyi(60, 250, 5), 4);
+        check(generators::rmat(7, 6, Default::default(), 3), 3);
+        check(generators::watts_strogatz(70, 6, 0.1, 8), 2);
+    }
+
+    #[test]
+    fn small_world_is_more_clustered_than_random() {
+        let ws = Arc::new(generators::watts_strogatz(200, 8, 0.05, 1));
+        let er = Arc::new(generators::erdos_renyi(200, 800, 1));
+        let cfg = || ClusterConfig::with_workers(2).sequential();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let c_ws = avg(&run(&ws, cfg()).unwrap().result);
+        let c_er = avg(&run(&er, cfg()).unwrap().result);
+        assert!(c_ws > 2.0 * c_er, "ws {c_ws} vs er {c_er}");
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

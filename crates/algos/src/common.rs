@@ -1,0 +1,63 @@
+//! Shared plumbing for the algorithm catalogue.
+
+use flash_runtime::RunStats;
+
+/// An algorithm's result plus the execution record of its run.
+///
+/// Every algorithm in this crate returns its domain result wrapped in this
+/// envelope so the benchmark harness can report supersteps, frontier sizes
+/// (Fig. 4a) and the communication/computation breakdown (§V-E) without
+/// re-instrumenting anything.
+#[derive(Debug)]
+pub struct AlgoOutput<T> {
+    /// The algorithm's answer.
+    pub result: T,
+    /// Superstep-level statistics recorded by FLASHWARE.
+    pub stats: RunStats,
+}
+
+impl<T> AlgoOutput<T> {
+    pub(crate) fn new(result: T, stats: RunStats) -> Self {
+        AlgoOutput { result, stats }
+    }
+
+    /// Number of supersteps the run took.
+    pub fn supersteps(&self) -> usize {
+        self.stats.num_supersteps()
+    }
+}
+
+/// The sentinel the paper uses for "not set" (`INF` / `-1`).
+pub const INF: u32 = u32::MAX;
+
+/// Result of the matching algorithms (MM / MM-opt).
+#[derive(Debug, Clone)]
+pub struct MatchingResult {
+    /// `partner[v]` is `v`'s matched partner, if any.
+    pub partner: Vec<Option<flash_graph::VertexId>>,
+    /// Size of the active set `U` at the start of each iteration — the
+    /// series Fig. 4(a) of the paper plots for MM-basic vs MM-opt.
+    pub frontier_per_round: Vec<usize>,
+}
+
+/// Degree-then-id total order used as the tie-breaking *rank* by TC, GC and
+/// CL (the paper's `(s.deg > d.deg) or (s.deg == d.deg and s.id > d.id)`).
+/// Returns `true` when `(deg_a, a)` ranks strictly above `(deg_b, b)`.
+#[inline]
+pub fn rank_above(deg_a: usize, a: u32, deg_b: usize, b: u32) -> bool {
+    deg_a > deg_b || (deg_a == deg_b && a > b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_is_a_strict_total_order() {
+        assert!(rank_above(3, 0, 2, 9));
+        assert!(rank_above(2, 9, 2, 3));
+        assert!(!rank_above(2, 3, 2, 3));
+        // Antisymmetry.
+        assert!(rank_above(5, 1, 4, 2) != rank_above(4, 2, 5, 1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Greedy Graph Coloring — paper Algorithm 15.
+//!
+//! Every round, each vertex collects the colors of its *higher-ranked*
+//! neighbors, picks the smallest color not in that set, and keeps
+//! iterating until no vertex changes color. The rank orientation
+//! guarantees termination; the per-vertex color *set* is exactly the kind
+//! of variable-length property Gemini and Ligra cannot express
+//! ("not possible to be expressed directly").
+
+use crate::common::{rank_above, AlgoOutput};
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::{RuntimeError, VertexData};
+use std::sync::Arc;
+
+/// Per-vertex coloring state.
+#[derive(Clone, Default)]
+pub struct GcVertex {
+    /// Current color.
+    pub c: u32,
+    /// Candidate color computed this round.
+    pub cc: u32,
+    /// Colors of higher-ranked neighbors (rebuilt every round).
+    pub colors: Vec<u32>,
+}
+
+impl VertexData for GcVertex {
+    /// Only the color is read by neighbors; the candidate and the set are
+    /// master-local scratch (Table II).
+    type Critical = u32;
+    fn critical(&self) -> u32 {
+        self.c
+    }
+    fn apply_critical(&mut self, c: u32) {
+        self.c = c;
+    }
+    fn bytes(&self) -> usize {
+        8 + 4 * self.colors.len()
+    }
+}
+
+/// Table II plan for GC.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "c")
+        .access(OpKind::EdgeMapDense, Role::Target, Access::Put, "colors")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "colors")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "cc")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "cc")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "c")
+}
+
+/// Runs greedy coloring; returns a proper vertex coloring.
+/// Requires a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<u32>>, RuntimeError> {
+    assert!(
+        graph.is_symmetric(),
+        "vertex coloring needs an undirected graph"
+    );
+    let g = Arc::clone(graph);
+    let mut ctx: FlashContext<GcVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| GcVertex::default())?;
+
+    // FLASH-ALGORITHM-BEGIN: gc
+    let all = ctx.all();
+    let mut u = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |_, val| {
+            val.c = 0;
+            val.cc = 0;
+            val.colors.clear();
+        },
+    );
+    let budget = ctx.num_vertices() + 8;
+    let mut rounds = 0usize;
+    while !u.is_empty() {
+        // Collect the colors currently used by higher-ranked neighbors.
+        ctx.vertex_map(&all, |_, _| true, |_, val| val.colors.clear());
+        // Dense on purpose: `colors` is master-local scratch (see `plan`),
+        // so it must never be accumulated mirror-side.
+        let g1 = Arc::clone(&g);
+        ctx.edge_map_dense(
+            &all,
+            &EdgeSet::forward(),
+            move |e, _, _| rank_above(g1.degree(e.src), e.src, g1.degree(e.dst), e.dst),
+            |_, s, d| {
+                if !d.colors.contains(&s.c) {
+                    d.colors.push(s.c);
+                }
+            },
+            |_, _| true,
+        );
+        // Choose the minimum excluded color.
+        ctx.vertex_map(
+            &all,
+            |_, _| true,
+            |_, val| {
+                val.colors.sort_unstable();
+                let mut mex = 0u32;
+                for &c in &val.colors {
+                    if c == mex {
+                        mex += 1;
+                    } else if c > mex {
+                        break;
+                    }
+                }
+                val.cc = mex;
+            },
+        );
+        // Adopt it when it differs; the changed set drives the next round.
+        u = ctx.vertex_map(&all, |_, val| val.c != val.cc, |_, val| val.c = val.cc);
+        rounds += 1;
+        if rounds > budget {
+            return Err(RuntimeError::NotConverged { supersteps: rounds });
+        }
+    }
+    // FLASH-ALGORITHM-END: gc
+
+    let result = ctx.collect(|_, val| val.c);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> Vec<u32> {
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert!(
+            reference::is_proper_coloring(&g, &out.result),
+            "coloring is not proper"
+        );
+        out.result
+    }
+
+    #[test]
+    fn random_graphs_get_proper_colorings() {
+        check(generators::erdos_renyi(90, 300, 3), 4);
+        check(generators::rmat(8, 6, Default::default(), 5), 3);
+        check(generators::grid2d(9, 9), 2);
+    }
+
+    #[test]
+    fn bipartite_uses_two_colors() {
+        let colors = check(generators::bipartite_complete(5, 6), 2);
+        let max = colors.iter().max().copied().unwrap();
+        assert!(max <= 1, "K_{{5,6}} is 2-colorable, used {}", max + 1);
+    }
+
+    #[test]
+    fn complete_graph_uses_n_colors() {
+        let colors = check(generators::complete(7), 2);
+        let mut sorted = colors.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+    }
+
+    #[test]
+    fn edgeless_graph_is_monochrome() {
+        let g = flash_graph::GraphBuilder::new(5)
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let colors = check(g, 2);
+        assert!(colors.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn plan_keeps_scratch_local() {
+        plan().validate().unwrap();
+        assert!(!plan().is_critical("cc"));
+    }
+}

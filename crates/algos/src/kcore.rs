@@ -1,0 +1,149 @@
+//! K-Core decomposition by iterative peeling — paper Algorithm 16.
+//!
+//! Ligra's formulation: for k = 1, 2, …, repeatedly remove vertices whose
+//! residual degree is below k; a vertex removed at level k has core number
+//! k−1. Peeled vertices decrement their neighbors' degrees through a dense
+//! `EDGEMAP`.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex peeling state.
+#[derive(Clone)]
+pub struct KcoreVertex {
+    /// Residual degree.
+    pub d: i64,
+    /// Assigned core number.
+    pub core: u32,
+}
+flash_runtime::full_sync!(KcoreVertex);
+
+/// Table II plan for k-core.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "d")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "core")
+        .access(OpKind::EdgeMapDense, Role::Target, Access::Put, "d")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "d")
+}
+
+/// Runs k-core peeling; returns the core number of every vertex.
+/// Requires a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<u32>>, RuntimeError> {
+    assert!(
+        graph.is_symmetric(),
+        "core numbers need an undirected graph"
+    );
+    let g = Arc::clone(graph);
+    let mut ctx: FlashContext<KcoreVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| KcoreVertex { d: 0, core: 0 })?;
+
+    // FLASH-ALGORITHM-BEGIN: kcore
+    let all = ctx.all();
+    let mut u = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        move |v, val| {
+            val.d = g.degree(v) as i64;
+            val.core = 0;
+        },
+    );
+    let max_k = ctx.num_vertices() as u32 + 1;
+    for k in 1..=max_k {
+        loop {
+            // Peel everything below the current threshold.
+            let a = ctx.vertex_map(
+                &u,
+                move |_, val| val.d < k as i64,
+                move |_, val| val.core = k - 1,
+            );
+            if a.is_empty() {
+                break;
+            }
+            u = u.minus(&a);
+            // Survivors lose the peeled neighbors.
+            ctx.edge_map_dense(
+                &a,
+                &EdgeSet::forward(),
+                |_, _, _| true,
+                |_, _, d| d.d -= 1,
+                |_, _| true,
+            );
+        }
+        if u.is_empty() {
+            break;
+        }
+    }
+    // FLASH-ALGORITHM-END: kcore
+
+    let result = ctx.collect(|_, val| val.core);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) {
+        let g = Arc::new(g);
+        let expect = reference::kcore_numbers(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert_eq!(out.result, expect);
+    }
+
+    #[test]
+    fn random_graphs_match_reference() {
+        check(generators::erdos_renyi(80, 240, 2), 4);
+        check(generators::rmat(8, 6, Default::default(), 9), 3);
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        let g = flash_graph::GraphBuilder::new(6)
+            .edges([
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+
+    #[test]
+    fn cycle_is_two_core() {
+        let g = Arc::new(generators::cycle(8, true));
+        let out = run(&g, ClusterConfig::with_workers(2).sequential()).unwrap();
+        assert!(out.result.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn isolated_vertices_are_zero_core() {
+        let g = flash_graph::GraphBuilder::new(3)
+            .edges([(0, 1)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

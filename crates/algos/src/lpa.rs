@@ -1,0 +1,179 @@
+//! Label Propagation (community detection) — paper Algorithm 20.
+//!
+//! Every vertex repeatedly adopts the most frequent label among its
+//! neighbors for a fixed number of iterations. The multiset of neighbor
+//! labels is a variable-length property — inexpressible in Gemini — and
+//! its histogram vote happens in a plain `VERTEXMAP`.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::{RuntimeError, VertexData};
+use std::sync::Arc;
+
+/// Per-vertex LPA state.
+#[derive(Clone, Default)]
+pub struct LpaVertex {
+    /// Current label.
+    pub c: u32,
+    /// Candidate label after the vote.
+    pub cc: u32,
+    /// Labels heard from neighbors this round.
+    pub set: Vec<u32>,
+}
+
+impl VertexData for LpaVertex {
+    /// Only the label itself is read by neighbors.
+    type Critical = u32;
+    fn critical(&self) -> u32 {
+        self.c
+    }
+    fn apply_critical(&mut self, c: u32) {
+        self.c = c;
+    }
+    fn bytes(&self) -> usize {
+        8 + 4 * self.set.len()
+    }
+}
+
+/// Table II plan for LPA.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "c")
+        .access(OpKind::EdgeMapDense, Role::Target, Access::Put, "set")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "set")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "cc")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "c")
+}
+
+/// Runs `iters` rounds of synchronous label propagation; initial labels
+/// are the vertex ids. Returns the final label per vertex.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+    iters: usize,
+) -> Result<AlgoOutput<Vec<u32>>, RuntimeError> {
+    let mut ctx: FlashContext<LpaVertex> =
+        FlashContext::build(Arc::clone(graph), config, |v| LpaVertex {
+            c: v,
+            cc: v,
+            set: Vec::new(),
+        })?;
+
+    // FLASH-ALGORITHM-BEGIN: lpa
+    let all = ctx.all();
+    ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |v, val| {
+            val.c = v;
+            val.set.clear();
+        },
+    );
+    for _ in 0..iters {
+        // Hear every neighbor's label (dense: the multiset is local scratch).
+        ctx.edge_map_dense(
+            &all,
+            &EdgeSet::forward(),
+            |_, _, _| true,
+            |_, s, d| d.set.push(s.c),
+            |_, _| true,
+        );
+        // Vote: adopt the most frequent label (smallest wins ties).
+        let changed = ctx.vertex_map(
+            &all,
+            |_, _| true,
+            |_, val| {
+                if val.set.is_empty() {
+                    val.cc = val.c;
+                    return;
+                }
+                val.set.sort_unstable();
+                let (mut best, mut best_n) = (val.c, 0usize);
+                let mut i = 0;
+                while i < val.set.len() {
+                    let j = val.set[i..]
+                        .iter()
+                        .position(|&x| x != val.set[i])
+                        .map_or(val.set.len(), |p| i + p);
+                    if j - i > best_n {
+                        best_n = j - i;
+                        best = val.set[i];
+                    }
+                    i = j;
+                }
+                val.cc = best;
+            },
+        );
+        let changed = ctx.vertex_map(&changed, |_, val| val.c != val.cc, |_, val| val.c = val.cc);
+        ctx.vertex_map(&all, |_, _| true, |_, val| val.set.clear());
+        if changed.is_empty() {
+            break;
+        }
+    }
+    // FLASH-ALGORITHM-END: lpa
+
+    let result = ctx.collect(|_, val| val.c);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    #[test]
+    fn two_cliques_with_a_bridge_get_two_communities() {
+        // Clique {0..4}, clique {5..9}, bridge 4-5.
+        let mut b = flash_graph::GraphBuilder::new(10).symmetric(true);
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b = b.edge(i, j).edge(i + 5, j + 5);
+            }
+        }
+        b = b.edge(4, 5);
+        let g = Arc::new(b.build().unwrap());
+        let out = run(&g, ClusterConfig::with_workers(2).sequential(), 20).unwrap();
+        let left = out.result[0];
+        let right = out.result[9];
+        assert!(out.result[..4].iter().all(|&c| c == left));
+        assert!(out.result[6..].iter().all(|&c| c == right));
+        assert_ne!(left, right, "bridged cliques must keep distinct labels");
+    }
+
+    #[test]
+    fn labels_are_always_existing_vertex_ids() {
+        let g = Arc::new(generators::rmat(8, 6, Default::default(), 7));
+        let out = run(&g, ClusterConfig::with_workers(3).sequential(), 10).unwrap();
+        let n = g.num_vertices() as u32;
+        assert!(out.result.iter().all(|&c| c < n));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_label() {
+        let g = flash_graph::GraphBuilder::new(4)
+            .edges([(0, 1)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let out = run(&Arc::new(g), ClusterConfig::with_workers(2).sequential(), 5).unwrap();
+        assert_eq!(out.result[2], 2);
+        assert_eq!(out.result[3], 3);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let g = Arc::new(generators::watts_strogatz(64, 4, 0.1, 3));
+        let a = run(&g, ClusterConfig::with_workers(1).sequential(), 8).unwrap();
+        let b = run(&g, ClusterConfig::with_workers(4).sequential(), 8).unwrap();
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn plan_keeps_the_multiset_local() {
+        plan().validate().unwrap();
+        assert!(plan().is_critical("c"));
+        assert!(!plan().is_critical("set"));
+    }
+}

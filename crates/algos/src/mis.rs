@@ -1,0 +1,153 @@
+//! Maximal Independent Set (Luby's algorithm) — paper Algorithm 13.
+//!
+//! Each round, every still-undecided vertex with the locally minimal
+//! priority `r = deg·|V| + id` among its undecided neighbors joins the
+//! set; its neighbors become dominated. "It is difficult to be implemented
+//! in a message-passing model and hence is not provided by most existing
+//! vertex-centric graph processing systems."
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex Luby state.
+#[derive(Clone)]
+pub struct MisVertex {
+    /// Dominated: a neighbor joined the MIS.
+    pub d: bool,
+    /// Candidate this round (not blocked by a smaller-priority neighbor).
+    pub b: bool,
+    /// Priority: `deg * |V| + id` (lower wins).
+    pub r: u64,
+}
+flash_runtime::full_sync!(MisVertex);
+
+/// Table II plan for MIS.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "r")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "r")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "d")
+        .access(OpKind::EdgeMapDense, Role::Target, Access::Put, "b")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "d")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "b")
+}
+
+/// Runs MIS; `result[v]` is `true` iff `v` is in the returned maximal
+/// independent set.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<bool>>, RuntimeError> {
+    let g = Arc::clone(graph);
+    let n = graph.num_vertices() as u64;
+    let mut ctx: FlashContext<MisVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| MisVertex {
+            d: false,
+            b: true,
+            r: 0,
+        })?;
+
+    // FLASH-ALGORITHM-BEGIN: mis
+    let all = ctx.all();
+    let mut a = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        move |v, val| {
+            val.d = false;
+            val.b = true;
+            val.r = g.degree(v) as u64 * n + v as u64;
+        },
+    );
+    let budget = ctx.num_vertices() + 8;
+    let mut rounds = 0usize;
+    while !a.is_empty() {
+        // Undecided smaller-priority neighbors block candidates in A.
+        ctx.edge_map_dense(
+            &all,
+            &EdgeSet::targets_in(&a),
+            |_, s, d| !s.d && s.r < d.r,
+            |_, _, d| d.b = false,
+            |_, d| d.b,
+        );
+        // Unblocked members of A join the MIS ...
+        let b = ctx.vertex_filter(&a, |_, val| val.b);
+        // ... and dominate their neighbors.
+        let c = ctx.edge_map_sparse(
+            &b,
+            &EdgeSet::forward(),
+            |_, _, _| true,
+            |_, _, d| {
+                let _ = d;
+            },
+            |_, d| !d.d,
+            |_, d| d.d = true,
+        );
+        // Blocked survivors try again next round.
+        a = ctx.vertex_map(&a.minus(&c), |_, val| !val.b, |_, val| val.b = true);
+        rounds += 1;
+        if rounds > budget {
+            return Err(RuntimeError::NotConverged { supersteps: rounds });
+        }
+    }
+    // FLASH-ALGORITHM-END: mis
+
+    // MIS membership: never dominated.
+    let result = ctx.collect(|_, val| !val.d);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> Vec<bool> {
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert!(
+            reference::is_maximal_independent_set(&g, &out.result),
+            "not a maximal independent set"
+        );
+        out.result
+    }
+
+    #[test]
+    fn random_graphs_yield_valid_mis() {
+        check(generators::erdos_renyi(100, 250, 1), 4);
+        check(generators::rmat(8, 5, Default::default(), 2), 3);
+        check(generators::grid2d(9, 9), 2);
+    }
+
+    #[test]
+    fn star_picks_leaves() {
+        // Leaves have degree 1 < hub's 9, so all leaves enter the MIS.
+        let set = check(generators::star(10, true), 2);
+        assert!(!set[0]);
+        assert!(set[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn complete_graph_picks_exactly_one() {
+        let set = check(generators::complete(12), 3);
+        assert_eq!(set.iter().filter(|&&s| s).count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_takes_everything() {
+        let g = flash_graph::GraphBuilder::new(6).build().unwrap();
+        let set = check(g, 2);
+        assert!(set.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+        assert!(plan().is_critical("r"));
+        assert!(plan().is_critical("d"));
+    }
+}

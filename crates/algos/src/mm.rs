@@ -1,0 +1,152 @@
+//! Maximal Matching (greedy proposals) — paper Algorithm 11.
+//!
+//! Each round, every unmatched vertex proposes to its neighbors; a vertex
+//! remembers its maximum-id proposer (`p`). Mutual proposers (`s.p == d.id
+//! && d.p == s.id`) are matched. Repeats until no proposals land.
+
+use crate::common::{AlgoOutput, MatchingResult};
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex matching state (`-1` = unset, as in the paper).
+#[derive(Clone)]
+pub struct MmVertex {
+    /// Matched partner id, or -1.
+    pub s: i64,
+    /// Maximum-id proposer this round, or -1.
+    pub p: i64,
+}
+flash_runtime::full_sync!(MmVertex);
+
+/// Table II plan for MM.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "s")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "p")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "s")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "s")
+}
+
+/// Runs greedy maximal matching. Requires a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<MatchingResult>, RuntimeError> {
+    assert!(graph.is_symmetric(), "matching needs an undirected graph");
+    let mut ctx: FlashContext<MmVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| MmVertex { s: -1, p: -1 })?;
+
+    // FLASH-ALGORITHM-BEGIN: mm
+    let all = ctx.all();
+    let mut u = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |_, val| {
+            val.s = -1;
+            val.p = -1;
+        },
+    );
+    let budget = ctx.num_vertices() + 8;
+    let mut rounds = 0usize;
+    let mut frontier_per_round = Vec::new();
+    while !u.is_empty() {
+        frontier_per_round.push(u.len());
+        // Reset the proposals of still-unmatched vertices.
+        u = ctx.vertex_map(&u, |_, val| val.s == -1, |_, val| val.p = -1);
+        // Propose: unmatched neighbors record their max-id suitor.
+        u = ctx.edge_map(
+            &u,
+            &EdgeSet::forward(),
+            |_, _, _| true,
+            |e, _, d| d.p = d.p.max(e.src as i64),
+            |_, d| d.s == -1,
+            |t, d| d.p = d.p.max(t.p),
+        );
+        // Mutual proposals become matches.
+        ctx.edge_map(
+            &u,
+            &EdgeSet::forward(),
+            |e, s, d| s.p == e.dst as i64 && d.p == e.src as i64,
+            |e, _, d| d.s = e.src as i64,
+            |_, d| d.s == -1,
+            |t, d| d.s = t.s,
+        );
+        rounds += 1;
+        if rounds > budget {
+            return Err(RuntimeError::NotConverged { supersteps: rounds });
+        }
+    }
+    // FLASH-ALGORITHM-END: mm
+
+    let partner = (0..ctx.num_vertices() as VertexId)
+        .map(|v| {
+            let s = ctx.value(v).s;
+            (s >= 0).then_some(s as VertexId)
+        })
+        .collect();
+    let result = MatchingResult {
+        partner,
+        frontier_per_round,
+    };
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> Vec<Option<VertexId>> {
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert!(
+            reference::is_maximal_matching(&g, &out.result.partner),
+            "not a maximal matching"
+        );
+        out.result.partner
+    }
+
+    #[test]
+    fn random_graphs_yield_maximal_matchings() {
+        check(generators::erdos_renyi(90, 200, 4), 4);
+        check(generators::rmat(8, 4, Default::default(), 6), 3);
+        check(generators::grid2d(8, 8), 2);
+    }
+
+    #[test]
+    fn even_path_matches_perfectly() {
+        let m = check(generators::path(6, true), 2);
+        assert!(m.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn star_matches_exactly_one_leaf() {
+        let m = check(generators::star(9, true), 2);
+        assert!(m[0].is_some());
+        assert_eq!(m.iter().filter(|p| p.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn edgeless_graph_has_empty_matching() {
+        let g = flash_graph::GraphBuilder::new(4)
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let m = check(g, 2);
+        assert!(m.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+        assert!(plan().is_critical("p"));
+        assert!(plan().is_critical("s"));
+    }
+}

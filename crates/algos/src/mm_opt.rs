@@ -1,0 +1,192 @@
+//! Optimized Maximal Matching — paper Algorithm 12.
+//!
+//! The same greedy proposal scheme as [`crate::mm`], but after the first
+//! round a vertex recomputes **only when its temporary match was taken**
+//! by someone else: matched vertices push a wake-up along the graph edges
+//! to unmatched neighbors whose candidate (`p`) they were. The frontier
+//! collapses (Fig. 4a of the paper: a 70.1× speedup on soc-twitter), and
+//! the wake-up runs over the *candidate-filtered* virtual edge set —
+//! "this algorithm is not supported by other frameworks since they do not
+//! support the users to define arbitrary edge sets".
+
+use crate::common::{AlgoOutput, MatchingResult};
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex matching state (`-1` = unset, as in the paper).
+#[derive(Clone)]
+pub struct MmOptVertex {
+    /// Matched partner id, or -1.
+    pub s: i64,
+    /// Candidate (max-id suitor) this round, or -1.
+    pub p: i64,
+}
+flash_runtime::full_sync!(MmOptVertex);
+
+/// Table II plan for MM-opt (same property footprint as MM, plus the
+/// virtual candidate edges).
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "s")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "p")
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "s")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "p")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "s")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "s")
+}
+
+/// Runs the frontier-pruned maximal matching. Requires a symmetric graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<MatchingResult>, RuntimeError> {
+    assert!(graph.is_symmetric(), "matching needs an undirected graph");
+    let mut ctx: FlashContext<MmOptVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| MmOptVertex { s: -1, p: -1 })?;
+
+    // FLASH-ALGORITHM-BEGIN: mm_opt
+    let all = ctx.all();
+    let mut u = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |_, val| {
+            val.s = -1;
+            val.p = -1;
+        },
+    );
+    let budget = ctx.num_vertices() + 8;
+    let mut rounds = 0usize;
+    let mut frontier_per_round = Vec::new();
+    while !u.is_empty() {
+        frontier_per_round.push(u.len());
+        // Reset the candidates of the woken, still-unmatched vertices.
+        u = ctx.vertex_map(&u, |_, val| val.s == -1, |_, val| val.p = -1);
+        // Dense proposals: candidates in U pull their max unmatched suitor.
+        ctx.edge_map_dense(
+            &all,
+            &EdgeSet::targets_in(&u),
+            |_, s, _| s.s == -1,
+            |e, _, d| d.p = d.p.max(e.src as i64),
+            |_, d| d.s == -1,
+        );
+        // Mutual candidates match, one hop at a time along p-edges.
+        let a = ctx.edge_map_sparse(
+            &u,
+            &EdgeSet::custom_out(|_, val: &MmOptVertex| {
+                if val.p >= 0 {
+                    vec![val.p as VertexId]
+                } else {
+                    vec![]
+                }
+            }),
+            |e, _, d| d.p == e.src as i64,
+            |e, _, d| d.s = e.src as i64,
+            |_, d| d.s == -1,
+            |t, d| d.s = t.s,
+        );
+        let b = ctx.edge_map_sparse(
+            &a,
+            &EdgeSet::custom_out(|_, val: &MmOptVertex| {
+                if val.p >= 0 {
+                    vec![val.p as VertexId]
+                } else {
+                    vec![]
+                }
+            }),
+            |e, _, d| d.p == e.src as i64,
+            |e, _, d| d.s = e.src as i64,
+            |_, d| d.s == -1,
+            |t, d| d.s = t.s,
+        );
+        // Wake-up: freshly matched vertices notify unmatched neighbors
+        // whose candidate they were — only those recompute next round.
+        u = ctx.edge_map_sparse(
+            &a.union(&b),
+            &EdgeSet::forward(),
+            |e, _, d| d.p == e.src as i64,
+            |_, _, d| {
+                let _ = d;
+            },
+            |_, d| d.s == -1,
+            |_, _| {},
+        );
+        rounds += 1;
+        if rounds > budget {
+            return Err(RuntimeError::NotConverged { supersteps: rounds });
+        }
+    }
+    // FLASH-ALGORITHM-END: mm_opt
+
+    let n = ctx.num_vertices();
+    let partner = (0..n as VertexId)
+        .map(|v| {
+            let s = ctx.value(v).s;
+            (s >= 0).then_some(s as VertexId)
+        })
+        .collect();
+    let result = MatchingResult {
+        partner,
+        frontier_per_round,
+    };
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> AlgoOutput<MatchingResult> {
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert!(
+            reference::is_maximal_matching(&g, &out.result.partner),
+            "not a maximal matching"
+        );
+        out
+    }
+
+    #[test]
+    fn random_graphs_yield_maximal_matchings() {
+        check(generators::erdos_renyi(90, 200, 4), 4);
+        check(generators::rmat(8, 4, Default::default(), 6), 3);
+        check(generators::grid2d(8, 8), 2);
+    }
+
+    #[test]
+    fn classic_shapes() {
+        check(generators::path(7, true), 2);
+        check(generators::star(9, true), 2);
+        check(generators::complete(8), 2);
+        check(generators::cycle(9, true), 2);
+    }
+
+    #[test]
+    fn frontier_shrinks_versus_basic() {
+        // On a skewed graph the wake-up frontier collapses quickly compared
+        // to MM-basic's full re-proposal (the Fig. 4a effect).
+        let g = generators::rmat(9, 6, Default::default(), 8);
+        let basic = crate::mm::run(
+            &Arc::new(g.clone()),
+            ClusterConfig::with_workers(2).sequential(),
+        )
+        .unwrap();
+        let opt = check(g, 2);
+        let basic_tail: usize = basic.result.frontier_per_round[1..].iter().sum();
+        let opt_tail: usize = opt.result.frontier_per_round[1..].iter().sum();
+        assert!(
+            opt_tail < basic_tail,
+            "opt woke {opt_tail} vertices after round 1 vs basic {basic_tail}"
+        );
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

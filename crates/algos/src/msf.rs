@@ -1,0 +1,158 @@
+//! Minimum Spanning Forest — paper Algorithm 21 (distributed Kruskal).
+//!
+//! "A minimum spanning forest is calculated inside each worker using the
+//! Kruskal's algorithm. And then the auxiliary operator REDUCE is used to
+//! reduce these local results in a new edge set. And at last, the
+//! Kruskal's algorithm is called again to get the final forest." Correct
+//! because an edge outside a subgraph's MSF is outside the full MSF.
+//! The `dsu`/`dsu_find`/`dsu_union` built-ins are
+//! [`flash_graph::DisjointSets`].
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{DisjointSets, Graph, VertexId, Weight};
+use flash_runtime::plan::ProgramPlan;
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// MSF needs no per-vertex properties — the edge set is the state.
+#[derive(Clone, Default)]
+pub struct MsfVertex;
+flash_runtime::full_sync!(MsfVertex);
+
+/// The result: forest edges and their total weight.
+#[derive(Debug, Clone)]
+pub struct MsfResult {
+    /// Edges `(s, d, w)` of the forest, `s < d`.
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+    /// Sum of the forest's edge weights.
+    pub total_weight: f64,
+}
+
+/// MSF touches no vertex properties; its plan is empty (all the work is
+/// edge gathering + the global `REDUCE`).
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+}
+
+/// Kruskal over an explicit edge list (the paper's `KRUSKAL(V, E)`).
+fn kruskal(n: usize, mut edges: Vec<(VertexId, VertexId, Weight)>) -> MsfResult {
+    edges.sort_by(|a, b| {
+        a.2.total_cmp(&b.2)
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut f = DisjointSets::new(n);
+    let mut out = Vec::new();
+    let mut total = 0.0f64;
+    for (s, d, w) in edges {
+        if f.find(s) != f.find(d) {
+            f.union(s, d);
+            total += w as f64;
+            out.push((s, d, w));
+        }
+    }
+    MsfResult {
+        edges: out,
+        total_weight: total,
+    }
+}
+
+/// Runs distributed Kruskal on a symmetric weighted graph.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<MsfResult>, RuntimeError> {
+    assert!(graph.is_symmetric(), "MSF needs an undirected graph");
+    let n = graph.num_vertices();
+    let mut ctx: FlashContext<MsfVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| MsfVertex)?;
+
+    // FLASH-ALGORITHM-BEGIN: msf
+    // Each worker runs Kruskal over its masters' edges (each undirected
+    // edge owned by its higher endpoint) ...
+    let locals = ctx.gather(
+        move |w| {
+            let g = w.graph();
+            let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+            for &s in w.masters() {
+                for (d, wt) in g.out_edges(s) {
+                    if s > d {
+                        edges.push((d, s, wt));
+                    }
+                }
+            }
+            kruskal(g.num_vertices(), edges).edges
+        },
+        |part| part.len() * 12,
+    );
+    // ... and REDUCE merges the local forests into the final Kruskal pass.
+    let merged: Vec<(VertexId, VertexId, Weight)> = locals.into_iter().flatten().collect();
+    let result = kruskal(n, merged);
+    // FLASH-ALGORITHM-END: msf
+
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> MsfResult {
+        let g = Arc::new(g);
+        let (ref_edges, ref_total) = reference::kruskal(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert_eq!(out.result.edges.len(), ref_edges.len(), "forest size");
+        assert!(
+            (out.result.total_weight - ref_total).abs() < 1e-4,
+            "weight {} vs {}",
+            out.result.total_weight,
+            ref_total
+        );
+        out.result
+    }
+
+    #[test]
+    fn random_weighted_graphs_match_kruskal() {
+        for seed in 0..4u64 {
+            let g = generators::erdos_renyi(70, 180, seed);
+            let g = generators::with_random_weights(&g, 0.0, 1.0, seed + 50);
+            check(g, 4);
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_give_a_forest() {
+        let g = flash_graph::GraphBuilder::new(6)
+            .weighted_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 9.0), (4, 5, 3.0)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let r = check(g, 2);
+        assert_eq!(r.edges.len(), 3);
+        assert_eq!(r.total_weight, 6.0);
+    }
+
+    #[test]
+    fn forest_is_spanning_and_acyclic() {
+        let g = generators::watts_strogatz(60, 4, 0.2, 9);
+        let g = generators::with_random_weights(&g, 1.0, 2.0, 3);
+        let components = flash_graph::stats::graph_stats(&g).components;
+        let r = check(g, 3);
+        assert_eq!(r.edges.len(), 60 - components);
+        let mut dsu = DisjointSets::new(60);
+        for &(s, d, _) in &r.edges {
+            assert!(dsu.union(s, d), "cycle in forest");
+        }
+    }
+
+    #[test]
+    fn worker_count_invariance() {
+        let g = generators::erdos_renyi(50, 120, 5);
+        let g = Arc::new(generators::with_random_weights(&g, 0.0, 1.0, 6));
+        let w1 = run(&g, ClusterConfig::with_workers(1).sequential()).unwrap();
+        let w4 = run(&g, ClusterConfig::with_workers(4).sequential()).unwrap();
+        assert_eq!(w1.result.edges, w4.result.edges);
+    }
+}

@@ -1,0 +1,152 @@
+//! PageRank with uniform teleport and dangling redistribution.
+//!
+//! The canonical ISVP workload. Each iteration pulls
+//! `Σ_in rank(s)/deg(s)` in a dense `EDGEMAP` over all vertices, then a
+//! `VERTEXMAP` applies damping; dangling mass is gathered with a global
+//! fold — a textbook use of FLASH's mixed local/global control flow.
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex PageRank state.
+#[derive(Clone)]
+pub struct PrVertex {
+    /// Current rank.
+    pub rank: f64,
+    /// Incoming contribution accumulator (rebuilt every iteration).
+    pub acc: f64,
+}
+flash_runtime::full_sync!(PrVertex);
+
+/// Damping factor used throughout (the paper-standard 0.85).
+pub const DAMPING: f64 = 0.85;
+
+/// Table II plan: `rank` is read by neighbors (dense source) → critical;
+/// `acc` is only read/written on targets and in vertex maps → local.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::EdgeMapDense, Role::Source, Access::Get, "rank")
+        .access(OpKind::EdgeMapDense, Role::Target, Access::Put, "acc")
+        .access(OpKind::VertexMap, Role::Local, Access::Get, "acc")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "rank")
+}
+
+/// Runs `iters` synchronous PageRank sweeps; returns per-vertex ranks
+/// (summing to 1 over the graph).
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+    iters: usize,
+) -> Result<AlgoOutput<Vec<f64>>, RuntimeError> {
+    let n = graph.num_vertices().max(1) as f64;
+    let g = Arc::clone(graph);
+    let mut ctx: FlashContext<PrVertex> =
+        FlashContext::build(Arc::clone(graph), config, move |_| PrVertex {
+            rank: 1.0 / n,
+            acc: 0.0,
+        })?;
+
+    // FLASH-ALGORITHM-BEGIN: pagerank
+    let all = ctx.all();
+    for _ in 0..iters {
+        let dangling = {
+            let g = Arc::clone(&g);
+            ctx.fold(
+                &all,
+                0.0f64,
+                move |acc, v, val| {
+                    if g.out_degree(v) == 0 {
+                        acc + val.rank
+                    } else {
+                        acc
+                    }
+                },
+                |a, b| a + b,
+            )
+        };
+        ctx.vertex_map(&all, |_, _| true, |_, val| val.acc = 0.0);
+        let g2 = Arc::clone(&g);
+        ctx.edge_map_dense(
+            &all,
+            &EdgeSet::forward(),
+            |_, _, _| true,
+            move |e, s, d| d.acc += s.rank / g2.out_degree(e.src) as f64,
+            |_, _| true,
+        );
+        let base = (1.0 - DAMPING) / n + DAMPING * dangling / n;
+        ctx.vertex_map(
+            &all,
+            |_, _| true,
+            move |_, val| val.rank = base + DAMPING * val.acc,
+        );
+    }
+    // FLASH-ALGORITHM-END: pagerank
+
+    let result = ctx.collect(|_, val| val.rank);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, iters: usize, workers: usize) {
+        let g = Arc::new(g);
+        let expect = reference::pagerank(&g, iters);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential(), iters).unwrap();
+        for (v, &want) in expect.iter().enumerate() {
+            assert!(
+                (out.result[v] - want).abs() < 1e-10,
+                "vertex {v}: {} vs {want}",
+                out.result[v]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graph() {
+        check(generators::rmat(7, 6, Default::default(), 4), 15, 4);
+    }
+
+    #[test]
+    fn handles_dangling_vertices() {
+        // Directed: 2 has no out-edges.
+        let g = flash_graph::GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        check(g, 25, 2);
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = Arc::new(generators::web_graph(300, 8, 10, 2));
+        let out = run(&g, ClusterConfig::with_workers(3).sequential(), 20).unwrap();
+        let sum: f64 = out.result.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_regular_graph_is_uniform() {
+        let g = generators::cycle(10, true);
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(2).sequential(), 30).unwrap();
+        for r in &out.result {
+            assert!((r - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plan_keeps_acc_local() {
+        let p = plan();
+        p.validate().unwrap();
+        assert!(p.is_critical("rank"));
+        assert!(!p.is_critical("acc"));
+    }
+}

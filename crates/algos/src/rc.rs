@@ -1,0 +1,181 @@
+//! Rectangle (4-cycle) Counting — paper Algorithm 22.
+//!
+//! Like triangle counting, but the intersected neighbor sets come from
+//! **two-hop** pairs — the `join(E, E)` edge set — which "is not supported
+//! in vertex-centric frameworks": no existing framework in the paper's
+//! survey provides an RC implementation at all (Table VI has no baseline).
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::Graph;
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::{RuntimeError, VertexData};
+use std::sync::Arc;
+
+/// Per-vertex state: full and higher-id neighbor lists plus a local count.
+#[derive(Clone, Default)]
+pub struct RcVertex {
+    /// All neighbors, sorted.
+    pub out: Vec<u32>,
+    /// Neighbors with id greater than this vertex, sorted.
+    pub out_l: Vec<u32>,
+    /// Rectangles counted at this vertex.
+    pub count: u64,
+}
+
+impl VertexData for RcVertex {
+    type Critical = RcVertex;
+    fn critical(&self) -> RcVertex {
+        self.clone()
+    }
+    fn apply_critical(&mut self, c: RcVertex) {
+        *self = c;
+    }
+    fn bytes(&self) -> usize {
+        8 + 4 * (self.out.len() + self.out_l.len())
+    }
+    fn critical_bytes(c: &RcVertex) -> usize {
+        c.bytes()
+    }
+}
+
+/// Table II plan for RC.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "out")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "out_l")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "out")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "out_l")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "out_l")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "out")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "count")
+}
+
+/// Runs rectangle counting; returns the exact number of 4-cycles.
+/// Requires a symmetric graph.
+pub fn run(graph: &Arc<Graph>, config: ClusterConfig) -> Result<AlgoOutput<u64>, RuntimeError> {
+    assert!(
+        graph.is_symmetric(),
+        "rectangle counting needs an undirected graph"
+    );
+    let mut ctx: FlashContext<RcVertex> =
+        FlashContext::build(Arc::clone(graph), config, |_| RcVertex::default())?;
+
+    // FLASH-ALGORITHM-BEGIN: rc
+    let all = ctx.all();
+    let u = ctx.vertex_map(
+        &all,
+        |_, _| true,
+        |_, val| {
+            val.count = 0;
+            val.out.clear();
+            val.out_l.clear();
+        },
+    );
+    // Build neighbor lists: all neighbors, and those with larger ids.
+    // The lists are later read across *two-hop* pairs, i.e. beyond the
+    // neighborhood, so this pass runs over a virtual copy of E — making
+    // FLASHWARE synchronize the lists to the mirrors in all partitions
+    // (§IV-C), exactly the availability the join(E,E) pass requires.
+    let ge = Arc::clone(graph);
+    let gi = Arc::clone(graph);
+    let h_all: EdgeSet<RcVertex> = EdgeSet::custom(
+        move |v, _| ge.out_neighbors(v).to_vec(),
+        move |v, _| gi.in_neighbors(v).to_vec(),
+    );
+    let insert = |list: &mut Vec<u32>, x: u32| {
+        if let Err(pos) = list.binary_search(&x) {
+            list.insert(pos, x);
+        }
+    };
+    let u = ctx.edge_map(
+        &u,
+        &h_all,
+        |_, _, _| true,
+        move |e, _, d| {
+            if e.src > e.dst {
+                insert(&mut d.out_l, e.src);
+            }
+            insert(&mut d.out, e.src);
+        },
+        |_, _| true,
+        move |t, d| {
+            for &x in &t.out {
+                insert(&mut d.out, x);
+            }
+            for &x in &t.out_l {
+                insert(&mut d.out_l, x);
+            }
+        },
+    );
+    // Count over two-hop pairs: each rectangle lands exactly once, at the
+    // diagonal pair whose smaller endpoint is the rectangle's minimum.
+    ctx.edge_map(
+        &u,
+        &EdgeSet::two_hop(),
+        |e, _, _| e.src < e.dst,
+        |_, s, d| {
+            let t = crate::reference::sorted_intersection_size(&s.out_l, &d.out);
+            d.count += t * t.saturating_sub(1) / 2;
+        },
+        |_, _| true,
+        |t, d| d.count += t.count,
+    );
+    let total = ctx.fold(
+        &ctx.all(),
+        0u64,
+        |acc, _, val| acc + val.count,
+        |a, b| a + b,
+    );
+    // FLASH-ALGORITHM-END: rc
+
+    Ok(AlgoOutput::new(total, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, workers: usize) -> u64 {
+        let g = Arc::new(g);
+        let expect = reference::rectangle_count(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert_eq!(out.result, expect);
+        expect
+    }
+
+    #[test]
+    fn classic_shapes() {
+        assert_eq!(check(generators::cycle(4, true), 2), 1);
+        assert_eq!(check(generators::bipartite_complete(2, 3), 2), 3);
+        assert_eq!(check(generators::complete(4), 2), 3);
+        assert_eq!(check(generators::complete(5), 2), 15);
+        assert_eq!(check(generators::path(6, true), 2), 0);
+        assert_eq!(check(generators::star(8, true), 2), 0);
+    }
+
+    #[test]
+    fn random_graphs_match_reference() {
+        let r = check(generators::erdos_renyi(50, 200, 13), 4);
+        assert!(r > 0);
+        check(generators::rmat(7, 5, Default::default(), 3), 3);
+        check(generators::watts_strogatz(50, 4, 0.2, 8), 2);
+    }
+
+    #[test]
+    fn worker_count_invariance() {
+        let g = Arc::new(generators::bipartite_complete(4, 5));
+        let expect = reference::rectangle_count(&g);
+        for workers in [1usize, 3, 6] {
+            let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+            assert_eq!(out.result, expect);
+        }
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

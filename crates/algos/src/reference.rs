@@ -1,0 +1,709 @@
+//! Independent sequential reference implementations.
+//!
+//! Every distributed algorithm in this crate is validated against one of
+//! these single-threaded classics (Dijkstra, Tarjan, Hopcroft–Tarjan,
+//! Kruskal, Brandes, brute-force counting, …) on randomized inputs. The
+//! references deliberately share no code with the FLASH implementations.
+
+use flash_graph::{DisjointSets, Graph, VertexId};
+use std::collections::BinaryHeap;
+
+/// Connected-component labels via union–find: `labels[v]` is the smallest
+/// vertex id in `v`'s (weakly) connected component.
+pub fn cc_labels(g: &Graph) -> Vec<VertexId> {
+    let mut dsu = DisjointSets::new(g.num_vertices());
+    for (s, d, _) in g.edges() {
+        dsu.union(s, d);
+    }
+    // Canonicalize to the minimum member id per set.
+    let n = g.num_vertices();
+    let mut min_of = vec![u32::MAX; n];
+    for v in 0..n as VertexId {
+        let r = dsu.find(v) as usize;
+        min_of[r] = min_of[r].min(v);
+    }
+    (0..n as VertexId)
+        .map(|v| min_of[dsu.find(v) as usize])
+        .collect()
+}
+
+/// Single-source shortest path distances (Dijkstra; weights must be >= 0).
+/// Unreachable vertices get `f64::INFINITY`.
+pub fn dijkstra(g: &Graph, root: VertexId) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.num_vertices()];
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, VertexId)> = BinaryHeap::new();
+    dist[root as usize] = 0.0;
+    heap.push((std::cmp::Reverse(0), root));
+    while let Some((std::cmp::Reverse(bits), v)) = heap.pop() {
+        let dv = f64::from_bits(bits);
+        if dv > dist[v as usize] {
+            continue;
+        }
+        for (t, w) in g.out_edges(v) {
+            let nd = dv + w as f64;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push((std::cmp::Reverse(nd.to_bits()), t));
+            }
+        }
+    }
+    dist
+}
+
+/// Strongly connected component labels via iterative Tarjan; labels are
+/// arbitrary but consistent (same label ⟺ same SCC), canonicalized to the
+/// minimum member id.
+pub fn tarjan_scc(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut comp = vec![u32::MAX; n];
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // Iterative DFS with an explicit call stack of (vertex, neighbor idx).
+    let mut call: Vec<(VertexId, usize)> = Vec::new();
+    for start in 0..n as VertexId {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut i)) = call.last_mut() {
+            let nbrs = g.out_neighbors(v);
+            if *i < nbrs.len() {
+                let w = nbrs[*i];
+                *i += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+
+    canonicalize(&comp)
+}
+
+/// Relabels arbitrary group ids to the minimum member id of each group.
+pub fn canonicalize(labels: &[u32]) -> Vec<u32> {
+    let mut min_of = std::collections::HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        let e = min_of.entry(l).or_insert(v as u32);
+        *e = (*e).min(v as u32);
+    }
+    labels.iter().map(|l| min_of[l]).collect()
+}
+
+/// Single-source Brandes: `(sigma, delta)` where `sigma[v]` counts shortest
+/// paths from `root` and `delta[v]` is the dependency of `root` on `v`.
+pub fn brandes_single_source(g: &Graph, root: VertexId) -> (Vec<f64>, Vec<f64>) {
+    let n = g.num_vertices();
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut order: Vec<VertexId> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    sigma[root as usize] = 1.0;
+    dist[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.out_neighbors(v) {
+            if dist[w as usize] == i64::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                queue.push_back(w);
+            }
+            if dist[w as usize] == dist[v as usize] + 1 {
+                sigma[w as usize] += sigma[v as usize];
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    for &w in order.iter().rev() {
+        for &v in g.out_neighbors(w) {
+            if dist[v as usize] == dist[w as usize] + 1 && sigma[v as usize] > 0.0 {
+                delta[w as usize] +=
+                    sigma[w as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+            }
+        }
+    }
+    delta[root as usize] = 0.0;
+    (sigma, delta)
+}
+
+/// K-core numbers via sequential peeling.
+pub fn kcore_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut deg: Vec<usize> = (0..n as VertexId).map(|v| g.out_degree(v)).collect();
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    for k in 1.. {
+        // Remove everything with degree < k, cascading.
+        let mut queue: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| !removed[v as usize] && deg[v as usize] < k)
+            .collect();
+        while let Some(v) = queue.pop() {
+            if removed[v as usize] {
+                continue;
+            }
+            removed[v as usize] = true;
+            core[v as usize] = k as u32 - 1;
+            for &t in g.out_neighbors(v) {
+                if !removed[t as usize] {
+                    deg[t as usize] -= 1;
+                    if deg[t as usize] < k {
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+        if removed.iter().all(|&r| r) {
+            break;
+        }
+    }
+    core
+}
+
+/// Exact triangle count (each unordered triangle counted once) via the
+/// oriented merge-intersection method on sorted adjacency.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let n = g.num_vertices();
+    // Orient edges from lower to higher (degree, id) rank.
+    let rank = |v: VertexId| (g.out_degree(v), v);
+    let higher: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|v| {
+            let mut hs: Vec<VertexId> = g
+                .out_neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&t| rank(t) > rank(v))
+                .collect();
+            hs.sort_unstable();
+            hs.dedup();
+            hs
+        })
+        .collect();
+    let mut count = 0u64;
+    for v in 0..n {
+        let hv = &higher[v];
+        for &u in hv {
+            count += sorted_intersection_size(hv, &higher[u as usize]);
+        }
+    }
+    count
+}
+
+/// Exact rectangle (4-cycle) count: `Σ_{u<v} C(common(u,v), 2) / 2` summed
+/// over unordered pairs, counting each 4-cycle exactly once.
+pub fn rectangle_count(g: &Graph) -> u64 {
+    let n = g.num_vertices();
+    let mut twice = 0u64;
+    let adj: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|v| {
+            let mut a = g.out_neighbors(v).to_vec();
+            a.sort_unstable();
+            a.dedup();
+            a
+        })
+        .collect();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let c = sorted_intersection_size(&adj[u], &adj[v]);
+            twice += c * c.saturating_sub(1) / 2;
+        }
+    }
+    twice / 2
+}
+
+/// Exact k-clique count by recursive candidate intersection on the
+/// rank-oriented graph.
+pub fn kclique_count(g: &Graph, k: usize) -> u64 {
+    if k < 3 {
+        return match k {
+            0 => 0,
+            1 => g.num_vertices() as u64,
+            _ => (g.num_edges() / 2) as u64,
+        };
+    }
+    let n = g.num_vertices();
+    let rank = |v: VertexId| (g.out_degree(v), v);
+    let higher: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|v| {
+            let mut hs: Vec<VertexId> = g
+                .out_neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&t| rank(t) > rank(v))
+                .collect();
+            hs.sort_unstable();
+            hs.dedup();
+            hs
+        })
+        .collect();
+
+    fn count_rec(higher: &[Vec<VertexId>], cand: &[VertexId], level: usize, k: usize) -> u64 {
+        if level == k {
+            return cand.len() as u64;
+        }
+        let mut total = 0u64;
+        for &u in cand {
+            let next: Vec<VertexId> = sorted_intersection(cand, &higher[u as usize]);
+            if next.len() + level >= k.saturating_sub(1) {
+                total += count_rec(higher, &next, level + 1, k);
+            }
+        }
+        total
+    }
+
+    (0..n).map(|v| count_rec(&higher, &higher[v], 2, k)).sum()
+}
+
+/// Kruskal's minimum spanning forest: returns `(edges, total_weight)`.
+pub fn kruskal(g: &Graph) -> (Vec<(VertexId, VertexId, f32)>, f64) {
+    let mut edges: Vec<(VertexId, VertexId, f32)> = g.edges().filter(|&(s, d, _)| s < d).collect();
+    edges.sort_by(|a, b| {
+        a.2.total_cmp(&b.2)
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut dsu = DisjointSets::new(g.num_vertices());
+    let mut forest = Vec::new();
+    let mut total = 0.0f64;
+    for (s, d, w) in edges {
+        if dsu.union(s, d) {
+            total += w as f64;
+            forest.push((s, d, w));
+        }
+    }
+    (forest, total)
+}
+
+/// Biconnected components of the edges via iterative Hopcroft–Tarjan.
+/// Returns `(edge_bcc, articulation)` where `edge_bcc` maps each arc index
+/// of a *canonical* `s < d` edge list to a
+/// BCC id, and `articulation[v]` marks cut vertices.
+pub fn bcc_edges(g: &Graph) -> (std::collections::HashMap<(u32, u32), u32>, Vec<bool>) {
+    let n = g.num_vertices();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut art = vec![false; n];
+    let mut timer = 0u32;
+    let mut edge_stack: Vec<(u32, u32)> = Vec::new();
+    let mut labels: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    let mut next_bcc = 0u32;
+
+    for start in 0..n as VertexId {
+        if disc[start as usize] != u32::MAX {
+            continue;
+        }
+        // Explicit stack: (v, parent, neighbor index, child count for root).
+        let mut call: Vec<(VertexId, VertexId, usize)> = vec![(start, u32::MAX, 0)];
+        disc[start as usize] = timer;
+        low[start as usize] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(&mut (v, parent, ref mut i)) = call.last_mut() {
+            let nbrs = g.out_neighbors(v);
+            if *i < nbrs.len() {
+                let w = nbrs[*i];
+                *i += 1;
+                if disc[w as usize] == u32::MAX {
+                    edge_stack.push(key(v, w));
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    if v == start {
+                        root_children += 1;
+                    }
+                    call.push((w, v, 0));
+                } else if w != parent && disc[w as usize] < disc[v as usize] {
+                    edge_stack.push(key(v, w));
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (p, _, _)) = call.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[p as usize] {
+                        // p is an articulation point (checked for root below);
+                        // pop the component's edges.
+                        if p != start {
+                            art[p as usize] = true;
+                        }
+                        let stop = key(p, v);
+                        while let Some(e) = edge_stack.pop() {
+                            labels.insert(e, next_bcc);
+                            if e == stop {
+                                break;
+                            }
+                        }
+                        next_bcc += 1;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            art[start as usize] = true;
+        }
+    }
+    (labels, art)
+}
+
+fn key(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Sequential PageRank with uniform teleport, `iters` Jacobi sweeps,
+/// damping 0.85; dangling mass redistributed uniformly.
+pub fn pagerank(g: &Graph, iters: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = 0.85;
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let dangling: f64 = (0..n)
+            .filter(|&v| g.out_degree(v as u32) == 0)
+            .map(|v| rank[v])
+            .sum();
+        let mut next = vec![(1.0 - d) / n as f64 + d * dangling / n as f64; n];
+        for v in 0..n as VertexId {
+            let deg = g.out_degree(v);
+            if deg > 0 {
+                let share = d * rank[v as usize] / deg as f64;
+                for &t in g.out_neighbors(v) {
+                    next[t as usize] += share;
+                }
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Is `set` an independent set of `g`?
+pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
+    g.edges()
+        .all(|(s, d, _)| !(set[s as usize] && set[d as usize]))
+}
+
+/// Is `set` a *maximal* independent set (no vertex can be added)?
+pub fn is_maximal_independent_set(g: &Graph, set: &[bool]) -> bool {
+    is_independent_set(g, set)
+        && (0..g.num_vertices()).all(|v| {
+            set[v]
+                || g.out_neighbors(v as VertexId)
+                    .iter()
+                    .any(|&t| set[t as usize])
+        })
+}
+
+/// Is `partner` a valid matching (symmetric, along edges, no sharing)?
+pub fn is_matching(g: &Graph, partner: &[Option<VertexId>]) -> bool {
+    partner.iter().enumerate().all(|(v, &p)| match p {
+        None => true,
+        Some(p) => {
+            p as usize != v
+                && partner[p as usize] == Some(v as VertexId)
+                && g.has_edge(v as VertexId, p)
+        }
+    })
+}
+
+/// Is `partner` a *maximal* matching (no edge joins two unmatched ends)?
+pub fn is_maximal_matching(g: &Graph, partner: &[Option<VertexId>]) -> bool {
+    is_matching(g, partner)
+        && g.edges().all(|(s, d, _)| {
+            s == d || partner[s as usize].is_some() || partner[d as usize].is_some()
+        })
+}
+
+/// Is `color` a proper vertex coloring?
+pub fn is_proper_coloring(g: &Graph, color: &[u32]) -> bool {
+    g.edges()
+        .all(|(s, d, _)| s == d || color[s as usize] != color[d as usize])
+}
+
+/// Size of the intersection of two sorted, deduplicated slices.
+pub fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Intersection of two sorted, deduplicated slices.
+pub fn sorted_intersection(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators::*;
+    use flash_graph::GraphBuilder;
+
+    #[test]
+    fn cc_labels_on_two_components() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        assert_eq!(cc_labels(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let g = GraphBuilder::new(4)
+            .weighted_edges([(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 2.0, 5.0, 6.0]);
+        assert_eq!(dijkstra(&g, 3)[0], 6.0);
+    }
+
+    #[test]
+    fn tarjan_on_two_cycles() {
+        // 0→1→2→0 and 3→4→3, bridge 2→3.
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)])
+            .build()
+            .unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc[0], scc[1]);
+        assert_eq!(scc[1], scc[2]);
+        assert_eq!(scc[3], scc[4]);
+        assert_ne!(scc[0], scc[3]);
+        assert_eq!(scc[0], 0);
+        assert_eq!(scc[3], 3);
+    }
+
+    #[test]
+    fn tarjan_dag_is_all_singletons() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
+            .unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn brandes_on_path() {
+        // Path 0-1-2-3-4 from root 0: delta(1)=3, delta(2)=2, delta(3)=1.
+        let g = path(5, true);
+        let (sigma, delta) = brandes_single_source(&g, 0);
+        assert_eq!(sigma, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(delta, vec![0.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn brandes_on_diamond() {
+        // 0-1, 0-2, 1-3, 2-3 (undirected): two shortest paths 0→3.
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let (sigma, delta) = brandes_single_source(&g, 0);
+        assert_eq!(sigma[3], 2.0);
+        assert!((delta[1] - 0.5).abs() < 1e-9);
+        assert!((delta[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kcore_on_clique_plus_tail() {
+        // K4 (vertices 0-3) with a tail 3-4-5.
+        let g = GraphBuilder::new(6)
+            .edges([
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        assert_eq!(kcore_numbers(&g), vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn triangle_count_examples() {
+        assert_eq!(triangle_count(&complete(4)), 4);
+        assert_eq!(triangle_count(&complete(6)), 20);
+        assert_eq!(triangle_count(&cycle(5, true)), 0);
+        assert_eq!(triangle_count(&bipartite_complete(3, 3)), 0);
+    }
+
+    #[test]
+    fn rectangle_count_examples() {
+        assert_eq!(rectangle_count(&cycle(4, true)), 1);
+        assert_eq!(rectangle_count(&bipartite_complete(2, 2)), 1);
+        // K_{2,3}: C(3,2) rectangles = 3.
+        assert_eq!(rectangle_count(&bipartite_complete(2, 3)), 3);
+        // K4: 3 four-cycles.
+        assert_eq!(rectangle_count(&complete(4)), 3);
+        assert_eq!(rectangle_count(&path(5, true)), 0);
+    }
+
+    #[test]
+    fn kclique_count_examples() {
+        assert_eq!(kclique_count(&complete(5), 3), 10);
+        assert_eq!(kclique_count(&complete(5), 4), 5);
+        assert_eq!(kclique_count(&complete(5), 5), 1);
+        assert_eq!(kclique_count(&complete(6), 4), 15);
+        assert_eq!(kclique_count(&bipartite_complete(3, 3), 3), 0);
+        assert_eq!(kclique_count(&path(6, true), 2), 5);
+    }
+
+    #[test]
+    fn kruskal_on_weighted_square() {
+        let g = GraphBuilder::new(4)
+            .weighted_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let (forest, total) = kruskal(&g);
+        assert_eq!(forest.len(), 3);
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn kruskal_forest_on_disconnected() {
+        let g = GraphBuilder::new(4)
+            .weighted_edges([(0, 1, 5.0), (2, 3, 7.0)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let (forest, total) = kruskal(&g);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(total, 12.0);
+    }
+
+    #[test]
+    fn bcc_on_two_triangles_sharing_a_vertex() {
+        // Triangles 0-1-2 and 2-3-4 share articulation vertex 2.
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let (labels, art) = bcc_edges(&g);
+        assert_eq!(labels.len(), 6);
+        let ids: std::collections::HashSet<u32> = labels.values().copied().collect();
+        assert_eq!(ids.len(), 2, "two biconnected components");
+        assert_eq!(labels[&(0, 1)], labels[&(1, 2)]);
+        assert_ne!(labels[&(0, 1)], labels[&(2, 3)]);
+        assert_eq!(art, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn bcc_on_bridge() {
+        let g = path(3, true);
+        let (labels, art) = bcc_edges(&g);
+        assert_ne!(labels[&(0, 1)], labels[&(1, 2)]);
+        assert!(art[1] && !art[0] && !art[2]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = rmat(7, 6, Default::default(), 5);
+        let pr = pagerank(&g, 30);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn checkers_accept_and_reject() {
+        let g = cycle(4, true);
+        assert!(is_independent_set(&g, &[true, false, true, false]));
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
+        assert!(!is_independent_set(&g, &[true, true, false, false]));
+        assert!(!is_maximal_independent_set(
+            &g,
+            &[true, false, false, false]
+        ));
+
+        let m = vec![Some(1), Some(0), Some(3), Some(2)];
+        assert!(is_maximal_matching(&g, &m));
+        assert!(!is_matching(&g, &[Some(1), Some(2), Some(1), None]));
+        assert!(!is_maximal_matching(&g, &[None, None, None, None]));
+
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn intersection_helpers() {
+        assert_eq!(
+            sorted_intersection(&[1, 3, 5, 7], &[2, 3, 5, 8]),
+            vec![3, 5]
+        );
+        assert_eq!(sorted_intersection_size(&[1, 2], &[3, 4]), 0);
+        assert_eq!(sorted_intersection_size(&[], &[1]), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Strongly Connected Components by parallel coloring — paper Algorithm 18
+//! (Orzan's coloring algorithm \[46\]).
+//!
+//! Each round: (1) every unassigned vertex takes the minimum id that can
+//! reach it (its *color*), propagated forward within the unassigned
+//! subgraph; (2) each color's root walks the **transpose** graph
+//! (`reverse(E)`), claiming same-colored vertices — those form one SCC;
+//! (3) the rest recolor next round. The paper's only competitor here is
+//! Pregel+ ("22.7× to 54.6× slower than FLASH").
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex SCC state (`-1` = unassigned, as in the paper).
+#[derive(Clone)]
+pub struct SccVertex {
+    /// Assigned SCC id, or -1.
+    pub scc: i64,
+    /// Forward color: minimum id that reaches this vertex.
+    pub fid: u32,
+}
+flash_runtime::full_sync!(SccVertex);
+
+/// Table II plan for SCC.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "fid")
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "scc")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "fid")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "fid")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "fid")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "scc")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "scc")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "scc")
+}
+
+/// Runs SCC on a directed graph; `labels[v]` identifies `v`'s strongly
+/// connected component (labels are the component root ids).
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+) -> Result<AlgoOutput<Vec<VertexId>>, RuntimeError> {
+    let mut ctx: FlashContext<SccVertex> =
+        FlashContext::build(Arc::clone(graph), config, |v| SccVertex { scc: -1, fid: v })?;
+
+    // FLASH-ALGORITHM-BEGIN: scc
+    let all = ctx.all();
+    let mut a = ctx.vertex_map(&all, |_, _| true, |_, val| val.scc = -1);
+    let budget = ctx.num_vertices() + 8;
+    let mut rounds = 0usize;
+    while !a.is_empty() {
+        // Phase 1: forward min-id coloring within the unassigned subgraph.
+        let mut b = ctx.vertex_map(&a, |_, _| true, |v, val| val.fid = v);
+        while !b.is_empty() {
+            b = ctx.edge_map(
+                &b,
+                &EdgeSet::targets_in(&a),
+                |_, s, d| s.fid < d.fid,
+                |_, s, d| d.fid = d.fid.min(s.fid),
+                |_, d| d.scc == -1,
+                |t, d| d.fid = d.fid.min(t.fid),
+            );
+        }
+        // Phase 2: color roots claim their SCC along the transpose graph.
+        let mut b = ctx.vertex_map(&a, |v, val| val.fid == v, |v, val| val.scc = v as i64);
+        while !b.is_empty() {
+            // reverse(E) restricted to still-unassigned targets in A.
+            let a_bits = a.clone();
+            b = ctx.edge_map_sparse(
+                &b,
+                &EdgeSet::reverse(),
+                |_, s, d| s.scc == d.fid as i64,
+                |_, _, d| d.scc = d.fid as i64,
+                move |v, d| d.scc == -1 && a_bits.contains(v),
+                |t, d| d.scc = t.scc,
+            );
+        }
+        // Phase 3: the unassigned remainder recolors next round.
+        a = ctx.vertex_filter(&all, |_, val| val.scc == -1);
+        rounds += 1;
+        if rounds > budget {
+            return Err(RuntimeError::NotConverged { supersteps: rounds });
+        }
+    }
+    // FLASH-ALGORITHM-END: scc
+
+    let result = ctx.collect(|_, val| val.scc as VertexId);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::GraphBuilder;
+    use rand::{Rng, SeedableRng};
+
+    fn check(g: Graph, workers: usize) {
+        let g = Arc::new(g);
+        let expect = reference::tarjan_scc(&g);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential()).unwrap();
+        assert_eq!(
+            reference::canonicalize(&out.result),
+            expect,
+            "SCC partition mismatch"
+        );
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)])
+            .build()
+            .unwrap();
+        check(g, 2);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let g = GraphBuilder::new(6)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+            .build()
+            .unwrap();
+        check(g, 3);
+    }
+
+    #[test]
+    fn big_cycle_is_one_component() {
+        check(flash_graph::generators::cycle(40, false), 4);
+    }
+
+    #[test]
+    fn random_directed_graphs_match_tarjan() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..5 {
+            let n = 40 + trial * 15;
+            let mut b = GraphBuilder::new(n).dedup(true);
+            for _ in 0..(3 * n) {
+                let s = rng.gen_range(0..n as u32);
+                let d = rng.gen_range(0..n as u32);
+                if s != d {
+                    b = b.edge(s, d);
+                }
+            }
+            check(b.build().unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn symmetric_graph_sccs_equal_ccs() {
+        let g = flash_graph::generators::erdos_renyi(60, 90, 12);
+        let expect = reference::cc_labels(&g);
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(2).sequential()).unwrap();
+        assert_eq!(reference::canonicalize(&out.result), expect);
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

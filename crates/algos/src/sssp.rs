@@ -1,0 +1,131 @@
+//! Single-Source Shortest Paths (frontier-driven Bellman–Ford).
+//!
+//! The classic ISVP algorithm the paper's introduction groups with BFS and
+//! PageRank: relax out-edges of the frontier until no distance improves.
+//! Weights must be non-negative; the graph should be weighted (unweighted
+//! edges count 1.0).
+
+use crate::common::AlgoOutput;
+use flash_core::prelude::*;
+use flash_graph::{Graph, VertexId};
+use flash_runtime::plan::{Access, OpKind, ProgramPlan, Role};
+use flash_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Per-vertex state: tentative distance.
+#[derive(Clone)]
+pub struct SsspVertex {
+    /// Tentative shortest distance from the root.
+    pub dis: f64,
+}
+flash_runtime::full_sync!(SsspVertex);
+
+/// Table II plan for SSSP.
+pub fn plan() -> ProgramPlan {
+    ProgramPlan::new()
+        .access(OpKind::VertexMap, Role::Local, Access::Put, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Source, Access::Get, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Get, "dis")
+        .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "dis")
+}
+
+/// Runs SSSP from `root`; unreachable vertices get `f64::INFINITY`.
+pub fn run(
+    graph: &Arc<Graph>,
+    config: ClusterConfig,
+    root: VertexId,
+) -> Result<AlgoOutput<Vec<f64>>, RuntimeError> {
+    let mut ctx: FlashContext<SsspVertex> = FlashContext::build(Arc::clone(graph), config, |_| {
+        SsspVertex { dis: f64::INFINITY }
+    })?;
+
+    // FLASH-ALGORITHM-BEGIN: sssp
+    let all = ctx.all();
+    ctx.vertex_map(
+        &all,
+        |_, _| true,
+        move |v, val| val.dis = if v == root { 0.0 } else { f64::INFINITY },
+    );
+    let mut frontier = ctx.vertex_filter(&all, |v, _| v == root);
+    let budget = 2 * ctx.num_vertices() + 4;
+    let mut steps = 0usize;
+    while !frontier.is_empty() {
+        frontier = ctx.edge_map(
+            &frontier,
+            &EdgeSet::forward(),
+            |e, s, d| s.dis + (e.weight as f64) < d.dis,
+            |e, s, d| d.dis = s.dis + e.weight as f64,
+            |_, _| true,
+            |t, d| d.dis = d.dis.min(t.dis),
+        );
+        steps += 1;
+        if steps > budget {
+            return Err(RuntimeError::NotConverged { supersteps: steps });
+        }
+    }
+    // FLASH-ALGORITHM-END: sssp
+
+    let result = ctx.collect(|_, val| val.dis);
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use flash_graph::generators;
+
+    fn check(g: Graph, root: VertexId, workers: usize) {
+        let g = Arc::new(g);
+        let expect = reference::dijkstra(&g, root);
+        let out = run(&g, ClusterConfig::with_workers(workers).sequential(), root).unwrap();
+        for (v, &want) in expect.iter().enumerate() {
+            let got = out.result[v];
+            if want.is_infinite() {
+                assert!(got.is_infinite(), "vertex {v}");
+            } else {
+                assert!((got - want).abs() < 1e-6, "vertex {v}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_random_graph_matches_dijkstra() {
+        let g = generators::erdos_renyi(80, 200, 3);
+        let g = flash_graph::generators::with_random_weights(&g, 0.5, 9.5, 7);
+        check(g, 0, 4);
+    }
+
+    #[test]
+    fn unweighted_equals_bfs_distances() {
+        let g = generators::grid2d(6, 6);
+        check(g, 5, 2);
+    }
+
+    #[test]
+    fn longer_hop_but_lighter_path_wins() {
+        let g = flash_graph::GraphBuilder::new(4)
+            .weighted_edges([(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let g = Arc::new(g);
+        let out = run(&g, ClusterConfig::with_workers(2).sequential(), 0).unwrap();
+        assert_eq!(out.result[3], 3.0);
+    }
+
+    #[test]
+    fn disconnected_stays_infinite() {
+        let g = flash_graph::GraphBuilder::new(3)
+            .edges([(0, 1)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        check(g, 0, 2);
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        plan().validate().unwrap();
+    }
+}

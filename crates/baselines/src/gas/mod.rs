@@ -1,0 +1,16 @@
+//! A PowerGraph-style Gather-Apply-Scatter engine.
+//!
+//! The paper's "PowerG." baseline: data exchange is limited to the
+//! immediate neighborhood through a commutative + associative *gather*,
+//! followed by a vertex-local *apply* and a *scatter* that activates
+//! neighbors. "GAS hides the communication details from programmers, and
+//! the users only have the view of each vertex and its neighbors, which
+//! means that the control flow of a graph algorithm is highly rigid" —
+//! the expressiveness ceiling that keeps CC-opt, MM-opt, SCC, BCC, MSF,
+//! RC and CL out of [`algos`].
+
+mod engine;
+
+pub mod algos;
+
+pub use engine::{run, GasConfig, GasProgram};

@@ -1,0 +1,123 @@
+#![warn(missing_docs)]
+
+//! # flash-baselines — the competing engines of the paper's evaluation
+//!
+//! The paper compares FLASH against four systems; this crate rebuilds the
+//! three *programming models* those systems embody, over the same graph
+//! substrate, so the evaluation's relative comparisons can be reproduced:
+//!
+//! * [`pregel`] — a Pregel+/Giraph-style **message-passing** engine:
+//!   vertex programs with typed messages, sender-side combiners,
+//!   aggregators and vote-to-halt, executed in BSP supersteps over
+//!   partitioned workers.
+//! * [`gas`] — a PowerGraph-style **Gather-Apply-Scatter** engine:
+//!   neighborhood-only data exchange through a commutative+associative
+//!   gather, a vertex-local apply, and a scatter that activates neighbors.
+//! * [`ligra`] — a Ligra-style **shared-memory** frontier engine:
+//!   `vertexSubset` + push/pull `edgeMap` in a single address space
+//!   (one "node" — the paper runs Ligra on a single machine).
+//!
+//! Each engine ships its own algorithm implementations (`*::algos`); where
+//! a model cannot express an algorithm the paper marks ∅, the function is
+//! *absent here too* — that asymmetry **is** the expressiveness result of
+//! Table I.
+
+pub mod gas;
+pub mod ligra;
+pub mod pregel;
+
+use flash_graph::VertexId;
+
+/// Execution record shared by all baseline engines.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// BSP supersteps (or rounds) executed.
+    pub supersteps: usize,
+    /// Messages exchanged across workers (Pregel/GAS only).
+    pub messages: u64,
+    /// Bytes exchanged across workers (Pregel/GAS only).
+    pub bytes: u64,
+    /// Simulated parallel runtime: per-superstep maximum worker compute
+    /// time plus delivery/barrier time. Meaningful when workers execute
+    /// sequentially (each timed in isolation); the scaling and comparison
+    /// harnesses use this because real parallel wall time is unobservable
+    /// on a single-core host. Zero for the shared-memory Ligra engine.
+    pub makespan: std::time::Duration,
+}
+
+/// A baseline algorithm's result envelope.
+#[derive(Debug)]
+pub struct BaselineOutput<T> {
+    /// The algorithm's answer.
+    pub result: T,
+    /// Engine-level execution record.
+    pub stats: EngineStats,
+}
+
+/// Error raised by baseline engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The algorithm exceeded its superstep budget.
+    NotConverged {
+        /// The exhausted budget.
+        supersteps: usize,
+    },
+    /// The programming model cannot express this algorithm — the ∅ cells
+    /// of the paper's Table I.
+    Unsupported {
+        /// The model's name.
+        model: &'static str,
+        /// Why it cannot be expressed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::NotConverged { supersteps } => {
+                write!(f, "did not converge within {supersteps} supersteps")
+            }
+            BaselineError::Unsupported { model, reason } => {
+                write!(f, "{model} cannot express this algorithm: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Hash partitioning of vertices over workers shared by the distributed
+/// baseline engines (same function as FLASH's default partitioner, so
+/// comparisons are not confounded by placement).
+#[inline]
+pub(crate) fn owner_of(v: VertexId, workers: usize) -> usize {
+    let mixed = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (mixed % workers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        for v in 0..1000u32 {
+            let w = owner_of(v, 7);
+            assert!(w < 7);
+            assert_eq!(w, owner_of(v, 7));
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = BaselineError::Unsupported {
+            model: "GAS",
+            reason: "beyond-neighborhood communication",
+        };
+        assert!(e.to_string().contains("GAS"));
+        assert!(BaselineError::NotConverged { supersteps: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,252 @@
+//! The Ligra execution engine: `vertexSubset` + dual-mode `edgeMap` in a
+//! single address space.
+
+use flash_graph::{BitSet, Graph, VertexId, Weight};
+use std::sync::Arc;
+
+/// A Ligra frontier (the original `vertexSubset`).
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    bits: BitSet,
+}
+
+impl Frontier {
+    /// Empty frontier over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Frontier {
+            bits: BitSet::new(n),
+        }
+    }
+
+    /// All `n` vertices.
+    pub fn full(n: usize) -> Self {
+        Frontier {
+            bits: BitSet::full(n),
+        }
+    }
+
+    /// Frontier from explicit ids.
+    pub fn from_ids<I: IntoIterator<Item = VertexId>>(n: usize, ids: I) -> Self {
+        let mut bits = BitSet::new(n);
+        for v in ids {
+            bits.insert(v);
+        }
+        Frontier { bits }
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.bits.contains(v)
+    }
+
+    /// Iterate members ascending.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.bits.iter()
+    }
+
+    /// Set difference.
+    pub fn minus(&self, other: &Frontier) -> Frontier {
+        let mut bits = self.bits.clone();
+        bits.difference_with(&other.bits);
+        Frontier { bits }
+    }
+}
+
+/// The Ligra engine: owns the graph handle and the dense/sparse switch.
+pub struct Ligra {
+    g: Arc<Graph>,
+    /// Dense-mode threshold as a fraction of `|E|` (Ligra's default 1/20).
+    pub threshold: f64,
+    /// Count of dense (pull) edge maps executed.
+    pub dense_runs: usize,
+    /// Count of sparse (push) edge maps executed.
+    pub sparse_runs: usize,
+}
+
+impl Ligra {
+    /// Wraps a graph.
+    pub fn new(g: Arc<Graph>) -> Self {
+        Ligra {
+            g,
+            threshold: 0.05,
+            dense_runs: 0,
+            sparse_runs: 0,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    /// `vertexMap`: applies `f` to every frontier member; members for
+    /// which `f` returns `true` form the output frontier.
+    pub fn vertex_map<T>(
+        &self,
+        values: &mut [T],
+        u: &Frontier,
+        mut f: impl FnMut(VertexId, &mut T) -> bool,
+    ) -> Frontier {
+        let mut out = BitSet::new(values.len());
+        for v in u.iter() {
+            if f(v, &mut values[v as usize]) {
+                out.insert(v);
+            }
+        }
+        Frontier { bits: out }
+    }
+
+    /// `edgeMap` with the classic density switch: pull when the frontier's
+    /// edge mass exceeds `threshold * |E|`, push otherwise.
+    ///
+    /// `update(s, d, w, values)` applies the edge's effect directly to the
+    /// shared value array (Ligra's compare-and-swap updates degenerate to
+    /// plain stores in this sequential engine) and reports whether the
+    /// target changed; `cond(d, values)` is Ligra's `C`.
+    pub fn edge_map<T>(
+        &mut self,
+        values: &mut [T],
+        u: &Frontier,
+        mut update: impl FnMut(VertexId, VertexId, Weight, &mut [T]) -> bool,
+        mut cond: impl FnMut(VertexId, &[T]) -> bool,
+    ) -> Frontier {
+        let edge_mass: usize = u.iter().map(|v| self.g.out_degree(v)).sum::<usize>() + u.len();
+        if (edge_mass as f64) > self.threshold * self.g.num_edges() as f64 {
+            self.edge_map_dense(values, u, &mut update, &mut cond)
+        } else {
+            self.edge_map_sparse(values, u, &mut update, &mut cond)
+        }
+    }
+
+    /// Pull kernel: every vertex scans its in-edges from the frontier.
+    pub fn edge_map_dense<T>(
+        &mut self,
+        values: &mut [T],
+        u: &Frontier,
+        update: &mut impl FnMut(VertexId, VertexId, Weight, &mut [T]) -> bool,
+        cond: &mut impl FnMut(VertexId, &[T]) -> bool,
+    ) -> Frontier {
+        self.dense_runs += 1;
+        let mut out = BitSet::new(values.len());
+        for d in 0..self.n() as VertexId {
+            if !cond(d, values) {
+                continue;
+            }
+            for (s, w) in self.g.in_edges(d) {
+                if !cond(d, values) {
+                    break;
+                }
+                if u.contains(s) && update(s, d, w, values) {
+                    out.insert(d);
+                }
+            }
+        }
+        Frontier { bits: out }
+    }
+
+    /// Push kernel: frontier members scan their out-edges.
+    pub fn edge_map_sparse<T>(
+        &mut self,
+        values: &mut [T],
+        u: &Frontier,
+        update: &mut impl FnMut(VertexId, VertexId, Weight, &mut [T]) -> bool,
+        cond: &mut impl FnMut(VertexId, &[T]) -> bool,
+    ) -> Frontier {
+        self.sparse_runs += 1;
+        let mut out = BitSet::new(values.len());
+        for s in u.iter() {
+            for (d, w) in self.g.out_edges(s) {
+                if cond(d, values) && update(s, d, w, values) {
+                    out.insert(d);
+                }
+            }
+        }
+        Frontier { bits: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    #[test]
+    fn vertex_map_filters() {
+        let g = Arc::new(generators::path(5, true));
+        let ligra = Ligra::new(g);
+        let mut vals: Vec<u32> = (0..5).collect();
+        let u = Frontier::full(5);
+        let out = ligra.vertex_map(&mut vals, &u, |_, x| {
+            *x *= 2;
+            *x >= 4
+        });
+        assert_eq!(vals, vec![0, 2, 4, 6, 8]);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn edge_map_bfs_step() {
+        let g = Arc::new(generators::path(4, true));
+        let mut ligra = Ligra::new(g);
+        let mut dist = vec![0u32, u32::MAX, u32::MAX, u32::MAX];
+        let u = Frontier::from_ids(4, [0]);
+        let out = ligra.edge_map(
+            &mut dist,
+            &u,
+            |s, d, _, vals| {
+                vals[d as usize] = vals[s as usize] + 1;
+                true
+            },
+            |d, vals| vals[d as usize] == u32::MAX,
+        );
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(dist[1], 1);
+    }
+
+    #[test]
+    fn dense_and_sparse_switch() {
+        let g = Arc::new(generators::path(100, true));
+        let mut ligra = Ligra::new(g);
+        let mut vals = vec![0u64; 100];
+        // Full frontier: dense.
+        let full = Frontier::full(100);
+        ligra.edge_map(
+            &mut vals,
+            &full,
+            |_, d, _, vals| {
+                vals[d as usize] += 1;
+                true
+            },
+            |_, _| true,
+        );
+        assert_eq!(ligra.dense_runs, 1);
+        // Tiny frontier: sparse.
+        let tiny = Frontier::from_ids(100, [0]);
+        ligra.edge_map(&mut vals, &tiny, |_, _, _, _| true, |_, _| true);
+        assert_eq!(ligra.sparse_runs, 1);
+    }
+
+    #[test]
+    fn frontier_algebra() {
+        let a = Frontier::from_ids(6, [0, 1, 2]);
+        let b = Frontier::from_ids(6, [1]);
+        assert_eq!(a.minus(&b).iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(Frontier::empty(3).is_empty());
+        assert_eq!(Frontier::full(3).len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! A Ligra-style shared-memory frontier engine.
+//!
+//! The paper's "Ligra" baseline runs on a single node: one address space,
+//! a `vertexSubset` and push/pull `edgeMap` with direct memory updates in
+//! place of message passing. "Ligra is faster than FLASH in some cases
+//! because it is a shared-memory system, with the communication cost much
+//! cheaper than that of distributed systems" — and that is precisely what
+//! this engine reproduces: no partitions, no mirrors, no message buffers.
+
+mod engine;
+
+pub mod algos;
+
+pub use engine::{Frontier, Ligra};
+
+/// Size of the intersection of two sorted, deduplicated id slices
+/// (shared by the mining baselines).
+pub fn sorted_intersection_size(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn intersection_size() {
+        assert_eq!(super::sorted_intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(super::sorted_intersection_size(&[], &[1]), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Pregel algorithm implementations used as the paper's "Pregel+" column.
+//!
+//! ISVP algorithms (BFS, CC, SSSP, PageRank, LPA) are single vertex
+//! programs; the non-ISVP ones (BC, SCC, MSF) must be *decomposed into
+//! sub-algorithms chained by the driver* — the exact productivity problem
+//! §V-C describes ("811 lines of code in total for SCC … the algorithm
+//! decomposition also results in poor performance").
+
+mod matching;
+mod mining;
+mod phased;
+mod rank;
+mod traversal;
+
+pub use matching::{mis, mm};
+pub use mining::{gc, kcore, tc};
+pub use phased::{bc, msf, scc};
+pub use rank::{lpa, pagerank};
+pub use traversal::{bfs, cc, sssp};

@@ -1,0 +1,449 @@
+//! Multi-phase Pregel algorithms: BC, SCC and MSF.
+//!
+//! None of these fits a single vertex program; each is "decomposed … into
+//! several individual sub-algorithms" chained by driver code that shares
+//! data between phases (§V-B/§V-C: the approach Pregel+ takes, at the cost
+//! of hundreds of extra lines and extra passes over the data).
+
+use crate::pregel::engine::run_with_values;
+use crate::pregel::{ComputeCtx, PregelConfig, PregelProgram};
+use crate::{BaselineError, BaselineOutput, EngineStats};
+use flash_graph::{DisjointSets, Graph, VertexId, Weight};
+use std::sync::Arc;
+
+fn merge_stats(total: &mut EngineStats, part: EngineStats) {
+    total.supersteps += part.supersteps;
+    total.messages += part.messages;
+    total.bytes += part.bytes;
+}
+
+// ---------------------------------------------------------------------
+// Betweenness Centrality
+// ---------------------------------------------------------------------
+
+/// Phase-A state: BFS level and shortest-path count.
+#[derive(Clone)]
+pub struct BcState {
+    level: i64,
+    sigma: f64,
+    delta: f64,
+}
+
+/// Single-source Brandes dependency scores from `root`, as a two-phase
+/// chained Pregel computation.
+pub fn bc(
+    graph: &Arc<Graph>,
+    config: PregelConfig,
+    root: VertexId,
+) -> Result<BaselineOutput<Vec<f64>>, BaselineError> {
+    // Phase A: forward BFS accumulating sigma; a message's arrival
+    // superstep *is* the proposed level.
+    struct Forward {
+        root: VertexId,
+    }
+    impl PregelProgram for Forward {
+        type Value = BcState;
+        type Message = f64;
+        type Aggregate = ();
+
+        fn init(&self, _v: VertexId, _g: &Graph) -> BcState {
+            BcState {
+                level: -1,
+                sigma: 0.0,
+                delta: 0.0,
+            }
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut ComputeCtx<'_, f64, ()>,
+            v: VertexId,
+            g: &Graph,
+            value: &mut BcState,
+            inbox: &[f64],
+        ) {
+            if ctx.superstep() == 0 && v == self.root {
+                value.level = 0;
+                value.sigma = 1.0;
+                ctx.send_to_neighbors(g, v, 1.0);
+            } else if value.level == -1 && !inbox.is_empty() {
+                value.level = ctx.superstep() as i64;
+                value.sigma = inbox.iter().sum();
+                ctx.send_to_neighbors(g, v, value.sigma);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
+            Some(a + b)
+        }
+    }
+
+    let mut stats = EngineStats::default();
+    let fwd = run_with_values(graph, config.clone(), &Forward { root }, |_, _| BcState {
+        level: -1,
+        sigma: 0.0,
+        delta: 0.0,
+    })?;
+    merge_stats(&mut stats, fwd.stats);
+    let values = fwd.result;
+    let max_level = values.iter().map(|s| s.level).max().unwrap_or(0).max(0);
+
+    // Phase B: backward sweep, one level per superstep. A vertex at level
+    // L sends (sigma, delta) at superstep (max_level - L); its parents
+    // accumulate the dependency one superstep later — which is exactly
+    // their own turn.
+    struct Backward {
+        max_level: i64,
+    }
+    impl PregelProgram for Backward {
+        type Value = BcState;
+        type Message = (f64, f64); // (sigma_child, delta_child)
+        type Aggregate = ();
+
+        fn init(&self, _v: VertexId, _g: &Graph) -> BcState {
+            unreachable!("backward phase always seeds from phase-A values")
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut ComputeCtx<'_, (f64, f64), ()>,
+            v: VertexId,
+            g: &Graph,
+            value: &mut BcState,
+            inbox: &[(f64, f64)],
+        ) {
+            let turn = self.max_level - value.level;
+            if value.level >= 0 && ctx.superstep() as i64 == turn {
+                for &(sigma_c, delta_c) in inbox {
+                    value.delta += value.sigma / sigma_c * (1.0 + delta_c);
+                }
+                ctx.send_to_in_neighbors(g, v, (value.sigma, value.delta));
+                ctx.vote_to_halt();
+            } else if value.level < 0 || (ctx.superstep() as i64) > turn {
+                ctx.vote_to_halt();
+            }
+            // Before the turn: stay active (an un-messaged leaf must still
+            // fire on schedule).
+        }
+    }
+
+    let bwd = run_with_values(graph, config, &Backward { max_level }, |v, _| {
+        values[v as usize].clone()
+    })?;
+    merge_stats(&mut stats, bwd.stats);
+    let mut result: Vec<f64> = bwd.result.into_iter().map(|s| s.delta).collect();
+    result[root as usize] = 0.0;
+    Ok(BaselineOutput { result, stats })
+}
+
+// ---------------------------------------------------------------------
+// Strongly Connected Components
+// ---------------------------------------------------------------------
+
+/// SCC state shared across the chained passes.
+#[derive(Clone)]
+pub struct SccState {
+    scc: i64,
+    fid: u32,
+}
+
+/// SCC by repeated forward-coloring + backward-claiming passes, driver
+/// chained (Orzan's coloring scheme, as in the paper's FLASH version —
+/// but every phase costs a full engine run here).
+pub fn scc(
+    graph: &Arc<Graph>,
+    config: PregelConfig,
+) -> Result<BaselineOutput<Vec<VertexId>>, BaselineError> {
+    struct Forward;
+    impl PregelProgram for Forward {
+        type Value = SccState;
+        type Message = u32;
+        type Aggregate = ();
+
+        fn init(&self, _v: VertexId, _g: &Graph) -> SccState {
+            unreachable!("chained phase seeds from driver values")
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut ComputeCtx<'_, u32, ()>,
+            v: VertexId,
+            g: &Graph,
+            value: &mut SccState,
+            inbox: &[u32],
+        ) {
+            if value.scc >= 0 {
+                ctx.vote_to_halt();
+                return;
+            }
+            if ctx.superstep() == 0 {
+                value.fid = v;
+                ctx.send_to_neighbors(g, v, v);
+            } else if let Some(&best) = inbox.iter().min() {
+                if best < value.fid {
+                    value.fid = best;
+                    ctx.send_to_neighbors(g, v, best);
+                }
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
+            Some(*a.min(b))
+        }
+    }
+
+    struct Backward;
+    impl PregelProgram for Backward {
+        type Value = SccState;
+        type Message = u32;
+        type Aggregate = ();
+
+        fn init(&self, _v: VertexId, _g: &Graph) -> SccState {
+            unreachable!("chained phase seeds from driver values")
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut ComputeCtx<'_, u32, ()>,
+            v: VertexId,
+            g: &Graph,
+            value: &mut SccState,
+            inbox: &[u32],
+        ) {
+            if value.scc < 0 {
+                let claimed = if ctx.superstep() == 0 {
+                    value.fid == v
+                } else {
+                    inbox.contains(&value.fid)
+                };
+                if claimed {
+                    value.scc = value.fid as i64;
+                    ctx.send_to_in_neighbors(g, v, value.fid);
+                }
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    let mut values: Vec<SccState> = (0..graph.num_vertices() as VertexId)
+        .map(|v| SccState { scc: -1, fid: v })
+        .collect();
+    let mut stats = EngineStats::default();
+    let budget = graph.num_vertices() + 2;
+    for _round in 0..budget {
+        let fwd = run_with_values(graph, config.clone(), &Forward, |v, _| {
+            values[v as usize].clone()
+        })?;
+        merge_stats(&mut stats, fwd.stats);
+        values = fwd.result;
+        let bwd = run_with_values(graph, config.clone(), &Backward, |v, _| {
+            values[v as usize].clone()
+        })?;
+        merge_stats(&mut stats, bwd.stats);
+        values = bwd.result;
+        if values.iter().all(|s| s.scc >= 0) {
+            let result = values.iter().map(|s| s.scc as VertexId).collect();
+            return Ok(BaselineOutput { result, stats });
+        }
+    }
+    Err(BaselineError::NotConverged {
+        supersteps: stats.supersteps,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Minimum Spanning Forest
+// ---------------------------------------------------------------------
+
+/// Per-vertex Boruvka state: component label and the best outgoing edge.
+#[derive(Clone)]
+pub struct MsfState {
+    comp: u32,
+    best: Option<(Weight, VertexId, VertexId)>,
+}
+
+/// An MSF answer: the forest's edges and their total weight.
+pub type MsfAnswer = (Vec<(VertexId, VertexId, Weight)>, f64);
+
+/// Boruvka's MSF: each round a two-superstep Pregel pass finds every
+/// vertex's lightest cross-component edge; the driver merges components
+/// (the data sharing between sub-algorithms the paper charges to Pregel+).
+/// Returns `(forest edges, total weight)`.
+pub fn msf(
+    graph: &Arc<Graph>,
+    config: PregelConfig,
+) -> Result<BaselineOutput<MsfAnswer>, BaselineError> {
+    struct Round;
+    impl PregelProgram for Round {
+        type Value = MsfState;
+        type Message = (VertexId, u32); // (sender, sender's component)
+        type Aggregate = ();
+
+        fn init(&self, _v: VertexId, _g: &Graph) -> MsfState {
+            unreachable!("driver seeds each round")
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut ComputeCtx<'_, (VertexId, u32), ()>,
+            v: VertexId,
+            g: &Graph,
+            value: &mut MsfState,
+            inbox: &[(VertexId, u32)],
+        ) {
+            if ctx.superstep() == 0 {
+                value.best = None;
+                ctx.send_to_neighbors(g, v, (v, value.comp));
+            } else {
+                for &(s, comp_s) in inbox {
+                    if comp_s == value.comp {
+                        continue;
+                    }
+                    // Weight of (v, s): scan the (sorted) adjacency.
+                    for (t, w) in g.out_edges(v) {
+                        if t == s {
+                            let key = if v < s { (w, v, s) } else { (w, s, v) };
+                            if value.best.is_none_or(|b| better(key, b)) {
+                                value.best = Some(key);
+                            }
+                        }
+                    }
+                }
+                ctx.vote_to_halt();
+            }
+        }
+    }
+
+    /// Total order on candidate edges: weight, then endpoints.
+    fn better(a: (Weight, VertexId, VertexId), b: (Weight, VertexId, VertexId)) -> bool {
+        a.0.total_cmp(&b.0)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+            .is_lt()
+    }
+
+    let n = graph.num_vertices();
+    let mut dsu = DisjointSets::new(n);
+    let mut forest: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut total = 0.0f64;
+    let mut stats = EngineStats::default();
+
+    let rounds = (usize::BITS - n.leading_zeros()) as usize + 2;
+    for _ in 0..rounds {
+        let labels: Vec<u32> = (0..n as VertexId).map(|v| dsu.find(v)).collect();
+        let out = run_with_values(graph, config.clone(), &Round, |v, _| MsfState {
+            comp: labels[v as usize],
+            best: None,
+        })?;
+        merge_stats(&mut stats, out.stats);
+        // Pick the minimum edge per component, then merge.
+        let mut best_per_comp: std::collections::HashMap<u32, (Weight, VertexId, VertexId)> =
+            std::collections::HashMap::new();
+        for st in &out.result {
+            if let Some(cand) = st.best {
+                best_per_comp
+                    .entry(st.comp)
+                    .and_modify(|b| {
+                        if better(cand, *b) {
+                            *b = cand;
+                        }
+                    })
+                    .or_insert(cand);
+            }
+        }
+        if best_per_comp.is_empty() {
+            break;
+        }
+        for (_, (w, a, b)) in best_per_comp {
+            if dsu.union(a, b) {
+                forest.push((a, b, w));
+                total += w as f64;
+            }
+        }
+    }
+    Ok(BaselineOutput {
+        result: (forest, total),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    #[test]
+    fn bc_on_diamond() {
+        let g = Arc::new(
+            flash_graph::GraphBuilder::new(4)
+                .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+                .symmetric(true)
+                .build()
+                .unwrap(),
+        );
+        let out = bc(&g, PregelConfig::with_workers(2).sequential(), 0).unwrap();
+        assert!((out.result[1] - 0.5).abs() < 1e-9);
+        assert!((out.result[2] - 0.5).abs() < 1e-9);
+        assert_eq!(out.result[0], 0.0);
+    }
+
+    #[test]
+    fn bc_on_path() {
+        let g = Arc::new(generators::path(5, true));
+        let out = bc(&g, PregelConfig::with_workers(2).sequential(), 0).unwrap();
+        assert_eq!(out.result, vec![0.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn scc_on_two_cycles() {
+        let g = Arc::new(
+            flash_graph::GraphBuilder::new(5)
+                .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)])
+                .build()
+                .unwrap(),
+        );
+        let out = scc(&g, PregelConfig::with_workers(2).sequential()).unwrap();
+        assert_eq!(out.result[0], out.result[1]);
+        assert_eq!(out.result[1], out.result[2]);
+        assert_eq!(out.result[3], out.result[4]);
+        assert_ne!(out.result[0], out.result[3]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_singletons() {
+        let g = Arc::new(
+            flash_graph::GraphBuilder::new(4)
+                .edges([(0, 1), (1, 2), (1, 3)])
+                .build()
+                .unwrap(),
+        );
+        let out = scc(&g, PregelConfig::with_workers(2).sequential()).unwrap();
+        let mut labels = out.result.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn msf_matches_kruskal_total() {
+        let g = generators::erdos_renyi(60, 150, 3);
+        let g = Arc::new(generators::with_random_weights(&g, 0.0, 1.0, 4));
+        // Kruskal oracle.
+        let mut edges: Vec<(u32, u32, f32)> = g.edges().filter(|&(s, d, _)| s < d).collect();
+        edges.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let mut dsu = DisjointSets::new(60);
+        let mut want = 0.0f64;
+        let mut count = 0;
+        for (s, d, w) in edges {
+            if dsu.union(s, d) {
+                want += w as f64;
+                count += 1;
+            }
+        }
+        let out = msf(&g, PregelConfig::with_workers(3).sequential()).unwrap();
+        let (forest, total) = out.result;
+        assert_eq!(forest.len(), count);
+        assert!((total - want).abs() < 1e-4, "{total} vs {want}");
+    }
+}

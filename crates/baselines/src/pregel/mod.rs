@@ -1,0 +1,13 @@
+//! A Pregel+/Giraph-style message-passing engine.
+//!
+//! The reference point for the paper's "Pregel+" baseline: the classic
+//! think-like-a-vertex model — per-vertex `compute()` over an inbox,
+//! typed messages to arbitrary vertices, sender-side combiners, global
+//! aggregators, vote-to-halt — executed in BSP supersteps over hash
+//! partitioned workers with counted cross-worker traffic.
+
+mod engine;
+
+pub mod algos;
+
+pub use engine::{run, ComputeCtx, PregelConfig, PregelProgram};

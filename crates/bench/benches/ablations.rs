@@ -1,0 +1,112 @@
+//! Criterion ablations of the §IV-C runtime optimizations: dual-mode
+//! propagation, critical-property synchronization, and necessary-mirror
+//! communication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_core::prelude::*;
+use flash_graph::Dataset;
+use flash_runtime::{ClusterConfig, ModePolicy, SyncMode};
+use std::sync::Arc;
+
+/// Figure 3's ablation: BFS under forced push, forced pull, and adaptive.
+fn bench_mode_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mode_policy");
+    for d in [Dataset::Twitter, Dataset::RoadUsa, Dataset::Uk2002] {
+        let g = Arc::new(d.load_small());
+        for (name, mode) in [
+            ("sparse", ModePolicy::ForceSparse),
+            ("dense", ModePolicy::ForceDense),
+            ("adaptive", ModePolicy::Adaptive),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bfs_{name}"), d.abbr()),
+                &g,
+                |b, g| {
+                    let cfg = ClusterConfig::with_workers(4).mode(mode);
+                    b.iter(|| flash_algos::bfs::run(g, cfg.clone(), 0).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Critical-only vs full mirror synchronization (§IV-C "synchronize
+/// critical properties only"), on an algorithm with heavy local scratch.
+fn bench_sync_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_mode");
+    let g = Arc::new(Dataset::Uk2002.load_small());
+    for (name, mode) in [
+        ("critical_only", SyncMode::CriticalOnly),
+        ("full", SyncMode::Full),
+    ] {
+        group.bench_with_input(BenchmarkId::new("kcore_opt", name), &g, |b, g| {
+            let cfg = ClusterConfig::with_workers(4).sync_mode(mode);
+            b.iter(|| flash_algos::kcore_opt::run(g, cfg.clone()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gc", name), &g, |b, g| {
+            let cfg = ClusterConfig::with_workers(4).sync_mode(mode);
+            b.iter(|| flash_algos::gc::run(g, cfg.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Necessary-mirrors vs all-mirrors synchronization (§IV-C "communicate
+/// with necessary mirrors only"): the same propagation over the real edge
+/// set (necessary) and over an identical virtual copy (all mirrors).
+fn bench_mirror_scopes(c: &mut Criterion) {
+    #[derive(Clone, Default)]
+    struct Val {
+        x: u64,
+    }
+    flash_runtime::full_sync!(Val);
+
+    let mut group = c.benchmark_group("mirror_scope");
+    let g = Arc::new(Dataset::Orkut.load_small());
+
+    let run = |all_mirrors: bool| {
+        let g = Arc::clone(&g);
+        move || {
+            let mut ctx =
+                FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| Val {
+                    x: v as u64,
+                })
+                .unwrap();
+            let all = ctx.all();
+            let h: EdgeSet<Val> = if all_mirrors {
+                // Identical edges, but declared virtual → All-scope sync.
+                let ge = Arc::clone(&g);
+                let gi = Arc::clone(&g);
+                EdgeSet::custom(
+                    move |v, _| ge.out_neighbors(v).to_vec(),
+                    move |v, _| gi.in_neighbors(v).to_vec(),
+                )
+            } else {
+                EdgeSet::forward()
+            };
+            for _ in 0..3 {
+                ctx.edge_map_sparse(
+                    &all,
+                    &h,
+                    |_, s, d| s.x < d.x,
+                    |_, s, d| d.x = d.x.min(s.x),
+                    |_, _| true,
+                    |t, d| d.x = d.x.min(t.x),
+                );
+            }
+            ctx.stats().total_bytes()
+        }
+    };
+
+    group.bench_function("necessary_only", |b| b.iter(run(false)));
+    group.bench_function("all_mirrors", |b| b.iter(run(true)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mode_policies, bench_sync_modes, bench_mirror_scopes
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion end-to-end algorithm benchmarks on the small dataset
+//! variants (the full Table V/VI runs live in the `table5_runtime` /
+//! `table6_runtime` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_graph::Dataset;
+use flash_runtime::ClusterConfig;
+use std::sync::Arc;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::with_workers(4)
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    for d in [Dataset::Orkut, Dataset::RoadUsa] {
+        let g = Arc::new(d.load_small());
+        group.bench_with_input(BenchmarkId::new("bfs", d.abbr()), &g, |b, g| {
+            b.iter(|| flash_algos::bfs::run(g, cfg(), 0).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cc_basic", d.abbr()), &g, |b, g| {
+            b.iter(|| flash_algos::cc::run(g, cfg()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cc_opt", d.abbr()), &g, |b, g| {
+            b.iter(|| flash_algos::cc_opt::run(g, cfg()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bc", d.abbr()), &g, |b, g| {
+            b.iter(|| flash_algos::bc::run(g, cfg(), 0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    let g = Arc::new(Dataset::Orkut.load_small());
+    group.bench_function("tc", |b| {
+        b.iter(|| flash_algos::tc::run(&g, cfg()).unwrap());
+    });
+    group.bench_function("rc", |b| {
+        b.iter(|| flash_algos::rc::run(&g, cfg()).unwrap());
+    });
+    group.bench_function("clique4", |b| {
+        b.iter(|| flash_algos::clique::run(&g, cfg(), 4).unwrap());
+    });
+    group.bench_function("kcore_opt", |b| {
+        b.iter(|| flash_algos::kcore_opt::run(&g, cfg()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_matching_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    let g = Arc::new(Dataset::Orkut.load_small());
+    group.bench_function("mis", |b| {
+        b.iter(|| flash_algos::mis::run(&g, cfg()).unwrap());
+    });
+    group.bench_function("mm_basic", |b| {
+        b.iter(|| flash_algos::mm::run(&g, cfg()).unwrap());
+    });
+    group.bench_function("mm_opt", |b| {
+        b.iter(|| flash_algos::mm_opt::run(&g, cfg()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_traversal, bench_mining, bench_matching_family
+}
+criterion_main!(benches);

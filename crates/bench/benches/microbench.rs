@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks: the primitive operations of the FLASH
+//! programming model and its substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_core::prelude::*;
+use flash_graph::{generators, HashPartitioner, PartitionMap};
+use std::sync::Arc;
+
+#[derive(Clone, Default)]
+struct Val {
+    x: u64,
+}
+flash_runtime::full_sync!(Val);
+
+fn bench_primitives(c: &mut Criterion) {
+    let g = Arc::new(generators::rmat(12, 8, Default::default(), 7));
+    let mut group = c.benchmark_group("primitives");
+
+    group.bench_function("vertex_map_full", |b| {
+        let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
+            Val { x: v as u64 }
+        })
+        .unwrap();
+        let all = ctx.all();
+        b.iter(|| ctx.vertex_map(&all, |_, _| true, |_, val| val.x = val.x.wrapping_add(1)));
+    });
+
+    group.bench_function("vertex_filter_full", |b| {
+        let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
+            Val { x: v as u64 }
+        })
+        .unwrap();
+        let all = ctx.all();
+        b.iter(|| ctx.vertex_filter(&all, |_, val| val.x % 2 == 0));
+    });
+
+    group.bench_function("edge_map_dense_full", |b| {
+        let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
+            Val { x: v as u64 }
+        })
+        .unwrap();
+        let all = ctx.all();
+        b.iter(|| {
+            ctx.edge_map_dense(
+                &all,
+                &EdgeSet::forward(),
+                |_, s, d| s.x < d.x,
+                |_, s, d| d.x = d.x.min(s.x),
+                |_, _| true,
+            )
+        });
+    });
+
+    group.bench_function("edge_map_sparse_small_frontier", |b| {
+        let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
+            Val { x: v as u64 }
+        })
+        .unwrap();
+        let frontier = ctx.subset(0..64u32);
+        b.iter(|| {
+            ctx.edge_map_sparse(
+                &frontier,
+                &EdgeSet::forward(),
+                |_, _, _| true,
+                |_, s, d| d.x = d.x.max(s.x),
+                |_, _| true,
+                |t, d| d.x = d.x.max(t.x),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    for scale in [10u32, 12] {
+        group.bench_with_input(BenchmarkId::new("rmat_generate", scale), &scale, |b, &s| {
+            b.iter(|| generators::rmat(s, 8, Default::default(), 1));
+        });
+    }
+
+    let g = generators::rmat(12, 8, Default::default(), 3);
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("partition_build", workers),
+            &workers,
+            |b, &m| {
+                b.iter(|| PartitionMap::build(&g, m, &HashPartitioner).unwrap());
+            },
+        );
+    }
+
+    group.bench_function("subset_ops", |b| {
+        let a = VertexSubset::from_ids(100_000, (0..100_000u32).step_by(3));
+        let c2 = VertexSubset::from_ids(100_000, (0..100_000u32).step_by(5));
+        b.iter(|| {
+            let u = a.union(&c2);
+            let i = a.intersect(&c2);
+            let m = u.minus(&i);
+            m.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_primitives, bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates Figure 1: a heat map of slowdowns of each framework
+//! relative to the fastest one, for 12 applications on all six datasets.
+
+use flash_bench::harness::{run, App, Framework, RunResult, Scale};
+use flash_bench::report::heat_glyph;
+use flash_graph::Dataset;
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workers = 4;
+    // The 12 applications of Fig. 1 (Table IV minus RC/CL, which no other
+    // framework supports at all).
+    let apps = [
+        App::Cc,
+        App::Bfs,
+        App::Bc,
+        App::Mis,
+        App::Mm,
+        App::Kc,
+        App::Tc,
+        App::Gc,
+        App::Scc,
+        App::Bcc,
+        App::Lpa,
+        App::Msf,
+    ];
+    println!("Figure 1 — slowdown vs the fastest framework (scale {scale:?})\n");
+
+    let mut flash_best = 0usize;
+    let mut flash_within2 = 0usize;
+    let mut comparable = 0usize;
+
+    for &d in &Dataset::ALL {
+        let g = Arc::new(scale.load(d));
+        println!("=== {} ({}) ===", d.abbr(), d.name());
+        println!(
+            "{:6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "app", "Pregel+", "PowerG.", "Gemini", "Ligra", "FLASH"
+        );
+        for &app in &apps {
+            let results: Vec<RunResult> = Framework::ALL
+                .iter()
+                .map(|&f| run(f, app, &g, workers))
+                .collect();
+            let best = results
+                .iter()
+                .filter_map(RunResult::seconds)
+                .fold(f64::INFINITY, f64::min);
+            let glyphs: Vec<&str> = results
+                .iter()
+                .map(|r| heat_glyph(r.seconds().map(|s| s / best)))
+                .collect();
+            println!(
+                "{:6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                app.abbr(),
+                glyphs[0].trim(),
+                glyphs[1].trim(),
+                glyphs[2].trim(),
+                glyphs[3].trim(),
+                glyphs[4].trim()
+            );
+            if let Some(fs) = results[4].seconds() {
+                comparable += 1;
+                if fs <= best * 1.001 {
+                    flash_best += 1;
+                }
+                if fs <= best * 2.0 {
+                    flash_within2 += 1;
+                }
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "FLASH fastest in {flash_best}/{comparable} cells ({:.1}%); within 2x of the best in {flash_within2}/{comparable} ({:.1}%).",
+        100.0 * flash_best as f64 / comparable as f64,
+        100.0 * flash_within2 as f64 / comparable as f64,
+    );
+    println!("(Paper: fastest in 84.5% of cases; within 2x in 95.2%.)");
+}

@@ -1,0 +1,46 @@
+//! Regenerates Figure 4(b): TC on the TW stand-in while varying the
+//! per-node core count (1..32 on the paper's 4-node cluster).
+//!
+//! This host may expose only a single hardware core, so wall-clock
+//! speedups from real threads are unobservable; the harness instead
+//! reports the **BSP makespan** — per superstep, the *maximum* per-worker
+//! compute time plus communication — with `4 × cores` workers standing in
+//! for the paper's 4 nodes × N cores (see DESIGN.md §1).
+
+use flash_bench::harness::Scale;
+use flash_bench::report::format_secs;
+use flash_graph::Dataset;
+use flash_runtime::ClusterConfig;
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let g = Arc::new(scale.load(Dataset::Twitter));
+    println!(
+        "Figure 4(b) — TC on TW, 4 nodes x varying cores (scale {scale:?}, BSP-makespan accounting)\n"
+    );
+
+    let mut baseline = None;
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>9}",
+        "cores", "workers", "compute", "total", "speedup"
+    );
+    for cores in [1usize, 2, 4, 8, 16, 32] {
+        let workers = 4 * cores;
+        // Sequential worker execution: each worker is timed in isolation,
+        // so the per-superstep maximum is a true BSP makespan.
+        let cfg = ClusterConfig::with_workers(workers).sequential();
+        let out = flash_algos::tc::run(&g, cfg).expect("tc");
+        let compute = out.stats.parallel_compute_time().as_secs_f64();
+        let total = out.stats.simulated_parallel_time().as_secs_f64();
+        let base = *baseline.get_or_insert(total);
+        println!(
+            "{cores:>8} {workers:>9} {:>12} {:>12} {:>8.1}x",
+            format_secs(compute),
+            format_secs(total),
+            base / total
+        );
+    }
+    println!("\nExpected shape (paper): near-linear to 4-8 cores, then diminishing");
+    println!("returns (7.5x at 32) as fixed costs and communication take over.");
+}

@@ -1,0 +1,62 @@
+//! Regenerates Figure 4(c,d): TC on TW and CL on UK with varying numbers
+//! of nodes, under the simulated 10 GbE network model and BSP-makespan
+//! accounting (per-superstep maximum worker compute time — real parallel
+//! wall time is unobservable on a single-core host; see DESIGN.md §1).
+
+use flash_bench::harness::{Scale, CLIQUE_K};
+use flash_bench::report::format_secs;
+use flash_graph::Dataset;
+use flash_runtime::{ClusterConfig, NetworkModel};
+use std::sync::Arc;
+
+fn run_scaling(
+    label: &str,
+    dataset: Dataset,
+    scale: Scale,
+    run: impl Fn(&Arc<flash_graph::Graph>, ClusterConfig) -> flash_runtime::RunStats,
+) {
+    let g = Arc::new(scale.load(dataset));
+    println!("--- {label} on {} ---", dataset.abbr());
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "nodes", "compute", "comm", "sim-net", "total", "speedup"
+    );
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = ClusterConfig::with_workers(workers)
+            .network(NetworkModel::ten_gbe())
+            .sequential(); // isolate per-worker timings for the makespan
+        let stats = run(&g, cfg);
+        let compute = stats.parallel_compute_time().as_secs_f64();
+        let comm = (stats.communicate_time() + stats.serialize_time()).as_secs_f64();
+        let net = stats.simulated_net_time().as_secs_f64();
+        let total = stats.simulated_parallel_time().as_secs_f64();
+        let base = *baseline.get_or_insert(total);
+        println!(
+            "{workers:>6} {:>10} {:>10} {:>10} {:>10} {:>8.1}x",
+            format_secs(compute),
+            format_secs(comm),
+            format_secs(net),
+            format_secs(total),
+            base / total
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Figure 4(c,d) — inter-node scaling (scale {scale:?}, simulated 10GbE, BSP makespan)\n"
+    );
+    run_scaling("TC", Dataset::Twitter, scale, |g, cfg| {
+        flash_algos::tc::run(g, cfg).expect("tc").stats
+    });
+    run_scaling("CL(k=4)", Dataset::Uk2002, scale, |g, cfg| {
+        flash_algos::clique::run(g, cfg, CLIQUE_K)
+            .expect("cl")
+            .stats
+    });
+    println!("Expected shape (paper): 2.0x (TC) and 3.5x (CL) from 1 to 4 nodes —");
+    println!("CL scales better because it is computation-heavy.");
+}

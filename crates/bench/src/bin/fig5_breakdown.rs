@@ -1,0 +1,37 @@
+//! Regenerates the §V-E time breakdown: computation / communication /
+//! serialization / simulated-network shares of the total execution time
+//! as the cluster grows.
+
+use flash_bench::harness::Scale;
+use flash_graph::Dataset;
+use flash_runtime::{ClusterConfig, NetworkModel};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let g = Arc::new(scale.load(Dataset::Twitter));
+    println!("§V-E — time breakdown of TC on TW vs cluster size (scale {scale:?}, BSP makespan)\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>7} {:>12}",
+        "nodes", "compute", "comm", "serial", "sim-net", "comp%", "bytes"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = ClusterConfig::with_workers(workers)
+            .network(NetworkModel::ten_gbe())
+            .sequential(); // isolate per-worker timings for the makespan
+        let out = flash_algos::tc::run(&g, cfg).expect("tc");
+        let s = &out.stats;
+        let compute = s.parallel_compute_time().as_secs_f64();
+        let comm = s.communicate_time().as_secs_f64();
+        let serial = s.serialize_time().as_secs_f64();
+        let net = s.simulated_net_time().as_secs_f64();
+        let total = compute + comm + serial + net;
+        println!(
+            "{workers:>6} {compute:>9.3}s {comm:>9.3}s {serial:>9.3}s {net:>9.3}s {:>6.1}% {:>12}",
+            100.0 * compute / total.max(1e-12),
+            s.total_bytes()
+        );
+    }
+    println!("\nExpected shape (paper): computation time shrinks ~linearly with");
+    println!("more nodes while communication + serialization take a growing share.");
+}

@@ -1,0 +1,61 @@
+//! `flash` — the command-line runner for the FLASH reproduction.
+//!
+//! ```text
+//! flash --algo cc --dataset US --workers 4
+//! flash --algo tc --input my_edges.txt --symmetric --mode pull
+//! ```
+//!
+//! See `flash --help` for every flag; datasets are the Table III
+//! stand-ins (set `FLASH_SCALE=small` for the reduced variants).
+
+use flash_bench::cli::{dispatch, load_graph, parse_args};
+use std::time::Instant;
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let graph = match load_graph(&opts) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "graph: {} vertices, {} arcs | algo: {} | workers: {} x {} thread(s)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        opts.algo,
+        opts.workers,
+        opts.threads
+    );
+
+    let t = Instant::now();
+    match dispatch(&opts, &graph) {
+        Ok((summary, stats)) => {
+            let wall = t.elapsed();
+            println!("result: {summary}");
+            let (vmaps, dense, sparse, global) = stats.kind_counts();
+            println!(
+                "supersteps: {} ({vmaps} vmap / {dense} dense / {sparse} sparse / {global} global)",
+                stats.num_supersteps()
+            );
+            println!(
+                "traffic: {} messages, {} bytes | wall {:.3}s | simulated net {:.3}s",
+                stats.total_messages(),
+                stats.total_bytes(),
+                wall.as_secs_f64(),
+                stats.simulated_net_time().as_secs_f64()
+            );
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

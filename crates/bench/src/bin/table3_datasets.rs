@@ -1,0 +1,52 @@
+//! Regenerates Table III: the dataset collection — paper originals next
+//! to the synthetic stand-ins actually used (see DESIGN.md §1).
+
+use flash_bench::harness::Scale;
+use flash_bench::report::render_table;
+use flash_graph::stats::graph_stats;
+use flash_graph::Dataset;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table III — dataset collection at scale {scale:?}\n");
+    let rows: Vec<(String, Vec<String>)> = Dataset::ALL
+        .iter()
+        .map(|&d| {
+            let g = scale.load(d);
+            let s = graph_stats(&g);
+            let (pv, pe) = d.paper_size();
+            (
+                d.abbr().to_string(),
+                vec![
+                    d.name().to_string(),
+                    s.vertices.to_string(),
+                    (s.edges / 2).to_string(),
+                    s.pseudo_diameter.to_string(),
+                    format!("{:.1}", s.avg_degree),
+                    s.max_degree.to_string(),
+                    d.domain().abbr().to_string(),
+                    format!("{pv}/{pe}"),
+                ],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Abbr",
+                "Dataset",
+                "|V|",
+                "|E|(und.)",
+                "Diam≈",
+                "AvgDeg",
+                "MaxDeg",
+                "Dom",
+                "Paper |V|/|E|"
+            ],
+            &rows
+        )
+    );
+    println!("Topology classes match the paper: SN = skewed/small-diameter,");
+    println!("RN = degree≈2-3/huge-diameter, WG = in between.");
+}

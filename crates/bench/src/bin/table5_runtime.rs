@@ -1,0 +1,36 @@
+//! Regenerates Table V: execution time of the first eight applications on
+//! all six datasets across the five frameworks (4 workers; Ligra single
+//! node). `FLASH_SCALE=small` runs the reduced variants.
+
+use flash_bench::harness::{run, App, Framework, Scale};
+use flash_bench::report::{cell, render_table};
+use flash_graph::Dataset;
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workers = 4;
+    println!("Table V — execution time in seconds (scale {scale:?}, {workers} workers)\n");
+
+    for app in App::TABLE5 {
+        let rows: Vec<(String, Vec<String>)> = Dataset::ALL
+            .iter()
+            .map(|&d| {
+                let g = Arc::new(scale.load(d));
+                let cells: Vec<String> = Framework::ALL
+                    .iter()
+                    .map(|&f| cell(&run(f, app, &g, workers)))
+                    .collect();
+                (d.abbr().to_string(), cells)
+            })
+            .collect();
+        println!("## {}", app.abbr());
+        println!(
+            "{}",
+            render_table(
+                &["Data", "Pregel+", "PowerG.", "Gemini", "Ligra", "FLASH"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table VI: the last six applications versus the best
+//! available baseline — Pregel+ for SCC/MSF (and BCC, which this
+//! reproduction marks unsupported in the Pregel port), PowerGraph for
+//! LPA, and no baseline at all for RC/CL.
+
+use flash_bench::harness::{run, App, Framework, Scale};
+use flash_bench::report::{cell, render_table};
+use flash_graph::Dataset;
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workers = 4;
+    println!("Table VI — execution time in seconds (scale {scale:?}, {workers} workers)\n");
+
+    for app in App::TABLE6 {
+        let baseline: Option<Framework> = match app {
+            App::Scc | App::Msf | App::Bcc => Some(Framework::PregelPlus),
+            App::Lpa => Some(Framework::PowerGraph),
+            _ => None, // RC, CL: "none of the other frameworks provided an implementation"
+        };
+        let rows: Vec<(String, Vec<String>)> = Dataset::ALL
+            .iter()
+            .map(|&d| {
+                let g = Arc::new(scale.load(d));
+                let base = match baseline {
+                    Some(f) => cell(&run(f, app, &g, workers)),
+                    None => "-".to_string(),
+                };
+                let flash = cell(&run(Framework::Flash, app, &g, workers));
+                (d.abbr().to_string(), vec![base, flash])
+            })
+            .collect();
+        let base_name = baseline.map_or("(none)", Framework::name);
+        println!("## {}  [baseline: {base_name}]", app.abbr());
+        println!("{}", render_table(&["Data", "Baseline", "FLASH"], &rows));
+    }
+}

@@ -1,0 +1,423 @@
+//! Argument parsing and dispatch for the `flash` command-line runner.
+//!
+//! ```text
+//! flash --algo bfs --dataset OR --workers 4 [--root 0]
+//! flash --algo cc  --input graph.txt --symmetric
+//! flash --algo tc  --dataset TW --mode pull --threads 4
+//! ```
+//!
+//! Kept dependency-free (hand-rolled parsing) per the workspace's crate
+//! policy.
+
+use crate::harness::Scale;
+use flash_graph::io::{read_edge_list, ReadOptions};
+use flash_graph::{Dataset, Graph};
+use flash_runtime::{ClusterConfig, ModePolicy, NetworkModel};
+use std::sync::Arc;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Algorithm name (lowercase, e.g. "bfs").
+    pub algo: String,
+    /// Table III dataset abbreviation, when used.
+    pub dataset: Option<Dataset>,
+    /// Edge-list file path, when used.
+    pub input: Option<String>,
+    /// Symmetrize a file input.
+    pub symmetric: bool,
+    /// Worker count.
+    pub workers: usize,
+    /// Threads per worker.
+    pub threads: usize,
+    /// Kernel policy.
+    pub mode: ModePolicy,
+    /// Root vertex for rooted algorithms.
+    pub root: u32,
+    /// Iterations for iterative algorithms (LPA, PageRank).
+    pub iters: usize,
+    /// Clique size for CL.
+    pub k: usize,
+    /// Attach the simulated 10 GbE model.
+    pub simulate_network: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            algo: String::new(),
+            dataset: None,
+            input: None,
+            symmetric: false,
+            workers: 4,
+            threads: 1,
+            mode: ModePolicy::Adaptive,
+            root: 0,
+            iters: 10,
+            k: 4,
+            simulate_network: false,
+        }
+    }
+}
+
+/// The algorithms the CLI can dispatch.
+pub const ALGOS: [&str; 19] = [
+    "bfs",
+    "cc",
+    "cc-opt",
+    "bc",
+    "mis",
+    "mm",
+    "mm-opt",
+    "kcore",
+    "kcore-opt",
+    "tc",
+    "gc",
+    "scc",
+    "bcc",
+    "lpa",
+    "msf",
+    "rc",
+    "cl",
+    "sssp",
+    "pagerank",
+];
+
+/// Parses CLI arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut it = args.into_iter();
+    let value_of = |flag: &str, it: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" | "-a" => opts.algo = value_of(&arg, &mut it)?.to_lowercase(),
+            "--dataset" | "-d" => {
+                let v = value_of(&arg, &mut it)?;
+                opts.dataset =
+                    Some(Dataset::from_abbr(&v).ok_or_else(|| format!("unknown dataset {v:?}"))?);
+            }
+            "--input" | "-i" => opts.input = Some(value_of(&arg, &mut it)?),
+            "--symmetric" => opts.symmetric = true,
+            "--workers" | "-w" => {
+                opts.workers = value_of(&arg, &mut it)?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--threads" | "-t" => {
+                opts.threads = value_of(&arg, &mut it)?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--mode" | "-m" => {
+                opts.mode = match value_of(&arg, &mut it)?.as_str() {
+                    "auto" | "adaptive" => ModePolicy::Adaptive,
+                    "push" | "sparse" => ModePolicy::ForceSparse,
+                    "pull" | "dense" => ModePolicy::ForceDense,
+                    other => return Err(format!("unknown mode {other:?}")),
+                };
+            }
+            "--root" | "-r" => {
+                opts.root = value_of(&arg, &mut it)?
+                    .parse()
+                    .map_err(|_| "--root needs a vertex id".to_string())?;
+            }
+            "--iters" => {
+                opts.iters = value_of(&arg, &mut it)?
+                    .parse()
+                    .map_err(|_| "--iters needs an integer".to_string())?;
+            }
+            "--k" => {
+                opts.k = value_of(&arg, &mut it)?
+                    .parse()
+                    .map_err(|_| "--k needs an integer".to_string())?;
+            }
+            "--simulate-network" => opts.simulate_network = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if opts.algo.is_empty() {
+        return Err(format!("--algo is required\n{}", usage()));
+    }
+    if !ALGOS.contains(&opts.algo.as_str()) {
+        return Err(format!(
+            "unknown algorithm {:?}; available: {}",
+            opts.algo,
+            ALGOS.join(", ")
+        ));
+    }
+    if opts.dataset.is_none() && opts.input.is_none() {
+        return Err("one of --dataset or --input is required".to_string());
+    }
+    if opts.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    format!(
+        "usage: flash --algo <name> (--dataset <OR|TW|US|EU|UK|SK> | --input <edges.txt>)\n\
+         \x20      [--workers N] [--threads N] [--mode auto|push|pull] [--root V]\n\
+         \x20      [--iters N] [--k N] [--symmetric] [--simulate-network]\n\
+         algorithms: {}",
+        ALGOS.join(", ")
+    )
+}
+
+/// Loads the graph an options set refers to.
+pub fn load_graph(opts: &CliOptions) -> Result<Arc<Graph>, String> {
+    if let Some(d) = opts.dataset {
+        return Ok(Arc::new(Scale::from_env().load(d)));
+    }
+    let path = opts.input.as_ref().expect("validated by parse_args");
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let g = read_edge_list(
+        file,
+        ReadOptions {
+            symmetric: opts.symmetric,
+            dedup: true,
+            drop_self_loops: true,
+        },
+    )
+    .map_err(|e| format!("cannot parse {path:?}: {e}"))?;
+    Ok(Arc::new(g))
+}
+
+/// Builds the cluster configuration an options set describes.
+pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
+    let mut cfg = ClusterConfig::with_workers(opts.workers)
+        .mode(opts.mode)
+        .threads(opts.threads);
+    if opts.simulate_network {
+        cfg = cfg.network(NetworkModel::ten_gbe());
+    }
+    cfg
+}
+
+/// Runs the selected algorithm, returning a human-readable result summary
+/// and the execution statistics.
+pub fn dispatch(
+    opts: &CliOptions,
+    g: &Arc<Graph>,
+) -> Result<(String, flash_runtime::RunStats), String> {
+    let cfg = cluster_config(opts);
+    let fail = |e: flash_runtime::RuntimeError| e.to_string();
+    Ok(match opts.algo.as_str() {
+        "bfs" => {
+            let out = flash_algos::bfs::run(g, cfg, opts.root).map_err(fail)?;
+            let reached = out.result.iter().filter(|&&d| d != u32::MAX).count();
+            let ecc = out.result.iter().filter(|&&d| d != u32::MAX).max().copied();
+            (
+                format!("reached {reached} vertices; eccentricity {ecc:?}"),
+                out.stats,
+            )
+        }
+        "cc" | "cc-opt" => {
+            let out = if opts.algo == "cc" {
+                flash_algos::cc::run(g, cfg).map_err(fail)?
+            } else {
+                flash_algos::cc_opt::run(g, cfg).map_err(fail)?
+            };
+            let mut labels = out.result.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            (format!("{} connected components", labels.len()), out.stats)
+        }
+        "bc" => {
+            let out = flash_algos::bc::run(g, cfg, opts.root).map_err(fail)?;
+            let best = out
+                .result
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| v as u32 != opts.root)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(v, s)| (v, *s));
+            (format!("max dependency: {best:?}"), out.stats)
+        }
+        "mis" => {
+            let out = flash_algos::mis::run(g, cfg).map_err(fail)?;
+            let size = out.result.iter().filter(|&&b| b).count();
+            (format!("independent set of {size} vertices"), out.stats)
+        }
+        "mm" | "mm-opt" => {
+            let out = if opts.algo == "mm" {
+                flash_algos::mm::run(g, cfg).map_err(fail)?
+            } else {
+                flash_algos::mm_opt::run(g, cfg).map_err(fail)?
+            };
+            let matched = out.result.partner.iter().filter(|p| p.is_some()).count();
+            (
+                format!(
+                    "{} matched pairs over {} rounds",
+                    matched / 2,
+                    out.result.frontier_per_round.len()
+                ),
+                out.stats,
+            )
+        }
+        "kcore" | "kcore-opt" => {
+            let out = if opts.algo == "kcore" {
+                flash_algos::kcore::run(g, cfg).map_err(fail)?
+            } else {
+                flash_algos::kcore_opt::run(g, cfg).map_err(fail)?
+            };
+            let max = out.result.iter().max().copied().unwrap_or(0);
+            (format!("max core number {max}"), out.stats)
+        }
+        "tc" => {
+            let out = flash_algos::tc::run(g, cfg).map_err(fail)?;
+            (format!("{} triangles", out.result), out.stats)
+        }
+        "gc" => {
+            let out = flash_algos::gc::run(g, cfg).map_err(fail)?;
+            let colors = out.result.iter().max().map_or(0, |&c| c + 1);
+            (format!("proper coloring with {colors} colors"), out.stats)
+        }
+        "scc" => {
+            let out = flash_algos::scc::run(g, cfg).map_err(fail)?;
+            let mut labels = out.result.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            (
+                format!("{} strongly connected components", labels.len()),
+                out.stats,
+            )
+        }
+        "bcc" => {
+            let out = flash_algos::bcc::run(g, cfg).map_err(fail)?;
+            let labels: std::collections::HashSet<u32> = (0..g.num_vertices() as u32)
+                .filter(|&v| out.result.parent[v as usize].is_some())
+                .map(|v| out.result.label[v as usize])
+                .collect();
+            (
+                format!("{} biconnected components", labels.len()),
+                out.stats,
+            )
+        }
+        "lpa" => {
+            let out = flash_algos::lpa::run(g, cfg, opts.iters).map_err(fail)?;
+            let mut labels = out.result.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            (format!("{} communities", labels.len()), out.stats)
+        }
+        "msf" => {
+            let out = flash_algos::msf::run(g, cfg).map_err(fail)?;
+            (
+                format!(
+                    "forest of {} edges, total weight {:.3}",
+                    out.result.edges.len(),
+                    out.result.total_weight
+                ),
+                out.stats,
+            )
+        }
+        "rc" => {
+            let out = flash_algos::rc::run(g, cfg).map_err(fail)?;
+            (format!("{} rectangles", out.result), out.stats)
+        }
+        "cl" => {
+            let out = flash_algos::clique::run(g, cfg, opts.k).map_err(fail)?;
+            (format!("{} {}-cliques", out.result, opts.k), out.stats)
+        }
+        "sssp" => {
+            let out = flash_algos::sssp::run(g, cfg, opts.root).map_err(fail)?;
+            let reached = out.result.iter().filter(|d| d.is_finite()).count();
+            (format!("reached {reached} vertices"), out.stats)
+        }
+        "pagerank" => {
+            let out = flash_algos::pagerank::run(g, cfg, opts.iters).map_err(fail)?;
+            let top = out
+                .result
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(v, r)| (v, *r));
+            (format!("top vertex by rank: {top:?}"), out.stats)
+        }
+        other => return Err(format!("unhandled algorithm {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command() {
+        let o = parse_args(args(
+            "--algo bfs --dataset or --workers 8 --threads 2 --mode pull --root 7",
+        ))
+        .unwrap();
+        assert_eq!(o.algo, "bfs");
+        assert_eq!(o.dataset, Some(Dataset::Orkut));
+        assert_eq!(o.workers, 8);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.mode, ModePolicy::ForceDense);
+        assert_eq!(o.root, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(args("--dataset OR")).is_err()); // no algo
+        assert!(parse_args(args("--algo nosuch --dataset OR")).is_err());
+        assert!(parse_args(args("--algo bfs")).is_err()); // no graph
+        assert!(parse_args(args("--algo bfs --dataset ZZ")).is_err());
+        assert!(parse_args(args("--algo bfs --dataset OR --workers 0")).is_err());
+        assert!(parse_args(args("--algo bfs --dataset OR --workers x")).is_err());
+        assert!(parse_args(args("--algo bfs --dataset OR --bogus")).is_err());
+    }
+
+    #[test]
+    fn every_advertised_algorithm_dispatches() {
+        let g = Arc::new(flash_graph::generators::erdos_renyi(40, 120, 3));
+        let weighted = Arc::new(flash_graph::generators::with_random_weights(
+            &g, 0.1, 2.0, 4,
+        ));
+        for algo in ALGOS {
+            let mut o =
+                parse_args(args(&format!("--algo {algo} --dataset OR --workers 2"))).unwrap();
+            o.iters = 3;
+            let graph = if algo == "msf" || algo == "sssp" {
+                &weighted
+            } else {
+                &g
+            };
+            let (summary, stats) = dispatch(&o, graph).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(!summary.is_empty(), "{algo}");
+            assert!(stats.num_supersteps() > 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn file_input_roundtrip() {
+        let dir = std::env::temp_dir().join("flash_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let o = parse_args(args(&format!(
+            "--algo tc --input {} --symmetric --workers 2",
+            path.display()
+        )))
+        .unwrap();
+        let g = load_graph(&o).unwrap();
+        let (summary, _) = dispatch(&o, &g).unwrap();
+        assert_eq!(summary, "1 triangles");
+    }
+
+    #[test]
+    fn usage_mentions_flags_and_algos() {
+        let u = usage();
+        assert!(u.contains("--workers"));
+        assert!(u.contains("bfs"));
+        assert!(u.contains("cl"));
+    }
+}

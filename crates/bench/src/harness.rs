@@ -1,0 +1,399 @@
+//! The framework × application × dataset execution matrix.
+
+use flash_baselines::gas::{self, GasConfig};
+use flash_baselines::ligra;
+use flash_baselines::pregel::{self, PregelConfig};
+use flash_baselines::BaselineError;
+use flash_graph::{Dataset, Graph};
+use flash_runtime::ClusterConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The scale experiments run at (`FLASH_SCALE=small` selects the ~10×
+/// smaller dataset variants for smoke runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The default Table III stand-in sizes.
+    Full,
+    /// ~10× smaller variants for quick iterations.
+    Small,
+}
+
+impl Scale {
+    /// Reads `FLASH_SCALE` from the environment (default `Full`).
+    pub fn from_env() -> Scale {
+        match std::env::var("FLASH_SCALE").as_deref() {
+            Ok("small") | Ok("SMALL") => Scale::Small,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Loads a dataset at this scale.
+    pub fn load(self, d: Dataset) -> Graph {
+        match self {
+            Scale::Full => d.load(),
+            Scale::Small => d.load_small(),
+        }
+    }
+}
+
+/// The evaluated systems (the paper's five columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framework {
+    /// Pregel+-style message passing ([`flash_baselines::pregel`]).
+    PregelPlus,
+    /// PowerGraph-style GAS ([`flash_baselines::gas`]).
+    PowerGraph,
+    /// Gemini-style: the FLASH runtime restricted to Gemini's model —
+    /// fixed-length properties, neighborhood-only, basic algorithms.
+    Gemini,
+    /// Ligra-style shared memory, single node ([`flash_baselines::ligra`]).
+    Ligra,
+    /// FLASH itself.
+    Flash,
+}
+
+impl Framework {
+    /// All frameworks, in the paper's column order.
+    pub const ALL: [Framework; 5] = [
+        Framework::PregelPlus,
+        Framework::PowerGraph,
+        Framework::Gemini,
+        Framework::Ligra,
+        Framework::Flash,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::PregelPlus => "Pregel+",
+            Framework::PowerGraph => "PowerG.",
+            Framework::Gemini => "Gemini",
+            Framework::Ligra => "Ligra",
+            Framework::Flash => "FLASH",
+        }
+    }
+}
+
+/// The evaluated applications (Table IV), plus the advanced variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum App {
+    /// Connected components.
+    Cc,
+    /// Breadth-first search.
+    Bfs,
+    /// Betweenness centrality (single source).
+    Bc,
+    /// Maximal independent set.
+    Mis,
+    /// Maximal matching.
+    Mm,
+    /// K-core decomposition.
+    Kc,
+    /// Triangle counting.
+    Tc,
+    /// Graph coloring.
+    Gc,
+    /// Strongly connected components.
+    Scc,
+    /// Biconnected components.
+    Bcc,
+    /// Label propagation (fixed iterations).
+    Lpa,
+    /// Minimum spanning forest.
+    Msf,
+    /// Rectangle counting.
+    Rc,
+    /// 4-clique counting.
+    Cl,
+}
+
+impl App {
+    /// The first eight applications (Table V).
+    pub const TABLE5: [App; 8] = [
+        App::Cc,
+        App::Bfs,
+        App::Bc,
+        App::Mis,
+        App::Mm,
+        App::Kc,
+        App::Tc,
+        App::Gc,
+    ];
+
+    /// The last six applications (Table VI).
+    pub const TABLE6: [App; 6] = [App::Scc, App::Bcc, App::Lpa, App::Msf, App::Rc, App::Cl];
+
+    /// Display abbreviation (Table IV).
+    pub fn abbr(self) -> &'static str {
+        match self {
+            App::Cc => "CC",
+            App::Bfs => "BFS",
+            App::Bc => "BC",
+            App::Mis => "MIS",
+            App::Mm => "MM",
+            App::Kc => "KC",
+            App::Tc => "TC",
+            App::Gc => "GC",
+            App::Scc => "SCC",
+            App::Bcc => "BCC",
+            App::Lpa => "LPA",
+            App::Msf => "MSF",
+            App::Rc => "RC",
+            App::Cl => "CL",
+        }
+    }
+}
+
+/// LPA iteration count used across all frameworks.
+pub const LPA_ITERS: usize = 10;
+/// Clique size (the paper evaluates CL at k = 4).
+pub const CLIQUE_K: usize = 4;
+
+/// The outcome of one (framework, app, dataset) cell.
+#[derive(Clone, Debug)]
+pub enum RunResult {
+    /// Completed in `seconds`.
+    ///
+    /// For the distributed frameworks this is the **BSP makespan**
+    /// (per-superstep maximum worker compute time + barrier time, workers
+    /// executed sequentially so each is timed in isolation) — the paper's
+    /// multi-core cluster parallelism is unobservable as wall time on a
+    /// single-core host. For the shared-memory Ligra engine it is plain
+    /// wall time. See DESIGN.md §1.
+    Ok {
+        /// Simulated-parallel (distributed) or wall (Ligra) seconds.
+        seconds: f64,
+    },
+    /// The model cannot express the application (a "–" cell).
+    Unsupported,
+    /// The run failed or exceeded its budget (an "OT" cell).
+    Failed(String),
+}
+
+impl RunResult {
+    /// Seconds, when the run completed.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            RunResult::Ok { seconds } => Some(*seconds),
+            _ => None,
+        }
+    }
+}
+
+fn ok(start: Instant) -> RunResult {
+    RunResult::Ok {
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn from_baseline<T>(
+    start: Instant,
+    r: Result<flash_baselines::BaselineOutput<T>, BaselineError>,
+) -> RunResult {
+    match r {
+        Ok(out) if !out.stats.makespan.is_zero() => RunResult::Ok {
+            seconds: out.stats.makespan.as_secs_f64(),
+        },
+        Ok(_) => ok(start),
+        Err(BaselineError::Unsupported { .. }) => RunResult::Unsupported,
+        Err(e) => RunResult::Failed(e.to_string()),
+    }
+}
+
+fn from_flash<T>(
+    start: Instant,
+    r: Result<flash_algos::AlgoOutput<T>, flash_runtime::RuntimeError>,
+) -> RunResult {
+    match r {
+        Ok(out) if !out.stats.simulated_parallel_time().is_zero() => RunResult::Ok {
+            seconds: out.stats.simulated_parallel_time().as_secs_f64(),
+        },
+        Ok(_) => ok(start),
+        Err(e) => RunResult::Failed(e.to_string()),
+    }
+}
+
+/// Executes one cell of the evaluation matrix. `workers` applies to the
+/// distributed frameworks; Ligra always runs on "one node".
+pub fn run(framework: Framework, app: App, graph: &Arc<Graph>, workers: usize) -> RunResult {
+    match framework {
+        Framework::Flash => run_flash(app, graph, workers),
+        Framework::Gemini => run_gemini(app, graph, workers),
+        Framework::PregelPlus => run_pregel(app, graph, workers),
+        Framework::PowerGraph => run_gas(app, graph, workers),
+        Framework::Ligra => run_ligra(app, graph),
+    }
+}
+
+fn flash_cfg(workers: usize) -> ClusterConfig {
+    // Sequential worker execution isolates per-worker timings so the BSP
+    // makespan is meaningful (see `RunResult::Ok`).
+    ClusterConfig::with_workers(workers).sequential()
+}
+
+fn run_flash(app: App, g: &Arc<Graph>, workers: usize) -> RunResult {
+    // CC-opt dominates on large-diameter graphs, label propagation on
+    // small-diameter ones; pick the best variant, as the paper does for
+    // frameworks with several implementations. The diameter probe is
+    // pre-processing and stays outside the timed region (the paper
+    // excludes pre-processing from every measurement).
+    let long_diameter = app == App::Cc && flash_graph::stats::pseudo_diameter(g, 0) > 64;
+    let t = Instant::now();
+    match app {
+        App::Cc => {
+            if long_diameter {
+                from_flash(t, flash_algos::cc_opt::run(g, flash_cfg(workers)))
+            } else {
+                from_flash(t, flash_algos::cc::run(g, flash_cfg(workers)))
+            }
+        }
+        App::Bfs => from_flash(t, flash_algos::bfs::run(g, flash_cfg(workers), 0)),
+        App::Bc => from_flash(t, flash_algos::bc::run(g, flash_cfg(workers), 0)),
+        App::Mis => from_flash(t, flash_algos::mis::run(g, flash_cfg(workers))),
+        App::Mm => from_flash(t, flash_algos::mm_opt::run(g, flash_cfg(workers))),
+        App::Kc => from_flash(t, flash_algos::kcore_opt::run(g, flash_cfg(workers))),
+        App::Tc => from_flash(t, flash_algos::tc::run(g, flash_cfg(workers))),
+        App::Gc => from_flash(t, flash_algos::gc::run(g, flash_cfg(workers))),
+        App::Scc => from_flash(t, flash_algos::scc::run(g, flash_cfg(workers))),
+        App::Bcc => from_flash(t, flash_algos::bcc::run(g, flash_cfg(workers))),
+        App::Lpa => from_flash(t, flash_algos::lpa::run(g, flash_cfg(workers), LPA_ITERS)),
+        App::Msf => from_flash(t, flash_algos::msf::run(g, flash_cfg(workers))),
+        App::Rc => from_flash(t, flash_algos::rc::run(g, flash_cfg(workers))),
+        App::Cl => from_flash(t, flash_algos::clique::run(g, flash_cfg(workers), CLIQUE_K)),
+    }
+}
+
+/// Gemini: the FLASH runtime constrained to Gemini's programming model —
+/// only the basic, fixed-length-property, neighborhood-only algorithms
+/// (Table I marks everything else inexpressible).
+fn run_gemini(app: App, g: &Arc<Graph>, workers: usize) -> RunResult {
+    let t = Instant::now();
+    match app {
+        App::Cc => from_flash(t, flash_algos::cc::run(g, flash_cfg(workers))),
+        App::Bfs => from_flash(t, flash_algos::bfs::run(g, flash_cfg(workers), 0)),
+        App::Bc => from_flash(t, flash_algos::bc::run(g, flash_cfg(workers), 0)),
+        App::Mis => from_flash(t, flash_algos::mis::run(g, flash_cfg(workers))),
+        App::Mm => from_flash(t, flash_algos::mm::run(g, flash_cfg(workers))),
+        _ => RunResult::Unsupported,
+    }
+}
+
+fn run_pregel(app: App, g: &Arc<Graph>, workers: usize) -> RunResult {
+    let cfg = PregelConfig::with_workers(workers).sequential();
+    let t = Instant::now();
+    match app {
+        App::Cc => from_baseline(t, pregel::algos::cc(g, cfg)),
+        App::Bfs => from_baseline(t, pregel::algos::bfs(g, cfg, 0)),
+        App::Bc => from_baseline(t, pregel::algos::bc(g, cfg, 0)),
+        App::Mis => from_baseline(t, pregel::algos::mis(g, cfg)),
+        App::Mm => from_baseline(t, pregel::algos::mm(g, cfg)),
+        App::Kc => from_baseline(t, pregel::algos::kcore(g, cfg)),
+        App::Tc => from_baseline(t, pregel::algos::tc(g, cfg)),
+        App::Gc => from_baseline(t, pregel::algos::gc(g, cfg)),
+        App::Scc => from_baseline(t, pregel::algos::scc(g, cfg)),
+        App::Lpa => from_baseline(t, pregel::algos::lpa(g, cfg, LPA_ITERS)),
+        App::Msf => from_baseline(t, pregel::algos::msf(g, cfg)),
+        // Pregel+'s BCC exists in the paper (3000+ lines); this
+        // reproduction marks it out of scope for the Pregel model port.
+        App::Bcc | App::Rc | App::Cl => RunResult::Unsupported,
+    }
+}
+
+fn run_gas(app: App, g: &Arc<Graph>, workers: usize) -> RunResult {
+    let cfg = GasConfig::with_workers(workers).sequential();
+    let t = Instant::now();
+    match app {
+        App::Cc => from_baseline(t, gas::algos::cc(g, cfg)),
+        App::Bfs => from_baseline(t, gas::algos::bfs(g, cfg, 0)),
+        App::Bc => from_baseline(t, gas::algos::bc(g, cfg, 0)),
+        App::Mis => from_baseline(t, gas::algos::mis(g, cfg)),
+        App::Mm => from_baseline(t, gas::algos::mm(g, cfg)),
+        App::Kc => from_baseline(t, gas::algos::kcore(g, cfg)),
+        App::Tc => from_baseline(t, gas::algos::tc(g, cfg)),
+        App::Gc => from_baseline(t, gas::algos::gc(g, cfg)),
+        App::Lpa => from_baseline(t, gas::algos::lpa(g, cfg, LPA_ITERS)),
+        App::Scc | App::Bcc | App::Msf | App::Rc | App::Cl => RunResult::Unsupported,
+    }
+}
+
+fn run_ligra(app: App, g: &Arc<Graph>) -> RunResult {
+    let t = Instant::now();
+    match app {
+        App::Cc => {
+            ligra::algos::cc(g);
+            ok(t)
+        }
+        App::Bfs => {
+            ligra::algos::bfs(g, 0);
+            ok(t)
+        }
+        App::Bc => {
+            ligra::algos::bc(g, 0);
+            ok(t)
+        }
+        App::Mis => {
+            ligra::algos::mis(g);
+            ok(t)
+        }
+        App::Mm => {
+            ligra::algos::mm(g);
+            ok(t)
+        }
+        App::Kc => {
+            ligra::algos::kcore(g);
+            ok(t)
+        }
+        App::Tc => {
+            ligra::algos::tc(g);
+            ok(t)
+        }
+        App::Gc | App::Scc | App::Bcc | App::Lpa | App::Msf | App::Rc | App::Cl => {
+            RunResult::Unsupported
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::generators;
+
+    #[test]
+    fn every_framework_handles_bfs() {
+        let g = Arc::new(generators::erdos_renyi(60, 150, 1));
+        for f in Framework::ALL {
+            let r = run(f, App::Bfs, &g, 2);
+            assert!(r.seconds().is_some(), "{} failed BFS: {r:?}", f.name());
+        }
+    }
+
+    #[test]
+    fn unsupported_cells_match_table_i() {
+        let g = Arc::new(generators::erdos_renyi(30, 60, 2));
+        assert!(matches!(
+            run(Framework::PowerGraph, App::Rc, &g, 2),
+            RunResult::Unsupported
+        ));
+        assert!(matches!(
+            run(Framework::Ligra, App::Gc, &g, 2),
+            RunResult::Unsupported
+        ));
+        assert!(matches!(
+            run(Framework::Gemini, App::Tc, &g, 2),
+            RunResult::Unsupported
+        ));
+        // FLASH supports the full catalogue.
+        for app in App::TABLE5.into_iter().chain(App::TABLE6) {
+            let r = run(Framework::Flash, app, &g, 2);
+            assert!(r.seconds().is_some(), "FLASH failed {}: {r:?}", app.abbr());
+        }
+    }
+
+    #[test]
+    fn scale_env_parsing() {
+        assert_eq!(Scale::Full, Scale::Full);
+        let g = Scale::Small.load(Dataset::Orkut);
+        assert!(g.num_vertices() < Dataset::Orkut.load().num_vertices());
+    }
+}

@@ -1,0 +1,231 @@
+//! Logical-lines-of-code counting for Table I.
+//!
+//! The paper counts LLoCs "in the core functions, while ignoring the
+//! comments, input/output expressions, and data structure (e.g., the
+//! graph) definitions". We do the same mechanically: every algorithm in
+//! `flash-algos` brackets its core with `FLASH-ALGORITHM-BEGIN/END`
+//! markers, and [`count_lloc`] counts the logical lines between them —
+//! non-empty, non-comment lines, with multi-line expressions folded by
+//! counting only lines that *end* a statement or open/close a block.
+//!
+//! Competitor LLoCs cannot be measured (we own none of their code); Table
+//! I's reported constants are reproduced in [`PAPER_LLOC`].
+
+/// One algorithm's embedded source and metadata.
+pub struct AlgoSource {
+    /// Table I row label.
+    pub name: &'static str,
+    /// Marker key inside the source file.
+    pub key: &'static str,
+    /// The full module source (embedded at compile time).
+    pub source: &'static str,
+}
+
+/// All Table I rows with their FLASH sources.
+pub fn sources() -> Vec<AlgoSource> {
+    vec![
+        AlgoSource {
+            name: "CC-basic",
+            key: "cc",
+            source: include_str!("../../algos/src/cc.rs"),
+        },
+        AlgoSource {
+            name: "CC-opt",
+            key: "cc_opt",
+            source: include_str!("../../algos/src/cc_opt.rs"),
+        },
+        AlgoSource {
+            name: "BFS",
+            key: "bfs",
+            source: include_str!("../../algos/src/bfs.rs"),
+        },
+        AlgoSource {
+            name: "BC",
+            key: "bc",
+            source: include_str!("../../algos/src/bc.rs"),
+        },
+        AlgoSource {
+            name: "MIS",
+            key: "mis",
+            source: include_str!("../../algos/src/mis.rs"),
+        },
+        AlgoSource {
+            name: "MM-basic",
+            key: "mm",
+            source: include_str!("../../algos/src/mm.rs"),
+        },
+        AlgoSource {
+            name: "MM-opt",
+            key: "mm_opt",
+            source: include_str!("../../algos/src/mm_opt.rs"),
+        },
+        AlgoSource {
+            name: "KC",
+            key: "kcore",
+            source: include_str!("../../algos/src/kcore.rs"),
+        },
+        AlgoSource {
+            name: "TC",
+            key: "tc",
+            source: include_str!("../../algos/src/tc.rs"),
+        },
+        AlgoSource {
+            name: "GC",
+            key: "gc",
+            source: include_str!("../../algos/src/gc.rs"),
+        },
+        AlgoSource {
+            name: "SCC",
+            key: "scc",
+            source: include_str!("../../algos/src/scc.rs"),
+        },
+        AlgoSource {
+            name: "BCC",
+            key: "bcc",
+            source: include_str!("../../algos/src/bcc.rs"),
+        },
+        AlgoSource {
+            name: "LPA",
+            key: "lpa",
+            source: include_str!("../../algos/src/lpa.rs"),
+        },
+        AlgoSource {
+            name: "MSF",
+            key: "msf",
+            source: include_str!("../../algos/src/msf.rs"),
+        },
+        AlgoSource {
+            name: "RC",
+            key: "rc",
+            source: include_str!("../../algos/src/rc.rs"),
+        },
+        AlgoSource {
+            name: "CL",
+            key: "clique",
+            source: include_str!("../../algos/src/clique.rs"),
+        },
+    ]
+}
+
+/// Extracts the marked core region of an algorithm source.
+pub fn core_region<'a>(source: &'a str, key: &str) -> Option<&'a str> {
+    let begin = format!("FLASH-ALGORITHM-BEGIN: {key}");
+    let end = format!("FLASH-ALGORITHM-END: {key}");
+    let b = source.find(&begin)? + begin.len();
+    let e = source[b..].find(&end)? + b;
+    Some(&source[b..e])
+}
+
+/// Counts logical lines: skips blanks and comments; a physical line counts
+/// only when it completes a statement or opens/closes a block (`;`, `{`,
+/// `}`, or a closure arm ending in `,` at top level of a call are the
+/// practical Rust statement terminators).
+pub fn count_lloc(code: &str) -> usize {
+    code.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter(|l| !l.starts_with("//"))
+        .filter(|l| {
+            l.ends_with(';')
+                || l.ends_with('{')
+                || l.ends_with('}')
+                || l.ends_with("},")
+                || l.ends_with(");")
+                || l.ends_with(')')
+        })
+        .count()
+}
+
+/// LLoC of one Table I row's FLASH implementation.
+pub fn flash_lloc(key: &str) -> Option<usize> {
+    sources()
+        .into_iter()
+        .find(|s| s.key == key)
+        .and_then(|s| core_region(s.source, s.key).map(count_lloc))
+}
+
+/// Table I as reported by the paper: `(row, pregel+, powergraph, gemini,
+/// ligra, flash)`; `None` = the paper's ∅ (inexpressible).
+pub type PaperRow = (
+    &'static str,
+    Option<usize>,
+    Option<usize>,
+    Option<usize>,
+    Option<usize>,
+    usize,
+);
+
+/// The paper's reported Table I numbers.
+pub const PAPER_LLOC: [PaperRow; 16] = [
+    ("CC-basic", Some(30), Some(36), Some(50), Some(26), 12),
+    ("CC-opt", Some(63), None, None, None, 56),
+    ("BFS", Some(22), Some(25), Some(56), Some(20), 13),
+    ("BC", Some(49), Some(162), Some(139), Some(75), 33),
+    ("MIS", Some(48), Some(53), Some(112), Some(37), 23),
+    ("MM-basic", Some(57), Some(66), Some(98), Some(59), 20),
+    ("MM-opt", Some(84), None, None, None, 27),
+    ("KC", Some(35), Some(32), None, Some(45), 20),
+    ("TC", Some(31), Some(181), None, Some(38), 22),
+    ("GC", Some(48), Some(58), None, None, 24),
+    ("SCC", Some(275), None, None, None, 74),
+    ("BCC", Some(1057), None, None, None, 77),
+    ("LPA", Some(51), Some(46), None, None, 26),
+    ("MSF", Some(208), None, None, None, 24),
+    ("RC", None, None, None, None, 23),
+    ("CL", None, None, None, None, 33),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_has_a_marked_core() {
+        for s in sources() {
+            let region = core_region(s.source, s.key);
+            assert!(region.is_some(), "{} missing markers", s.name);
+            let lloc = count_lloc(region.unwrap());
+            assert!(lloc > 3, "{}: suspiciously few lines ({lloc})", s.name);
+            assert!(lloc < 200, "{}: suspiciously many lines ({lloc})", s.name);
+        }
+    }
+
+    #[test]
+    fn counter_skips_blanks_and_comments() {
+        let code = r#"
+            // a comment
+            let x = 1;
+
+            if cond {
+                y();
+            }
+        "#;
+        assert_eq!(count_lloc(code), 4);
+    }
+
+    #[test]
+    fn flash_stays_leaner_than_pregel_everywhere() {
+        // The productivity claim, measured on our own sources against the
+        // paper's reported Pregel+ numbers.
+        for (name, pregel, _, _, _, _) in PAPER_LLOC {
+            let key = sources()
+                .into_iter()
+                .find(|s| s.name == name)
+                .map(|s| s.key)
+                .unwrap();
+            let ours = flash_lloc(key).unwrap();
+            if let Some(p) = pregel {
+                assert!(
+                    ours <= p,
+                    "{name}: our FLASH impl has {ours} LLoC vs Pregel+'s {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_has_16_rows() {
+        assert_eq!(PAPER_LLOC.len(), 16);
+        assert_eq!(sources().len(), 16);
+    }
+}

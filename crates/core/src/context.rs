@@ -1,0 +1,463 @@
+//! The FLASH execution context: `VERTEXMAP`, `EDGEMAP` and friends.
+
+use crate::edgeset::EdgeSet;
+use crate::subset::VertexSubset;
+use crate::EdgeRef;
+use flash_graph::{BitSet, Graph, HashPartitioner, PartitionMap, VertexId};
+use flash_runtime::par::parallel_chunks;
+use flash_runtime::{
+    Cluster, ClusterConfig, ModePolicy, RunStats, RuntimeError, StepKind, SyncScope, VertexData,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A FLASH program's handle to the distributed runtime.
+///
+/// One context owns one graph, one partitioning, and the per-worker vertex
+/// state of type `V`. The paper's primitives map to methods:
+///
+/// | Paper                        | Method                                   |
+/// |------------------------------|------------------------------------------|
+/// | `SIZE(U)`                    | [`VertexSubset::len`]                    |
+/// | `VERTEXMAP(U, F, M)`         | [`FlashContext::vertex_map`]             |
+/// | `VERTEXMAP(U, F)` (filter)   | [`FlashContext::vertex_filter`]          |
+/// | `EDGEMAP(U, H, F, M, C, R)`  | [`FlashContext::edge_map`]               |
+/// | `EDGEMAPDENSE(U, H, F, M, C)`| [`FlashContext::edge_map_dense`]         |
+/// | `EDGEMAPSPARSE(U,H,F,M,C,R)` | [`FlashContext::edge_map_sparse`]        |
+/// | UNION/MINUS/INTERSECT/…      | methods on [`VertexSubset`]              |
+/// | global `REDUCE` / folds      | [`FlashContext::fold`], [`FlashContext::gather`] |
+///
+/// The paper's `bind` operator (supplying global variables to local
+/// functions) is ordinary Rust closure capture.
+pub struct FlashContext<V: VertexData> {
+    cluster: Cluster<V>,
+}
+
+impl<V: VertexData> FlashContext<V> {
+    /// Builds a context with the default hash partitioner.
+    pub fn build(
+        graph: Arc<Graph>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError> {
+        let partition = PartitionMap::build(&graph, config.workers, &HashPartitioner)
+            .map_err(|_| RuntimeError::NoWorkers)?;
+        Self::with_partition(graph, Arc::new(partition), config, init)
+    }
+
+    /// Builds a context over an explicit partitioning.
+    pub fn with_partition(
+        graph: Arc<Graph>,
+        partition: Arc<PartitionMap>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError> {
+        Ok(FlashContext {
+            cluster: Cluster::new(graph, partition, config, init)?,
+        })
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Graph {
+        self.cluster.graph()
+    }
+
+    /// An owning handle to the graph (for capture in closures).
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        self.cluster.graph_arc()
+    }
+
+    /// `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.cluster.num_vertices()
+    }
+
+    /// Number of workers `m`.
+    pub fn num_workers(&self) -> usize {
+        self.cluster.num_workers()
+    }
+
+    /// The subset `V` (all vertices).
+    pub fn all(&self) -> VertexSubset {
+        VertexSubset::full(self.num_vertices())
+    }
+
+    /// The empty subset.
+    pub fn empty(&self) -> VertexSubset {
+        VertexSubset::empty(self.num_vertices())
+    }
+
+    /// A subset from explicit ids.
+    pub fn subset<I: IntoIterator<Item = VertexId>>(&self, ids: I) -> VertexSubset {
+        VertexSubset::from_ids(self.num_vertices(), ids)
+    }
+
+    /// The authoritative value of `v`.
+    pub fn value(&self, v: VertexId) -> &V {
+        self.cluster.value(v)
+    }
+
+    /// Extracts a per-vertex result from the authoritative replicas.
+    pub fn collect<T>(&self, f: impl Fn(VertexId, &V) -> T) -> Vec<T> {
+        self.cluster.collect(f)
+    }
+
+    /// Statistics recorded so far.
+    pub fn stats(&self) -> &RunStats {
+        self.cluster.stats()
+    }
+
+    /// Takes and resets recorded statistics.
+    pub fn take_stats(&mut self) -> RunStats {
+        self.cluster.take_stats()
+    }
+
+    /// Mutable access to the cluster configuration (mode policy etc.).
+    pub fn config_mut(&mut self) -> &mut ClusterConfig {
+        self.cluster.config_mut()
+    }
+
+    /// Raw cluster access for advanced operators (vertex-centric layer,
+    /// driver-side global algorithms).
+    pub fn cluster_mut(&mut self) -> &mut Cluster<V> {
+        &mut self.cluster
+    }
+
+    // ------------------------------------------------------------------
+    // VERTEXMAP
+    // ------------------------------------------------------------------
+
+    /// `VERTEXMAP(U, F, M)` (Algorithm 1): applies `m` to every vertex of
+    /// `u` passing `f`; returns the subset of passing vertices.
+    ///
+    /// `m` receives a clone of the vertex's current value and mutates it
+    /// into the new value; FLASHWARE publishes the write and synchronizes
+    /// mirrors at the implicit barrier.
+    pub fn vertex_map(
+        &mut self,
+        u: &VertexSubset,
+        f: impl Fn(VertexId, &V) -> bool + Sync,
+        m: impl Fn(VertexId, &mut V) + Sync,
+    ) -> VertexSubset {
+        let n = self.num_vertices();
+        let out =
+            self.cluster
+                .step_direct(StepKind::VertexMap, u.len(), SyncScope::Necessary, |ctx| {
+                    let actives = u.filter_masters(ctx.masters());
+                    let cur = ctx.current_slice();
+                    let results = parallel_chunks(&actives, ctx.threads(), |chunk| {
+                        let mut writes = Vec::new();
+                        let mut passed = Vec::new();
+                        for &v in chunk {
+                            let val = &cur[v as usize];
+                            if f(v, val) {
+                                let mut new_val = val.clone();
+                                m(v, &mut new_val);
+                                writes.push((v, new_val));
+                                passed.push(v);
+                            }
+                        }
+                        (writes, passed)
+                    });
+                    let mut all_passed = Vec::new();
+                    for (writes, passed) in results {
+                        ctx.write_masters(writes);
+                        all_passed.extend(passed);
+                    }
+                    all_passed
+                });
+        subset_from_lists(n, out.per_worker)
+    }
+
+    /// `VERTEXMAP(U, F)` — the *filter* form with `M` omitted: "the vertex
+    /// data attached will not be changed". A read-only superstep; no
+    /// mirror synchronization happens.
+    pub fn vertex_filter(
+        &mut self,
+        u: &VertexSubset,
+        f: impl Fn(VertexId, &V) -> bool + Sync,
+    ) -> VertexSubset {
+        let n = self.num_vertices();
+        let out =
+            self.cluster
+                .step_direct(StepKind::VertexMap, u.len(), SyncScope::Necessary, |ctx| {
+                    let actives = u.filter_masters(ctx.masters());
+                    let cur = ctx.current_slice();
+                    let results = parallel_chunks(&actives, ctx.threads(), |chunk| {
+                        chunk
+                            .iter()
+                            .copied()
+                            .filter(|&v| f(v, &cur[v as usize]))
+                            .collect::<Vec<_>>()
+                    });
+                    results.into_iter().flatten().collect::<Vec<_>>()
+                });
+        subset_from_lists(n, out.per_worker)
+    }
+
+    // ------------------------------------------------------------------
+    // EDGEMAP
+    // ------------------------------------------------------------------
+
+    /// `EDGEMAP(U, H, F, M, C, R)` (Algorithm 4): dispatches to the dense
+    /// (pull) or sparse (push) kernel by the density of the active set —
+    /// dense when `|U| + outEdges(U) > threshold * |E|`, following Ligra —
+    /// unless the configured [`ModePolicy`] or the edge set's orientation
+    /// capabilities force one kernel.
+    pub fn edge_map(
+        &mut self,
+        u: &VertexSubset,
+        h: &EdgeSet<V>,
+        f: impl Fn(EdgeRef, &V, &V) -> bool + Sync,
+        m: impl Fn(EdgeRef, &V, &mut V) + Sync,
+        c: impl Fn(VertexId, &V) -> bool + Sync,
+        r: impl Fn(&V, &mut V) + Sync,
+    ) -> VertexSubset {
+        let dense = match self.cluster.config().mode {
+            ModePolicy::ForceDense => h.supports_pull(),
+            ModePolicy::ForceSparse => !h.supports_push(),
+            ModePolicy::Adaptive => {
+                if !h.supports_pull() {
+                    false
+                } else if !h.supports_push() {
+                    true
+                } else {
+                    let g = self.graph();
+                    let frontier_edges: usize =
+                        u.iter().map(|v| g.out_degree(v)).sum::<usize>() + u.len();
+                    frontier_edges as f64
+                        > self.cluster.config().dense_threshold * g.num_edges() as f64
+                }
+            }
+        };
+        if dense {
+            self.edge_map_dense(u, h, f, m, c)
+        } else {
+            self.edge_map_sparse(u, h, f, m, c, r)
+        }
+    }
+
+    /// `EDGEMAPDENSE(U, H, F, M, C)` (Algorithm 5, *pull* mode): every
+    /// master `d` scans its in-edges of `H`, sequentially applying `m` for
+    /// sources in `u` while `c(d)` holds; no reduce function is needed
+    /// because updates apply immediately per vertex.
+    ///
+    /// # Panics
+    /// Panics if `h` cannot be enumerated from the target side
+    /// (a [`EdgeSet::CustomOut`] set).
+    pub fn edge_map_dense(
+        &mut self,
+        u: &VertexSubset,
+        h: &EdgeSet<V>,
+        f: impl Fn(EdgeRef, &V, &V) -> bool + Sync,
+        m: impl Fn(EdgeRef, &V, &mut V) + Sync,
+        c: impl Fn(VertexId, &V) -> bool + Sync,
+    ) -> VertexSubset {
+        assert!(
+            h.supports_pull(),
+            "EDGEMAPDENSE needs a target-enumerable edge set; use edge_map_sparse"
+        );
+        let n = self.num_vertices();
+        let scope = sync_scope(h);
+        let kind = StepKind::EdgeMapDense;
+        let out = self.cluster.step_direct(kind, u.len(), scope, |ctx| {
+            let g = ctx.graph();
+            let masters = ctx.masters();
+            let cur = ctx.current_slice();
+            let results = parallel_chunks(masters, ctx.threads(), |chunk| {
+                let mut writes: Vec<(VertexId, V)> = Vec::new();
+                let mut outs: Vec<VertexId> = Vec::new();
+                for &d in chunk {
+                    if !c(d, &cur[d as usize]) {
+                        continue;
+                    }
+                    let mut d_new: Option<V> = None;
+                    for (s, w) in h.sources(g, d, &cur[d as usize]) {
+                        let d_ref: &V = d_new.as_ref().unwrap_or(&cur[d as usize]);
+                        if !c(d, d_ref) {
+                            break;
+                        }
+                        if !u.contains(s) {
+                            continue;
+                        }
+                        let s_val = &cur[s as usize];
+                        let e = EdgeRef {
+                            src: s,
+                            dst: d,
+                            weight: w,
+                        };
+                        if f(e, s_val, d_ref) {
+                            let mut val = d_ref.clone();
+                            m(e, s_val, &mut val);
+                            if d_new.is_none() {
+                                outs.push(d);
+                            }
+                            d_new = Some(val);
+                        }
+                    }
+                    if let Some(val) = d_new {
+                        writes.push((d, val));
+                    }
+                }
+                (writes, outs)
+            });
+            let mut all_outs = Vec::new();
+            for (writes, outs) in results {
+                ctx.write_masters(writes);
+                all_outs.extend(outs);
+            }
+            all_outs
+        });
+        subset_from_lists(n, out.per_worker)
+    }
+
+    /// `EDGEMAPSPARSE(U, H, F, M, C, R)` (Algorithm 6, *push* mode): every
+    /// active master pushes over its out-edges of `H`; concurrent updates
+    /// of one target are merged with the associative & commutative `r`,
+    /// first mirror-side, then at the target's master — the paper's
+    /// three-phase, two-message-round procedure.
+    ///
+    /// # Panics
+    /// Panics if `h` cannot be enumerated from the source side
+    /// (a [`EdgeSet::CustomIn`] set).
+    pub fn edge_map_sparse(
+        &mut self,
+        u: &VertexSubset,
+        h: &EdgeSet<V>,
+        f: impl Fn(EdgeRef, &V, &V) -> bool + Sync,
+        m: impl Fn(EdgeRef, &V, &mut V) + Sync,
+        c: impl Fn(VertexId, &V) -> bool + Sync,
+        r: impl Fn(&V, &mut V) + Sync,
+    ) -> VertexSubset {
+        assert!(
+            h.supports_push(),
+            "EDGEMAPSPARSE needs a source-enumerable edge set; use edge_map_dense"
+        );
+        let n = self.num_vertices();
+        let scope = sync_scope(h);
+        let out = self.cluster.step_reduce(u.len(), scope, &r, |ctx| {
+            let g = ctx.graph();
+            let actives = u.filter_masters(ctx.masters());
+            let cur = ctx.current_slice();
+            let results = parallel_chunks(&actives, ctx.threads(), |chunk| {
+                let mut updates: Vec<(VertexId, V)> = Vec::new();
+                for &s in chunk {
+                    let s_val = &cur[s as usize];
+                    for (d, w) in h.targets(g, s, s_val) {
+                        let d_val = &cur[d as usize];
+                        if !c(d, d_val) {
+                            continue;
+                        }
+                        let e = EdgeRef {
+                            src: s,
+                            dst: d,
+                            weight: w,
+                        };
+                        if f(e, s_val, d_val) {
+                            let mut temp = d_val.clone();
+                            m(e, s_val, &mut temp);
+                            updates.push((d, temp));
+                        }
+                    }
+                }
+                updates
+            });
+            for updates in results {
+                ctx.puts(updates, &r);
+            }
+        });
+        subset_from_lists(n, out.updated)
+    }
+
+    // ------------------------------------------------------------------
+    // Global operators
+    // ------------------------------------------------------------------
+
+    /// A distributed fold over the masters in `u`: each worker folds its
+    /// local members with `f`, partials are combined with `combine` on the
+    /// driver. Backs global aggregations (total triangle counts, frontier
+    /// statistics, …); traffic (one partial per worker) is recorded.
+    pub fn fold<T: Clone + Send + Sync>(
+        &mut self,
+        u: &VertexSubset,
+        init: T,
+        f: impl Fn(T, VertexId, &V) -> T + Sync,
+        combine: impl Fn(T, T) -> T,
+    ) -> T {
+        let t0 = Instant::now();
+        let out =
+            self.cluster
+                .step_direct(StepKind::Global, u.len(), SyncScope::Necessary, |ctx| {
+                    let actives = u.filter_masters(ctx.masters());
+                    let cur = ctx.current_slice();
+                    let mut acc = init.clone();
+                    for &v in &actives {
+                        acc = f(acc, v, &cur[v as usize]);
+                    }
+                    acc
+                });
+        let m = out.per_worker.len();
+        let result = out
+            .per_worker
+            .into_iter()
+            .fold(None, |acc: Option<T>, part| match acc {
+                None => Some(part),
+                Some(a) => Some(combine(a, part)),
+            })
+            .unwrap_or(init);
+        let bytes = (m.saturating_sub(1) * std::mem::size_of::<T>()) as u64;
+        self.cluster
+            .record_global(m.saturating_sub(1) as u64, bytes, t0.elapsed());
+        result
+    }
+
+    /// Gathers one value per worker from a read-only pass over the cluster
+    /// (the paper's auxiliary `REDUCE` gather used by MSF/BCC). `bytes_of`
+    /// reports each partial's wire size for traffic accounting.
+    pub fn gather<T: Send>(
+        &mut self,
+        f: impl Fn(&mut flash_runtime::WorkerCtx<'_, V>) -> T + Sync,
+        bytes_of: impl Fn(&T) -> usize,
+    ) -> Vec<T> {
+        let t0 = Instant::now();
+        let out = self
+            .cluster
+            .step_direct(StepKind::Global, 0, SyncScope::Necessary, f);
+        let bytes: u64 = out.per_worker.iter().map(|t| bytes_of(t) as u64).sum();
+        let msgs = out.per_worker.len().saturating_sub(1) as u64;
+        self.cluster.record_global(msgs, bytes, t0.elapsed());
+        out.per_worker
+    }
+
+    /// Broadcasts a driver-computed value into vertex `v` on all replicas
+    /// (used by global algorithms to install results); traffic recorded.
+    pub fn broadcast_value(&mut self, v: VertexId, val: V) {
+        let t0 = Instant::now();
+        let bytes = (self.num_workers().saturating_sub(1) * (4 + val.bytes())) as u64;
+        let msgs = self.num_workers().saturating_sub(1) as u64;
+        self.cluster.set_value_global(v, val);
+        self.cluster.record_global(msgs, bytes, t0.elapsed());
+    }
+}
+
+/// Chooses the mirror-sync scope for an edge set: virtual edges escape the
+/// partitioner's mirror placement, so they broadcast to all workers
+/// (§IV-C "Communicate with necessary mirrors only").
+fn sync_scope<V>(h: &EdgeSet<V>) -> SyncScope {
+    if h.is_virtual() {
+        SyncScope::All
+    } else {
+        SyncScope::Necessary
+    }
+}
+
+/// Builds a subset from per-worker id lists.
+fn subset_from_lists(n: usize, lists: Vec<Vec<VertexId>>) -> VertexSubset {
+    let mut bits = BitSet::new(n);
+    for list in lists {
+        for v in list {
+            bits.insert(v);
+        }
+    }
+    VertexSubset::from_bits(bits)
+}

@@ -1,0 +1,306 @@
+//! Edge-set algebra — `EDGEMAP`'s `H` parameter.
+//!
+//! Ligra can only send messages along `E`; FLASH "allows the users to
+//! provide the arbitrary edge set they want to transfer messages, even when
+//! the edges do not exist in the original graph" (§III-C "Communication
+//! beyond neighborhood"). The paper's pre-defined operators are all here:
+//!
+//! * `E`                       → [`EdgeSet::forward`]
+//! * `reverse(E)`              → [`EdgeSet::reverse`]
+//! * `join(E, E)` (two-hop)    → [`EdgeSet::two_hop`]
+//! * `join(E, U)` (targets ∈ U)→ [`EdgeSet::targets_in`]
+//! * `join(U, p)` / `join(p, U)` (pointer edges) and any other virtual
+//!   edge set → [`EdgeSet::custom_out`] / [`EdgeSet::custom_in`] /
+//!   [`EdgeSet::custom`]
+//!
+//! A custom edge set is a *function*, not a materialized list, evaluated
+//! lazily at runtime against the source's (or target's) current state —
+//! exactly how the optimized CC algorithm maintains its parent-pointer
+//! forest. Because virtual edges escape the partitioner's mirror placement,
+//! any step using them synchronizes masters to **all** mirrors
+//! ([`flash_runtime::SyncScope::All`]), as §IV-C prescribes.
+
+use crate::subset::VertexSubset;
+use flash_graph::{Graph, VertexId, Weight};
+use std::sync::Arc;
+
+/// A function producing the virtual out-edges (targets) of a vertex,
+/// given its id and current state.
+pub type TargetsFn<V> = Arc<dyn Fn(VertexId, &V) -> Vec<VertexId> + Send + Sync>;
+
+/// A function producing the virtual in-edges (sources) of a vertex,
+/// given its id and current state.
+pub type SourcesFn<V> = Arc<dyn Fn(VertexId, &V) -> Vec<VertexId> + Send + Sync>;
+
+/// The edge set `H` over which an `EDGEMAP` transfers messages.
+#[derive(Clone)]
+pub enum EdgeSet<V> {
+    /// The graph's edges `E`.
+    Forward,
+    /// `reverse(E)`.
+    Reverse,
+    /// `join(E, E)`: two-hop neighbors (paths of length 2, endpoints).
+    TwoHop,
+    /// `join(E, U)`: edges of `E` whose *target* lies in the subset.
+    TargetsIn(VertexSubset),
+    /// Virtual edges given by a source→targets function. Usable by the
+    /// sparse (push) kernel only.
+    CustomOut(TargetsFn<V>),
+    /// Virtual edges given by a target→sources function. Usable by the
+    /// dense (pull) kernel only.
+    CustomIn(SourcesFn<V>),
+    /// Virtual edges with both orientations supplied (the two functions
+    /// must describe the same edge set); usable by either kernel.
+    CustomBoth(TargetsFn<V>, SourcesFn<V>),
+}
+
+impl<V> EdgeSet<V> {
+    /// The graph's own edges, `E`.
+    pub fn forward() -> Self {
+        EdgeSet::Forward
+    }
+
+    /// `reverse(E)`.
+    pub fn reverse() -> Self {
+        EdgeSet::Reverse
+    }
+
+    /// `join(E, E)` — two-hop neighbors.
+    pub fn two_hop() -> Self {
+        EdgeSet::TwoHop
+    }
+
+    /// `join(E, U)` — edges with targets in `u`.
+    pub fn targets_in(u: &VertexSubset) -> Self {
+        EdgeSet::TargetsIn(u.clone())
+    }
+
+    /// A virtual edge set from a source→targets function (push-oriented),
+    /// e.g. the paper's `join(U, p)`:
+    /// `EdgeSet::custom_out(|_, val| vec![val.p])`.
+    pub fn custom_out(f: impl Fn(VertexId, &V) -> Vec<VertexId> + Send + Sync + 'static) -> Self {
+        EdgeSet::CustomOut(Arc::new(f))
+    }
+
+    /// A virtual edge set from a target→sources function (pull-oriented),
+    /// e.g. the paper's `join(p, U)` used with `EDGEMAPDENSE`:
+    /// `EdgeSet::custom_in(|_, val| vec![val.p])`.
+    pub fn custom_in(f: impl Fn(VertexId, &V) -> Vec<VertexId> + Send + Sync + 'static) -> Self {
+        EdgeSet::CustomIn(Arc::new(f))
+    }
+
+    /// A virtual edge set with both orientations.
+    pub fn custom(
+        out: impl Fn(VertexId, &V) -> Vec<VertexId> + Send + Sync + 'static,
+        inn: impl Fn(VertexId, &V) -> Vec<VertexId> + Send + Sync + 'static,
+    ) -> Self {
+        EdgeSet::CustomBoth(Arc::new(out), Arc::new(inn))
+    }
+
+    /// `true` if the set reaches beyond the original edges `E`, forcing
+    /// all-mirror synchronization.
+    pub fn is_virtual(&self) -> bool {
+        matches!(
+            self,
+            EdgeSet::TwoHop
+                | EdgeSet::CustomOut(_)
+                | EdgeSet::CustomIn(_)
+                | EdgeSet::CustomBoth(..)
+        )
+    }
+
+    /// `true` if the sparse (push) kernel can enumerate this set from the
+    /// source side.
+    pub fn supports_push(&self) -> bool {
+        !matches!(self, EdgeSet::CustomIn(_))
+    }
+
+    /// `true` if the dense (pull) kernel can enumerate this set from the
+    /// target side.
+    pub fn supports_pull(&self) -> bool {
+        !matches!(self, EdgeSet::CustomOut(_))
+    }
+
+    /// Enumerates `(target, weight)` pairs out of `s` (push orientation).
+    pub fn targets(&self, g: &Graph, s: VertexId, val: &V) -> Vec<(VertexId, Weight)> {
+        match self {
+            EdgeSet::Forward => g.out_edges(s).collect(),
+            EdgeSet::Reverse => g.in_edges(s).collect(),
+            EdgeSet::TwoHop => {
+                let mut out = Vec::new();
+                for &mid in g.out_neighbors(s) {
+                    for &t in g.out_neighbors(mid) {
+                        if t != s {
+                            out.push((t, 1.0));
+                        }
+                    }
+                }
+                out.sort_unstable_by_key(|&(t, _)| t);
+                out.dedup_by_key(|&mut (t, _)| t);
+                out
+            }
+            EdgeSet::TargetsIn(u) => g.out_edges(s).filter(|&(t, _)| u.contains(t)).collect(),
+            EdgeSet::CustomOut(f) | EdgeSet::CustomBoth(f, _) => {
+                f(s, val).into_iter().map(|t| (t, 1.0)).collect()
+            }
+            EdgeSet::CustomIn(_) => {
+                unreachable!("push kernel must check supports_push() first")
+            }
+        }
+    }
+
+    /// Enumerates `(source, weight)` pairs into `d` (pull orientation).
+    pub fn sources(&self, g: &Graph, d: VertexId, val: &V) -> Vec<(VertexId, Weight)> {
+        match self {
+            EdgeSet::Forward => g.in_edges(d).collect(),
+            EdgeSet::Reverse => g.out_edges(d).collect(),
+            EdgeSet::TwoHop => {
+                let mut out = Vec::new();
+                for &mid in g.in_neighbors(d) {
+                    for &s in g.in_neighbors(mid) {
+                        if s != d {
+                            out.push((s, 1.0));
+                        }
+                    }
+                }
+                out.sort_unstable_by_key(|&(s, _)| s);
+                out.dedup_by_key(|&mut (s, _)| s);
+                out
+            }
+            EdgeSet::TargetsIn(u) => {
+                if u.contains(d) {
+                    g.in_edges(d).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            EdgeSet::CustomIn(f) | EdgeSet::CustomBoth(_, f) => {
+                f(d, val).into_iter().map(|s| (s, 1.0)).collect()
+            }
+            EdgeSet::CustomOut(_) => {
+                unreachable!("pull kernel must check supports_pull() first")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::GraphBuilder;
+
+    #[derive(Clone, Default)]
+    struct P {
+        parent: VertexId,
+    }
+
+    fn diamond() -> Graph {
+        // 0 → 1 → 3, 0 → 2 → 3
+        GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_and_reverse() {
+        let g = diamond();
+        let h: EdgeSet<P> = EdgeSet::forward();
+        let t: Vec<_> = h
+            .targets(&g, 0, &P::default())
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(t, vec![1, 2]);
+        let s: Vec<_> = h
+            .sources(&g, 3, &P::default())
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(s, vec![1, 2]);
+
+        let r: EdgeSet<P> = EdgeSet::reverse();
+        let rt: Vec<_> = r
+            .targets(&g, 3, &P::default())
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(rt, vec![1, 2]);
+        let rs: Vec<_> = r
+            .sources(&g, 1, &P::default())
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(rs, vec![3]);
+    }
+
+    #[test]
+    fn two_hop_dedups_and_skips_self() {
+        let g = diamond();
+        let h: EdgeSet<P> = EdgeSet::two_hop();
+        let t: Vec<_> = h
+            .targets(&g, 0, &P::default())
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(t, vec![3], "two paths to 3 collapse to one edge");
+        let s: Vec<_> = h
+            .sources(&g, 3, &P::default())
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(s, vec![0]);
+    }
+
+    #[test]
+    fn targets_in_filters() {
+        let g = diamond();
+        let u = VertexSubset::from_ids(4, [2]);
+        let h: EdgeSet<P> = EdgeSet::targets_in(&u);
+        let t: Vec<_> = h
+            .targets(&g, 0, &P::default())
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(t, vec![2]);
+        assert!(h.sources(&g, 3, &P::default()).is_empty());
+        assert_eq!(h.sources(&g, 2, &P::default()).len(), 1);
+    }
+
+    #[test]
+    fn custom_pointer_edges() {
+        let g = diamond();
+        let h: EdgeSet<P> = EdgeSet::custom_out(|_, p: &P| vec![p.parent]);
+        let val = P { parent: 2 };
+        let t: Vec<_> = h.targets(&g, 0, &val).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(t, vec![2]);
+        assert!(h.is_virtual());
+        assert!(h.supports_push());
+        assert!(!h.supports_pull());
+
+        let hin: EdgeSet<P> = EdgeSet::custom_in(|_, p: &P| vec![p.parent]);
+        assert!(!hin.supports_push());
+        assert!(hin.supports_pull());
+    }
+
+    #[test]
+    fn orientation_capabilities() {
+        assert!(EdgeSet::<P>::forward().supports_push());
+        assert!(EdgeSet::<P>::forward().supports_pull());
+        assert!(!EdgeSet::<P>::forward().is_virtual());
+        assert!(EdgeSet::<P>::two_hop().is_virtual());
+        let both: EdgeSet<P> = EdgeSet::custom(|_, _| vec![], |_, _| vec![]);
+        assert!(both.supports_push() && both.supports_pull() && both.is_virtual());
+    }
+
+    #[test]
+    fn weighted_edges_pass_weights() {
+        let g = GraphBuilder::new(2)
+            .weighted_edge(0, 1, 2.5)
+            .build()
+            .unwrap();
+        let h: EdgeSet<P> = EdgeSet::forward();
+        assert_eq!(h.targets(&g, 0, &P::default()), vec![(1, 2.5)]);
+        assert_eq!(h.sources(&g, 1, &P::default()), vec![(0, 2.5)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The `vertexSubset` type.
+//!
+//! The paper's central data structure (§III-A): "a set of vertices of the
+//! graph G, which only contains a set of integers, representing the vertex
+//! id for each vertex in this set. The associated properties of vertices
+//! are maintained only once for a graph, shared by all vertexSubsets."
+//!
+//! FLASH is "the first distributed graph processing model to provide the
+//! vertexSubset type" — a *global-perspective* structure: multiple subsets
+//! may coexist, be combined with set algebra, captured in recursive
+//! functions (Betweenness Centrality keeps one frontier per BFS level), and
+//! fed to any primitive.
+//!
+//! Internally a subset is an immutable shared bit set over the full vertex
+//! id range; cloning is O(1) (`Arc`), set operations are word-parallel.
+
+use flash_graph::{BitSet, VertexId};
+use std::sync::Arc;
+
+/// An immutable set of vertex ids (the paper's `vertexSubset`).
+#[derive(Clone, Debug)]
+pub struct VertexSubset {
+    bits: Arc<BitSet>,
+}
+
+impl VertexSubset {
+    /// The empty subset over a graph with `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset {
+            bits: Arc::new(BitSet::new(n)),
+        }
+    }
+
+    /// The full subset `V` over a graph with `n` vertices.
+    pub fn full(n: usize) -> Self {
+        VertexSubset {
+            bits: Arc::new(BitSet::full(n)),
+        }
+    }
+
+    /// A subset from an id iterator (ids must be `< n`).
+    pub fn from_ids<I: IntoIterator<Item = VertexId>>(n: usize, ids: I) -> Self {
+        let mut bits = BitSet::new(n);
+        for id in ids {
+            bits.insert(id);
+        }
+        VertexSubset {
+            bits: Arc::new(bits),
+        }
+    }
+
+    /// A subset owning a prebuilt bit set.
+    pub fn from_bits(bits: BitSet) -> Self {
+        VertexSubset {
+            bits: Arc::new(bits),
+        }
+    }
+
+    /// `SIZE(U)` — the number of vertices in the subset.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when the subset is empty (the usual loop-termination test).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The id capacity (`|V|` of the graph this subset belongs to).
+    pub fn capacity(&self) -> usize {
+        self.bits.capacity()
+    }
+
+    /// `CONTAIN` — membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.bits.contains(v)
+    }
+
+    /// `ADD` — returns a new subset with `v` inserted.
+    pub fn add(&self, v: VertexId) -> VertexSubset {
+        let mut bits = (*self.bits).clone();
+        bits.insert(v);
+        VertexSubset::from_bits(bits)
+    }
+
+    /// `UNION` — set union with `other`.
+    pub fn union(&self, other: &VertexSubset) -> VertexSubset {
+        let mut bits = (*self.bits).clone();
+        bits.union_with(&other.bits);
+        VertexSubset::from_bits(bits)
+    }
+
+    /// `INTERSECT` — set intersection with `other`.
+    pub fn intersect(&self, other: &VertexSubset) -> VertexSubset {
+        let mut bits = (*self.bits).clone();
+        bits.intersect_with(&other.bits);
+        VertexSubset::from_bits(bits)
+    }
+
+    /// `MINUS` — set difference `self \ other`.
+    pub fn minus(&self, other: &VertexSubset) -> VertexSubset {
+        let mut bits = (*self.bits).clone();
+        bits.difference_with(&other.bits);
+        VertexSubset::from_bits(bits)
+    }
+
+    /// Iterates member ids ascending.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.bits.iter()
+    }
+
+    /// Member ids as a sorted vector.
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        self.bits.to_vec()
+    }
+
+    /// The members of `masters` that belong to this subset (the vertices a
+    /// worker processes in a frontier-driven kernel). `masters` must be
+    /// sorted; the result preserves that order.
+    pub fn filter_masters(&self, masters: &[VertexId]) -> Vec<VertexId> {
+        masters
+            .iter()
+            .copied()
+            .filter(|&v| self.bits.contains(v))
+            .collect()
+    }
+
+    /// The shared bit set (for kernels that test membership en masse).
+    pub fn bits(&self) -> &BitSet {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_size() {
+        let u = VertexSubset::from_ids(10, [1, 3, 5]);
+        assert_eq!(u.len(), 3);
+        assert!(!u.is_empty());
+        assert!(u.contains(3));
+        assert!(!u.contains(2));
+        assert_eq!(u.capacity(), 10);
+        assert!(VertexSubset::empty(4).is_empty());
+        assert_eq!(VertexSubset::full(4).len(), 4);
+    }
+
+    #[test]
+    fn algebra_matches_set_semantics() {
+        let a = VertexSubset::from_ids(8, [0, 1, 2, 3]);
+        let b = VertexSubset::from_ids(8, [2, 3, 4, 5]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.minus(&b).to_vec(), vec![0, 1]);
+        assert_eq!(a.add(7).to_vec(), vec![0, 1, 2, 3, 7]);
+        // Originals untouched (immutability).
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn filter_masters_preserves_order() {
+        let u = VertexSubset::from_ids(10, [2, 4, 9]);
+        assert_eq!(u.filter_masters(&[0, 2, 4, 6, 8]), vec![2, 4]);
+        assert_eq!(u.filter_masters(&[9]), vec![9]);
+        assert!(u.filter_masters(&[1, 3]).is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_consistent() {
+        let a = VertexSubset::from_ids(6, [1, 2]);
+        let b = a.clone();
+        assert_eq!(a.to_vec(), b.to_vec());
+        let c = a.add(5); // must not affect b
+        assert!(!b.contains(5));
+        assert!(c.contains(5));
+    }
+}

@@ -1,0 +1,298 @@
+//! A compact fixed-capacity bit set over vertex ids.
+//!
+//! `vertexSubset`s in FLASH (and frontier membership in the dense/pull
+//! `EDGEMAP` kernel, Algorithm 5 of the paper) need constant-time membership
+//! tests over the full vertex range; this bit set backs those structures.
+
+/// A fixed-capacity set of `u32` keys stored as one bit per key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold keys `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates a set containing every key in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        // Clear the tail bits beyond `capacity`.
+        let tail = capacity % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        s.len = capacity;
+        s
+    }
+
+    /// The key capacity this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no keys are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test. Keys `>= capacity` are never members.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        let k = key as usize;
+        k < self.capacity && (self.words[k / 64] >> (k % 64)) & 1 == 1
+    }
+
+    /// Inserts `key`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `key >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, key: u32) -> bool {
+        let k = key as usize;
+        assert!(
+            k < self.capacity,
+            "bitset key {k} >= capacity {}",
+            self.capacity
+        );
+        let w = &mut self.words[k / 64];
+        let mask = 1u64 << (k % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u32) -> bool {
+        let k = key as usize;
+        if k >= self.capacity {
+            return false;
+        }
+        let w = &mut self.words[k / 64];
+        let mask = 1u64 << (k % 64);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all keys while keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// In-place set union. Both sets must share a capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place set intersection. Both sets must share a capacity.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place set difference (`self \ other`). Both sets must share a capacity.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Iterates the keys in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the keys into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Raw words, exposed so callers can serialize membership cheaply.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    /// Builds a set with capacity `max_key + 1` from the iterator.
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let keys: Vec<u32> = iter.into_iter().collect();
+        let cap = keys.iter().map(|&k| k as usize + 1).max().unwrap_or(0);
+        let mut s = BitSet::new(cap);
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+}
+
+/// Ascending-order iterator over a [`BitSet`].
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.word_idx * 64) as u32 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_respects_tail() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        assert_eq!(s.iter().count(), 70);
+    }
+
+    #[test]
+    fn full_with_exact_word_boundary() {
+        let s = BitSet::full(128);
+        assert_eq!(s.len(), 128);
+        assert!(s.contains(127));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1u32, 2, 3, 64].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        b.insert(2);
+        b.insert(64);
+        b.insert(5);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 5, 64]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![2, 64]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_ascending_and_complete() {
+        let keys = [0u32, 7, 63, 64, 65, 200];
+        let s: BitSet = keys.iter().copied().collect();
+        assert_eq!(s.to_vec(), keys.to_vec());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::full(33);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.capacity(), 33);
+    }
+
+    #[test]
+    fn empty_capacity_zero() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Compressed Sparse Row adjacency storage.
+
+use crate::{VertexId, Weight};
+
+/// One adjacency direction of a graph in CSR form.
+///
+/// `offsets` has `n + 1` entries; the neighbors of vertex `v` are
+/// `targets[offsets[v] .. offsets[v+1]]`, with parallel `weights` when the
+/// graph is weighted. Neighbor lists are sorted by target id, which makes
+/// intersection-based algorithms (triangle/rectangle/clique counting) cheap.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<Weight>>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list. `edges` may be in any order;
+    /// `weights`, when present, must parallel `edges`.
+    ///
+    /// The construction is the classic two-pass counting sort (O(n + m)).
+    pub fn from_edges(
+        n: usize,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[Weight]>,
+    ) -> Self {
+        let mut offsets = vec![0usize; n + 1];
+        for &(s, _) in edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut w_out = weights.map(|_| vec![0.0 as Weight; edges.len()]);
+        let mut cursor = offsets.clone();
+        for (i, &(s, d)) in edges.iter().enumerate() {
+            let pos = cursor[s as usize];
+            cursor[s as usize] += 1;
+            targets[pos] = d;
+            if let (Some(w_out), Some(w_in)) = (w_out.as_mut(), weights) {
+                w_out[pos] = w_in[i];
+            }
+        }
+        let mut csr = Csr {
+            offsets,
+            targets,
+            weights: w_out,
+        };
+        csr.sort_neighbor_lists();
+        csr
+    }
+
+    /// Sorts every neighbor list by target id (stable w.r.t. weights).
+    fn sort_neighbor_lists(&mut self) {
+        let n = self.offsets.len() - 1;
+        for v in 0..n {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            if hi - lo <= 1 {
+                continue;
+            }
+            match self.weights.as_mut() {
+                None => self.targets[lo..hi].sort_unstable(),
+                Some(w) => {
+                    let mut pairs: Vec<(VertexId, Weight)> = self.targets[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(w[lo..hi].iter().copied())
+                        .collect();
+                    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                    for (i, (t, wt)) in pairs.into_iter().enumerate() {
+                        self.targets[lo + i] = t;
+                        w[lo + i] = wt;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor ids of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Csr::neighbors`], if the graph is weighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.offsets[v as usize]..self.offsets[v as usize + 1]])
+    }
+
+    /// `true` when edge weights are stored.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Iterates `(target, weight)` pairs for `v` (weight = 1.0 if unweighted).
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        (lo..hi).map(move |i| (self.targets[i], self.weights.as_ref().map_or(1.0, |w| w[i])))
+    }
+
+    /// Binary-searches the (sorted) neighbor list of `v` for `target`.
+    pub fn has_edge(&self, v: VertexId, target: VertexId) -> bool {
+        self.neighbors(v).binary_search(&target).is_ok()
+    }
+
+    /// Approximate heap footprint in bytes (offsets + targets + weights).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<Weight>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        Csr::from_edges(4, &[(1, 2), (0, 2), (0, 1), (3, 0)], None)
+    }
+
+    #[test]
+    fn builds_and_sorts() {
+        let c = sample();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 4);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbors(1), &[2]);
+        assert_eq!(c.neighbors(2), &[] as &[u32]);
+        assert_eq!(c.neighbors(3), &[0]);
+        assert_eq!(c.degree(0), 2);
+    }
+
+    #[test]
+    fn weighted_edges_stay_aligned() {
+        let edges = [(0u32, 2u32), (0, 1), (1, 0)];
+        let weights = [2.5f32, 1.5, 9.0];
+        let c = Csr::from_edges(3, &edges, Some(&weights));
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbor_weights(0).unwrap(), &[1.5, 2.5]);
+        assert_eq!(c.neighbor_weights(1).unwrap(), &[9.0]);
+        let collected: Vec<_> = c.edges(0).collect();
+        assert_eq!(collected, vec![(1, 1.5), (2, 2.5)]);
+    }
+
+    #[test]
+    fn unweighted_edges_default_weight_one() {
+        let c = sample();
+        assert!(!c.is_weighted());
+        assert_eq!(c.edges(3).next(), Some((0, 1.0)));
+        assert!(c.neighbor_weights(0).is_none());
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let c = sample();
+        assert!(c.has_edge(0, 1));
+        assert!(c.has_edge(0, 2));
+        assert!(!c.has_edge(0, 3));
+        assert!(!c.has_edge(2, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Csr::from_edges(0, &[], None);
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let c = Csr::from_edges(2, &[(0, 1), (0, 1)], None);
+        assert_eq!(c.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn heap_bytes_is_positive() {
+        assert!(sample().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Barabási–Albert preferential attachment.
+
+use super::rng;
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph: vertices arrive one at a time and
+/// attach `k` edges to existing vertices with probability proportional to
+/// degree. Produces a power-law tail similar to R-MAT but with guaranteed
+/// connectivity — useful when algorithms under test need one component.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1, "attachment degree must be >= 1");
+    assert!(n > k, "need more vertices than the attachment degree");
+    let mut r = rng(seed);
+    // The repeated-endpoints trick: sampling a uniform element of `endpoints`
+    // is sampling proportional to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k);
+
+    // Seed clique over the first k+1 vertices keeps early sampling sane.
+    for s in 0..=(k as VertexId) {
+        for d in (s + 1)..=(k as VertexId) {
+            edges.push((s, d));
+            endpoints.push(s);
+            endpoints.push(d);
+        }
+    }
+
+    for v in (k + 1)..n {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(k);
+        while targets.len() < k {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            if t != v as VertexId && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            edges.push((v as VertexId, t));
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+
+    GraphBuilder::new(n)
+        .edges(edges)
+        .symmetric(true)
+        .dedup(true)
+        .build()
+        .expect("ba generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsu::DisjointSets;
+
+    #[test]
+    fn always_connected() {
+        let g = barabasi_albert(200, 3, 11);
+        let mut d = DisjointSets::new(200);
+        for (s, t, _) in g.edges() {
+            d.union(s, t);
+        }
+        assert_eq!(d.num_sets(), 1);
+    }
+
+    #[test]
+    fn min_degree_at_least_k() {
+        let g = barabasi_albert(100, 4, 2);
+        for v in g.vertices() {
+            assert!(g.out_degree(v) >= 4, "vertex {v} has degree < k");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(64, 2, 5);
+        let b = barabasi_albert(64, 2, 5);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hub_emerges() {
+        let g = barabasi_albert(500, 2, 1);
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+}

@@ -1,0 +1,136 @@
+//! Small deterministic structures used heavily in tests and examples.
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// A path `0 - 1 - … - (n-1)`; directed `0 → 1 → …` when `symmetric` is false.
+pub fn path(n: usize, symmetric: bool) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric(symmetric);
+    if n > 1 {
+        b = b.edges((0..n as VertexId - 1).map(|i| (i, i + 1)));
+    }
+    b.build().expect("path generator produces valid edges")
+}
+
+/// A cycle through all `n` vertices (requires `n >= 3` to be simple; smaller
+/// `n` degrades to a path/single vertex).
+pub fn cycle(n: usize, symmetric: bool) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric(symmetric);
+    if n >= 2 {
+        b = b.edges((0..n as VertexId - 1).map(|i| (i, i + 1)));
+    }
+    if n >= 3 {
+        b = b.edge(n as VertexId - 1, 0);
+    }
+    b.build().expect("cycle generator produces valid edges")
+}
+
+/// A star: vertex 0 is the hub connected to `1..n`.
+pub fn star(n: usize, symmetric: bool) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric(symmetric);
+    if n > 1 {
+        b = b.edges((1..n as VertexId).map(|i| (0, i)));
+    }
+    b.build().expect("star generator produces valid edges")
+}
+
+/// The complete graph `K_n` (undirected; both arcs stored).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for s in 0..n as VertexId {
+        for d in (s + 1)..n as VertexId {
+            b = b.edge(s, d);
+        }
+    }
+    b.build().expect("complete generator produces valid edges")
+}
+
+/// The complete bipartite graph `K_{a,b}` — vertices `0..a` on the left,
+/// `a..a+b` on the right. Rectangle-rich, triangle-free.
+pub fn bipartite_complete(a: usize, b: usize) -> Graph {
+    let mut g = GraphBuilder::new(a + b).symmetric(true);
+    for l in 0..a as VertexId {
+        for r in 0..b as VertexId {
+            g = g.edge(l, a as VertexId + r);
+        }
+    }
+    g.build().expect("bipartite generator produces valid edges")
+}
+
+/// A complete binary tree with `n` vertices; vertex `i`'s children are
+/// `2i + 1` and `2i + 2`.
+pub fn binary_tree(n: usize, symmetric: bool) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric(symmetric);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b = b.edge(i as VertexId, c as VertexId);
+            }
+        }
+    }
+    b.build().expect("tree generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5, true);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 2);
+        let d = path(5, false);
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.in_degree(0), 0);
+    }
+
+    #[test]
+    fn singleton_and_empty_paths() {
+        assert_eq!(path(0, true).num_edges(), 0);
+        assert_eq!(path(1, true).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_degree_two_everywhere() {
+        let g = cycle(6, true);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 2);
+        }
+        assert_eq!(cycle(2, false).num_edges(), 1);
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(10, true);
+        assert_eq!(g.out_degree(0), 9);
+        assert_eq!(g.out_degree(5), 1);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 6 * 5); // both arcs
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn bipartite_has_no_triangles_shape() {
+        let g = bipartite_complete(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 2 * 12);
+        assert_eq!(g.out_degree(0), 4);
+        assert_eq!(g.out_degree(3), 3);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(7, false);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(2), &[5, 6]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.num_edges(), 6);
+    }
+}

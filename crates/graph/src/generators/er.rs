@@ -1,0 +1,75 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use super::rng;
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Generates a uniform random graph with `n` vertices and `m` distinct
+/// undirected edges (no self-loops). Used by property tests as the "no
+/// special structure" case.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible undirected edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but K_{n} has only {max_edges}"
+    );
+    let mut r = rng(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let s = r.gen_range(0..n as VertexId);
+        let d = r.gen_range(0..n as VertexId);
+        if s == d {
+            continue;
+        }
+        let key = if s < d { (s, d) } else { (d, s) };
+        if chosen.insert(key) {
+            edges.push(key);
+        }
+    }
+    GraphBuilder::new(n)
+        .edges(edges)
+        .symmetric(true)
+        .build()
+        .expect("er generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_no_dups() {
+        let g = erdos_renyi(100, 250, 5);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        for (s, d, _) in g.edges() {
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(50, 100, 9);
+        let b = erdos_renyi(50, 100, 9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_limit_complete() {
+        let g = erdos_renyi(5, 10, 1);
+        assert_eq!(g.num_edges(), 20);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_edges_panics() {
+        erdos_renyi(3, 4, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Two-dimensional grid graphs.
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// Generates a `rows × cols` 4-connected grid (undirected). Vertex
+/// `(r, c)` has id `r * cols + c`.
+///
+/// Grids have diameter `rows + cols - 2` and average degree < 4 — the same
+/// regime as the paper's road networks, where one-hop-at-a-time label
+/// propagation needs thousands of supersteps.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b = b.edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b = b.edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("grid generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let g = grid2d(4, 5);
+        // Horizontal: 4 * 4, vertical: 3 * 5 → 31 undirected edges.
+        assert_eq!(g.num_edges(), 2 * (4 * 4 + 3 * 5));
+    }
+
+    #[test]
+    fn corner_interior_degrees() {
+        let g = grid2d(3, 3);
+        assert_eq!(g.out_degree(0), 2); // corner
+        assert_eq!(g.out_degree(1), 3); // edge
+        assert_eq!(g.out_degree(4), 4); // center
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid2d(1, 1).num_edges(), 0);
+        let line = grid2d(1, 10);
+        assert_eq!(line.num_edges(), 18);
+    }
+}

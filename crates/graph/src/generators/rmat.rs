@@ -1,0 +1,116 @@
+//! Recursive-MATrix (R-MAT) generator for skewed social-network-like graphs.
+
+use super::rng;
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// R-MAT quadrant probabilities. The defaults `(0.57, 0.19, 0.19, 0.05)` are
+/// the Graph500 parameters, producing the heavy-tailed degree distribution
+/// characteristic of the paper's social-network datasets (OR, TW): "a very
+/// skew distribution of edges, usually with some 'hot' vertices having an
+/// extremely high degree".
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (hub-hub edges).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Noise applied to the quadrant probabilities at each level.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and up to
+/// `edge_factor * 2^scale` undirected edges (self-loops and duplicate
+/// samples dropped, so the realized count is slightly lower — as in the
+/// Graph500 reference generator's simple-graph mode).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut r = rng(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut x, mut y) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            // Perturb quadrant probabilities to avoid exact self-similarity.
+            let mut jitter =
+                |p: f64| p * (1.0 - params.noise + 2.0 * params.noise * r.gen::<f64>());
+            let (a, b, c) = (jitter(params.a), jitter(params.b), jitter(params.c));
+            let total = a + b + c + jitter(1.0 - params.a - params.b - params.c);
+            let roll = r.gen::<f64>() * total;
+            if roll < a {
+                // top-left
+            } else if roll < a + b {
+                y += half;
+            } else if roll < a + b + c {
+                x += half;
+            } else {
+                x += half;
+                y += half;
+            }
+            half >>= 1;
+        }
+        if x != y {
+            edges.push((x as VertexId, y as VertexId));
+        }
+    }
+    GraphBuilder::new(n)
+        .edges(edges)
+        .symmetric(true)
+        .dedup(true)
+        .build()
+        .expect("rmat generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = rmat(8, 8, RmatParams::default(), 42);
+        let b = rmat(8, 8, RmatParams::default(), 42);
+        let c = rmat(8, 8, RmatParams::default(), 43);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_is_as_requested() {
+        let g = rmat(10, 8, RmatParams::default(), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Self-loops and duplicates are dropped: under 2 * 8 * 1024 arcs.
+        assert!(g.num_edges() > 9_000 && g.num_edges() <= 16_384);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = rmat(10, 16, RmatParams::default(), 7);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        // Hot vertices: max degree far above the mean (paper's SN trait).
+        assert!(max > 8.0 * avg, "expected skew, got max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn symmetric_output() {
+        let g = rmat(6, 4, RmatParams::default(), 3);
+        assert!(g.is_symmetric());
+        for (s, d, _) in g.edges() {
+            assert!(g.has_edge(d, s));
+        }
+    }
+}

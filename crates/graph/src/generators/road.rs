@@ -1,0 +1,104 @@
+//! Road-network-like graphs: near-planar, low degree, huge diameter.
+
+use super::rng;
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Generates a road-network stand-in for the paper's `road-USA` /
+/// `europe-osm` datasets: a sparse 2-D lattice backbone where a fraction of
+/// lattice edges is removed (dead ends, irregular blocks) and a few long
+/// "highway" shortcuts are added, then patched back to a single connected
+/// component.
+///
+/// The result keeps the two properties the paper's evaluation leans on:
+/// average degree ≈ 2–3 and diameter `Θ(rows + cols)` (thousands of
+/// label-propagation supersteps, Fig. 3's dense-mode blowup).
+pub fn road_network(rows: usize, cols: usize, seed: u64) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut rand = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n);
+
+    // Lattice backbone with 20% of street segments missing.
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rand.gen::<f64>() > 0.20 {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows && rand.gen::<f64>() > 0.20 {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+
+    // Sparse highways: a few medium-range shortcuts along rows. Kept short
+    // and rare so the network's diameter stays Θ(rows + cols) — the huge
+    // diameters (1452/2037) are what define the paper's road networks.
+    if cols > 20 {
+        for _ in 0..(n / 500).max(1) {
+            let r = rand.gen_range(0..rows);
+            let c = rand.gen_range(0..cols - 17);
+            let span = rand.gen_range(4..16);
+            edges.push((id(r, c), id(r, (c + span).min(cols - 1))));
+        }
+    }
+
+    // Reconnect: stitch every vertex to its successor if the deletion pass
+    // disconnected them from the component of vertex 0.
+    let mut dsu = crate::dsu::DisjointSets::new(n);
+    for &(s, d) in &edges {
+        dsu.union(s, d);
+    }
+    for v in 1..n as VertexId {
+        if !dsu.same(0, v) {
+            // Connect to the previous vertex in row-major order (a plausible
+            // short street), merging the components.
+            edges.push((v - 1, v));
+            dsu.union(v - 1, v);
+        }
+    }
+
+    GraphBuilder::new(n)
+        .edges(edges)
+        .symmetric(true)
+        .dedup(true)
+        .build()
+        .expect("road generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsu::DisjointSets;
+    use crate::stats::pseudo_diameter;
+
+    #[test]
+    fn connected_single_component() {
+        let g = road_network(30, 30, 3);
+        let mut d = DisjointSets::new(g.num_vertices());
+        for (s, t, _) in g.edges() {
+            d.union(s, t);
+        }
+        assert_eq!(d.num_sets(), 1);
+    }
+
+    #[test]
+    fn low_average_degree() {
+        let g = road_network(40, 40, 1);
+        assert!(g.avg_degree() < 4.5, "avg degree {}", g.avg_degree());
+    }
+
+    #[test]
+    fn large_diameter() {
+        let g = road_network(40, 40, 9);
+        let diam = pseudo_diameter(&g, 0);
+        assert!(diam >= 40, "road net diameter too small: {diam}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = road_network(10, 10, 5);
+        let b = road_network(10, 10, 5);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,103 @@
+//! Web-graph-like generator: communities + preferential attachment.
+
+use super::rng;
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Generates a web-graph stand-in for the paper's `uk-2002` / `sk-2005`
+/// datasets: vertices are grouped into "host" communities; most links stay
+/// within the community (dense local blocks), the rest follow preferential
+/// attachment to global hubs. Per Table III the web graphs "lie somewhere in
+/// the middle" between social and road networks — moderate diameter (~25),
+/// moderate skew, high local density.
+pub fn web_graph(n: usize, avg_degree: usize, communities: usize, seed: u64) -> Graph {
+    assert!(communities >= 1 && communities <= n, "bad community count");
+    let mut r = rng(seed);
+    let m = n * avg_degree / 2;
+    let comm_size = n.div_ceil(communities);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m + n);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * m);
+
+    // Ring through the communities keeps the graph connected.
+    for v in 1..n {
+        edges.push((v as VertexId - 1, v as VertexId));
+        endpoints.push(v as VertexId - 1);
+        endpoints.push(v as VertexId);
+    }
+
+    // Every page links to its community's root ("host home page"), making
+    // the roots moderately hot — the web graphs' degree skew sits between
+    // the social and road classes.
+    for v in 0..n {
+        let root = ((v / comm_size) * comm_size) as VertexId;
+        if root != v as VertexId {
+            edges.push((v as VertexId, root));
+            endpoints.push(root);
+        }
+    }
+
+    for _ in 0..m {
+        let s = r.gen_range(0..n as VertexId);
+        let d = if r.gen::<f64>() < 0.8 {
+            // Intra-community link.
+            let comm = (s as usize) / comm_size;
+            let lo = comm * comm_size;
+            let hi = ((comm + 1) * comm_size).min(n);
+            r.gen_range(lo as VertexId..hi as VertexId)
+        } else if endpoints.is_empty() {
+            r.gen_range(0..n as VertexId)
+        } else {
+            // Global preferential attachment.
+            endpoints[r.gen_range(0..endpoints.len())]
+        };
+        if s != d {
+            edges.push((s, d));
+            endpoints.push(s);
+            endpoints.push(d);
+        }
+    }
+
+    GraphBuilder::new(n)
+        .edges(edges)
+        .symmetric(true)
+        .dedup(true)
+        .build()
+        .expect("web generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsu::DisjointSets;
+    use crate::stats::pseudo_diameter;
+
+    #[test]
+    fn connected() {
+        let g = web_graph(500, 10, 20, 3);
+        let mut d = DisjointSets::new(500);
+        for (s, t, _) in g.edges() {
+            d.union(s, t);
+        }
+        assert_eq!(d.num_sets(), 1);
+    }
+
+    #[test]
+    fn moderate_diameter() {
+        let g = web_graph(2000, 12, 40, 1);
+        let diam = pseudo_diameter(&g, 0);
+        assert!((4..=60).contains(&diam), "web diameter {diam}");
+    }
+
+    #[test]
+    fn some_skew_present() {
+        let g = web_graph(1000, 14, 25, 9);
+        assert!(g.max_degree() as f64 > 2.5 * g.avg_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = web_graph(128, 8, 8, 4);
+        let b = web_graph(128, 8, 8, 4);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

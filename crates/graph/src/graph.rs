@@ -1,0 +1,218 @@
+//! The immutable property graph shared by all FLASH components.
+
+use crate::csr::Csr;
+use crate::{VertexId, Weight};
+
+/// An immutable directed (optionally weighted) graph in dual-CSR form.
+///
+/// Per the paper (§II "Graph algorithms"), edges are immutable objects —
+/// algorithms mutate vertex state only — so `Graph` is a read-only structure
+/// that can be shared freely across workers (`Arc<Graph>` in practice).
+///
+/// Both out-adjacency (needed by the *push*/sparse `EDGEMAP` kernel) and
+/// in-adjacency (needed by the *pull*/dense kernel, Algorithm 5) are stored.
+/// For symmetric (undirected) graphs the two coincide in content.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    out: Csr,
+    inn: Csr,
+    symmetric: bool,
+}
+
+impl Graph {
+    /// Assembles a graph from prebuilt CSRs. Prefer [`crate::GraphBuilder`].
+    pub(crate) fn from_parts(n: usize, out: Csr, inn: Csr, symmetric: bool) -> Self {
+        debug_assert_eq!(out.num_vertices(), n);
+        debug_assert_eq!(inn.num_vertices(), n);
+        debug_assert_eq!(out.num_edges(), inn.num_edges());
+        Graph {
+            n,
+            out,
+            inn,
+            symmetric,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed arcs `|E|` (an undirected edge counts twice).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// `true` if the graph was built symmetric (every edge has its reverse).
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// `true` if edge weights are stored.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.out.is_weighted()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inn.degree(v)
+    }
+
+    /// Degree used by the paper's algorithms (`v.deg`): the out-degree,
+    /// which equals the undirected degree on symmetric graphs.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// In-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.inn.neighbors(v)
+    }
+
+    /// `(target, weight)` pairs out of `v` (weight 1.0 when unweighted).
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.out.edges(v)
+    }
+
+    /// `(source, weight)` pairs into `v` (weight 1.0 when unweighted).
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.inn.edges(v)
+    }
+
+    /// Weights parallel to [`Graph::out_neighbors`], when weighted.
+    pub fn out_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.out.neighbor_weights(v)
+    }
+
+    /// Weights parallel to [`Graph::in_neighbors`], when weighted.
+    pub fn in_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.inn.neighbor_weights(v)
+    }
+
+    /// O(log d) membership test for arc `(s, d)`.
+    pub fn has_edge(&self, s: VertexId, d: VertexId) -> bool {
+        self.out.has_edge(s, d)
+    }
+
+    /// Iterates all arcs as `(source, target, weight)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        (0..self.n as VertexId).flat_map(move |s| self.out.edges(s).map(move |(d, w)| (s, d, w)))
+    }
+
+    /// Iterates all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n as VertexId
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n as VertexId)
+            .map(|v| self.out.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree (`|E| / |V|`, 0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.n as f64
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.out.heap_bytes() + self.inn.heap_bytes()
+    }
+
+    /// The out-adjacency CSR (for engines that need raw access).
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The in-adjacency CSR (for engines that need raw access).
+    pub fn in_csr(&self) -> &Csr {
+        &self.inn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn directed_triangle() -> Graph {
+        GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn directed_in_out_are_distinct() {
+        let g = directed_triangle();
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn symmetric_graph_mirrors_edges() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        assert!(g.is_symmetric());
+        assert_eq!(g.out_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn edge_iteration_covers_all() {
+        let g = directed_triangle();
+        let all: Vec<_> = g.edges().map(|(s, d, _)| (s, d)).collect();
+        assert_eq!(all, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_checks_direction() {
+        let g = directed_triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the usual whitespace-separated `src dst [weight]` per line,
+//! with `#`/`%`-prefixed comment lines — compatible with SNAP and the
+//! network-repository dumps the paper's Table III datasets ship in.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::VertexId;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Options controlling [`read_edge_list`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadOptions {
+    /// Symmetrize the parsed graph.
+    pub symmetric: bool,
+    /// Collapse duplicate edges.
+    pub dedup: bool,
+    /// Remove self-loops.
+    pub drop_self_loops: bool,
+}
+
+/// Parses an edge list from `reader`. The vertex count is inferred as
+/// `max_id + 1`; weights are read when a third column is present on the
+/// first data line.
+pub fn read_edge_list<R: Read>(reader: R, opts: ReadOptions) -> Result<Graph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut weighted: Option<bool> = None;
+    let mut max_id: u64 = 0;
+
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let lineno = idx + 1;
+        let parse_id = |tok: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                msg: format!("missing {what}"),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: lineno,
+                msg: format!("invalid {what}: {tok:?}"),
+            })
+        };
+        let s = parse_id(it.next(), "source id")?;
+        let d = parse_id(it.next(), "target id")?;
+        if s >= u32::MAX as u64 || d >= u32::MAX as u64 {
+            return Err(GraphError::VertexOutOfRange {
+                id: s.max(d),
+                n: u32::MAX as usize,
+            });
+        }
+        max_id = max_id.max(s).max(d);
+        let wtok = it.next();
+        match weighted {
+            None => weighted = Some(wtok.is_some()),
+            Some(true) if wtok.is_none() => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: "weight column missing on weighted edge list".into(),
+                })
+            }
+            _ => {}
+        }
+        if weighted == Some(true) {
+            let tok = wtok.unwrap_or("1");
+            let w: f32 = tok.parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                msg: format!("invalid weight: {tok:?}"),
+            })?;
+            weights.push(w);
+        }
+        edges.push((s as VertexId, d as VertexId));
+    }
+
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let mut b = GraphBuilder::new(n)
+        .symmetric(opts.symmetric)
+        .dedup(opts.dedup)
+        .drop_self_loops(opts.drop_self_loops);
+    if weighted == Some(true) {
+        b = b.weighted_edges(edges.into_iter().zip(weights).map(|((s, d), w)| (s, d, w)));
+    } else {
+        b = b.edges(edges);
+    }
+    b.build()
+}
+
+/// Writes `g` as an edge list (one `src dst [weight]` line per arc).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    for (s, d, w) in g.edges() {
+        if g.is_weighted() {
+            writeln!(writer, "{s} {d} {w}")?;
+        } else {
+            writeln!(writer, "{s} {d}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n% more\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), ReadOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parses_weights() {
+        let text = "0 1 2.5\n1 2 0.5\n";
+        let g = read_edge_list(text.as_bytes(), ReadOptions::default()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0).unwrap(), &[2.5]);
+    }
+
+    #[test]
+    fn mixed_weight_columns_error() {
+        let text = "0 1 2.5\n1 2\n";
+        let err = read_edge_list(text.as_bytes(), ReadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_tokens_error_with_line() {
+        let text = "0 1\nfoo 2\n";
+        let err = read_edge_list(text.as_bytes(), ReadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let text2 = "0\n";
+        assert!(read_edge_list(text2.as_bytes(), ReadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::generators::erdos_renyi(20, 40, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), ReadOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(
+            g.edges().map(|(s, d, _)| (s, d)).collect::<Vec<_>>(),
+            g2.edges().map(|(s, d, _)| (s, d)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn options_apply() {
+        let text = "0 0\n0 1\n0 1\n";
+        let g = read_edge_list(
+            text.as_bytes(),
+            ReadOptions {
+                symmetric: true,
+                dedup: true,
+                drop_self_loops: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), 2); // (0,1) and (1,0)
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), ReadOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Edge-cut graph partitioning with master/mirror bookkeeping.
+//!
+//! Per the paper (§II "Graph partitions", §IV-A "Data layout"), an
+//! `m`-worker cluster partitions `G = (V, E)` so that every vertex is owned
+//! by exactly one worker (its *master*); other workers that touch the vertex
+//! through local edges hold *mirrors*. [`PartitionMap`] captures the
+//! ownership function plus the mirror placement needed for the
+//! "communicate with only necessary mirrors" optimization (§IV-C).
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// A vertex-ownership scheme: maps each vertex to its master worker.
+pub trait Partitioner {
+    /// The worker that owns vertex `v` in an `m`-worker cluster.
+    fn owner(&self, v: VertexId, n: usize, m: usize) -> usize;
+
+    /// Human-readable scheme name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Hash partitioning: `owner(v) = mix(v) % m`.
+///
+/// This is the default scheme; a multiplicative mix keeps consecutive ids
+/// (which generators tend to make topologically close) from landing on the
+/// same worker, exercising the communication paths realistically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    #[inline]
+    fn owner(&self, v: VertexId, _n: usize, m: usize) -> usize {
+        // Fibonacci hashing — cheap and well-spread for sequential ids.
+        let mixed = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (mixed % m as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Chunked (range) partitioning: worker `i` owns a contiguous id range.
+///
+/// Keeps topological locality when ids correlate with structure (road grids),
+/// minimizing mirrors — the contrast case for partitioning ablations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkPartitioner;
+
+impl Partitioner for ChunkPartitioner {
+    #[inline]
+    fn owner(&self, v: VertexId, n: usize, m: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let chunk = n.div_ceil(m);
+        ((v as usize) / chunk).min(m - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "chunk"
+    }
+}
+
+/// The materialized result of partitioning a graph for `m` workers.
+///
+/// Holds, per worker: the list of owned (master) vertices, and per vertex:
+/// the owner and the set of workers holding a *necessary* mirror (workers
+/// with at least one edge incident to the vertex, §IV-C).
+#[derive(Clone, Debug)]
+pub struct PartitionMap {
+    m: usize,
+    owner: Vec<u16>,
+    masters: Vec<Vec<VertexId>>,
+    /// `mirror_workers[v]` = sorted worker ids (excluding the owner) that
+    /// hold a necessary mirror of `v`.
+    mirror_workers: Vec<Vec<u16>>,
+    scheme: &'static str,
+}
+
+impl PartitionMap {
+    /// Partitions `graph` across `m` workers using `scheme`.
+    pub fn build(
+        graph: &Graph,
+        m: usize,
+        scheme: &dyn Partitioner,
+    ) -> Result<PartitionMap, GraphError> {
+        if m == 0 {
+            return Err(GraphError::NoWorkers);
+        }
+        if m > u16::MAX as usize {
+            return Err(GraphError::NoWorkers);
+        }
+        let n = graph.num_vertices();
+        let mut owner = vec![0u16; n];
+        let mut masters: Vec<Vec<VertexId>> = vec![Vec::new(); m];
+        for v in 0..n as VertexId {
+            let w = scheme.owner(v, n, m);
+            debug_assert!(w < m, "partitioner returned worker {w} >= {m}");
+            owner[v as usize] = w as u16;
+            masters[w].push(v);
+        }
+
+        // A worker holds a necessary mirror of v if it has an edge touching v
+        // but does not own v. Collect via per-vertex worker sets (bit mask up
+        // to 64 workers, spill to sorted vec otherwise).
+        let mut mirror_workers: Vec<Vec<u16>> = vec![Vec::new(); n];
+        if m > 1 {
+            let mut touched: Vec<u64> = vec![0u64; n]; // bitmask for m <= 64
+            let wide = m > 64;
+            let mut touched_wide: Vec<Vec<u16>> = if wide {
+                vec![Vec::new(); n]
+            } else {
+                Vec::new()
+            };
+            let touch =
+                |v: usize, w: u16, touched: &mut Vec<u64>, touched_wide: &mut Vec<Vec<u16>>| {
+                    if wide {
+                        if !touched_wide[v].contains(&w) {
+                            touched_wide[v].push(w);
+                        }
+                    } else {
+                        touched[v] |= 1u64 << w;
+                    }
+                };
+            for (s, d, _) in graph.edges() {
+                let ws = owner[s as usize];
+                let wd = owner[d as usize];
+                if ws != wd {
+                    // The source's worker touches d (push destination);
+                    // the target's worker touches s (pull source).
+                    touch(d as usize, ws, &mut touched, &mut touched_wide);
+                    touch(s as usize, wd, &mut touched, &mut touched_wide);
+                }
+            }
+            for v in 0..n {
+                if wide {
+                    let mut ws = std::mem::take(&mut touched_wide[v]);
+                    ws.retain(|&w| w != owner[v]);
+                    ws.sort_unstable();
+                    mirror_workers[v] = ws;
+                } else {
+                    let mut mask = touched[v];
+                    mask &= !(1u64 << owner[v]);
+                    let mut ws = Vec::with_capacity(mask.count_ones() as usize);
+                    while mask != 0 {
+                        let w = mask.trailing_zeros() as u16;
+                        ws.push(w);
+                        mask &= mask - 1;
+                    }
+                    mirror_workers[v] = ws;
+                }
+            }
+        }
+
+        Ok(PartitionMap {
+            m,
+            owner,
+            masters,
+            mirror_workers,
+            scheme: scheme.name(),
+        })
+    }
+
+    /// Number of workers `m`.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.m
+    }
+
+    /// Number of vertices in the partitioned graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The master worker of `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// `true` if worker `w` is the master of `v`.
+    #[inline]
+    pub fn is_master(&self, w: usize, v: VertexId) -> bool {
+        self.owner[v as usize] as usize == w
+    }
+
+    /// The vertices mastered by worker `w`, ascending.
+    #[inline]
+    pub fn masters(&self, w: usize) -> &[VertexId] {
+        &self.masters[w]
+    }
+
+    /// Workers (excluding the owner) holding a necessary mirror of `v` —
+    /// the recipients under the "necessary mirrors only" sync policy.
+    #[inline]
+    pub fn necessary_mirrors(&self, v: VertexId) -> &[u16] {
+        &self.mirror_workers[v as usize]
+    }
+
+    /// Total number of necessary mirror replicas across all vertices
+    /// (the replication factor numerator).
+    pub fn total_mirrors(&self) -> usize {
+        self.mirror_workers.iter().map(Vec::len).sum()
+    }
+
+    /// Average replicas per vertex, counting the master (>= 1.0).
+    pub fn replication_factor(&self) -> f64 {
+        if self.owner.is_empty() {
+            return 1.0;
+        }
+        1.0 + self.total_mirrors() as f64 / self.owner.len() as f64
+    }
+
+    /// The partitioning scheme name.
+    pub fn scheme(&self) -> &'static str {
+        self.scheme
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::new(n)
+            .edges((0..n as u32 - 1).map(|i| (i, i + 1)))
+            .symmetric(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let g = path(4);
+        assert!(matches!(
+            PartitionMap::build(&g, 0, &HashPartitioner),
+            Err(GraphError::NoWorkers)
+        ));
+    }
+
+    #[test]
+    fn masters_partition_v_exactly() {
+        let g = path(100);
+        for m in [1usize, 2, 3, 7] {
+            let p = PartitionMap::build(&g, m, &HashPartitioner).unwrap();
+            let mut seen = [false; 100];
+            for w in 0..m {
+                for &v in p.masters(w) {
+                    assert_eq!(p.owner(v), w);
+                    assert!(!seen[v as usize], "vertex owned twice");
+                    seen[v as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "vertex unowned");
+        }
+    }
+
+    #[test]
+    fn chunk_partitioner_is_contiguous() {
+        let g = path(10);
+        let p = PartitionMap::build(&g, 3, &ChunkPartitioner).unwrap();
+        assert_eq!(p.masters(0), &[0, 1, 2, 3]);
+        assert_eq!(p.masters(1), &[4, 5, 6, 7]);
+        assert_eq!(p.masters(2), &[8, 9]);
+    }
+
+    #[test]
+    fn single_worker_has_no_mirrors() {
+        let g = path(10);
+        let p = PartitionMap::build(&g, 1, &HashPartitioner).unwrap();
+        assert_eq!(p.total_mirrors(), 0);
+        assert_eq!(p.replication_factor(), 1.0);
+    }
+
+    #[test]
+    fn necessary_mirrors_cover_cut_edges() {
+        let g = path(10);
+        let p = PartitionMap::build(&g, 2, &ChunkPartitioner).unwrap();
+        // Cut edges: (4,5) and (5,4). Worker 1 must mirror 4, worker 0 must mirror 5.
+        assert_eq!(p.necessary_mirrors(4), &[1]);
+        assert_eq!(p.necessary_mirrors(5), &[0]);
+        // Interior vertices have no mirrors.
+        assert!(p.necessary_mirrors(0).is_empty());
+        assert!(p.necessary_mirrors(9).is_empty());
+    }
+
+    #[test]
+    fn mirror_never_includes_owner() {
+        let g = path(64);
+        let p = PartitionMap::build(&g, 5, &HashPartitioner).unwrap();
+        for v in 0..64u32 {
+            for &w in p.necessary_mirrors(v) {
+                assert_ne!(w as usize, p.owner(v));
+            }
+        }
+    }
+
+    #[test]
+    fn replication_grows_with_workers() {
+        let g = path(200);
+        let p2 = PartitionMap::build(&g, 2, &HashPartitioner).unwrap();
+        let p8 = PartitionMap::build(&g, 8, &HashPartitioner).unwrap();
+        assert!(p8.replication_factor() >= p2.replication_factor());
+    }
+
+    #[test]
+    fn wide_cluster_over_64_workers() {
+        let g = path(300);
+        let p = PartitionMap::build(&g, 80, &HashPartitioner).unwrap();
+        let mut total = 0;
+        for w in 0..80 {
+            total += p.masters(w).len();
+        }
+        assert_eq!(total, 300);
+        for v in 0..300u32 {
+            for &w in p.necessary_mirrors(v) {
+                assert_ne!(w as usize, p.owner(v));
+                assert!((w as usize) < 80);
+            }
+        }
+    }
+}

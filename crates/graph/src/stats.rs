@@ -1,0 +1,167 @@
+//! Graph statistics: degree distributions and diameter estimation.
+
+use crate::graph::Graph;
+use crate::VertexId;
+use std::collections::VecDeque;
+
+/// Summary statistics of a graph, printed by the Table III regenerator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|` (directed arcs).
+    pub edges: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Double-sweep BFS lower bound on the diameter.
+    pub pseudo_diameter: usize,
+    /// Number of weakly connected components.
+    pub components: usize,
+}
+
+/// Computes [`GraphStats`] for `g` (O(|V| + |E|)).
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let components = {
+        let mut dsu = crate::dsu::DisjointSets::new(g.num_vertices());
+        for (s, d, _) in g.edges() {
+            dsu.union(s, d);
+        }
+        dsu.num_sets()
+    };
+    GraphStats {
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        max_degree: g.max_degree(),
+        avg_degree: g.avg_degree(),
+        pseudo_diameter: if g.num_vertices() == 0 {
+            0
+        } else {
+            pseudo_diameter(g, 0)
+        },
+        components,
+    }
+}
+
+/// BFS levels from `root` over out-edges; unreachable = `usize::MAX`.
+pub fn bfs_levels(g: &Graph, root: VertexId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.num_vertices()];
+    let mut q = VecDeque::new();
+    dist[root as usize] = 0;
+    q.push_back(root);
+    while let Some(v) = q.pop_front() {
+        for &t in g.out_neighbors(v) {
+            if dist[t as usize] == usize::MAX {
+                dist[t as usize] = dist[v as usize] + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// Double-sweep pseudo-diameter: BFS from `start`, then BFS from the
+/// farthest reached vertex; returns that eccentricity (a lower bound on the
+/// true diameter, exact on trees).
+pub fn pseudo_diameter(g: &Graph, start: VertexId) -> usize {
+    let first = bfs_levels(g, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != usize::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    let second = bfs_levels(g, far);
+    second
+        .iter()
+        .filter(|&&d| d != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Degree histogram in log2 buckets: `hist[i]` = vertices with out-degree in
+/// `[2^i, 2^(i+1))` (`hist\[0\]` also counts degree 0 separately at index 0 of
+/// the returned `(zero_count, hist)` pair).
+pub fn degree_histogram(g: &Graph) -> (usize, Vec<usize>) {
+    let mut zero = 0usize;
+    let mut hist: Vec<usize> = Vec::new();
+    for v in g.vertices() {
+        let d = g.out_degree(v);
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let bucket = usize::BITS as usize - 1 - d.leading_zeros() as usize;
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    (zero, hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, path, star};
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path(5, true);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = path(3, false); // directed 0 → 1 → 2
+        let d = bfs_levels(&g, 2);
+        assert_eq!(d[2], 0);
+        assert_eq!(d[0], usize::MAX);
+    }
+
+    #[test]
+    fn pseudo_diameter_exact_on_path() {
+        let g = path(10, true);
+        assert_eq!(pseudo_diameter(&g, 5), 9);
+    }
+
+    #[test]
+    fn pseudo_diameter_on_grid() {
+        let g = grid2d(4, 6);
+        assert_eq!(pseudo_diameter(&g, 0), 4 + 6 - 2);
+    }
+
+    #[test]
+    fn stats_shape() {
+        let g = star(10, true);
+        let s = graph_stats(&g);
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.edges, 18);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.pseudo_diameter, 2);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn component_count() {
+        let g = crate::GraphBuilder::new(5)
+            .edges([(0, 1), (2, 3)])
+            .symmetric(true)
+            .build()
+            .unwrap();
+        assert_eq!(graph_stats(&g).components, 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = star(9, true); // hub degree 8, leaves degree 1
+        let (zero, hist) = degree_histogram(&g);
+        assert_eq!(zero, 0);
+        assert_eq!(hist[0], 8); // degree 1 → bucket 0
+        assert_eq!(hist[3], 1); // degree 8 → bucket 3
+    }
+}

@@ -1,0 +1,592 @@
+//! The simulated cluster: superstep orchestration, message exchange and
+//! mirror synchronization.
+
+use crate::config::{ClusterConfig, SyncMode, SyncScope};
+use crate::ctx::WorkerCtx;
+use crate::error::RuntimeError;
+use crate::state::WorkerState;
+use crate::stats::{RunStats, StepKind, StepStats};
+use crate::VertexData;
+use flash_graph::{Graph, PartitionMap, VertexId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The result of one superstep.
+#[derive(Debug)]
+pub struct StepOutput<Out> {
+    /// Each worker's compute-closure return value, indexed by worker id.
+    pub per_worker: Vec<Out>,
+    /// Per *owner* worker: the sorted, deduplicated master vertices whose
+    /// state changed this superstep (the candidates for the output
+    /// vertexSubset of `EDGEMAP`).
+    pub updated: Vec<Vec<VertexId>>,
+}
+
+impl<Out> StepOutput<Out> {
+    /// Flattens the updated-master lists of all workers (already disjoint
+    /// because masters are).
+    pub fn updated_flat(self) -> Vec<VertexId> {
+        let mut all: Vec<VertexId> = self.updated.into_iter().flatten().collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// A FLASH cluster: `m` workers over a partitioned graph, executing BSP
+/// supersteps (§IV). See the crate docs for the simulation model.
+pub struct Cluster<V: VertexData> {
+    graph: Arc<Graph>,
+    partition: Arc<PartitionMap>,
+    config: ClusterConfig,
+    states: Vec<WorkerState<V>>,
+    stats: RunStats,
+}
+
+impl<V: VertexData> Cluster<V> {
+    /// Builds a cluster whose every replica is initialized by `init`.
+    ///
+    /// `partition.num_workers()` must equal `config.workers`, and the
+    /// partition must cover exactly the graph's vertices.
+    pub fn new(
+        graph: Arc<Graph>,
+        partition: Arc<PartitionMap>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError> {
+        if config.workers == 0 {
+            return Err(RuntimeError::NoWorkers);
+        }
+        if partition.num_workers() != config.workers {
+            return Err(RuntimeError::PartitionMismatch {
+                config: config.workers,
+                partition: partition.num_workers(),
+            });
+        }
+        if partition.num_vertices() != graph.num_vertices() {
+            return Err(RuntimeError::GraphMismatch {
+                graph: graph.num_vertices(),
+                partition: partition.num_vertices(),
+            });
+        }
+        let n = graph.num_vertices();
+        let states = (0..config.workers)
+            .map(|_| WorkerState::new(n, &init))
+            .collect();
+        Ok(Cluster {
+            graph,
+            partition,
+            config,
+            states,
+            stats: RunStats::default(),
+        })
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared graph, by owning handle.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The partition map.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (e.g. to flip the mode policy between
+    /// runs of a mode-ablation benchmark).
+    pub fn config_mut(&mut self) -> &mut ClusterConfig {
+        &mut self.config
+    }
+
+    /// Number of workers `m`.
+    pub fn num_workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Statistics recorded so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Takes and resets the recorded statistics.
+    pub fn take_stats(&mut self) -> RunStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The authoritative (master) value of vertex `v`.
+    pub fn value(&self, v: VertexId) -> &V {
+        self.states[self.partition.owner(v)].current(v)
+    }
+
+    /// Extracts a result per vertex from the authoritative replicas.
+    pub fn collect<T>(&self, f: impl Fn(VertexId, &V) -> T) -> Vec<T> {
+        (0..self.graph.num_vertices() as VertexId)
+            .map(|v| f(v, self.value(v)))
+            .collect()
+    }
+
+    /// Overwrites `v`'s value on **all** replicas, outside any superstep.
+    ///
+    /// This is the escape hatch global/auxiliary operators (the paper's
+    /// `REDUCE`, `dsu` reconciliation) use to install driver-computed
+    /// results; callers account for its traffic via
+    /// [`Cluster::record_global`].
+    pub fn set_value_global(&mut self, v: VertexId, val: V) {
+        for st in &mut self.states {
+            st.current[v as usize] = val.clone();
+        }
+    }
+
+    /// Records a driver-side global operation (gather/broadcast) in the
+    /// statistics: `messages`/`bytes` of cross-worker traffic taking
+    /// `elapsed` of wall time.
+    pub fn record_global(&mut self, messages: u64, bytes: u64, elapsed: Duration) {
+        let mut s = StepStats::new(StepKind::Global, 0);
+        s.upd_messages = messages;
+        s.upd_bytes = bytes;
+        s.communicate = elapsed;
+        if let Some(net) = &self.config.network {
+            s.simulated_net = net.cost(u32::from(bytes > 0), bytes);
+        }
+        self.stats.push(s);
+    }
+
+    /// Runs a *direct* superstep: compute on every worker, publish
+    /// whole-value master writes, then synchronize mirrors. Backs
+    /// `VERTEXMAP` and `EDGEMAPDENSE`, which update masters without a
+    /// reduce function.
+    pub fn step_direct<Out: Send>(
+        &mut self,
+        kind: StepKind,
+        active: usize,
+        scope: SyncScope,
+        f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
+    ) -> StepOutput<Out> {
+        let mut stats = StepStats::new(kind, active);
+
+        let t0 = Instant::now();
+        let (per_worker, compute_max) = self.run_compute(&f);
+        stats.compute = t0.elapsed();
+        stats.compute_max = compute_max;
+
+        debug_assert!(
+            self.states.iter().all(|s| s.pending.is_empty()),
+            "direct superstep must not stage reduce-updates; use step_reduce"
+        );
+
+        // Publish direct writes (master-local, no cross-worker traffic).
+        let t1 = Instant::now();
+        let m = self.states.len();
+        let mut updated: Vec<Vec<VertexId>> = vec![Vec::new(); m];
+        for (w, st) in self.states.iter_mut().enumerate() {
+            let writes = std::mem::take(&mut st.direct);
+            updated[w].reserve(writes.len());
+            for (v, val) in writes {
+                st.current[v as usize] = val;
+                updated[w].push(v);
+            }
+            updated[w].sort_unstable();
+            updated[w].dedup();
+        }
+        stats.communicate = t1.elapsed();
+
+        self.sync_mirrors(&updated, scope, &mut stats);
+        self.finish_step(stats);
+        StepOutput {
+            per_worker,
+            updated,
+        }
+    }
+
+    /// Runs a *reduce* superstep: compute on every worker, combine staged
+    /// `put` temporaries into masters via `reduce` (mirror→master round),
+    /// then synchronize mirrors (master→mirror round). Backs
+    /// `EDGEMAPSPARSE` — the paper's three-phase procedure with "two rounds
+    /// of message-passing".
+    pub fn step_reduce<Out: Send>(
+        &mut self,
+        active: usize,
+        scope: SyncScope,
+        reduce: impl Fn(&V, &mut V) + Sync,
+        f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
+    ) -> StepOutput<Out> {
+        let mut stats = StepStats::new(StepKind::EdgeMapSparse, active);
+
+        let t0 = Instant::now();
+        let (per_worker, compute_max) = self.run_compute(&f);
+        stats.compute = t0.elapsed();
+        stats.compute_max = compute_max;
+
+        debug_assert!(
+            self.states.iter().all(|s| s.direct.is_empty()),
+            "reduce superstep must not stage direct writes; use step_direct"
+        );
+
+        // Serialization: route mirror-side accumulated temporaries to the
+        // owners of their target vertices.
+        let t1 = Instant::now();
+        let m = self.states.len();
+        let mut buckets: Vec<Vec<(VertexId, V)>> = vec![Vec::new(); m];
+        for (w, st) in self.states.iter_mut().enumerate() {
+            for (v, temp) in st.pending.drain() {
+                let owner = self.partition.owner(v);
+                if owner != w {
+                    stats.upd_messages += 1;
+                    stats.upd_bytes += (4 + temp.bytes()) as u64;
+                }
+                buckets[owner].push((v, temp));
+            }
+        }
+        stats.serialize = t1.elapsed();
+
+        // Communication round 1: masters merge incoming temporaries into
+        // their current value (d_new = R(t, d) per Algorithm 6).
+        let t2 = Instant::now();
+        let mut updated: Vec<Vec<VertexId>> = vec![Vec::new(); m];
+        for (owner, bucket) in buckets.into_iter().enumerate() {
+            let st = &mut self.states[owner];
+            updated[owner].reserve(bucket.len());
+            for (v, temp) in bucket {
+                reduce(&temp, &mut st.current[v as usize]);
+                updated[owner].push(v);
+            }
+            updated[owner].sort_unstable();
+            updated[owner].dedup();
+        }
+        stats.communicate = t2.elapsed();
+
+        self.sync_mirrors(&updated, scope, &mut stats);
+        self.finish_step(stats);
+        StepOutput {
+            per_worker,
+            updated,
+        }
+    }
+
+    /// Executes the compute closure on all workers (in parallel when
+    /// configured), returning their outputs in worker order plus the
+    /// maximum per-worker duration (the BSP makespan of the phase).
+    fn run_compute<Out: Send>(
+        &mut self,
+        f: &(impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync),
+    ) -> (Vec<Out>, Duration) {
+        let graph = self.graph.as_ref();
+        let partition = self.partition.as_ref();
+        let threads = self.config.threads_per_worker;
+        let timed = |w: usize, st: &mut WorkerState<V>| -> (Out, Duration) {
+            let t = Instant::now();
+            let mut ctx = WorkerCtx::new(w, graph, partition, st, threads);
+            let out = f(&mut ctx);
+            (out, t.elapsed())
+        };
+        let results: Vec<(Out, Duration)> = if self.config.parallel_workers && self.states.len() > 1
+        {
+            std::thread::scope(|s| {
+                let timed = &timed;
+                let handles: Vec<_> = self
+                    .states
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, st)| s.spawn(move || timed(w, st)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(out) => out,
+                        Err(p) => std::panic::resume_unwind(p),
+                    })
+                    .collect()
+            })
+        } else {
+            self.states
+                .iter_mut()
+                .enumerate()
+                .map(|(w, st)| timed(w, st))
+                .collect()
+        };
+        let max = results.iter().map(|(_, d)| *d).max().unwrap_or_default();
+        (results.into_iter().map(|(out, _)| out).collect(), max)
+    }
+
+    /// Communication round 2: masters broadcast their new state to mirrors.
+    ///
+    /// Under [`SyncScope::Necessary`] only workers with an incident edge
+    /// receive the update; under [`SyncScope::All`] (virtual-edge steps)
+    /// every worker does. Under [`SyncMode::CriticalOnly`] the payload is
+    /// the critical projection; under [`SyncMode::Full`] the whole value.
+    fn sync_mirrors(&mut self, updated: &[Vec<VertexId>], scope: SyncScope, stats: &mut StepStats) {
+        let m = self.states.len();
+        if m <= 1 {
+            return;
+        }
+        let t = Instant::now();
+        let sync_mode = self.config.sync_mode;
+        #[allow(clippy::needless_range_loop)] // w is the sender id, used beyond indexing
+        for w in 0..m {
+            for &v in &updated[w] {
+                match sync_mode {
+                    SyncMode::Full => {
+                        let payload = self.states[w].current[v as usize].clone();
+                        let bytes = (4 + payload.bytes()) as u64;
+                        self.for_each_recipient(w, v, scope, |st| {
+                            st.current[v as usize] = payload.clone();
+                            stats.sync_messages += 1;
+                            stats.sync_bytes += bytes;
+                        });
+                    }
+                    SyncMode::CriticalOnly => {
+                        let payload = self.states[w].current[v as usize].critical();
+                        let bytes = (4 + V::critical_bytes(&payload)) as u64;
+                        self.for_each_recipient(w, v, scope, |st| {
+                            st.current[v as usize].apply_critical(payload.clone());
+                            stats.sync_messages += 1;
+                            stats.sync_bytes += bytes;
+                        });
+                    }
+                }
+            }
+        }
+        stats.communicate += t.elapsed();
+    }
+
+    /// Applies `apply` to the state of every sync recipient of `(w, v)`.
+    fn for_each_recipient(
+        &mut self,
+        w: usize,
+        v: VertexId,
+        scope: SyncScope,
+        mut apply: impl FnMut(&mut WorkerState<V>),
+    ) {
+        match scope {
+            SyncScope::Necessary => {
+                // Iterate over indices to appease the borrow checker: the
+                // mirror list lives in the partition map, not in states.
+                let k = self.partition.necessary_mirrors(v).len();
+                for i in 0..k {
+                    let r = self.partition.necessary_mirrors(v)[i] as usize;
+                    debug_assert_ne!(r, w);
+                    apply(&mut self.states[r]);
+                }
+            }
+            SyncScope::All => {
+                for r in 0..self.states.len() {
+                    if r != w {
+                        apply(&mut self.states[r]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charges the simulated network and records the superstep.
+    fn finish_step(&mut self, mut stats: StepStats) {
+        if let Some(net) = &self.config.network {
+            let rounds = u32::from(stats.upd_bytes > 0) + u32::from(stats.sync_bytes > 0);
+            stats.simulated_net = net.cost(rounds, stats.total_bytes());
+        }
+        self.stats.push(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModePolicy;
+    use flash_graph::{generators, HashPartitioner};
+
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct Val {
+        x: u64,
+    }
+    crate::full_sync!(Val);
+
+    fn cluster(workers: usize, n: usize) -> Cluster<Val> {
+        let g = Arc::new(generators::path(n, true));
+        let p = Arc::new(PartitionMap::build(&g, workers, &HashPartitioner).unwrap());
+        let mut cfg = ClusterConfig::with_workers(workers);
+        cfg.parallel_workers = false; // deterministic in unit tests
+        Cluster::new(g, p, cfg, |v| Val { x: v as u64 }).unwrap()
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        let g = Arc::new(generators::path(4, true));
+        let p = Arc::new(PartitionMap::build(&g, 2, &HashPartitioner).unwrap());
+        let err = Cluster::<Val>::new(
+            Arc::clone(&g),
+            Arc::clone(&p),
+            ClusterConfig::with_workers(3),
+            |_| Val::default(),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, RuntimeError::PartitionMismatch { .. }));
+
+        let g2 = Arc::new(generators::path(5, true));
+        let err2 = Cluster::<Val>::new(g2, p, ClusterConfig::with_workers(2), |_| Val::default())
+            .err()
+            .unwrap();
+        assert!(matches!(err2, RuntimeError::GraphMismatch { .. }));
+    }
+
+    #[test]
+    fn direct_step_updates_masters_and_mirrors() {
+        let mut c = cluster(2, 8);
+        let out = c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
+            let masters: Vec<_> = ctx.masters().to_vec();
+            for v in masters {
+                let mut val = ctx.get(v).clone();
+                val.x *= 10;
+                ctx.write_master(v, val);
+            }
+            ctx.worker()
+        });
+        assert_eq!(out.per_worker, vec![0, 1]);
+        for v in 0..8u32 {
+            assert_eq!(c.value(v).x, v as u64 * 10);
+        }
+        // Mirrors along edges must have been synchronized too: every worker
+        // replica agrees on every vertex that has a cross-worker edge.
+        let stats = c.stats();
+        assert_eq!(stats.num_supersteps(), 1);
+        assert!(stats.steps()[0].sync_bytes > 0);
+        assert_eq!(stats.steps()[0].upd_bytes, 0);
+    }
+
+    #[test]
+    fn reduce_step_merges_across_workers() {
+        let mut c = cluster(2, 4);
+        // Every worker adds +1 to vertex 2 from each of its masters.
+        let reduce = |t: &Val, acc: &mut Val| acc.x += t.x;
+        let out = c.step_reduce(4, SyncScope::Necessary, reduce, |ctx| {
+            for &v in ctx.masters() {
+                let _ = v;
+                ctx.put(2, Val { x: 1 }, &reduce);
+            }
+        });
+        // Vertex 2 started at 2; 4 masters contributed 1 each.
+        assert_eq!(c.value(2).x, 2 + 4);
+        let updated = out.updated_flat();
+        assert_eq!(updated, vec![2]);
+    }
+
+    #[test]
+    fn reduce_step_counts_cross_worker_messages_only() {
+        let mut c = cluster(2, 4);
+        let owner2 = c.partition().owner(2);
+        let reduce = |t: &Val, acc: &mut Val| acc.x += t.x;
+        c.step_reduce(0, SyncScope::Necessary, reduce, |ctx| {
+            // Only the worker that owns vertex 2 puts: a purely local update.
+            if ctx.worker() == owner2 {
+                ctx.put(2, Val { x: 5 }, &reduce);
+            }
+        });
+        let s = &c.stats().steps()[0];
+        assert_eq!(s.upd_messages, 0, "local put must not cross workers");
+    }
+
+    #[test]
+    fn sync_scope_all_reaches_every_worker() {
+        let mut c = cluster(4, 16);
+        // Vertex 0's value changes; under All-scope every other worker's
+        // replica must see it even without incident edges.
+        let owner0 = c.partition().owner(0);
+        c.step_direct(StepKind::VertexMap, 1, SyncScope::All, |ctx| {
+            if ctx.worker() == owner0 {
+                ctx.write_master(0, Val { x: 777 });
+            }
+        });
+        let s = &c.stats().steps()[0];
+        assert_eq!(s.sync_messages, 3, "3 mirrors under All scope");
+    }
+
+    #[test]
+    fn single_worker_never_communicates() {
+        let mut c = cluster(1, 10);
+        let reduce = |t: &Val, acc: &mut Val| acc.x += t.x;
+        c.step_reduce(10, SyncScope::All, reduce, |ctx| {
+            for &v in ctx.masters() {
+                ctx.put(v, Val { x: 1 }, &reduce);
+            }
+        });
+        let s = &c.stats().steps()[0];
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn parallel_workers_match_sequential() {
+        let g = Arc::new(generators::erdos_renyi(64, 200, 3));
+        let p = Arc::new(PartitionMap::build(&g, 4, &HashPartitioner).unwrap());
+        let reduce = |t: &Val, acc: &mut Val| acc.x = acc.x.max(t.x);
+        let run = |parallel: bool| {
+            let mut cfg = ClusterConfig::with_workers(4).mode(ModePolicy::Adaptive);
+            cfg.parallel_workers = parallel;
+            let mut c =
+                Cluster::new(Arc::clone(&g), Arc::clone(&p), cfg, |v| Val { x: v as u64 }).unwrap();
+            // Propagate max neighbor id to each vertex (one push round).
+            c.step_reduce(64, SyncScope::Necessary, reduce, |ctx| {
+                for &v in ctx.masters() {
+                    let val = ctx.get(v).clone();
+                    let nbrs: Vec<u32> = ctx.graph().out_neighbors(v).to_vec();
+                    for d in nbrs {
+                        ctx.put(d, val.clone(), &reduce);
+                    }
+                }
+            });
+            c.collect(|_, val| val.x)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn network_model_charges_time() {
+        let g = Arc::new(generators::path(8, true));
+        let p = Arc::new(PartitionMap::build(&g, 2, &HashPartitioner).unwrap());
+        let cfg = ClusterConfig::with_workers(2)
+            .network(crate::NetworkModel::slow())
+            .sequential();
+        let mut c = Cluster::new(g, p, cfg, |v| Val { x: v as u64 }).unwrap();
+        c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
+            for &v in ctx.masters().to_vec().iter() {
+                ctx.write_master(v, Val { x: 1 });
+            }
+        });
+        assert!(c.stats().simulated_net_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn record_global_appends_stats() {
+        let mut c = cluster(2, 4);
+        c.record_global(3, 120, Duration::from_micros(5));
+        let s = c.take_stats();
+        assert_eq!(s.num_supersteps(), 1);
+        assert_eq!(s.total_bytes(), 120);
+        assert_eq!(c.stats().num_supersteps(), 0, "take_stats resets");
+    }
+
+    #[test]
+    fn set_value_global_updates_all_replicas() {
+        let mut c = cluster(3, 6);
+        c.set_value_global(4, Val { x: 99 });
+        // Run a step where every worker reads vertex 4 and reports it.
+        let out = c.step_direct(StepKind::VertexMap, 0, SyncScope::Necessary, |ctx| {
+            ctx.get(4).x
+        });
+        assert_eq!(out.per_worker, vec![99, 99, 99]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cluster configuration knobs.
+
+use crate::netmodel::NetworkModel;
+
+/// How the adaptive `EDGEMAP` dispatch (paper Algorithm 4) picks a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ModePolicy {
+    /// Pick dense (pull) when the active set's out-edge mass exceeds
+    /// [`ClusterConfig::dense_threshold`] — the paper's default behaviour.
+    #[default]
+    Adaptive,
+    /// Always run the sparse (push) kernel, as in Fig. 3's "sparse" series.
+    ForceSparse,
+    /// Always run the dense (pull) kernel, as in Fig. 3's "dense" series.
+    ForceDense,
+}
+
+/// What a master ships to its mirrors after an update (§IV-C,
+/// "synchronize critical properties only").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Ship only the critical projection (`V::Critical`) — the optimized
+    /// default matching the paper's static analysis.
+    #[default]
+    CriticalOnly,
+    /// Ship the whole vertex value — the unoptimized ablation baseline.
+    Full,
+}
+
+/// Which mirrors receive a master's update (§IV-C, "communicate with
+/// necessary mirrors only").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncScope {
+    /// Only workers holding at least one edge incident to the vertex.
+    /// Correct whenever messages flow along original graph edges.
+    #[default]
+    Necessary,
+    /// Every worker. Required when the step used *virtual edges* (an edge
+    /// set beyond `E`), since any worker may read the vertex next.
+    All,
+}
+
+/// Configuration of a simulated FLASH cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of workers (the paper's `m`; one partition each).
+    pub workers: usize,
+    /// Threads per worker for intra-worker parallelism (Fig. 4b's "cores").
+    pub threads_per_worker: usize,
+    /// Run workers on real OS threads. `false` executes workers
+    /// sequentially on the driver thread (deterministic debugging).
+    pub parallel_workers: bool,
+    /// Dense/sparse switch threshold as a fraction of `|E|`: an active set
+    /// whose `|U| + outEdges(U)` exceeds `threshold * |E|` is *dense*.
+    /// Ligra's classic value is 1/20.
+    pub dense_threshold: f64,
+    /// Kernel selection policy.
+    pub mode: ModePolicy,
+    /// Mirror synchronization payload.
+    pub sync_mode: SyncMode,
+    /// Simulated network for inter-node experiments; `None` records zero
+    /// simulated network time.
+    pub network: Option<NetworkModel>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            threads_per_worker: 1,
+            parallel_workers: true,
+            dense_threshold: 0.05,
+            mode: ModePolicy::Adaptive,
+            sync_mode: SyncMode::CriticalOnly,
+            network: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A convenience constructor for an `m`-worker cluster with defaults.
+    pub fn with_workers(workers: usize) -> Self {
+        ClusterConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the kernel-selection policy (builder style).
+    pub fn mode(mut self, mode: ModePolicy) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the mirror-sync payload policy (builder style).
+    pub fn sync_mode(mut self, sync: SyncMode) -> Self {
+        self.sync_mode = sync;
+        self
+    }
+
+    /// Sets intra-worker thread count (builder style).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads_per_worker = t.max(1);
+        self
+    }
+
+    /// Attaches a simulated network model (builder style).
+    pub fn network(mut self, net: NetworkModel) -> Self {
+        self.network = Some(net);
+        self
+    }
+
+    /// Disables real worker threads for deterministic single-threaded runs.
+    pub fn sequential(mut self) -> Self {
+        self.parallel_workers = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.mode, ModePolicy::Adaptive);
+        assert_eq!(c.sync_mode, SyncMode::CriticalOnly);
+        assert!(c.network.is_none());
+        assert!(c.dense_threshold > 0.0 && c.dense_threshold < 1.0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = ClusterConfig::with_workers(8)
+            .mode(ModePolicy::ForceDense)
+            .sync_mode(SyncMode::Full)
+            .threads(0)
+            .sequential();
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.mode, ModePolicy::ForceDense);
+        assert_eq!(c.sync_mode, SyncMode::Full);
+        assert_eq!(c.threads_per_worker, 1, "threads clamp to >= 1");
+        assert!(!c.parallel_workers);
+    }
+}

@@ -1,0 +1,210 @@
+//! The view a kernel has of one worker during a superstep.
+
+use crate::state::WorkerState;
+use crate::VertexData;
+use flash_graph::{Graph, PartitionMap, VertexId};
+
+/// A worker's execution context, handed to the compute closure of every
+/// superstep.
+///
+/// This is the paper's FLASHWARE interface (§IV-A) made safe for Rust:
+///
+/// * [`WorkerCtx::get`] — read the consistent *current* state of any
+///   vertex (master or mirror): "a worker can access arbitrary vertices
+///   safely".
+/// * [`WorkerCtx::put`] — stage a reduce-accumulated update for any vertex
+///   (the `put(id, v, R)` of the paper, used by `EDGEMAPSPARSE`).
+/// * [`WorkerCtx::write_master`] — stage a whole-value update for a vertex
+///   this worker owns (the reduce-free `put` used by `VERTEXMAP` and
+///   `EDGEMAPDENSE`).
+///
+/// The `barrier()` of the paper is implicit: it runs when the superstep's
+/// compute closure returns, publishing all staged writes and synchronizing
+/// mirrors.
+pub struct WorkerCtx<'a, V: VertexData> {
+    worker: usize,
+    graph: &'a Graph,
+    partition: &'a PartitionMap,
+    state: &'a mut WorkerState<V>,
+    threads: usize,
+}
+
+impl<'a, V: VertexData> WorkerCtx<'a, V> {
+    pub(crate) fn new(
+        worker: usize,
+        graph: &'a Graph,
+        partition: &'a PartitionMap,
+        state: &'a mut WorkerState<V>,
+        threads: usize,
+    ) -> Self {
+        WorkerCtx {
+            worker,
+            graph,
+            partition,
+            state,
+            threads,
+        }
+    }
+
+    /// This worker's id (`0..m`).
+    #[inline]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Threads available for intra-worker parallelism
+    /// (see [`crate::par::parallel_chunks`]).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared, immutable graph.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The partition map (ownership and mirror placement).
+    #[inline]
+    pub fn partition(&self) -> &'a PartitionMap {
+        self.partition
+    }
+
+    /// The master vertices this worker owns, ascending.
+    #[inline]
+    pub fn masters(&self) -> &'a [VertexId] {
+        self.partition.masters(self.worker)
+    }
+
+    /// Reads the current (consistent) state of any vertex — the paper's
+    /// `get(id)`. Reads see the state as of the *previous* barrier; staged
+    /// writes of the running superstep are invisible (BSP semantics).
+    #[inline]
+    pub fn get(&self, v: VertexId) -> &V {
+        self.state.current(v)
+    }
+
+    /// Snapshot of the whole current-state replica (for kernels that
+    /// parallelize reads across intra-worker threads).
+    #[inline]
+    pub fn current_slice(&self) -> &[V] {
+        &self.state.current
+    }
+
+    /// Stages an update of `v` with temporary value `temp`, combining with
+    /// any previously staged temporary via `reduce` — the paper's
+    /// `put(id, v, R)`. `reduce(t, acc)` must be associative and
+    /// commutative over temporaries (§III-A).
+    ///
+    /// Works for *any* vertex: updates to remote masters become
+    /// mirror→master messages at the barrier.
+    #[inline]
+    pub fn put(&mut self, v: VertexId, temp: V, reduce: &(impl Fn(&V, &mut V) + ?Sized)) {
+        use std::collections::hash_map::Entry;
+        match self.state.pending.entry(v) {
+            Entry::Occupied(mut e) => reduce(&temp, e.get_mut()),
+            Entry::Vacant(e) => {
+                e.insert(temp);
+            }
+        }
+    }
+
+    /// Stages a whole-value write of a vertex this worker masters
+    /// (overwrite, no reduce). Used by `VERTEXMAP` / `EDGEMAPDENSE`, whose
+    /// updates are applied "immediately and sequentially" per master.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `v` is not mastered by this worker.
+    #[inline]
+    pub fn write_master(&mut self, v: VertexId, val: V) {
+        debug_assert!(
+            self.partition.is_master(self.worker, v),
+            "write_master({v}) on worker {} which does not own it",
+            self.worker
+        );
+        self.state.direct.push((v, val));
+    }
+
+    /// Bulk variant of [`WorkerCtx::write_master`] used by kernels that
+    /// buffer per-thread results before committing.
+    pub fn write_masters<I: IntoIterator<Item = (VertexId, V)>>(&mut self, writes: I) {
+        for (v, val) in writes {
+            self.write_master(v, val);
+        }
+    }
+
+    /// Bulk variant of [`WorkerCtx::put`].
+    pub fn puts<I: IntoIterator<Item = (VertexId, V)>>(
+        &mut self,
+        updates: I,
+        reduce: &(impl Fn(&V, &mut V) + ?Sized),
+    ) {
+        for (v, temp) in updates {
+            self.put(v, temp, reduce);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_graph::{generators, HashPartitioner};
+
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct Acc {
+        sum: u64,
+    }
+    crate::full_sync!(Acc);
+
+    fn setup() -> (Graph, PartitionMap) {
+        let g = generators::path(6, true);
+        let p = PartitionMap::build(&g, 2, &HashPartitioner).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn put_reduces_temps() {
+        let (g, p) = setup();
+        let mut st = WorkerState::new(6, &|_| Acc::default());
+        let mut ctx = WorkerCtx::new(0, &g, &p, &mut st, 1);
+        let r = |t: &Acc, acc: &mut Acc| acc.sum += t.sum;
+        ctx.put(3, Acc { sum: 5 }, &r);
+        ctx.put(3, Acc { sum: 7 }, &r);
+        ctx.put(1, Acc { sum: 1 }, &r);
+        assert_eq!(st.pending[&3], Acc { sum: 12 });
+        assert_eq!(st.pending[&1], Acc { sum: 1 });
+    }
+
+    #[test]
+    fn get_reads_current_only() {
+        let (g, p) = setup();
+        let mut st = WorkerState::new(6, &|v| Acc { sum: v as u64 });
+        let mut ctx = WorkerCtx::new(0, &g, &p, &mut st, 1);
+        let r = |t: &Acc, acc: &mut Acc| acc.sum += t.sum;
+        ctx.put(2, Acc { sum: 100 }, &r);
+        // BSP: the staged put is invisible to get.
+        assert_eq!(ctx.get(2).sum, 2);
+    }
+
+    #[test]
+    fn masters_matches_partition() {
+        let (g, p) = setup();
+        let mut st = WorkerState::new(6, &|_| Acc::default());
+        let ctx = WorkerCtx::new(1, &g, &p, &mut st, 1);
+        assert_eq!(ctx.masters(), p.masters(1));
+        assert_eq!(ctx.worker(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "does not own")]
+    fn write_master_rejects_foreign_vertex() {
+        let (g, p) = setup();
+        // Find a vertex not owned by worker 0.
+        let foreign = (0..6u32).find(|&v| !p.is_master(0, v)).unwrap();
+        let mut st = WorkerState::new(6, &|_| Acc::default());
+        let mut ctx = WorkerCtx::new(0, &g, &p, &mut st, 1);
+        ctx.write_master(foreign, Acc::default());
+    }
+}

@@ -1,0 +1,73 @@
+//! Runtime error types.
+
+use std::fmt;
+
+/// Errors raised by FLASHWARE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The cluster was configured with zero workers.
+    NoWorkers,
+    /// A worker-count / partition-map mismatch.
+    PartitionMismatch {
+        /// Workers in the configuration.
+        config: usize,
+        /// Workers in the partition map.
+        partition: usize,
+    },
+    /// The graph and partition map disagree on the vertex count.
+    GraphMismatch {
+        /// Vertices in the graph.
+        graph: usize,
+        /// Vertices in the partition map.
+        partition: usize,
+    },
+    /// An algorithm exceeded its superstep budget without converging.
+    NotConverged {
+        /// The budget that was exhausted.
+        supersteps: usize,
+    },
+    /// A kernel misuse detected at runtime (bug in the calling code).
+    KernelMisuse(&'static str),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoWorkers => write!(f, "cluster requires at least one worker"),
+            RuntimeError::PartitionMismatch { config, partition } => write!(
+                f,
+                "config has {config} workers but partition map has {partition}"
+            ),
+            RuntimeError::GraphMismatch { graph, partition } => write!(
+                f,
+                "graph has {graph} vertices but partition map covers {partition}"
+            ),
+            RuntimeError::NotConverged { supersteps } => {
+                write!(
+                    f,
+                    "algorithm did not converge within {supersteps} supersteps"
+                )
+            }
+            RuntimeError::KernelMisuse(msg) => write!(f, "kernel misuse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        let e = RuntimeError::PartitionMismatch {
+            config: 4,
+            partition: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+        assert!(RuntimeError::NotConverged { supersteps: 100 }
+            .to_string()
+            .contains("100"));
+    }
+}

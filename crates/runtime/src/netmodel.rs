@@ -1,0 +1,88 @@
+//! Simulated network cost model.
+//!
+//! The paper's cluster links 4 nodes with 10 Gb ethernet; this reproduction
+//! runs all workers in one process, so inter-worker traffic costs only a
+//! buffer move. To reproduce the inter-node scalability experiments
+//! (Fig. 4c/d and the §V-E time breakdown) we *charge* — without sleeping —
+//! a simulated network time per superstep:
+//!
+//! ```text
+//! t_net = rounds * latency + cross_worker_bytes / bandwidth
+//! ```
+//!
+//! The harness adds the accumulated simulated time to the measured wall
+//! time when reporting, so "more nodes ⇒ more communication" shows the
+//! paper's shape while benchmarks stay fast and deterministic.
+
+use std::time::Duration;
+
+/// Parameters of the simulated interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// One-way latency charged per message round (per superstep round,
+    /// not per message — rounds are what BSP barriers serialize).
+    pub latency: Duration,
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkModel {
+    /// A model of the paper's 10 Gb ethernet (~1.0 GB/s usable, 50 µs
+    /// round latency).
+    pub fn ten_gbe() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(50),
+            bandwidth_bytes_per_sec: 1.0e9,
+        }
+    }
+
+    /// A deliberately slow model (100 MB/s, 0.5 ms latency) that makes
+    /// communication dominate — useful in tests and ablations.
+    pub fn slow() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(500),
+            bandwidth_bytes_per_sec: 1.0e8,
+        }
+    }
+
+    /// Simulated time for one superstep that moved `bytes` across workers
+    /// in `rounds` message rounds.
+    pub fn cost(&self, rounds: u32, bytes: u64) -> Duration {
+        if rounds == 0 && bytes == 0 {
+            return Duration::ZERO;
+        }
+        let transfer = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec);
+        self.latency * rounds + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_traffic_costs_nothing() {
+        assert_eq!(NetworkModel::ten_gbe().cost(0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_scales_with_rounds() {
+        let m = NetworkModel::ten_gbe();
+        assert_eq!(m.cost(2, 0), m.latency * 2);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_bytes() {
+        let m = NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: 1000.0,
+        };
+        assert_eq!(m.cost(1, 500), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn slow_is_slower_than_ten_gbe() {
+        let bytes = 1_000_000;
+        assert!(NetworkModel::slow().cost(1, bytes) > NetworkModel::ten_gbe().cost(1, bytes));
+    }
+}

@@ -1,0 +1,114 @@
+//! Intra-worker parallelism helper.
+//!
+//! The paper's workers each drive a pool of threads performing "parallel
+//! vertex-centric processing" (§IV-C, Fig. 4b varies this pool from 1 to 32
+//! cores). Kernels use [`parallel_chunks`] to split their master list into
+//! contiguous chunks processed on separate threads; each chunk returns a
+//! buffered result the kernel then commits through the single-threaded
+//! [`crate::WorkerCtx`] — keeping update application race-free without
+//! atomics, which is exactly the discipline FLASH imposes on distributed
+//! updates (reduce functions instead of compare-and-swap).
+
+/// Maps contiguous chunks of `items` on up to `threads` threads, returning
+/// the per-chunk outputs in order. With `threads <= 1` (or one-element
+/// input) it degrades to a plain sequential call, avoiding thread overhead.
+pub fn parallel_chunks<T: Sync, Out: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&[T]) -> Out + Sync,
+) -> Vec<Out> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(|| f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}
+
+/// Like [`parallel_chunks`] but for an index range, passing each thread the
+/// sub-range `(start, end)`.
+pub fn parallel_ranges<Out: Send>(
+    len: usize,
+    threads: usize,
+    f: impl Fn(usize, usize) -> Out + Sync,
+) -> Vec<Out> {
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 {
+        return vec![f(0, len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                s.spawn(move || f(lo, hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let items: Vec<u32> = (0..101).collect();
+        for threads in [1usize, 2, 3, 8, 200] {
+            let outs = parallel_chunks(&items, threads, |c| c.to_vec());
+            let flat: Vec<u32> = outs.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sums_match_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let outs = parallel_chunks(&items, 4, |c| c.iter().sum::<u64>());
+        assert_eq!(outs.iter().sum::<u64>(), 499_500);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u32> = vec![];
+        let outs = parallel_chunks(&items, 4, |c| c.len());
+        assert_eq!(outs, vec![0]);
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for threads in [1usize, 3, 7] {
+            let outs = parallel_ranges(50, threads, |lo, hi| (lo, hi));
+            let mut expect = 0;
+            for (lo, hi) in outs {
+                assert_eq!(lo, expect);
+                expect = hi;
+            }
+            assert_eq!(expect, 50);
+        }
+    }
+
+    #[test]
+    fn zero_len_ranges() {
+        let outs = parallel_ranges(0, 8, |lo, hi| hi - lo);
+        assert_eq!(outs, vec![0]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Critical-property analysis — the code generator's decision procedure.
+//!
+//! The paper's code generator performs "static analysis of the program
+//! before the execution" to decide which vertex properties are *critical*
+//! (read by other vertices, hence requiring master→mirror broadcast) and
+//! which are local-only (§IV-B/§IV-C, Table II). This reproduction has no
+//! source-to-source compiler — Rust closures replace generated C++ — so
+//! the analysis runs over a declared [`ProgramPlan`]: the sequence of
+//! primitive operations an algorithm performs and the properties each
+//! accesses, in which role.
+//!
+//! Table II, reproduced:
+//!
+//! | access | VERTEXMAP | DENSE src | DENSE tgt | SPARSE src | SPARSE tgt |
+//! |--------|-----------|-----------|-----------|------------|------------|
+//! | get    | ✗         | ✓         | ✗         | ✗          | ✓          |
+//! | put    | ✗         | —         | ✗         | —          | ✓          |
+//!
+//! ✓ = makes the property critical; ✗ = does not by itself; — = the
+//! operation cannot occur (sources are read-only in edge maps).
+//!
+//! Algorithms use the resulting [`ProgramPlan::critical_properties`] to
+//! validate that their [`crate::VertexData::Critical`] projection covers
+//! every property the distributed runtime must synchronize.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The primitive a property access occurs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// `VERTEXMAP` — local computation on masters.
+    VertexMap,
+    /// `EDGEMAPDENSE` — pull kernel.
+    EdgeMapDense,
+    /// `EDGEMAPSPARSE` — push kernel.
+    EdgeMapSparse,
+}
+
+/// The endpoint role of the vertex whose property is accessed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The vertex itself (only valid inside `VERTEXMAP`).
+    Local,
+    /// The edge source `s`.
+    Source,
+    /// The edge target `d`.
+    Target,
+}
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The property is read (`get`).
+    Get,
+    /// The property is written (`put`).
+    Put,
+}
+
+/// One declared property access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessDecl {
+    /// The primitive it occurs in.
+    pub op: OpKind,
+    /// The vertex role.
+    pub role: Role,
+    /// Read or write.
+    pub access: Access,
+    /// Property name.
+    pub property: &'static str,
+}
+
+/// Errors detected while validating a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A `put` was declared on an edge-map *source*, which the model
+    /// forbids (Table II's "—" cells): sources are read-only.
+    PutOnSource {
+        /// The offending property.
+        property: &'static str,
+    },
+    /// A `Local` role was declared outside `VERTEXMAP`.
+    LocalRoleInEdgeMap {
+        /// The offending property.
+        property: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::PutOnSource { property } => {
+                write!(f, "property {property:?}: edge-map sources are read-only")
+            }
+            PlanError::LocalRoleInEdgeMap { property } => {
+                write!(
+                    f,
+                    "property {property:?}: Local role is only valid in VERTEXMAP"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A declared program: the property-access footprint of an algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramPlan {
+    decls: Vec<AccessDecl>,
+}
+
+impl ProgramPlan {
+    /// Starts an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares one access (builder style).
+    pub fn access(
+        mut self,
+        op: OpKind,
+        role: Role,
+        access: Access,
+        property: &'static str,
+    ) -> Self {
+        self.decls.push(AccessDecl {
+            op,
+            role,
+            access,
+            property,
+        });
+        self
+    }
+
+    /// All declared accesses.
+    pub fn decls(&self) -> &[AccessDecl] {
+        &self.decls
+    }
+
+    /// All property names mentioned by the plan.
+    pub fn properties(&self) -> BTreeSet<&'static str> {
+        self.decls.iter().map(|d| d.property).collect()
+    }
+
+    /// Validates structural rules (the "—" cells of Table II).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for d in &self.decls {
+            let edge_map = matches!(d.op, OpKind::EdgeMapDense | OpKind::EdgeMapSparse);
+            if edge_map && d.role == Role::Local {
+                return Err(PlanError::LocalRoleInEdgeMap {
+                    property: d.property,
+                });
+            }
+            if edge_map && d.role == Role::Source && d.access == Access::Put {
+                return Err(PlanError::PutOnSource {
+                    property: d.property,
+                });
+            }
+            if d.op == OpKind::VertexMap && d.role != Role::Local {
+                return Err(PlanError::LocalRoleInEdgeMap {
+                    property: d.property,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a single access makes its property critical (Table II ✓).
+    fn is_critical_access(d: &AccessDecl) -> bool {
+        matches!(
+            (d.op, d.role, d.access),
+            (OpKind::EdgeMapDense, Role::Source, Access::Get)
+                | (OpKind::EdgeMapSparse, Role::Target, Access::Get)
+                | (OpKind::EdgeMapSparse, Role::Target, Access::Put)
+        )
+    }
+
+    /// The set of critical properties: those with at least one ✓ access.
+    pub fn critical_properties(&self) -> BTreeSet<&'static str> {
+        self.decls
+            .iter()
+            .filter(|d| Self::is_critical_access(d))
+            .map(|d| d.property)
+            .collect()
+    }
+
+    /// `true` if `property` is critical under Table II.
+    pub fn is_critical(&self, property: &str) -> bool {
+        self.decls
+            .iter()
+            .any(|d| d.property == property && Self::is_critical_access(d))
+    }
+
+    /// The local-only properties: mentioned but never critical. These "are
+    /// stored locally with the master vertex inside a partition, while the
+    /// mirrors do not hold such data" (§IV-C).
+    pub fn local_properties(&self) -> BTreeSet<&'static str> {
+        let critical = self.critical_properties();
+        self.properties()
+            .into_iter()
+            .filter(|p| !critical.contains(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Access::*;
+    use OpKind::*;
+    use Role::*;
+
+    #[test]
+    fn table_ii_positive_cells() {
+        // Each ✓ cell alone must make the property critical.
+        for (op, role, access) in [
+            (EdgeMapDense, Source, Get),
+            (EdgeMapSparse, Target, Get),
+            (EdgeMapSparse, Target, Put),
+        ] {
+            let plan = ProgramPlan::new().access(op, role, access, "p");
+            assert!(plan.is_critical("p"), "{op:?}/{role:?}/{access:?}");
+        }
+    }
+
+    #[test]
+    fn table_ii_negative_cells() {
+        for (op, role, access) in [
+            (VertexMap, Local, Get),
+            (VertexMap, Local, Put),
+            (EdgeMapDense, Target, Get),
+            (EdgeMapDense, Target, Put),
+            (EdgeMapSparse, Source, Get),
+        ] {
+            let plan = ProgramPlan::new().access(op, role, access, "p");
+            assert!(!plan.is_critical("p"), "{op:?}/{role:?}/{access:?}");
+            assert!(plan.local_properties().contains("p"));
+        }
+    }
+
+    #[test]
+    fn forbidden_cells_fail_validation() {
+        let p = ProgramPlan::new().access(EdgeMapDense, Source, Put, "x");
+        assert!(matches!(
+            p.validate(),
+            Err(PlanError::PutOnSource { property: "x" })
+        ));
+        let q = ProgramPlan::new().access(EdgeMapSparse, Source, Put, "y");
+        assert!(q.validate().is_err());
+        let r = ProgramPlan::new().access(EdgeMapSparse, Local, Get, "z");
+        assert!(matches!(
+            r.validate(),
+            Err(PlanError::LocalRoleInEdgeMap { property: "z" })
+        ));
+        let s = ProgramPlan::new().access(VertexMap, Source, Get, "w");
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn bfs_like_plan() {
+        // BFS (Algorithm 2): dis is read on targets (COND) and written on
+        // targets in a sparse edge map → critical. A vertex-map-only
+        // scratch field stays local.
+        let plan = ProgramPlan::new()
+            .access(VertexMap, Local, Put, "dis")
+            .access(EdgeMapSparse, Source, Get, "dis")
+            .access(EdgeMapSparse, Target, Get, "dis")
+            .access(EdgeMapSparse, Target, Put, "dis")
+            .access(VertexMap, Local, Put, "scratch");
+        plan.validate().unwrap();
+        assert_eq!(
+            plan.critical_properties().into_iter().collect::<Vec<_>>(),
+            vec!["dis"]
+        );
+        assert_eq!(
+            plan.local_properties().into_iter().collect::<Vec<_>>(),
+            vec!["scratch"]
+        );
+    }
+
+    #[test]
+    fn graph_coloring_plan_has_local_scratch() {
+        // GC (Algorithm 15): `colors` (neighbor color set) is target-put in
+        // a sparse map → critical; `cc` (chosen-color scratch) only lives
+        // in VERTEXMAPs → local; `c` is read as dense/sparse source → critical.
+        let plan = ProgramPlan::new()
+            .access(EdgeMapSparse, Source, Get, "c")
+            .access(EdgeMapSparse, Target, Put, "colors")
+            .access(VertexMap, Local, Get, "colors")
+            .access(VertexMap, Local, Put, "cc")
+            .access(VertexMap, Local, Get, "cc")
+            .access(VertexMap, Local, Put, "c");
+        plan.validate().unwrap();
+        let critical = plan.critical_properties();
+        assert!(critical.contains("colors"));
+        assert!(!critical.contains("cc"));
+        // `c` read only as sparse source → NOT critical by Table II (the
+        // source's master pushes, so its own replica suffices).
+        assert!(!critical.contains("c"));
+    }
+
+    #[test]
+    fn properties_lists_everything_once() {
+        let plan = ProgramPlan::new()
+            .access(VertexMap, Local, Put, "a")
+            .access(VertexMap, Local, Get, "a")
+            .access(EdgeMapDense, Source, Get, "b");
+        assert_eq!(plan.properties().len(), 2);
+        assert_eq!(plan.decls().len(), 3);
+    }
+}

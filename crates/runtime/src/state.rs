@@ -1,0 +1,76 @@
+//! Per-worker vertex state: the current/next split of §IV-A.
+
+use crate::VertexData;
+use flash_graph::VertexId;
+use std::collections::HashMap;
+
+/// The state a single worker holds.
+///
+/// `current` is a full replica of the vertex-state array: slots the worker
+/// owns are *masters* (authoritative), the rest are *mirrors* kept
+/// consistent by explicit synchronization at barriers. Per the paper,
+/// "the current states of a vertex are ensured to be consistent on all
+/// workers who access it in the current superstep", while updates go to
+/// next-state structures invisible until the barrier:
+///
+/// * `pending` — reduce-accumulated temporary values from
+///   `put` calls (the mirror-side combining of `EDGEMAPSPARSE`);
+/// * `direct` — whole-value master writes from `VERTEXMAP`
+///   and `EDGEMAPDENSE`, which never need a reduce function.
+#[derive(Debug)]
+pub struct WorkerState<V: VertexData> {
+    pub(crate) current: Vec<V>,
+    pub(crate) pending: HashMap<VertexId, V>,
+    pub(crate) direct: Vec<(VertexId, V)>,
+}
+
+impl<V: VertexData> WorkerState<V> {
+    /// Creates a replica initialized by `init` for vertices `0..n`.
+    pub(crate) fn new(n: usize, init: &impl Fn(VertexId) -> V) -> Self {
+        WorkerState {
+            current: (0..n as VertexId).map(init).collect(),
+            pending: HashMap::new(),
+            direct: Vec::new(),
+        }
+    }
+
+    /// Current (consistent) value of `v`.
+    #[inline]
+    pub fn current(&self, v: VertexId) -> &V {
+        &self.current[v as usize]
+    }
+
+    /// `true` if no next-state writes are staged.
+    #[cfg(test)]
+    pub(crate) fn is_clean(&self) -> bool {
+        self.pending.is_empty() && self.direct.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Default, Debug, PartialEq)]
+    struct D {
+        v: u32,
+    }
+    crate::full_sync!(D);
+
+    #[test]
+    fn initializes_by_closure() {
+        let st = WorkerState::new(4, &|v| D { v: v * 10 });
+        assert_eq!(st.current(2), &D { v: 20 });
+        assert!(st.is_clean());
+    }
+
+    #[test]
+    fn staged_writes_mark_dirty() {
+        let mut st = WorkerState::new(2, &|_| D::default());
+        st.direct.push((0, D { v: 1 }));
+        assert!(!st.is_clean());
+        st.direct.clear();
+        st.pending.insert(1, D { v: 2 });
+        assert!(!st.is_clean());
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-superstep execution statistics.
+//!
+//! The §V-E time breakdown divides execution into computation,
+//! communication and serialization; every superstep records those buckets
+//! plus exact message/byte counts, which also back the micro-benchmarks
+//! (mode switching, sync-policy ablations) and Fig. 4(a)'s frontier sizes.
+
+use std::time::Duration;
+
+/// Which kernel a superstep ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// `VERTEXMAP` (local compute + mirror sync).
+    VertexMap,
+    /// `EDGEMAPDENSE` (pull).
+    EdgeMapDense,
+    /// `EDGEMAPSPARSE` (push, two message rounds).
+    EdgeMapSparse,
+    /// A global auxiliary operator (`REDUCE`, gather, fold).
+    Global,
+}
+
+impl StepKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::VertexMap => "vmap",
+            StepKind::EdgeMapDense => "dense",
+            StepKind::EdgeMapSparse => "sparse",
+            StepKind::Global => "global",
+        }
+    }
+}
+
+/// Statistics of one superstep.
+#[derive(Clone, Debug)]
+pub struct StepStats {
+    /// Kernel kind.
+    pub kind: StepKind,
+    /// Size of the input active set (frontier), when the kernel has one.
+    pub active: usize,
+    /// Mirror→master messages (sparse phase 2) crossing workers.
+    pub upd_messages: u64,
+    /// Bytes of mirror→master messages crossing workers.
+    pub upd_bytes: u64,
+    /// Master→mirror synchronization messages crossing workers.
+    pub sync_messages: u64,
+    /// Bytes of master→mirror synchronization crossing workers.
+    pub sync_bytes: u64,
+    /// Wall time of the compute phase (on a single-core host, the *sum*
+    /// of all workers' compute time, since threads timeshare).
+    pub compute: Duration,
+    /// Maximum per-worker compute time — what the phase would cost on a
+    /// cluster with one core per worker (the BSP parallel makespan).
+    pub compute_max: Duration,
+    /// Wall time spent materializing and routing message buffers.
+    pub serialize: Duration,
+    /// Wall time spent applying remote updates and mirror syncs.
+    pub communicate: Duration,
+    /// Simulated network time (see [`crate::netmodel::NetworkModel`]).
+    pub simulated_net: Duration,
+}
+
+impl StepStats {
+    pub(crate) fn new(kind: StepKind, active: usize) -> Self {
+        StepStats {
+            kind,
+            active,
+            upd_messages: 0,
+            upd_bytes: 0,
+            sync_messages: 0,
+            sync_bytes: 0,
+            compute: Duration::ZERO,
+            compute_max: Duration::ZERO,
+            serialize: Duration::ZERO,
+            communicate: Duration::ZERO,
+            simulated_net: Duration::ZERO,
+        }
+    }
+
+    /// Total cross-worker bytes this superstep.
+    pub fn total_bytes(&self) -> u64 {
+        self.upd_bytes + self.sync_bytes
+    }
+
+    /// Total cross-worker messages this superstep.
+    pub fn total_messages(&self) -> u64 {
+        self.upd_messages + self.sync_messages
+    }
+}
+
+/// Accumulated statistics of a run (a sequence of supersteps).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    steps: Vec<StepStats>,
+}
+
+impl RunStats {
+    /// Appends one superstep's record.
+    pub(crate) fn push(&mut self, s: StepStats) {
+        self.steps.push(s);
+    }
+
+    /// All recorded supersteps, in execution order.
+    pub fn steps(&self) -> &[StepStats] {
+        &self.steps
+    }
+
+    /// Number of supersteps recorded.
+    pub fn num_supersteps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Total cross-worker bytes over the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(StepStats::total_bytes).sum()
+    }
+
+    /// Total cross-worker messages over the run.
+    pub fn total_messages(&self) -> u64 {
+        self.steps.iter().map(StepStats::total_messages).sum()
+    }
+
+    /// Summed compute time (wall; a sum over workers on single-core hosts).
+    pub fn compute_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.compute).sum()
+    }
+
+    /// Summed per-superstep *maximum* worker compute time: the compute
+    /// makespan of an ideal one-core-per-worker cluster. This is what the
+    /// scaling experiments report, because wall-clock parallel speedups
+    /// are unobservable on a single-core host.
+    pub fn parallel_compute_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.compute_max).sum()
+    }
+
+    /// The simulated end-to-end parallel runtime: per-superstep worker
+    /// makespan + measured communication + serialization + the simulated
+    /// network charge.
+    pub fn simulated_parallel_time(&self) -> Duration {
+        self.steps
+            .iter()
+            .map(|s| s.compute_max + s.serialize + s.communicate + s.simulated_net)
+            .sum()
+    }
+
+    /// Summed serialization time.
+    pub fn serialize_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.serialize).sum()
+    }
+
+    /// Summed communication time (measured, excluding simulated network).
+    pub fn communicate_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.communicate).sum()
+    }
+
+    /// Summed simulated network time.
+    pub fn simulated_net_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.simulated_net).sum()
+    }
+
+    /// Frontier size per superstep, for Fig. 4(a)-style plots; only
+    /// kernels with a frontier (`vmap`/`dense`/`sparse`) are included.
+    pub fn frontier_sizes(&self) -> Vec<usize> {
+        self.steps
+            .iter()
+            .filter(|s| s.kind != StepKind::Global)
+            .map(|s| s.active)
+            .collect()
+    }
+
+    /// Counts supersteps per kernel kind: `(vmap, dense, sparse, global)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for s in &self.steps {
+            match s.kind {
+                StepKind::VertexMap => c.0 += 1,
+                StepKind::EdgeMapDense => c.1 += 1,
+                StepKind::EdgeMapSparse => c.2 += 1,
+                StepKind::Global => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(kind: StepKind, active: usize, upd: u64, sync: u64) -> StepStats {
+        let mut s = StepStats::new(kind, active);
+        s.upd_bytes = upd;
+        s.upd_messages = upd / 8;
+        s.sync_bytes = sync;
+        s.sync_messages = sync / 8;
+        s
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut r = RunStats::default();
+        r.push(step(StepKind::EdgeMapSparse, 10, 80, 40));
+        r.push(step(StepKind::EdgeMapDense, 100, 0, 160));
+        assert_eq!(r.num_supersteps(), 2);
+        assert_eq!(r.total_bytes(), 280);
+        assert_eq!(r.total_messages(), 10 + 5 + 20);
+    }
+
+    #[test]
+    fn frontier_sizes_skip_global() {
+        let mut r = RunStats::default();
+        r.push(step(StepKind::VertexMap, 5, 0, 0));
+        r.push(step(StepKind::Global, 0, 0, 0));
+        r.push(step(StepKind::EdgeMapSparse, 3, 0, 0));
+        assert_eq!(r.frontier_sizes(), vec![5, 3]);
+    }
+
+    #[test]
+    fn kind_counts() {
+        let mut r = RunStats::default();
+        r.push(step(StepKind::VertexMap, 1, 0, 0));
+        r.push(step(StepKind::EdgeMapSparse, 1, 0, 0));
+        r.push(step(StepKind::EdgeMapSparse, 1, 0, 0));
+        assert_eq!(r.kind_counts(), (1, 0, 2, 0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = RunStats::default();
+        r.push(step(StepKind::VertexMap, 1, 1, 1));
+        r.clear();
+        assert_eq!(r.num_supersteps(), 0);
+        assert_eq!(r.total_bytes(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(StepKind::VertexMap.label(), "vmap");
+        assert_eq!(StepKind::EdgeMapDense.label(), "dense");
+        assert_eq!(StepKind::EdgeMapSparse.label(), "sparse");
+        assert_eq!(StepKind::Global.label(), "global");
+    }
+}

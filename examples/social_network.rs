@@ -1,0 +1,105 @@
+//! Social-network analysis: the workload class the paper's introduction
+//! motivates — centrality, communities and structure on a skewed graph.
+//!
+//! Loads the soc-orkut stand-in and runs a small analysis pipeline:
+//! connected components → PageRank → single-source betweenness →
+//! label-propagation communities → triangle count.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use flash_graph::prelude::*;
+use flash_runtime::ClusterConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let g = Arc::new(Dataset::Orkut.load_small());
+    let stats = flash_graph::stats::graph_stats(&g);
+    println!(
+        "soc-orkut-sim (small): |V|={} |E|={} maxdeg={} diam≈{}",
+        stats.vertices,
+        stats.edges / 2,
+        stats.max_degree,
+        stats.pseudo_diameter
+    );
+    let cfg = || ClusterConfig::with_workers(4);
+
+    // 1. Connectivity.
+    let t = Instant::now();
+    let cc = flash_algos::cc::run(&g, cfg()).expect("cc");
+    let components = {
+        let mut labels = cc.result.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    };
+    println!(
+        "\n[cc]       {components} components in {:?} ({} supersteps)",
+        t.elapsed(),
+        cc.supersteps()
+    );
+
+    // 2. Influence: PageRank.
+    let t = Instant::now();
+    let pr = flash_algos::pagerank::run(&g, cfg(), 20).expect("pagerank");
+    let mut top: Vec<(u32, f64)> = pr
+        .result
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(v, r)| (v as u32, r))
+        .collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("[pagerank] top-3 vertices by rank (in {:?}):", t.elapsed());
+    for (v, r) in top.iter().take(3) {
+        println!("           v{v}: rank {r:.5}, degree {}", g.degree(*v));
+    }
+
+    // 3. Brokerage: betweenness from the top-ranked vertex.
+    let hub = top[0].0;
+    let t = Instant::now();
+    let bc = flash_algos::bc::run(&g, cfg(), hub).expect("bc");
+    let broker = bc
+        .result
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v as u32 != hub) // the source's own score is not meaningful
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(v, _)| v as u32)
+        .unwrap();
+    println!(
+        "[bc]       most dependent broker for source v{hub}: v{broker} (in {:?})",
+        t.elapsed()
+    );
+
+    // 4. Communities: label propagation.
+    let t = Instant::now();
+    let lpa = flash_algos::lpa::run(&g, cfg(), 10).expect("lpa");
+    let communities = {
+        let mut l = lpa.result.clone();
+        l.sort_unstable();
+        l.dedup();
+        l.len()
+    };
+    println!(
+        "[lpa]      {communities} communities after 10 rounds (in {:?})",
+        t.elapsed()
+    );
+
+    // 5. Cohesion: triangles and the clustering signal.
+    let t = Instant::now();
+    let tc = flash_algos::tc::run(&g, cfg()).expect("tc");
+    println!("[tc]       {} triangles (in {:?})", tc.result, t.elapsed());
+
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    println!(
+        "           global clustering coefficient ≈ {:.4}",
+        3.0 * tc.result as f64 / wedges.max(1) as f64
+    );
+}

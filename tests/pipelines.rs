@@ -1,0 +1,190 @@
+//! End-to-end pipelines spanning crates: multi-phase FLASH programs,
+//! vertex-centric porting, dataset-registry workloads.
+
+use flash_core::prelude::*;
+use flash_core::vc::{run_vertex_centric, Outbox, VertexProgram};
+use flash_graph::prelude::*;
+use flash_graph::Graph;
+use std::sync::Arc;
+
+fn cfg(workers: usize) -> ClusterConfig {
+    ClusterConfig::with_workers(workers).sequential()
+}
+
+/// Run CC first, then count triangles inside the largest component only —
+/// the kind of chained, set-driven analysis the vertexSubset type enables.
+#[test]
+fn cc_then_component_restricted_analysis() {
+    // Two communities of very different size and density.
+    let mut b = flash_graph::GraphBuilder::new(14).symmetric(true);
+    for i in 0..8u32 {
+        for j in (i + 1)..8 {
+            b = b.edge(i, j); // K8: dense
+        }
+    }
+    b = b.edges((8..13u32).map(|i| (i, i + 1))); // 6-vertex path: sparse
+    let g = Arc::new(b.build().unwrap());
+
+    let labels = flash_algos::cc::run(&g, cfg(3)).unwrap().result;
+    // Largest component = the K8.
+    let mut counts = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    let (&big, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+    assert_eq!(big, 0);
+
+    // Restrict a triangle count to the component via an induced subgraph.
+    let members: Vec<u32> = (0..14u32).filter(|&v| labels[v as usize] == big).collect();
+    let index: std::collections::HashMap<u32, u32> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut sub = flash_graph::GraphBuilder::new(members.len()).symmetric(true);
+    for (s, d, _) in g.edges() {
+        if s < d && index.contains_key(&s) && index.contains_key(&d) {
+            sub = sub.edge(index[&s], index[&d]);
+        }
+    }
+    let sub = Arc::new(sub.build().unwrap());
+    let tri = flash_algos::tc::run(&sub, cfg(2)).unwrap().result;
+    assert_eq!(tri, 8 * 7 * 6 / 6, "triangles of K8");
+}
+
+/// BC as the paper motivates it: find the most central vertex of a
+/// barbell-ish graph (two cliques joined by a path through one cut vertex).
+#[test]
+fn bc_finds_the_bottleneck() {
+    let mut b = flash_graph::GraphBuilder::new(11).symmetric(true);
+    for i in 0..5u32 {
+        for j in (i + 1)..5 {
+            b = b.edge(i, j).edge(i + 6, j + 6);
+        }
+    }
+    let g = Arc::new(b.edges([(4, 5), (5, 6)]).build().unwrap());
+    let scores = flash_algos::bc::run(&g, cfg(2), 0).unwrap().result;
+    // Exclude the source itself (its own dependency is not meaningful).
+    let best = (1..11)
+        .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+        .unwrap();
+    assert_eq!(
+        best, 4,
+        "from source 0, its clique's gateway carries every cross path"
+    );
+    assert!(scores[4] > scores[5] && scores[5] > scores[6]);
+}
+
+/// Port a Pregel program through the vertex-centric simulation layer
+/// (Appendix A) and check it against the native FLASH algorithm.
+#[test]
+fn vertex_centric_port_matches_native_flash() {
+    struct PregelCc;
+    impl VertexProgram for PregelCc {
+        type Value = u32;
+        type Message = u32;
+
+        fn init(&self, v: u32, _g: &Graph) -> u32 {
+            v
+        }
+
+        fn compute(
+            &self,
+            v: u32,
+            g: &Graph,
+            value: &mut u32,
+            inbox: &[u32],
+            superstep: usize,
+            out: &mut Outbox<u32>,
+        ) {
+            let best = inbox.iter().min().copied().unwrap_or(u32::MAX);
+            if superstep == 0 {
+                out.send_to_neighbors(g, v, *value);
+            } else if best < *value {
+                *value = best;
+                out.send_to_neighbors(g, v, best);
+            }
+        }
+
+        fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
+            Some(*a.min(b))
+        }
+    }
+
+    let g = Arc::new(flash_graph::generators::erdos_renyi(100, 180, 33));
+    let ported = run_vertex_centric(Arc::clone(&g), cfg(3), PregelCc, 10_000).unwrap();
+    let native = flash_algos::cc::run(&g, cfg(3)).unwrap().result;
+    assert_eq!(ported.values, native);
+}
+
+/// The full Table III dataset registry loads and every dataset sustains a
+/// BFS + CC pass (small variants for test time).
+#[test]
+fn dataset_registry_end_to_end() {
+    for d in Dataset::ALL {
+        let g = Arc::new(d.load_small());
+        assert!(g.num_vertices() > 0, "{}", d.name());
+        let bfs = flash_algos::bfs::run(&g, cfg(2), 0).unwrap();
+        let reached = bfs.result.iter().filter(|&&x| x != u32::MAX).count();
+        assert!(reached > 1, "{}: bfs reached {reached}", d.name());
+        let cc = flash_algos::cc::run(&g, cfg(2)).unwrap();
+        assert_eq!(
+            cc.result,
+            flash_algos::reference::cc_labels(&g),
+            "{}",
+            d.name()
+        );
+    }
+}
+
+/// Weighted pipeline: build MSF, then verify the forest is metric-minimal
+/// against single-source distances (every forest edge is a shortest
+/// connection between its endpoints when weights are distinct).
+#[test]
+fn msf_and_sssp_compose() {
+    let g = generators::erdos_renyi(60, 150, 41);
+    let g = Arc::new(generators::with_random_weights(&g, 1.0, 9.0, 42));
+    let msf = flash_algos::msf::run(&g, cfg(2)).unwrap().result;
+    let (_, ref_total) = flash_algos::reference::kruskal(&g);
+    assert!((msf.total_weight - ref_total).abs() < 1e-4);
+
+    let dist = flash_algos::sssp::run(&g, cfg(2), 0).unwrap().result;
+    let ref_dist = flash_algos::reference::dijkstra(&g, 0);
+    for v in 0..60 {
+        if ref_dist[v].is_finite() {
+            assert!((dist[v] - ref_dist[v]).abs() < 1e-6);
+        }
+    }
+}
+
+/// The frontier statistics pipeline behind Fig. 4(a): both matching
+/// variants record per-round frontiers, and the opt variant's tail decays.
+#[test]
+fn matching_frontier_series_available() {
+    let g = Arc::new(flash_graph::generators::rmat(8, 6, Default::default(), 77));
+    let basic = flash_algos::mm::run(&g, cfg(2)).unwrap();
+    let opt = flash_algos::mm_opt::run(&g, cfg(2)).unwrap();
+    assert!(!basic.result.frontier_per_round.is_empty());
+    assert!(!opt.result.frontier_per_round.is_empty());
+    assert_eq!(
+        basic.result.frontier_per_round[0],
+        g.num_vertices(),
+        "round 0 activates everyone"
+    );
+}
+
+/// Per-superstep stats survive an entire multi-phase run and partition
+/// cleanly into the §V-E breakdown buckets.
+#[test]
+fn stats_breakdown_is_complete() {
+    let g = Arc::new(flash_graph::generators::web_graph(2000, 10, 16, 9));
+    let out = flash_algos::bc::run(&g, ClusterConfig::with_workers(4), 0).unwrap();
+    let stats = &out.stats;
+    assert!(stats.num_supersteps() > 3);
+    assert!(stats.total_bytes() > 0, "distributed BC must communicate");
+    let total = stats.compute_time() + stats.serialize_time() + stats.communicate_time();
+    assert!(total > std::time::Duration::ZERO);
+    let (vmaps, dense, sparse, _) = stats.kind_counts();
+    assert!(vmaps > 0);
+    assert!(dense + sparse > 0);
+}

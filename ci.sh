@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Canonical offline verification for the FLASH reproduction workspace.
+# No network access is required: the workspace has zero external
+# dependencies (see Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> OK"

@@ -189,7 +189,7 @@ mod tests {
             let g = generators::erdos_renyi(30, 25 + seed as usize * 8, seed);
             // Brute force via BFS 2-coloring.
             let brute = {
-                let mut color = vec![-1i8; 30];
+                let mut color = [-1i8; 30];
                 let mut ok = true;
                 for s in 0..30u32 {
                     if color[s as usize] != -1 {

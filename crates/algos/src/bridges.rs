@@ -58,20 +58,17 @@ pub fn run(graph: &Arc<Graph>, config: ClusterConfig) -> Result<AlgoOutput<Bridg
             cyclic.insert(l, true);
         }
     }
-    let mut bridges: Bridges =
-        (0..graph.num_vertices() as VertexId)
-            .filter_map(|v| {
-                let p = parent[v as usize]?;
-                let l = label[v as usize];
-                (members[&l] == 1 && !cyclic.contains_key(&l)).then(|| {
-                    if v < p {
-                        (v, p)
-                    } else {
-                        (p, v)
-                    }
-                })
+    let mut bridges: Bridges = (0..graph.num_vertices() as VertexId)
+        .filter_map(|v| {
+            let p = parent[v as usize]?;
+            let l = label[v as usize];
+            (members[&l] == 1 && !cyclic.contains_key(&l)).then_some(if v < p {
+                (v, p)
+            } else {
+                (p, v)
             })
-            .collect();
+        })
+        .collect();
     bridges.sort_unstable();
     // FLASH-ALGORITHM-END: bridges
     Ok(AlgoOutput::new(bridges, out.stats))

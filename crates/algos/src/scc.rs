@@ -97,7 +97,7 @@ mod tests {
     use super::*;
     use crate::reference;
     use flash_graph::GraphBuilder;
-    use rand::{Rng, SeedableRng};
+    use flash_graph::Prng;
 
     fn check(g: Graph, workers: usize) {
         let g = Arc::new(g);
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn random_directed_graphs_match_tarjan() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = Prng::seed_from_u64(99);
         for trial in 0..5 {
             let n = 40 + trial * 15;
             let mut b = GraphBuilder::new(n).dedup(true);

@@ -1,16 +1,16 @@
-//! Criterion ablations of the §IV-C runtime optimizations: dual-mode
-//! propagation, critical-property synchronization, and necessary-mirror
-//! communication.
+//! Ablations of the §IV-C runtime optimizations: dual-mode propagation,
+//! critical-property synchronization, and necessary-mirror communication.
+//! Runs on the offline harness in `flash_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_bench::microbench::{finish_suite, BenchResult, Group};
 use flash_core::prelude::*;
 use flash_graph::Dataset;
 use flash_runtime::{ClusterConfig, ModePolicy, SyncMode};
 use std::sync::Arc;
 
 /// Figure 3's ablation: BFS under forced push, forced pull, and adaptive.
-fn bench_mode_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mode_policy");
+fn bench_mode_policies() -> Vec<BenchResult> {
+    let mut group = Group::new("mode_policy");
     for d in [Dataset::Twitter, Dataset::RoadUsa, Dataset::Uk2002] {
         let g = Arc::new(d.load_small());
         for (name, mode) in [
@@ -18,51 +18,47 @@ fn bench_mode_policies(c: &mut Criterion) {
             ("dense", ModePolicy::ForceDense),
             ("adaptive", ModePolicy::Adaptive),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("bfs_{name}"), d.abbr()),
-                &g,
-                |b, g| {
-                    let cfg = ClusterConfig::with_workers(4).mode(mode);
-                    b.iter(|| flash_algos::bfs::run(g, cfg.clone(), 0).unwrap());
-                },
-            );
+            let cfg = ClusterConfig::with_workers(4).mode(mode);
+            group.bench(&format!("bfs_{name}/{}", d.abbr()), || {
+                flash_algos::bfs::run(&g, cfg.clone(), 0).unwrap()
+            });
         }
     }
-    group.finish();
+    group.finish()
 }
 
 /// Critical-only vs full mirror synchronization (§IV-C "synchronize
 /// critical properties only"), on an algorithm with heavy local scratch.
-fn bench_sync_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_mode");
+fn bench_sync_modes() -> Vec<BenchResult> {
+    let mut group = Group::new("sync_mode");
     let g = Arc::new(Dataset::Uk2002.load_small());
     for (name, mode) in [
         ("critical_only", SyncMode::CriticalOnly),
         ("full", SyncMode::Full),
     ] {
-        group.bench_with_input(BenchmarkId::new("kcore_opt", name), &g, |b, g| {
-            let cfg = ClusterConfig::with_workers(4).sync_mode(mode);
-            b.iter(|| flash_algos::kcore_opt::run(g, cfg.clone()).unwrap());
+        let cfg = ClusterConfig::with_workers(4).sync_mode(mode);
+        group.bench(&format!("kcore_opt/{name}"), || {
+            flash_algos::kcore_opt::run(&g, cfg.clone()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("gc", name), &g, |b, g| {
-            let cfg = ClusterConfig::with_workers(4).sync_mode(mode);
-            b.iter(|| flash_algos::gc::run(g, cfg.clone()).unwrap());
+        let cfg = ClusterConfig::with_workers(4).sync_mode(mode);
+        group.bench(&format!("gc/{name}"), || {
+            flash_algos::gc::run(&g, cfg.clone()).unwrap()
         });
     }
-    group.finish();
+    group.finish()
 }
 
 /// Necessary-mirrors vs all-mirrors synchronization (§IV-C "communicate
 /// with necessary mirrors only"): the same propagation over the real edge
 /// set (necessary) and over an identical virtual copy (all mirrors).
-fn bench_mirror_scopes(c: &mut Criterion) {
+fn bench_mirror_scopes() -> Vec<BenchResult> {
     #[derive(Clone, Default)]
     struct Val {
         x: u64,
     }
     flash_runtime::full_sync!(Val);
 
-    let mut group = c.benchmark_group("mirror_scope");
+    let mut group = Group::new("mirror_scope");
     let g = Arc::new(Dataset::Orkut.load_small());
 
     let run = |all_mirrors: bool| {
@@ -99,14 +95,14 @@ fn bench_mirror_scopes(c: &mut Criterion) {
         }
     };
 
-    group.bench_function("necessary_only", |b| b.iter(run(false)));
-    group.bench_function("all_mirrors", |b| b.iter(run(true)));
-    group.finish();
+    group.bench("necessary_only", run(false));
+    group.bench("all_mirrors", run(true));
+    group.finish()
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_mode_policies, bench_sync_modes, bench_mirror_scopes
+fn main() {
+    let mut results = bench_mode_policies();
+    results.extend(bench_sync_modes());
+    results.extend(bench_mirror_scopes());
+    finish_suite("ablations", &results);
 }
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion end-to-end algorithm benchmarks on the small dataset
-//! variants (the full Table V/VI runs live in the `table5_runtime` /
-//! `table6_runtime` binaries).
+//! End-to-end algorithm benchmarks on the small dataset variants (the
+//! full Table V/VI runs live in the `table5_runtime` / `table6_runtime`
+//! binaries). Runs on the offline harness in `flash_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_bench::microbench::{finish_suite, BenchResult, Group};
 use flash_graph::Dataset;
 use flash_runtime::ClusterConfig;
 use std::sync::Arc;
@@ -11,64 +11,53 @@ fn cfg() -> ClusterConfig {
     ClusterConfig::with_workers(4)
 }
 
-fn bench_traversal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("traversal");
+fn bench_traversal() -> Vec<BenchResult> {
+    let mut group = Group::new("traversal");
     for d in [Dataset::Orkut, Dataset::RoadUsa] {
         let g = Arc::new(d.load_small());
-        group.bench_with_input(BenchmarkId::new("bfs", d.abbr()), &g, |b, g| {
-            b.iter(|| flash_algos::bfs::run(g, cfg(), 0).unwrap());
+        let abbr = d.abbr();
+        group.bench(&format!("bfs/{abbr}"), || {
+            flash_algos::bfs::run(&g, cfg(), 0).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("cc_basic", d.abbr()), &g, |b, g| {
-            b.iter(|| flash_algos::cc::run(g, cfg()).unwrap());
+        group.bench(&format!("cc_basic/{abbr}"), || {
+            flash_algos::cc::run(&g, cfg()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("cc_opt", d.abbr()), &g, |b, g| {
-            b.iter(|| flash_algos::cc_opt::run(g, cfg()).unwrap());
+        group.bench(&format!("cc_opt/{abbr}"), || {
+            flash_algos::cc_opt::run(&g, cfg()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("bc", d.abbr()), &g, |b, g| {
-            b.iter(|| flash_algos::bc::run(g, cfg(), 0).unwrap());
+        group.bench(&format!("bc/{abbr}"), || {
+            flash_algos::bc::run(&g, cfg(), 0).unwrap()
         });
     }
-    group.finish();
+    group.finish()
 }
 
-fn bench_mining(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mining");
-    group.sample_size(10);
+fn bench_mining() -> Vec<BenchResult> {
+    let mut group = Group::new("mining");
     let g = Arc::new(Dataset::Orkut.load_small());
-    group.bench_function("tc", |b| {
-        b.iter(|| flash_algos::tc::run(&g, cfg()).unwrap());
+    group.bench("tc", || flash_algos::tc::run(&g, cfg()).unwrap());
+    group.bench("rc", || flash_algos::rc::run(&g, cfg()).unwrap());
+    group.bench("clique4", || {
+        flash_algos::clique::run(&g, cfg(), 4).unwrap()
     });
-    group.bench_function("rc", |b| {
-        b.iter(|| flash_algos::rc::run(&g, cfg()).unwrap());
+    group.bench("kcore_opt", || {
+        flash_algos::kcore_opt::run(&g, cfg()).unwrap()
     });
-    group.bench_function("clique4", |b| {
-        b.iter(|| flash_algos::clique::run(&g, cfg(), 4).unwrap());
-    });
-    group.bench_function("kcore_opt", |b| {
-        b.iter(|| flash_algos::kcore_opt::run(&g, cfg()).unwrap());
-    });
-    group.finish();
+    group.finish()
 }
 
-fn bench_matching_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matching");
-    group.sample_size(10);
+fn bench_matching_family() -> Vec<BenchResult> {
+    let mut group = Group::new("matching");
     let g = Arc::new(Dataset::Orkut.load_small());
-    group.bench_function("mis", |b| {
-        b.iter(|| flash_algos::mis::run(&g, cfg()).unwrap());
-    });
-    group.bench_function("mm_basic", |b| {
-        b.iter(|| flash_algos::mm::run(&g, cfg()).unwrap());
-    });
-    group.bench_function("mm_opt", |b| {
-        b.iter(|| flash_algos::mm_opt::run(&g, cfg()).unwrap());
-    });
-    group.finish();
+    group.bench("mis", || flash_algos::mis::run(&g, cfg()).unwrap());
+    group.bench("mm_basic", || flash_algos::mm::run(&g, cfg()).unwrap());
+    group.bench("mm_opt", || flash_algos::mm_opt::run(&g, cfg()).unwrap());
+    group.finish()
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_traversal, bench_mining, bench_matching_family
+fn main() {
+    let mut results = bench_traversal();
+    results.extend(bench_mining());
+    results.extend(bench_matching_family());
+    finish_suite("algorithms", &results);
 }
-criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks: the primitive operations of the FLASH
-//! programming model and its substrate.
+//! Micro-benchmarks: the primitive operations of the FLASH programming
+//! model and its substrate. Runs on the offline harness in
+//! `flash_bench::microbench` (run with `cargo bench -p flash-bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_bench::microbench::{finish_suite, Group};
 use flash_core::prelude::*;
 use flash_graph::{generators, HashPartitioner, PartitionMap};
 use std::sync::Arc;
@@ -12,35 +13,39 @@ struct Val {
 }
 flash_runtime::full_sync!(Val);
 
-fn bench_primitives(c: &mut Criterion) {
+fn bench_primitives() -> Vec<flash_bench::microbench::BenchResult> {
     let g = Arc::new(generators::rmat(12, 8, Default::default(), 7));
-    let mut group = c.benchmark_group("primitives");
+    let mut group = Group::new("primitives");
 
-    group.bench_function("vertex_map_full", |b| {
+    {
         let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
             Val { x: v as u64 }
         })
         .unwrap();
         let all = ctx.all();
-        b.iter(|| ctx.vertex_map(&all, |_, _| true, |_, val| val.x = val.x.wrapping_add(1)));
-    });
+        group.bench("vertex_map_full", || {
+            ctx.vertex_map(&all, |_, _| true, |_, val| val.x = val.x.wrapping_add(1))
+        });
+    }
 
-    group.bench_function("vertex_filter_full", |b| {
+    {
         let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
             Val { x: v as u64 }
         })
         .unwrap();
         let all = ctx.all();
-        b.iter(|| ctx.vertex_filter(&all, |_, val| val.x % 2 == 0));
-    });
+        group.bench("vertex_filter_full", || {
+            ctx.vertex_filter(&all, |_, val| val.x % 2 == 0)
+        });
+    }
 
-    group.bench_function("edge_map_dense_full", |b| {
+    {
         let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
             Val { x: v as u64 }
         })
         .unwrap();
         let all = ctx.all();
-        b.iter(|| {
+        group.bench("edge_map_dense_full", || {
             ctx.edge_map_dense(
                 &all,
                 &EdgeSet::forward(),
@@ -49,15 +54,15 @@ fn bench_primitives(c: &mut Criterion) {
                 |_, _| true,
             )
         });
-    });
+    }
 
-    group.bench_function("edge_map_sparse_small_frontier", |b| {
+    {
         let mut ctx = FlashContext::build(Arc::clone(&g), ClusterConfig::with_workers(4), |v| {
             Val { x: v as u64 }
         })
         .unwrap();
         let frontier = ctx.subset(0..64u32);
-        b.iter(|| {
+        group.bench("edge_map_sparse_small_frontier", || {
             ctx.edge_map_sparse(
                 &frontier,
                 &EdgeSet::forward(),
@@ -67,48 +72,43 @@ fn bench_primitives(c: &mut Criterion) {
                 |t, d| d.x = d.x.max(t.x),
             )
         });
-    });
+    }
 
-    group.finish();
+    group.finish()
 }
 
-fn bench_substrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
+fn bench_substrate() -> Vec<flash_bench::microbench::BenchResult> {
+    let mut group = Group::new("substrate");
 
     for scale in [10u32, 12] {
-        group.bench_with_input(BenchmarkId::new("rmat_generate", scale), &scale, |b, &s| {
-            b.iter(|| generators::rmat(s, 8, Default::default(), 1));
+        group.bench(&format!("rmat_generate/{scale}"), || {
+            generators::rmat(scale, 8, Default::default(), 1)
         });
     }
 
     let g = generators::rmat(12, 8, Default::default(), 3);
     for workers in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("partition_build", workers),
-            &workers,
-            |b, &m| {
-                b.iter(|| PartitionMap::build(&g, m, &HashPartitioner).unwrap());
-            },
-        );
+        group.bench(&format!("partition_build/{workers}"), || {
+            PartitionMap::build(&g, workers, &HashPartitioner).unwrap()
+        });
     }
 
-    group.bench_function("subset_ops", |b| {
+    {
         let a = VertexSubset::from_ids(100_000, (0..100_000u32).step_by(3));
         let c2 = VertexSubset::from_ids(100_000, (0..100_000u32).step_by(5));
-        b.iter(|| {
+        group.bench("subset_ops", || {
             let u = a.union(&c2);
             let i = a.intersect(&c2);
             let m = u.minus(&i);
             m.len()
         });
-    });
+    }
 
-    group.finish();
+    group.finish()
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_primitives, bench_substrate
+fn main() {
+    let mut results = bench_primitives();
+    results.extend(bench_substrate());
+    finish_suite("microbench", &results);
 }
-criterion_main!(benches);

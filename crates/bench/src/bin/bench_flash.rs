@@ -1,0 +1,76 @@
+//! Writes the aggregate perf snapshot `BENCH_flash.json`: every CLI
+//! algorithm run on the OR stand-in (4 workers, adaptive mode), reported
+//! as `algorithm → {simulated_parallel_time, total_bytes, supersteps}`.
+//!
+//! `FLASH_SCALE=small` uses the reduced dataset; `FLASH_BENCH_DIR` moves
+//! the snapshot. A per-algorithm detail file also lands in
+//! `results/bench_flash.json`.
+
+use flash_bench::cli::{dispatch, CliOptions, ALGOS};
+use flash_bench::harness::Scale;
+use flash_bench::jsonio;
+use flash_graph::Dataset;
+use flash_obs::Json;
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let g = Arc::new(scale.load(Dataset::Orkut));
+    // MSF and SSSP need edge weights; the stand-ins are unweighted, so
+    // attach deterministic ones (outside every timed region).
+    let weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &g, 0.1, 2.0, 4,
+    ));
+    println!("BENCH_flash — all algorithms on OR (scale {scale:?}, 4 workers)\n");
+
+    let mut snapshot = Json::object();
+    let mut details = Vec::new();
+    for algo in ALGOS {
+        let opts = CliOptions {
+            algo: algo.to_string(),
+            dataset: Some(Dataset::Orkut),
+            ..CliOptions::default()
+        };
+        let graph = if algo == "msf" || algo == "sssp" {
+            &weighted
+        } else {
+            &g
+        };
+        match dispatch(&opts, graph) {
+            Ok((summary, stats)) => {
+                println!(
+                    "{algo:<10} {:>9.4}s  {:>6} steps  {:>12} bytes  | {summary}",
+                    stats.simulated_parallel_time().as_secs_f64(),
+                    stats.num_supersteps(),
+                    stats.total_bytes()
+                );
+                snapshot = snapshot.set(algo, jsonio::run_record(&stats));
+                details.push(
+                    Json::object()
+                        .set("algo", algo)
+                        .set("summary", summary.as_str())
+                        .set("stats", stats.summary_json()),
+                );
+            }
+            Err(e) => {
+                eprintln!("{algo:<10} failed: {e}");
+                snapshot = snapshot.set(algo, Json::object().set("error", e.as_str()));
+            }
+        }
+    }
+
+    let detail_doc = Json::object()
+        .set("report", "bench_flash")
+        .set("scale", format!("{scale:?}"))
+        .set("dataset", "OR")
+        .set("workers", 4u64)
+        .set("runs", Json::Arr(details));
+    match jsonio::write_results("bench_flash", &detail_doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write detail json: {e}"),
+    }
+    match jsonio::write_bench_snapshot(&snapshot) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write snapshot: {e}"),
+    }
+}

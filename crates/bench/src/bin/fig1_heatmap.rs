@@ -2,8 +2,10 @@
 //! relative to the fastest one, for 12 applications on all six datasets.
 
 use flash_bench::harness::{run, App, Framework, RunResult, Scale};
+use flash_bench::jsonio;
 use flash_bench::report::heat_glyph;
 use flash_graph::Dataset;
+use flash_obs::Json;
 use std::sync::Arc;
 
 fn main() {
@@ -30,6 +32,7 @@ fn main() {
     let mut flash_best = 0usize;
     let mut flash_within2 = 0usize;
     let mut comparable = 0usize;
+    let mut json_cells = Vec::new();
 
     for &d in &Dataset::ALL {
         let g = Arc::new(scale.load(d));
@@ -69,6 +72,22 @@ fn main() {
                     flash_within2 += 1;
                 }
             }
+            for (f, r) in Framework::ALL.iter().zip(&results) {
+                json_cells.push(
+                    Json::object()
+                        .set("dataset", d.abbr())
+                        .set("app", app.abbr())
+                        .set("framework", f.name())
+                        .set(
+                            "slowdown",
+                            match r.seconds() {
+                                Some(s) if best.is_finite() => Json::from(s / best),
+                                _ => Json::Null,
+                            },
+                        )
+                        .set("result", jsonio::result_json(r)),
+                );
+            }
         }
         println!();
     }
@@ -79,4 +98,16 @@ fn main() {
         100.0 * flash_within2 as f64 / comparable as f64,
     );
     println!("(Paper: fastest in 84.5% of cases; within 2x in 95.2%.)");
+    let doc = Json::object()
+        .set("figure", "fig1_heatmap")
+        .set("scale", format!("{scale:?}"))
+        .set("workers", workers as u64)
+        .set("flash_best", flash_best)
+        .set("flash_within2", flash_within2)
+        .set("comparable", comparable)
+        .set("cells", Json::Arr(json_cells));
+    match jsonio::write_results("fig1_heatmap", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

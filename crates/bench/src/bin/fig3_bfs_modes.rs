@@ -1,10 +1,12 @@
 //! Regenerates Figure 3: BFS execution time under forced sparse (push),
 //! forced dense (pull) and adaptive switching, on the TW, US and UK
-//! stand-ins.
+//! stand-ins. Writes `results/fig3_bfs_modes.json` next to the table.
 
 use flash_bench::harness::Scale;
+use flash_bench::jsonio;
 use flash_bench::report::{format_secs, render_table};
 use flash_graph::Dataset;
+use flash_obs::Json;
 use flash_runtime::{ClusterConfig, ModePolicy};
 use std::sync::Arc;
 use std::time::Instant;
@@ -13,34 +15,65 @@ fn main() {
     let scale = Scale::from_env();
     println!("Figure 3 — BFS under push/pull/adaptive (scale {scale:?}, 4 workers)\n");
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for d in [Dataset::Twitter, Dataset::RoadUsa, Dataset::Uk2002] {
         let g = Arc::new(scale.load(d));
         let mut cells = Vec::new();
-        let mut mode_mix = String::new();
-        for mode in [
-            ModePolicy::ForceSparse,
-            ModePolicy::ForceDense,
-            ModePolicy::Adaptive,
+        let mut kernel_mix = String::new();
+        let mut row = Json::object().set("dataset", d.abbr());
+        for (name, mode) in [
+            ("sparse", ModePolicy::ForceSparse),
+            ("dense", ModePolicy::ForceDense),
+            ("adaptive", ModePolicy::Adaptive),
         ] {
             let cfg = ClusterConfig::with_workers(4).mode(mode);
             let t = Instant::now();
             let out = flash_algos::bfs::run(&g, cfg, 0).expect("bfs");
-            cells.push(format_secs(t.elapsed().as_secs_f64()));
+            let secs = t.elapsed().as_secs_f64();
+            cells.push(format_secs(secs));
+            // Kernel-kind counts make the mode-switch behaviour auditable:
+            // which supersteps ran as vertex maps, pulls, pushes, globals.
+            let (vmaps, dense, sparse, global) = out.stats.kind_counts();
             if mode == ModePolicy::Adaptive {
-                let (_, dense, sparse, _) = out.stats.kind_counts();
-                mode_mix = format!("{dense}d/{sparse}s");
+                kernel_mix = format!("{vmaps}v/{dense}d/{sparse}s/{global}g");
             }
+            row = row.set(
+                name,
+                Json::object()
+                    .set("seconds", secs)
+                    .set(
+                        "kind_counts",
+                        Json::object()
+                            .set("vmap", vmaps)
+                            .set("dense", dense)
+                            .set("sparse", sparse)
+                            .set("global", global),
+                    )
+                    .set("supersteps", out.stats.num_supersteps())
+                    .set("total_bytes", out.stats.total_bytes()),
+            );
         }
-        cells.push(mode_mix);
+        cells.push(kernel_mix);
         rows.push((d.abbr().to_string(), cells));
+        json_rows.push(row);
     }
     println!(
         "{}",
         render_table(
-            &["Data", "sparse", "dense", "adaptive", "adaptive mix"],
+            &["Data", "sparse", "dense", "adaptive", "adaptive kinds"],
             &rows
         )
     );
+    println!("(adaptive kinds: supersteps by kernel — v=vmap, d=dense, s=sparse, g=global)");
     println!("Expected shape (paper): sparse beats dense on TW/UK; on US the");
     println!("adaptive policy stays in sparse mode throughout and dense blows up.");
+    let doc = Json::object()
+        .set("figure", "fig3_bfs_modes")
+        .set("scale", format!("{scale:?}"))
+        .set("workers", 4u64)
+        .set("rows", Json::Arr(json_rows));
+    match jsonio::write_results("fig3_bfs_modes", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

@@ -2,7 +2,9 @@
 //! MM-basic vs MM-opt on the TW stand-in, plus the resulting speedup.
 
 use flash_bench::harness::Scale;
+use flash_bench::jsonio;
 use flash_graph::Dataset;
+use flash_obs::Json;
 use flash_runtime::ClusterConfig;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,4 +55,27 @@ fn main() {
         "wall time: basic {t_basic:.3}s, opt {t_opt:.3}s ({:.1}x speedup; paper reports 70.1x at full soc-twitter scale)",
         t_basic / t_opt.max(1e-9)
     );
+    let frontier = |v: &[usize]| Json::Arr(v.iter().map(|&n| Json::from(n)).collect());
+    let doc = Json::object()
+        .set("figure", "fig4a_mm_frontier")
+        .set("scale", format!("{scale:?}"))
+        .set("dataset", "TW")
+        .set(
+            "basic",
+            Json::object().set("wall_seconds", t_basic).set(
+                "frontier_per_round",
+                frontier(&basic.result.frontier_per_round),
+            ),
+        )
+        .set(
+            "opt",
+            Json::object().set("wall_seconds", t_opt).set(
+                "frontier_per_round",
+                frontier(&opt.result.frontier_per_round),
+            ),
+        );
+    match jsonio::write_results("fig4a_mm_frontier", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

@@ -8,8 +8,10 @@
 //! for the paper's 4 nodes × N cores (see DESIGN.md §1).
 
 use flash_bench::harness::Scale;
+use flash_bench::jsonio;
 use flash_bench::report::format_secs;
 use flash_graph::Dataset;
+use flash_obs::Json;
 use flash_runtime::ClusterConfig;
 use std::sync::Arc;
 
@@ -21,6 +23,7 @@ fn main() {
     );
 
     let mut baseline = None;
+    let mut json_rows = Vec::new();
     println!(
         "{:>8} {:>9} {:>12} {:>12} {:>9}",
         "cores", "workers", "compute", "total", "speedup"
@@ -40,7 +43,25 @@ fn main() {
             format_secs(total),
             base / total
         );
+        json_rows.push(
+            Json::object()
+                .set("cores", cores)
+                .set("workers", workers)
+                .set("compute_seconds", compute)
+                .set("total_seconds", total)
+                .set("speedup", base / total),
+        );
     }
     println!("\nExpected shape (paper): near-linear to 4-8 cores, then diminishing");
     println!("returns (7.5x at 32) as fixed costs and communication take over.");
+    let doc = Json::object()
+        .set("figure", "fig4b_scaling_cores")
+        .set("scale", format!("{scale:?}"))
+        .set("app", "tc")
+        .set("dataset", "TW")
+        .set("rows", Json::Arr(json_rows));
+    match jsonio::write_results("fig4b_scaling_cores", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

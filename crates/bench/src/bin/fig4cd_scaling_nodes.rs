@@ -4,8 +4,10 @@
 //! wall time is unobservable on a single-core host; see DESIGN.md §1).
 
 use flash_bench::harness::{Scale, CLIQUE_K};
+use flash_bench::jsonio;
 use flash_bench::report::format_secs;
 use flash_graph::Dataset;
+use flash_obs::Json;
 use flash_runtime::{ClusterConfig, NetworkModel};
 use std::sync::Arc;
 
@@ -14,7 +16,7 @@ fn run_scaling(
     dataset: Dataset,
     scale: Scale,
     run: impl Fn(&Arc<flash_graph::Graph>, ClusterConfig) -> flash_runtime::RunStats,
-) {
+) -> Json {
     let g = Arc::new(scale.load(dataset));
     println!("--- {label} on {} ---", dataset.abbr());
     println!(
@@ -22,6 +24,7 @@ fn run_scaling(
         "nodes", "compute", "comm", "sim-net", "total", "speedup"
     );
     let mut baseline = None;
+    let mut json_rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let cfg = ClusterConfig::with_workers(workers)
             .network(NetworkModel::ten_gbe())
@@ -40,8 +43,21 @@ fn run_scaling(
             format_secs(total),
             base / total
         );
+        json_rows.push(
+            Json::object()
+                .set("workers", workers)
+                .set("compute_seconds", compute)
+                .set("comm_seconds", comm)
+                .set("simulated_net_seconds", net)
+                .set("total_seconds", total)
+                .set("speedup", base / total),
+        );
     }
     println!();
+    Json::object()
+        .set("app", label)
+        .set("dataset", dataset.abbr())
+        .set("rows", Json::Arr(json_rows))
 }
 
 fn main() {
@@ -49,14 +65,22 @@ fn main() {
     println!(
         "Figure 4(c,d) — inter-node scaling (scale {scale:?}, simulated 10GbE, BSP makespan)\n"
     );
-    run_scaling("TC", Dataset::Twitter, scale, |g, cfg| {
+    let tc = run_scaling("TC", Dataset::Twitter, scale, |g, cfg| {
         flash_algos::tc::run(g, cfg).expect("tc").stats
     });
-    run_scaling("CL(k=4)", Dataset::Uk2002, scale, |g, cfg| {
+    let cl = run_scaling("CL(k=4)", Dataset::Uk2002, scale, |g, cfg| {
         flash_algos::clique::run(g, cfg, CLIQUE_K)
             .expect("cl")
             .stats
     });
     println!("Expected shape (paper): 2.0x (TC) and 3.5x (CL) from 1 to 4 nodes —");
     println!("CL scales better because it is computation-heavy.");
+    let doc = Json::object()
+        .set("figure", "fig4cd_scaling_nodes")
+        .set("scale", format!("{scale:?}"))
+        .set("experiments", Json::Arr(vec![tc, cl]));
+    match jsonio::write_results("fig4cd_scaling_nodes", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

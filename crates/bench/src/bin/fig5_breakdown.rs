@@ -1,9 +1,13 @@
 //! Regenerates the §V-E time breakdown: computation / communication /
 //! serialization / simulated-network shares of the total execution time
-//! as the cluster grows.
+//! as the cluster grows, plus the barrier skew (max−min worker compute,
+//! summed over supersteps) that shows load imbalance. Writes
+//! `results/fig5_breakdown.json` next to the table.
 
 use flash_bench::harness::Scale;
+use flash_bench::jsonio;
 use flash_graph::Dataset;
+use flash_obs::Json;
 use flash_runtime::{ClusterConfig, NetworkModel};
 use std::sync::Arc;
 
@@ -12,9 +16,10 @@ fn main() {
     let g = Arc::new(scale.load(Dataset::Twitter));
     println!("§V-E — time breakdown of TC on TW vs cluster size (scale {scale:?}, BSP makespan)\n");
     println!(
-        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>7} {:>12}",
-        "nodes", "compute", "comm", "serial", "sim-net", "comp%", "bytes"
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7} {:>12}",
+        "nodes", "compute", "comm", "serial", "sim-net", "skew", "comp%", "bytes"
     );
+    let mut json_rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let cfg = ClusterConfig::with_workers(workers)
             .network(NetworkModel::ten_gbe())
@@ -25,13 +30,41 @@ fn main() {
         let comm = s.communicate_time().as_secs_f64();
         let serial = s.serialize_time().as_secs_f64();
         let net = s.simulated_net_time().as_secs_f64();
+        // Aggregate load imbalance: per superstep, the slowest minus the
+        // fastest worker's compute time.
+        let skew = s.barrier_skew_time().as_secs_f64();
         let total = compute + comm + serial + net;
         println!(
-            "{workers:>6} {compute:>9.3}s {comm:>9.3}s {serial:>9.3}s {net:>9.3}s {:>6.1}% {:>12}",
+            "{workers:>6} {compute:>9.3}s {comm:>9.3}s {serial:>9.3}s {net:>9.3}s {skew:>9.3}s {:>6.1}% {:>12}",
             100.0 * compute / total.max(1e-12),
             s.total_bytes()
         );
+        json_rows.push(
+            Json::object()
+                .set("workers", workers)
+                .set("compute_seconds", compute)
+                .set("communicate_seconds", comm)
+                .set("serialize_seconds", serial)
+                .set("simulated_net_seconds", net)
+                .set("barrier_skew_seconds", skew)
+                .set(
+                    "max_barrier_skew_seconds",
+                    s.max_barrier_skew().as_secs_f64(),
+                )
+                .set("total_bytes", s.total_bytes()),
+        );
     }
-    println!("\nExpected shape (paper): computation time shrinks ~linearly with");
+    println!("\n(skew: summed max−min per-worker compute — the imbalance a barrier absorbs)");
+    println!("Expected shape (paper): computation time shrinks ~linearly with");
     println!("more nodes while communication + serialization take a growing share.");
+    let doc = Json::object()
+        .set("figure", "fig5_breakdown")
+        .set("scale", format!("{scale:?}"))
+        .set("app", "tc")
+        .set("dataset", "TW")
+        .set("rows", Json::Arr(json_rows));
+    match jsonio::write_results("fig5_breakdown", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

@@ -3,12 +3,15 @@
 //! ```text
 //! flash --algo cc --dataset US --workers 4
 //! flash --algo tc --input my_edges.txt --symmetric --mode pull
+//! flash --algo bfs --dataset TW --json --trace bfs.jsonl
 //! ```
 //!
 //! See `flash --help` for every flag; datasets are the Table III
 //! stand-ins (set `FLASH_SCALE=small` for the reduced variants).
+//! `--json` prints the full machine-readable run document on stdout;
+//! `--trace` streams per-superstep events (see DESIGN.md "Observability").
 
-use flash_bench::cli::{dispatch, load_graph, parse_args};
+use flash_bench::cli::{dispatch, load_graph, parse_args, run_json};
 use std::time::Instant;
 
 fn main() {
@@ -26,19 +29,29 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!(
-        "graph: {} vertices, {} arcs | algo: {} | workers: {} x {} thread(s)",
-        graph.num_vertices(),
-        graph.num_edges(),
-        opts.algo,
-        opts.workers,
-        opts.threads
-    );
+    if !opts.json {
+        println!(
+            "graph: {} vertices, {} arcs | algo: {} | workers: {} x {} thread(s)",
+            graph.num_vertices(),
+            graph.num_edges(),
+            opts.algo,
+            opts.workers,
+            opts.threads
+        );
+    }
 
     let t = Instant::now();
     match dispatch(&opts, &graph) {
         Ok((summary, stats)) => {
             let wall = t.elapsed();
+            if opts.json {
+                let doc = run_json(&opts, &summary, &stats)
+                    .set("wall_seconds", wall.as_secs_f64())
+                    .set("vertices", graph.num_vertices())
+                    .set("arcs", graph.num_edges() as u64);
+                println!("{}", doc.to_pretty_string());
+                return;
+            }
             println!("result: {summary}");
             let (vmaps, dense, sparse, global) = stats.kind_counts();
             println!(

@@ -3,7 +3,9 @@
 //! algorithms, CC-opt's iteration collapse on road networks.
 
 use flash_bench::harness::{run, App, Framework, RunResult, Scale};
+use flash_bench::jsonio;
 use flash_graph::Dataset;
+use flash_obs::Json;
 use flash_runtime::ClusterConfig;
 use std::sync::Arc;
 
@@ -92,4 +94,18 @@ fn main() {
         basic.supersteps(),
         rounds
     );
+    let doc = Json::object()
+        .set("report", "summary_verdicts")
+        .set("scale", format!("{scale:?}"))
+        .set("flash_fastest", best)
+        .set("flash_within2", within2)
+        .set("comparable", total)
+        .set("max_speedup", max_speedup.0)
+        .set("max_speedup_cell", max_speedup.1.as_str())
+        .set("cc_basic_supersteps", basic.supersteps())
+        .set("cc_opt_rounds", rounds);
+    match jsonio::write_results("summary_verdicts", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

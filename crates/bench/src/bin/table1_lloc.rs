@@ -3,11 +3,15 @@
 //! columns reproduce the paper's reported constants (their code is not
 //! ours to count).
 
+use flash_bench::jsonio;
 use flash_bench::lloc::{flash_lloc, sources, PAPER_LLOC};
 use flash_bench::report::render_table;
+use flash_obs::Json;
 
 fn main() {
     let fmt = |v: Option<usize>| v.map_or("-".to_string(), |x| x.to_string());
+    let opt = |v: Option<usize>| v.map_or(Json::Null, Json::from);
+    let mut json_rows = Vec::new();
     let rows: Vec<(String, Vec<String>)> = PAPER_LLOC
         .iter()
         .map(|&(name, pregel, powerg, gemini, ligra, paper_flash)| {
@@ -17,6 +21,16 @@ fn main() {
                 .map(|s| s.key)
                 .expect("every row has a source");
             let measured = flash_lloc(key).expect("marked core exists");
+            json_rows.push(
+                Json::object()
+                    .set("algo", name)
+                    .set("pregel_plus", opt(pregel))
+                    .set("powergraph", opt(powerg))
+                    .set("gemini", opt(gemini))
+                    .set("ligra", opt(ligra))
+                    .set("flash_measured", measured)
+                    .set("flash_paper", paper_flash),
+            );
             (
                 name.to_string(),
                 vec![
@@ -61,4 +75,13 @@ fn main() {
         .count();
     let comparable = PAPER_LLOC.iter().filter(|r| r.1.is_some()).count();
     println!("FLASH leaner than Pregel+ in {leaner}/{comparable} comparable rows.");
+    let doc = Json::object()
+        .set("table", "table1_lloc")
+        .set("leaner_than_pregel", leaner)
+        .set("comparable", comparable)
+        .set("rows", Json::Arr(json_rows));
+    match jsonio::write_results("table1_lloc", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
 }

@@ -1,10 +1,13 @@
 //! Regenerates Table V: execution time of the first eight applications on
 //! all six datasets across the five frameworks (4 workers; Ligra single
-//! node). `FLASH_SCALE=small` runs the reduced variants.
+//! node). `FLASH_SCALE=small` runs the reduced variants. Writes
+//! `results/table5_runtime.json` next to the tables.
 
 use flash_bench::harness::{run, App, Framework, Scale};
+use flash_bench::jsonio;
 use flash_bench::report::{cell, render_table};
 use flash_graph::Dataset;
+use flash_obs::Json;
 use std::sync::Arc;
 
 fn main() {
@@ -12,14 +15,25 @@ fn main() {
     let workers = 4;
     println!("Table V — execution time in seconds (scale {scale:?}, {workers} workers)\n");
 
+    let mut json_apps = Json::object();
     for app in App::TABLE5 {
+        let mut json_cells = Vec::new();
         let rows: Vec<(String, Vec<String>)> = Dataset::ALL
             .iter()
             .map(|&d| {
                 let g = Arc::new(scale.load(d));
                 let cells: Vec<String> = Framework::ALL
                     .iter()
-                    .map(|&f| cell(&run(f, app, &g, workers)))
+                    .map(|&f| {
+                        let r = run(f, app, &g, workers);
+                        json_cells.push(
+                            Json::object()
+                                .set("dataset", d.abbr())
+                                .set("framework", f.name())
+                                .set("result", jsonio::result_json(&r)),
+                        );
+                        cell(&r)
+                    })
                     .collect();
                 (d.abbr().to_string(), cells)
             })
@@ -32,5 +46,15 @@ fn main() {
                 &rows
             )
         );
+        json_apps = json_apps.set(app.abbr(), Json::Arr(json_cells));
+    }
+    let doc = Json::object()
+        .set("table", "table5_runtime")
+        .set("scale", format!("{scale:?}"))
+        .set("workers", workers as u64)
+        .set("apps", json_apps);
+    match jsonio::write_results("table5_runtime", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
     }
 }

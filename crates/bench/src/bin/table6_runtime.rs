@@ -4,8 +4,10 @@
 //! LPA, and no baseline at all for RC/CL.
 
 use flash_bench::harness::{run, App, Framework, Scale};
+use flash_bench::jsonio;
 use flash_bench::report::{cell, render_table};
 use flash_graph::Dataset;
+use flash_obs::Json;
 use std::sync::Arc;
 
 fn main() {
@@ -13,26 +15,54 @@ fn main() {
     let workers = 4;
     println!("Table VI — execution time in seconds (scale {scale:?}, {workers} workers)\n");
 
+    let mut json_apps = Json::object();
     for app in App::TABLE6 {
         let baseline: Option<Framework> = match app {
             App::Scc | App::Msf | App::Bcc => Some(Framework::PregelPlus),
             App::Lpa => Some(Framework::PowerGraph),
             _ => None, // RC, CL: "none of the other frameworks provided an implementation"
         };
+        let mut json_cells = Vec::new();
         let rows: Vec<(String, Vec<String>)> = Dataset::ALL
             .iter()
             .map(|&d| {
                 let g = Arc::new(scale.load(d));
                 let base = match baseline {
-                    Some(f) => cell(&run(f, app, &g, workers)),
+                    Some(f) => {
+                        let r = run(f, app, &g, workers);
+                        json_cells.push(
+                            Json::object()
+                                .set("dataset", d.abbr())
+                                .set("framework", f.name())
+                                .set("result", jsonio::result_json(&r)),
+                        );
+                        cell(&r)
+                    }
                     None => "-".to_string(),
                 };
-                let flash = cell(&run(Framework::Flash, app, &g, workers));
+                let r = run(Framework::Flash, app, &g, workers);
+                json_cells.push(
+                    Json::object()
+                        .set("dataset", d.abbr())
+                        .set("framework", Framework::Flash.name())
+                        .set("result", jsonio::result_json(&r)),
+                );
+                let flash = cell(&r);
                 (d.abbr().to_string(), vec![base, flash])
             })
             .collect();
         let base_name = baseline.map_or("(none)", Framework::name);
         println!("## {}  [baseline: {base_name}]", app.abbr());
         println!("{}", render_table(&["Data", "Baseline", "FLASH"], &rows));
+        json_apps = json_apps.set(app.abbr(), Json::Arr(json_cells));
+    }
+    let doc = Json::object()
+        .set("table", "table6_runtime")
+        .set("scale", format!("{scale:?}"))
+        .set("workers", workers as u64)
+        .set("apps", json_apps);
+    match jsonio::write_results("table6_runtime", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
     }
 }

@@ -20,11 +20,17 @@
 //! | `fig5_breakdown`       | §V-E (time breakdown) |
 //! | `summary_verdicts`     | §V-B headline claims |
 //!
-//! Criterion micro-benchmarks live in `benches/`.
+//! | `bench_flash`          | aggregate `BENCH_flash.json` perf snapshot |
+//!
+//! Micro-benchmarks live in `benches/` and run on the offline
+//! [`microbench`] harness. Every binary writes a machine-readable JSON
+//! artifact via [`jsonio`] alongside its text table.
 
 pub mod cli;
 pub mod harness;
+pub mod jsonio;
 pub mod lloc;
+pub mod microbench;
 pub mod report;
 
 pub use harness::{App, Framework, RunResult, Scale};

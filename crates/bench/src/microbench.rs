@@ -1,0 +1,186 @@
+//! A hand-rolled micro-benchmark harness.
+//!
+//! The workspace builds offline, so `criterion` is unavailable; the
+//! `benches/*.rs` suites use this instead. Each benchmark runs a warmup
+//! iteration followed by a fixed number of timed samples and reports
+//! min/median/mean. `FLASH_BENCH_SAMPLES` overrides the sample count
+//! (useful to keep smoke runs fast).
+
+use flash_obs::Json;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's timing summary.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group the benchmark belongs to (e.g. `primitives`).
+    pub group: String,
+    /// Benchmark name (e.g. `vertex_map_full`).
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean of all samples.
+    pub mean: Duration,
+}
+
+impl BenchResult {
+    /// Machine-readable rendering (nanosecond fields).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("group", self.group.as_str())
+            .set("name", self.name.as_str())
+            .set("samples", self.samples)
+            .set("min_ns", self.min.as_nanos() as u64)
+            .set("median_ns", self.median.as_nanos() as u64)
+            .set("mean_ns", self.mean.as_nanos() as u64)
+    }
+}
+
+/// Formats a duration at benchmark-friendly precision.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Group {
+    name: String,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+/// Default timed samples per benchmark (overridable via
+/// `FLASH_BENCH_SAMPLES`).
+fn default_samples() -> usize {
+    std::env::var("FLASH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+impl Group {
+    /// Starts a group; prints a header line.
+    pub fn new(name: &str) -> Self {
+        println!("group {name}");
+        Group {
+            name: name.to_string(),
+            samples: default_samples(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count for subsequent benchmarks.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warmup call, then `samples` timed calls of
+    /// `f`. The closure's result is passed through [`black_box`] so the
+    /// optimizer cannot elide the work.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {name:<34} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            format_duration(min),
+            format_duration(median),
+            format_duration(mean),
+            times.len()
+        );
+        self.results.push(BenchResult {
+            group: self.name.clone(),
+            name: name.to_string(),
+            samples: times.len(),
+            min,
+            median,
+            mean,
+        });
+        self
+    }
+
+    /// Ends the group, returning its results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        self.results
+    }
+}
+
+/// Renders a whole suite's results as a JSON document.
+pub fn suite_json(suite: &str, results: &[BenchResult]) -> Json {
+    Json::object().set("suite", suite).set(
+        "benchmarks",
+        Json::Arr(results.iter().map(BenchResult::to_json).collect()),
+    )
+}
+
+/// Standard suite epilogue: writes `results/bench_<suite>.json` and prints
+/// where it went.
+pub fn finish_suite(suite: &str, results: &[BenchResult]) {
+    match crate::jsonio::write_results(&format!("bench_{suite}"), &suite_json(suite, results)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write bench json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_stats() {
+        let mut g = Group::new("unit").samples(5);
+        g.bench("noop", || 1 + 1);
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.min <= r.median && r.min <= r.mean);
+        let j = r.to_json();
+        assert_eq!(j.get("group").and_then(Json::as_str), Some("unit"));
+        assert_eq!(j.get("samples").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn suite_json_lists_benchmarks() {
+        let mut g = Group::new("s").samples(2);
+        g.bench("a", || ());
+        g.bench("b", || ());
+        let j = suite_json("s", &g.finish());
+        assert_eq!(
+            j.get("benchmarks")
+                .and_then(Json::as_array)
+                .map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn durations_format_adaptively() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

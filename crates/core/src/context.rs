@@ -213,7 +213,20 @@ impl<V: VertexData> FlashContext<V> {
         c: impl Fn(VertexId, &V) -> bool + Sync,
         r: impl Fn(&V, &mut V) + Sync,
     ) -> VertexSubset {
-        let dense = match self.cluster.config().mode {
+        let policy = self.cluster.config().mode;
+        let tracing = self.cluster.config().sink.is_some();
+        // The density measure drives the Adaptive decision; with a trace
+        // sink attached it is also computed under forced policies so every
+        // mode_decision event carries it.
+        let frontier_edges: Option<usize> = if tracing
+            || (policy == ModePolicy::Adaptive && h.supports_pull() && h.supports_push())
+        {
+            let g = self.graph();
+            Some(u.iter().map(|v| g.out_degree(v)).sum::<usize>() + u.len())
+        } else {
+            None
+        };
+        let dense = match policy {
             ModePolicy::ForceDense => h.supports_pull(),
             ModePolicy::ForceSparse => !h.supports_push(),
             ModePolicy::Adaptive => {
@@ -222,14 +235,28 @@ impl<V: VertexData> FlashContext<V> {
                 } else if !h.supports_push() {
                     true
                 } else {
-                    let g = self.graph();
-                    let frontier_edges: usize =
-                        u.iter().map(|v| g.out_degree(v)).sum::<usize>() + u.len();
-                    frontier_edges as f64
-                        > self.cluster.config().dense_threshold * g.num_edges() as f64
+                    frontier_edges.unwrap() as f64
+                        > self.cluster.config().dense_threshold * self.graph().num_edges() as f64
                 }
             }
         };
+        if tracing {
+            let threshold_edges =
+                (self.cluster.config().dense_threshold * self.graph().num_edges() as f64) as usize;
+            let policy_label = match policy {
+                ModePolicy::Adaptive => "adaptive",
+                ModePolicy::ForceDense => "force-dense",
+                ModePolicy::ForceSparse => "force-sparse",
+            };
+            self.cluster.emit(flash_obs::EventKind::ModeDecision {
+                step: self.cluster.next_step_id(),
+                frontier: u.len(),
+                frontier_edges: frontier_edges.unwrap_or(0),
+                threshold_edges,
+                chosen: if dense { "dense" } else { "sparse" }.to_string(),
+                policy: policy_label.to_string(),
+            });
+        }
         if dense {
             self.edge_map_dense(u, h, f, m, c)
         } else {

@@ -2,7 +2,6 @@
 
 use super::rng;
 use crate::{Graph, GraphBuilder, VertexId};
-use rand::Rng;
 
 /// Generates a Barabási–Albert graph: vertices arrive one at a time and
 /// attach `k` edges to existing vertices with probability proportional to

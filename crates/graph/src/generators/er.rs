@@ -2,7 +2,6 @@
 
 use super::rng;
 use crate::{Graph, GraphBuilder, VertexId};
-use rand::Rng;
 
 /// Generates a uniform random graph with `n` vertices and `m` distinct
 /// undirected edges (no self-loops). Used by property tests as the "no

@@ -28,13 +28,12 @@ pub use road::road_network;
 pub use smallworld::watts_strogatz;
 pub use web::web_graph;
 
+use crate::rng::Prng;
 use crate::{Graph, GraphBuilder, Weight};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Creates a seeded RNG shared by all generators.
-pub(crate) fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub(crate) fn rng(seed: u64) -> Prng {
+    Prng::seed_from_u64(seed)
 }
 
 /// Attaches uniform random weights in `[lo, hi)` to every edge of `g`,
@@ -107,7 +106,6 @@ mod tests {
 
     #[test]
     fn seeded_rng_is_deterministic() {
-        use rand::Rng;
         let mut a = rng(9);
         let mut b = rng(9);
         assert_eq!(a.gen::<u64>(), b.gen::<u64>());

@@ -2,7 +2,6 @@
 
 use super::rng;
 use crate::{Graph, GraphBuilder, VertexId};
-use rand::Rng;
 
 /// R-MAT quadrant probabilities. The defaults `(0.57, 0.19, 0.19, 0.05)` are
 /// the Graph500 parameters, producing the heavy-tailed degree distribution

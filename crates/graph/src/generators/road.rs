@@ -2,7 +2,6 @@
 
 use super::rng;
 use crate::{Graph, GraphBuilder, VertexId};
-use rand::Rng;
 
 /// Generates a road-network stand-in for the paper's `road-USA` /
 /// `europe-osm` datasets: a sparse 2-D lattice backbone where a fraction of

@@ -2,7 +2,6 @@
 
 use super::rng;
 use crate::{Graph, GraphBuilder, VertexId};
-use rand::Rng;
 
 /// Generates a Watts–Strogatz small-world graph: a ring lattice where each
 /// vertex connects to its `k` nearest neighbors (`k` even), with each edge

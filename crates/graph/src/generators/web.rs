@@ -2,7 +2,6 @@
 
 use super::rng;
 use crate::{Graph, GraphBuilder, VertexId};
-use rand::Rng;
 
 /// Generates a web-graph stand-in for the paper's `uk-2002` / `sk-2005`
 /// datasets: vertices are grouped into "host" communities; most links stay

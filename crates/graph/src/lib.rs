@@ -45,6 +45,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod partition;
+pub mod rng;
 pub mod stats;
 
 pub use bitset::BitSet;
@@ -55,6 +56,7 @@ pub use dsu::DisjointSets;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use partition::{ChunkPartitioner, HashPartitioner, PartitionMap, Partitioner};
+pub use rng::Prng;
 
 /// The vertex identifier type used throughout FLASH.
 ///

@@ -1,0 +1,243 @@
+//! Dependency-free deterministic pseudo-random number generation.
+//!
+//! The workspace builds fully offline, so the synthetic-graph generators
+//! cannot pull in the `rand` crate. This module provides the small slice of
+//! its API they need: a seeded generator with `gen::<T>()` and
+//! `gen_range(..)`, deterministic across platforms and releases.
+//!
+//! The engine is **xoshiro256\*\*** (Blackman & Vigna) seeded through a
+//! **SplitMix64** expansion of the `u64` seed — the standard pairing, since
+//! xoshiro must not be seeded with a state that is all zeros and SplitMix64
+//! decorrelates consecutive seeds.
+
+/// A deterministic xoshiro256** generator.
+///
+/// Two generators built from the same seed produce identical streams;
+/// different seeds produce (statistically) independent streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+/// The SplitMix64 step: advances `state` and returns the next output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniformly distributed value of `T` (`u64`, `u32`, `f64` in
+    /// `[0, 1)`, or `bool`).
+    #[inline]
+    pub fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// Uniform `u64` in `[0, bound)` by Lemire's multiply-shift rejection
+    /// method (unbiased, usually a single multiplication).
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // Reject the biased low slice (at most bound-1 values of 2^64).
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Types [`Prng::gen`] can produce.
+pub trait Random {
+    /// Draws a uniform value.
+    fn random(rng: &mut Prng) -> Self;
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random(rng: &mut Prng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random(rng: &mut Prng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random(rng: &mut Prng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn random(rng: &mut Prng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types [`Prng::gen_range`] can sample.
+pub trait UniformRange: Sized {
+    /// Uniform in `[lo, hi)`; panics if the range is empty.
+    fn sample(rng: &mut Prng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            #[inline]
+            fn sample(rng: &mut Prng, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo + rng.bounded_u64(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_range!(u32, u64, usize);
+
+impl UniformRange for i32 {
+    #[inline]
+    fn sample(rng: &mut Prng, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "gen_range called with empty range");
+        let span = (hi as i64 - lo as i64) as u64;
+        (lo as i64 + rng.bounded_u64(span) as i64) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        // SplitMix64 expansion guarantees a non-zero xoshiro state.
+        let mut r = Prng::seed_from_u64(0);
+        assert_ne!(r.s, [0; 4]);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Prng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = Prng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_all_types() {
+        let mut r = Prng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = r.gen_range(5u32..17);
+            assert!((5..17).contains(&a));
+            let b = r.gen_range(0usize..3);
+            assert!(b < 3);
+            let c = r.gen_range(-4i32..9);
+            assert!((-4..9).contains(&c));
+            let d = r.gen_range(0u64..1);
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut r = Prng::seed_from_u64(8);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Prng::seed_from_u64(0).gen_range(3u32..3);
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = Prng::seed_from_u64(13);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "{heads} heads");
+    }
+}

@@ -1,0 +1,430 @@
+//! The structured event model for FLASHWARE traces.
+//!
+//! Every event carries a monotonically increasing sequence number (assigned
+//! by the emitting runtime) and renders to a single JSON object via
+//! [`Event::to_json`], so a [`JsonLinesSink`](crate::sink::JsonLinesSink)
+//! trace is one event per line. Field names are stable — they are the
+//! machine-readable contract documented in DESIGN.md.
+
+use crate::json::Json;
+
+/// A single trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number within one run (0-based).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A cluster came up: emitted once from `Cluster::new`.
+    RunStart {
+        /// Simulated worker count.
+        workers: usize,
+        /// Number of vertices in the loaded graph.
+        vertices: usize,
+        /// Number of (directed) edges in the loaded graph.
+        edges: usize,
+        /// Network latency per message round, in microseconds.
+        net_latency_us: u64,
+        /// Network bandwidth in bytes per second.
+        net_bandwidth_bps: u64,
+    },
+    /// A superstep began.
+    StepStart {
+        /// Superstep index (0-based, monotonic across the run).
+        step: u64,
+        /// Kernel kind label: `"vmap"`, `"dense"`, `"sparse"`, or
+        /// `"global"`.
+        kind: String,
+        /// Frontier size entering the step.
+        active: usize,
+    },
+    /// Per-worker compute phase within a superstep.
+    WorkerPhase {
+        /// Superstep index this phase belongs to.
+        step: u64,
+        /// Worker id (0-based).
+        worker: usize,
+        /// Wall-clock compute time for this worker, in microseconds.
+        compute_us: u64,
+        /// Mirror-directed `put` operations staged by this worker.
+        staged_puts: u64,
+        /// Master-directed writes staged by this worker.
+        staged_writes: u64,
+    },
+    /// A superstep completed (emitted after mirror sync).
+    StepEnd {
+        /// Superstep index.
+        step: u64,
+        /// Kernel kind label.
+        kind: String,
+        /// Frontier size.
+        active: usize,
+        /// Update-phase messages.
+        upd_messages: u64,
+        /// Update-phase bytes.
+        upd_bytes: u64,
+        /// Sync-phase messages.
+        sync_messages: u64,
+        /// Sync-phase bytes.
+        sync_bytes: u64,
+        /// Total compute time across workers, in microseconds.
+        compute_us: u64,
+        /// Slowest worker's compute time, in microseconds.
+        compute_max_us: u64,
+        /// Fastest worker's compute time, in microseconds.
+        compute_min_us: u64,
+        /// Barrier skew (`compute_max - compute_min`), in microseconds.
+        barrier_skew_us: u64,
+        /// Serialization time, in microseconds.
+        serialize_us: u64,
+        /// Communication time, in microseconds.
+        communicate_us: u64,
+        /// Simulated network time, in microseconds.
+        simulated_net_us: u64,
+    },
+    /// The sync planner decided which properties to ship for one step.
+    SyncPlan {
+        /// Superstep index.
+        step: u64,
+        /// Sync mode label: `"full"` or `"critical"`.
+        mode: String,
+        /// Mirror scope label: `"necessary"` or `"all"`.
+        scope: String,
+        /// Critical properties selected for synchronization (empty =
+        /// undeclared, i.e. the whole value ships).
+        properties: Vec<String>,
+    },
+    /// The adaptive `EDGEMAP` chose a kernel.
+    ModeDecision {
+        /// Superstep index the decision applies to (the step about to run).
+        step: u64,
+        /// Frontier size `|U|`.
+        frontier: usize,
+        /// `|U| + Σ out_degree(U)` — the Ligra-style density measure.
+        frontier_edges: usize,
+        /// Threshold the measure is compared against
+        /// (`dense_threshold · |E|`).
+        threshold_edges: usize,
+        /// Chosen kernel: `"dense"` or `"sparse"`.
+        chosen: String,
+        /// Dispatch policy in force: `"adaptive"`, `"force-dense"`, or
+        /// `"force-sparse"`.
+        policy: String,
+    },
+    /// A run finished (emitted by `Cluster::take_stats`).
+    RunEnd {
+        /// Supersteps executed.
+        supersteps: usize,
+        /// Total bytes communicated.
+        total_bytes: u64,
+        /// Total messages sent.
+        total_messages: u64,
+        /// Simulated parallel time, in microseconds.
+        simulated_parallel_us: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable string tag identifying the variant (the `"event"` field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run_start",
+            EventKind::StepStart { .. } => "step_start",
+            EventKind::WorkerPhase { .. } => "worker_phase",
+            EventKind::StepEnd { .. } => "step_end",
+            EventKind::SyncPlan { .. } => "sync_plan",
+            EventKind::ModeDecision { .. } => "mode_decision",
+            EventKind::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+impl Event {
+    /// Renders the event as a JSON object with an `"event"` tag, the
+    /// sequence number, and the variant's fields flattened alongside.
+    pub fn to_json(&self) -> Json {
+        let base = Json::object()
+            .set("event", self.kind.tag())
+            .set("seq", self.seq);
+        match &self.kind {
+            EventKind::RunStart {
+                workers,
+                vertices,
+                edges,
+                net_latency_us,
+                net_bandwidth_bps,
+            } => base
+                .set("workers", *workers)
+                .set("vertices", *vertices)
+                .set("edges", *edges)
+                .set("net_latency_us", *net_latency_us)
+                .set("net_bandwidth_bps", *net_bandwidth_bps),
+            EventKind::StepStart { step, kind, active } => base
+                .set("step", *step)
+                .set("kind", kind.as_str())
+                .set("active", *active),
+            EventKind::WorkerPhase {
+                step,
+                worker,
+                compute_us,
+                staged_puts,
+                staged_writes,
+            } => base
+                .set("step", *step)
+                .set("worker", *worker)
+                .set("compute_us", *compute_us)
+                .set("staged_puts", *staged_puts)
+                .set("staged_writes", *staged_writes),
+            EventKind::StepEnd {
+                step,
+                kind,
+                active,
+                upd_messages,
+                upd_bytes,
+                sync_messages,
+                sync_bytes,
+                compute_us,
+                compute_max_us,
+                compute_min_us,
+                barrier_skew_us,
+                serialize_us,
+                communicate_us,
+                simulated_net_us,
+            } => base
+                .set("step", *step)
+                .set("kind", kind.as_str())
+                .set("active", *active)
+                .set("upd_messages", *upd_messages)
+                .set("upd_bytes", *upd_bytes)
+                .set("sync_messages", *sync_messages)
+                .set("sync_bytes", *sync_bytes)
+                .set("compute_us", *compute_us)
+                .set("compute_max_us", *compute_max_us)
+                .set("compute_min_us", *compute_min_us)
+                .set("barrier_skew_us", *barrier_skew_us)
+                .set("serialize_us", *serialize_us)
+                .set("communicate_us", *communicate_us)
+                .set("simulated_net_us", *simulated_net_us),
+            EventKind::SyncPlan {
+                step,
+                mode,
+                scope,
+                properties,
+            } => base
+                .set("step", *step)
+                .set("mode", mode.as_str())
+                .set("scope", scope.as_str())
+                .set(
+                    "properties",
+                    Json::Arr(properties.iter().map(|p| Json::from(p.as_str())).collect()),
+                ),
+            EventKind::ModeDecision {
+                step,
+                frontier,
+                frontier_edges,
+                threshold_edges,
+                chosen,
+                policy,
+            } => base
+                .set("step", *step)
+                .set("frontier", *frontier)
+                .set("frontier_edges", *frontier_edges)
+                .set("threshold_edges", *threshold_edges)
+                .set("chosen", chosen.as_str())
+                .set("policy", policy.as_str()),
+            EventKind::RunEnd {
+                supersteps,
+                total_bytes,
+                total_messages,
+                simulated_parallel_us,
+            } => base
+                .set("supersteps", *supersteps)
+                .set("total_bytes", *total_bytes)
+                .set("total_messages", *total_messages)
+                .set("simulated_parallel_us", *simulated_parallel_us),
+        }
+    }
+
+    /// One-line human-readable rendering used by
+    /// [`TextSink`](crate::sink::TextSink).
+    pub fn to_text(&self) -> String {
+        match &self.kind {
+            EventKind::RunStart {
+                workers,
+                vertices,
+                edges,
+                ..
+            } => format!(
+                "[{:>4}] run start: {workers} workers, |V|={vertices}, |E|={edges}",
+                self.seq
+            ),
+            EventKind::StepStart { step, kind, active } => {
+                format!("[{:>4}] step {step} start ({kind}), frontier={active}", self.seq)
+            }
+            EventKind::WorkerPhase {
+                step,
+                worker,
+                compute_us,
+                staged_puts,
+                staged_writes,
+            } => format!(
+                "[{:>4}] step {step} worker {worker}: compute={compute_us}us puts={staged_puts} writes={staged_writes}",
+                self.seq
+            ),
+            EventKind::StepEnd {
+                step,
+                kind,
+                upd_bytes,
+                sync_bytes,
+                compute_max_us,
+                barrier_skew_us,
+                ..
+            } => format!(
+                "[{:>4}] step {step} end ({kind}): upd={upd_bytes}B sync={sync_bytes}B compute_max={compute_max_us}us skew={barrier_skew_us}us",
+                self.seq
+            ),
+            EventKind::SyncPlan {
+                step,
+                mode,
+                scope,
+                properties,
+            } => format!(
+                "[{:>4}] step {step} sync plan: mode={mode} scope={scope} properties=[{}]",
+                self.seq,
+                properties.join(",")
+            ),
+            EventKind::ModeDecision {
+                step,
+                frontier,
+                frontier_edges,
+                threshold_edges,
+                chosen,
+                policy,
+            } => format!(
+                "[{:>4}] step {step} edge_map chose {chosen} ({policy}): |U|={frontier}, |U|+outE={frontier_edges} vs {threshold_edges}",
+                self.seq
+            ),
+            EventKind::RunEnd {
+                supersteps,
+                total_bytes,
+                total_messages,
+                simulated_parallel_us,
+            } => format!(
+                "[{:>4}] run end: {supersteps} supersteps, {total_bytes}B, {total_messages} msgs, T_sim={simulated_parallel_us}us",
+                self.seq
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_step_end() -> Event {
+        Event {
+            seq: 7,
+            kind: EventKind::StepEnd {
+                step: 3,
+                kind: "sparse".to_string(),
+                active: 42,
+                upd_messages: 10,
+                upd_bytes: 160,
+                sync_messages: 5,
+                sync_bytes: 80,
+                compute_us: 900,
+                compute_max_us: 500,
+                compute_min_us: 400,
+                barrier_skew_us: 100,
+                serialize_us: 20,
+                communicate_us: 30,
+                simulated_net_us: 1234,
+            },
+        }
+    }
+
+    #[test]
+    fn step_end_renders_all_fields() {
+        let j = sample_step_end().to_json();
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("step_end"));
+        assert_eq!(j.get("seq").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("step").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("upd_bytes").and_then(Json::as_u64), Some(160));
+        assert_eq!(j.get("barrier_skew_us").and_then(Json::as_u64), Some(100));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("sparse"));
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let j = sample_step_end().to_json();
+        let back = json::parse(&j.to_string()).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            EventKind::RunStart {
+                workers: 1,
+                vertices: 1,
+                edges: 1,
+                net_latency_us: 0,
+                net_bandwidth_bps: 0,
+            }
+            .tag(),
+            EventKind::StepStart {
+                step: 0,
+                kind: String::new(),
+                active: 0,
+            }
+            .tag(),
+            EventKind::WorkerPhase {
+                step: 0,
+                worker: 0,
+                compute_us: 0,
+                staged_puts: 0,
+                staged_writes: 0,
+            }
+            .tag(),
+            sample_step_end().kind.tag(),
+            EventKind::SyncPlan {
+                step: 0,
+                mode: String::new(),
+                scope: String::new(),
+                properties: vec![],
+            }
+            .tag(),
+            EventKind::ModeDecision {
+                step: 0,
+                frontier: 0,
+                frontier_edges: 0,
+                threshold_edges: 0,
+                chosen: String::new(),
+                policy: String::new(),
+            }
+            .tag(),
+            EventKind::RunEnd {
+                supersteps: 0,
+                total_bytes: 0,
+                total_messages: 0,
+                simulated_parallel_us: 0,
+            }
+            .tag(),
+        ];
+        let unique: std::collections::BTreeSet<_> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn text_rendering_mentions_key_numbers() {
+        let t = sample_step_end().to_text();
+        assert!(t.contains("step 3"));
+        assert!(t.contains("skew=100us"));
+    }
+}

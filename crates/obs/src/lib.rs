@@ -1,0 +1,26 @@
+//! # flash-obs
+//!
+//! Dependency-free structured tracing and machine-readable metrics for the
+//! FLASH framework. Three pieces:
+//!
+//! * [`json`] — a hand-rolled JSON value type with a compact/pretty writer
+//!   and a parser (the workspace builds offline, so there is no
+//!   `serde_json`);
+//! * [`event`] — the [`Event`]/[`EventKind`] model the runtime emits:
+//!   run/superstep spans, per-worker phase timings, barrier skew,
+//!   message/byte counts, sync-plan and adaptive-kernel decisions;
+//! * [`sink`] — the [`Sink`] trait plus [`NullSink`], [`CollectSink`],
+//!   [`JsonLinesSink`], and [`TextSink`].
+//!
+//! The runtime (`flash-runtime`) owns the emission sites; this crate only
+//! defines the vocabulary, so it stays a leaf with zero dependencies.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use json::Json;
+pub use sink::{CollectSink, JsonLinesSink, NullSink, Sink, TextSink};

@@ -8,6 +8,7 @@ use crate::state::WorkerState;
 use crate::stats::{RunStats, StepKind, StepStats};
 use crate::VertexData;
 use flash_graph::{Graph, PartitionMap, VertexId};
+use flash_obs::{Event, EventKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,6 +41,12 @@ pub struct Cluster<V: VertexData> {
     config: ClusterConfig,
     states: Vec<WorkerState<V>>,
     stats: RunStats,
+    /// Monotonic superstep counter for trace events. Unlike `stats`, it is
+    /// *not* reset by [`Cluster::take_stats`], so step ids in a trace stay
+    /// unique across multiple measured phases of one program.
+    next_step: u64,
+    /// Monotonic sequence number for trace events.
+    next_seq: u64,
 }
 
 impl<V: VertexData> Cluster<V> {
@@ -72,13 +79,30 @@ impl<V: VertexData> Cluster<V> {
         let states = (0..config.workers)
             .map(|_| WorkerState::new(n, &init))
             .collect();
-        Ok(Cluster {
+        let mut cluster = Cluster {
             graph,
             partition,
             config,
             states,
             stats: RunStats::default(),
-        })
+            next_step: 0,
+            next_seq: 0,
+        };
+        let (net_latency_us, net_bandwidth_bps) = match &cluster.config.network {
+            Some(net) => (
+                net.latency.as_micros() as u64,
+                net.bandwidth_bytes_per_sec as u64,
+            ),
+            None => (0, 0),
+        };
+        cluster.emit(EventKind::RunStart {
+            workers: cluster.config.workers,
+            vertices: cluster.graph.num_vertices(),
+            edges: cluster.graph.num_edges(),
+            net_latency_us,
+            net_bandwidth_bps,
+        });
+        Ok(cluster)
     }
 
     /// The shared graph.
@@ -122,9 +146,38 @@ impl<V: VertexData> Cluster<V> {
         &self.stats
     }
 
-    /// Takes and resets the recorded statistics.
+    /// Takes and resets the recorded statistics, emitting a `run_end`
+    /// trace event summarizing them.
     pub fn take_stats(&mut self) -> RunStats {
-        std::mem::take(&mut self.stats)
+        let stats = std::mem::take(&mut self.stats);
+        self.emit(EventKind::RunEnd {
+            supersteps: stats.num_supersteps(),
+            total_bytes: stats.total_bytes(),
+            total_messages: stats.total_messages(),
+            simulated_parallel_us: stats.simulated_parallel_time().as_micros() as u64,
+        });
+        stats
+    }
+
+    /// The id the next superstep will carry in trace events. Layered
+    /// operators (the adaptive `EDGEMAP` dispatch) use it to tag decision
+    /// events with the step they decide for.
+    pub fn next_step_id(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Emits a trace event to the configured sink (a no-op without one).
+    /// Public so higher layers — kernel dispatch in `flash-core`, driver
+    /// operators — can contribute events to the same ordered stream.
+    pub fn emit(&mut self, kind: EventKind) {
+        if let Some(sink) = &self.config.sink {
+            let event = Event {
+                seq: self.next_seq,
+                kind,
+            };
+            self.next_seq += 1;
+            sink.emit(&event);
+        }
     }
 
     /// The authoritative (master) value of vertex `v`.
@@ -155,14 +208,16 @@ impl<V: VertexData> Cluster<V> {
     /// statistics: `messages`/`bytes` of cross-worker traffic taking
     /// `elapsed` of wall time.
     pub fn record_global(&mut self, messages: u64, bytes: u64, elapsed: Duration) {
+        self.emit(EventKind::StepStart {
+            step: self.next_step,
+            kind: StepKind::Global.label().to_string(),
+            active: 0,
+        });
         let mut s = StepStats::new(StepKind::Global, 0);
         s.upd_messages = messages;
         s.upd_bytes = bytes;
         s.communicate = elapsed;
-        if let Some(net) = &self.config.network {
-            s.simulated_net = net.cost(u32::from(bytes > 0), bytes);
-        }
-        self.stats.push(s);
+        self.finish_step(s);
     }
 
     /// Runs a *direct* superstep: compute on every worker, publish
@@ -176,12 +231,21 @@ impl<V: VertexData> Cluster<V> {
         scope: SyncScope,
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
+        let step_id = self.next_step;
+        self.emit(EventKind::StepStart {
+            step: step_id,
+            kind: kind.label().to_string(),
+            active,
+        });
+        self.emit_sync_plan(step_id, scope);
         let mut stats = StepStats::new(kind, active);
 
         let t0 = Instant::now();
-        let (per_worker, compute_max) = self.run_compute(&f);
+        let (per_worker, durations) = self.run_compute(&f);
         stats.compute = t0.elapsed();
-        stats.compute_max = compute_max;
+        stats.compute_max = durations.iter().copied().max().unwrap_or_default();
+        stats.compute_min = durations.iter().copied().min().unwrap_or_default();
+        self.emit_worker_phases(step_id, &durations);
 
         debug_assert!(
             self.states.iter().all(|s| s.pending.is_empty()),
@@ -224,12 +288,21 @@ impl<V: VertexData> Cluster<V> {
         reduce: impl Fn(&V, &mut V) + Sync,
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
+        let step_id = self.next_step;
+        self.emit(EventKind::StepStart {
+            step: step_id,
+            kind: StepKind::EdgeMapSparse.label().to_string(),
+            active,
+        });
+        self.emit_sync_plan(step_id, scope);
         let mut stats = StepStats::new(StepKind::EdgeMapSparse, active);
 
         let t0 = Instant::now();
-        let (per_worker, compute_max) = self.run_compute(&f);
+        let (per_worker, durations) = self.run_compute(&f);
         stats.compute = t0.elapsed();
-        stats.compute_max = compute_max;
+        stats.compute_max = durations.iter().copied().max().unwrap_or_default();
+        stats.compute_min = durations.iter().copied().min().unwrap_or_default();
+        self.emit_worker_phases(step_id, &durations);
 
         debug_assert!(
             self.states.iter().all(|s| s.direct.is_empty()),
@@ -277,13 +350,56 @@ impl<V: VertexData> Cluster<V> {
         }
     }
 
+    /// Per-worker phase accounting at the barrier: takes (and resets) each
+    /// worker's staged-op counters and emits one `worker_phase` event.
+    fn emit_worker_phases(&mut self, step: u64, durations: &[Duration]) {
+        for (w, dur) in durations.iter().enumerate() {
+            // Counters reset unconditionally so a sink attached mid-run
+            // never sees ops from earlier supersteps.
+            let staged_puts = std::mem::take(&mut self.states[w].op_puts);
+            let staged_writes = std::mem::take(&mut self.states[w].op_writes);
+            if self.config.sink.is_some() {
+                self.emit(EventKind::WorkerPhase {
+                    step,
+                    worker: w,
+                    compute_us: dur.as_micros() as u64,
+                    staged_puts,
+                    staged_writes,
+                });
+            }
+        }
+    }
+
+    /// Emits the sync-plan decision for one superstep: payload policy,
+    /// mirror scope, and the declared critical properties.
+    fn emit_sync_plan(&mut self, step: u64, scope: SyncScope) {
+        if self.config.sink.is_none() {
+            return;
+        }
+        let mode = match self.config.sync_mode {
+            SyncMode::CriticalOnly => "critical",
+            SyncMode::Full => "full",
+        };
+        let scope_label = match scope {
+            SyncScope::Necessary => "necessary",
+            SyncScope::All => "all",
+        };
+        let properties = self.config.sync_properties.clone();
+        self.emit(EventKind::SyncPlan {
+            step,
+            mode: mode.to_string(),
+            scope: scope_label.to_string(),
+            properties,
+        });
+    }
+
     /// Executes the compute closure on all workers (in parallel when
-    /// configured), returning their outputs in worker order plus the
-    /// maximum per-worker duration (the BSP makespan of the phase).
+    /// configured), returning their outputs and wall-clock durations in
+    /// worker order (the max duration is the BSP makespan of the phase).
     fn run_compute<Out: Send>(
         &mut self,
         f: &(impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync),
-    ) -> (Vec<Out>, Duration) {
+    ) -> (Vec<Out>, Vec<Duration>) {
         let graph = self.graph.as_ref();
         let partition = self.partition.as_ref();
         let threads = self.config.threads_per_worker;
@@ -318,8 +434,8 @@ impl<V: VertexData> Cluster<V> {
                 .map(|(w, st)| timed(w, st))
                 .collect()
         };
-        let max = results.iter().map(|(_, d)| *d).max().unwrap_or_default();
-        (results.into_iter().map(|(out, _)| out).collect(), max)
+        let (outs, durations) = results.into_iter().unzip();
+        (outs, durations)
     }
 
     /// Communication round 2: masters broadcast their new state to mirrors.
@@ -392,11 +508,32 @@ impl<V: VertexData> Cluster<V> {
         }
     }
 
-    /// Charges the simulated network and records the superstep.
+    /// Charges the simulated network, records the superstep, emits its
+    /// `step_end` event and advances the step counter.
     fn finish_step(&mut self, mut stats: StepStats) {
         if let Some(net) = &self.config.network {
             let rounds = u32::from(stats.upd_bytes > 0) + u32::from(stats.sync_bytes > 0);
             stats.simulated_net = net.cost(rounds, stats.total_bytes());
+        }
+        let step_id = self.next_step;
+        self.next_step += 1;
+        if self.config.sink.is_some() {
+            self.emit(EventKind::StepEnd {
+                step: step_id,
+                kind: stats.kind.label().to_string(),
+                active: stats.active,
+                upd_messages: stats.upd_messages,
+                upd_bytes: stats.upd_bytes,
+                sync_messages: stats.sync_messages,
+                sync_bytes: stats.sync_bytes,
+                compute_us: stats.compute.as_micros() as u64,
+                compute_max_us: stats.compute_max.as_micros() as u64,
+                compute_min_us: stats.compute_min.as_micros() as u64,
+                barrier_skew_us: stats.barrier_skew().as_micros() as u64,
+                serialize_us: stats.serialize.as_micros() as u64,
+                communicate_us: stats.communicate.as_micros() as u64,
+                simulated_net_us: stats.simulated_net.as_micros() as u64,
+            });
         }
         self.stats.push(stats);
     }
@@ -577,6 +714,121 @@ mod tests {
         assert_eq!(s.num_supersteps(), 1);
         assert_eq!(s.total_bytes(), 120);
         assert_eq!(c.stats().num_supersteps(), 0, "take_stats resets");
+    }
+
+    #[test]
+    fn trace_events_mirror_superstep_structure() {
+        use flash_obs::CollectSink;
+        let g = Arc::new(generators::path(8, true));
+        let p = Arc::new(PartitionMap::build(&g, 2, &HashPartitioner).unwrap());
+        let sink = Arc::new(CollectSink::new());
+        let cfg = ClusterConfig::with_workers(2)
+            .sequential()
+            .sink(Arc::clone(&sink) as Arc<dyn flash_obs::Sink>);
+        let mut c = Cluster::new(g, p, cfg, |v| Val { x: v as u64 }).unwrap();
+        c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
+            for v in ctx.masters().to_vec() {
+                ctx.write_master(v, Val { x: 1 });
+            }
+        });
+        let reduce = |t: &Val, acc: &mut Val| acc.x += t.x;
+        c.step_reduce(8, SyncScope::Necessary, reduce, |ctx| {
+            for &v in ctx.masters() {
+                ctx.put(v, Val { x: 1 }, &reduce);
+            }
+        });
+        let stats = c.take_stats();
+
+        let events = sink.events();
+        // Sequence numbers are dense and ordered.
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        assert!(matches!(
+            events[0].kind,
+            EventKind::RunStart { workers: 2, .. }
+        ));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::RunEnd { .. }
+        ));
+
+        // One step_start/step_end pair per recorded superstep, in order.
+        let starts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::StepStart { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect();
+        let ends: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::StepEnd { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![0, 1]);
+        assert_eq!(ends, vec![0, 1]);
+        assert_eq!(stats.num_supersteps(), 2);
+
+        // step_end byte counts agree exactly with RunStats.
+        let (bytes, msgs) = events.iter().fold((0u64, 0u64), |(b, m), e| match &e.kind {
+            EventKind::StepEnd {
+                upd_bytes,
+                sync_bytes,
+                upd_messages,
+                sync_messages,
+                ..
+            } => (b + upd_bytes + sync_bytes, m + upd_messages + sync_messages),
+            _ => (b, m),
+        });
+        assert_eq!(bytes, stats.total_bytes());
+        assert_eq!(msgs, stats.total_messages());
+
+        // Each superstep has one worker_phase per worker, and staged-op
+        // counts reflect the kernels: step 0 wrote masters, step 1 put.
+        for step in 0..2u64 {
+            let phases: Vec<_> = events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::WorkerPhase {
+                        step: s,
+                        worker,
+                        staged_puts,
+                        staged_writes,
+                        ..
+                    } if *s == step => Some((*worker, *staged_puts, *staged_writes)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(phases.len(), 2, "step {step}");
+            let puts: u64 = phases.iter().map(|p| p.1).sum();
+            let writes: u64 = phases.iter().map(|p| p.2).sum();
+            if step == 0 {
+                assert_eq!((puts, writes), (0, 8));
+            } else {
+                assert_eq!((puts, writes), (8, 0));
+            }
+        }
+
+        // Sync-plan events carry the configured policy.
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::SyncPlan { mode, scope, .. }
+                if mode == "critical" && scope == "necessary"
+        )));
+    }
+
+    #[test]
+    fn compute_min_never_exceeds_compute_max() {
+        let mut c = cluster(4, 32);
+        c.step_direct(StepKind::VertexMap, 32, SyncScope::Necessary, |ctx| {
+            for v in ctx.masters().to_vec() {
+                ctx.write_master(v, Val { x: 1 });
+            }
+        });
+        let s = &c.stats().steps()[0];
+        assert!(s.compute_min <= s.compute_max);
+        assert_eq!(s.barrier_skew(), s.compute_max - s.compute_min);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Cluster configuration knobs.
 
 use crate::netmodel::NetworkModel;
+use crate::plan::ProgramPlan;
+use flash_obs::Sink;
+use std::fmt;
+use std::sync::Arc;
 
 /// How the adaptive `EDGEMAP` dispatch (paper Algorithm 4) picks a kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -41,7 +45,7 @@ pub enum SyncScope {
 }
 
 /// Configuration of a simulated FLASH cluster.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ClusterConfig {
     /// Number of workers (the paper's `m`; one partition each).
     pub workers: usize,
@@ -61,6 +65,31 @@ pub struct ClusterConfig {
     /// Simulated network for inter-node experiments; `None` records zero
     /// simulated network time.
     pub network: Option<NetworkModel>,
+    /// Structured-trace sink receiving [`flash_obs::Event`]s from the
+    /// cluster; `None` disables tracing (the emission sites reduce to one
+    /// `Option` check).
+    pub sink: Option<Arc<dyn Sink>>,
+    /// Critical-property names the sync phase ships, as declared by the
+    /// algorithm's [`ProgramPlan`]. Informational: surfaced in `sync_plan`
+    /// trace events; empty means the plan was not declared.
+    pub sync_properties: Vec<String>,
+}
+
+impl fmt::Debug for ClusterConfig {
+    // Manual impl: `dyn Sink` has no Debug bound.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("workers", &self.workers)
+            .field("threads_per_worker", &self.threads_per_worker)
+            .field("parallel_workers", &self.parallel_workers)
+            .field("dense_threshold", &self.dense_threshold)
+            .field("mode", &self.mode)
+            .field("sync_mode", &self.sync_mode)
+            .field("network", &self.network)
+            .field("sink", &self.sink.as_ref().map(|_| "<dyn Sink>"))
+            .field("sync_properties", &self.sync_properties)
+            .finish()
+    }
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +102,8 @@ impl Default for ClusterConfig {
             mode: ModePolicy::Adaptive,
             sync_mode: SyncMode::CriticalOnly,
             network: None,
+            sink: None,
+            sync_properties: Vec::new(),
         }
     }
 }
@@ -115,6 +146,24 @@ impl ClusterConfig {
         self.parallel_workers = false;
         self
     }
+
+    /// Attaches a structured-trace sink (builder style). All superstep,
+    /// worker-phase, sync-plan and kernel-decision events flow to it.
+    pub fn sink(mut self, sink: Arc<dyn Sink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Declares the algorithm's [`ProgramPlan`] (builder style): its
+    /// critical properties become the payload of `sync_plan` trace events.
+    pub fn plan(mut self, plan: &ProgramPlan) -> Self {
+        self.sync_properties = plan
+            .critical_properties()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +192,25 @@ mod tests {
         assert_eq!(c.sync_mode, SyncMode::Full);
         assert_eq!(c.threads_per_worker, 1, "threads clamp to >= 1");
         assert!(!c.parallel_workers);
+    }
+
+    #[test]
+    fn sink_attaches_and_debug_does_not_explode() {
+        let c = ClusterConfig::default().sink(Arc::new(flash_obs::NullSink));
+        assert!(c.sink.is_some());
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("dyn Sink"), "{dbg}");
+        let c2 = c.clone(); // Arc clone, not a deep sink copy
+        assert!(c2.sink.is_some());
+    }
+
+    #[test]
+    fn plan_builder_extracts_critical_properties() {
+        use crate::plan::{Access, OpKind, ProgramPlan, Role};
+        let plan = ProgramPlan::new()
+            .access(OpKind::EdgeMapSparse, Role::Target, Access::Put, "dis")
+            .access(OpKind::VertexMap, Role::Local, Access::Put, "scratch");
+        let c = ClusterConfig::default().plan(&plan);
+        assert_eq!(c.sync_properties, vec!["dis".to_string()]);
     }
 }

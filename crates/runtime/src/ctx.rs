@@ -102,6 +102,7 @@ impl<'a, V: VertexData> WorkerCtx<'a, V> {
     #[inline]
     pub fn put(&mut self, v: VertexId, temp: V, reduce: &(impl Fn(&V, &mut V) + ?Sized)) {
         use std::collections::hash_map::Entry;
+        self.state.op_puts += 1;
         match self.state.pending.entry(v) {
             Entry::Occupied(mut e) => reduce(&temp, e.get_mut()),
             Entry::Vacant(e) => {
@@ -123,6 +124,7 @@ impl<'a, V: VertexData> WorkerCtx<'a, V> {
             "write_master({v}) on worker {} which does not own it",
             self.worker
         );
+        self.state.op_writes += 1;
         self.state.direct.push((v, val));
     }
 

@@ -45,6 +45,13 @@ impl NetworkModel {
         }
     }
 
+    /// Machine-readable rendering of the model parameters.
+    pub fn to_json(&self) -> flash_obs::Json {
+        flash_obs::Json::object()
+            .set("latency_us", self.latency.as_micros() as u64)
+            .set("bandwidth_bytes_per_sec", self.bandwidth_bytes_per_sec)
+    }
+
     /// Simulated time for one superstep that moved `bytes` across workers
     /// in `rounds` message rounds.
     pub fn cost(&self, rounds: u32, bytes: u64) -> Duration {
@@ -78,6 +85,17 @@ mod tests {
             bandwidth_bytes_per_sec: 1000.0,
         };
         assert_eq!(m.cost(1, 500), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn json_reports_parameters() {
+        use flash_obs::Json;
+        let j = NetworkModel::ten_gbe().to_json();
+        assert_eq!(j.get("latency_us").and_then(Json::as_u64), Some(50));
+        assert_eq!(
+            j.get("bandwidth_bytes_per_sec").and_then(Json::as_f64),
+            Some(1.0e9)
+        );
     }
 
     #[test]

@@ -202,6 +202,49 @@ impl ProgramPlan {
             .filter(|p| !critical.contains(p))
             .collect()
     }
+
+    /// Machine-readable rendering of the analysis result: the declared
+    /// accesses plus the derived critical/local partition of properties.
+    pub fn to_json(&self) -> flash_obs::Json {
+        use flash_obs::Json;
+        let names =
+            |set: BTreeSet<&'static str>| Json::Arr(set.into_iter().map(Json::from).collect());
+        let accesses: Vec<Json> = self
+            .decls
+            .iter()
+            .map(|d| {
+                Json::object()
+                    .set(
+                        "op",
+                        match d.op {
+                            OpKind::VertexMap => "vertex_map",
+                            OpKind::EdgeMapDense => "edge_map_dense",
+                            OpKind::EdgeMapSparse => "edge_map_sparse",
+                        },
+                    )
+                    .set(
+                        "role",
+                        match d.role {
+                            Role::Local => "local",
+                            Role::Source => "source",
+                            Role::Target => "target",
+                        },
+                    )
+                    .set(
+                        "access",
+                        match d.access {
+                            Access::Get => "get",
+                            Access::Put => "put",
+                        },
+                    )
+                    .set("property", d.property)
+            })
+            .collect();
+        Json::object()
+            .set("critical", names(self.critical_properties()))
+            .set("local", names(self.local_properties()))
+            .set("accesses", Json::Arr(accesses))
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +341,22 @@ mod tests {
         // `c` read only as sparse source → NOT critical by Table II (the
         // source's master pushes, so its own replica suffices).
         assert!(!critical.contains("c"));
+    }
+
+    #[test]
+    fn json_partitions_properties() {
+        use flash_obs::Json;
+        let plan = ProgramPlan::new()
+            .access(VertexMap, Local, Put, "dis")
+            .access(EdgeMapSparse, Target, Put, "dis")
+            .access(VertexMap, Local, Put, "scratch");
+        let j = plan.to_json();
+        let critical = j.get("critical").and_then(Json::as_array).unwrap();
+        assert_eq!(critical.len(), 1);
+        assert_eq!(critical[0].as_str(), Some("dis"));
+        let local = j.get("local").and_then(Json::as_array).unwrap();
+        assert_eq!(local[0].as_str(), Some("scratch"));
+        assert_eq!(j.get("accesses").and_then(Json::as_array).unwrap().len(), 3);
     }
 
     #[test]

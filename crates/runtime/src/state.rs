@@ -22,6 +22,13 @@ pub struct WorkerState<V: VertexData> {
     pub(crate) current: Vec<V>,
     pub(crate) pending: HashMap<VertexId, V>,
     pub(crate) direct: Vec<(VertexId, V)>,
+    /// `put` operations staged this superstep (counts every call, including
+    /// ones merged into an existing temporary — the true op count, which
+    /// `pending.len()` under-reports). Taken and reset at each barrier for
+    /// `worker_phase` trace events.
+    pub(crate) op_puts: u64,
+    /// `write_master` operations staged this superstep; reset per barrier.
+    pub(crate) op_writes: u64,
 }
 
 impl<V: VertexData> WorkerState<V> {
@@ -31,6 +38,8 @@ impl<V: VertexData> WorkerState<V> {
             current: (0..n as VertexId).map(init).collect(),
             pending: HashMap::new(),
             direct: Vec::new(),
+            op_puts: 0,
+            op_writes: 0,
         }
     }
 

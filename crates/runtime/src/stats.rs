@@ -5,6 +5,7 @@
 //! plus exact message/byte counts, which also back the micro-benchmarks
 //! (mode switching, sync-policy ablations) and Fig. 4(a)'s frontier sizes.
 
+use flash_obs::Json;
 use std::time::Duration;
 
 /// Which kernel a superstep ran.
@@ -53,6 +54,10 @@ pub struct StepStats {
     /// Maximum per-worker compute time — what the phase would cost on a
     /// cluster with one core per worker (the BSP parallel makespan).
     pub compute_max: Duration,
+    /// Minimum per-worker compute time. The gap to [`StepStats::compute_max`]
+    /// is the *barrier skew*: how long the fastest worker idles at the BSP
+    /// barrier waiting for the slowest (§V-E load-balance discussion).
+    pub compute_min: Duration,
     /// Wall time spent materializing and routing message buffers.
     pub serialize: Duration,
     /// Wall time spent applying remote updates and mirror syncs.
@@ -72,6 +77,7 @@ impl StepStats {
             sync_bytes: 0,
             compute: Duration::ZERO,
             compute_max: Duration::ZERO,
+            compute_min: Duration::ZERO,
             serialize: Duration::ZERO,
             communicate: Duration::ZERO,
             simulated_net: Duration::ZERO,
@@ -86,6 +92,30 @@ impl StepStats {
     /// Total cross-worker messages this superstep.
     pub fn total_messages(&self) -> u64 {
         self.upd_messages + self.sync_messages
+    }
+
+    /// Barrier skew: `compute_max − compute_min`, the idle time the fastest
+    /// worker spends waiting at the superstep barrier.
+    pub fn barrier_skew(&self) -> Duration {
+        self.compute_max.saturating_sub(self.compute_min)
+    }
+
+    /// Machine-readable rendering of this superstep (durations in µs).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("kind", self.kind.label())
+            .set("active", self.active)
+            .set("upd_messages", self.upd_messages)
+            .set("upd_bytes", self.upd_bytes)
+            .set("sync_messages", self.sync_messages)
+            .set("sync_bytes", self.sync_bytes)
+            .set("compute_us", self.compute.as_micros() as u64)
+            .set("compute_max_us", self.compute_max.as_micros() as u64)
+            .set("compute_min_us", self.compute_min.as_micros() as u64)
+            .set("barrier_skew_us", self.barrier_skew().as_micros() as u64)
+            .set("serialize_us", self.serialize.as_micros() as u64)
+            .set("communicate_us", self.communicate.as_micros() as u64)
+            .set("simulated_net_us", self.simulated_net.as_micros() as u64)
     }
 }
 
@@ -187,6 +217,66 @@ impl RunStats {
         }
         c
     }
+
+    /// Summed per-superstep barrier skew: total worker idle time at
+    /// barriers on an ideal one-core-per-worker cluster.
+    pub fn barrier_skew_time(&self) -> Duration {
+        self.steps.iter().map(StepStats::barrier_skew).sum()
+    }
+
+    /// The largest single-superstep barrier skew of the run.
+    pub fn max_barrier_skew(&self) -> Duration {
+        self.steps
+            .iter()
+            .map(StepStats::barrier_skew)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Aggregate totals as JSON, without the per-step array — the payload
+    /// of `results/*.json` summaries (durations in µs).
+    pub fn summary_json(&self) -> Json {
+        let (vmap, dense, sparse, global) = self.kind_counts();
+        Json::object()
+            .set("supersteps", self.num_supersteps())
+            .set("total_bytes", self.total_bytes())
+            .set("total_messages", self.total_messages())
+            .set("compute_us", self.compute_time().as_micros() as u64)
+            .set(
+                "parallel_compute_us",
+                self.parallel_compute_time().as_micros() as u64,
+            )
+            .set("serialize_us", self.serialize_time().as_micros() as u64)
+            .set("communicate_us", self.communicate_time().as_micros() as u64)
+            .set(
+                "simulated_net_us",
+                self.simulated_net_time().as_micros() as u64,
+            )
+            .set(
+                "simulated_parallel_us",
+                self.simulated_parallel_time().as_micros() as u64,
+            )
+            .set(
+                "barrier_skew_us",
+                self.barrier_skew_time().as_micros() as u64,
+            )
+            .set(
+                "kind_counts",
+                Json::object()
+                    .set("vmap", vmap)
+                    .set("dense", dense)
+                    .set("sparse", sparse)
+                    .set("global", global),
+            )
+    }
+
+    /// Full machine-readable rendering: the summary plus every superstep.
+    pub fn to_json(&self) -> Json {
+        self.summary_json().set(
+            "steps",
+            Json::Arr(self.steps.iter().map(StepStats::to_json).collect()),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +327,50 @@ mod tests {
         r.clear();
         assert_eq!(r.num_supersteps(), 0);
         assert_eq!(r.total_bytes(), 0);
+    }
+
+    #[test]
+    fn barrier_skew_is_max_minus_min() {
+        let mut s = StepStats::new(StepKind::EdgeMapSparse, 4);
+        s.compute_max = Duration::from_micros(500);
+        s.compute_min = Duration::from_micros(380);
+        assert_eq!(s.barrier_skew(), Duration::from_micros(120));
+
+        let mut r = RunStats::default();
+        r.push(s.clone());
+        s.compute_max = Duration::from_micros(50);
+        s.compute_min = Duration::from_micros(50);
+        r.push(s);
+        assert_eq!(r.barrier_skew_time(), Duration::from_micros(120));
+        assert_eq!(r.max_barrier_skew(), Duration::from_micros(120));
+    }
+
+    #[test]
+    fn json_matches_accessors() {
+        let mut r = RunStats::default();
+        r.push(step(StepKind::EdgeMapSparse, 10, 80, 40));
+        r.push(step(StepKind::EdgeMapDense, 100, 0, 160));
+        let j = r.to_json();
+        assert_eq!(j.get("supersteps").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            j.get("total_bytes").and_then(Json::as_u64),
+            Some(r.total_bytes())
+        );
+        assert_eq!(
+            j.get("total_messages").and_then(Json::as_u64),
+            Some(r.total_messages())
+        );
+        let kinds = j.get("kind_counts").unwrap();
+        assert_eq!(kinds.get("sparse").and_then(Json::as_u64), Some(1));
+        assert_eq!(kinds.get("dense").and_then(Json::as_u64), Some(1));
+        let steps = j.get("steps").and_then(Json::as_array).unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].get("upd_bytes").and_then(Json::as_u64), Some(80));
+        // The rendering round-trips through the flash-obs parser.
+        let back = flash_obs::json::parse(&j.to_pretty_string()).unwrap();
+        assert_eq!(back, j);
+        // summary_json is to_json minus the steps array.
+        assert_eq!(r.summary_json().get("steps"), None);
     }
 
     #[test]

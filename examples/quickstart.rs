@@ -29,8 +29,11 @@ fn main() {
         graph.num_edges()
     );
 
-    // A 4-worker simulated cluster (hash partitioned).
-    let config = ClusterConfig::with_workers(4);
+    // A 4-worker simulated cluster (hash partitioned), with an in-memory
+    // trace sink attached: the runtime streams one structured event per
+    // superstep phase into it (see DESIGN.md §7).
+    let sink = Arc::new(flash_obs::CollectSink::new());
+    let config = ClusterConfig::with_workers(4).sink(Arc::clone(&sink) as Arc<dyn flash_obs::Sink>);
     let mut ctx: FlashContext<Vertex> =
         FlashContext::build(Arc::clone(&graph), config, |_| Vertex { dis: INF })
             .expect("cluster construction");
@@ -82,4 +85,25 @@ fn main() {
         stats.total_messages(),
         stats.total_bytes()
     );
+
+    // --- the trace the sink captured ---
+    let events = sink.events();
+    println!(
+        "trace: {} events captured; adaptive EDGEMAP decisions:",
+        events.len()
+    );
+    for e in &events {
+        if let flash_obs::EventKind::ModeDecision {
+            frontier,
+            frontier_edges,
+            threshold_edges,
+            chosen,
+            ..
+        } = &e.kind
+        {
+            println!(
+                "  |U|={frontier} measure={frontier_edges} threshold={threshold_edges} -> {chosen}"
+            );
+        }
+    }
 }

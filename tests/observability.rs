@@ -1,0 +1,230 @@
+//! Cross-crate tests of the tracing layer: a real algorithm run with a
+//! sink attached must produce an event stream that mirrors the superstep
+//! structure recorded in `RunStats`, and the JSONL rendering must survive
+//! the hand-rolled parser.
+
+use flash_graph::generators;
+use flash_obs::{CollectSink, Event, EventKind, Json, JsonLinesSink, Sink};
+use flash_runtime::ClusterConfig;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn graph() -> Arc<flash_graph::Graph> {
+    Arc::new(generators::erdos_renyi(120, 500, 11))
+}
+
+fn traced_bfs(workers: usize) -> (Vec<Event>, flash_runtime::RunStats) {
+    let sink = Arc::new(CollectSink::new());
+    let cfg = ClusterConfig::with_workers(workers).sink(Arc::clone(&sink) as Arc<dyn Sink>);
+    let out = flash_algos::bfs::run(&graph(), cfg, 0).expect("bfs");
+    (sink.events(), out.stats)
+}
+
+#[test]
+fn event_ordering_matches_superstep_order() {
+    let (events, stats) = traced_bfs(3);
+    // Sequence numbers are dense and monotonic from 0.
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64);
+    }
+    assert!(matches!(
+        events.first().unwrap().kind,
+        EventKind::RunStart { .. }
+    ));
+    assert!(matches!(
+        events.last().unwrap().kind,
+        EventKind::RunEnd { .. }
+    ));
+
+    // One step_start and one step_end per recorded superstep, both carrying
+    // the superstep's index, in execution order; every step_start precedes
+    // its step_end.
+    let starts: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::StepStart { step, .. } => Some(*step),
+            _ => None,
+        })
+        .collect();
+    let ends: Vec<(u64, String)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::StepEnd { step, kind, .. } => Some((*step, kind.clone())),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<u64> = (0..stats.num_supersteps() as u64).collect();
+    assert_eq!(starts, expected);
+    assert_eq!(ends.iter().map(|(s, _)| *s).collect::<Vec<_>>(), expected);
+    // The kernel kind label of each step_end matches the RunStats record.
+    for ((_, kind), step) in ends.iter().zip(stats.steps()) {
+        assert_eq!(kind, step.kind.label());
+    }
+    // Per step: start comes before end.
+    for step in expected {
+        let start_pos = events
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::StepStart { step: s, .. } if *s == step))
+            .unwrap();
+        let end_pos = events
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::StepEnd { step: s, .. } if *s == step))
+            .unwrap();
+        assert!(start_pos < end_pos, "step {step} start after end");
+    }
+}
+
+#[test]
+fn event_byte_and_message_counts_equal_runstats_totals() {
+    let (events, stats) = traced_bfs(4);
+    let mut bytes = 0u64;
+    let mut messages = 0u64;
+    let mut step_ends = 0usize;
+    for e in &events {
+        if let EventKind::StepEnd {
+            upd_messages,
+            upd_bytes,
+            sync_messages,
+            sync_bytes,
+            compute_max_us,
+            compute_min_us,
+            barrier_skew_us,
+            ..
+        } = &e.kind
+        {
+            bytes += upd_bytes + sync_bytes;
+            messages += upd_messages + sync_messages;
+            step_ends += 1;
+            // Each field truncates to whole µs independently, so the
+            // pre-truncation skew may differ from max−min by one tick.
+            assert!(barrier_skew_us.abs_diff(compute_max_us - compute_min_us) <= 1);
+        }
+    }
+    // Exactly one step_end per superstep; summed counts equal the totals.
+    assert_eq!(step_ends, stats.num_supersteps());
+    assert_eq!(bytes, stats.total_bytes());
+    assert_eq!(messages, stats.total_messages());
+    assert!(bytes > 0, "a 4-worker BFS must cross worker boundaries");
+
+    // Per-superstep: the i-th step_end mirrors stats.steps()[i] exactly.
+    let per_step: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::StepEnd {
+                upd_bytes,
+                sync_bytes,
+                upd_messages,
+                sync_messages,
+                ..
+            } => Some((upd_bytes + sync_bytes, upd_messages + sync_messages)),
+            _ => None,
+        })
+        .collect();
+    for (got, step) in per_step.iter().zip(stats.steps()) {
+        assert_eq!(got.0, step.total_bytes());
+        assert_eq!(got.1, step.total_messages());
+    }
+}
+
+#[test]
+fn adaptive_edge_map_emits_mode_decisions() {
+    let (events, stats) = traced_bfs(2);
+    let decisions: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ModeDecision {
+                frontier,
+                frontier_edges,
+                threshold_edges,
+                chosen,
+                policy,
+                ..
+            } => Some((
+                *frontier,
+                *frontier_edges,
+                *threshold_edges,
+                chosen.clone(),
+                policy.clone(),
+            )),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !decisions.is_empty(),
+        "adaptive BFS must emit mode decisions"
+    );
+    // One decision per edge-map superstep (dense or sparse kernel).
+    let (_, dense, sparse, _) = stats.kind_counts();
+    assert_eq!(decisions.len(), dense + sparse);
+    for (frontier, frontier_edges, threshold_edges, chosen, policy) in &decisions {
+        assert!(*frontier > 0);
+        assert!(frontier_edges >= frontier, "measure counts |U| itself");
+        assert!(*threshold_edges > 0);
+        assert!(chosen == "dense" || chosen == "sparse");
+        assert_eq!(policy, "adaptive");
+        // The decision rule itself: above threshold → dense, else sparse.
+        let expect = if *frontier_edges > *threshold_edges {
+            "dense"
+        } else {
+            "sparse"
+        };
+        assert_eq!(chosen, expect);
+    }
+}
+
+#[test]
+fn sync_plans_cover_every_superstep() {
+    let (events, stats) = traced_bfs(2);
+    let plans = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SyncPlan { .. }))
+        .count();
+    // Every vmap/dense/sparse superstep plans its mirror sync; global
+    // reduction steps do not ship properties.
+    let (vmaps, dense, sparse, _) = stats.kind_counts();
+    assert_eq!(plans, vmaps + dense + sparse);
+}
+
+/// A `Write` target that can be observed after the sink (inside the
+/// cluster config) has been dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_trace_round_trips_through_the_parser() {
+    let buf = SharedBuf::default();
+    let sink: Arc<dyn Sink> = Arc::new(JsonLinesSink::new(buf.clone()));
+    let cfg = ClusterConfig::with_workers(2).sink(sink);
+    let out = flash_algos::bfs::run(&graph(), cfg, 0).expect("bfs");
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty());
+    let mut bytes = 0u64;
+    let mut last_seq = None;
+    for line in &lines {
+        let j = flash_obs::json::parse(line).expect("every line parses");
+        let seq = j.get("seq").and_then(Json::as_u64).expect("seq field");
+        if let Some(prev) = last_seq {
+            assert_eq!(seq, prev + 1, "seq numbers stay dense in the file");
+        }
+        last_seq = Some(seq);
+        let tag = j.get("event").and_then(Json::as_str).expect("event tag");
+        if tag == "step_end" {
+            bytes += j.get("upd_bytes").and_then(Json::as_u64).unwrap()
+                + j.get("sync_bytes").and_then(Json::as_u64).unwrap();
+        }
+    }
+    // The parsed file carries the same totals as the in-memory stats.
+    assert_eq!(bytes, out.stats.total_bytes());
+}

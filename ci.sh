@@ -17,4 +17,7 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> chaos smoke (fault injection + recovery must be exact)"
+cargo run --release -q -p flash-bench --bin fig_chaos -- --smoke
+
 echo "==> OK"

@@ -103,7 +103,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: bc
 
     let result = ctx.collect(|_, val| val.b);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

@@ -176,10 +176,7 @@ pub fn run(
             (p >= 0).then_some(p as VertexId)
         })
         .collect();
-    Ok(AlgoOutput::new(
-        BccResult { label, parent },
-        ctx.take_stats(),
-    ))
+    crate::common::finish(&mut ctx, BccResult { label, parent })
 }
 
 #[cfg(test)]

@@ -119,13 +119,13 @@ pub fn run(
     // FLASH-ALGORITHM-END: bipartite
 
     let sides = ctx.collect(|_, val| val.side);
-    Ok(AlgoOutput::new(
+    crate::common::finish(
+        &mut ctx,
         BipResult {
             sides,
             bipartite: conflicts == 0,
         },
-        ctx.take_stats(),
-    ))
+    )
 }
 
 #[cfg(test)]

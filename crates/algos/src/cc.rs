@@ -55,7 +55,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: cc
 
     let result = ctx.collect(|_, val| val.cc);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

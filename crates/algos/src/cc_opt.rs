@@ -262,7 +262,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: cc_opt
 
     let result = ctx.collect(|_, val| val.p);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 /// Number of contraction rounds a finished run took (each round is a fixed

@@ -128,7 +128,7 @@ pub fn run(
     let total: u64 = counts.into_iter().sum();
     // FLASH-ALGORITHM-END: clique
 
-    Ok(AlgoOutput::new(total, ctx.take_stats()))
+    crate::common::finish(&mut ctx, total)
 }
 
 #[cfg(test)]

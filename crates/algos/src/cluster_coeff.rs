@@ -160,7 +160,7 @@ pub fn run(
         let tri = val.tri + apex_credit[v as usize];
         2.0 * tri as f64 / (deg * (deg - 1)) as f64
     });
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Shared plumbing for the algorithm catalogue.
 
-use flash_runtime::RunStats;
+use flash_core::FlashContext;
+use flash_runtime::{RunStats, RuntimeError, VertexData};
 
 /// An algorithm's result plus the execution record of its run.
 ///
@@ -25,6 +26,21 @@ impl<T> AlgoOutput<T> {
     pub fn supersteps(&self) -> usize {
         self.stats.num_supersteps()
     }
+}
+
+/// Seals a converged run: surfaces the cluster's terminal fault-recovery
+/// error — so a run whose retry budget was exhausted degrades to a clean
+/// `Err` instead of silently returning values from a failed cluster — and
+/// otherwise wraps the result with the run's statistics. Every algorithm
+/// in the catalogue ends through this.
+pub(crate) fn finish<V: VertexData, T>(
+    ctx: &mut FlashContext<V>,
+    result: T,
+) -> Result<AlgoOutput<T>, RuntimeError> {
+    if let Some(err) = ctx.fault_error() {
+        return Err(err);
+    }
+    Ok(AlgoOutput::new(result, ctx.take_stats()))
 }
 
 /// The sentinel the paper uses for "not set" (`INF` / `-1`).

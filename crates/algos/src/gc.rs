@@ -122,7 +122,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: gc
 
     let result = ctx.collect(|_, val| val.c);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

@@ -136,7 +136,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: kcore_opt
 
     let result = ctx.collect(|_, val| val.core);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

@@ -115,7 +115,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: lpa
 
     let result = ctx.collect(|_, val| val.c);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

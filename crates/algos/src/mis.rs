@@ -97,7 +97,7 @@ pub fn run(
 
     // MIS membership: never dominated.
     let result = ctx.collect(|_, val| !val.d);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

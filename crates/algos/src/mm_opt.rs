@@ -132,7 +132,7 @@ pub fn run(
         partner,
         frontier_per_round,
     };
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

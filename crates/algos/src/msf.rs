@@ -90,7 +90,7 @@ pub fn run(
     let result = kruskal(n, merged);
     // FLASH-ALGORITHM-END: msf
 
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

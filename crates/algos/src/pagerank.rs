@@ -87,7 +87,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: pagerank
 
     let result = ctx.collect(|_, val| val.rank);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

@@ -89,7 +89,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: scc
 
     let result = ctx.collect(|_, val| val.scc as VertexId);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

@@ -66,7 +66,7 @@ pub fn run(
     // FLASH-ALGORITHM-END: sssp
 
     let result = ctx.collect(|_, val| val.dis);
-    Ok(AlgoOutput::new(result, ctx.take_stats()))
+    crate::common::finish(&mut ctx, result)
 }
 
 #[cfg(test)]

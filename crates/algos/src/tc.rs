@@ -111,7 +111,7 @@ pub fn run(graph: &Arc<Graph>, config: ClusterConfig) -> Result<AlgoOutput<u64>,
     );
     // FLASH-ALGORITHM-END: tc
 
-    Ok(AlgoOutput::new(total, ctx.take_stats()))
+    crate::common::finish(&mut ctx, total)
 }
 
 #[cfg(test)]

@@ -1,0 +1,221 @@
+//! `fig_chaos` — the chaos experiment for the fault-tolerance subsystem.
+//!
+//! Runs every catalogue algorithm twice on the same generated graph: once
+//! fault-free and once under a deterministic [`FaultPlan`] (a crash, a
+//! corrupted sync buffer and a straggler), then checks the paper-level
+//! invariant that recovery is *exact*: the faulted run must produce a
+//! bit-identical result summary and the same superstep count as the clean
+//! run, while reporting nonzero rollback/replay work. A final probe
+//! exhausts the retry budget on purpose and checks the run degrades to a
+//! clean error instead of a panic.
+//!
+//! ```text
+//! fig_chaos [--smoke] [--faults <plan>] [--checkpoint-every N] [--workers N]
+//! ```
+//!
+//! Writes `results/chaos.json` (override dir with `FLASH_RESULTS_DIR`).
+
+use flash_bench::cli::{dispatch, CliOptions, ALGOS};
+use flash_bench::jsonio;
+use flash_bench::report::render_table;
+use flash_obs::Json;
+use flash_runtime::FaultPlan;
+use std::sync::Arc;
+
+/// The algorithms the `--smoke` mode exercises — one per kernel family.
+const SMOKE_ALGOS: [&str; 4] = ["bfs", "cc", "kcore", "pagerank"];
+
+fn main() {
+    let mut smoke = false;
+    let mut workers = 3usize;
+    let mut plan: Option<FaultPlan> = None;
+    let mut checkpoint_every = 2usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--faults" => {
+                let v = it.next().unwrap_or_default();
+                match FaultPlan::parse(&v) {
+                    Ok(p) => plan = Some(p),
+                    Err(e) => {
+                        eprintln!("--faults: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--checkpoint-every needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--workers" => {
+                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: fig_chaos [--smoke] [--faults <plan>] \
+                     [--checkpoint-every N] [--workers N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Default plan: one crash, one corrupted sync payload, one straggler —
+    // the minimum chaos the ISSUE's acceptance criterion asks for.
+    let plan = plan.unwrap_or_else(|| {
+        FaultPlan::parse("crash@1:w1,corrupt@3:w0,straggle@2:w0:200us").expect("default plan")
+    });
+
+    let algos: &[&str] = if smoke { &SMOKE_ALGOS } else { &ALGOS };
+    println!(
+        "Chaos experiment — {} algorithms, plan [{}], checkpoint every {} supersteps\n",
+        algos.len(),
+        plan.summary(),
+        checkpoint_every
+    );
+
+    let g = Arc::new(flash_graph::generators::erdos_renyi(48, 160, 11));
+    let weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &g, 0.1, 2.0, 4,
+    ));
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut broken = Vec::new();
+    for &algo in algos {
+        let graph = if algo == "msf" || algo == "sssp" {
+            &weighted
+        } else {
+            &g
+        };
+        let mut clean_opts = CliOptions {
+            algo: algo.to_string(),
+            workers,
+            iters: 3,
+            ..CliOptions::default()
+        };
+        // `dispatch` takes the graph explicitly; the dataset field is only
+        // used for loading, which this binary bypasses.
+        clean_opts.dataset = Some(flash_graph::Dataset::Orkut);
+        let mut chaos_opts = clean_opts.clone();
+        chaos_opts.faults = Some(plan.clone());
+        chaos_opts.checkpoint_every = checkpoint_every;
+
+        let (clean_summary, clean_stats) = match dispatch(&clean_opts, graph) {
+            Ok(r) => r,
+            Err(e) => {
+                broken.push(format!("{algo} (clean): {e}"));
+                continue;
+            }
+        };
+        let (chaos_summary, chaos_stats) = match dispatch(&chaos_opts, graph) {
+            Ok(r) => r,
+            Err(e) => {
+                broken.push(format!("{algo} (faulted): {e}"));
+                continue;
+            }
+        };
+
+        let identical = clean_summary == chaos_summary
+            && clean_stats.num_supersteps() == chaos_stats.num_supersteps();
+        if !identical {
+            broken.push(format!(
+                "{algo}: diverged — clean {:?} ({} steps) vs faulted {:?} ({} steps)",
+                clean_summary,
+                clean_stats.num_supersteps(),
+                chaos_summary,
+                chaos_stats.num_supersteps()
+            ));
+        }
+        let rec = &chaos_stats.recovery;
+        rows.push((
+            algo.to_string(),
+            vec![
+                if identical { "ok" } else { "DIVERGED" }.to_string(),
+                chaos_stats.num_supersteps().to_string(),
+                rec.faults_injected.to_string(),
+                rec.rollbacks.to_string(),
+                rec.replayed_supersteps.to_string(),
+                rec.checkpoints.to_string(),
+                format!("{:.1}us", rec.overhead().as_secs_f64() * 1e6),
+            ],
+        ));
+        json_rows.push(
+            Json::object()
+                .set("algo", algo)
+                .set("identical", identical)
+                .set("summary", chaos_summary.as_str())
+                .set("supersteps", chaos_stats.num_supersteps())
+                .set("recovery", rec.to_json()),
+        );
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["Algo", "exact", "steps", "faults", "rollbk", "replay", "ckpts", "overhead"],
+            &rows
+        )
+    );
+
+    // Exhaustion probe: a crash that outlives the retry budget must come
+    // back as a clean error, never a panic.
+    let mut doomed = CliOptions {
+        algo: "bfs".to_string(),
+        workers,
+        ..CliOptions::default()
+    };
+    doomed.dataset = Some(flash_graph::Dataset::Orkut);
+    doomed.faults = Some(FaultPlan::parse("crash@1:w0:x99,retries=2").expect("probe plan"));
+    doomed.checkpoint_every = checkpoint_every;
+    let exhaustion = match dispatch(&doomed, &g) {
+        Err(e) if e.contains("exhausted") => {
+            println!("exhaustion probe: clean error as expected — {e}");
+            Json::object()
+                .set("clean_error", true)
+                .set("error", e.as_str())
+        }
+        Err(e) => {
+            broken.push(format!("exhaustion probe: unexpected error {e:?}"));
+            Json::object()
+                .set("clean_error", false)
+                .set("error", e.as_str())
+        }
+        Ok(_) => {
+            broken.push("exhaustion probe: run succeeded despite exhausted retries".to_string());
+            Json::object().set("clean_error", false)
+        }
+    };
+
+    let doc = Json::object()
+        .set("figure", "chaos")
+        .set("plan", plan.summary())
+        .set("checkpoint_every", checkpoint_every as u64)
+        .set("workers", workers as u64)
+        .set("smoke", smoke)
+        .set("rows", Json::Arr(json_rows))
+        .set("exhaustion_probe", exhaustion)
+        .set(
+            "failures",
+            Json::Arr(broken.iter().map(|s| Json::from(s.as_str())).collect()),
+        );
+    match jsonio::write_results("chaos", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
+
+    if !broken.is_empty() {
+        eprintln!("\nFAIL — {} problem(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall runs recovered bit-identically");
+}

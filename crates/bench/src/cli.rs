@@ -13,7 +13,7 @@ use crate::harness::Scale;
 use flash_graph::io::{read_edge_list, ReadOptions};
 use flash_graph::{Dataset, Graph};
 use flash_obs::Json;
-use flash_runtime::{ClusterConfig, ModePolicy, NetworkModel};
+use flash_runtime::{ClusterConfig, FaultPlan, ModePolicy, NetworkModel};
 use std::sync::Arc;
 
 /// Parsed command-line options.
@@ -46,6 +46,10 @@ pub struct CliOptions {
     /// Stream superstep trace events: `-` for stderr JSON lines, `text`
     /// for human-readable stderr lines, else a file path for JSON lines.
     pub trace: Option<String>,
+    /// Deterministic fault plan (`--faults crash@3:w1,corrupt@5:w0`).
+    pub faults: Option<FaultPlan>,
+    /// Checkpoint interval in supersteps (`0` = default when faults are on).
+    pub checkpoint_every: usize,
 }
 
 impl Default for CliOptions {
@@ -64,6 +68,8 @@ impl Default for CliOptions {
             simulate_network: false,
             json: false,
             trace: None,
+            faults: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -144,6 +150,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             "--simulate-network" => opts.simulate_network = true,
             "--json" => opts.json = true,
             "--trace" => opts.trace = Some(value_of(&arg, &mut it)?),
+            "--faults" => {
+                let v = value_of(&arg, &mut it)?;
+                opts.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("--faults: {e}"))?);
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value_of(&arg, &mut it)?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs an integer".to_string())?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
@@ -174,6 +189,10 @@ pub fn usage() -> String {
          \x20      [--workers N] [--threads N] [--mode auto|push|pull] [--root V]\n\
          \x20      [--iters N] [--k N] [--symmetric] [--simulate-network]\n\
          \x20      [--json] [--trace <file|-|text>]\n\
+         \x20      [--faults <plan>] [--checkpoint-every N]\n\
+         fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
+         \x20            straggle@STEP:wW:DELAY plus retries=N, backoff=D, cap=D,\n\
+         \x20            seed=N options (e.g. --faults crash@3:w1,retries=5)\n\
          algorithms: {}",
         ALGOS.join(", ")
     )
@@ -206,6 +225,12 @@ pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
         .threads(opts.threads);
     if opts.simulate_network {
         cfg = cfg.network(NetworkModel::ten_gbe());
+    }
+    if let Some(plan) = &opts.faults {
+        cfg = cfg.faults(plan.clone());
+    }
+    if opts.checkpoint_every > 0 {
+        cfg = cfg.checkpoint_every(opts.checkpoint_every);
     }
     match trace_sink(opts) {
         Ok(Some(sink)) => cfg = cfg.sink(sink),
@@ -436,6 +461,9 @@ mod tests {
         let weighted = Arc::new(flash_graph::generators::with_random_weights(
             &g, 0.1, 2.0, 4,
         ));
+        // Collect every failure instead of panicking on the first, so one
+        // broken algorithm doesn't mask the rest of the sweep.
+        let mut failures = Vec::new();
         for algo in ALGOS {
             let mut o =
                 parse_args(args(&format!("--algo {algo} --dataset OR --workers 2"))).unwrap();
@@ -445,10 +473,65 @@ mod tests {
             } else {
                 &g
             };
-            let (summary, stats) = dispatch(&o, graph).unwrap_or_else(|e| panic!("{algo}: {e}"));
-            assert!(!summary.is_empty(), "{algo}");
-            assert!(stats.num_supersteps() > 0, "{algo}");
+            match dispatch(&o, graph) {
+                Ok((summary, stats)) => {
+                    if summary.is_empty() {
+                        failures.push(format!("{algo}: empty summary"));
+                    }
+                    if stats.num_supersteps() == 0 {
+                        failures.push(format!("{algo}: no supersteps recorded"));
+                    }
+                }
+                Err(e) => failures.push(format!("{algo}: {e}")),
+            }
         }
+        assert!(
+            failures.is_empty(),
+            "dispatch failures:\n{}",
+            failures.join("\n")
+        );
+    }
+
+    #[test]
+    fn dispatch_rejects_an_unknown_algorithm_cleanly() {
+        // `parse_args` guards the CLI path, but `dispatch` is a public API:
+        // an unlisted name must come back as `Err`, never a panic.
+        let g = Arc::new(flash_graph::generators::erdos_renyi(10, 20, 3));
+        let mut o = parse_args(args("--algo bfs --dataset OR --workers 2")).unwrap();
+        o.algo = "nosuch".to_string();
+        let err = dispatch(&o, &g).unwrap_err();
+        assert!(err.contains("nosuch"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let o = parse_args(args(
+            "--algo bfs --dataset or --faults crash@3:w1,retries=5 --checkpoint-every 2",
+        ))
+        .unwrap();
+        let plan = o.faults.clone().expect("plan parsed");
+        assert_eq!(plan.max_retries, 5);
+        assert_eq!(plan.specs.len(), 1);
+        assert_eq!(o.checkpoint_every, 2);
+        let cfg = cluster_config(&o);
+        assert_eq!(cfg.checkpoint_every, 2);
+        assert!(cfg.fault_plan.is_some());
+        assert!(parse_args(args("--algo bfs --dataset or --faults garbage")).is_err());
+        assert!(parse_args(args("--algo bfs --dataset or --checkpoint-every x")).is_err());
+    }
+
+    #[test]
+    fn faulted_dispatch_matches_fault_free_summary() {
+        let g = Arc::new(flash_graph::generators::erdos_renyi(40, 120, 3));
+        let clean = parse_args(args("--algo cc --dataset OR --workers 2")).unwrap();
+        let faulted = parse_args(args(
+            "--algo cc --dataset OR --workers 2 --faults crash@1:w1 --checkpoint-every 1",
+        ))
+        .unwrap();
+        let (s_clean, _) = dispatch(&clean, &g).unwrap();
+        let (s_faulted, stats) = dispatch(&faulted, &g).unwrap();
+        assert_eq!(s_clean, s_faulted);
+        assert!(stats.recovery.rollbacks > 0);
     }
 
     #[test]

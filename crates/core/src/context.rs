@@ -112,6 +112,14 @@ impl<V: VertexData> FlashContext<V> {
         self.cluster.take_stats()
     }
 
+    /// The terminal fault-recovery error, if some superstep exhausted its
+    /// retry budget (see `flash_runtime::fault`). Algorithms check it once
+    /// when sealing their result so an exhausted run degrades to a clean
+    /// `Err` instead of silently returning values from a failed cluster.
+    pub fn fault_error(&self) -> Option<flash_runtime::RuntimeError> {
+        self.cluster.fault_error()
+    }
+
     /// Mutable access to the cluster configuration (mode policy etc.).
     pub fn config_mut(&mut self) -> &mut ClusterConfig {
         self.cluster.config_mut()

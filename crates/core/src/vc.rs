@@ -190,6 +190,9 @@ pub fn run_vertex_centric<P: VertexProgram>(
         supersteps += 1;
     }
 
+    if let Some(err) = ctx.fault_error() {
+        return Err(err);
+    }
     let values = ctx.collect(|_, st| st.value.clone());
     Ok(VcResult { values, supersteps })
 }

@@ -116,6 +116,40 @@ pub enum EventKind {
         /// `"force-sparse"`.
         policy: String,
     },
+    /// A consistent checkpoint was captured at a superstep boundary.
+    CheckpointTaken {
+        /// The superstep the snapshot precedes.
+        step: u64,
+        /// Serialized checkpoint size in bytes (masters only).
+        bytes: u64,
+        /// The configured checkpoint interval, in supersteps.
+        interval: u64,
+    },
+    /// A scripted fault fired (and was detected at the barrier).
+    FaultInjected {
+        /// Superstep the fault fired at.
+        step: u64,
+        /// Worker the fault targeted.
+        worker: usize,
+        /// Fault kind label: `"crash"`, `"corrupt"`, or `"straggle"`.
+        kind: String,
+        /// Which compute attempt of the superstep it hit (0-based).
+        attempt: u64,
+    },
+    /// Recovery rolled workers back to a checkpoint and replayed the redo
+    /// log before retrying a failed superstep.
+    RecoveryReplay {
+        /// The superstep being retried.
+        step: u64,
+        /// The checkpointed superstep rolled back to.
+        from_step: u64,
+        /// Redo-log supersteps replayed on top of the checkpoint.
+        replayed: u64,
+        /// The retry attempt this rollback precedes (0-based).
+        attempt: u64,
+        /// Simulated capped-exponential backoff charged, in microseconds.
+        backoff_us: u64,
+    },
     /// A run finished (emitted by `Cluster::take_stats`).
     RunEnd {
         /// Supersteps executed.
@@ -139,6 +173,9 @@ impl EventKind {
             EventKind::StepEnd { .. } => "step_end",
             EventKind::SyncPlan { .. } => "sync_plan",
             EventKind::ModeDecision { .. } => "mode_decision",
+            EventKind::CheckpointTaken { .. } => "checkpoint_taken",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::RecoveryReplay { .. } => "recovery_replay",
             EventKind::RunEnd { .. } => "run_end",
         }
     }
@@ -237,6 +274,36 @@ impl Event {
                 .set("threshold_edges", *threshold_edges)
                 .set("chosen", chosen.as_str())
                 .set("policy", policy.as_str()),
+            EventKind::CheckpointTaken {
+                step,
+                bytes,
+                interval,
+            } => base
+                .set("step", *step)
+                .set("bytes", *bytes)
+                .set("interval", *interval),
+            EventKind::FaultInjected {
+                step,
+                worker,
+                kind,
+                attempt,
+            } => base
+                .set("step", *step)
+                .set("worker", *worker)
+                .set("kind", kind.as_str())
+                .set("attempt", *attempt),
+            EventKind::RecoveryReplay {
+                step,
+                from_step,
+                replayed,
+                attempt,
+                backoff_us,
+            } => base
+                .set("step", *step)
+                .set("from_step", *from_step)
+                .set("replayed", *replayed)
+                .set("attempt", *attempt)
+                .set("backoff_us", *backoff_us),
             EventKind::RunEnd {
                 supersteps,
                 total_bytes,
@@ -307,6 +374,33 @@ impl Event {
                 policy,
             } => format!(
                 "[{:>4}] step {step} edge_map chose {chosen} ({policy}): |U|={frontier}, |U|+outE={frontier_edges} vs {threshold_edges}",
+                self.seq
+            ),
+            EventKind::CheckpointTaken {
+                step,
+                bytes,
+                interval,
+            } => format!(
+                "[{:>4}] checkpoint before step {step}: {bytes}B (every {interval} steps)",
+                self.seq
+            ),
+            EventKind::FaultInjected {
+                step,
+                worker,
+                kind,
+                attempt,
+            } => format!(
+                "[{:>4}] step {step} fault: {kind} on worker {worker} (attempt {attempt})",
+                self.seq
+            ),
+            EventKind::RecoveryReplay {
+                step,
+                from_step,
+                replayed,
+                attempt,
+                backoff_us,
+            } => format!(
+                "[{:>4}] step {step} recovery: rollback to {from_step}, replay {replayed} steps, retry {attempt} after {backoff_us}us",
                 self.seq
             ),
             EventKind::RunEnd {
@@ -409,6 +503,27 @@ mod tests {
                 policy: String::new(),
             }
             .tag(),
+            EventKind::CheckpointTaken {
+                step: 0,
+                bytes: 0,
+                interval: 0,
+            }
+            .tag(),
+            EventKind::FaultInjected {
+                step: 0,
+                worker: 0,
+                kind: String::new(),
+                attempt: 0,
+            }
+            .tag(),
+            EventKind::RecoveryReplay {
+                step: 0,
+                from_step: 0,
+                replayed: 0,
+                attempt: 0,
+                backoff_us: 0,
+            }
+            .tag(),
             EventKind::RunEnd {
                 supersteps: 0,
                 total_bytes: 0,
@@ -426,5 +541,55 @@ mod tests {
         let t = sample_step_end().to_text();
         assert!(t.contains("step 3"));
         assert!(t.contains("skew=100us"));
+    }
+
+    #[test]
+    fn recovery_events_render_and_round_trip() {
+        let events = [
+            Event {
+                seq: 0,
+                kind: EventKind::CheckpointTaken {
+                    step: 4,
+                    bytes: 320,
+                    interval: 4,
+                },
+            },
+            Event {
+                seq: 1,
+                kind: EventKind::FaultInjected {
+                    step: 5,
+                    worker: 1,
+                    kind: "crash".to_string(),
+                    attempt: 0,
+                },
+            },
+            Event {
+                seq: 2,
+                kind: EventKind::RecoveryReplay {
+                    step: 5,
+                    from_step: 4,
+                    replayed: 1,
+                    attempt: 0,
+                    backoff_us: 1000,
+                },
+            },
+        ];
+        let j = events[0].to_json();
+        assert_eq!(
+            j.get("event").and_then(Json::as_str),
+            Some("checkpoint_taken")
+        );
+        assert_eq!(j.get("bytes").and_then(Json::as_u64), Some(320));
+        let j1 = events[1].to_json();
+        assert_eq!(j1.get("kind").and_then(Json::as_str), Some("crash"));
+        let j2 = events[2].to_json();
+        assert_eq!(j2.get("from_step").and_then(Json::as_u64), Some(4));
+        assert_eq!(j2.get("backoff_us").and_then(Json::as_u64), Some(1000));
+        for e in &events {
+            let back = json::parse(&e.to_json().to_string()).unwrap();
+            assert_eq!(back, e.to_json());
+            assert!(!e.to_text().is_empty());
+        }
+        assert!(events[2].to_text().contains("rollback to 4"));
     }
 }

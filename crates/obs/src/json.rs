@@ -39,14 +39,23 @@ impl Json {
         Json::Obj(BTreeMap::new())
     }
 
-    /// Inserts `key: value` (builder style); panics if `self` is not an
-    /// object.
+    /// Inserts `key: value` (builder style). Calling `set` on a non-object
+    /// is a caller bug, but it must never abort a run (sinks build JSON on
+    /// the hot path, sometimes from values parsed back off disk): debug
+    /// builds panic to surface the misuse, release builds return `self`
+    /// unchanged.
     pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
             Json::Obj(map) => {
                 map.insert(key.to_string(), value.into());
             }
-            other => panic!("Json::set on non-object {other:?}"),
+            other => {
+                // debug_assert-style guard, spelled out because clippy
+                // rejects constant assertions.
+                if cfg!(debug_assertions) {
+                    panic!("Json::set on non-object {other:?}");
+                }
+            }
         }
         self
     }
@@ -548,5 +557,25 @@ mod tests {
     fn large_integers_render_exactly() {
         let n = 1u64 << 52;
         assert_eq!(Json::from(n).to_string(), n.to_string());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "Json::set on non-object")]
+    fn set_on_non_object_trips_in_debug_builds() {
+        let _ = Json::Num(1.0).set("k", 2u64);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn set_on_non_object_is_ignored_in_release_builds() {
+        // The value survives unchanged — a malformed sink path must never
+        // abort a run.
+        assert_eq!(Json::Num(1.0).set("k", 2u64), Json::Num(1.0));
+        assert_eq!(
+            Json::Arr(vec![]).set("k", 2u64),
+            Json::Arr(vec![]),
+            "arrays too"
+        );
     }
 }

@@ -1,9 +1,11 @@
 //! The simulated cluster: superstep orchestration, message exchange and
 //! mirror synchronization.
 
-use crate::config::{ClusterConfig, SyncMode, SyncScope};
+use crate::checkpoint::{Checkpoint, RecoveryLog, StepDelta};
+use crate::config::{ClusterConfig, SyncMode, SyncScope, DEFAULT_CHECKPOINT_INTERVAL};
 use crate::ctx::WorkerCtx;
 use crate::error::RuntimeError;
+use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
 use crate::state::WorkerState;
 use crate::stats::{RunStats, StepKind, StepStats};
 use crate::VertexData;
@@ -47,6 +49,16 @@ pub struct Cluster<V: VertexData> {
     next_step: u64,
     /// Monotonic sequence number for trace events.
     next_seq: u64,
+    /// Scripted fault injector, present only when the config carries a
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    injector: Option<FaultInjector>,
+    /// Last checkpoint plus the redo log of supersteps published since.
+    recovery: RecoveryLog<V>,
+    /// Effective checkpoint interval in supersteps (0 = disabled).
+    checkpoint_every: u64,
+    /// Terminal recovery failure: set once the retry budget of some
+    /// superstep is exhausted, surfaced via [`Cluster::fault_error`].
+    failed: Option<RuntimeError>,
 }
 
 impl<V: VertexData> Cluster<V> {
@@ -75,10 +87,26 @@ impl<V: VertexData> Cluster<V> {
                 partition: partition.num_vertices(),
             });
         }
+        if let Some(plan) = &config.fault_plan {
+            if plan.max_worker().is_some_and(|w| w >= config.workers) {
+                return Err(RuntimeError::KernelMisuse(
+                    "fault plan targets a worker beyond the cluster size",
+                ));
+            }
+        }
         let n = graph.num_vertices();
         let states = (0..config.workers)
             .map(|_| WorkerState::new(n, &init))
             .collect();
+        let injector = config.fault_plan.clone().map(FaultInjector::new);
+        // Rollback needs a checkpoint to roll back to, so a fault plan
+        // forces periodic checkpointing on even if the config left the
+        // interval at 0 (the `faults` builder normally sets it already).
+        let checkpoint_every = if config.checkpoint_every == 0 && injector.is_some() {
+            DEFAULT_CHECKPOINT_INTERVAL as u64
+        } else {
+            config.checkpoint_every as u64
+        };
         let mut cluster = Cluster {
             graph,
             partition,
@@ -87,6 +115,10 @@ impl<V: VertexData> Cluster<V> {
             stats: RunStats::default(),
             next_step: 0,
             next_seq: 0,
+            injector,
+            recovery: RecoveryLog::new(),
+            checkpoint_every,
+            failed: None,
         };
         let (net_latency_us, net_bandwidth_bps) = match &cluster.config.network {
             Some(net) => (
@@ -166,6 +198,31 @@ impl<V: VertexData> Cluster<V> {
         self.next_step
     }
 
+    /// The terminal fault-recovery error, if some superstep exhausted its
+    /// retry budget. After exhaustion the injector is disabled and the
+    /// rest of the program executes normally (the simulation stays
+    /// deterministic), so converged values remain well-defined — but the
+    /// run must be reported as failed. Drivers check this once when
+    /// finishing a run.
+    pub fn fault_error(&self) -> Option<RuntimeError> {
+        self.failed.clone()
+    }
+
+    /// Captures a consistent snapshot of every worker's replica — the same
+    /// machinery the periodic checkpoint hook uses. Only valid at a
+    /// superstep boundary (nothing staged), which is the only place driver
+    /// code can call it.
+    pub fn checkpoint(&self) -> Checkpoint<V> {
+        Checkpoint::capture(self.next_step, &self.states, &self.partition)
+    }
+
+    /// Restores a snapshot taken by [`Cluster::checkpoint`], overwriting
+    /// every replica and discarding staged writes. The superstep counter
+    /// is *not* rewound: trace step ids stay unique across restores.
+    pub fn restore(&mut self, cp: &Checkpoint<V>) {
+        cp.restore(&mut self.states);
+    }
+
     /// Emits a trace event to the configured sink (a no-op without one).
     /// Public so higher layers — kernel dispatch in `flash-core`, driver
     /// operators — can contribute events to the same ordered stream.
@@ -199,6 +256,12 @@ impl<V: VertexData> Cluster<V> {
     /// results; callers account for its traffic via
     /// [`Cluster::record_global`].
     pub fn set_value_global(&mut self, v: VertexId, val: V) {
+        if self.injector.is_some() {
+            // Driver-side writes must be in the redo log too, or a later
+            // rollback would replay past them and lose their effect.
+            self.recovery
+                .record(StepDelta::global(v, &val, self.states.len()));
+        }
         for st in &mut self.states {
             st.current[v as usize] = val.clone();
         }
@@ -231,6 +294,7 @@ impl<V: VertexData> Cluster<V> {
         scope: SyncScope,
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
+        self.maybe_checkpoint();
         let step_id = self.next_step;
         self.emit(EventKind::StepStart {
             step: step_id,
@@ -241,7 +305,7 @@ impl<V: VertexData> Cluster<V> {
         let mut stats = StepStats::new(kind, active);
 
         let t0 = Instant::now();
-        let (per_worker, durations) = self.run_compute(&f);
+        let (per_worker, durations) = self.compute_with_recovery(step_id, &f);
         stats.compute = t0.elapsed();
         stats.compute_max = durations.iter().copied().max().unwrap_or_default();
         stats.compute_min = durations.iter().copied().min().unwrap_or_default();
@@ -269,6 +333,7 @@ impl<V: VertexData> Cluster<V> {
         stats.communicate = t1.elapsed();
 
         self.sync_mirrors(&updated, scope, &mut stats);
+        self.record_delta(&updated);
         self.finish_step(stats);
         StepOutput {
             per_worker,
@@ -288,6 +353,7 @@ impl<V: VertexData> Cluster<V> {
         reduce: impl Fn(&V, &mut V) + Sync,
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
+        self.maybe_checkpoint();
         let step_id = self.next_step;
         self.emit(EventKind::StepStart {
             step: step_id,
@@ -298,7 +364,7 @@ impl<V: VertexData> Cluster<V> {
         let mut stats = StepStats::new(StepKind::EdgeMapSparse, active);
 
         let t0 = Instant::now();
-        let (per_worker, durations) = self.run_compute(&f);
+        let (per_worker, durations) = self.compute_with_recovery(step_id, &f);
         stats.compute = t0.elapsed();
         stats.compute_max = durations.iter().copied().max().unwrap_or_default();
         stats.compute_min = durations.iter().copied().min().unwrap_or_default();
@@ -343,11 +409,198 @@ impl<V: VertexData> Cluster<V> {
         stats.communicate = t2.elapsed();
 
         self.sync_mirrors(&updated, scope, &mut stats);
+        self.record_delta(&updated);
         self.finish_step(stats);
         StepOutput {
             per_worker,
             updated,
         }
+    }
+
+    /// Takes a periodic checkpoint when one is due: at the first superstep
+    /// after checkpointing is enabled, then every `checkpoint_every`
+    /// supersteps. Called at step entry, where nothing is staged — the BSP
+    /// barrier is exactly where consistent snapshots are cheap.
+    fn maybe_checkpoint(&mut self) {
+        if self.checkpoint_every == 0 {
+            return;
+        }
+        let due = match self.recovery.checkpoint_step() {
+            None => true,
+            Some(at) => self.next_step.saturating_sub(at) >= self.checkpoint_every,
+        };
+        if !due {
+            return;
+        }
+        let cp = Checkpoint::capture(self.next_step, &self.states, &self.partition);
+        self.stats.recovery.checkpoints += 1;
+        self.stats.recovery.checkpoint_bytes += cp.bytes;
+        if let Some(net) = &self.config.network {
+            // Persisting a checkpoint costs one round of shipping the
+            // master state off-worker.
+            self.stats.recovery.checkpoint_time += net.cost(1, cp.bytes);
+        }
+        self.emit(EventKind::CheckpointTaken {
+            step: self.next_step,
+            bytes: cp.bytes,
+            interval: self.checkpoint_every,
+        });
+        self.recovery.install(cp);
+    }
+
+    /// Appends the superstep's published writes to the redo log (only
+    /// while a fault plan is active — fault-free runs pay nothing).
+    fn record_delta(&mut self, updated: &[Vec<VertexId>]) {
+        if self.injector.is_some() {
+            self.recovery
+                .record(StepDelta::capture(&self.states, updated));
+        }
+    }
+
+    /// Runs the compute phase under the fault injector: detected failures
+    /// (crashes, corrupted sync payloads) roll all workers back to the
+    /// last checkpoint, replay the redo log, charge backoff, and retry.
+    /// After `max_retries` failed retries the run degrades gracefully: the
+    /// injector is disabled, the final attempt's output is kept (keeping
+    /// the simulation deterministic), and a clean
+    /// [`RuntimeError::RecoveryExhausted`] is surfaced via
+    /// [`Cluster::fault_error`].
+    fn compute_with_recovery<Out: Send>(
+        &mut self,
+        step_id: u64,
+        f: &(impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync),
+    ) -> (Vec<Out>, Vec<Duration>) {
+        if self.injector.is_none() {
+            return self.run_compute(f);
+        }
+        let mut attempt: u64 = 0;
+        loop {
+            let (outs, mut durations) = self.run_compute(f);
+
+            // Stragglers: charge the delay into the worker's compute time
+            // (it shows up as barrier skew); no recovery needed.
+            let stragglers = match &mut self.injector {
+                Some(inj) => inj.stragglers(step_id),
+                None => Vec::new(),
+            };
+            for s in &stragglers {
+                if let Some(d) = durations.get_mut(s.worker) {
+                    *d += s.delay;
+                }
+                self.stats.recovery.stragglers += 1;
+                self.stats.recovery.straggler_delay += s.delay;
+                self.emit(EventKind::FaultInjected {
+                    step: step_id,
+                    worker: s.worker,
+                    kind: s.kind.label().to_string(),
+                    attempt,
+                });
+            }
+
+            let detected = self.detect_failures(step_id);
+            if detected.is_empty() {
+                return (outs, durations);
+            }
+            for spec in &detected {
+                self.stats.recovery.faults_injected += 1;
+                self.emit(EventKind::FaultInjected {
+                    step: step_id,
+                    worker: spec.worker,
+                    kind: spec.kind.label().to_string(),
+                    attempt,
+                });
+            }
+
+            let budget = self
+                .injector
+                .as_ref()
+                .map_or(0, |i| u64::from(i.plan().max_retries));
+            if attempt >= budget {
+                if self.failed.is_none() {
+                    self.failed = Some(RuntimeError::RecoveryExhausted {
+                        step: step_id,
+                        attempts: (attempt + 1) as u32,
+                    });
+                }
+                if let Some(inj) = &mut self.injector {
+                    inj.active = false;
+                }
+                return (outs, durations);
+            }
+            self.rollback(step_id, attempt);
+            attempt += 1;
+        }
+    }
+
+    /// Decides which scripted failures actually fire this attempt. Crashes
+    /// are detected at the barrier (missed heartbeat). Corruption is
+    /// detected honestly: the worker's staged sync payload is framed as
+    /// `(vertex, byte-length)` records, checksummed, and the transmitted
+    /// checksum — which the fault XORs with a nonzero PRNG nonce — is
+    /// compared against the recomputed one.
+    fn detect_failures(&mut self, step_id: u64) -> Vec<FaultSpec> {
+        let failures = match &mut self.injector {
+            Some(inj) => inj.failures(step_id),
+            None => Vec::new(),
+        };
+        let mut detected = Vec::new();
+        for spec in failures {
+            match spec.kind {
+                FaultKind::Crash => detected.push(spec),
+                FaultKind::CorruptSync => {
+                    let st = &self.states[spec.worker];
+                    let computed = payload_checksum(
+                        st.pending
+                            .iter()
+                            .map(|(v, val)| (*v, val.bytes()))
+                            .chain(st.direct.iter().map(|(v, val)| (*v, val.bytes()))),
+                    );
+                    let nonce = match &mut self.injector {
+                        Some(inj) => inj.corruption_nonce(),
+                        None => 0,
+                    };
+                    let transmitted = computed ^ nonce;
+                    if transmitted != computed {
+                        detected.push(spec);
+                    }
+                }
+                FaultKind::Straggler => {}
+            }
+        }
+        detected
+    }
+
+    /// Rolls every worker back to the last checkpoint, replays the redo
+    /// log, and charges the recovery cost (backoff + simulated replay
+    /// traffic). Without a checkpoint (none due yet) the retry simply
+    /// re-runs on the unmodified pre-step state, which the discarded
+    /// staged writes make safe.
+    fn rollback(&mut self, step_id: u64, attempt: u64) {
+        for st in &mut self.states {
+            st.discard_staged();
+        }
+        let (from_step, replayed, bytes) = match self.recovery.rollback(&mut self.states) {
+            Some(r) => r,
+            None => (step_id, 0, 0),
+        };
+        self.stats.recovery.rollbacks += 1;
+        self.stats.recovery.replayed_supersteps += replayed;
+        let backoff = self
+            .injector
+            .as_ref()
+            .map(|i| i.plan().backoff(attempt as u32))
+            .unwrap_or_default();
+        self.stats.recovery.retry_backoff += backoff;
+        if let Some(net) = &self.config.network {
+            self.stats.recovery.replay_net += net.recovery_cost(replayed, bytes);
+        }
+        self.emit(EventKind::RecoveryReplay {
+            step: step_id,
+            from_step,
+            replayed,
+            attempt,
+            backoff_us: backoff.as_micros() as u64,
+        });
     }
 
     /// Per-worker phase accounting at the barrier: takes (and resets) each
@@ -840,5 +1093,152 @@ mod tests {
             ctx.get(4).x
         });
         assert_eq!(out.per_worker, vec![99, 99, 99]);
+    }
+
+    /// A deterministic 12-superstep program (6 rounds of max-propagation +
+    /// increment) whose result depends on every intermediate state — the
+    /// fixture for recovery determinism tests.
+    fn run_program(cfg: ClusterConfig) -> (Vec<u64>, RunStats, Option<RuntimeError>) {
+        let g = Arc::new(generators::erdos_renyi(48, 160, 11));
+        let p = Arc::new(PartitionMap::build(&g, cfg.workers, &HashPartitioner).unwrap());
+        let mut c = Cluster::new(g, p, cfg, |v| Val { x: v as u64 }).unwrap();
+        let reduce = |t: &Val, acc: &mut Val| acc.x = acc.x.max(t.x);
+        for round in 0..6u64 {
+            c.step_reduce(0, SyncScope::Necessary, reduce, |ctx| {
+                for &v in ctx.masters() {
+                    let val = ctx.get(v).clone();
+                    let nbrs: Vec<u32> = ctx.graph().out_neighbors(v).to_vec();
+                    for d in nbrs {
+                        ctx.put(d, val.clone(), &reduce);
+                    }
+                }
+            });
+            c.step_direct(StepKind::VertexMap, 0, SyncScope::Necessary, |ctx| {
+                for v in ctx.masters().to_vec() {
+                    let mut val = ctx.get(v).clone();
+                    val.x += round + 1;
+                    ctx.write_master(v, val);
+                }
+            });
+        }
+        let vals = c.collect(|_, val| val.x);
+        let err = c.fault_error();
+        (vals, c.take_stats(), err)
+    }
+
+    fn faulted_config(plan: &str) -> ClusterConfig {
+        ClusterConfig::with_workers(3)
+            .sequential()
+            .network(crate::NetworkModel::ten_gbe())
+            .checkpoint_every(2)
+            .faults(crate::fault::FaultPlan::parse(plan).unwrap())
+    }
+
+    #[test]
+    fn faulted_run_is_bit_identical_to_fault_free() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let faulted = run_program(faulted_config(
+            "crash@1:w1,corrupt@3:w0,straggle@2:w0:300us",
+        ));
+        assert_eq!(clean.0, faulted.0, "recovery must not change results");
+        assert_eq!(clean.1.num_supersteps(), faulted.1.num_supersteps());
+        assert!(faulted.2.is_none(), "retries were not exhausted");
+
+        let rec = &faulted.1.recovery;
+        assert_eq!(rec.faults_injected, 2, "one crash + one corruption");
+        assert_eq!(rec.rollbacks, 2);
+        assert!(rec.replayed_supersteps >= 1, "rollback crossed a delta");
+        assert!(rec.checkpoints >= 2);
+        assert_eq!(rec.stragglers, 1);
+        assert!(rec.straggler_delay >= Duration::from_micros(300));
+        assert!(rec.retry_backoff > Duration::ZERO);
+        assert!(rec.replay_net > Duration::ZERO, "network model charged");
+        assert_eq!(clean.1.recovery, crate::stats::RecoveryStats::default());
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_clean_error() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let (vals, stats, err) = run_program(faulted_config("crash@1:w0:x99,retries=2"));
+        match err {
+            Some(RuntimeError::RecoveryExhausted { step, attempts }) => {
+                assert_eq!(step, 1);
+                assert_eq!(attempts, 3, "initial attempt + 2 retries");
+            }
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+        // Execution continued deterministically with the injector disabled.
+        assert_eq!(vals, clean.0);
+        assert_eq!(stats.recovery.rollbacks, 2);
+    }
+
+    #[test]
+    fn straggler_charges_compute_without_rollback() {
+        let (_, stats, err) = run_program(faulted_config("straggle@0:w1:5ms"));
+        assert!(err.is_none());
+        assert_eq!(stats.recovery.rollbacks, 0);
+        assert_eq!(stats.recovery.stragglers, 1);
+        assert!(stats.steps()[0].compute_max >= Duration::from_millis(5));
+        assert!(stats.steps()[0].barrier_skew() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn manual_checkpoint_restore_round_trips() {
+        let mut c = cluster(2, 8);
+        let before = c.collect(|_, val| val.x);
+        let cp = c.checkpoint();
+        c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
+            for v in ctx.masters().to_vec() {
+                ctx.write_master(v, Val { x: 4242 });
+            }
+        });
+        assert_ne!(c.collect(|_, val| val.x), before);
+        c.restore(&cp);
+        assert_eq!(c.collect(|_, val| val.x), before, "restore is exact");
+    }
+
+    #[test]
+    fn recovery_emits_trace_events_in_order() {
+        use flash_obs::CollectSink;
+        let sink = Arc::new(CollectSink::new());
+        let cfg = faulted_config("crash@1:w1").sink(Arc::clone(&sink) as Arc<dyn flash_obs::Sink>);
+        let _ = run_program(cfg);
+        let events = sink.events();
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        let checkpoints = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CheckpointTaken { .. }))
+            .count();
+        assert!(checkpoints >= 2, "interval 2 over 12 steps");
+        let fault_pos = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+            .expect("fault event");
+        let replay_pos = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RecoveryReplay {
+                        step: 1,
+                        from_step: 0,
+                        ..
+                    }
+                )
+            })
+            .expect("replay event rolls step 1 back to the step-0 checkpoint");
+        assert!(fault_pos < replay_pos, "fault detected before rollback");
+    }
+
+    #[test]
+    fn fault_plan_validates_worker_bounds() {
+        let g = Arc::new(generators::path(4, true));
+        let p = Arc::new(PartitionMap::build(&g, 2, &HashPartitioner).unwrap());
+        let cfg = ClusterConfig::with_workers(2)
+            .faults(crate::fault::FaultPlan::parse("crash@1:w5").unwrap());
+        let err = Cluster::<Val>::new(g, p, cfg, |_| Val::default())
+            .err()
+            .expect("worker 5 does not exist");
+        assert!(matches!(err, RuntimeError::KernelMisuse(_)));
     }
 }

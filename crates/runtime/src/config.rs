@@ -1,10 +1,16 @@
 //! Cluster configuration knobs.
 
+use crate::fault::FaultPlan;
 use crate::netmodel::NetworkModel;
 use crate::plan::ProgramPlan;
 use flash_obs::Sink;
 use std::fmt;
 use std::sync::Arc;
+
+/// Checkpoint interval (in supersteps) used when a fault plan is present
+/// but no explicit interval was configured: rollback needs a checkpoint to
+/// roll back to, so fault injection forces checkpointing on.
+pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 4;
 
 /// How the adaptive `EDGEMAP` dispatch (paper Algorithm 4) picks a kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -73,6 +79,13 @@ pub struct ClusterConfig {
     /// algorithm's [`ProgramPlan`]. Informational: surfaced in `sync_plan`
     /// trace events; empty means the plan was not declared.
     pub sync_properties: Vec<String>,
+    /// Scripted fault-injection plan (see [`crate::fault`]); `None` runs
+    /// fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Checkpoint interval in supersteps; `0` disables periodic
+    /// checkpointing (unless a fault plan is present, in which case
+    /// [`DEFAULT_CHECKPOINT_INTERVAL`] applies).
+    pub checkpoint_every: usize,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -88,6 +101,8 @@ impl fmt::Debug for ClusterConfig {
             .field("network", &self.network)
             .field("sink", &self.sink.as_ref().map(|_| "<dyn Sink>"))
             .field("sync_properties", &self.sync_properties)
+            .field("fault_plan", &self.fault_plan)
+            .field("checkpoint_every", &self.checkpoint_every)
             .finish()
     }
 }
@@ -104,6 +119,8 @@ impl Default for ClusterConfig {
             network: None,
             sink: None,
             sync_properties: Vec::new(),
+            fault_plan: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -151,6 +168,24 @@ impl ClusterConfig {
     /// worker-phase, sync-plan and kernel-decision events flow to it.
     pub fn sink(mut self, sink: Arc<dyn Sink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a fault-injection plan (builder style). Checkpointing is
+    /// forced on (at [`DEFAULT_CHECKPOINT_INTERVAL`]) unless an interval
+    /// was already configured, because recovery rolls back to checkpoints.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        if self.checkpoint_every == 0 {
+            self.checkpoint_every = DEFAULT_CHECKPOINT_INTERVAL;
+        }
+        self
+    }
+
+    /// Sets the checkpoint interval in supersteps (builder style); `0`
+    /// disables periodic checkpointing on fault-free runs.
+    pub fn checkpoint_every(mut self, interval: usize) -> Self {
+        self.checkpoint_every = interval;
         self
     }
 
@@ -202,6 +237,22 @@ mod tests {
         assert!(dbg.contains("dyn Sink"), "{dbg}");
         let c2 = c.clone(); // Arc clone, not a deep sink copy
         assert!(c2.sink.is_some());
+    }
+
+    #[test]
+    fn faults_builder_forces_checkpointing_on() {
+        let c = ClusterConfig::default().faults(FaultPlan::default());
+        assert!(c.fault_plan.is_some());
+        assert_eq!(c.checkpoint_every, DEFAULT_CHECKPOINT_INTERVAL);
+
+        let c2 = ClusterConfig::default()
+            .checkpoint_every(7)
+            .faults(FaultPlan::default());
+        assert_eq!(c2.checkpoint_every, 7, "explicit interval wins");
+
+        let c3 = ClusterConfig::default().checkpoint_every(3);
+        assert!(c3.fault_plan.is_none());
+        assert_eq!(c3.checkpoint_every, 3, "checkpointing works fault-free");
     }
 
     #[test]

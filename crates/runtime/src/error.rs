@@ -28,6 +28,15 @@ pub enum RuntimeError {
     },
     /// A kernel misuse detected at runtime (bug in the calling code).
     KernelMisuse(&'static str),
+    /// Fault recovery exhausted its retry budget at a superstep: the same
+    /// failure re-fired on every attempt, so the run degrades to this
+    /// clean error instead of looping or panicking.
+    RecoveryExhausted {
+        /// The superstep that kept failing.
+        step: u64,
+        /// Compute attempts made (`1 +` the configured retry budget).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -49,6 +58,10 @@ impl fmt::Display for RuntimeError {
                 )
             }
             RuntimeError::KernelMisuse(msg) => write!(f, "kernel misuse: {msg}"),
+            RuntimeError::RecoveryExhausted { step, attempts } => write!(
+                f,
+                "fault recovery exhausted after {attempts} attempts at superstep {step}"
+            ),
         }
     }
 }
@@ -69,5 +82,10 @@ mod tests {
         assert!(RuntimeError::NotConverged { supersteps: 100 }
             .to_string()
             .contains("100"));
+        let r = RuntimeError::RecoveryExhausted {
+            step: 7,
+            attempts: 4,
+        };
+        assert!(r.to_string().contains('7') && r.to_string().contains('4'));
     }
 }

@@ -1,0 +1,529 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A real FLASH deployment sits on an MPI cluster where workers crash,
+//! network buffers arrive corrupted and stragglers stall barriers. The
+//! simulated cluster reproduces those failure modes *deterministically*: a
+//! [`FaultPlan`] attached to [`ClusterConfig`](crate::ClusterConfig)
+//! scripts exactly which worker fails at which superstep, and the
+//! corruption nonces come from the workspace's xoshiro PRNG
+//! ([`flash_graph::Prng`]) seeded from the plan. The same plan over the
+//! same program therefore fires at the same points every run — which is
+//! what lets tests assert the recovery invariant: results must be
+//! **bit-identical** with and without injected faults (see
+//! [`checkpoint`](crate::checkpoint) and DESIGN.md §8).
+//!
+//! # Plan grammar
+//!
+//! A plan is a comma-separated list of fault specs and `key=value`
+//! options:
+//!
+//! ```text
+//! crash@3:w1            crash worker 1 at superstep 3
+//! corrupt@5:w0          corrupt worker 0's sync payload at superstep 5
+//! straggle@2:w1:400us   delay worker 1's compute by 400 µs at superstep 2
+//! crash@3:w1:x2         the crash fires on the first two attempts
+//! retries=2             retry budget per superstep (default 3)
+//! backoff=500us         base of the capped exponential backoff
+//! cap=16ms              backoff cap
+//! seed=42               PRNG seed for corruption nonces
+//! ```
+//!
+//! Durations accept `us`, `ms` and `s` suffixes.
+
+use flash_graph::Prng;
+use std::time::Duration;
+
+/// Default retry budget per superstep before recovery gives up.
+pub const DEFAULT_MAX_RETRIES: u32 = 3;
+/// Default base of the capped exponential retry backoff.
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Default backoff cap.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_millis(64);
+/// Default PRNG seed for corruption nonces.
+pub const DEFAULT_SEED: u64 = 0xF1A5;
+/// Default straggler delay when a `straggle` spec omits one.
+pub const DEFAULT_STRAGGLE_DELAY: Duration = Duration::from_millis(1);
+
+/// What kind of failure a [`FaultSpec`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies mid-superstep: its compute output is lost at the
+    /// barrier and the whole superstep must roll back (BSP recovery is
+    /// all-or-nothing).
+    Crash,
+    /// The worker's serialized sync payload is corrupted in transit. The
+    /// receiver detects the damage by recomputing the payload checksum,
+    /// and the superstep rolls back exactly like a crash.
+    CorruptSync,
+    /// The worker straggles: its compute phase is charged an extra delay,
+    /// visible as barrier skew. No recovery is needed.
+    Straggler,
+}
+
+impl FaultKind {
+    /// Stable label used in trace events and the CLI grammar.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::CorruptSync => "corrupt",
+            FaultKind::Straggler => "straggle",
+        }
+    }
+}
+
+/// One scripted fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Global superstep id (trace step id) the fault fires at.
+    pub step: u64,
+    /// Worker the fault targets.
+    pub worker: usize,
+    /// Failure kind.
+    pub kind: FaultKind,
+    /// How many attempts of that superstep the fault fires on. `1` means
+    /// the first attempt only, so a single retry recovers; values larger
+    /// than the retry budget exhaust it and degrade the run to a clean
+    /// [`RuntimeError::RecoveryExhausted`](crate::RuntimeError).
+    pub times: u32,
+    /// Extra compute delay for [`FaultKind::Straggler`]; ignored for other
+    /// kinds.
+    pub delay: Duration,
+}
+
+/// A scripted fault-injection plan plus the recovery policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// The scripted faults, in no particular order.
+    pub specs: Vec<FaultSpec>,
+    /// Retry budget per superstep before recovery degrades to a clean
+    /// error.
+    pub max_retries: u32,
+    /// Base of the capped exponential retry backoff. Backoff is *charged*
+    /// as simulated time, never slept.
+    pub backoff_base: Duration,
+    /// Upper bound on a single retry's backoff.
+    pub backoff_cap: Duration,
+    /// Seed for the xoshiro PRNG generating corruption nonces (and
+    /// [`FaultPlan::chaos`] schedules).
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            specs: Vec::new(),
+            max_retries: DEFAULT_MAX_RETRIES,
+            backoff_base: DEFAULT_BACKOFF_BASE,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan with default policy (useful as a builder base).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault spec (builder style).
+    pub fn spec(mut self, kind: FaultKind, step: u64, worker: usize) -> Self {
+        self.specs.push(FaultSpec {
+            step,
+            worker,
+            kind,
+            times: 1,
+            delay: DEFAULT_STRAGGLE_DELAY,
+        });
+        self
+    }
+
+    /// Sets the retry budget (builder style).
+    pub fn retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Parses the plan grammar described in the module docs.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((key, value)) = part.split_once('=') {
+                let value = value.trim();
+                match key.trim() {
+                    "retries" => {
+                        plan.max_retries = value
+                            .parse()
+                            .map_err(|_| format!("invalid retries value {value:?}"))?;
+                    }
+                    "backoff" => plan.backoff_base = parse_duration(value)?,
+                    "cap" => plan.backoff_cap = parse_duration(value)?,
+                    "seed" => {
+                        plan.seed = value
+                            .parse()
+                            .map_err(|_| format!("invalid seed value {value:?}"))?;
+                    }
+                    other => return Err(format!("unknown fault-plan option {other:?}")),
+                }
+                continue;
+            }
+            plan.specs.push(parse_spec(part)?);
+        }
+        Ok(plan)
+    }
+
+    /// A randomized plan drawn from the workspace PRNG: one crash, one
+    /// corrupted sync buffer and one straggler, each at a superstep in
+    /// `1..max_step` on a worker in `0..workers`. Deterministic in `seed`.
+    pub fn chaos(seed: u64, workers: usize, max_step: u64) -> FaultPlan {
+        let mut prng = Prng::seed_from_u64(seed);
+        let workers = workers.max(1) as u64;
+        let span = max_step.max(2);
+        let mut draw = |kind: FaultKind| FaultSpec {
+            step: 1 + prng.next_u64() % (span - 1),
+            worker: (prng.next_u64() % workers) as usize,
+            kind,
+            times: 1,
+            delay: Duration::from_micros(100 + prng.next_u64() % 900),
+        };
+        FaultPlan {
+            specs: vec![
+                draw(FaultKind::Crash),
+                draw(FaultKind::CorruptSync),
+                draw(FaultKind::Straggler),
+            ],
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The simulated backoff charged before retry number `attempt`
+    /// (0-based): `base * 2^attempt`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(factor)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+    }
+
+    /// The largest worker id any spec targets, for validation against the
+    /// cluster size.
+    pub fn max_worker(&self) -> Option<usize> {
+        self.specs.iter().map(|s| s.worker).max()
+    }
+
+    /// Renders the plan back into its grammar (options only when they
+    /// differ from the defaults) — the echo written into `results/*.json`.
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = self
+            .specs
+            .iter()
+            .map(|s| {
+                let mut out = format!("{}@{}:w{}", s.kind.label(), s.step, s.worker);
+                if s.kind == FaultKind::Straggler {
+                    out.push_str(&format!(":{}us", s.delay.as_micros()));
+                }
+                if s.times != 1 {
+                    out.push_str(&format!(":x{}", s.times));
+                }
+                out
+            })
+            .collect();
+        if self.max_retries != DEFAULT_MAX_RETRIES {
+            parts.push(format!("retries={}", self.max_retries));
+        }
+        if self.seed != DEFAULT_SEED {
+            parts.push(format!("seed={}", self.seed));
+        }
+        parts.join(",")
+    }
+}
+
+fn parse_spec(part: &str) -> Result<FaultSpec, String> {
+    let (kind_s, rest) = part
+        .split_once('@')
+        .ok_or_else(|| format!("fault spec {part:?} needs '@' (e.g. crash@3:w1)"))?;
+    let kind = match kind_s.trim() {
+        "crash" => FaultKind::Crash,
+        "corrupt" => FaultKind::CorruptSync,
+        "straggle" | "straggler" => FaultKind::Straggler,
+        other => {
+            return Err(format!(
+                "unknown fault kind {other:?} (expected crash, corrupt or straggle)"
+            ))
+        }
+    };
+    let mut segs = rest.split(':');
+    let step_s = segs.next().unwrap_or_default().trim();
+    let step: u64 = step_s
+        .parse()
+        .map_err(|_| format!("invalid superstep {step_s:?} in fault spec {part:?}"))?;
+    let worker_s = segs
+        .next()
+        .ok_or_else(|| format!("fault spec {part:?} needs a worker (e.g. {kind_s}@{step}:w1)"))?
+        .trim();
+    let worker: usize = worker_s
+        .strip_prefix('w')
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("invalid worker {worker_s:?} in fault spec {part:?}"))?;
+    let mut spec = FaultSpec {
+        step,
+        worker,
+        kind,
+        times: 1,
+        delay: DEFAULT_STRAGGLE_DELAY,
+    };
+    for seg in segs {
+        let seg = seg.trim();
+        if let Some(n) = seg.strip_prefix('x') {
+            spec.times = n
+                .parse()
+                .map_err(|_| format!("invalid repeat count {seg:?} in fault spec {part:?}"))?;
+        } else {
+            spec.delay = parse_duration(seg)?;
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses `123us`, `5ms` or `2s` into a [`Duration`].
+pub fn parse_duration(text: &str) -> Result<Duration, String> {
+    let text = text.trim();
+    let (digits, unit): (&str, fn(u64) -> Duration) = if let Some(d) = text.strip_suffix("us") {
+        (d, Duration::from_micros)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        (d, Duration::from_millis)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, Duration::from_secs)
+    } else {
+        return Err(format!("duration {text:?} needs a us/ms/s suffix"));
+    };
+    digits
+        .parse()
+        .map(unit)
+        .map_err(|_| format!("invalid duration {text:?}"))
+}
+
+/// Runtime state of the injector: the plan plus per-spec fire counts and
+/// the nonce PRNG. Owned by the cluster; `active` flips off after the
+/// retry budget is exhausted so the rest of the run executes fault-free.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    fired: Vec<u32>,
+    prng: Prng,
+    pub(crate) active: bool,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let fired = vec![0; plan.specs.len()];
+        let prng = Prng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            fired,
+            prng,
+            active: true,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Crash/corruption specs firing at `step` on the current attempt,
+    /// consuming one fire from each.
+    pub(crate) fn failures(&mut self, step: u64) -> Vec<FaultSpec> {
+        self.take(step, |k| k != FaultKind::Straggler)
+    }
+
+    /// Straggler specs firing at `step`, consuming one fire from each.
+    pub(crate) fn stragglers(&mut self, step: u64) -> Vec<FaultSpec> {
+        self.take(step, |k| k == FaultKind::Straggler)
+    }
+
+    /// A spec fires at the first *eligible* superstep at or after its
+    /// scripted step: global-reduce supersteps never ship vertex state and
+    /// are skipped by the fault paths, so `corrupt@3` on a program whose
+    /// superstep 3 is a fold lands on the next compute superstep instead
+    /// of silently never firing.
+    fn take(&mut self, step: u64, want: impl Fn(FaultKind) -> bool) -> Vec<FaultSpec> {
+        if !self.active {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.step <= step && want(spec.kind) && self.fired[i] < spec.times {
+                self.fired[i] += 1;
+                out.push(spec.clone());
+            }
+        }
+        out
+    }
+
+    /// A nonzero value XOR-ed into a transmitted checksum to simulate
+    /// in-flight corruption (nonzero guarantees the mismatch is
+    /// detectable).
+    pub(crate) fn corruption_nonce(&mut self) -> u64 {
+        loop {
+            let n = self.prng.next_u64();
+            if n != 0 {
+                return n;
+            }
+        }
+    }
+}
+
+/// Order-independent FNV-1a checksum over a sync payload's framing: each
+/// `(vertex, byte-length)` record hashes independently and the digests
+/// combine commutatively, so the iteration order of the staging maps does
+/// not affect the result.
+pub fn payload_checksum<I: IntoIterator<Item = (u32, usize)>>(items: I) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut sum = OFFSET;
+    for (v, len) in items {
+        let mut h = OFFSET;
+        for byte in v
+            .to_le_bytes()
+            .iter()
+            .chain((len as u64).to_le_bytes().iter())
+        {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(PRIME);
+        }
+        sum = sum.wrapping_add(h);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let p =
+            FaultPlan::parse("crash@3:w1,corrupt@5:w0:x2,straggle@2:w1:400us,retries=2").unwrap();
+        assert_eq!(p.specs.len(), 3);
+        assert_eq!(p.max_retries, 2);
+        assert_eq!(
+            p.specs[0],
+            FaultSpec {
+                step: 3,
+                worker: 1,
+                kind: FaultKind::Crash,
+                times: 1,
+                delay: DEFAULT_STRAGGLE_DELAY,
+            }
+        );
+        assert_eq!(p.specs[1].times, 2);
+        assert_eq!(p.specs[2].delay, Duration::from_micros(400));
+        assert_eq!(p.max_worker(), Some(1));
+    }
+
+    #[test]
+    fn parses_policy_options() {
+        let p = FaultPlan::parse("backoff=500us,cap=16ms,seed=42").unwrap();
+        assert_eq!(p.backoff_base, Duration::from_micros(500));
+        assert_eq!(p.backoff_cap, Duration::from_millis(16));
+        assert_eq!(p.seed, 42);
+        assert!(p.specs.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("explode@1:w0").is_err());
+        assert!(FaultPlan::parse("crash@x:w0").is_err());
+        assert!(FaultPlan::parse("crash@1").is_err());
+        assert!(FaultPlan::parse("crash@1:3").is_err());
+        assert!(FaultPlan::parse("straggle@1:w0:4parsecs").is_err());
+        assert!(FaultPlan::parse("warp=9").is_err());
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let text = "crash@3:w1,straggle@2:w0:400us,corrupt@5:w2:x2,retries=2";
+        let p = FaultPlan::parse(text).unwrap();
+        let again = FaultPlan::parse(&p.summary()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = FaultPlan::default();
+        assert_eq!(p.backoff(0), DEFAULT_BACKOFF_BASE);
+        assert_eq!(p.backoff(1), DEFAULT_BACKOFF_BASE * 2);
+        assert_eq!(p.backoff(2), DEFAULT_BACKOFF_BASE * 4);
+        assert_eq!(p.backoff(40), DEFAULT_BACKOFF_CAP, "large attempts cap");
+    }
+
+    #[test]
+    fn injector_fires_each_spec_times_then_stops() {
+        let plan = FaultPlan::parse("crash@2:w0:x2").unwrap();
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.failures(1).len(), 0);
+        assert_eq!(inj.failures(2).len(), 1);
+        assert_eq!(inj.failures(2).len(), 1);
+        assert_eq!(inj.failures(2).len(), 0, "budget of 2 fires consumed");
+        inj.active = false;
+        let plan2 = FaultPlan::parse("crash@5:w0").unwrap();
+        let mut inj2 = FaultInjector::new(plan2);
+        inj2.active = false;
+        assert!(inj2.failures(5).is_empty(), "inactive injector never fires");
+    }
+
+    #[test]
+    fn stragglers_and_failures_are_disjoint() {
+        let plan = FaultPlan::parse("crash@1:w0,straggle@1:w1:200us").unwrap();
+        let mut inj = FaultInjector::new(plan);
+        let stragglers = inj.stragglers(1);
+        let failures = inj.failures(1);
+        assert_eq!(stragglers.len(), 1);
+        assert_eq!(stragglers[0].kind, FaultKind::Straggler);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FaultKind::Crash);
+    }
+
+    #[test]
+    fn checksum_is_order_independent_and_length_sensitive() {
+        let a = payload_checksum([(1u32, 8usize), (2, 16), (3, 8)]);
+        let b = payload_checksum([(3u32, 8usize), (1, 8), (2, 16)]);
+        assert_eq!(a, b);
+        let c = payload_checksum([(1u32, 9usize), (2, 16), (3, 8)]);
+        assert_ne!(a, c, "payload length is part of the frame");
+        let d = payload_checksum(std::iter::empty::<(u32, usize)>());
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn corruption_nonce_is_nonzero_and_deterministic() {
+        let plan = FaultPlan::default();
+        let mut i1 = FaultInjector::new(plan.clone());
+        let mut i2 = FaultInjector::new(plan);
+        for _ in 0..16 {
+            let n = i1.corruption_nonce();
+            assert_ne!(n, 0);
+            assert_eq!(n, i2.corruption_nonce(), "same seed, same nonces");
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_in_bounds() {
+        let a = FaultPlan::chaos(7, 4, 10);
+        let b = FaultPlan::chaos(7, 4, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.specs.len(), 3);
+        for s in &a.specs {
+            assert!(s.worker < 4);
+            assert!(s.step >= 1 && s.step < 10);
+        }
+        let c = FaultPlan::chaos(8, 4, 10);
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+}

@@ -26,24 +26,32 @@
 //! * **necessary-mirrors-only communication** via
 //!   [`config::SyncScope::Necessary`];
 //! * a **simulated network model** standing in for the 10 GbE interconnect
-//!   ([`netmodel::NetworkModel`]).
+//!   ([`netmodel::NetworkModel`]);
+//! * **fault tolerance** — a deterministic fault injector ([`fault`])
+//!   plus superstep-boundary checkpointing with rollback/replay recovery
+//!   ([`checkpoint`]), the Pregel-style mechanism a real MPI deployment
+//!   would need.
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod ctx;
 pub mod error;
+pub mod fault;
 pub mod netmodel;
 pub mod par;
 pub mod plan;
 pub mod state;
 pub mod stats;
 
+pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, StepOutput};
 pub use config::{ClusterConfig, ModePolicy, SyncMode, SyncScope};
 pub use ctx::WorkerCtx;
 pub use error::RuntimeError;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use netmodel::NetworkModel;
-pub use stats::{RunStats, StepKind, StepStats};
+pub use stats::{RecoveryStats, RunStats, StepKind, StepStats};
 
 /// Vertex state stored by FLASHWARE for every vertex of the graph.
 ///

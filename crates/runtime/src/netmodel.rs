@@ -61,6 +61,15 @@ impl NetworkModel {
         let transfer = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec);
         self.latency * rounds + transfer
     }
+
+    /// Simulated cost of one rollback: fetching the checkpoint plus
+    /// re-broadcasting `bytes` of recovered state, with one message round
+    /// for the checkpoint fetch and one per replayed superstep (each redo
+    /// delta is a barrier-synchronized broadcast).
+    pub fn recovery_cost(&self, replayed_supersteps: u64, bytes: u64) -> Duration {
+        let rounds = (1 + replayed_supersteps).min(u64::from(u32::MAX)) as u32;
+        self.cost(rounds, bytes)
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +105,14 @@ mod tests {
             j.get("bandwidth_bytes_per_sec").and_then(Json::as_f64),
             Some(1.0e9)
         );
+    }
+
+    #[test]
+    fn recovery_cost_scales_with_replayed_steps() {
+        let m = NetworkModel::ten_gbe();
+        assert_eq!(m.recovery_cost(0, 0), m.latency, "checkpoint fetch round");
+        assert_eq!(m.recovery_cost(3, 0), m.latency * 4);
+        assert!(m.recovery_cost(3, 1_000_000) > m.recovery_cost(3, 0));
     }
 
     #[test]

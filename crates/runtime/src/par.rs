@@ -48,11 +48,15 @@ pub fn parallel_ranges<Out: Send>(
     let chunk = len.div_ceil(threads);
     let f = &f;
     std::thread::scope(|s| {
+        // `t * chunk` can exceed `len` when it is not divisible by
+        // `threads` (e.g. len=5, threads=4 → chunk=2 → t=3 starts at 6):
+        // clamp and skip the resulting empty tail ranges instead of
+        // handing a callback an inverted out-of-bounds range.
         let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
+            .filter_map(|t| {
+                let lo = (t * chunk).min(len);
                 let hi = ((t + 1) * chunk).min(len);
-                s.spawn(move || f(lo, hi))
+                (lo < hi).then(|| s.spawn(move || f(lo, hi)))
             })
             .collect();
         handles
@@ -110,5 +114,23 @@ mod tests {
     fn zero_len_ranges() {
         let outs = parallel_ranges(0, 8, |lo, hi| hi - lo);
         assert_eq!(outs, vec![0]);
+    }
+
+    #[test]
+    fn ranges_never_invert_on_any_grid_point() {
+        // Regression: len=5, threads=4 used to produce the inverted
+        // out-of-bounds range (6, 5), which panics on `&items[lo..hi]`.
+        for len in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 101] {
+            for threads in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 200] {
+                let items: Vec<usize> = (0..len).collect();
+                let outs = parallel_ranges(len, threads, |lo, hi| {
+                    assert!(lo <= hi, "len={len} threads={threads}: ({lo}, {hi})");
+                    assert!(hi <= len, "len={len} threads={threads}: ({lo}, {hi})");
+                    items[lo..hi].to_vec() // must not panic
+                });
+                let flat: Vec<usize> = outs.into_iter().flatten().collect();
+                assert_eq!(flat, items, "len={len} threads={threads}");
+            }
+        }
     }
 }

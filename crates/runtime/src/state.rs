@@ -54,6 +54,35 @@ impl<V: VertexData> WorkerState<V> {
     pub(crate) fn is_clean(&self) -> bool {
         self.pending.is_empty() && self.direct.is_empty()
     }
+
+    /// Clones the full replica for a checkpoint. Only `current` needs
+    /// capturing: checkpoints are taken at superstep boundaries, where the
+    /// next-state structures are empty by construction.
+    pub(crate) fn snapshot(&self) -> Vec<V> {
+        debug_assert!(
+            self.pending.is_empty() && self.direct.is_empty(),
+            "checkpoints must be taken at a barrier, with nothing staged"
+        );
+        self.current.clone()
+    }
+
+    /// Overwrites the replica from a snapshot and discards everything a
+    /// failed attempt staged (next-state writes and op counters).
+    pub(crate) fn restore(&mut self, snapshot: &[V]) {
+        debug_assert_eq!(self.current.len(), snapshot.len());
+        self.current.clear();
+        self.current.extend_from_slice(snapshot);
+        self.discard_staged();
+    }
+
+    /// Discards staged next-state writes and op counters — everything a
+    /// faulted superstep attempt may have produced before the barrier.
+    pub(crate) fn discard_staged(&mut self) {
+        self.pending.clear();
+        self.direct.clear();
+        self.op_puts = 0;
+        self.op_writes = 0;
+    }
 }
 
 #[cfg(test)]

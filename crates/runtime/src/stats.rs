@@ -119,10 +119,69 @@ impl StepStats {
     }
 }
 
+/// Fault-tolerance counters of a run: checkpoint, fault-injection and
+/// rollback/replay activity (all zero on fault-free runs). See
+/// [`crate::fault`] and [`crate::checkpoint`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken at superstep boundaries.
+    pub checkpoints: u64,
+    /// Serialized bytes of all checkpoints (masters only).
+    pub checkpoint_bytes: u64,
+    /// Simulated time spent persisting checkpoints.
+    pub checkpoint_time: Duration,
+    /// Crash/corrupted-sync faults injected (each detected at a barrier).
+    pub faults_injected: u64,
+    /// Straggler delays injected.
+    pub stragglers: u64,
+    /// Total compute delay charged to stragglers.
+    pub straggler_delay: Duration,
+    /// Rollbacks performed (one per recovery retry).
+    pub rollbacks: u64,
+    /// Supersteps replayed from the redo log across all rollbacks.
+    pub replayed_supersteps: u64,
+    /// Accumulated capped exponential retry backoff (simulated, not slept).
+    pub retry_backoff: Duration,
+    /// Simulated network time of checkpoint restores and delta replays.
+    pub replay_net: Duration,
+}
+
+impl RecoveryStats {
+    /// Total simulated recovery overhead added to the parallel runtime:
+    /// checkpoint persistence + retry backoff + rollback/replay traffic.
+    /// Straggler delay is *not* included — it is already charged into the
+    /// affected superstep's `compute_max`.
+    pub fn overhead(&self) -> Duration {
+        self.checkpoint_time + self.retry_backoff + self.replay_net
+    }
+
+    /// Machine-readable rendering (durations in µs).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("checkpoints", self.checkpoints)
+            .set("checkpoint_bytes", self.checkpoint_bytes)
+            .set("checkpoint_us", self.checkpoint_time.as_micros() as u64)
+            .set("faults_injected", self.faults_injected)
+            .set("stragglers", self.stragglers)
+            .set(
+                "straggler_delay_us",
+                self.straggler_delay.as_micros() as u64,
+            )
+            .set("rollbacks", self.rollbacks)
+            .set("replayed_supersteps", self.replayed_supersteps)
+            .set("retry_backoff_us", self.retry_backoff.as_micros() as u64)
+            .set("replay_net_us", self.replay_net.as_micros() as u64)
+            .set("overhead_us", self.overhead().as_micros() as u64)
+    }
+}
+
 /// Accumulated statistics of a run (a sequence of supersteps).
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
     steps: Vec<StepStats>,
+    /// Fault-tolerance activity of the run (zeros when no fault plan or
+    /// checkpointing was configured).
+    pub recovery: RecoveryStats,
 }
 
 impl RunStats {
@@ -141,9 +200,10 @@ impl RunStats {
         self.steps.len()
     }
 
-    /// Clears all records.
+    /// Clears all records, including recovery counters.
     pub fn clear(&mut self) {
         self.steps.clear();
+        self.recovery = RecoveryStats::default();
     }
 
     /// Total cross-worker bytes over the run.
@@ -171,12 +231,14 @@ impl RunStats {
 
     /// The simulated end-to-end parallel runtime: per-superstep worker
     /// makespan + measured communication + serialization + the simulated
-    /// network charge.
+    /// network charge, plus the recovery overhead (checkpointing, retry
+    /// backoff and rollback/replay traffic).
     pub fn simulated_parallel_time(&self) -> Duration {
         self.steps
             .iter()
             .map(|s| s.compute_max + s.serialize + s.communicate + s.simulated_net)
-            .sum()
+            .sum::<Duration>()
+            + self.recovery.overhead()
     }
 
     /// Summed serialization time.
@@ -268,6 +330,7 @@ impl RunStats {
                     .set("sparse", sparse)
                     .set("global", global),
             )
+            .set("recovery", self.recovery.to_json())
     }
 
     /// Full machine-readable rendering: the summary plus every superstep.
@@ -371,6 +434,45 @@ mod tests {
         assert_eq!(back, j);
         // summary_json is to_json minus the steps array.
         assert_eq!(r.summary_json().get("steps"), None);
+    }
+
+    #[test]
+    fn recovery_overhead_feeds_simulated_time() {
+        let mut r = RunStats::default();
+        let mut s = StepStats::new(StepKind::VertexMap, 1);
+        s.compute_max = Duration::from_micros(100);
+        r.push(s);
+        let base = r.simulated_parallel_time();
+        r.recovery.retry_backoff = Duration::from_micros(40);
+        r.recovery.replay_net = Duration::from_micros(10);
+        r.recovery.checkpoint_time = Duration::from_micros(5);
+        assert_eq!(r.recovery.overhead(), Duration::from_micros(55));
+        assert_eq!(
+            r.simulated_parallel_time(),
+            base + Duration::from_micros(55)
+        );
+        r.clear();
+        assert_eq!(
+            r.recovery,
+            RecoveryStats::default(),
+            "clear resets recovery"
+        );
+    }
+
+    #[test]
+    fn recovery_json_reports_counters() {
+        let mut r = RunStats::default();
+        r.recovery.checkpoints = 2;
+        r.recovery.rollbacks = 3;
+        r.recovery.replayed_supersteps = 5;
+        let j = r.summary_json();
+        let rec = j.get("recovery").expect("summary carries recovery");
+        assert_eq!(rec.get("checkpoints").and_then(Json::as_u64), Some(2));
+        assert_eq!(rec.get("rollbacks").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            rec.get("replayed_supersteps").and_then(Json::as_u64),
+            Some(5)
+        );
     }
 
     #[test]

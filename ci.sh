@@ -20,4 +20,7 @@ cargo test -q --workspace
 echo "==> chaos smoke (fault injection + recovery must be exact)"
 cargo run --release -q -p flash-bench --bin fig_chaos -- --smoke
 
+echo "==> elastic smoke (permanent loss + repartitioning must be exact)"
+cargo run --release -q -p flash-bench --bin fig_elastic -- --smoke
+
 echo "==> OK"

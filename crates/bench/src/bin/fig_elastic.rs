@@ -1,0 +1,294 @@
+//! `fig_elastic` — the elastic-membership experiment.
+//!
+//! Runs every catalogue algorithm three times on the same generated graph:
+//! fault-free, with one worker dying permanently mid-run (`die@1:w1`), and
+//! with that worker dying and later rejoining (`die@1:w1,rejoin@4:w1`).
+//! The paper-level invariant under test is that elastic recovery is
+//! *exact*: every scenario must produce a bit-identical result summary and
+//! the same superstep count as the clean run, while reporting a nonzero
+//! membership epoch and migrated state. Two final probes check the edges
+//! of the protocol: a double death (two permanent losses, run finishes on
+//! half the hosts) and a death with checkpointing disabled, which must
+//! degrade to a clean `worker lost` error instead of a panic.
+//!
+//! ```text
+//! fig_elastic [--smoke] [--workers N] [--checkpoint-every N]
+//! ```
+//!
+//! `--smoke` runs one algorithm through one death and one rejoin — the CI
+//! entry point. Writes `results/elastic.json` (override dir with
+//! `FLASH_RESULTS_DIR`).
+
+use flash_bench::cli::{dispatch, CliOptions, ALGOS};
+use flash_bench::jsonio;
+use flash_bench::report::render_table;
+use flash_obs::Json;
+use flash_runtime::{FaultPlan, RunStats};
+use std::sync::Arc;
+
+/// The non-clean scenarios every algorithm runs through.
+const SCENARIOS: [(&str, &str); 2] = [
+    ("die", "die@1:w1,retries=1"),
+    ("die+rejoin", "die@1:w1,rejoin@4:w1,retries=1"),
+];
+
+fn main() {
+    let mut smoke = false;
+    let mut workers = 4usize;
+    let mut checkpoint_every = 2usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--checkpoint-every needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: fig_elastic [--smoke] [--workers N] [--checkpoint-every N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let algos: &[&str] = if smoke { &["bfs"] } else { &ALGOS };
+    println!(
+        "Elastic-membership experiment — {} algorithm(s), {} workers, \
+         checkpoint every {} supersteps\n",
+        algos.len(),
+        workers,
+        checkpoint_every
+    );
+
+    let g = Arc::new(flash_graph::generators::erdos_renyi(48, 160, 11));
+    let weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &g, 0.1, 2.0, 4,
+    ));
+
+    let base_opts = |algo: &str| {
+        let mut o = CliOptions {
+            algo: algo.to_string(),
+            workers,
+            iters: 3,
+            ..CliOptions::default()
+        };
+        // `dispatch` takes the graph explicitly; the dataset field is only
+        // used for loading, which this binary bypasses.
+        o.dataset = Some(flash_graph::Dataset::Orkut);
+        o
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut broken = Vec::new();
+    for &algo in algos {
+        let graph = if algo == "msf" || algo == "sssp" {
+            &weighted
+        } else {
+            &g
+        };
+        let clean_opts = base_opts(algo);
+        let (clean_summary, clean_stats) = match dispatch(&clean_opts, graph) {
+            Ok(r) => r,
+            Err(e) => {
+                broken.push(format!("{algo} (clean): {e}"));
+                continue;
+            }
+        };
+
+        for (label, plan_text) in SCENARIOS {
+            // MSF runs a single compute superstep (the per-worker Kruskal
+            // gather at step 0) followed by one global reduce, so its death
+            // and rejoin must be scripted earlier than everyone else's.
+            let plan_text = if algo == "msf" {
+                match label {
+                    "die" => "die@0:w1,retries=1",
+                    _ => "die@0:w1,rejoin@1:w1,retries=1",
+                }
+            } else {
+                plan_text
+            };
+            let mut opts = clean_opts.clone();
+            opts.faults = Some(FaultPlan::parse(plan_text).expect("scenario plan"));
+            opts.checkpoint_every = checkpoint_every;
+            let (summary, stats) = match dispatch(&opts, graph) {
+                Ok(r) => r,
+                Err(e) => {
+                    broken.push(format!("{algo} ({label}): {e}"));
+                    continue;
+                }
+            };
+            let identical =
+                summary == clean_summary && stats.num_supersteps() == clean_stats.num_supersteps();
+            if !identical {
+                broken.push(format!(
+                    "{algo} ({label}): diverged — clean {:?} ({} steps) vs elastic {:?} ({} steps)",
+                    clean_summary,
+                    clean_stats.num_supersteps(),
+                    summary,
+                    stats.num_supersteps()
+                ));
+            }
+            if let Some(problem) = membership_problem(label, &stats) {
+                broken.push(format!("{algo} ({label}): {problem}"));
+            }
+            let rec = &stats.recovery;
+            rows.push((
+                format!("{algo} [{label}]"),
+                vec![
+                    if identical { "ok" } else { "DIVERGED" }.to_string(),
+                    stats.num_supersteps().to_string(),
+                    rec.membership_epochs.to_string(),
+                    rec.workers_lost.to_string(),
+                    rec.workers_rejoined.to_string(),
+                    rec.vertices_migrated.to_string(),
+                    rec.migrated_bytes.to_string(),
+                ],
+            ));
+            json_rows.push(
+                Json::object()
+                    .set("algo", algo)
+                    .set("scenario", label)
+                    .set("identical", identical)
+                    .set("summary", summary.as_str())
+                    .set("supersteps", stats.num_supersteps())
+                    .set("recovery", rec.to_json()),
+            );
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["Run", "exact", "steps", "epochs", "lost", "rejoin", "verts", "bytes"],
+            &rows
+        )
+    );
+
+    // Double-death probe: two permanent losses leave 4 logical partitions
+    // on 2 hosts; the run must still finish bit-identically.
+    let mut double_probe = Json::object();
+    {
+        let clean_opts = base_opts("cc");
+        let mut opts = clean_opts.clone();
+        opts.faults = Some(FaultPlan::parse("die@1:w1,die@3:w3,retries=1").expect("probe plan"));
+        opts.checkpoint_every = checkpoint_every;
+        match (dispatch(&clean_opts, &g), dispatch(&opts, &g)) {
+            (Ok((cs, _)), Ok((s, stats))) => {
+                let rec = &stats.recovery;
+                let ok = cs == s && rec.workers_lost == 2 && rec.membership_epochs == 2;
+                if ok {
+                    println!("double-death probe: ok — 2 epochs, result intact");
+                } else {
+                    broken.push(format!(
+                        "double-death probe: summary match {}, lost {}, epochs {}",
+                        cs == s,
+                        rec.workers_lost,
+                        rec.membership_epochs
+                    ));
+                }
+                double_probe = double_probe
+                    .set("ok", ok)
+                    .set("workers_lost", rec.workers_lost)
+                    .set("membership_epochs", rec.membership_epochs);
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                broken.push(format!("double-death probe: {e}"));
+                double_probe = double_probe.set("ok", false).set("error", e.as_str());
+            }
+        }
+    }
+
+    // Degrade probe: a permanent loss with checkpointing disabled has no
+    // state to recover from and must surface as a clean error, not a panic.
+    let mut degrade = base_opts("bfs");
+    degrade.faults = Some(FaultPlan::parse("die@1:w1,retries=1").expect("degrade plan"));
+    degrade.checkpoint_off = true;
+    let degrade_probe = match dispatch(&degrade, &g) {
+        Err(e) if e.contains("permanently lost") => {
+            println!("degrade probe: clean error as expected — {e}");
+            Json::object()
+                .set("clean_error", true)
+                .set("error", e.as_str())
+        }
+        Err(e) => {
+            broken.push(format!("degrade probe: unexpected error {e:?}"));
+            Json::object()
+                .set("clean_error", false)
+                .set("error", e.as_str())
+        }
+        Ok(_) => {
+            broken.push(
+                "degrade probe: run succeeded without a checkpoint to recover from".to_string(),
+            );
+            Json::object().set("clean_error", false)
+        }
+    };
+
+    let doc = Json::object()
+        .set("figure", "elastic")
+        .set("workers", workers as u64)
+        .set("checkpoint_every", checkpoint_every as u64)
+        .set("smoke", smoke)
+        .set(
+            "scenarios",
+            Json::Arr(
+                SCENARIOS
+                    .iter()
+                    .map(|(label, plan)| Json::object().set("label", *label).set("plan", *plan))
+                    .collect(),
+            ),
+        )
+        .set("rows", Json::Arr(json_rows))
+        .set("double_death_probe", double_probe)
+        .set("degrade_probe", degrade_probe)
+        .set(
+            "failures",
+            Json::Arr(broken.iter().map(|s| Json::from(s.as_str())).collect()),
+        );
+    match jsonio::write_results("elastic", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
+
+    if !broken.is_empty() {
+        eprintln!("\nFAIL — {} problem(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall runs survived permanent loss bit-identically");
+}
+
+/// Checks a scenario's recovery counters describe a real membership change:
+/// a death always migrates state, and a rejoin adds a second epoch.
+fn membership_problem(label: &str, stats: &RunStats) -> Option<String> {
+    let rec = &stats.recovery;
+    if rec.workers_lost != 1 {
+        return Some(format!("expected 1 worker lost, saw {}", rec.workers_lost));
+    }
+    if rec.vertices_migrated == 0 || rec.migrated_bytes == 0 {
+        return Some("no state migrated despite a permanent loss".to_string());
+    }
+    let want_epochs = if label == "die+rejoin" { 2 } else { 1 };
+    if rec.membership_epochs != want_epochs {
+        return Some(format!(
+            "expected {want_epochs} membership epoch(s), saw {}",
+            rec.membership_epochs
+        ));
+    }
+    if label == "die+rejoin" && rec.workers_rejoined != 1 {
+        return Some(format!("expected 1 rejoin, saw {}", rec.workers_rejoined));
+    }
+    None
+}

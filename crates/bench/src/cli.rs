@@ -50,6 +50,9 @@ pub struct CliOptions {
     pub faults: Option<FaultPlan>,
     /// Checkpoint interval in supersteps (`0` = default when faults are on).
     pub checkpoint_every: usize,
+    /// Explicitly disable checkpointing (`--checkpoint-every off`), even
+    /// when a fault plan would normally force it on.
+    pub checkpoint_off: bool,
 }
 
 impl Default for CliOptions {
@@ -70,6 +73,7 @@ impl Default for CliOptions {
             trace: None,
             faults: None,
             checkpoint_every: 0,
+            checkpoint_off: false,
         }
     }
 }
@@ -155,9 +159,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 opts.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("--faults: {e}"))?);
             }
             "--checkpoint-every" => {
-                opts.checkpoint_every = value_of(&arg, &mut it)?
-                    .parse()
-                    .map_err(|_| "--checkpoint-every needs an integer".to_string())?;
+                let v = value_of(&arg, &mut it)?;
+                if v == "off" {
+                    opts.checkpoint_off = true;
+                    opts.checkpoint_every = 0;
+                } else {
+                    let n: usize = v.parse().map_err(|_| {
+                        "--checkpoint-every needs an interval in supersteps, or `off`".to_string()
+                    })?;
+                    if n == 0 {
+                        return Err("--checkpoint-every 0 is ambiguous (fault plans force \
+                             checkpointing back on); say `--checkpoint-every off` to \
+                             disable checkpointing explicitly"
+                            .to_string());
+                    }
+                    opts.checkpoint_every = n;
+                    opts.checkpoint_off = false;
+                }
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
@@ -189,10 +207,11 @@ pub fn usage() -> String {
          \x20      [--workers N] [--threads N] [--mode auto|push|pull] [--root V]\n\
          \x20      [--iters N] [--k N] [--symmetric] [--simulate-network]\n\
          \x20      [--json] [--trace <file|-|text>]\n\
-         \x20      [--faults <plan>] [--checkpoint-every N]\n\
+         \x20      [--faults <plan>] [--checkpoint-every N|off]\n\
          fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
-         \x20            straggle@STEP:wW:DELAY plus retries=N, backoff=D, cap=D,\n\
-         \x20            seed=N options (e.g. --faults crash@3:w1,retries=5)\n\
+         \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW\n\
+         \x20            plus retries=N, backoff=D, cap=D, detector=D, seed=N\n\
+         \x20            options (e.g. --faults die@3:w1,rejoin@6:w1,retries=2)\n\
          algorithms: {}",
         ALGOS.join(", ")
     )
@@ -226,11 +245,14 @@ pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
     if opts.simulate_network {
         cfg = cfg.network(NetworkModel::ten_gbe());
     }
+    if opts.checkpoint_every > 0 {
+        cfg = cfg.checkpoint_every(opts.checkpoint_every);
+    }
     if let Some(plan) = &opts.faults {
         cfg = cfg.faults(plan.clone());
     }
-    if opts.checkpoint_every > 0 {
-        cfg = cfg.checkpoint_every(opts.checkpoint_every);
+    if opts.checkpoint_off {
+        cfg = cfg.checkpoint_off();
     }
     match trace_sink(opts) {
         Ok(Some(sink)) => cfg = cfg.sink(sink),
@@ -521,6 +543,33 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_off_is_spelled_out_and_zero_is_rejected() {
+        let e = parse_args(args("--algo bfs --dataset or --checkpoint-every 0"))
+            .expect_err("bare 0 is ambiguous");
+        assert!(e.contains("off"), "error must suggest the spelling: {e}");
+
+        let o = parse_args(args(
+            "--algo bfs --dataset or --faults die@1:w1 --checkpoint-every off",
+        ))
+        .unwrap();
+        assert!(o.checkpoint_off);
+        assert_eq!(o.checkpoint_every, 0);
+        let cfg = cluster_config(&o);
+        assert!(cfg.checkpoint_disabled, "off survives the faults force-on");
+    }
+
+    #[test]
+    fn parses_membership_fault_specs() {
+        let o = parse_args(args(
+            "--algo bfs --dataset or --faults die@1:w1,rejoin@4:w1,detector=50ms",
+        ))
+        .unwrap();
+        let plan = o.faults.expect("plan parsed");
+        assert_eq!(plan.specs.len(), 2);
+        assert_eq!(plan.detector_timeout, std::time::Duration::from_millis(50));
+    }
+
+    #[test]
     fn faulted_dispatch_matches_fault_free_summary() {
         let g = Arc::new(flash_graph::generators::erdos_renyi(40, 120, 3));
         let clean = parse_args(args("--algo cc --dataset OR --workers 2")).unwrap();
@@ -587,5 +636,9 @@ mod tests {
         assert!(u.contains("--workers"));
         assert!(u.contains("bfs"));
         assert!(u.contains("cl"));
+        assert!(u.contains("die@STEP:wW"));
+        assert!(u.contains("rejoin@STEP:wW"));
+        assert!(u.contains("detector=D"));
+        assert!(u.contains("N|off"));
     }
 }

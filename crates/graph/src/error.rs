@@ -34,6 +34,10 @@ pub enum GraphError {
     },
     /// Underlying I/O failure (message-only so the error stays `Clone`).
     Io(String),
+    /// A membership change (rebalance/rejoin) on a [`crate::PartitionMap`]
+    /// was rejected — e.g. an unknown host, a host already in the requested
+    /// state, or a change that would leave no live hosts.
+    Membership(String),
 }
 
 impl fmt::Display for GraphError {
@@ -52,6 +56,7 @@ impl fmt::Display for GraphError {
             GraphError::NoWorkers => write!(f, "a partition requires at least one worker"),
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::Membership(msg) => write!(f, "membership change rejected: {msg}"),
         }
     }
 }
@@ -75,6 +80,9 @@ mod tests {
         assert!(e.to_string().contains("5"));
         assert!(GraphError::NoWorkers.to_string().contains("worker"));
         assert!(GraphError::Unweighted.to_string().contains("weight"));
+        let m = GraphError::Membership("host 3 is already dead".into());
+        assert!(m.to_string().contains("membership"));
+        assert!(m.to_string().contains("host 3"));
     }
 
     #[test]

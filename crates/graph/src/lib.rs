@@ -55,7 +55,9 @@ pub use datasets::{Dataset, Domain};
 pub use dsu::DisjointSets;
 pub use error::GraphError;
 pub use graph::Graph;
-pub use partition::{ChunkPartitioner, HashPartitioner, PartitionMap, Partitioner};
+pub use partition::{
+    ChunkPartitioner, HashPartitioner, PartitionMap, PartitionMove, Partitioner, RebalanceReport,
+};
 pub use rng::Prng;
 
 /// The vertex identifier type used throughout FLASH.
@@ -78,6 +80,9 @@ pub mod prelude {
     pub use crate::datasets::{self, Dataset};
     pub use crate::generators;
     pub use crate::graph::Graph;
-    pub use crate::partition::{ChunkPartitioner, HashPartitioner, PartitionMap, Partitioner};
+    pub use crate::partition::{
+        ChunkPartitioner, HashPartitioner, PartitionMap, PartitionMove, Partitioner,
+        RebalanceReport,
+    };
     pub use crate::{VertexId, Weight, NIL};
 }

@@ -6,6 +6,20 @@
 //! through local edges hold *mirrors*. [`PartitionMap`] captures the
 //! ownership function plus the mirror placement needed for the
 //! "communicate with only necessary mirrors" optimization (§IV-C).
+//!
+//! # Elastic membership
+//!
+//! The paper's MPI deployment aborts when a worker is lost for good. The
+//! simulated cluster instead supports *elastic membership*: the `m` logical
+//! partitions built here are fixed for the life of a run, but each is
+//! **hosted** by a physical host (initially host `w` hosts partition `w`).
+//! When a host is declared dead, [`PartitionMap::rebalance`] re-homes its
+//! partitions onto the least-loaded survivors and bumps a monotonically
+//! increasing membership *epoch*; [`PartitionMap::rejoin`] lets a host come
+//! back and reclaim its home partition. Keeping the logical partitions (and
+//! therefore ownership, combiner groupings and reduce orderings) fixed is
+//! what makes post-failure results bit-identical to a clean run — only the
+//! host routing, and with it the charged network traffic, changes.
 
 use crate::error::GraphError;
 use crate::graph::Graph;
@@ -77,6 +91,34 @@ pub struct PartitionMap {
     /// hold a necessary mirror of `v`.
     mirror_workers: Vec<Vec<u16>>,
     scheme: &'static str,
+    /// Membership epoch: bumped by every [`rebalance`](Self::rebalance) or
+    /// [`rejoin`](Self::rejoin). Epoch 0 is the initial identity hosting.
+    epoch: u64,
+    /// `host[w]` = physical host currently hosting logical partition `w`.
+    host: Vec<u16>,
+    /// `dead[h]` = physical host `h` has been declared permanently lost.
+    dead: Vec<bool>,
+}
+
+/// One logical partition re-homed by a membership change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionMove {
+    /// The logical partition (worker id) that moved.
+    pub worker: usize,
+    /// The host it was evacuated from.
+    pub from: usize,
+    /// The host it now lives on.
+    pub to: usize,
+}
+
+/// The outcome of one membership epoch change ([`PartitionMap::rebalance`]
+/// or [`PartitionMap::rejoin`]): the new epoch and the partitions moved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// The epoch the map is now at.
+    pub epoch: u64,
+    /// Every partition re-homed by this change, ascending by worker id.
+    pub moved: Vec<PartitionMove>,
 }
 
 impl PartitionMap {
@@ -160,6 +202,9 @@ impl PartitionMap {
             masters,
             mirror_workers,
             scheme: scheme.name(),
+            epoch: 0,
+            host: (0..m as u16).collect(),
+            dead: vec![false; m],
         })
     }
 
@@ -217,6 +262,152 @@ impl PartitionMap {
     /// The partitioning scheme name.
     pub fn scheme(&self) -> &'static str {
         self.scheme
+    }
+
+    // ---- elastic membership ------------------------------------------------
+
+    /// Current membership epoch (0 until the first rebalance/rejoin).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The physical host currently hosting logical partition `w`.
+    #[inline]
+    pub fn host_of_worker(&self, w: usize) -> usize {
+        self.host[w] as usize
+    }
+
+    /// The physical host currently hosting the master of vertex `v`.
+    #[inline]
+    pub fn host_of(&self, v: VertexId) -> usize {
+        self.host[self.owner[v as usize] as usize] as usize
+    }
+
+    /// `true` unless host `h` has been declared permanently lost.
+    #[inline]
+    pub fn is_host_live(&self, h: usize) -> bool {
+        !self.dead[h]
+    }
+
+    /// Number of hosts not declared dead.
+    pub fn num_live_hosts(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Host ids not declared dead, ascending.
+    pub fn live_hosts(&self) -> Vec<usize> {
+        (0..self.m).filter(|&h| !self.dead[h]).collect()
+    }
+
+    /// Distinct physical hosts (excluding the owner's host) that must
+    /// receive a sync of `v` under the "necessary mirrors" policy, collected
+    /// into `buf`. Returns the count. With the identity hosting of epoch 0
+    /// this equals `necessary_mirrors(v).len()`; after a rebalance,
+    /// co-hosted mirrors collapse into one message.
+    pub fn necessary_mirror_hosts(&self, v: VertexId, buf: &mut Vec<u16>) -> usize {
+        buf.clear();
+        let owner_host = self.host[self.owner[v as usize] as usize];
+        for &w in &self.mirror_workers[v as usize] {
+            let h = self.host[w as usize];
+            if h != owner_host && !buf.contains(&h) {
+                buf.push(h);
+            }
+        }
+        buf.len()
+    }
+
+    /// Declares the hosts in `dead` permanently lost and re-homes every
+    /// logical partition they hosted onto the live host with the fewest
+    /// owned vertices (ties broken by the lower host id) — a deterministic
+    /// greedy balance. Bumps the membership epoch and reports the moves.
+    ///
+    /// Fails without modifying the map if a host id is out of range, a host
+    /// is already dead, the dead-set has duplicates, or the change would
+    /// leave no live hosts.
+    pub fn rebalance(&mut self, dead: &[usize]) -> Result<RebalanceReport, GraphError> {
+        for (i, &h) in dead.iter().enumerate() {
+            if h >= self.m {
+                return Err(GraphError::Membership(format!(
+                    "host {h} is out of range for {} hosts",
+                    self.m
+                )));
+            }
+            if self.dead[h] {
+                return Err(GraphError::Membership(format!("host {h} is already dead")));
+            }
+            if dead[..i].contains(&h) {
+                return Err(GraphError::Membership(format!(
+                    "host {h} appears twice in the dead-set"
+                )));
+            }
+        }
+        if self.num_live_hosts() <= dead.len() {
+            return Err(GraphError::Membership(
+                "a membership change must leave at least one live host".into(),
+            ));
+        }
+        for &h in dead {
+            self.dead[h] = true;
+        }
+        // Load = owned vertices per live host under the current hosting.
+        let mut load = vec![0usize; self.m];
+        for w in 0..self.m {
+            load[self.host[w] as usize] += self.masters[w].len();
+        }
+        let mut moved = Vec::new();
+        for w in 0..self.m {
+            let from = self.host[w] as usize;
+            if !self.dead[from] {
+                continue;
+            }
+            let to = (0..self.m)
+                .filter(|&h| !self.dead[h])
+                .min_by_key(|&h| (load[h], h))
+                .expect("at least one live host");
+            self.host[w] = to as u16;
+            load[to] += self.masters[w].len();
+            moved.push(PartitionMove {
+                worker: w,
+                from,
+                to,
+            });
+        }
+        self.epoch += 1;
+        Ok(RebalanceReport {
+            epoch: self.epoch,
+            moved,
+        })
+    }
+
+    /// Brings a previously dead host back and re-homes its *home* partition
+    /// (logical partition `host`) onto it. Partitions the host had adopted
+    /// from earlier deaths stay where the intervening rebalances put them.
+    /// Bumps the membership epoch and reports the move.
+    pub fn rejoin(&mut self, host: usize) -> Result<RebalanceReport, GraphError> {
+        if host >= self.m {
+            return Err(GraphError::Membership(format!(
+                "host {host} is out of range for {} hosts",
+                self.m
+            )));
+        }
+        if !self.dead[host] {
+            return Err(GraphError::Membership(format!(
+                "host {host} is live and cannot rejoin"
+            )));
+        }
+        self.dead[host] = false;
+        let from = self.host[host] as usize;
+        self.host[host] = host as u16;
+        self.epoch += 1;
+        Ok(RebalanceReport {
+            epoch: self.epoch,
+            moved: vec![PartitionMove {
+                worker: host,
+                from,
+                to: host,
+            }],
+        })
     }
 }
 
@@ -305,6 +496,117 @@ mod tests {
         let p2 = PartitionMap::build(&g, 2, &HashPartitioner).unwrap();
         let p8 = PartitionMap::build(&g, 8, &HashPartitioner).unwrap();
         assert!(p8.replication_factor() >= p2.replication_factor());
+    }
+
+    #[test]
+    fn rebalance_rehomes_dead_hosts_partitions_deterministically() {
+        let g = path(100);
+        let mut p = PartitionMap::build(&g, 4, &HashPartitioner).unwrap();
+        assert_eq!(p.epoch(), 0);
+        for w in 0..4 {
+            assert_eq!(p.host_of_worker(w), w);
+        }
+        let report = p.rebalance(&[1]).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(p.epoch(), 1);
+        assert_eq!(report.moved.len(), 1);
+        assert_eq!(report.moved[0].worker, 1);
+        assert_eq!(report.moved[0].from, 1);
+        let adopter = report.moved[0].to;
+        assert!(adopter != 1 && adopter < 4);
+        assert_eq!(p.host_of_worker(1), adopter);
+        assert!(!p.is_host_live(1));
+        assert_eq!(p.num_live_hosts(), 3);
+        assert_eq!(p.live_hosts(), vec![0, 2, 3]);
+        // Ownership is untouched — only the hosting changed.
+        for v in 0..100u32 {
+            assert!(p.owner(v) < 4);
+            assert!(p.is_host_live(p.host_of(v)));
+        }
+        // Deterministic: an identical map rebalanced the same way agrees.
+        let mut q = PartitionMap::build(&g, 4, &HashPartitioner).unwrap();
+        let r2 = q.rebalance(&[1]).unwrap();
+        assert_eq!(report, r2);
+    }
+
+    #[test]
+    fn rejoin_restores_the_home_partition() {
+        let g = path(100);
+        let mut p = PartitionMap::build(&g, 4, &HashPartitioner).unwrap();
+        let dead = p.rebalance(&[2]).unwrap();
+        let back = p.rejoin(2).unwrap();
+        assert_eq!(back.epoch, 2);
+        assert_eq!(
+            back.moved,
+            vec![PartitionMove {
+                worker: 2,
+                from: dead.moved[0].to,
+                to: 2
+            }]
+        );
+        assert!(p.is_host_live(2));
+        assert_eq!(p.num_live_hosts(), 4);
+        assert_eq!(p.host_of_worker(2), 2);
+    }
+
+    #[test]
+    fn membership_changes_validate_their_inputs() {
+        let g = path(20);
+        let mut p = PartitionMap::build(&g, 3, &HashPartitioner).unwrap();
+        assert!(matches!(p.rebalance(&[7]), Err(GraphError::Membership(_))));
+        assert!(matches!(
+            p.rebalance(&[1, 1]),
+            Err(GraphError::Membership(_))
+        ));
+        assert!(matches!(
+            p.rebalance(&[0, 1, 2]),
+            Err(GraphError::Membership(_))
+        ));
+        assert!(matches!(p.rejoin(0), Err(GraphError::Membership(_))));
+        assert!(matches!(p.rejoin(9), Err(GraphError::Membership(_))));
+        // Failed changes leave the map untouched.
+        assert_eq!(p.epoch(), 0);
+        p.rebalance(&[1]).unwrap();
+        assert!(matches!(p.rebalance(&[1]), Err(GraphError::Membership(_))));
+        assert_eq!(p.epoch(), 1);
+    }
+
+    #[test]
+    fn mirror_hosts_collapse_after_a_rebalance() {
+        let g = path(64);
+        let mut p = PartitionMap::build(&g, 4, &HashPartitioner).unwrap();
+        let mut buf = Vec::new();
+        // Identity hosting: host count equals worker count for every vertex.
+        for v in 0..64u32 {
+            let n = p.necessary_mirror_hosts(v, &mut buf);
+            assert_eq!(n, p.necessary_mirrors(v).len());
+        }
+        p.rebalance(&[1]).unwrap();
+        for v in 0..64u32 {
+            let n = p.necessary_mirror_hosts(v, &mut buf);
+            // Never more hosts than mirror workers, all live, owner excluded,
+            // no duplicates.
+            assert!(n <= p.necessary_mirrors(v).len());
+            let owner_host = p.host_of(v) as u16;
+            for (i, &h) in buf.iter().enumerate() {
+                assert!(p.is_host_live(h as usize));
+                assert_ne!(h, owner_host);
+                assert!(!buf[..i].contains(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn successive_epochs_keep_loads_on_live_hosts() {
+        let g = path(200);
+        let mut p = PartitionMap::build(&g, 6, &HashPartitioner).unwrap();
+        p.rebalance(&[0, 3]).unwrap();
+        p.rebalance(&[5]).unwrap();
+        assert_eq!(p.epoch(), 2);
+        assert_eq!(p.num_live_hosts(), 3);
+        for w in 0..6 {
+            assert!(p.is_host_live(p.host_of_worker(w)));
+        }
     }
 
     #[test]

@@ -150,6 +150,50 @@ pub enum EventKind {
         /// Simulated capped-exponential backoff charged, in microseconds.
         backoff_us: u64,
     },
+    /// The failure detector declared a worker permanently dead (its `die`
+    /// fault exhausted the retry budget, or its barrier delay reached the
+    /// detector deadline).
+    WorkerDeclaredDead {
+        /// The superstep at which the worker was declared dead.
+        step: u64,
+        /// The dead worker (physical host id).
+        worker: usize,
+        /// Why: `"die"` (exhausted die fault) or `"deadline"` (failure
+        /// detector timeout).
+        reason: String,
+        /// The membership epoch the cluster moves to.
+        epoch: u64,
+    },
+    /// The cluster entered a new membership epoch (after a death or a
+    /// rejoin) and rebuilt its partition-to-host routing.
+    MembershipEpoch {
+        /// The new epoch number (the initial membership is epoch 0).
+        epoch: u64,
+        /// The superstep at which the epoch began.
+        step: u64,
+        /// Hosts still live in this epoch.
+        live_hosts: usize,
+        /// Logical partitions re-homed by this epoch change.
+        moved_partitions: usize,
+        /// What triggered the change: `"die"`, `"deadline"` or `"rejoin"`.
+        cause: String,
+    },
+    /// One logical partition's master state was migrated to a new host as
+    /// part of a membership epoch change.
+    StateMigrated {
+        /// The membership epoch this migration belongs to.
+        epoch: u64,
+        /// The logical partition (worker id) that moved.
+        partition: usize,
+        /// The host it was evacuated from.
+        from: usize,
+        /// The host now serving it.
+        to: usize,
+        /// Master vertices transferred.
+        vertices: u64,
+        /// Serialized bytes transferred.
+        bytes: u64,
+    },
     /// A run finished (emitted by `Cluster::take_stats`).
     RunEnd {
         /// Supersteps executed.
@@ -176,6 +220,9 @@ impl EventKind {
             EventKind::CheckpointTaken { .. } => "checkpoint_taken",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::RecoveryReplay { .. } => "recovery_replay",
+            EventKind::WorkerDeclaredDead { .. } => "worker_declared_dead",
+            EventKind::MembershipEpoch { .. } => "membership_epoch",
+            EventKind::StateMigrated { .. } => "state_migrated",
             EventKind::RunEnd { .. } => "run_end",
         }
     }
@@ -304,6 +351,42 @@ impl Event {
                 .set("replayed", *replayed)
                 .set("attempt", *attempt)
                 .set("backoff_us", *backoff_us),
+            EventKind::WorkerDeclaredDead {
+                step,
+                worker,
+                reason,
+                epoch,
+            } => base
+                .set("step", *step)
+                .set("worker", *worker)
+                .set("reason", reason.as_str())
+                .set("epoch", *epoch),
+            EventKind::MembershipEpoch {
+                epoch,
+                step,
+                live_hosts,
+                moved_partitions,
+                cause,
+            } => base
+                .set("epoch", *epoch)
+                .set("step", *step)
+                .set("live_hosts", *live_hosts)
+                .set("moved_partitions", *moved_partitions)
+                .set("cause", cause.as_str()),
+            EventKind::StateMigrated {
+                epoch,
+                partition,
+                from,
+                to,
+                vertices,
+                bytes,
+            } => base
+                .set("epoch", *epoch)
+                .set("partition", *partition)
+                .set("from", *from)
+                .set("to", *to)
+                .set("vertices", *vertices)
+                .set("bytes", *bytes),
             EventKind::RunEnd {
                 supersteps,
                 total_bytes,
@@ -401,6 +484,36 @@ impl Event {
                 backoff_us,
             } => format!(
                 "[{:>4}] step {step} recovery: rollback to {from_step}, replay {replayed} steps, retry {attempt} after {backoff_us}us",
+                self.seq
+            ),
+            EventKind::WorkerDeclaredDead {
+                step,
+                worker,
+                reason,
+                epoch,
+            } => format!(
+                "[{:>4}] step {step} worker {worker} declared dead ({reason}), entering epoch {epoch}",
+                self.seq
+            ),
+            EventKind::MembershipEpoch {
+                epoch,
+                step,
+                live_hosts,
+                moved_partitions,
+                cause,
+            } => format!(
+                "[{:>4}] step {step} membership epoch {epoch} ({cause}): {live_hosts} live hosts, {moved_partitions} partitions moved",
+                self.seq
+            ),
+            EventKind::StateMigrated {
+                epoch,
+                partition,
+                from,
+                to,
+                vertices,
+                bytes,
+            } => format!(
+                "[{:>4}] epoch {epoch} migrated partition {partition}: host {from} -> {to}, {vertices} vertices, {bytes}B",
                 self.seq
             ),
             EventKind::RunEnd {
@@ -524,6 +637,30 @@ mod tests {
                 backoff_us: 0,
             }
             .tag(),
+            EventKind::WorkerDeclaredDead {
+                step: 0,
+                worker: 0,
+                reason: String::new(),
+                epoch: 0,
+            }
+            .tag(),
+            EventKind::MembershipEpoch {
+                epoch: 0,
+                step: 0,
+                live_hosts: 0,
+                moved_partitions: 0,
+                cause: String::new(),
+            }
+            .tag(),
+            EventKind::StateMigrated {
+                epoch: 0,
+                partition: 0,
+                from: 0,
+                to: 0,
+                vertices: 0,
+                bytes: 0,
+            }
+            .tag(),
             EventKind::RunEnd {
                 supersteps: 0,
                 total_bytes: 0,
@@ -591,5 +728,63 @@ mod tests {
             assert!(!e.to_text().is_empty());
         }
         assert!(events[2].to_text().contains("rollback to 4"));
+    }
+
+    #[test]
+    fn membership_events_render_and_round_trip() {
+        let events = [
+            Event {
+                seq: 0,
+                kind: EventKind::WorkerDeclaredDead {
+                    step: 5,
+                    worker: 1,
+                    reason: "die".to_string(),
+                    epoch: 1,
+                },
+            },
+            Event {
+                seq: 1,
+                kind: EventKind::MembershipEpoch {
+                    epoch: 1,
+                    step: 5,
+                    live_hosts: 3,
+                    moved_partitions: 1,
+                    cause: "die".to_string(),
+                },
+            },
+            Event {
+                seq: 2,
+                kind: EventKind::StateMigrated {
+                    epoch: 1,
+                    partition: 1,
+                    from: 1,
+                    to: 2,
+                    vertices: 30,
+                    bytes: 240,
+                },
+            },
+        ];
+        let j0 = events[0].to_json();
+        assert_eq!(
+            j0.get("event").and_then(Json::as_str),
+            Some("worker_declared_dead")
+        );
+        assert_eq!(j0.get("reason").and_then(Json::as_str), Some("die"));
+        assert_eq!(j0.get("epoch").and_then(Json::as_u64), Some(1));
+        let j1 = events[1].to_json();
+        assert_eq!(j1.get("live_hosts").and_then(Json::as_u64), Some(3));
+        assert_eq!(j1.get("cause").and_then(Json::as_str), Some("die"));
+        let j2 = events[2].to_json();
+        assert_eq!(j2.get("from").and_then(Json::as_u64), Some(1));
+        assert_eq!(j2.get("to").and_then(Json::as_u64), Some(2));
+        assert_eq!(j2.get("bytes").and_then(Json::as_u64), Some(240));
+        for e in &events {
+            let back = json::parse(&e.to_json().to_string()).unwrap();
+            assert_eq!(back, e.to_json());
+            assert!(!e.to_text().is_empty());
+        }
+        assert!(events[0].to_text().contains("declared dead"));
+        assert!(events[1].to_text().contains("epoch 1"));
+        assert!(events[2].to_text().contains("host 1 -> 2"));
     }
 }

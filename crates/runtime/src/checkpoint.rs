@@ -16,6 +16,16 @@
 //! closures are gone by the time a later superstep fails, but because the
 //! simulation is deterministic their *published effect* was recorded and
 //! is sufficient to reconstruct the exact pre-step state.
+//!
+//! The same machinery backs **elastic membership** (DESIGN.md §9): when a
+//! worker is declared *permanently* dead, the survivors cannot read its
+//! masters — their replicas of those slots are stale mirrors — but the
+//! checkpoint-plus-delta replay reconstructs every partition's
+//! authoritative state, after which the dead host's partitions are
+//! re-homed onto the survivors. Without a checkpoint
+//! ([`ClusterConfig::checkpoint_off`](crate::ClusterConfig::checkpoint_off))
+//! a permanent loss is unrecoverable and degrades to a clean
+//! [`RuntimeError::WorkerLost`](crate::RuntimeError).
 
 use crate::state::WorkerState;
 use crate::VertexData;

@@ -9,7 +9,7 @@ use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
 use crate::state::WorkerState;
 use crate::stats::{RunStats, StepKind, StepStats};
 use crate::VertexData;
-use flash_graph::{Graph, PartitionMap, VertexId};
+use flash_graph::{Graph, PartitionMap, RebalanceReport, VertexId};
 use flash_obs::{Event, EventKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,21 +88,25 @@ impl<V: VertexData> Cluster<V> {
             });
         }
         if let Some(plan) = &config.fault_plan {
-            if plan.max_worker().is_some_and(|w| w >= config.workers) {
-                return Err(RuntimeError::KernelMisuse(
-                    "fault plan targets a worker beyond the cluster size",
-                ));
-            }
+            plan.validate(config.workers)
+                .map_err(RuntimeError::InvalidFaultPlan)?;
         }
         let n = graph.num_vertices();
         let states = (0..config.workers)
             .map(|_| WorkerState::new(n, &init))
             .collect();
-        let injector = config.fault_plan.clone().map(FaultInjector::new);
+        let workers = config.workers;
+        let injector = config
+            .fault_plan
+            .clone()
+            .map(|p| FaultInjector::new(p, workers));
         // Rollback needs a checkpoint to roll back to, so a fault plan
         // forces periodic checkpointing on even if the config left the
-        // interval at 0 (the `faults` builder normally sets it already).
-        let checkpoint_every = if config.checkpoint_every == 0 && injector.is_some() {
+        // interval at 0 (the `faults` builder normally sets it already) —
+        // unless the config explicitly opted out via `checkpoint_off`.
+        let checkpoint_every = if config.checkpoint_disabled {
+            0
+        } else if config.checkpoint_every == 0 && injector.is_some() {
             DEFAULT_CHECKPOINT_INTERVAL as u64
         } else {
             config.checkpoint_every as u64
@@ -271,6 +275,10 @@ impl<V: VertexData> Cluster<V> {
     /// statistics: `messages`/`bytes` of cross-worker traffic taking
     /// `elapsed` of wall time.
     pub fn record_global(&mut self, messages: u64, bytes: u64, elapsed: Duration) {
+        // A global operation is a BSP barrier too: scripted rejoins land
+        // here as well, so a program whose tail is all driver-side
+        // reductions (TC, MSF, RC, CL) can still re-grow the cluster.
+        self.maybe_rejoin();
         self.emit(EventKind::StepStart {
             step: self.next_step,
             kind: StepKind::Global.label().to_string(),
@@ -294,6 +302,7 @@ impl<V: VertexData> Cluster<V> {
         scope: SyncScope,
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
+        self.maybe_rejoin();
         self.maybe_checkpoint();
         let step_id = self.next_step;
         self.emit(EventKind::StepStart {
@@ -307,8 +316,9 @@ impl<V: VertexData> Cluster<V> {
         let t0 = Instant::now();
         let (per_worker, durations) = self.compute_with_recovery(step_id, &f);
         stats.compute = t0.elapsed();
-        stats.compute_max = durations.iter().copied().max().unwrap_or_default();
-        stats.compute_min = durations.iter().copied().min().unwrap_or_default();
+        let (host_max, host_min) = self.host_makespan(&durations);
+        stats.compute_max = host_max;
+        stats.compute_min = host_min;
         self.emit_worker_phases(step_id, &durations);
 
         debug_assert!(
@@ -353,6 +363,7 @@ impl<V: VertexData> Cluster<V> {
         reduce: impl Fn(&V, &mut V) + Sync,
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
+        self.maybe_rejoin();
         self.maybe_checkpoint();
         let step_id = self.next_step;
         self.emit(EventKind::StepStart {
@@ -366,8 +377,9 @@ impl<V: VertexData> Cluster<V> {
         let t0 = Instant::now();
         let (per_worker, durations) = self.compute_with_recovery(step_id, &f);
         stats.compute = t0.elapsed();
-        stats.compute_max = durations.iter().copied().max().unwrap_or_default();
-        stats.compute_min = durations.iter().copied().min().unwrap_or_default();
+        let (host_max, host_min) = self.host_makespan(&durations);
+        stats.compute_max = host_max;
+        stats.compute_min = host_min;
         self.emit_worker_phases(step_id, &durations);
 
         debug_assert!(
@@ -383,7 +395,10 @@ impl<V: VertexData> Cluster<V> {
         for (w, st) in self.states.iter_mut().enumerate() {
             for (v, temp) in st.pending.drain() {
                 let owner = self.partition.owner(v);
-                if owner != w {
+                // Traffic crosses the wire only between distinct physical
+                // hosts: after an elastic rebalance several logical workers
+                // may share a host, and their exchanges become local moves.
+                if self.partition.host_of_worker(owner) != self.partition.host_of_worker(w) {
                     stats.upd_messages += 1;
                     stats.upd_bytes += (4 + temp.bytes()) as u64;
                 }
@@ -497,6 +512,38 @@ impl<V: VertexData> Cluster<V> {
                 });
             }
 
+            // Failure detector, deadline half: a straggler whose simulated
+            // delay reaches the detector timeout missed the barrier for good
+            // and is declared permanently dead right away.
+            let detector = self
+                .injector
+                .as_ref()
+                .map_or(Duration::MAX, |i| i.plan().detector_timeout);
+            let mut deadline_dead: Vec<usize> = stragglers
+                .iter()
+                .filter(|s| s.delay >= detector)
+                .map(|s| s.worker)
+                .collect();
+            deadline_dead.sort_unstable();
+            deadline_dead.dedup();
+            if !deadline_dead.is_empty() {
+                match self.declare_dead(step_id, &deadline_dead, "deadline", attempt) {
+                    Ok(()) => {
+                        attempt = 0;
+                        continue;
+                    }
+                    Err(e) => {
+                        if self.failed.is_none() {
+                            self.failed = Some(e);
+                        }
+                        if let Some(inj) = &mut self.injector {
+                            inj.active = false;
+                        }
+                        return (outs, durations);
+                    }
+                }
+            }
+
             let detected = self.detect_failures(step_id);
             if detected.is_empty() {
                 return (outs, durations);
@@ -516,6 +563,35 @@ impl<V: VertexData> Cluster<V> {
                 .as_ref()
                 .map_or(0, |i| u64::from(i.plan().max_retries));
             if attempt >= budget {
+                // Failure detector, retry half: a `die` fault re-fires on
+                // every attempt, so an exhausted budget on one distinguishes
+                // a permanent loss from a transient fault that merely kept
+                // recurring. The dead worker's partition re-homes onto the
+                // survivors and the superstep retries with a fresh budget.
+                let mut dead: Vec<usize> = detected
+                    .iter()
+                    .filter(|s| s.kind == FaultKind::Die)
+                    .map(|s| s.worker)
+                    .collect();
+                dead.sort_unstable();
+                dead.dedup();
+                if !dead.is_empty() {
+                    match self.declare_dead(step_id, &dead, "die", attempt) {
+                        Ok(()) => {
+                            attempt = 0;
+                            continue;
+                        }
+                        Err(e) => {
+                            if self.failed.is_none() {
+                                self.failed = Some(e);
+                            }
+                            if let Some(inj) = &mut self.injector {
+                                inj.active = false;
+                            }
+                            return (outs, durations);
+                        }
+                    }
+                }
                 if self.failed.is_none() {
                     self.failed = Some(RuntimeError::RecoveryExhausted {
                         step: step_id,
@@ -546,7 +622,7 @@ impl<V: VertexData> Cluster<V> {
         let mut detected = Vec::new();
         for spec in failures {
             match spec.kind {
-                FaultKind::Crash => detected.push(spec),
+                FaultKind::Crash | FaultKind::Die => detected.push(spec),
                 FaultKind::CorruptSync => {
                     let st = &self.states[spec.worker];
                     let computed = payload_checksum(
@@ -564,10 +640,158 @@ impl<V: VertexData> Cluster<V> {
                         detected.push(spec);
                     }
                 }
-                FaultKind::Straggler => {}
+                FaultKind::Straggler | FaultKind::Rejoin => {}
             }
         }
         detected
+    }
+
+    /// Replays any scripted `rejoin@` events due at the next superstep: the
+    /// returning host reclaims its home partition (whose master state flows
+    /// back over the simulated network) and its remaining fault specs
+    /// re-arm. Adopted partitions stay where the rebalance put them.
+    fn maybe_rejoin(&mut self) {
+        let step_id = self.next_step;
+        let rejoins = match &mut self.injector {
+            Some(inj) => inj.rejoins(step_id),
+            None => Vec::new(),
+        };
+        for spec in rejoins {
+            let report = match Arc::make_mut(&mut self.partition).rejoin(spec.worker) {
+                Ok(r) => r,
+                // The worker was never actually declared dead (its `die`
+                // never got to fire, or recovery already failed); the
+                // rejoin has nothing to restore.
+                Err(_) => continue,
+            };
+            if let Some(inj) = &mut self.injector {
+                inj.mark_alive(spec.worker);
+            }
+            self.stats.recovery.workers_rejoined += 1;
+            self.apply_migration(step_id, &report, "rejoin");
+        }
+    }
+
+    /// Declares `dead` workers permanently lost at `step_id`: rolls every
+    /// replica back to the last checkpoint (replaying the redo log to the
+    /// current step), re-homes the dead hosts' partitions onto the
+    /// survivors, and charges the migration traffic. Errors with
+    /// [`RuntimeError::WorkerLost`] when no checkpoint exists to recover the
+    /// lost masters from — survivors only hold stale mirrors, so without a
+    /// checkpoint the authoritative state is simply gone.
+    fn declare_dead(
+        &mut self,
+        step_id: u64,
+        dead: &[usize],
+        reason: &str,
+        attempt: u64,
+    ) -> Result<(), RuntimeError> {
+        if self.recovery.checkpoint_step().is_none() {
+            return Err(RuntimeError::WorkerLost {
+                worker: dead[0],
+                step: step_id,
+            });
+        }
+        for st in &mut self.states {
+            st.discard_staged();
+        }
+        let (from_step, replayed, bytes) = self
+            .recovery
+            .rollback(&mut self.states)
+            .expect("a checkpoint is installed");
+        self.stats.recovery.rollbacks += 1;
+        self.stats.recovery.replayed_supersteps += replayed;
+        if let Some(net) = &self.config.network {
+            self.stats.recovery.replay_net += net.recovery_cost(replayed, bytes);
+        }
+        self.emit(EventKind::RecoveryReplay {
+            step: step_id,
+            from_step,
+            replayed,
+            attempt,
+            backoff_us: 0,
+        });
+        let report = Arc::make_mut(&mut self.partition)
+            .rebalance(dead)
+            .map_err(|_| RuntimeError::WorkerLost {
+                worker: dead[0],
+                step: step_id,
+            })?;
+        self.stats.recovery.workers_lost += dead.len() as u64;
+        for &w in dead {
+            if let Some(inj) = &mut self.injector {
+                inj.mark_dead(w);
+            }
+            self.emit(EventKind::WorkerDeclaredDead {
+                step: step_id,
+                worker: w,
+                reason: reason.to_string(),
+                epoch: report.epoch,
+            });
+        }
+        self.apply_migration(step_id, &report, reason);
+        Ok(())
+    }
+
+    /// Applies one membership change: bumps the epoch counters, emits the
+    /// `membership_epoch` and per-partition `state_migrated` events, and
+    /// charges the bulk state transfer to the simulated network.
+    fn apply_migration(&mut self, step_id: u64, report: &RebalanceReport, cause: &str) {
+        self.stats.recovery.membership_epochs += 1;
+        self.emit(EventKind::MembershipEpoch {
+            epoch: report.epoch,
+            step: step_id,
+            live_hosts: self.partition.num_live_hosts(),
+            moved_partitions: report.moved.len(),
+            cause: cause.to_string(),
+        });
+        let mut total_bytes = 0u64;
+        let mut migrated = Vec::with_capacity(report.moved.len());
+        for mv in &report.moved {
+            let masters = self.partition.masters(mv.worker);
+            let st = &self.states[mv.worker];
+            let bytes: u64 = masters
+                .iter()
+                .map(|&v| (4 + st.current[v as usize].bytes()) as u64)
+                .sum();
+            total_bytes += bytes;
+            self.stats.recovery.vertices_migrated += masters.len() as u64;
+            self.stats.recovery.migrated_bytes += bytes;
+            migrated.push(EventKind::StateMigrated {
+                epoch: report.epoch,
+                partition: mv.worker,
+                from: mv.from,
+                to: mv.to,
+                vertices: masters.len() as u64,
+                bytes,
+            });
+        }
+        for ev in migrated {
+            self.emit(ev);
+        }
+        if !report.moved.is_empty() {
+            if let Some(net) = &self.config.network {
+                self.stats.recovery.migration_net +=
+                    net.cost(1 + report.moved.len() as u32, total_bytes);
+            }
+        }
+    }
+
+    /// Aggregates per-logical-worker compute durations into per-*host*
+    /// makespans: co-hosted partitions execute serially on their shared
+    /// host, so their durations add, and the barrier waits for the slowest
+    /// live host. Fault-free (identity host map) this reduces to the plain
+    /// max/min over workers.
+    fn host_makespan(&self, durations: &[Duration]) -> (Duration, Duration) {
+        let m = durations.len();
+        let mut per_host = vec![Duration::ZERO; m];
+        for (w, d) in durations.iter().enumerate() {
+            per_host[self.partition.host_of_worker(w)] += *d;
+        }
+        let live = (0..m).filter(|&h| self.partition.is_host_live(h));
+        let max = live.clone().map(|h| per_host[h]).max().unwrap_or_default();
+        let min = live.map(|h| per_host[h]).min().unwrap_or_default();
+        (max, min)
     }
 
     /// Rolls every worker back to the last checkpoint, replays the redo
@@ -704,26 +928,36 @@ impl<V: VertexData> Cluster<V> {
         }
         let t = Instant::now();
         let sync_mode = self.config.sync_mode;
+        let mut host_buf: Vec<u16> = Vec::new();
         #[allow(clippy::needless_range_loop)] // w is the sender id, used beyond indexing
         for w in 0..m {
             for &v in &updated[w] {
+                // Wire traffic is counted per distinct recipient *host*:
+                // after an elastic rebalance several logical partitions can
+                // share a host and one shipped payload serves all of them.
+                // The payload is still applied to every logical replica so
+                // co-hosted mirrors stay coherent.
+                let recipient_hosts = match scope {
+                    SyncScope::Necessary => self.partition.necessary_mirror_hosts(v, &mut host_buf),
+                    SyncScope::All => self.partition.num_live_hosts().saturating_sub(1),
+                } as u64;
                 match sync_mode {
                     SyncMode::Full => {
                         let payload = self.states[w].current[v as usize].clone();
                         let bytes = (4 + payload.bytes()) as u64;
+                        stats.sync_messages += recipient_hosts;
+                        stats.sync_bytes += recipient_hosts * bytes;
                         self.for_each_recipient(w, v, scope, |st| {
                             st.current[v as usize] = payload.clone();
-                            stats.sync_messages += 1;
-                            stats.sync_bytes += bytes;
                         });
                     }
                     SyncMode::CriticalOnly => {
                         let payload = self.states[w].current[v as usize].critical();
                         let bytes = (4 + V::critical_bytes(&payload)) as u64;
+                        stats.sync_messages += recipient_hosts;
+                        stats.sync_bytes += recipient_hosts * bytes;
                         self.for_each_recipient(w, v, scope, |st| {
                             st.current[v as usize].apply_critical(payload.clone());
-                            stats.sync_messages += 1;
-                            stats.sync_bytes += bytes;
                         });
                     }
                 }
@@ -1239,6 +1473,118 @@ mod tests {
         let err = Cluster::<Val>::new(g, p, cfg, |_| Val::default())
             .err()
             .expect("worker 5 does not exist");
-        assert!(matches!(err, RuntimeError::KernelMisuse(_)));
+        assert!(matches!(err, RuntimeError::InvalidFaultPlan(_)));
+    }
+
+    #[test]
+    fn permanent_death_recovers_bit_identically_on_survivors() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let (vals, stats, err) = run_program(faulted_config("die@1:w1,retries=1"));
+        assert!(err.is_none(), "elastic recovery is not a failure: {err:?}");
+        assert_eq!(clean.0, vals, "survivors must reproduce the clean result");
+        assert_eq!(clean.1.num_supersteps(), stats.num_supersteps());
+        let rec = &stats.recovery;
+        assert_eq!(rec.workers_lost, 1);
+        assert_eq!(rec.membership_epochs, 1);
+        assert!(rec.vertices_migrated > 0, "w1's masters moved");
+        assert!(rec.migrated_bytes > 0);
+        assert!(rec.migration_net > Duration::ZERO, "network model charged");
+    }
+
+    #[test]
+    fn death_and_rejoin_return_to_full_strength_bit_identically() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let (vals, stats, err) = run_program(faulted_config("die@1:w1,rejoin@5:w1,retries=1"));
+        assert!(err.is_none());
+        assert_eq!(clean.0, vals);
+        let rec = &stats.recovery;
+        assert_eq!(rec.workers_lost, 1);
+        assert_eq!(rec.workers_rejoined, 1);
+        assert_eq!(rec.membership_epochs, 2, "death epoch + rejoin epoch");
+        assert!(rec.migrated_bytes > 0);
+    }
+
+    #[test]
+    fn deadline_straggler_is_declared_dead() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let (vals, stats, err) = run_program(faulted_config("straggle@1:w2:200ms,detector=100ms"));
+        assert!(err.is_none());
+        assert_eq!(clean.0, vals);
+        assert_eq!(stats.recovery.workers_lost, 1);
+        assert_eq!(stats.recovery.membership_epochs, 1);
+        // A straggler below the deadline stays a straggler.
+        let (_, stats2, err2) = run_program(faulted_config("straggle@1:w2:5ms,detector=100ms"));
+        assert!(err2.is_none());
+        assert_eq!(stats2.recovery.workers_lost, 0);
+    }
+
+    #[test]
+    fn death_without_checkpoints_degrades_to_worker_lost() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let cfg = ClusterConfig::with_workers(3)
+            .sequential()
+            .checkpoint_off()
+            .faults(crate::fault::FaultPlan::parse("die@1:w1,retries=1").unwrap());
+        let (vals, stats, err) = run_program(cfg);
+        match err {
+            Some(RuntimeError::WorkerLost { worker, step }) => {
+                assert_eq!(worker, 1);
+                assert_eq!(step, 1);
+            }
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+        // The injector shut down and the run finished deterministically.
+        assert_eq!(vals, clean.0);
+        assert_eq!(stats.recovery.workers_lost, 0, "no membership change");
+        assert_eq!(stats.recovery.checkpoints, 0, "checkpointing stayed off");
+    }
+
+    #[test]
+    fn membership_changes_emit_trace_events_in_order() {
+        use flash_obs::CollectSink;
+        let sink = Arc::new(CollectSink::new());
+        let cfg = faulted_config("die@1:w1,rejoin@5:w1,retries=1")
+            .sink(Arc::clone(&sink) as Arc<dyn flash_obs::Sink>);
+        let _ = run_program(cfg);
+        let events = sink.events();
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        let dead_pos = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    &e.kind,
+                    EventKind::WorkerDeclaredDead {
+                        worker: 1,
+                        reason,
+                        ..
+                    } if reason == "die"
+                )
+            })
+            .expect("worker_declared_dead event");
+        let epochs: Vec<(u64, String)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::MembershipEpoch { epoch, cause, .. } => Some((*epoch, cause.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            epochs,
+            vec![(1, "die".to_string()), (2, "rejoin".to_string())]
+        );
+        let migrations: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::StateMigrated { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(migrations.len(), 2, "one move per epoch");
+        assert!(migrations.iter().all(|&b| b > 0));
+        let epoch_pos = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::MembershipEpoch { .. }))
+            .unwrap();
+        assert!(dead_pos < epoch_pos, "death declared before the epoch bump");
     }
 }

@@ -86,6 +86,11 @@ pub struct ClusterConfig {
     /// checkpointing (unless a fault plan is present, in which case
     /// [`DEFAULT_CHECKPOINT_INTERVAL`] applies).
     pub checkpoint_every: usize,
+    /// Explicitly disables checkpointing even when a fault plan is
+    /// present (see [`ClusterConfig::checkpoint_off`]). A permanent worker
+    /// loss then degrades to [`RuntimeError::WorkerLost`](crate::RuntimeError)
+    /// instead of recovering elastically.
+    pub checkpoint_disabled: bool,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -103,6 +108,7 @@ impl fmt::Debug for ClusterConfig {
             .field("sync_properties", &self.sync_properties)
             .field("fault_plan", &self.fault_plan)
             .field("checkpoint_every", &self.checkpoint_every)
+            .field("checkpoint_disabled", &self.checkpoint_disabled)
             .finish()
     }
 }
@@ -121,6 +127,7 @@ impl Default for ClusterConfig {
             sync_properties: Vec::new(),
             fault_plan: None,
             checkpoint_every: 0,
+            checkpoint_disabled: false,
         }
     }
 }
@@ -183,9 +190,23 @@ impl ClusterConfig {
     }
 
     /// Sets the checkpoint interval in supersteps (builder style); `0`
-    /// disables periodic checkpointing on fault-free runs.
+    /// disables periodic checkpointing on fault-free runs. To disable
+    /// checkpointing on a *faulted* run, use
+    /// [`checkpoint_off`](Self::checkpoint_off) — it is an explicit opt-out
+    /// rather than an ambiguous zero.
     pub fn checkpoint_every(mut self, interval: usize) -> Self {
         self.checkpoint_every = interval;
+        self
+    }
+
+    /// Disables checkpointing outright (builder style), overriding the
+    /// force-on that a fault plan normally applies. With faults injected
+    /// and no checkpoints, a transient fault still replays from nothing,
+    /// but a permanent worker loss has no state to recover and surfaces as
+    /// a clean [`RuntimeError::WorkerLost`](crate::RuntimeError).
+    pub fn checkpoint_off(mut self) -> Self {
+        self.checkpoint_disabled = true;
+        self.checkpoint_every = 0;
         self
     }
 
@@ -253,6 +274,20 @@ mod tests {
         let c3 = ClusterConfig::default().checkpoint_every(3);
         assert!(c3.fault_plan.is_none());
         assert_eq!(c3.checkpoint_every, 3, "checkpointing works fault-free");
+    }
+
+    #[test]
+    fn checkpoint_off_wins_over_the_faults_force_on() {
+        let c = ClusterConfig::default()
+            .checkpoint_off()
+            .faults(FaultPlan::default());
+        assert!(c.checkpoint_disabled, "explicit opt-out survives faults()");
+        let c2 = ClusterConfig::default()
+            .faults(FaultPlan::default())
+            .checkpoint_off();
+        assert!(c2.checkpoint_disabled);
+        assert_eq!(c2.checkpoint_every, 0);
+        assert!(!ClusterConfig::default().checkpoint_disabled);
     }
 
     #[test]

@@ -71,6 +71,15 @@ impl<'a, V: VertexData> WorkerCtx<'a, V> {
         self.partition
     }
 
+    /// The physical host this logical worker currently executes on. Equal
+    /// to [`worker`](Self::worker) until an elastic rebalance re-homes the
+    /// partition after a permanent worker loss (see
+    /// [`PartitionMap::host_of_worker`]).
+    #[inline]
+    pub fn host(&self) -> usize {
+        self.partition.host_of_worker(self.worker)
+    }
+
     /// The master vertices this worker owns, ascending.
     #[inline]
     pub fn masters(&self) -> &'a [VertexId] {

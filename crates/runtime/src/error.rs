@@ -37,6 +37,19 @@ pub enum RuntimeError {
         /// Compute attempts made (`1 +` the configured retry budget).
         attempts: u32,
     },
+    /// A fault plan failed attach-time validation (out-of-range worker,
+    /// implausible step, duplicate spec, unpaired rejoin, or a plan that
+    /// kills every worker).
+    InvalidFaultPlan(String),
+    /// A worker was declared permanently dead but no checkpoint exists to
+    /// recover its masters from (checkpointing was disabled), so the run
+    /// cannot continue elastically.
+    WorkerLost {
+        /// The worker declared dead.
+        worker: usize,
+        /// The superstep at which it was lost.
+        step: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,6 +74,12 @@ impl fmt::Display for RuntimeError {
             RuntimeError::RecoveryExhausted { step, attempts } => write!(
                 f,
                 "fault recovery exhausted after {attempts} attempts at superstep {step}"
+            ),
+            RuntimeError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            RuntimeError::WorkerLost { worker, step } => write!(
+                f,
+                "worker {worker} permanently lost at superstep {step} with no checkpoint to \
+                 recover from (checkpointing is disabled)"
             ),
         }
     }
@@ -87,5 +106,10 @@ mod tests {
             attempts: 4,
         };
         assert!(r.to_string().contains('7') && r.to_string().contains('4'));
+        let w = RuntimeError::WorkerLost { worker: 2, step: 5 };
+        assert!(w.to_string().contains('2') && w.to_string().contains('5'));
+        assert!(w.to_string().contains("checkpoint"));
+        let p = RuntimeError::InvalidFaultPlan("duplicate spec".into());
+        assert!(p.to_string().contains("duplicate spec"));
     }
 }

@@ -22,13 +22,24 @@
 //! corrupt@5:w0          corrupt worker 0's sync payload at superstep 5
 //! straggle@2:w1:400us   delay worker 1's compute by 400 µs at superstep 2
 //! crash@3:w1:x2         the crash fires on the first two attempts
+//! die@3:w1              worker 1 dies for good at superstep 3 (elastic
+//!                       membership declares it dead once the retry budget
+//!                       is spent; see DESIGN.md §9)
+//! rejoin@6:w1           a previously dead worker 1 rejoins at superstep 6
 //! retries=2             retry budget per superstep (default 3)
 //! backoff=500us         base of the capped exponential backoff
 //! cap=16ms              backoff cap
+//! detector=50ms         failure-detector deadline: a straggler that delays
+//!                       the barrier by at least this much simulated time
+//!                       is declared permanently dead (default 100ms)
 //! seed=42               PRNG seed for corruption nonces
 //! ```
 //!
-//! Durations accept `us`, `ms` and `s` suffixes.
+//! Durations accept `ns`, `us`, `ms` and `s` suffixes, with optional
+//! fractional values (`1.5ms`); bare numbers are rejected as ambiguous.
+//! Plans are validated when the cluster is built — out-of-range workers,
+//! steps beyond [`MAX_PLAUSIBLE_STEP`], duplicate specs, a `rejoin` with no
+//! preceding `die`, or a plan that kills every worker all fail fast.
 
 use flash_graph::Prng;
 use std::time::Duration;
@@ -43,6 +54,13 @@ pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_millis(64);
 pub const DEFAULT_SEED: u64 = 0xF1A5;
 /// Default straggler delay when a `straggle` spec omits one.
 pub const DEFAULT_STRAGGLE_DELAY: Duration = Duration::from_millis(1);
+/// Default failure-detector deadline: a worker whose simulated barrier
+/// delay reaches this is declared permanently dead rather than merely slow.
+pub const DEFAULT_DETECTOR_TIMEOUT: Duration = Duration::from_millis(100);
+/// Largest superstep id a fault spec may target. Catalogue programs finish
+/// in well under a thousand supersteps; a spec beyond this horizon would
+/// silently never fire, so validation rejects it.
+pub const MAX_PLAUSIBLE_STEP: u64 = 100_000;
 
 /// What kind of failure a [`FaultSpec`] injects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,8 +74,18 @@ pub enum FaultKind {
     /// and the superstep rolls back exactly like a crash.
     CorruptSync,
     /// The worker straggles: its compute phase is charged an extra delay,
-    /// visible as barrier skew. No recovery is needed.
+    /// visible as barrier skew. No recovery is needed — unless the delay
+    /// reaches the failure-detector deadline, in which case the worker is
+    /// declared permanently dead.
     Straggler,
+    /// The worker dies permanently: the fault fires on *every* attempt, so
+    /// once the retry budget is spent the cluster declares the worker dead
+    /// and re-homes its partition onto the survivors (elastic membership).
+    Die,
+    /// A previously dead worker comes back at the scripted superstep and
+    /// reclaims its home partition. Must be paired with an earlier `die`
+    /// on the same worker.
+    Rejoin,
 }
 
 impl FaultKind {
@@ -67,6 +95,8 @@ impl FaultKind {
             FaultKind::Crash => "crash",
             FaultKind::CorruptSync => "corrupt",
             FaultKind::Straggler => "straggle",
+            FaultKind::Die => "die",
+            FaultKind::Rejoin => "rejoin",
         }
     }
 }
@@ -106,6 +136,10 @@ pub struct FaultPlan {
     /// Seed for the xoshiro PRNG generating corruption nonces (and
     /// [`FaultPlan::chaos`] schedules).
     pub seed: u64,
+    /// Failure-detector deadline: a straggler whose simulated delay reaches
+    /// this is declared permanently dead at the barrier instead of merely
+    /// charging skew.
+    pub detector_timeout: Duration,
 }
 
 impl Default for FaultPlan {
@@ -116,6 +150,7 @@ impl Default for FaultPlan {
             backoff_base: DEFAULT_BACKOFF_BASE,
             backoff_cap: DEFAULT_BACKOFF_CAP,
             seed: DEFAULT_SEED,
+            detector_timeout: DEFAULT_DETECTOR_TIMEOUT,
         }
     }
 }
@@ -126,13 +161,14 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Adds one fault spec (builder style).
+    /// Adds one fault spec (builder style). `die` specs fire on every
+    /// attempt (that is what makes the failure permanent).
     pub fn spec(mut self, kind: FaultKind, step: u64, worker: usize) -> Self {
         self.specs.push(FaultSpec {
             step,
             worker,
             kind,
-            times: 1,
+            times: if kind == FaultKind::Die { u32::MAX } else { 1 },
             delay: DEFAULT_STRAGGLE_DELAY,
         });
         self
@@ -162,6 +198,7 @@ impl FaultPlan {
                     }
                     "backoff" => plan.backoff_base = parse_duration(value)?,
                     "cap" => plan.backoff_cap = parse_duration(value)?,
+                    "detector" => plan.detector_timeout = parse_duration(value)?,
                     "seed" => {
                         plan.seed = value
                             .parse()
@@ -217,6 +254,73 @@ impl FaultPlan {
         self.specs.iter().map(|s| s.worker).max()
     }
 
+    /// Validates the plan against a cluster of `workers` workers. Called
+    /// when the plan is attached so a spec that could never fire (or would
+    /// kill the whole cluster) fails fast instead of silently doing
+    /// nothing. Checks: worker indices in range, steps within
+    /// [`MAX_PLAUSIBLE_STEP`], no duplicate `(kind, step, worker)` specs,
+    /// every `rejoin` paired with an earlier `die` on the same worker, and
+    /// at least one worker never targeted by a `die`.
+    pub fn validate(&self, workers: usize) -> Result<(), String> {
+        for (i, s) in self.specs.iter().enumerate() {
+            if s.worker >= workers {
+                return Err(format!(
+                    "{}@{}:w{} targets worker {} but the cluster has only {workers} workers",
+                    s.kind.label(),
+                    s.step,
+                    s.worker,
+                    s.worker
+                ));
+            }
+            if s.step > MAX_PLAUSIBLE_STEP {
+                return Err(format!(
+                    "{}@{}:w{} is beyond the plausible superstep horizon ({MAX_PLAUSIBLE_STEP}) \
+                     and would never fire",
+                    s.kind.label(),
+                    s.step,
+                    s.worker
+                ));
+            }
+            if self.specs[..i]
+                .iter()
+                .any(|p| p.kind == s.kind && p.step == s.step && p.worker == s.worker)
+            {
+                return Err(format!(
+                    "duplicate fault spec {}@{}:w{}",
+                    s.kind.label(),
+                    s.step,
+                    s.worker
+                ));
+            }
+            if s.kind == FaultKind::Rejoin
+                && !self
+                    .specs
+                    .iter()
+                    .any(|p| p.kind == FaultKind::Die && p.worker == s.worker && p.step < s.step)
+            {
+                return Err(format!(
+                    "rejoin@{}:w{} has no earlier die@ spec for worker {}",
+                    s.step, s.worker, s.worker
+                ));
+            }
+        }
+        let dying: Vec<usize> = {
+            let mut ws: Vec<usize> = self
+                .specs
+                .iter()
+                .filter(|s| s.kind == FaultKind::Die)
+                .map(|s| s.worker)
+                .collect();
+            ws.sort_unstable();
+            ws.dedup();
+            ws
+        };
+        if !dying.is_empty() && dying.len() >= workers {
+            return Err("the plan kills every worker; at least one must survive".into());
+        }
+        Ok(())
+    }
+
     /// Renders the plan back into its grammar (options only when they
     /// differ from the defaults) — the echo written into `results/*.json`.
     pub fn summary(&self) -> String {
@@ -226,9 +330,11 @@ impl FaultPlan {
             .map(|s| {
                 let mut out = format!("{}@{}:w{}", s.kind.label(), s.step, s.worker);
                 if s.kind == FaultKind::Straggler {
-                    out.push_str(&format!(":{}us", s.delay.as_micros()));
+                    out.push_str(&format!(":{}", format_duration(s.delay)));
                 }
-                if s.times != 1 {
+                // `die` is implicitly every-attempt and `rejoin` fires once;
+                // neither takes an :xN in the grammar.
+                if s.times != 1 && !matches!(s.kind, FaultKind::Die | FaultKind::Rejoin) {
                     out.push_str(&format!(":x{}", s.times));
                 }
                 out
@@ -236,6 +342,12 @@ impl FaultPlan {
             .collect();
         if self.max_retries != DEFAULT_MAX_RETRIES {
             parts.push(format!("retries={}", self.max_retries));
+        }
+        if self.detector_timeout != DEFAULT_DETECTOR_TIMEOUT {
+            parts.push(format!(
+                "detector={}",
+                format_duration(self.detector_timeout)
+            ));
         }
         if self.seed != DEFAULT_SEED {
             parts.push(format!("seed={}", self.seed));
@@ -252,9 +364,11 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
         "crash" => FaultKind::Crash,
         "corrupt" => FaultKind::CorruptSync,
         "straggle" | "straggler" => FaultKind::Straggler,
+        "die" => FaultKind::Die,
+        "rejoin" => FaultKind::Rejoin,
         other => {
             return Err(format!(
-                "unknown fault kind {other:?} (expected crash, corrupt or straggle)"
+                "unknown fault kind {other:?} (expected crash, corrupt, straggle, die or rejoin)"
             ))
         }
     };
@@ -275,11 +389,17 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
         step,
         worker,
         kind,
-        times: 1,
+        times: if kind == FaultKind::Die { u32::MAX } else { 1 },
         delay: DEFAULT_STRAGGLE_DELAY,
     };
     for seg in segs {
         let seg = seg.trim();
+        if matches!(kind, FaultKind::Die | FaultKind::Rejoin) {
+            return Err(format!(
+                "{} faults are permanent membership events; {seg:?} does not apply in {part:?}",
+                kind.label()
+            ));
+        }
         if let Some(n) = seg.strip_prefix('x') {
             spec.times = n
                 .parse()
@@ -291,22 +411,59 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
     Ok(spec)
 }
 
-/// Parses `123us`, `5ms` or `2s` into a [`Duration`].
+/// Parses `123us`, `5ms`, `2s`, `750ns` — optionally fractional, e.g.
+/// `1.5ms` — into a [`Duration`]. A bare number is ambiguous and rejected
+/// with an error naming the accepted suffixes.
 pub fn parse_duration(text: &str) -> Result<Duration, String> {
     let text = text.trim();
-    let (digits, unit): (&str, fn(u64) -> Duration) = if let Some(d) = text.strip_suffix("us") {
-        (d, Duration::from_micros)
+    let (digits, nanos_per_unit): (&str, f64) = if let Some(d) = text.strip_suffix("ns") {
+        (d, 1.0)
+    } else if let Some(d) = text.strip_suffix("us") {
+        (d, 1_000.0)
     } else if let Some(d) = text.strip_suffix("ms") {
-        (d, Duration::from_millis)
+        (d, 1_000_000.0)
     } else if let Some(d) = text.strip_suffix('s') {
-        (d, Duration::from_secs)
+        (d, 1_000_000_000.0)
+    } else if text.parse::<f64>().is_ok() {
+        return Err(format!(
+            "duration {text:?} has no unit and is ambiguous; add one of the suffixes \
+             ns, us, ms or s (e.g. \"{text}ms\")"
+        ));
     } else {
-        return Err(format!("duration {text:?} needs a us/ms/s suffix"));
+        return Err(format!("duration {text:?} needs a ns/us/ms/s suffix"));
     };
-    digits
+    let value: f64 = digits
+        .trim()
         .parse()
-        .map(unit)
-        .map_err(|_| format!("invalid duration {text:?}"))
+        .map_err(|_| format!("invalid duration {text:?}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "duration {text:?} must be a finite, non-negative value"
+        ));
+    }
+    let nanos = value * nanos_per_unit;
+    if nanos > u64::MAX as f64 {
+        return Err(format!("duration {text:?} overflows"));
+    }
+    Ok(Duration::from_nanos(nanos.round() as u64))
+}
+
+/// Renders a [`Duration`] in the coarsest unit that loses nothing —
+/// the inverse of [`parse_duration`], so any duration round-trips exactly:
+/// `parse_duration(&format_duration(d)) == Ok(d)`.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos == 0 {
+        "0s".into()
+    } else if nanos.is_multiple_of(1_000_000_000) {
+        format!("{}s", nanos / 1_000_000_000)
+    } else if nanos.is_multiple_of(1_000_000) {
+        format!("{}ms", nanos / 1_000_000)
+    } else if nanos.is_multiple_of(1_000) {
+        format!("{}us", nanos / 1_000)
+    } else {
+        format!("{nanos}ns")
+    }
 }
 
 /// Runtime state of the injector: the plan plus per-spec fire counts and
@@ -318,10 +475,13 @@ pub(crate) struct FaultInjector {
     fired: Vec<u32>,
     prng: Prng,
     pub(crate) active: bool,
+    /// Workers declared permanently dead: their remaining specs (except a
+    /// `rejoin`) never fire — a dead worker cannot crash again.
+    dead: Vec<bool>,
 }
 
 impl FaultInjector {
-    pub(crate) fn new(plan: FaultPlan) -> Self {
+    pub(crate) fn new(plan: FaultPlan, workers: usize) -> Self {
         let fired = vec![0; plan.specs.len()];
         let prng = Prng::seed_from_u64(plan.seed);
         FaultInjector {
@@ -329,6 +489,7 @@ impl FaultInjector {
             fired,
             prng,
             active: true,
+            dead: vec![false; workers],
         }
     }
 
@@ -336,15 +497,40 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Crash/corruption specs firing at `step` on the current attempt,
+    /// Suppresses all further specs (except `rejoin`) targeting `w`.
+    pub(crate) fn mark_dead(&mut self, w: usize) {
+        self.dead[w] = true;
+    }
+
+    /// Re-arms specs targeting `w` after a rejoin. The scripted death
+    /// already happened — the returning worker is a fresh replacement — so
+    /// `die` specs for `w` are spent rather than re-armed (they would
+    /// otherwise re-fire forever).
+    pub(crate) fn mark_alive(&mut self, w: usize) {
+        self.dead[w] = false;
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.worker == w && spec.kind == FaultKind::Die {
+                self.fired[i] = spec.times;
+            }
+        }
+    }
+
+    /// Crash/corruption/die specs firing at `step` on the current attempt,
     /// consuming one fire from each.
     pub(crate) fn failures(&mut self, step: u64) -> Vec<FaultSpec> {
-        self.take(step, |k| k != FaultKind::Straggler)
+        self.take(step, |k| {
+            !matches!(k, FaultKind::Straggler | FaultKind::Rejoin)
+        })
     }
 
     /// Straggler specs firing at `step`, consuming one fire from each.
     pub(crate) fn stragglers(&mut self, step: u64) -> Vec<FaultSpec> {
         self.take(step, |k| k == FaultKind::Straggler)
+    }
+
+    /// Rejoin specs firing at `step`, consuming each (they fire once).
+    pub(crate) fn rejoins(&mut self, step: u64) -> Vec<FaultSpec> {
+        self.take(step, |k| k == FaultKind::Rejoin)
     }
 
     /// A spec fires at the first *eligible* superstep at or after its
@@ -358,6 +544,9 @@ impl FaultInjector {
         }
         let mut out = Vec::new();
         for (i, spec) in self.plan.specs.iter().enumerate() {
+            if self.dead[spec.worker] && spec.kind != FaultKind::Rejoin {
+                continue;
+            }
             if spec.step <= step && want(spec.kind) && self.fired[i] < spec.times {
                 self.fired[i] += 1;
                 out.push(spec.clone());
@@ -466,14 +655,14 @@ mod tests {
     #[test]
     fn injector_fires_each_spec_times_then_stops() {
         let plan = FaultPlan::parse("crash@2:w0:x2").unwrap();
-        let mut inj = FaultInjector::new(plan);
+        let mut inj = FaultInjector::new(plan, 4);
         assert_eq!(inj.failures(1).len(), 0);
         assert_eq!(inj.failures(2).len(), 1);
         assert_eq!(inj.failures(2).len(), 1);
         assert_eq!(inj.failures(2).len(), 0, "budget of 2 fires consumed");
         inj.active = false;
         let plan2 = FaultPlan::parse("crash@5:w0").unwrap();
-        let mut inj2 = FaultInjector::new(plan2);
+        let mut inj2 = FaultInjector::new(plan2, 4);
         inj2.active = false;
         assert!(inj2.failures(5).is_empty(), "inactive injector never fires");
     }
@@ -481,7 +670,7 @@ mod tests {
     #[test]
     fn stragglers_and_failures_are_disjoint() {
         let plan = FaultPlan::parse("crash@1:w0,straggle@1:w1:200us").unwrap();
-        let mut inj = FaultInjector::new(plan);
+        let mut inj = FaultInjector::new(plan, 4);
         let stragglers = inj.stragglers(1);
         let failures = inj.failures(1);
         assert_eq!(stragglers.len(), 1);
@@ -504,13 +693,141 @@ mod tests {
     #[test]
     fn corruption_nonce_is_nonzero_and_deterministic() {
         let plan = FaultPlan::default();
-        let mut i1 = FaultInjector::new(plan.clone());
-        let mut i2 = FaultInjector::new(plan);
+        let mut i1 = FaultInjector::new(plan.clone(), 4);
+        let mut i2 = FaultInjector::new(plan, 4);
         for _ in 0..16 {
             let n = i1.corruption_nonce();
             assert_ne!(n, 0);
             assert_eq!(n, i2.corruption_nonce(), "same seed, same nonces");
         }
+    }
+
+    #[test]
+    fn parses_die_and_rejoin_specs() {
+        let p = FaultPlan::parse("die@3:w1,rejoin@6:w1").unwrap();
+        assert_eq!(p.specs.len(), 2);
+        assert_eq!(p.specs[0].kind, FaultKind::Die);
+        assert_eq!(p.specs[0].times, u32::MAX, "die fires on every attempt");
+        assert_eq!(p.specs[1].kind, FaultKind::Rejoin);
+        assert_eq!(p.specs[1].times, 1);
+        // Membership events take no :xN or delay segment.
+        assert!(FaultPlan::parse("die@3:w1:x2").is_err());
+        assert!(FaultPlan::parse("rejoin@6:w1:500us").is_err());
+        // And the summary round-trips without an :xN.
+        let again = FaultPlan::parse(&p.summary()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn parses_detector_option() {
+        let p = FaultPlan::parse("detector=50ms").unwrap();
+        assert_eq!(p.detector_timeout, Duration::from_millis(50));
+        let again = FaultPlan::parse(&p.summary()).unwrap();
+        assert_eq!(p.detector_timeout, again.detector_timeout);
+        assert_eq!(
+            FaultPlan::default().detector_timeout,
+            DEFAULT_DETECTOR_TIMEOUT
+        );
+    }
+
+    #[test]
+    fn validate_catches_unfireable_and_lethal_plans() {
+        let ok = FaultPlan::parse("crash@1:w0,die@2:w1,rejoin@5:w1").unwrap();
+        assert!(ok.validate(3).is_ok());
+        // Worker out of range.
+        let e = FaultPlan::parse("crash@1:w7").unwrap().validate(2);
+        assert!(e.as_ref().is_err_and(|m| m.contains("w7")), "{e:?}");
+        // Step beyond the horizon.
+        let e = FaultPlan::parse("crash@999999:w0").unwrap().validate(2);
+        assert!(e.as_ref().is_err_and(|m| m.contains("horizon")), "{e:?}");
+        // Duplicate (kind, step, worker).
+        let e = FaultPlan::parse("crash@1:w0,crash@1:w0")
+            .unwrap()
+            .validate(2);
+        assert!(e.as_ref().is_err_and(|m| m.contains("duplicate")), "{e:?}");
+        // Rejoin without an earlier die.
+        let e = FaultPlan::parse("rejoin@5:w1").unwrap().validate(2);
+        assert!(e.as_ref().is_err_and(|m| m.contains("die")), "{e:?}");
+        let e = FaultPlan::parse("die@5:w1,rejoin@5:w1")
+            .unwrap()
+            .validate(2);
+        assert!(e.is_err(), "rejoin must come strictly after the die");
+        // Killing every worker.
+        let e = FaultPlan::parse("die@1:w0,die@2:w1").unwrap().validate(2);
+        assert!(e.as_ref().is_err_and(|m| m.contains("survive")), "{e:?}");
+        assert!(FaultPlan::parse("die@1:w0,die@2:w1")
+            .unwrap()
+            .validate(3)
+            .is_ok());
+    }
+
+    #[test]
+    fn bare_numbers_are_rejected_with_suffix_hint() {
+        for text in ["1.5", "0", "42", "  7 "] {
+            let e = parse_duration(text).expect_err("bare number must fail");
+            assert!(e.contains("ns, us, ms or s"), "{e}");
+        }
+        assert!(parse_duration("1.5ms").is_ok());
+        assert_eq!(
+            parse_duration("1.5ms").unwrap(),
+            Duration::from_micros(1500)
+        );
+        assert_eq!(parse_duration("750ns").unwrap(), Duration::from_nanos(750));
+        assert_eq!(parse_duration("0.5us").unwrap(), Duration::from_nanos(500));
+        assert!(parse_duration("-1ms").is_err());
+        assert!(parse_duration("nanms").is_err());
+    }
+
+    #[test]
+    fn durations_round_trip_through_format_and_parse() {
+        // Hand-rolled property test (workspace style): random durations at
+        // every granularity must satisfy parse(format(d)) == d.
+        let mut prng = Prng::seed_from_u64(0xD17A);
+        for _ in 0..96 {
+            let d = match prng.next_u64() % 4 {
+                0 => Duration::from_nanos(prng.next_u64() % 10_000_000),
+                1 => Duration::from_micros(prng.next_u64() % 10_000_000),
+                2 => Duration::from_millis(prng.next_u64() % 1_000_000),
+                _ => Duration::from_secs(prng.next_u64() % 100_000),
+            };
+            let text = format_duration(d);
+            assert_eq!(
+                parse_duration(&text),
+                Ok(d),
+                "round trip failed for {d:?} via {text:?}"
+            );
+        }
+        assert_eq!(
+            parse_duration(&format_duration(Duration::ZERO)),
+            Ok(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn injector_suppresses_dead_workers_until_rejoin() {
+        let plan = FaultPlan::parse("crash@1:w0,crash@3:w0,straggle@4:w0:200us").unwrap();
+        let mut inj = FaultInjector::new(plan, 2);
+        assert_eq!(inj.failures(1).len(), 1);
+        inj.mark_dead(0);
+        assert!(inj.failures(3).is_empty(), "dead worker cannot crash");
+        assert!(inj.stragglers(4).is_empty(), "dead worker cannot straggle");
+        inj.mark_alive(0);
+        assert_eq!(inj.failures(3).len(), 1, "specs re-arm after rejoin");
+    }
+
+    #[test]
+    fn rejoins_fire_once_even_for_dead_workers() {
+        let plan = FaultPlan::parse("die@1:w1,rejoin@4:w1").unwrap();
+        let mut inj = FaultInjector::new(plan, 2);
+        let f = inj.failures(1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FaultKind::Die);
+        inj.mark_dead(1);
+        assert!(inj.rejoins(3).is_empty());
+        let r = inj.rejoins(4);
+        assert_eq!(r.len(), 1, "rejoin fires despite the dead mark");
+        assert_eq!(r[0].kind, FaultKind::Rejoin);
+        assert!(inj.rejoins(5).is_empty(), "rejoin is one-shot");
     }
 
     #[test]

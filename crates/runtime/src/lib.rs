@@ -30,7 +30,13 @@
 //! * **fault tolerance** — a deterministic fault injector ([`fault`])
 //!   plus superstep-boundary checkpointing with rollback/replay recovery
 //!   ([`checkpoint`]), the Pregel-style mechanism a real MPI deployment
-//!   would need.
+//!   would need;
+//! * **elastic membership** — a barrier-deadline failure detector that
+//!   declares workers *permanently* dead (`die@` faults, stragglers past
+//!   the `detector=` timeout), re-homes their partitions onto the
+//!   survivors from the last checkpoint, and lets scripted `rejoin@`
+//!   events grow the cluster back — all without changing results by a
+//!   single bit (DESIGN.md §9).
 
 pub mod checkpoint;
 pub mod cluster;
@@ -49,7 +55,10 @@ pub use cluster::{Cluster, StepOutput};
 pub use config::{ClusterConfig, ModePolicy, SyncMode, SyncScope};
 pub use ctx::WorkerCtx;
 pub use error::RuntimeError;
-pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use fault::{
+    format_duration, parse_duration, FaultKind, FaultPlan, FaultSpec, DEFAULT_DETECTOR_TIMEOUT,
+    MAX_PLAUSIBLE_STEP,
+};
 pub use netmodel::NetworkModel;
 pub use stats::{RecoveryStats, RunStats, StepKind, StepStats};
 

@@ -22,6 +22,13 @@
 //! Algorithms use the resulting [`ProgramPlan::critical_properties`] to
 //! validate that their [`crate::VertexData::Critical`] projection covers
 //! every property the distributed runtime must synchronize.
+//!
+//! The analysis is deliberately *membership-independent*: criticality is a
+//! property of the program's data-flow, not of where partitions happen to
+//! execute, so an elastic rebalance after a permanent worker loss (see
+//! [`crate::fault`], DESIGN.md §9) never changes which properties are
+//! synchronized — only which physical hosts the sync messages travel
+//! between.
 
 use std::collections::BTreeSet;
 use std::fmt;

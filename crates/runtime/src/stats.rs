@@ -144,15 +144,31 @@ pub struct RecoveryStats {
     pub retry_backoff: Duration,
     /// Simulated network time of checkpoint restores and delta replays.
     pub replay_net: Duration,
+    /// Membership epochs entered (one per rebalance or rejoin; zero on a
+    /// run with stable membership).
+    pub membership_epochs: u64,
+    /// Workers declared permanently dead (by an exhausted `die` fault or a
+    /// failure-detector deadline).
+    pub workers_lost: u64,
+    /// Previously dead workers that rejoined the cluster.
+    pub workers_rejoined: u64,
+    /// Master vertices migrated between hosts by membership changes.
+    pub vertices_migrated: u64,
+    /// Serialized bytes of migrated master state.
+    pub migrated_bytes: u64,
+    /// Simulated network time of state migration (transfer bytes plus one
+    /// routing-rebuild round per moved partition).
+    pub migration_net: Duration,
 }
 
 impl RecoveryStats {
     /// Total simulated recovery overhead added to the parallel runtime:
-    /// checkpoint persistence + retry backoff + rollback/replay traffic.
-    /// Straggler delay is *not* included — it is already charged into the
-    /// affected superstep's `compute_max`.
+    /// checkpoint persistence + retry backoff + rollback/replay traffic +
+    /// membership-change migration traffic. Straggler delay is *not*
+    /// included — it is already charged into the affected superstep's
+    /// `compute_max`.
     pub fn overhead(&self) -> Duration {
-        self.checkpoint_time + self.retry_backoff + self.replay_net
+        self.checkpoint_time + self.retry_backoff + self.replay_net + self.migration_net
     }
 
     /// Machine-readable rendering (durations in µs).
@@ -171,6 +187,12 @@ impl RecoveryStats {
             .set("replayed_supersteps", self.replayed_supersteps)
             .set("retry_backoff_us", self.retry_backoff.as_micros() as u64)
             .set("replay_net_us", self.replay_net.as_micros() as u64)
+            .set("membership_epochs", self.membership_epochs)
+            .set("workers_lost", self.workers_lost)
+            .set("workers_rejoined", self.workers_rejoined)
+            .set("vertices_migrated", self.vertices_migrated)
+            .set("migrated_bytes", self.migrated_bytes)
+            .set("migration_net_us", self.migration_net.as_micros() as u64)
             .set("overhead_us", self.overhead().as_micros() as u64)
     }
 }
@@ -446,10 +468,11 @@ mod tests {
         r.recovery.retry_backoff = Duration::from_micros(40);
         r.recovery.replay_net = Duration::from_micros(10);
         r.recovery.checkpoint_time = Duration::from_micros(5);
-        assert_eq!(r.recovery.overhead(), Duration::from_micros(55));
+        r.recovery.migration_net = Duration::from_micros(25);
+        assert_eq!(r.recovery.overhead(), Duration::from_micros(80));
         assert_eq!(
             r.simulated_parallel_time(),
-            base + Duration::from_micros(55)
+            base + Duration::from_micros(80)
         );
         r.clear();
         assert_eq!(
@@ -465,6 +488,11 @@ mod tests {
         r.recovery.checkpoints = 2;
         r.recovery.rollbacks = 3;
         r.recovery.replayed_supersteps = 5;
+        r.recovery.membership_epochs = 2;
+        r.recovery.workers_lost = 1;
+        r.recovery.workers_rejoined = 1;
+        r.recovery.vertices_migrated = 40;
+        r.recovery.migrated_bytes = 320;
         let j = r.summary_json();
         let rec = j.get("recovery").expect("summary carries recovery");
         assert_eq!(rec.get("checkpoints").and_then(Json::as_u64), Some(2));
@@ -473,6 +501,14 @@ mod tests {
             rec.get("replayed_supersteps").and_then(Json::as_u64),
             Some(5)
         );
+        assert_eq!(rec.get("membership_epochs").and_then(Json::as_u64), Some(2));
+        assert_eq!(rec.get("workers_lost").and_then(Json::as_u64), Some(1));
+        assert_eq!(rec.get("workers_rejoined").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            rec.get("vertices_migrated").and_then(Json::as_u64),
+            Some(40)
+        );
+        assert_eq!(rec.get("migrated_bytes").and_then(Json::as_u64), Some(320));
     }
 
     #[test]

@@ -143,7 +143,7 @@ fn fault_plan_rejects_workers_beyond_the_cluster() {
     let plan = FaultPlan::parse("crash@1:w7").expect("plan");
     let cfg = ClusterConfig::with_workers(2).sequential().faults(plan);
     let err = flash_algos::bfs::run(&graph(), cfg, 0).expect_err("must be rejected");
-    assert!(matches!(err, RuntimeError::KernelMisuse(_)), "{err:?}");
+    assert!(matches!(err, RuntimeError::InvalidFaultPlan(_)), "{err:?}");
 }
 
 #[test]

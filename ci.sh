@@ -23,4 +23,7 @@ cargo run --release -q -p flash-bench --bin fig_chaos -- --smoke
 echo "==> elastic smoke (permanent loss + repartitioning must be exact)"
 cargo run --release -q -p flash-bench --bin fig_elastic -- --smoke
 
+echo "==> lossy smoke (drop/dup/reorder channel + retransmit must be exact)"
+cargo run --release -q -p flash-bench --bin fig_lossy -- --smoke
+
 echo "==> OK"

@@ -209,9 +209,11 @@ pub fn usage() -> String {
          \x20      [--json] [--trace <file|-|text>]\n\
          \x20      [--faults <plan>] [--checkpoint-every N|off]\n\
          fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
-         \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW\n\
-         \x20            plus retries=N, backoff=D, cap=D, detector=D, seed=N\n\
-         \x20            options (e.g. --faults die@3:w1,rejoin@6:w1,retries=2)\n\
+         \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW,\n\
+         \x20            drop@STEP:wW[:xN], dup@STEP:wW, reorder@STEP:wW\n\
+         \x20            plus retries=N, backoff=D, cap=D, detector=D, seed=N,\n\
+         \x20            loss=P, dupRate=P, corruptRate=P options\n\
+         \x20            (e.g. --faults drop@3:w1,loss=0.05,retries=4)\n\
          algorithms: {}",
         ALGOS.join(", ")
     )
@@ -639,6 +641,10 @@ mod tests {
         assert!(u.contains("die@STEP:wW"));
         assert!(u.contains("rejoin@STEP:wW"));
         assert!(u.contains("detector=D"));
+        assert!(u.contains("drop@STEP:wW"));
+        assert!(u.contains("reorder@STEP:wW"));
+        assert!(u.contains("loss=P"));
+        assert!(u.contains("corruptRate=P"));
         assert!(u.contains("N|off"));
     }
 }

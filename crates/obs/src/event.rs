@@ -194,6 +194,61 @@ pub enum EventKind {
         /// Serialized bytes transferred.
         bytes: u64,
     },
+    /// The lossy channel discarded one transmission attempt of a cross-host
+    /// batch (scripted `drop@`, probabilistic `loss=`, or a detected
+    /// checksum corruption that forced a nack).
+    BatchDropped {
+        /// Superstep the batch belongs to.
+        step: u64,
+        /// Message round within the superstep: `"upd"` (mirror→master) or
+        /// `"sync"` (master→mirror).
+        round: String,
+        /// Sending host.
+        sender: usize,
+        /// Receiving host.
+        receiver: usize,
+        /// Per-(sender, receiver) wire sequence number of the batch.
+        seq_no: u64,
+        /// Transmission attempt that was lost (0-based).
+        attempt: u64,
+        /// Why: `"drop"` (scripted), `"loss"` (probabilistic), or
+        /// `"corrupt"` (wire checksum mismatch, nacked by the receiver).
+        cause: String,
+    },
+    /// The sender's ack deadline expired for a batch and it was put back
+    /// on the wire.
+    BatchRetransmitted {
+        /// Superstep the batch belongs to.
+        step: u64,
+        /// Message round within the superstep: `"upd"` or `"sync"`.
+        round: String,
+        /// Sending host.
+        sender: usize,
+        /// Receiving host.
+        receiver: usize,
+        /// Per-(sender, receiver) wire sequence number of the batch.
+        seq_no: u64,
+        /// The retransmission attempt now starting (1-based: the first
+        /// retransmit is attempt 1).
+        attempt: u64,
+        /// Payload bytes re-shipped.
+        bytes: u64,
+    },
+    /// The receive-side dedup window discarded a batch copy it had already
+    /// admitted (a duplicate delivery or a late reordered original racing
+    /// its own retransmission).
+    BatchDeduped {
+        /// Superstep the batch belongs to.
+        step: u64,
+        /// Message round within the superstep: `"upd"` or `"sync"`.
+        round: String,
+        /// Sending host.
+        sender: usize,
+        /// Receiving host.
+        receiver: usize,
+        /// Per-(sender, receiver) wire sequence number of the batch.
+        seq_no: u64,
+    },
     /// A run finished (emitted by `Cluster::take_stats`).
     RunEnd {
         /// Supersteps executed.
@@ -223,6 +278,9 @@ impl EventKind {
             EventKind::WorkerDeclaredDead { .. } => "worker_declared_dead",
             EventKind::MembershipEpoch { .. } => "membership_epoch",
             EventKind::StateMigrated { .. } => "state_migrated",
+            EventKind::BatchDropped { .. } => "batch_dropped",
+            EventKind::BatchRetransmitted { .. } => "batch_retransmitted",
+            EventKind::BatchDeduped { .. } => "batch_deduped",
             EventKind::RunEnd { .. } => "run_end",
         }
     }
@@ -387,6 +445,50 @@ impl Event {
                 .set("to", *to)
                 .set("vertices", *vertices)
                 .set("bytes", *bytes),
+            EventKind::BatchDropped {
+                step,
+                round,
+                sender,
+                receiver,
+                seq_no,
+                attempt,
+                cause,
+            } => base
+                .set("step", *step)
+                .set("round", round.as_str())
+                .set("sender", *sender)
+                .set("receiver", *receiver)
+                .set("seq_no", *seq_no)
+                .set("attempt", *attempt)
+                .set("cause", cause.as_str()),
+            EventKind::BatchRetransmitted {
+                step,
+                round,
+                sender,
+                receiver,
+                seq_no,
+                attempt,
+                bytes,
+            } => base
+                .set("step", *step)
+                .set("round", round.as_str())
+                .set("sender", *sender)
+                .set("receiver", *receiver)
+                .set("seq_no", *seq_no)
+                .set("attempt", *attempt)
+                .set("bytes", *bytes),
+            EventKind::BatchDeduped {
+                step,
+                round,
+                sender,
+                receiver,
+                seq_no,
+            } => base
+                .set("step", *step)
+                .set("round", round.as_str())
+                .set("sender", *sender)
+                .set("receiver", *receiver)
+                .set("seq_no", *seq_no),
             EventKind::RunEnd {
                 supersteps,
                 total_bytes,
@@ -514,6 +616,40 @@ impl Event {
                 bytes,
             } => format!(
                 "[{:>4}] epoch {epoch} migrated partition {partition}: host {from} -> {to}, {vertices} vertices, {bytes}B",
+                self.seq
+            ),
+            EventKind::BatchDropped {
+                step,
+                round,
+                sender,
+                receiver,
+                seq_no,
+                attempt,
+                cause,
+            } => format!(
+                "[{:>4}] step {step} {round} batch {sender}->{receiver} #{seq_no} dropped ({cause}, attempt {attempt})",
+                self.seq
+            ),
+            EventKind::BatchRetransmitted {
+                step,
+                round,
+                sender,
+                receiver,
+                seq_no,
+                attempt,
+                bytes,
+            } => format!(
+                "[{:>4}] step {step} {round} batch {sender}->{receiver} #{seq_no} retransmitted (attempt {attempt}, {bytes}B)",
+                self.seq
+            ),
+            EventKind::BatchDeduped {
+                step,
+                round,
+                sender,
+                receiver,
+                seq_no,
+            } => format!(
+                "[{:>4}] step {step} {round} batch {sender}->{receiver} #{seq_no} duplicate discarded",
                 self.seq
             ),
             EventKind::RunEnd {
@@ -661,6 +797,34 @@ mod tests {
                 bytes: 0,
             }
             .tag(),
+            EventKind::BatchDropped {
+                step: 0,
+                round: String::new(),
+                sender: 0,
+                receiver: 0,
+                seq_no: 0,
+                attempt: 0,
+                cause: String::new(),
+            }
+            .tag(),
+            EventKind::BatchRetransmitted {
+                step: 0,
+                round: String::new(),
+                sender: 0,
+                receiver: 0,
+                seq_no: 0,
+                attempt: 0,
+                bytes: 0,
+            }
+            .tag(),
+            EventKind::BatchDeduped {
+                step: 0,
+                round: String::new(),
+                sender: 0,
+                receiver: 0,
+                seq_no: 0,
+            }
+            .tag(),
             EventKind::RunEnd {
                 supersteps: 0,
                 total_bytes: 0,
@@ -728,6 +892,76 @@ mod tests {
             assert!(!e.to_text().is_empty());
         }
         assert!(events[2].to_text().contains("rollback to 4"));
+    }
+
+    #[test]
+    fn delivery_events_render_and_round_trip() {
+        let events = [
+            Event {
+                seq: 0,
+                kind: EventKind::BatchDropped {
+                    step: 3,
+                    round: "upd".to_string(),
+                    sender: 1,
+                    receiver: 2,
+                    seq_no: 9,
+                    attempt: 0,
+                    cause: "loss".to_string(),
+                },
+            },
+            Event {
+                seq: 1,
+                kind: EventKind::BatchRetransmitted {
+                    step: 3,
+                    round: "upd".to_string(),
+                    sender: 1,
+                    receiver: 2,
+                    seq_no: 9,
+                    attempt: 1,
+                    bytes: 128,
+                },
+            },
+            Event {
+                seq: 2,
+                kind: EventKind::BatchDeduped {
+                    step: 3,
+                    round: "sync".to_string(),
+                    sender: 1,
+                    receiver: 2,
+                    seq_no: 9,
+                },
+            },
+        ];
+        let j0 = events[0].to_json();
+        assert_eq!(
+            j0.get("event").and_then(Json::as_str),
+            Some("batch_dropped")
+        );
+        assert_eq!(j0.get("cause").and_then(Json::as_str), Some("loss"));
+        assert_eq!(j0.get("round").and_then(Json::as_str), Some("upd"));
+        assert_eq!(j0.get("seq_no").and_then(Json::as_u64), Some(9));
+        let j1 = events[1].to_json();
+        assert_eq!(
+            j1.get("event").and_then(Json::as_str),
+            Some("batch_retransmitted")
+        );
+        assert_eq!(j1.get("attempt").and_then(Json::as_u64), Some(1));
+        assert_eq!(j1.get("bytes").and_then(Json::as_u64), Some(128));
+        let j2 = events[2].to_json();
+        assert_eq!(
+            j2.get("event").and_then(Json::as_str),
+            Some("batch_deduped")
+        );
+        assert_eq!(j2.get("sender").and_then(Json::as_u64), Some(1));
+        assert_eq!(j2.get("receiver").and_then(Json::as_u64), Some(2));
+        for e in &events {
+            let back = json::parse(&e.to_json().to_string()).unwrap();
+            assert_eq!(back, e.to_json());
+            assert!(!e.to_text().is_empty());
+        }
+        assert!(events[0].to_text().contains("dropped"));
+        assert!(events[1].to_text().contains("retransmitted"));
+        assert!(events[2].to_text().contains("duplicate discarded"));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::error::RuntimeError;
 use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
 use crate::state::WorkerState;
 use crate::stats::{RunStats, StepKind, StepStats};
+use crate::transport::{RoundBatches, ScriptedChannelFault, Transport};
 use crate::VertexData;
 use flash_graph::{Graph, PartitionMap, RebalanceReport, VertexId};
 use flash_obs::{Event, EventKind};
@@ -52,6 +53,9 @@ pub struct Cluster<V: VertexData> {
     /// Scripted fault injector, present only when the config carries a
     /// [`FaultPlan`](crate::fault::FaultPlan).
     injector: Option<FaultInjector>,
+    /// Reliable-delivery transport, present only when the fault plan has
+    /// channel faults (scripted or probabilistic).
+    transport: Option<Transport>,
     /// Last checkpoint plus the redo log of supersteps published since.
     recovery: RecoveryLog<V>,
     /// Effective checkpoint interval in supersteps (0 = disabled).
@@ -96,6 +100,11 @@ impl<V: VertexData> Cluster<V> {
             .map(|_| WorkerState::new(n, &init))
             .collect();
         let workers = config.workers;
+        let transport = config
+            .fault_plan
+            .as_ref()
+            .filter(|p| p.has_channel_faults())
+            .map(|p| Transport::new(p, workers));
         let injector = config
             .fault_plan
             .clone()
@@ -120,6 +129,7 @@ impl<V: VertexData> Cluster<V> {
             next_step: 0,
             next_seq: 0,
             injector,
+            transport,
             recovery: RecoveryLog::new(),
             checkpoint_every,
             failed: None,
@@ -203,11 +213,12 @@ impl<V: VertexData> Cluster<V> {
     }
 
     /// The terminal fault-recovery error, if some superstep exhausted its
-    /// retry budget. After exhaustion the injector is disabled and the
-    /// rest of the program executes normally (the simulation stays
-    /// deterministic), so converged values remain well-defined — but the
-    /// run must be reported as failed. Drivers check this once when
-    /// finishing a run.
+    /// retry budget — or the reliable-delivery transport exhausted its
+    /// retransmit budget for a batch. After exhaustion the failing layer
+    /// (injector or transport) is disabled and the rest of the program
+    /// executes normally (the simulation stays deterministic), so
+    /// converged values remain well-defined — but the run must be
+    /// reported as failed. Drivers check this once when finishing a run.
     pub fn fault_error(&self) -> Option<RuntimeError> {
         self.failed.clone()
     }
@@ -391,6 +402,8 @@ impl<V: VertexData> Cluster<V> {
         // owners of their target vertices.
         let t1 = Instant::now();
         let m = self.states.len();
+        let track_batches = self.transport.is_some();
+        let mut upd_batches = RoundBatches::new();
         let mut buckets: Vec<Vec<(VertexId, V)>> = vec![Vec::new(); m];
         for (w, st) in self.states.iter_mut().enumerate() {
             for (v, temp) in st.pending.drain() {
@@ -398,14 +411,25 @@ impl<V: VertexData> Cluster<V> {
                 // Traffic crosses the wire only between distinct physical
                 // hosts: after an elastic rebalance several logical workers
                 // may share a host, and their exchanges become local moves.
-                if self.partition.host_of_worker(owner) != self.partition.host_of_worker(w) {
+                let sender_host = self.partition.host_of_worker(w);
+                let owner_host = self.partition.host_of_worker(owner);
+                if owner_host != sender_host {
+                    let bytes = (4 + temp.bytes()) as u64;
                     stats.upd_messages += 1;
-                    stats.upd_bytes += (4 + temp.bytes()) as u64;
+                    stats.upd_bytes += bytes;
+                    if track_batches {
+                        let batch = upd_batches
+                            .entry((sender_host, owner_host))
+                            .or_insert((0, 0));
+                        batch.0 += 1;
+                        batch.1 += bytes;
+                    }
                 }
                 buckets[owner].push((v, temp));
             }
         }
         stats.serialize = t1.elapsed();
+        self.deliver_round(step_id, "upd", &upd_batches);
 
         // Communication round 1: masters merge incoming temporaries into
         // their current value (d_new = R(t, d) per Algorithm 6).
@@ -640,7 +664,14 @@ impl<V: VertexData> Cluster<V> {
                         detected.push(spec);
                     }
                 }
-                FaultKind::Straggler | FaultKind::Rejoin => {}
+                // Stragglers, rejoins and channel faults never surface
+                // here: `failures()` filters them out (channel faults are
+                // handled below the barrier by the transport).
+                FaultKind::Straggler
+                | FaultKind::Rejoin
+                | FaultKind::Drop
+                | FaultKind::Duplicate
+                | FaultKind::Reorder => {}
             }
         }
         detected
@@ -686,19 +717,29 @@ impl<V: VertexData> Cluster<V> {
         reason: &str,
         attempt: u64,
     ) -> Result<(), RuntimeError> {
+        // This path is reached from fault handling, so it must degrade to
+        // typed errors rather than panic — even on the "impossible" shapes
+        // (an empty dead-set, a checkpoint that vanished between the check
+        // and the rollback).
+        let lost = dead.first().copied().unwrap_or(0);
         if self.recovery.checkpoint_step().is_none() {
             return Err(RuntimeError::WorkerLost {
-                worker: dead[0],
+                worker: lost,
                 step: step_id,
             });
         }
         for st in &mut self.states {
             st.discard_staged();
         }
-        let (from_step, replayed, bytes) = self
-            .recovery
-            .rollback(&mut self.states)
-            .expect("a checkpoint is installed");
+        let (from_step, replayed, bytes) = match self.recovery.rollback(&mut self.states) {
+            Some(r) => r,
+            None => {
+                return Err(RuntimeError::WorkerLost {
+                    worker: lost,
+                    step: step_id,
+                })
+            }
+        };
         self.stats.recovery.rollbacks += 1;
         self.stats.recovery.replayed_supersteps += replayed;
         if let Some(net) = &self.config.network {
@@ -714,7 +755,7 @@ impl<V: VertexData> Cluster<V> {
         let report = Arc::make_mut(&mut self.partition)
             .rebalance(dead)
             .map_err(|_| RuntimeError::WorkerLost {
-                worker: dead[0],
+                worker: lost,
                 step: step_id,
             })?;
         self.stats.recovery.workers_lost += dead.len() as u64;
@@ -926,11 +967,20 @@ impl<V: VertexData> Cluster<V> {
         if m <= 1 {
             return;
         }
+        let step_id = self.next_step;
         let t = Instant::now();
         let sync_mode = self.config.sync_mode;
+        let track_batches = self.transport.is_some();
+        let mut sync_batches = RoundBatches::new();
+        let live_hosts: Vec<usize> = if track_batches {
+            self.partition.live_hosts()
+        } else {
+            Vec::new()
+        };
         let mut host_buf: Vec<u16> = Vec::new();
         #[allow(clippy::needless_range_loop)] // w is the sender id, used beyond indexing
         for w in 0..m {
+            let sender_host = self.partition.host_of_worker(w);
             for &v in &updated[w] {
                 // Wire traffic is counted per distinct recipient *host*:
                 // after an elastic rebalance several logical partitions can
@@ -941,7 +991,7 @@ impl<V: VertexData> Cluster<V> {
                     SyncScope::Necessary => self.partition.necessary_mirror_hosts(v, &mut host_buf),
                     SyncScope::All => self.partition.num_live_hosts().saturating_sub(1),
                 } as u64;
-                match sync_mode {
+                let bytes = match sync_mode {
                     SyncMode::Full => {
                         let payload = self.states[w].current[v as usize].clone();
                         let bytes = (4 + payload.bytes()) as u64;
@@ -950,6 +1000,7 @@ impl<V: VertexData> Cluster<V> {
                         self.for_each_recipient(w, v, scope, |st| {
                             st.current[v as usize] = payload.clone();
                         });
+                        bytes
                     }
                     SyncMode::CriticalOnly => {
                         let payload = self.states[w].current[v as usize].critical();
@@ -959,11 +1010,36 @@ impl<V: VertexData> Cluster<V> {
                         self.for_each_recipient(w, v, scope, |st| {
                             st.current[v as usize].apply_critical(payload.clone());
                         });
+                        bytes
+                    }
+                };
+                if track_batches && recipient_hosts > 0 {
+                    match scope {
+                        SyncScope::Necessary => {
+                            for &h in &host_buf {
+                                let batch = sync_batches
+                                    .entry((sender_host, h as usize))
+                                    .or_insert((0, 0));
+                                batch.0 += 1;
+                                batch.1 += bytes;
+                            }
+                        }
+                        SyncScope::All => {
+                            for &h in &live_hosts {
+                                if h != sender_host {
+                                    let batch =
+                                        sync_batches.entry((sender_host, h)).or_insert((0, 0));
+                                    batch.0 += 1;
+                                    batch.1 += bytes;
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
         stats.communicate += t.elapsed();
+        self.deliver_round(step_id, "sync", &sync_batches);
     }
 
     /// Applies `apply` to the state of every sync recipient of `(w, v)`.
@@ -991,6 +1067,49 @@ impl<V: VertexData> Cluster<V> {
                         apply(&mut self.states[r]);
                     }
                 }
+            }
+        }
+    }
+
+    /// Runs one message round's batches through the reliable-delivery
+    /// transport (a no-op when the plan has no channel faults). The
+    /// injector's channel faults due at this step fire here, resolved to
+    /// sending hosts; protocol events are re-emitted in order, and an
+    /// exhausted retransmit budget degrades the run exactly like
+    /// [`RuntimeError::RecoveryExhausted`] — `failed` is set once, and the
+    /// transport disables itself so the rest of the run stays
+    /// deterministic.
+    fn deliver_round(&mut self, step_id: u64, round: &str, batches: &RoundBatches) {
+        let Some(transport) = &mut self.transport else {
+            return;
+        };
+        let scripted: Vec<ScriptedChannelFault> = match &mut self.injector {
+            Some(inj) => {
+                let partition = &self.partition;
+                inj.channel_faults(step_id, |w| {
+                    let h = partition.host_of_worker(w);
+                    batches.keys().any(|&(sender, _)| sender == h)
+                })
+                .into_iter()
+                .map(|spec| (spec.kind, partition.host_of_worker(spec.worker), spec.times))
+                .collect()
+            }
+            None => Vec::new(),
+        };
+        let outcome = transport.deliver(
+            step_id,
+            round,
+            batches,
+            &scripted,
+            self.config.network.as_ref(),
+            &mut self.stats.delivery,
+        );
+        for kind in outcome.events {
+            self.emit(kind);
+        }
+        if let Some(err) = outcome.failure {
+            if self.failed.is_none() {
+                self.failed = Some(err);
             }
         }
     }

@@ -50,6 +50,20 @@ pub enum RuntimeError {
         /// The superstep at which it was lost.
         step: u64,
     },
+    /// Reliable delivery exhausted its retransmit budget for one batch:
+    /// every transmission attempt was lost on the wire, so the transport
+    /// degrades the run to this clean error instead of spinning forever —
+    /// the channel-layer mirror of [`RuntimeError::RecoveryExhausted`].
+    DeliveryExhausted {
+        /// The superstep whose message round could not be delivered.
+        step: u64,
+        /// Sending host of the undeliverable batch.
+        sender: usize,
+        /// Receiving host of the undeliverable batch.
+        receiver: usize,
+        /// Transmission attempts made (`1 +` the retransmit budget).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -81,6 +95,16 @@ impl fmt::Display for RuntimeError {
                 "worker {worker} permanently lost at superstep {step} with no checkpoint to \
                  recover from (checkpointing is disabled)"
             ),
+            RuntimeError::DeliveryExhausted {
+                step,
+                sender,
+                receiver,
+                attempts,
+            } => write!(
+                f,
+                "reliable delivery exhausted after {attempts} transmission attempts at \
+                 superstep {step} (batch from host {sender} to host {receiver})"
+            ),
         }
     }
 }
@@ -111,5 +135,15 @@ mod tests {
         assert!(w.to_string().contains("checkpoint"));
         let p = RuntimeError::InvalidFaultPlan("duplicate spec".into());
         assert!(p.to_string().contains("duplicate spec"));
+        let d = RuntimeError::DeliveryExhausted {
+            step: 3,
+            sender: 1,
+            receiver: 2,
+            attempts: 4,
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("delivery"), "{msg}");
+        assert!(msg.contains('3') && msg.contains('4'), "{msg}");
+        assert!(msg.contains("host 1") && msg.contains("host 2"), "{msg}");
     }
 }

@@ -26,13 +26,31 @@
 //!                       membership declares it dead once the retry budget
 //!                       is spent; see DESIGN.md §9)
 //! rejoin@6:w1           a previously dead worker 1 rejoins at superstep 6
-//! retries=2             retry budget per superstep (default 3)
+//! drop@3:w1             the lossy channel eats every cross-host batch
+//!                       worker 1 sends at superstep 3 (first transmission;
+//!                       retransmission recovers it)
+//! drop@3:w1:x4          the drop swallows the first four transmission
+//!                       attempts of each affected batch — more than the
+//!                       retry budget exhausts delivery
+//! dup@3:w1              worker 1's batches are delivered twice (the
+//!                       receive-side dedup window discards the copy)
+//! reorder@3:w1          worker 1's batches arrive a round late, after the
+//!                       sender has already retransmitted them
+//! loss=0.05             seeded probabilistic mode: every cross-host batch
+//!                       transmission is dropped with probability 0.05
+//! dupRate=0.01          every delivered batch is duplicated with
+//!                       probability 0.01
+//! corruptRate=0.01      every batch copy arrives with a flipped wire
+//!                       checksum with probability 0.01 (detected, nacked
+//!                       and retransmitted)
+//! retries=2             retry budget per superstep — and per-batch
+//!                       retransmit budget (default 3)
 //! backoff=500us         base of the capped exponential backoff
 //! cap=16ms              backoff cap
 //! detector=50ms         failure-detector deadline: a straggler that delays
 //!                       the barrier by at least this much simulated time
 //!                       is declared permanently dead (default 100ms)
-//! seed=42               PRNG seed for corruption nonces
+//! seed=42               PRNG seed for corruption nonces and channel draws
 //! ```
 //!
 //! Durations accept `ns`, `us`, `ms` and `s` suffixes, with optional
@@ -86,6 +104,19 @@ pub enum FaultKind {
     /// reclaims its home partition. Must be paired with an earlier `die`
     /// on the same worker.
     Rejoin,
+    /// The lossy channel silently discards every cross-host batch the
+    /// worker sends at the scripted superstep. The `:xN` repeat count is
+    /// the number of *transmission attempts* swallowed per batch, so a
+    /// count above the retry budget exhausts delivery.
+    Drop,
+    /// Every cross-host batch the worker sends at the scripted superstep
+    /// is delivered twice; the receive-side dedup window discards the
+    /// extra copy.
+    Duplicate,
+    /// Every cross-host batch the worker sends at the scripted superstep
+    /// is delayed past the ack deadline and arrives a round late, racing
+    /// its own retransmission; the dedup window keeps exactly one copy.
+    Reorder,
 }
 
 impl FaultKind {
@@ -97,7 +128,20 @@ impl FaultKind {
             FaultKind::Straggler => "straggle",
             FaultKind::Die => "die",
             FaultKind::Rejoin => "rejoin",
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Reorder => "reorder",
         }
+    }
+
+    /// Whether this kind targets the message channel (handled by the
+    /// reliable-delivery transport) rather than worker compute state
+    /// (handled by checkpoint/rollback recovery).
+    pub fn is_channel(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Drop | FaultKind::Duplicate | FaultKind::Reorder
+        )
     }
 }
 
@@ -140,6 +184,16 @@ pub struct FaultPlan {
     /// this is declared permanently dead at the barrier instead of merely
     /// charging skew.
     pub detector_timeout: Duration,
+    /// Probabilistic channel loss: every cross-host batch transmission is
+    /// dropped with this probability (seeded, so deterministic per plan).
+    pub loss: f64,
+    /// Probabilistic duplication: every delivered batch is delivered a
+    /// second time with this probability.
+    pub dup_rate: f64,
+    /// Probabilistic wire corruption: every delivered batch copy arrives
+    /// with a flipped checksum with this probability. The receiver detects
+    /// the mismatch, nacks, and the sender retransmits.
+    pub corrupt_rate: f64,
 }
 
 impl Default for FaultPlan {
@@ -151,6 +205,9 @@ impl Default for FaultPlan {
             backoff_cap: DEFAULT_BACKOFF_CAP,
             seed: DEFAULT_SEED,
             detector_timeout: DEFAULT_DETECTOR_TIMEOUT,
+            loss: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
         }
     }
 }
@@ -204,6 +261,9 @@ impl FaultPlan {
                             .parse()
                             .map_err(|_| format!("invalid seed value {value:?}"))?;
                     }
+                    "loss" => plan.loss = parse_rate("loss", value)?,
+                    "dupRate" => plan.dup_rate = parse_rate("dupRate", value)?,
+                    "corruptRate" => plan.corrupt_rate = parse_rate("corruptRate", value)?,
                     other => return Err(format!("unknown fault-plan option {other:?}")),
                 }
                 continue;
@@ -252,6 +312,16 @@ impl FaultPlan {
     /// cluster size.
     pub fn max_worker(&self) -> Option<usize> {
         self.specs.iter().map(|s| s.worker).max()
+    }
+
+    /// Whether the plan exercises the channel at all — scripted
+    /// drop/dup/reorder specs or a nonzero probabilistic rate. The cluster
+    /// uses this to decide whether delivery bookkeeping is worth charging.
+    pub fn has_channel_faults(&self) -> bool {
+        self.specs.iter().any(|s| s.kind.is_channel())
+            || self.loss > 0.0
+            || self.dup_rate > 0.0
+            || self.corrupt_rate > 0.0
     }
 
     /// Validates the plan against a cluster of `workers` workers. Called
@@ -318,6 +388,17 @@ impl FaultPlan {
         if !dying.is_empty() && dying.len() >= workers {
             return Err("the plan kills every worker; at least one must survive".into());
         }
+        for (name, rate) in [
+            ("loss", self.loss),
+            ("dupRate", self.dup_rate),
+            ("corruptRate", self.corrupt_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                return Err(format!(
+                    "{name}={rate} is not a probability; rates must lie in [0, 1]"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -352,8 +433,30 @@ impl FaultPlan {
         if self.seed != DEFAULT_SEED {
             parts.push(format!("seed={}", self.seed));
         }
+        for (name, rate) in [
+            ("loss", self.loss),
+            ("dupRate", self.dup_rate),
+            ("corruptRate", self.corrupt_rate),
+        ] {
+            if rate != 0.0 {
+                parts.push(format!("{name}={rate}"));
+            }
+        }
         parts.join(",")
     }
+}
+
+/// Parses a probabilistic channel-fault rate in `[0, 1]`.
+fn parse_rate(name: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|_| format!("invalid {name} value {value:?}"))?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "{name}={value} is not a probability; rates must lie in [0, 1]"
+        ));
+    }
+    Ok(rate)
 }
 
 fn parse_spec(part: &str) -> Result<FaultSpec, String> {
@@ -366,9 +469,13 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
         "straggle" | "straggler" => FaultKind::Straggler,
         "die" => FaultKind::Die,
         "rejoin" => FaultKind::Rejoin,
+        "drop" => FaultKind::Drop,
+        "dup" => FaultKind::Duplicate,
+        "reorder" => FaultKind::Reorder,
         other => {
             return Err(format!(
-                "unknown fault kind {other:?} (expected crash, corrupt, straggle, die or rejoin)"
+                "unknown fault kind {other:?} (expected crash, corrupt, straggle, die, \
+                 rejoin, drop, dup or reorder)"
             ))
         }
     };
@@ -400,10 +507,20 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
                 kind.label()
             ));
         }
+        if matches!(kind, FaultKind::Duplicate | FaultKind::Reorder) {
+            return Err(format!(
+                "{} faults take no extra segment; {seg:?} does not apply in {part:?}",
+                kind.label()
+            ));
+        }
         if let Some(n) = seg.strip_prefix('x') {
             spec.times = n
                 .parse()
                 .map_err(|_| format!("invalid repeat count {seg:?} in fault spec {part:?}"))?;
+        } else if kind == FaultKind::Drop {
+            return Err(format!(
+                "drop faults take only an :xN attempt count; {seg:?} does not apply in {part:?}"
+            ));
         } else {
             spec.delay = parse_duration(seg)?;
         }
@@ -516,11 +633,47 @@ impl FaultInjector {
     }
 
     /// Crash/corruption/die specs firing at `step` on the current attempt,
-    /// consuming one fire from each.
+    /// consuming one fire from each. Channel faults are *not* failures —
+    /// they never roll a superstep back; the transport handles them below
+    /// the barrier.
     pub(crate) fn failures(&mut self, step: u64) -> Vec<FaultSpec> {
         self.take(step, |k| {
-            !matches!(k, FaultKind::Straggler | FaultKind::Rejoin)
+            matches!(
+                k,
+                FaultKind::Crash | FaultKind::CorruptSync | FaultKind::Die
+            )
         })
+    }
+
+    /// Channel-fault specs armed at `step` whose target worker actually
+    /// sends cross-host traffic this round (per the `sends` predicate).
+    /// Fully consumed: the transport replays the spec across transmission
+    /// attempts itself, so the injector's per-attempt accounting does not
+    /// apply. Guarding on `sends` keeps a spec armed until a round where
+    /// it can observably fire instead of silently burning out.
+    pub(crate) fn channel_faults(
+        &mut self,
+        step: u64,
+        sends: impl Fn(usize) -> bool,
+    ) -> Vec<FaultSpec> {
+        if !self.active {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if self.dead[spec.worker] {
+                continue;
+            }
+            if spec.kind.is_channel()
+                && spec.step <= step
+                && self.fired[i] < spec.times.max(1)
+                && sends(spec.worker)
+            {
+                self.fired[i] = spec.times.max(1);
+                out.push(spec.clone());
+            }
+        }
+        out
     }
 
     /// Straggler specs firing at `step`, consuming one fire from each.
@@ -828,6 +981,63 @@ mod tests {
         assert_eq!(r.len(), 1, "rejoin fires despite the dead mark");
         assert_eq!(r[0].kind, FaultKind::Rejoin);
         assert!(inj.rejoins(5).is_empty(), "rejoin is one-shot");
+    }
+
+    #[test]
+    fn parses_channel_specs_and_rates() {
+        let p = FaultPlan::parse("drop@3:w1,dup@4:w0,reorder@5:w2,loss=0.05,dupRate=0.01").unwrap();
+        assert_eq!(p.specs.len(), 3);
+        assert_eq!(p.specs[0].kind, FaultKind::Drop);
+        assert_eq!(p.specs[0].times, 1);
+        assert_eq!(p.specs[1].kind, FaultKind::Duplicate);
+        assert_eq!(p.specs[2].kind, FaultKind::Reorder);
+        assert_eq!(p.loss, 0.05);
+        assert_eq!(p.dup_rate, 0.01);
+        assert_eq!(p.corrupt_rate, 0.0);
+        assert!(p.has_channel_faults());
+        assert!(!FaultPlan::parse("crash@1:w0").unwrap().has_channel_faults());
+        assert!(FaultPlan::parse("corruptRate=0.5")
+            .unwrap()
+            .has_channel_faults());
+        // Drop takes an :xN attempt count; dup/reorder take no segment.
+        assert_eq!(FaultPlan::parse("drop@3:w1:x4").unwrap().specs[0].times, 4);
+        assert!(FaultPlan::parse("drop@3:w1:400us").is_err());
+        assert!(FaultPlan::parse("dup@3:w1:x2").is_err());
+        assert!(FaultPlan::parse("reorder@3:w1:400us").is_err());
+        // Rates must be probabilities.
+        assert!(FaultPlan::parse("loss=1.5").is_err());
+        assert!(FaultPlan::parse("dupRate=-0.1").is_err());
+        assert!(FaultPlan::parse("corruptRate=nan").is_err());
+        // And the summary round-trips.
+        let again = FaultPlan::parse(&p.summary()).unwrap();
+        assert_eq!(p, again);
+        let q = FaultPlan::parse("drop@3:w1:x4,corruptRate=0.25").unwrap();
+        assert_eq!(FaultPlan::parse(&q.summary()).unwrap(), q);
+    }
+
+    #[test]
+    fn channel_faults_wait_for_a_sending_round() {
+        let plan = FaultPlan::parse("drop@2:w1,dup@2:w0").unwrap();
+        let mut inj = FaultInjector::new(plan, 3);
+        assert!(inj.channel_faults(1, |_| true).is_empty(), "not armed yet");
+        // Worker 1 sends nothing this round: its spec stays armed.
+        let fired = inj.channel_faults(2, |w| w == 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, FaultKind::Duplicate);
+        // Next round worker 1 sends — the drop fires now, and only once.
+        let fired = inj.channel_faults(3, |_| true);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, FaultKind::Drop);
+        assert!(inj.channel_faults(4, |_| true).is_empty(), "fully consumed");
+    }
+
+    #[test]
+    fn channel_faults_never_surface_as_failures() {
+        let plan = FaultPlan::parse("drop@1:w0,dup@1:w1,reorder@1:w2,crash@1:w0").unwrap();
+        let mut inj = FaultInjector::new(plan, 3);
+        let failures = inj.failures(1);
+        assert_eq!(failures.len(), 1, "only the crash rolls the step back");
+        assert_eq!(failures[0].kind, FaultKind::Crash);
     }
 
     #[test]

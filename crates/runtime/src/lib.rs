@@ -36,7 +36,12 @@
 //!   the `detector=` timeout), re-homes their partitions onto the
 //!   survivors from the last checkpoint, and lets scripted `rejoin@`
 //!   events grow the cluster back — all without changing results by a
-//!   single bit (DESIGN.md §9).
+//!   single bit (DESIGN.md §9);
+//! * **reliable delivery over a lossy channel** — `drop@`/`dup@`/`reorder@`
+//!   faults and seeded `loss=`/`dupRate=`/`corruptRate=` modes exercise an
+//!   ack/retransmit protocol with wire sequence numbers, batch checksums
+//!   and a receive-side dedup window, so delivery stays exactly-once from
+//!   the algorithm's point of view ([`transport`], DESIGN.md §10).
 
 pub mod checkpoint;
 pub mod cluster;
@@ -49,6 +54,7 @@ pub mod par;
 pub mod plan;
 pub mod state;
 pub mod stats;
+pub mod transport;
 
 pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, StepOutput};
@@ -60,7 +66,8 @@ pub use fault::{
     MAX_PLAUSIBLE_STEP,
 };
 pub use netmodel::NetworkModel;
-pub use stats::{RecoveryStats, RunStats, StepKind, StepStats};
+pub use stats::{DeliveryStats, RecoveryStats, RunStats, StepKind, StepStats};
+pub use transport::{batch_checksum, DedupWindow, Transport};
 
 /// Vertex state stored by FLASHWARE for every vertex of the graph.
 ///

@@ -62,6 +62,15 @@ impl NetworkModel {
         self.latency * rounds + transfer
     }
 
+    /// Simulated cost of one retransmission: the sender waits out the ack
+    /// deadline (one message round of latency) and re-ships the batch's
+    /// bytes. Charged by the reliable-delivery transport for every
+    /// retransmitted batch so lossy runs honestly cost more than clean
+    /// ones.
+    pub fn retransmit_cost(&self, bytes: u64) -> Duration {
+        self.cost(1, bytes)
+    }
+
     /// Simulated cost of one rollback: fetching the checkpoint plus
     /// re-broadcasting `bytes` of recovered state, with one message round
     /// for the checkpoint fetch and one per replayed superstep (each redo
@@ -113,6 +122,13 @@ mod tests {
         assert_eq!(m.recovery_cost(0, 0), m.latency, "checkpoint fetch round");
         assert_eq!(m.recovery_cost(3, 0), m.latency * 4);
         assert!(m.recovery_cost(3, 1_000_000) > m.recovery_cost(3, 0));
+    }
+
+    #[test]
+    fn retransmit_cost_is_one_round_plus_bytes() {
+        let m = NetworkModel::ten_gbe();
+        assert_eq!(m.retransmit_cost(0), m.latency);
+        assert_eq!(m.retransmit_cost(1_000_000), m.cost(1, 1_000_000));
     }
 
     #[test]

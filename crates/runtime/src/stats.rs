@@ -197,6 +197,60 @@ impl RecoveryStats {
     }
 }
 
+/// Reliable-delivery counters of a run: lossy-channel activity and the
+/// ack/retransmit protocol's work (all zero on runs without channel
+/// faults). See [`crate::transport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Cross-host batches handed to the transport (one per
+    /// (sender-host, receiver-host) pair per message round).
+    pub batches_sent: u64,
+    /// Transmission attempts lost on the wire (scripted `drop@` or
+    /// probabilistic `loss=`).
+    pub batches_dropped: u64,
+    /// Batches delivered more than once by the channel (scripted `dup@` or
+    /// probabilistic `dupRate=`).
+    pub batches_duplicated: u64,
+    /// Batches delayed past the ack deadline by a scripted `reorder@`,
+    /// arriving a round late alongside their own retransmission.
+    pub batches_reordered: u64,
+    /// Retransmissions performed after a missed ack.
+    pub retransmits: u64,
+    /// Payload bytes re-shipped by retransmissions.
+    pub retransmitted_bytes: u64,
+    /// Batch copies discarded by the receive-side dedup window.
+    pub dedup_hits: u64,
+    /// Batch copies rejected for a wire-checksum mismatch (each nacked and
+    /// retransmitted).
+    pub checksum_failures: u64,
+    /// Simulated network time of all retransmissions (one ack-deadline
+    /// round of latency plus the re-shipped bytes, per retransmit).
+    pub retransmit_net: Duration,
+}
+
+impl DeliveryStats {
+    /// Total simulated delivery overhead added to the parallel runtime:
+    /// the retransmission traffic charged through the network model.
+    pub fn overhead(&self) -> Duration {
+        self.retransmit_net
+    }
+
+    /// Machine-readable rendering (durations in µs).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("batches_sent", self.batches_sent)
+            .set("batches_dropped", self.batches_dropped)
+            .set("batches_duplicated", self.batches_duplicated)
+            .set("batches_reordered", self.batches_reordered)
+            .set("retransmits", self.retransmits)
+            .set("retransmitted_bytes", self.retransmitted_bytes)
+            .set("dedup_hits", self.dedup_hits)
+            .set("checksum_failures", self.checksum_failures)
+            .set("retransmit_net_us", self.retransmit_net.as_micros() as u64)
+            .set("overhead_us", self.overhead().as_micros() as u64)
+    }
+}
+
 /// Accumulated statistics of a run (a sequence of supersteps).
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -204,6 +258,9 @@ pub struct RunStats {
     /// Fault-tolerance activity of the run (zeros when no fault plan or
     /// checkpointing was configured).
     pub recovery: RecoveryStats,
+    /// Reliable-delivery activity of the run (zeros when the plan has no
+    /// channel faults).
+    pub delivery: DeliveryStats,
 }
 
 impl RunStats {
@@ -222,10 +279,11 @@ impl RunStats {
         self.steps.len()
     }
 
-    /// Clears all records, including recovery counters.
+    /// Clears all records, including recovery and delivery counters.
     pub fn clear(&mut self) {
         self.steps.clear();
         self.recovery = RecoveryStats::default();
+        self.delivery = DeliveryStats::default();
     }
 
     /// Total cross-worker bytes over the run.
@@ -254,13 +312,15 @@ impl RunStats {
     /// The simulated end-to-end parallel runtime: per-superstep worker
     /// makespan + measured communication + serialization + the simulated
     /// network charge, plus the recovery overhead (checkpointing, retry
-    /// backoff and rollback/replay traffic).
+    /// backoff and rollback/replay traffic) and the reliable-delivery
+    /// overhead (retransmission traffic).
     pub fn simulated_parallel_time(&self) -> Duration {
         self.steps
             .iter()
             .map(|s| s.compute_max + s.serialize + s.communicate + s.simulated_net)
             .sum::<Duration>()
             + self.recovery.overhead()
+            + self.delivery.overhead()
     }
 
     /// Summed serialization time.
@@ -353,6 +413,7 @@ impl RunStats {
                     .set("global", global),
             )
             .set("recovery", self.recovery.to_json())
+            .set("delivery", self.delivery.to_json())
     }
 
     /// Full machine-readable rendering: the summary plus every superstep.
@@ -509,6 +570,49 @@ mod tests {
             Some(40)
         );
         assert_eq!(rec.get("migrated_bytes").and_then(Json::as_u64), Some(320));
+    }
+
+    #[test]
+    fn delivery_overhead_feeds_simulated_time_and_json() {
+        let mut r = RunStats::default();
+        let mut s = StepStats::new(StepKind::VertexMap, 1);
+        s.compute_max = Duration::from_micros(100);
+        r.push(s);
+        let base = r.simulated_parallel_time();
+        r.delivery.batches_sent = 12;
+        r.delivery.batches_dropped = 2;
+        r.delivery.batches_duplicated = 1;
+        r.delivery.batches_reordered = 1;
+        r.delivery.retransmits = 2;
+        r.delivery.retransmitted_bytes = 256;
+        r.delivery.dedup_hits = 2;
+        r.delivery.checksum_failures = 1;
+        r.delivery.retransmit_net = Duration::from_micros(60);
+        assert_eq!(r.delivery.overhead(), Duration::from_micros(60));
+        assert_eq!(
+            r.simulated_parallel_time(),
+            base + Duration::from_micros(60)
+        );
+        let j = r.summary_json();
+        let d = j.get("delivery").expect("summary carries delivery");
+        assert_eq!(d.get("batches_sent").and_then(Json::as_u64), Some(12));
+        assert_eq!(d.get("batches_dropped").and_then(Json::as_u64), Some(2));
+        assert_eq!(d.get("batches_duplicated").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("batches_reordered").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("retransmits").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            d.get("retransmitted_bytes").and_then(Json::as_u64),
+            Some(256)
+        );
+        assert_eq!(d.get("dedup_hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(d.get("checksum_failures").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("retransmit_net_us").and_then(Json::as_u64), Some(60));
+        r.clear();
+        assert_eq!(
+            r.delivery,
+            DeliveryStats::default(),
+            "clear resets delivery"
+        );
     }
 
     #[test]

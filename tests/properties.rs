@@ -369,6 +369,99 @@ fn sssp_matches_dijkstra() {
 }
 
 #[test]
+fn dedup_window_never_admits_a_sequence_twice() {
+    use flash_runtime::DedupWindow;
+    let mut rng = Prng::seed_from_u64(0xC1);
+    for case in 0..CASES {
+        let pairs = rng.gen_range(1usize..6);
+        let mut w = DedupWindow::new(pairs);
+        let mut admitted = std::collections::HashSet::new();
+        // Random interleavings with heavy repetition: in-order runs,
+        // ahead-of-order arrivals, and stale replays of old sequences.
+        for _ in 0..200 {
+            let pair = rng.gen_range(0usize..pairs);
+            let seq = u64::from(rng.gen_range(0u32..40));
+            let fresh = admitted.insert((pair, seq));
+            assert_eq!(
+                w.admit(pair, seq),
+                fresh,
+                "case {case}: pair {pair} seq {seq} must be admitted exactly once"
+            );
+        }
+    }
+}
+
+#[test]
+fn transport_retransmits_never_exceed_the_budget() {
+    use flash_runtime::transport::{RoundBatches, Transport};
+    use flash_runtime::{DeliveryStats, FaultPlan};
+    let mut rng = Prng::seed_from_u64(0xC2);
+    for case in 0..CASES {
+        let loss = (rng.next_u64() % 40) as f64 / 100.0;
+        let dup = (rng.next_u64() % 20) as f64 / 100.0;
+        let corrupt = (rng.next_u64() % 20) as f64 / 100.0;
+        let retries = 2 + (rng.next_u64() % 6) as u32;
+        let plan = FaultPlan::parse(&format!(
+            "loss={loss},dupRate={dup},corruptRate={corrupt},retries={retries},seed={}",
+            rng.next_u64()
+        ))
+        .unwrap();
+        let hosts = 2 + rng.gen_range(0usize..3);
+        let mut t = Transport::new(&plan, hosts);
+        let mut stats = DeliveryStats::default();
+        for step in 1..=4u64 {
+            let mut batches = RoundBatches::new();
+            for s in 0..hosts {
+                for r in 0..hosts {
+                    if s != r && rng.next_u64().is_multiple_of(2) {
+                        batches.insert((s, r), (1 + rng.next_u64() % 9, 64 + rng.next_u64() % 512));
+                    }
+                }
+            }
+            let out = t.deliver(step, "sync", &batches, &[], None, &mut stats);
+            // Each batch gets at most `retries` retransmissions before the
+            // sender gives up, so the totals are bounded by the budget.
+            assert!(
+                stats.retransmits <= stats.batches_sent * u64::from(retries),
+                "case {case}: {stats:?}"
+            );
+            if out.failure.is_some() {
+                assert!(!t.active, "case {case}: exhaustion disables the transport");
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_checksums_detect_any_framing_change() {
+    use flash_runtime::batch_checksum;
+    let mut rng = Prng::seed_from_u64(0xC3);
+    for case in 0..CASES {
+        let f = [
+            rng.next_u64() % 8,
+            rng.next_u64() % 8,
+            rng.next_u64() % 1000,
+            1 + rng.next_u64() % 500,
+            1 + rng.next_u64() % 4096,
+        ];
+        let sum = |f: [u64; 5]| batch_checksum(f[0] as usize, f[1] as usize, f[2], f[3], f[4]);
+        let base = sum(f);
+        assert_eq!(base, sum(f), "case {case}: checksums are deterministic");
+        // Perturbing any single framing field changes the checksum.
+        for (i, _) in f.iter().enumerate() {
+            let mut other = f;
+            other[i] = other[i].wrapping_add(1 + rng.next_u64() % 1000);
+            assert_ne!(base, sum(other), "case {case}: field {i} not covered");
+        }
+        // A corruption nonce is a nonzero XOR of the wire checksum, so the
+        // receiver's recomputation always detects it.
+        let nonce = rng.next_u64() | 1;
+        assert_ne!(base, base ^ nonce, "case {case}");
+    }
+}
+
+#[test]
 fn bc_matches_brandes() {
     let mut rng = Prng::seed_from_u64(0xB5);
     for _ in 0..HEAVY_CASES {

@@ -11,6 +11,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (hot-path crates, deny redundant clones / index loops)"
+cargo clippy -p flash-runtime -p flash-core --all-targets -- \
+    -D warnings -D clippy::redundant_clone -D clippy::needless_range_loop
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -25,5 +29,11 @@ cargo run --release -q -p flash-bench --bin fig_elastic -- --smoke
 
 echo "==> lossy smoke (drop/dup/reorder channel + retransmit must be exact)"
 cargo run --release -q -p flash-bench --bin fig_lossy -- --smoke
+
+echo "==> hot-path smoke (pooled-parallel vs fresh-serial must be bit-identical)"
+cargo run --release -q -p flash-bench --bin perf_hotpath -- --smoke
+
+echo "==> bench snapshot (regenerates BENCH_flash.json at the repo root)"
+FLASH_SCALE=small cargo run --release -q -p flash-bench --bin bench_flash
 
 echo "==> OK"

@@ -1,6 +1,9 @@
 //! Writes the aggregate perf snapshot `BENCH_flash.json`: every CLI
 //! algorithm run on the OR stand-in (4 workers, adaptive mode), reported
-//! as `algorithm → {simulated_parallel_time, total_bytes, supersteps}`.
+//! as `algorithm → {simulated_parallel_time, total_bytes, supersteps}`,
+//! plus a `superstep_phases` section with the hot-path phase
+//! micro-measurements (upd-round bucketing makespan, pooled-parallel vs
+//! the fresh-serial baseline, and the mirror-sync fan-out cost).
 //!
 //! `FLASH_SCALE=small` uses the reduced dataset; `FLASH_BENCH_DIR` moves
 //! the snapshot. A per-algorithm detail file also lands in
@@ -11,7 +14,54 @@ use flash_bench::harness::Scale;
 use flash_bench::jsonio;
 use flash_graph::Dataset;
 use flash_obs::Json;
+use flash_runtime::{ns_u64, us_half_up, HotPath, ModePolicy};
 use std::sync::Arc;
+
+/// Superstep-phase micro-measurements for the snapshot: a push-heavy
+/// workload (`cc` under `ForceSparse`, 8 workers) run under both hot
+/// paths. Reports the serialization makespan (slowest bucketing thread —
+/// wall-clock parallel speedups are unobservable on a single-core host),
+/// total serialize wall time, and the mirror-sync (`communicate`) cost.
+fn superstep_phases(g: &Arc<flash_graph::Graph>) -> Result<Json, String> {
+    let mut phases = Json::object();
+    let mut makespans = [0.0f64; 2];
+    for (slot, (label, hotpath)) in [
+        ("fresh_serial", HotPath::FreshSerial),
+        ("pooled_parallel", HotPath::PooledParallel),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let opts = CliOptions {
+            algo: "cc".to_string(),
+            dataset: Some(Dataset::Orkut),
+            workers: 8,
+            mode: ModePolicy::ForceSparse,
+            hotpath,
+            ..CliOptions::default()
+        };
+        let (_, stats) = dispatch(&opts, g)?;
+        let makespan = stats.parallel_serialize_time();
+        makespans[slot] = makespan.as_secs_f64();
+        phases = phases.set(
+            label,
+            Json::object()
+                .set("serialize_makespan_us", us_half_up(makespan))
+                .set("serialize_makespan_ns", ns_u64(makespan))
+                .set("serialize_wall_ns", ns_u64(stats.serialize_time()))
+                .set("mirror_sync_ns", ns_u64(stats.communicate_time()))
+                .set("delivery_ns", ns_u64(stats.delivery_time())),
+        );
+    }
+    let speedup = if makespans[1] > 0.0 {
+        makespans[0] / makespans[1]
+    } else {
+        f64::INFINITY
+    };
+    Ok(phases
+        .set("workload", "cc/force-sparse/8w")
+        .set("serialize_speedup", speedup))
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -57,6 +107,13 @@ fn main() {
                 snapshot = snapshot.set(algo, Json::object().set("error", e.as_str()));
             }
         }
+    }
+
+    match superstep_phases(&g) {
+        Ok(phases) => {
+            snapshot = snapshot.set("superstep_phases", phases);
+        }
+        Err(e) => eprintln!("superstep_phases failed: {e}"),
     }
 
     let detail_doc = Json::object()

@@ -1,0 +1,354 @@
+//! `perf_hotpath` — the before/after experiment for the superstep hot-path
+//! overhaul (pooled buffers + parallel serialization + clone elimination).
+//!
+//! Two parts:
+//!
+//! 1. **Identity sweep** — runs every catalogue algorithm twice on the same
+//!    generated graph, once under the pooled-parallel hot path (the default)
+//!    and once under `HotPath::FreshSerial` (the literal pre-overhaul serial
+//!    path, kept as the A/B baseline), and checks the results are
+//!    bit-identical with identical per-superstep `upd_*`/`sync_*` message
+//!    and byte counters. Optimizations must be invisible to algorithms.
+//!
+//! 2. **Serialize-phase measurement** (skipped under `--smoke`) — runs a
+//!    push-heavy subset on the standard synthetic graph (the Table III OR
+//!    stand-in) at 8 workers and compares the serialization *makespan*
+//!    ([`flash_runtime::RunStats::parallel_serialize_time`]: the slowest
+//!    bucketing thread per superstep, the phase analogue of
+//!    `parallel_compute_time`) between the two paths. Wall-clock parallel
+//!    speedups are unobservable on a single-core host, so the makespan is
+//!    the number the acceptance bar (≥2× at 8 workers) is checked against.
+//!
+//! ```text
+//! perf_hotpath [--smoke] [--workers N] [--samples N]
+//! ```
+//!
+//! Writes `results/perf_hotpath.json` (override dir with
+//! `FLASH_RESULTS_DIR`); `--smoke` runs the identity sweep only and writes
+//! nothing, so CI cannot clobber the committed full-run artifact.
+
+use flash_bench::cli::{dispatch, CliOptions, ALGOS};
+use flash_bench::harness::Scale;
+use flash_bench::jsonio;
+use flash_bench::report::render_table;
+use flash_obs::Json;
+use flash_runtime::{ns_u64, us_half_up, HotPath, RunStats};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The algorithms the `--smoke` identity sweep exercises — one per kernel
+/// family, matching `fig_chaos`.
+const SMOKE_ALGOS: [&str; 4] = ["bfs", "cc", "kcore", "pagerank"];
+
+/// The push-heavy subset the serialize-phase measurement runs: algorithms
+/// whose supersteps are dominated by sparse mirror→master rounds, so the
+/// bucketing phase carries real work.
+const PERF_ALGOS: [&str; 5] = ["bfs", "cc", "cc-opt", "sssp", "mm"];
+
+/// Per-superstep counters that must not move by a single message or byte
+/// between the two hot paths.
+fn counter_trace(stats: &RunStats) -> Vec<(u64, u64, u64, u64)> {
+    stats
+        .steps()
+        .iter()
+        .map(|s| (s.upd_messages, s.upd_bytes, s.sync_messages, s.sync_bytes))
+        .collect()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut workers = 8usize;
+    let mut samples = 3usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--samples" => {
+                samples = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--samples needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: perf_hotpath [--smoke] [--workers N] [--samples N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let samples = samples.max(1);
+
+    let algos: &[&str] = if smoke { &SMOKE_ALGOS } else { &ALGOS };
+    println!(
+        "Hot-path experiment — identity sweep over {} algorithms, {} workers\n",
+        algos.len(),
+        workers
+    );
+
+    let g = Arc::new(flash_graph::generators::erdos_renyi(48, 160, 11));
+    let weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &g, 0.1, 2.0, 4,
+    ));
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut broken = Vec::new();
+    for &algo in algos {
+        let graph = if algo == "msf" || algo == "sssp" {
+            &weighted
+        } else {
+            &g
+        };
+        let mut pooled_opts = CliOptions {
+            algo: algo.to_string(),
+            workers,
+            iters: 3,
+            ..CliOptions::default()
+        };
+        // `dispatch` takes the graph explicitly; the dataset field is only
+        // used for loading, which this binary bypasses.
+        pooled_opts.dataset = Some(flash_graph::Dataset::Orkut);
+        let mut fresh_opts = pooled_opts.clone();
+        fresh_opts.hotpath = HotPath::FreshSerial;
+
+        let (pooled_summary, pooled_stats) = match dispatch(&pooled_opts, graph) {
+            Ok(r) => r,
+            Err(e) => {
+                broken.push(format!("{algo} (pooled): {e}"));
+                continue;
+            }
+        };
+        let (fresh_summary, fresh_stats) = match dispatch(&fresh_opts, graph) {
+            Ok(r) => r,
+            Err(e) => {
+                broken.push(format!("{algo} (fresh-serial): {e}"));
+                continue;
+            }
+        };
+
+        let same_result = pooled_summary == fresh_summary;
+        let same_counters = counter_trace(&pooled_stats) == counter_trace(&fresh_stats);
+        let identical = same_result && same_counters;
+        if !identical {
+            broken.push(format!(
+                "{algo}: diverged — result identical: {same_result}, \
+                 counters identical: {same_counters} \
+                 (pooled {:?} / {} steps vs fresh {:?} / {} steps)",
+                pooled_summary,
+                pooled_stats.num_supersteps(),
+                fresh_summary,
+                fresh_stats.num_supersteps()
+            ));
+        }
+        rows.push((
+            algo.to_string(),
+            vec![
+                if identical { "ok" } else { "DIVERGED" }.to_string(),
+                pooled_stats.num_supersteps().to_string(),
+                pooled_stats.total_messages().to_string(),
+                pooled_stats.total_bytes().to_string(),
+            ],
+        ));
+        json_rows.push(
+            Json::object()
+                .set("algo", algo)
+                .set("identical", identical)
+                .set("summary", pooled_summary.as_str())
+                .set("supersteps", pooled_stats.num_supersteps())
+                .set("total_messages", pooled_stats.total_messages())
+                .set("total_bytes", pooled_stats.total_bytes()),
+        );
+    }
+
+    println!(
+        "{}",
+        render_table(&["Algo", "identical", "steps", "msgs", "bytes"], &rows)
+    );
+
+    if smoke {
+        if !broken.is_empty() {
+            eprintln!("\nFAIL — {} divergence(s):", broken.len());
+            for b in &broken {
+                eprintln!("  {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("smoke mode: identity sweep only, skipping perf measurement");
+        return;
+    }
+
+    // Part 2: the serialize-phase makespan measurement on the standard
+    // synthetic graph. Each variant runs `samples` times and the
+    // least-noisy (minimum) makespan is kept per algorithm.
+    let scale = Scale::from_env();
+    let perf_graph = Arc::new(scale.load(flash_graph::Dataset::Orkut));
+    let perf_weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &perf_graph,
+        0.1,
+        2.0,
+        4,
+    ));
+    println!(
+        "Serialize-phase measurement — OR stand-in ({} vertices, {} edges), \
+         {} workers, best of {} sample(s)\n",
+        perf_graph.num_vertices(),
+        perf_graph.num_edges(),
+        workers,
+        samples
+    );
+
+    let mut perf_rows = Vec::new();
+    let mut perf_json = Vec::new();
+    let mut fresh_total = Duration::ZERO;
+    let mut pooled_total = Duration::ZERO;
+    for &algo in &PERF_ALGOS {
+        let graph = if algo == "msf" || algo == "sssp" {
+            &perf_weighted
+        } else {
+            &perf_graph
+        };
+        let mut opts = CliOptions {
+            algo: algo.to_string(),
+            workers,
+            iters: 3,
+            // Force the push kernel so every superstep runs the two-round
+            // sparse protocol — adaptive mode picks dense (pull) for large
+            // frontiers, and dense rounds have no bucketing phase to
+            // measure.
+            mode: flash_runtime::ModePolicy::ForceSparse,
+            ..CliOptions::default()
+        };
+        opts.dataset = Some(flash_graph::Dataset::Orkut);
+
+        let mut best: [Option<(Duration, Duration)>; 2] = [None, None];
+        let mut failed = false;
+        for (slot, hotpath) in [HotPath::FreshSerial, HotPath::PooledParallel]
+            .into_iter()
+            .enumerate()
+        {
+            for _ in 0..samples {
+                let mut o = opts.clone();
+                o.hotpath = hotpath;
+                match dispatch(&o, graph) {
+                    Ok((_, stats)) => {
+                        let span = (stats.parallel_serialize_time(), stats.serialize_time());
+                        let keep = match best[slot] {
+                            Some((cur, _)) => span.0 < cur,
+                            None => true,
+                        };
+                        if keep {
+                            best[slot] = Some(span);
+                        }
+                    }
+                    Err(e) => {
+                        broken.push(format!("{algo} (perf, {hotpath:?}): {e}"));
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if failed {
+            continue;
+        }
+        let (fresh_span, fresh_wall) = best[0].expect("fresh samples ran");
+        let (pooled_span, pooled_wall) = best[1].expect("pooled samples ran");
+        fresh_total += fresh_span;
+        pooled_total += pooled_span;
+        let speedup = if pooled_span.is_zero() {
+            f64::INFINITY
+        } else {
+            fresh_span.as_secs_f64() / pooled_span.as_secs_f64()
+        };
+        perf_rows.push((
+            algo.to_string(),
+            vec![
+                format!("{:.1}us", fresh_span.as_secs_f64() * 1e6),
+                format!("{:.1}us", pooled_span.as_secs_f64() * 1e6),
+                format!("{speedup:.2}x"),
+            ],
+        ));
+        perf_json.push(
+            Json::object()
+                .set("algo", algo)
+                .set("fresh_serialize_makespan_us", us_half_up(fresh_span))
+                .set("fresh_serialize_makespan_ns", ns_u64(fresh_span))
+                .set("fresh_serialize_wall_ns", ns_u64(fresh_wall))
+                .set("pooled_serialize_makespan_us", us_half_up(pooled_span))
+                .set("pooled_serialize_makespan_ns", ns_u64(pooled_span))
+                .set("pooled_serialize_wall_ns", ns_u64(pooled_wall))
+                .set("speedup", speedup),
+        );
+    }
+
+    println!(
+        "{}",
+        render_table(&["Algo", "fresh", "pooled", "speedup"], &perf_rows)
+    );
+
+    let aggregate = if pooled_total.is_zero() {
+        f64::INFINITY
+    } else {
+        fresh_total.as_secs_f64() / pooled_total.as_secs_f64()
+    };
+    println!(
+        "aggregate serialize makespan: fresh {:.1}us vs pooled {:.1}us — {:.2}x",
+        fresh_total.as_secs_f64() * 1e6,
+        pooled_total.as_secs_f64() * 1e6,
+        aggregate
+    );
+    // The ISSUE's acceptance bar: the pooled-parallel serialize phase must
+    // be at least 2× faster than the fresh-serial baseline at 8 workers.
+    if workers >= 8 && aggregate < 2.0 {
+        broken.push(format!(
+            "aggregate serialize speedup {aggregate:.2}x is below the 2x acceptance bar"
+        ));
+    }
+
+    let doc = Json::object()
+        .set("figure", "perf_hotpath")
+        .set("workers", workers as u64)
+        .set("samples", samples as u64)
+        .set(
+            "scale",
+            if scale == Scale::Small {
+                "small"
+            } else {
+                "full"
+            },
+        )
+        .set("identity", Json::Arr(json_rows))
+        .set("phases", Json::Arr(perf_json))
+        .set(
+            "aggregate",
+            Json::object()
+                .set("fresh_serialize_makespan_us", us_half_up(fresh_total))
+                .set("fresh_serialize_makespan_ns", ns_u64(fresh_total))
+                .set("pooled_serialize_makespan_us", us_half_up(pooled_total))
+                .set("pooled_serialize_makespan_ns", ns_u64(pooled_total))
+                .set("speedup", aggregate),
+        )
+        .set(
+            "failures",
+            Json::Arr(broken.iter().map(|s| Json::from(s.as_str())).collect()),
+        );
+    match jsonio::write_results("perf_hotpath", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
+
+    if !broken.is_empty() {
+        eprintln!("\nFAIL — {} problem(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall algorithms bit-identical; serialize phase ≥2x at {workers} workers");
+}

@@ -13,7 +13,7 @@ use crate::harness::Scale;
 use flash_graph::io::{read_edge_list, ReadOptions};
 use flash_graph::{Dataset, Graph};
 use flash_obs::Json;
-use flash_runtime::{ClusterConfig, FaultPlan, ModePolicy, NetworkModel};
+use flash_runtime::{ClusterConfig, FaultPlan, HotPath, ModePolicy, NetworkModel};
 use std::sync::Arc;
 
 /// Parsed command-line options.
@@ -53,6 +53,10 @@ pub struct CliOptions {
     /// Explicitly disable checkpointing (`--checkpoint-every off`), even
     /// when a fault plan would normally force it on.
     pub checkpoint_off: bool,
+    /// Superstep hot-path variant (`--hotpath pooled|fresh-serial`): the
+    /// pooled-parallel default, or the pre-overhaul serial baseline kept
+    /// for A/B perf comparisons.
+    pub hotpath: HotPath,
 }
 
 impl Default for CliOptions {
@@ -74,6 +78,7 @@ impl Default for CliOptions {
             faults: None,
             checkpoint_every: 0,
             checkpoint_off: false,
+            hotpath: HotPath::default(),
         }
     }
 }
@@ -177,6 +182,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     opts.checkpoint_off = false;
                 }
             }
+            "--hotpath" => {
+                opts.hotpath = match value_of(&arg, &mut it)?.as_str() {
+                    "pooled" | "pooled-parallel" => HotPath::PooledParallel,
+                    "fresh-serial" | "fresh" | "serial" => HotPath::FreshSerial,
+                    other => return Err(format!("unknown hotpath {other:?}")),
+                };
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
@@ -206,7 +218,7 @@ pub fn usage() -> String {
         "usage: flash --algo <name> (--dataset <OR|TW|US|EU|UK|SK> | --input <edges.txt>)\n\
          \x20      [--workers N] [--threads N] [--mode auto|push|pull] [--root V]\n\
          \x20      [--iters N] [--k N] [--symmetric] [--simulate-network]\n\
-         \x20      [--json] [--trace <file|-|text>]\n\
+         \x20      [--json] [--trace <file|-|text>] [--hotpath pooled|fresh-serial]\n\
          \x20      [--faults <plan>] [--checkpoint-every N|off]\n\
          fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
          \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW,\n\
@@ -243,7 +255,8 @@ pub fn load_graph(opts: &CliOptions) -> Result<Arc<Graph>, String> {
 pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
     let mut cfg = ClusterConfig::with_workers(opts.workers)
         .mode(opts.mode)
-        .threads(opts.threads);
+        .threads(opts.threads)
+        .hotpath(opts.hotpath);
     if opts.simulate_network {
         cfg = cfg.network(NetworkModel::ten_gbe());
     }
@@ -599,6 +612,16 @@ mod tests {
         let g = load_graph(&o).unwrap();
         let (summary, _) = dispatch(&o, &g).unwrap();
         assert_eq!(summary, "1 triangles");
+    }
+
+    #[test]
+    fn parses_hotpath_flag_and_wires_it_into_the_config() {
+        let o = parse_args(args("--algo bfs --dataset or --hotpath fresh-serial")).unwrap();
+        assert_eq!(o.hotpath, HotPath::FreshSerial);
+        assert_eq!(cluster_config(&o).hotpath, HotPath::FreshSerial);
+        let d = parse_args(args("--algo bfs --dataset or")).unwrap();
+        assert_eq!(d.hotpath, HotPath::PooledParallel, "pooled is the default");
+        assert!(parse_args(args("--algo bfs --dataset or --hotpath turbo")).is_err());
     }
 
     #[test]

@@ -174,7 +174,9 @@ impl<V: VertexData> FlashContext<V> {
                     }
                     all_passed
                 });
-        subset_from_lists(n, out.per_worker)
+        let subset = subset_from_lists(n, &out.per_worker);
+        self.cluster.recycle_updated(out.updated);
+        subset
     }
 
     /// `VERTEXMAP(U, F)` — the *filter* form with `M` omitted: "the vertex
@@ -200,7 +202,9 @@ impl<V: VertexData> FlashContext<V> {
                     });
                     results.into_iter().flatten().collect::<Vec<_>>()
                 });
-        subset_from_lists(n, out.per_worker)
+        let subset = subset_from_lists(n, &out.per_worker);
+        self.cluster.recycle_updated(out.updated);
+        subset
     }
 
     // ------------------------------------------------------------------
@@ -343,7 +347,9 @@ impl<V: VertexData> FlashContext<V> {
             }
             all_outs
         });
-        subset_from_lists(n, out.per_worker)
+        let subset = subset_from_lists(n, &out.per_worker);
+        self.cluster.recycle_updated(out.updated);
+        subset
     }
 
     /// `EDGEMAPSPARSE(U, H, F, M, C, R)` (Algorithm 6, *push* mode): every
@@ -401,7 +407,9 @@ impl<V: VertexData> FlashContext<V> {
                 ctx.puts(updates, &r);
             }
         });
-        subset_from_lists(n, out.updated)
+        let subset = subset_from_lists(n, &out.updated);
+        self.cluster.recycle_updated(out.updated);
+        subset
     }
 
     // ------------------------------------------------------------------
@@ -486,11 +494,13 @@ fn sync_scope<V>(h: &EdgeSet<V>) -> SyncScope {
     }
 }
 
-/// Builds a subset from per-worker id lists.
-fn subset_from_lists(n: usize, lists: Vec<Vec<VertexId>>) -> VertexSubset {
+/// Builds a subset from per-worker id lists. Borrows the lists so callers
+/// can hand the buffers back to the runtime's superstep pool afterwards
+/// ([`flash_runtime::Cluster::recycle_updated`]).
+fn subset_from_lists(n: usize, lists: &[Vec<VertexId>]) -> VertexSubset {
     let mut bits = BitSet::new(n);
     for list in lists {
-        for v in list {
+        for &v in list {
             bits.insert(v);
         }
     }

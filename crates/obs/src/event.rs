@@ -49,8 +49,11 @@ pub enum EventKind {
         step: u64,
         /// Worker id (0-based).
         worker: usize,
-        /// Wall-clock compute time for this worker, in microseconds.
+        /// Wall-clock compute time for this worker, in microseconds
+        /// (rounded half-up; see `compute_ns` for the exact value).
         compute_us: u64,
+        /// Wall-clock compute time for this worker, in nanoseconds.
+        compute_ns: u64,
         /// Mirror-directed `put` operations staged by this worker.
         staged_puts: u64,
         /// Master-directed writes staged by this worker.
@@ -72,7 +75,10 @@ pub enum EventKind {
         sync_messages: u64,
         /// Sync-phase bytes.
         sync_bytes: u64,
-        /// Total compute time across workers, in microseconds.
+        /// Total compute time across workers, in microseconds. All `*_us`
+        /// timer fields of this event are rounded half-up; the paired
+        /// `*_ns` fields carry the exact nanosecond values, so
+        /// microbench-scale phases never flatten to zero.
         compute_us: u64,
         /// Slowest worker's compute time, in microseconds.
         compute_max_us: u64,
@@ -80,12 +86,35 @@ pub enum EventKind {
         compute_min_us: u64,
         /// Barrier skew (`compute_max - compute_min`), in microseconds.
         barrier_skew_us: u64,
-        /// Serialization time, in microseconds.
+        /// Serialization time (wall), in microseconds.
         serialize_us: u64,
+        /// Serialization makespan (slowest bucketing thread), in
+        /// microseconds.
+        serialize_max_us: u64,
         /// Communication time, in microseconds.
         communicate_us: u64,
+        /// Reliable-delivery protocol time, in microseconds.
+        delivery_us: u64,
         /// Simulated network time, in microseconds.
         simulated_net_us: u64,
+        /// Total compute time across workers, in nanoseconds.
+        compute_ns: u64,
+        /// Slowest worker's compute time, in nanoseconds.
+        compute_max_ns: u64,
+        /// Fastest worker's compute time, in nanoseconds.
+        compute_min_ns: u64,
+        /// Barrier skew, in nanoseconds.
+        barrier_skew_ns: u64,
+        /// Serialization time (wall), in nanoseconds.
+        serialize_ns: u64,
+        /// Serialization makespan, in nanoseconds.
+        serialize_max_ns: u64,
+        /// Communication time, in nanoseconds.
+        communicate_ns: u64,
+        /// Reliable-delivery protocol time, in nanoseconds.
+        delivery_ns: u64,
+        /// Simulated network time, in nanoseconds.
+        simulated_net_ns: u64,
     },
     /// The sync planner decided which properties to ship for one step.
     SyncPlan {
@@ -257,8 +286,10 @@ pub enum EventKind {
         total_bytes: u64,
         /// Total messages sent.
         total_messages: u64,
-        /// Simulated parallel time, in microseconds.
+        /// Simulated parallel time, in microseconds (rounded half-up).
         simulated_parallel_us: u64,
+        /// Simulated parallel time, in nanoseconds.
+        simulated_parallel_ns: u64,
     },
 }
 
@@ -314,12 +345,14 @@ impl Event {
                 step,
                 worker,
                 compute_us,
+                compute_ns,
                 staged_puts,
                 staged_writes,
             } => base
                 .set("step", *step)
                 .set("worker", *worker)
                 .set("compute_us", *compute_us)
+                .set("compute_ns", *compute_ns)
                 .set("staged_puts", *staged_puts)
                 .set("staged_writes", *staged_writes),
             EventKind::StepEnd {
@@ -335,8 +368,19 @@ impl Event {
                 compute_min_us,
                 barrier_skew_us,
                 serialize_us,
+                serialize_max_us,
                 communicate_us,
+                delivery_us,
                 simulated_net_us,
+                compute_ns,
+                compute_max_ns,
+                compute_min_ns,
+                barrier_skew_ns,
+                serialize_ns,
+                serialize_max_ns,
+                communicate_ns,
+                delivery_ns,
+                simulated_net_ns,
             } => base
                 .set("step", *step)
                 .set("kind", kind.as_str())
@@ -350,8 +394,19 @@ impl Event {
                 .set("compute_min_us", *compute_min_us)
                 .set("barrier_skew_us", *barrier_skew_us)
                 .set("serialize_us", *serialize_us)
+                .set("serialize_max_us", *serialize_max_us)
                 .set("communicate_us", *communicate_us)
-                .set("simulated_net_us", *simulated_net_us),
+                .set("delivery_us", *delivery_us)
+                .set("simulated_net_us", *simulated_net_us)
+                .set("compute_ns", *compute_ns)
+                .set("compute_max_ns", *compute_max_ns)
+                .set("compute_min_ns", *compute_min_ns)
+                .set("barrier_skew_ns", *barrier_skew_ns)
+                .set("serialize_ns", *serialize_ns)
+                .set("serialize_max_ns", *serialize_max_ns)
+                .set("communicate_ns", *communicate_ns)
+                .set("delivery_ns", *delivery_ns)
+                .set("simulated_net_ns", *simulated_net_ns),
             EventKind::SyncPlan {
                 step,
                 mode,
@@ -494,11 +549,13 @@ impl Event {
                 total_bytes,
                 total_messages,
                 simulated_parallel_us,
+                simulated_parallel_ns,
             } => base
                 .set("supersteps", *supersteps)
                 .set("total_bytes", *total_bytes)
                 .set("total_messages", *total_messages)
-                .set("simulated_parallel_us", *simulated_parallel_us),
+                .set("simulated_parallel_us", *simulated_parallel_us)
+                .set("simulated_parallel_ns", *simulated_parallel_ns),
         }
     }
 
@@ -524,6 +581,7 @@ impl Event {
                 compute_us,
                 staged_puts,
                 staged_writes,
+                ..
             } => format!(
                 "[{:>4}] step {step} worker {worker}: compute={compute_us}us puts={staged_puts} writes={staged_writes}",
                 self.seq
@@ -657,6 +715,7 @@ impl Event {
                 total_bytes,
                 total_messages,
                 simulated_parallel_us,
+                ..
             } => format!(
                 "[{:>4}] run end: {supersteps} supersteps, {total_bytes}B, {total_messages} msgs, T_sim={simulated_parallel_us}us",
                 self.seq
@@ -686,8 +745,19 @@ mod tests {
                 compute_min_us: 400,
                 barrier_skew_us: 100,
                 serialize_us: 20,
+                serialize_max_us: 15,
                 communicate_us: 30,
+                delivery_us: 5,
                 simulated_net_us: 1234,
+                compute_ns: 900_400,
+                compute_max_ns: 500_200,
+                compute_min_ns: 400_200,
+                barrier_skew_ns: 100_000,
+                serialize_ns: 19_600,
+                serialize_max_ns: 15_400,
+                communicate_ns: 30_100,
+                delivery_ns: 4_900,
+                simulated_net_ns: 1_234_000,
             },
         }
     }
@@ -701,6 +771,14 @@ mod tests {
         assert_eq!(j.get("upd_bytes").and_then(Json::as_u64), Some(160));
         assert_eq!(j.get("barrier_skew_us").and_then(Json::as_u64), Some(100));
         assert_eq!(j.get("kind").and_then(Json::as_str), Some("sparse"));
+        assert_eq!(j.get("serialize_max_us").and_then(Json::as_u64), Some(15));
+        assert_eq!(j.get("delivery_us").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("delivery_ns").and_then(Json::as_u64), Some(4_900));
+        assert_eq!(j.get("compute_ns").and_then(Json::as_u64), Some(900_400));
+        assert_eq!(
+            j.get("simulated_net_ns").and_then(Json::as_u64),
+            Some(1_234_000)
+        );
     }
 
     #[test]
@@ -731,6 +809,7 @@ mod tests {
                 step: 0,
                 worker: 0,
                 compute_us: 0,
+                compute_ns: 0,
                 staged_puts: 0,
                 staged_writes: 0,
             }
@@ -830,6 +909,7 @@ mod tests {
                 total_bytes: 0,
                 total_messages: 0,
                 simulated_parallel_us: 0,
+                simulated_parallel_ns: 0,
             }
             .tag(),
         ];

@@ -2,12 +2,13 @@
 //! mirror synchronization.
 
 use crate::checkpoint::{Checkpoint, RecoveryLog, StepDelta};
-use crate::config::{ClusterConfig, SyncMode, SyncScope, DEFAULT_CHECKPOINT_INTERVAL};
+use crate::config::{ClusterConfig, HotPath, SyncMode, SyncScope, DEFAULT_CHECKPOINT_INTERVAL};
 use crate::ctx::WorkerCtx;
 use crate::error::RuntimeError;
 use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
-use crate::state::WorkerState;
-use crate::stats::{RunStats, StepKind, StepStats};
+use crate::par::{parallel_ranges, parallel_scratch_chunks};
+use crate::state::{StepBuffers, WorkerState};
+use crate::stats::{ns_u64, us_half_up, RunStats, StepKind, StepStats};
 use crate::transport::{RoundBatches, ScriptedChannelFault, Transport};
 use crate::VertexData;
 use flash_graph::{Graph, PartitionMap, RebalanceReport, VertexId};
@@ -63,6 +64,9 @@ pub struct Cluster<V: VertexData> {
     /// Terminal recovery failure: set once the retry budget of some
     /// superstep is exhausted, surfaced via [`Cluster::fault_error`].
     failed: Option<RuntimeError>,
+    /// Pooled per-superstep scratch buffers, reused clear-don't-drop across
+    /// supersteps under [`HotPath::PooledParallel`] (DESIGN.md §11).
+    buffers: StepBuffers<V>,
 }
 
 impl<V: VertexData> Cluster<V> {
@@ -133,6 +137,7 @@ impl<V: VertexData> Cluster<V> {
             recovery: RecoveryLog::new(),
             checkpoint_every,
             failed: None,
+            buffers: StepBuffers::new(),
         };
         let (net_latency_us, net_bandwidth_bps) = match &cluster.config.network {
             Some(net) => (
@@ -196,11 +201,13 @@ impl<V: VertexData> Cluster<V> {
     /// trace event summarizing them.
     pub fn take_stats(&mut self) -> RunStats {
         let stats = std::mem::take(&mut self.stats);
+        let simulated = stats.simulated_parallel_time();
         self.emit(EventKind::RunEnd {
             supersteps: stats.num_supersteps(),
             total_bytes: stats.total_bytes(),
             total_messages: stats.total_messages(),
-            simulated_parallel_us: stats.simulated_parallel_time().as_micros() as u64,
+            simulated_parallel_us: us_half_up(simulated),
+            simulated_parallel_ns: ns_u64(simulated),
         });
         stats
     }
@@ -277,8 +284,45 @@ impl<V: VertexData> Cluster<V> {
             self.recovery
                 .record(StepDelta::global(v, &val, self.states.len()));
         }
-        for st in &mut self.states {
-            st.current[v as usize] = val.clone();
+        // Clone into all replicas but the last, which takes ownership.
+        if let Some((last, rest)) = self.states.split_last_mut() {
+            for st in rest {
+                st.current[v as usize].clone_from(&val);
+            }
+            last.current[v as usize] = val;
+        }
+    }
+
+    /// Thread count for superstep bookkeeping phases (serialization
+    /// bucketing, the sync fan-out scan): one thread per logical worker
+    /// under the pooled-parallel hot path, matching the
+    /// one-thread-per-worker compute simulation. Serial under
+    /// [`HotPath::FreshSerial`] and under `.sequential()` configs, so
+    /// deterministic-by-construction test setups stay single-threaded.
+    fn hotpath_threads(&self) -> usize {
+        if self.config.hotpath == HotPath::FreshSerial || !self.config.parallel_workers {
+            1
+        } else {
+            self.config.workers
+        }
+    }
+
+    /// Hands out the per-owner updated-master lists: pooled under
+    /// [`HotPath::PooledParallel`], freshly allocated otherwise.
+    fn take_updated(&mut self, m: usize) -> Vec<Vec<VertexId>> {
+        if self.config.hotpath == HotPath::FreshSerial {
+            vec![Vec::new(); m]
+        } else {
+            self.buffers.take_updated(m)
+        }
+    }
+
+    /// Returns a consumed [`StepOutput::updated`] buffer to the pool so the
+    /// next superstep reuses its allocations. Optional — skipping it just
+    /// drops the buffer — and a no-op under [`HotPath::FreshSerial`].
+    pub fn recycle_updated(&mut self, updated: Vec<Vec<VertexId>>) {
+        if self.config.hotpath != HotPath::FreshSerial {
+            self.buffers.recycle_updated(updated);
         }
     }
 
@@ -340,7 +384,7 @@ impl<V: VertexData> Cluster<V> {
         // Publish direct writes (master-local, no cross-worker traffic).
         let t1 = Instant::now();
         let m = self.states.len();
-        let mut updated: Vec<Vec<VertexId>> = vec![Vec::new(); m];
+        let mut updated: Vec<Vec<VertexId>> = self.take_updated(m);
         for (w, st) in self.states.iter_mut().enumerate() {
             let writes = std::mem::take(&mut st.direct);
             updated[w].reserve(writes.len());
@@ -399,7 +443,54 @@ impl<V: VertexData> Cluster<V> {
         );
 
         // Serialization: route mirror-side accumulated temporaries to the
-        // owners of their target vertices.
+        // owners of their target vertices — in parallel with pooled buffers
+        // under the default hot path (see `route_updates_pooled` for the
+        // bit-identical-ordering argument).
+        let m = self.states.len();
+        let fresh = self.config.hotpath == HotPath::FreshSerial;
+        let (mut buckets, upd_batches) = if fresh {
+            self.route_updates_serial(&mut stats)
+        } else {
+            self.route_updates_pooled(&mut stats)
+        };
+        stats.delivery += self.deliver_round(step_id, "upd", &upd_batches);
+
+        // Communication round 1: masters merge incoming temporaries into
+        // their current value (d_new = R(t, d) per Algorithm 6).
+        let t2 = Instant::now();
+        let mut updated: Vec<Vec<VertexId>> = self.take_updated(m);
+        for (owner, bucket) in buckets.iter_mut().enumerate() {
+            let st = &mut self.states[owner];
+            updated[owner].reserve(bucket.len());
+            for (v, temp) in bucket.drain(..) {
+                reduce(&temp, &mut st.current[v as usize]);
+                updated[owner].push(v);
+            }
+            updated[owner].sort_unstable();
+            updated[owner].dedup();
+        }
+        stats.communicate = t2.elapsed();
+        if !fresh {
+            self.buffers.put_buckets(buckets);
+            self.buffers.put_upd_batches(upd_batches);
+        }
+
+        self.sync_mirrors(&updated, scope, &mut stats);
+        self.record_delta(&updated);
+        self.finish_step(stats);
+        StepOutput {
+            per_worker,
+            updated,
+        }
+    }
+
+    /// The original single-threaded, fresh-allocation serialization pass,
+    /// kept verbatim as the [`HotPath::FreshSerial`] baseline so A/B
+    /// comparisons measure the real before/after, not a degraded variant.
+    fn route_updates_serial(
+        &mut self,
+        stats: &mut StepStats,
+    ) -> (Vec<Vec<(VertexId, V)>>, RoundBatches) {
         let t1 = Instant::now();
         let m = self.states.len();
         let track_batches = self.transport.is_some();
@@ -429,31 +520,93 @@ impl<V: VertexData> Cluster<V> {
             }
         }
         stats.serialize = t1.elapsed();
-        self.deliver_round(step_id, "upd", &upd_batches);
+        // One thread did everything: the per-thread makespan is the total.
+        stats.serialize_max = stats.serialize;
+        (buckets, upd_batches)
+    }
 
-        // Communication round 1: masters merge incoming temporaries into
-        // their current value (d_new = R(t, d) per Algorithm 6).
-        let t2 = Instant::now();
-        let mut updated: Vec<Vec<VertexId>> = vec![Vec::new(); m];
-        for (owner, bucket) in buckets.into_iter().enumerate() {
-            let st = &mut self.states[owner];
-            updated[owner].reserve(bucket.len());
-            for (v, temp) in bucket {
-                reduce(&temp, &mut st.current[v as usize]);
-                updated[owner].push(v);
+    /// Pooled-parallel serialization: each thread drains a contiguous chunk
+    /// of workers into its own (pooled) bucket set, and the sets are merged
+    /// in chunk — i.e. ascending-worker — order.
+    ///
+    /// The merged bucket order is *bit-identical* to the serial pass: each
+    /// worker's `pending` map is drained exactly once by exactly one
+    /// thread, so its internal drain order is unchanged, and concatenating
+    /// per-chunk buckets in chunk order reproduces the serial outer loop's
+    /// front-to-back worker order. Message/byte counters and cross-host
+    /// batch maps are commutative sums, merged in the same order for good
+    /// measure (DESIGN.md §11).
+    fn route_updates_pooled(
+        &mut self,
+        stats: &mut StepStats,
+    ) -> (Vec<Vec<(VertexId, V)>>, RoundBatches) {
+        let t1 = Instant::now();
+        let m = self.states.len();
+        let mut buckets = self.buffers.take_buckets(m);
+        let mut upd_batches = self.buffers.take_upd_batches();
+        let mut bucket_sets = std::mem::take(&mut self.buffers.bucket_sets);
+        let track_batches = self.transport.is_some();
+        let partition = Arc::clone(&self.partition);
+        let threads = self.hotpath_threads().min(m);
+        let partials = parallel_scratch_chunks(
+            &mut self.states,
+            &mut bucket_sets,
+            threads,
+            Vec::new,
+            |base, chunk, set: &mut Vec<Vec<(VertexId, V)>>| {
+                if set.len() != m {
+                    set.resize_with(m, Vec::new);
+                }
+                let t = Instant::now();
+                let mut messages = 0u64;
+                let mut bytes_total = 0u64;
+                let mut batches = RoundBatches::new();
+                for (i, st) in chunk.iter_mut().enumerate() {
+                    let sender_host = partition.host_of_worker(base + i);
+                    for (v, temp) in st.pending.drain() {
+                        let owner = partition.owner(v);
+                        let owner_host = partition.host_of_worker(owner);
+                        if owner_host != sender_host {
+                            let bytes = (4 + temp.bytes()) as u64;
+                            messages += 1;
+                            bytes_total += bytes;
+                            if track_batches {
+                                let batch =
+                                    batches.entry((sender_host, owner_host)).or_insert((0, 0));
+                                batch.0 += 1;
+                                batch.1 += bytes;
+                            }
+                        }
+                        set[owner].push((v, temp));
+                    }
+                }
+                (messages, bytes_total, batches, t.elapsed())
+            },
+        );
+        let used_sets = partials.len();
+        for (messages, bytes, batches, elapsed) in partials {
+            stats.upd_messages += messages;
+            stats.upd_bytes += bytes;
+            for (key, (bm, bb)) in batches {
+                let batch = upd_batches.entry(key).or_insert((0, 0));
+                batch.0 += bm;
+                batch.1 += bb;
             }
-            updated[owner].sort_unstable();
-            updated[owner].dedup();
+            // Simulated makespan of the phase: the slowest thread, the
+            // analogue of `compute_max` for the compute phase.
+            stats.serialize_max = stats.serialize_max.max(elapsed);
         }
-        stats.communicate = t2.elapsed();
-
-        self.sync_mirrors(&updated, scope, &mut stats);
-        self.record_delta(&updated);
-        self.finish_step(stats);
-        StepOutput {
-            per_worker,
-            updated,
+        for set in bucket_sets.iter_mut().take(used_sets) {
+            for (owner, local) in set.iter_mut().enumerate() {
+                buckets[owner].append(local);
+            }
         }
+        self.buffers.bucket_sets = bucket_sets;
+        stats.serialize = t1.elapsed();
+        if threads == 1 {
+            stats.serialize_max = stats.serialize;
+        }
+        (buckets, upd_batches)
     }
 
     /// Takes a periodic checkpoint when one is due: at the first superstep
@@ -880,7 +1033,8 @@ impl<V: VertexData> Cluster<V> {
                 self.emit(EventKind::WorkerPhase {
                     step,
                     worker: w,
-                    compute_us: dur.as_micros() as u64,
+                    compute_us: us_half_up(*dur),
+                    compute_ns: ns_u64(*dur),
                     staged_puts,
                     staged_writes,
                 });
@@ -962,6 +1116,14 @@ impl<V: VertexData> Cluster<V> {
     /// receive the update; under [`SyncScope::All`] (virtual-edge steps)
     /// every worker does. Under [`SyncMode::CriticalOnly`] the payload is
     /// the critical projection; under [`SyncMode::Full`] the whole value.
+    /// The round runs in two passes. Pass 1 (*scan*) is read-only: it
+    /// counts wire traffic and builds the cross-host batch map, in parallel
+    /// under the pooled hot path. Pass 2 (*commit*) serially applies each
+    /// master's payload to its mirror replicas by reference. The split is
+    /// bit-identical to the old interleaved loop: the scan reads only
+    /// master slots `states[w].current[v]` for `v` owned by `w`, and the
+    /// commit writes only mirror slots (`r != owner`), so no scan input is
+    /// ever a commit output.
     fn sync_mirrors(&mut self, updated: &[Vec<VertexId>], scope: SyncScope, stats: &mut StepStats) {
         let m = self.states.len();
         if m <= 1 {
@@ -970,104 +1132,167 @@ impl<V: VertexData> Cluster<V> {
         let step_id = self.next_step;
         let t = Instant::now();
         let sync_mode = self.config.sync_mode;
+        let fresh = self.config.hotpath == HotPath::FreshSerial;
         let track_batches = self.transport.is_some();
-        let mut sync_batches = RoundBatches::new();
+        let mut sync_batches = if fresh {
+            RoundBatches::new()
+        } else {
+            self.buffers.take_sync_batches()
+        };
+        let mut host_buf: Vec<u16> = if fresh {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.buffers.host_buf)
+        };
         let live_hosts: Vec<usize> = if track_batches {
             self.partition.live_hosts()
         } else {
             Vec::new()
         };
-        let mut host_buf: Vec<u16> = Vec::new();
-        #[allow(clippy::needless_range_loop)] // w is the sender id, used beyond indexing
-        for w in 0..m {
-            let sender_host = self.partition.host_of_worker(w);
-            for &v in &updated[w] {
-                // Wire traffic is counted per distinct recipient *host*:
-                // after an elastic rebalance several logical partitions can
-                // share a host and one shipped payload serves all of them.
-                // The payload is still applied to every logical replica so
-                // co-hosted mirrors stay coherent.
-                let recipient_hosts = match scope {
-                    SyncScope::Necessary => self.partition.necessary_mirror_hosts(v, &mut host_buf),
-                    SyncScope::All => self.partition.num_live_hosts().saturating_sub(1),
-                } as u64;
-                let bytes = match sync_mode {
-                    SyncMode::Full => {
-                        let payload = self.states[w].current[v as usize].clone();
-                        let bytes = (4 + payload.bytes()) as u64;
-                        stats.sync_messages += recipient_hosts;
-                        stats.sync_bytes += recipient_hosts * bytes;
-                        self.for_each_recipient(w, v, scope, |st| {
-                            st.current[v as usize] = payload.clone();
-                        });
-                        bytes
-                    }
-                    SyncMode::CriticalOnly => {
-                        let payload = self.states[w].current[v as usize].critical();
-                        let bytes = (4 + V::critical_bytes(&payload)) as u64;
-                        stats.sync_messages += recipient_hosts;
-                        stats.sync_bytes += recipient_hosts * bytes;
-                        self.for_each_recipient(w, v, scope, |st| {
-                            st.current[v as usize].apply_critical(payload.clone());
-                        });
-                        bytes
-                    }
-                };
-                if track_batches && recipient_hosts > 0 {
-                    match scope {
-                        SyncScope::Necessary => {
-                            for &h in &host_buf {
-                                let batch = sync_batches
-                                    .entry((sender_host, h as usize))
-                                    .or_insert((0, 0));
-                                batch.0 += 1;
-                                batch.1 += bytes;
+
+        // The parallel scan is charged at its *makespan* (slowest range),
+        // like `serialize_max`: the spawn/idle gap between the scan's wall
+        // time and its slowest range is a single-core simulation artifact
+        // a one-core-per-worker cluster would not pay, so it is deducted
+        // from the communicate phase.
+        let mut scan_overhead = Duration::ZERO;
+        {
+            let partition = &*self.partition;
+            let states = &self.states;
+            let live_hosts = &live_hosts;
+            let scan = |lo: usize,
+                        hi: usize,
+                        host_buf: &mut Vec<u16>,
+                        batches: &mut RoundBatches|
+             -> (u64, u64) {
+                let mut messages = 0u64;
+                let mut bytes_total = 0u64;
+                for w in lo..hi {
+                    let sender_host = partition.host_of_worker(w);
+                    for &v in &updated[w] {
+                        // Wire traffic is counted per distinct recipient
+                        // *host*: after an elastic rebalance several logical
+                        // partitions can share a host and one shipped payload
+                        // serves all of them. The payload is still applied to
+                        // every logical replica (pass 2) so co-hosted mirrors
+                        // stay coherent.
+                        let recipient_hosts = match scope {
+                            SyncScope::Necessary => partition.necessary_mirror_hosts(v, host_buf),
+                            SyncScope::All => partition.num_live_hosts().saturating_sub(1),
+                        } as u64;
+                        let master = &states[w].current[v as usize];
+                        let bytes = match sync_mode {
+                            SyncMode::Full => (4 + master.bytes()) as u64,
+                            SyncMode::CriticalOnly => {
+                                (4 + V::critical_bytes(&master.critical())) as u64
                             }
-                        }
-                        SyncScope::All => {
-                            for &h in &live_hosts {
-                                if h != sender_host {
-                                    let batch =
-                                        sync_batches.entry((sender_host, h)).or_insert((0, 0));
-                                    batch.0 += 1;
-                                    batch.1 += bytes;
+                        };
+                        messages += recipient_hosts;
+                        bytes_total += recipient_hosts * bytes;
+                        if track_batches && recipient_hosts > 0 {
+                            match scope {
+                                SyncScope::Necessary => {
+                                    for &h in host_buf.iter() {
+                                        let batch = batches
+                                            .entry((sender_host, h as usize))
+                                            .or_insert((0, 0));
+                                        batch.0 += 1;
+                                        batch.1 += bytes;
+                                    }
+                                }
+                                SyncScope::All => {
+                                    for &h in live_hosts {
+                                        if h != sender_host {
+                                            let batch =
+                                                batches.entry((sender_host, h)).or_insert((0, 0));
+                                            batch.0 += 1;
+                                            batch.1 += bytes;
+                                        }
+                                    }
                                 }
                             }
                         }
                     }
                 }
+                (messages, bytes_total)
+            };
+            let threads = self.hotpath_threads().min(m);
+            if threads <= 1 {
+                let (messages, bytes) = scan(0, m, &mut host_buf, &mut sync_batches);
+                stats.sync_messages += messages;
+                stats.sync_bytes += bytes;
+            } else {
+                let scan_wall = Instant::now();
+                let partials = parallel_ranges(m, threads, |lo, hi| {
+                    let range_timer = Instant::now();
+                    let mut local_hosts = Vec::new();
+                    let mut local_batches = RoundBatches::new();
+                    let counts = scan(lo, hi, &mut local_hosts, &mut local_batches);
+                    (counts, local_batches, range_timer.elapsed())
+                });
+                let mut scan_max = Duration::ZERO;
+                for ((messages, bytes), batches, elapsed) in partials {
+                    stats.sync_messages += messages;
+                    stats.sync_bytes += bytes;
+                    scan_max = scan_max.max(elapsed);
+                    for (key, (bm, bb)) in batches {
+                        let batch = sync_batches.entry(key).or_insert((0, 0));
+                        batch.0 += bm;
+                        batch.1 += bb;
+                    }
+                }
+                scan_overhead = scan_wall.elapsed().saturating_sub(scan_max);
             }
         }
-        stats.communicate += t.elapsed();
-        self.deliver_round(step_id, "sync", &sync_batches);
-    }
 
-    /// Applies `apply` to the state of every sync recipient of `(w, v)`.
-    fn for_each_recipient(
-        &mut self,
-        w: usize,
-        v: VertexId,
-        scope: SyncScope,
-        mut apply: impl FnMut(&mut WorkerState<V>),
-    ) {
-        match scope {
-            SyncScope::Necessary => {
-                // Iterate over indices to appease the borrow checker: the
-                // mirror list lives in the partition map, not in states.
-                let k = self.partition.necessary_mirrors(v).len();
-                for i in 0..k {
-                    let r = self.partition.necessary_mirrors(v)[i] as usize;
-                    debug_assert_ne!(r, w);
-                    apply(&mut self.states[r]);
-                }
-            }
-            SyncScope::All => {
-                for r in 0..self.states.len() {
-                    if r != w {
-                        apply(&mut self.states[r]);
+        // Pass 2 — commit. Full mode clones master → mirror by reference
+        // (`clone_from` reuses the destination's allocations; no owned
+        // payload at all). Critical mode materializes one projection and
+        // moves it into the *last* recipient, cloning only for the rest.
+        let partition = Arc::clone(&self.partition);
+        let states = &mut self.states[..];
+        for (w, upd) in updated.iter().enumerate() {
+            for &v in upd {
+                let vi = v as usize;
+                match sync_mode {
+                    SyncMode::Full => match scope {
+                        SyncScope::Necessary => {
+                            for &r in partition.necessary_mirrors(v) {
+                                clone_full_to(states, w, r as usize, vi);
+                            }
+                        }
+                        SyncScope::All => {
+                            for r in (0..m).filter(|&r| r != w) {
+                                clone_full_to(states, w, r, vi);
+                            }
+                        }
+                    },
+                    SyncMode::CriticalOnly => {
+                        let payload = states[w].current[vi].critical();
+                        match scope {
+                            SyncScope::Necessary => apply_critical_last_move(
+                                states,
+                                vi,
+                                payload,
+                                partition.necessary_mirrors(v).iter().map(|&r| r as usize),
+                            ),
+                            SyncScope::All => apply_critical_last_move(
+                                states,
+                                vi,
+                                payload,
+                                (0..m).filter(|&r| r != w),
+                            ),
+                        }
                     }
                 }
             }
+        }
+
+        stats.communicate += t.elapsed().saturating_sub(scan_overhead);
+        stats.delivery += self.deliver_round(step_id, "sync", &sync_batches);
+        if !fresh {
+            self.buffers.host_buf = host_buf;
+            self.buffers.put_sync_batches(sync_batches);
         }
     }
 
@@ -1079,10 +1304,15 @@ impl<V: VertexData> Cluster<V> {
     /// [`RuntimeError::RecoveryExhausted`] — `failed` is set once, and the
     /// transport disables itself so the rest of the run stays
     /// deterministic.
-    fn deliver_round(&mut self, step_id: u64, round: &str, batches: &RoundBatches) {
+    ///
+    /// Returns the wall time the protocol spent, which callers charge to
+    /// the step's `delivery` phase — previously this ran *after* the
+    /// serialize timer had stopped and was attributed to no phase at all.
+    fn deliver_round(&mut self, step_id: u64, round: &str, batches: &RoundBatches) -> Duration {
         let Some(transport) = &mut self.transport else {
-            return;
+            return Duration::ZERO;
         };
+        let timer = Instant::now();
         let scripted: Vec<ScriptedChannelFault> = match &mut self.injector {
             Some(inj) => {
                 let partition = &self.partition;
@@ -1112,6 +1342,7 @@ impl<V: VertexData> Cluster<V> {
                 self.failed = Some(err);
             }
         }
+        timer.elapsed()
     }
 
     /// Charges the simulated network, records the superstep, emits its
@@ -1124,6 +1355,7 @@ impl<V: VertexData> Cluster<V> {
         let step_id = self.next_step;
         self.next_step += 1;
         if self.config.sink.is_some() {
+            let skew = stats.barrier_skew();
             self.emit(EventKind::StepEnd {
                 step: step_id,
                 kind: stats.kind.label().to_string(),
@@ -1132,16 +1364,64 @@ impl<V: VertexData> Cluster<V> {
                 upd_bytes: stats.upd_bytes,
                 sync_messages: stats.sync_messages,
                 sync_bytes: stats.sync_bytes,
-                compute_us: stats.compute.as_micros() as u64,
-                compute_max_us: stats.compute_max.as_micros() as u64,
-                compute_min_us: stats.compute_min.as_micros() as u64,
-                barrier_skew_us: stats.barrier_skew().as_micros() as u64,
-                serialize_us: stats.serialize.as_micros() as u64,
-                communicate_us: stats.communicate.as_micros() as u64,
-                simulated_net_us: stats.simulated_net.as_micros() as u64,
+                compute_us: us_half_up(stats.compute),
+                compute_max_us: us_half_up(stats.compute_max),
+                compute_min_us: us_half_up(stats.compute_min),
+                barrier_skew_us: us_half_up(skew),
+                serialize_us: us_half_up(stats.serialize),
+                serialize_max_us: us_half_up(stats.serialize_max),
+                communicate_us: us_half_up(stats.communicate),
+                delivery_us: us_half_up(stats.delivery),
+                simulated_net_us: us_half_up(stats.simulated_net),
+                compute_ns: ns_u64(stats.compute),
+                compute_max_ns: ns_u64(stats.compute_max),
+                compute_min_ns: ns_u64(stats.compute_min),
+                barrier_skew_ns: ns_u64(skew),
+                serialize_ns: ns_u64(stats.serialize),
+                serialize_max_ns: ns_u64(stats.serialize_max),
+                communicate_ns: ns_u64(stats.communicate),
+                delivery_ns: ns_u64(stats.delivery),
+                simulated_net_ns: ns_u64(stats.simulated_net),
             });
         }
         self.stats.push(stats);
+    }
+}
+
+/// Clones `states[w].current[vi]` into `states[r].current[vi]` by
+/// reference: `clone_from` reuses the destination's heap allocations, and
+/// no owned payload is materialized. `w != r` is a caller invariant
+/// (mirror lists never contain the owner).
+fn clone_full_to<V: VertexData>(states: &mut [WorkerState<V>], w: usize, r: usize, vi: usize) {
+    debug_assert_ne!(w, r);
+    let (src, dst) = if w < r {
+        let (head, tail) = states.split_at_mut(r);
+        (&head[w], &mut tail[0])
+    } else {
+        let (head, tail) = states.split_at_mut(w);
+        (&tail[0], &mut head[r])
+    };
+    dst.current[vi].clone_from(&src.current[vi]);
+}
+
+/// Applies one critical payload to every recipient replica, cloning for
+/// all but the last recipient and *moving* the payload into the last —
+/// saving one clone per synchronized vertex.
+fn apply_critical_last_move<V: VertexData>(
+    states: &mut [WorkerState<V>],
+    vi: usize,
+    payload: V::Critical,
+    recipients: impl Iterator<Item = usize>,
+) {
+    let mut recipients = recipients.peekable();
+    let mut payload = Some(payload);
+    while let Some(r) = recipients.next() {
+        let p = if recipients.peek().is_some() {
+            payload.as_ref().expect("present until last").clone()
+        } else {
+            payload.take().expect("present until last")
+        };
+        states[r].current[vi].apply_critical(p);
     }
 }
 
@@ -1190,8 +1470,7 @@ mod tests {
     fn direct_step_updates_masters_and_mirrors() {
         let mut c = cluster(2, 8);
         let out = c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
-            let masters: Vec<_> = ctx.masters().to_vec();
-            for v in masters {
+            for &v in ctx.masters() {
                 let mut val = ctx.get(v).clone();
                 val.x *= 10;
                 ctx.write_master(v, val);
@@ -1285,8 +1564,7 @@ mod tests {
             c.step_reduce(64, SyncScope::Necessary, reduce, |ctx| {
                 for &v in ctx.masters() {
                     let val = ctx.get(v).clone();
-                    let nbrs: Vec<u32> = ctx.graph().out_neighbors(v).to_vec();
-                    for d in nbrs {
+                    for &d in ctx.graph().out_neighbors(v) {
                         ctx.put(d, val.clone(), &reduce);
                     }
                 }
@@ -1294,6 +1572,39 @@ mod tests {
             c.collect(|_, val| val.x)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// The hot-path contract: the pooled-parallel route (buffer reuse +
+    /// multi-threaded bucketing/scan) must be bit-identical to the literal
+    /// old fresh-serial route — same values, same message/byte counters.
+    #[test]
+    fn pooled_parallel_hotpath_matches_fresh_serial_bitwise() {
+        let g = Arc::new(generators::erdos_renyi(48, 160, 11));
+        let p = Arc::new(PartitionMap::build(&g, 4, &HashPartitioner).unwrap());
+        let run = |hp: HotPath| {
+            let cfg = ClusterConfig::with_workers(4).hotpath(hp);
+            let mut c =
+                Cluster::new(Arc::clone(&g), Arc::clone(&p), cfg, |v| Val { x: v as u64 }).unwrap();
+            let reduce = |t: &Val, acc: &mut Val| acc.x = acc.x.max(t.x);
+            for _ in 0..4 {
+                c.step_reduce(0, SyncScope::Necessary, reduce, |ctx| {
+                    for &v in ctx.masters() {
+                        let val = ctx.get(v).clone();
+                        for &d in ctx.graph().out_neighbors(v) {
+                            ctx.put(d, val.clone(), &reduce);
+                        }
+                    }
+                });
+            }
+            let stats = c.take_stats();
+            let counters: Vec<(u64, u64, u64, u64)> = stats
+                .steps()
+                .iter()
+                .map(|s| (s.upd_messages, s.upd_bytes, s.sync_messages, s.sync_bytes))
+                .collect();
+            (c.collect(|_, val| val.x), counters)
+        };
+        assert_eq!(run(HotPath::PooledParallel), run(HotPath::FreshSerial));
     }
 
     #[test]
@@ -1305,7 +1616,7 @@ mod tests {
             .sequential();
         let mut c = Cluster::new(g, p, cfg, |v| Val { x: v as u64 }).unwrap();
         c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
-            for &v in ctx.masters().to_vec().iter() {
+            for &v in ctx.masters() {
                 ctx.write_master(v, Val { x: 1 });
             }
         });
@@ -1333,7 +1644,7 @@ mod tests {
             .sink(Arc::clone(&sink) as Arc<dyn flash_obs::Sink>);
         let mut c = Cluster::new(g, p, cfg, |v| Val { x: v as u64 }).unwrap();
         c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
-            for v in ctx.masters().to_vec() {
+            for &v in ctx.masters() {
                 ctx.write_master(v, Val { x: 1 });
             }
         });
@@ -1428,7 +1739,7 @@ mod tests {
     fn compute_min_never_exceeds_compute_max() {
         let mut c = cluster(4, 32);
         c.step_direct(StepKind::VertexMap, 32, SyncScope::Necessary, |ctx| {
-            for v in ctx.masters().to_vec() {
+            for &v in ctx.masters() {
                 ctx.write_master(v, Val { x: 1 });
             }
         });
@@ -1460,14 +1771,13 @@ mod tests {
             c.step_reduce(0, SyncScope::Necessary, reduce, |ctx| {
                 for &v in ctx.masters() {
                     let val = ctx.get(v).clone();
-                    let nbrs: Vec<u32> = ctx.graph().out_neighbors(v).to_vec();
-                    for d in nbrs {
+                    for &d in ctx.graph().out_neighbors(v) {
                         ctx.put(d, val.clone(), &reduce);
                     }
                 }
             });
             c.step_direct(StepKind::VertexMap, 0, SyncScope::Necessary, |ctx| {
-                for v in ctx.masters().to_vec() {
+                for &v in ctx.masters() {
                     let mut val = ctx.get(v).clone();
                     val.x += round + 1;
                     ctx.write_master(v, val);
@@ -1541,7 +1851,7 @@ mod tests {
         let before = c.collect(|_, val| val.x);
         let cp = c.checkpoint();
         c.step_direct(StepKind::VertexMap, 8, SyncScope::Necessary, |ctx| {
-            for v in ctx.masters().to_vec() {
+            for &v in ctx.masters() {
                 ctx.write_master(v, Val { x: 4242 });
             }
         });

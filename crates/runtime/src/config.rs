@@ -50,6 +50,25 @@ pub enum SyncScope {
     All,
 }
 
+/// Which implementation the superstep *hot path* — upd-round bucketing,
+/// mirror fan-out accounting and per-step buffer management — uses.
+///
+/// Both variants are bit-identical in results and in every `upd_*`/`sync_*`
+/// counter (enforced by the catalogue-wide property test in
+/// `tests/hotpath.rs`); they differ only in time and allocation behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HotPath {
+    /// Pooled buffers plus parallel bucketing: per-thread bucket sets are
+    /// merged deterministically in worker order, and all per-step scratch
+    /// (buckets, updated lists, host buffers, batch maps) is reused across
+    /// supersteps. The default.
+    #[default]
+    PooledParallel,
+    /// Fresh allocations and single-threaded bucketing — the pre-overhaul
+    /// behaviour, kept as the A/B baseline `perf_hotpath` measures against.
+    FreshSerial,
+}
+
 /// Configuration of a simulated FLASH cluster.
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -91,6 +110,8 @@ pub struct ClusterConfig {
     /// loss then degrades to [`RuntimeError::WorkerLost`](crate::RuntimeError)
     /// instead of recovering elastically.
     pub checkpoint_disabled: bool,
+    /// Superstep hot-path implementation (see [`HotPath`]).
+    pub hotpath: HotPath,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -109,6 +130,7 @@ impl fmt::Debug for ClusterConfig {
             .field("fault_plan", &self.fault_plan)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("checkpoint_disabled", &self.checkpoint_disabled)
+            .field("hotpath", &self.hotpath)
             .finish()
     }
 }
@@ -128,6 +150,7 @@ impl Default for ClusterConfig {
             fault_plan: None,
             checkpoint_every: 0,
             checkpoint_disabled: false,
+            hotpath: HotPath::default(),
         }
     }
 }
@@ -210,6 +233,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Selects the superstep hot-path implementation (builder style).
+    /// [`HotPath::FreshSerial`] restores the fresh-allocation,
+    /// single-threaded bucketing baseline for A/B measurements.
+    pub fn hotpath(mut self, hp: HotPath) -> Self {
+        self.hotpath = hp;
+        self
+    }
+
     /// Declares the algorithm's [`ProgramPlan`] (builder style): its
     /// critical properties become the payload of `sync_plan` trace events.
     pub fn plan(mut self, plan: &ProgramPlan) -> Self {
@@ -256,6 +287,7 @@ mod tests {
         assert!(c.sink.is_some());
         let dbg = format!("{c:?}");
         assert!(dbg.contains("dyn Sink"), "{dbg}");
+        #[allow(clippy::redundant_clone)] // the clone IS the behaviour under test
         let c2 = c.clone(); // Arc clone, not a deep sink copy
         assert!(c2.sink.is_some());
     }
@@ -288,6 +320,14 @@ mod tests {
         assert!(c2.checkpoint_disabled);
         assert_eq!(c2.checkpoint_every, 0);
         assert!(!ClusterConfig::default().checkpoint_disabled);
+    }
+
+    #[test]
+    fn hotpath_defaults_to_pooled_parallel() {
+        assert_eq!(ClusterConfig::default().hotpath, HotPath::PooledParallel);
+        let c = ClusterConfig::default().hotpath(HotPath::FreshSerial);
+        assert_eq!(c.hotpath, HotPath::FreshSerial);
+        assert!(format!("{c:?}").contains("FreshSerial"));
     }
 
     #[test]

@@ -34,6 +34,51 @@ pub fn parallel_chunks<T: Sync, Out: Send>(
     })
 }
 
+/// Like [`parallel_chunks`] but over *mutable* chunks, with one reusable
+/// scratch slot per thread.
+///
+/// Each thread receives the starting index of its chunk (`base`), the
+/// mutable chunk itself, and exclusive access to `scratch[i]` for chunk
+/// `i`. Missing scratch slots are created with `new_scratch`; existing
+/// slots are handed back untouched, so callers can pool per-thread buffers
+/// across invocations (clear-don't-drop). Outputs come back in chunk
+/// order, which makes a deterministic merge trivial: concatenating the
+/// per-chunk results in output order reproduces exactly what one thread
+/// walking `items` front to back would have produced.
+pub fn parallel_scratch_chunks<T: Send, S: Send, Out: Send>(
+    items: &mut [T],
+    scratch: &mut Vec<S>,
+    threads: usize,
+    new_scratch: impl Fn() -> S,
+    f: impl Fn(usize, &mut [T], &mut S) -> Out + Sync,
+) -> Vec<Out> {
+    let threads = threads.max(1).min(items.len().max(1));
+    let chunk = items.len().div_ceil(threads).max(1);
+    let n_chunks = items.len().div_ceil(chunk).max(1);
+    while scratch.len() < n_chunks {
+        scratch.push(new_scratch());
+    }
+    if threads == 1 {
+        return vec![f(0, items, &mut scratch[0])];
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .zip(scratch.iter_mut())
+            .enumerate()
+            .map(|(i, (c, slot))| s.spawn(move || f(i * chunk, c, slot)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}
+
 /// Like [`parallel_chunks`] but for an index range, passing each thread the
 /// sub-range `(start, end)`.
 pub fn parallel_ranges<Out: Send>(
@@ -114,6 +159,105 @@ mod tests {
     fn zero_len_ranges() {
         let outs = parallel_ranges(0, 8, |lo, hi| hi - lo);
         assert_eq!(outs, vec![0]);
+    }
+
+    #[test]
+    fn scratch_chunks_cover_everything_in_order() {
+        for threads in [1usize, 2, 3, 8, 200] {
+            let mut items: Vec<u32> = (0..101).collect();
+            let mut scratch: Vec<Vec<u32>> = Vec::new();
+            let outs = parallel_scratch_chunks(
+                &mut items,
+                &mut scratch,
+                threads,
+                Vec::new,
+                |base, chunk, slot| {
+                    slot.clear();
+                    slot.extend_from_slice(chunk);
+                    for x in chunk.iter_mut() {
+                        *x += 1000;
+                    }
+                    base
+                },
+            );
+            // Bases ascend in chunk order and scratch slots concatenate to
+            // the original input.
+            assert!(outs.windows(2).all(|w| w[0] < w[1]), "threads={threads}");
+            let flat: Vec<u32> = scratch.iter().flatten().copied().collect();
+            assert_eq!(flat, (0..101).collect::<Vec<u32>>(), "threads={threads}");
+            assert!(items.iter().all(|&x| x >= 1000), "chunks were mutable");
+        }
+    }
+
+    /// The determinism contract the pooled-parallel bucketing relies on:
+    /// per-thread bucket sets merged in chunk (= ascending worker) order
+    /// reproduce the single-threaded bucket order bit for bit.
+    #[test]
+    fn scratch_chunks_merged_bucket_order_is_deterministic() {
+        const BUCKETS: usize = 7;
+        let serial: Vec<Vec<(usize, u32)>> = {
+            let mut buckets = vec![Vec::new(); BUCKETS];
+            for v in 0..500u32 {
+                buckets[(v as usize * 31) % BUCKETS].push((v as usize, v));
+            }
+            buckets
+        };
+        for threads in [1usize, 2, 3, 5, 16] {
+            let mut items: Vec<u32> = (0..500).collect();
+            let mut scratch: Vec<Vec<Vec<(usize, u32)>>> = Vec::new();
+            parallel_scratch_chunks(
+                &mut items,
+                &mut scratch,
+                threads,
+                Vec::new,
+                |_base, chunk, set: &mut Vec<Vec<(usize, u32)>>| {
+                    set.resize_with(BUCKETS, Vec::new);
+                    for &v in chunk.iter() {
+                        set[(v as usize * 31) % BUCKETS].push((v as usize, v));
+                    }
+                },
+            );
+            let mut merged = vec![Vec::new(); BUCKETS];
+            for set in scratch.iter_mut() {
+                for (b, local) in set.iter_mut().enumerate() {
+                    merged[b].append(local);
+                }
+            }
+            assert_eq!(merged, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_slots_are_pooled_across_calls() {
+        let mut items: Vec<u32> = (0..64).collect();
+        let mut scratch: Vec<Vec<u32>> = Vec::new();
+        parallel_scratch_chunks(&mut items, &mut scratch, 4, Vec::new, |_, c, slot| {
+            slot.extend_from_slice(c);
+        });
+        let slots_after_first = scratch.len();
+        assert!(slots_after_first >= 4);
+        let caps: Vec<usize> = scratch.iter().map(Vec::capacity).collect();
+        for slot in scratch.iter_mut() {
+            slot.clear(); // clear-don't-drop keeps the allocation
+        }
+        parallel_scratch_chunks(&mut items, &mut scratch, 4, Vec::new, |_, c, slot| {
+            slot.extend_from_slice(c);
+        });
+        assert_eq!(scratch.len(), slots_after_first, "no new slots allocated");
+        for (slot, cap) in scratch.iter().zip(caps) {
+            assert!(slot.capacity() >= cap, "allocations were reused");
+        }
+    }
+
+    #[test]
+    fn scratch_chunks_empty_input_is_fine() {
+        let mut items: Vec<u32> = vec![];
+        let mut scratch: Vec<Vec<u32>> = Vec::new();
+        let outs = parallel_scratch_chunks(&mut items, &mut scratch, 4, Vec::new, |base, c, _| {
+            (base, c.len())
+        });
+        assert_eq!(outs, vec![(0, 0)]);
+        assert_eq!(scratch.len(), 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-worker vertex state: the current/next split of §IV-A.
 
+use crate::transport::RoundBatches;
 use crate::VertexData;
 use flash_graph::VertexId;
 use std::collections::HashMap;
@@ -85,6 +86,101 @@ impl<V: VertexData> WorkerState<V> {
     }
 }
 
+/// Pooled per-superstep scratch buffers, owned by the cluster and reused
+/// across supersteps under [`HotPath::PooledParallel`]
+/// (crate::config::HotPath): every buffer is cleared — never dropped — at
+/// reuse, so steady-state supersteps allocate nothing on the hot path
+/// (DESIGN.md §11).
+///
+/// Invariant: every buffer is returned to the pool *empty* (the take
+/// methods clear defensively anyway), so a pooled superstep observes
+/// exactly the state a fresh allocation would provide.
+#[derive(Debug)]
+pub(crate) struct StepBuffers<V: VertexData> {
+    /// Per-owner routing buckets of the upd round (`step_reduce`).
+    buckets: Vec<Vec<(VertexId, V)>>,
+    /// Per-thread bucket sets of the parallel bucketing pass; slot `i`
+    /// belongs to chunk `i` of `parallel_scratch_chunks`.
+    pub(crate) bucket_sets: Vec<Vec<Vec<(VertexId, V)>>>,
+    /// Per-owner updated-master lists handed out through `StepOutput` and
+    /// returned by `Cluster::recycle_updated`.
+    updated: Vec<Vec<VertexId>>,
+    /// Scratch for `PartitionMap::necessary_mirror_hosts` in the sync scan.
+    pub(crate) host_buf: Vec<u16>,
+    /// Cross-host batch map of the upd round.
+    upd_batches: RoundBatches,
+    /// Cross-host batch map of the sync round.
+    sync_batches: RoundBatches,
+}
+
+impl<V: VertexData> StepBuffers<V> {
+    pub(crate) fn new() -> Self {
+        StepBuffers {
+            buckets: Vec::new(),
+            bucket_sets: Vec::new(),
+            updated: Vec::new(),
+            host_buf: Vec::new(),
+            upd_batches: RoundBatches::new(),
+            sync_batches: RoundBatches::new(),
+        }
+    }
+
+    /// Takes the pooled bucket vector, cleared and sized to `m` owners.
+    pub(crate) fn take_buckets(&mut self, m: usize) -> Vec<Vec<(VertexId, V)>> {
+        Self::take_lists(&mut self.buckets, m)
+    }
+
+    /// Returns the bucket vector after the reduce round drained it.
+    pub(crate) fn put_buckets(&mut self, buckets: Vec<Vec<(VertexId, V)>>) {
+        self.buckets = buckets;
+    }
+
+    /// Takes the pooled updated-master lists, cleared and sized to `m`.
+    pub(crate) fn take_updated(&mut self, m: usize) -> Vec<Vec<VertexId>> {
+        Self::take_lists(&mut self.updated, m)
+    }
+
+    /// Accepts a consumed `StepOutput::updated` buffer back into the pool.
+    pub(crate) fn recycle_updated(&mut self, updated: Vec<Vec<VertexId>>) {
+        self.updated = updated;
+    }
+
+    /// Takes the pooled upd-round batch map, cleared.
+    pub(crate) fn take_upd_batches(&mut self) -> RoundBatches {
+        let mut b = std::mem::take(&mut self.upd_batches);
+        b.clear();
+        b
+    }
+
+    /// Returns the upd-round batch map after delivery.
+    pub(crate) fn put_upd_batches(&mut self, batches: RoundBatches) {
+        self.upd_batches = batches;
+    }
+
+    /// Takes the pooled sync-round batch map, cleared.
+    pub(crate) fn take_sync_batches(&mut self) -> RoundBatches {
+        let mut b = std::mem::take(&mut self.sync_batches);
+        b.clear();
+        b
+    }
+
+    /// Returns the sync-round batch map after delivery.
+    pub(crate) fn put_sync_batches(&mut self, batches: RoundBatches) {
+        self.sync_batches = batches;
+    }
+
+    fn take_lists<T>(pool: &mut Vec<Vec<T>>, m: usize) -> Vec<Vec<T>> {
+        let mut lists = std::mem::take(pool);
+        for l in lists.iter_mut() {
+            l.clear();
+        }
+        if lists.len() != m {
+            lists.resize_with(m, Vec::new);
+        }
+        lists
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +196,30 @@ mod tests {
         let st = WorkerState::new(4, &|v| D { v: v * 10 });
         assert_eq!(st.current(2), &D { v: 20 });
         assert!(st.is_clean());
+    }
+
+    #[test]
+    fn step_buffers_hand_out_cleared_reused_allocations() {
+        let mut b: StepBuffers<D> = StepBuffers::new();
+        let mut buckets = b.take_buckets(3);
+        assert_eq!(buckets.len(), 3);
+        buckets[1].push((7, D { v: 1 }));
+        let caps: Vec<usize> = buckets.iter().map(Vec::capacity).collect();
+        b.put_buckets(buckets);
+        let again = b.take_buckets(3);
+        assert!(again.iter().all(Vec::is_empty), "cleared on take");
+        assert!(again[1].capacity() >= caps[1], "allocation reused");
+
+        let mut upd = b.take_updated(2);
+        upd[0].push(5);
+        b.recycle_updated(upd);
+        assert!(b.take_updated(2).iter().all(Vec::is_empty));
+
+        let mut batches = b.take_upd_batches();
+        batches.insert((0, 1), (2, 64));
+        b.put_upd_batches(batches);
+        assert!(b.take_upd_batches().is_empty(), "cleared on take");
+        assert!(b.take_sync_batches().is_empty());
     }
 
     #[test]

@@ -8,6 +8,20 @@
 use flash_obs::Json;
 use std::time::Duration;
 
+/// Renders a duration in microseconds, rounded half-up — so a 600 ns phase
+/// reports `1` rather than truncating to `0`. All `*_us` fields in stats
+/// JSON and trace events use this; exact values live in the paired `*_ns`
+/// fields.
+pub fn us_half_up(d: Duration) -> u64 {
+    ((d.as_nanos() + 500) / 1000) as u64
+}
+
+/// Renders a duration in nanoseconds (saturating at `u64::MAX`, ~584
+/// years — unreachable for measured phases).
+pub fn ns_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Which kernel a superstep ran.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepKind {
@@ -60,8 +74,25 @@ pub struct StepStats {
     pub compute_min: Duration,
     /// Wall time spent materializing and routing message buffers.
     pub serialize: Duration,
-    /// Wall time spent applying remote updates and mirror syncs.
+    /// Serialization makespan on an ideal one-core-per-worker cluster: the
+    /// slowest bucketing thread's time under the pooled-parallel hot path
+    /// (equal to [`StepStats::serialize`] when bucketing ran on one
+    /// thread). The serialize-phase analogue of
+    /// [`StepStats::compute_max`], and what
+    /// [`RunStats::simulated_parallel_time`] charges.
+    pub serialize_max: Duration,
+    /// Time spent applying remote updates and mirror syncs. When the
+    /// mirror-sync fan-out scan runs on multiple threads, the scan portion
+    /// is charged at its parallel *makespan* (slowest range) rather than
+    /// its wall time, so single-core thread-spawn overhead — which an
+    /// ideal one-core-per-worker cluster would not pay — does not inflate
+    /// the phase.
     pub communicate: Duration,
+    /// Wall time of the reliable-delivery protocol (ack/retransmit rounds
+    /// run by [`crate::transport::Transport`]); zero without channel
+    /// faults. Previously this landed in no phase at all, under-reporting
+    /// lossy supersteps.
+    pub delivery: Duration,
     /// Simulated network time (see [`crate::netmodel::NetworkModel`]).
     pub simulated_net: Duration,
 }
@@ -79,7 +110,9 @@ impl StepStats {
             compute_max: Duration::ZERO,
             compute_min: Duration::ZERO,
             serialize: Duration::ZERO,
+            serialize_max: Duration::ZERO,
             communicate: Duration::ZERO,
+            delivery: Duration::ZERO,
             simulated_net: Duration::ZERO,
         }
     }
@@ -100,7 +133,9 @@ impl StepStats {
         self.compute_max.saturating_sub(self.compute_min)
     }
 
-    /// Machine-readable rendering of this superstep (durations in µs).
+    /// Machine-readable rendering of this superstep. Every phase carries a
+    /// µs field (rounded half-up) and an exact ns field, so
+    /// microbench-scale steps never flatten to zero.
     pub fn to_json(&self) -> Json {
         Json::object()
             .set("kind", self.kind.label())
@@ -109,13 +144,24 @@ impl StepStats {
             .set("upd_bytes", self.upd_bytes)
             .set("sync_messages", self.sync_messages)
             .set("sync_bytes", self.sync_bytes)
-            .set("compute_us", self.compute.as_micros() as u64)
-            .set("compute_max_us", self.compute_max.as_micros() as u64)
-            .set("compute_min_us", self.compute_min.as_micros() as u64)
-            .set("barrier_skew_us", self.barrier_skew().as_micros() as u64)
-            .set("serialize_us", self.serialize.as_micros() as u64)
-            .set("communicate_us", self.communicate.as_micros() as u64)
-            .set("simulated_net_us", self.simulated_net.as_micros() as u64)
+            .set("compute_us", us_half_up(self.compute))
+            .set("compute_max_us", us_half_up(self.compute_max))
+            .set("compute_min_us", us_half_up(self.compute_min))
+            .set("barrier_skew_us", us_half_up(self.barrier_skew()))
+            .set("serialize_us", us_half_up(self.serialize))
+            .set("serialize_max_us", us_half_up(self.serialize_max))
+            .set("communicate_us", us_half_up(self.communicate))
+            .set("delivery_us", us_half_up(self.delivery))
+            .set("simulated_net_us", us_half_up(self.simulated_net))
+            .set("compute_ns", ns_u64(self.compute))
+            .set("compute_max_ns", ns_u64(self.compute_max))
+            .set("compute_min_ns", ns_u64(self.compute_min))
+            .set("barrier_skew_ns", ns_u64(self.barrier_skew()))
+            .set("serialize_ns", ns_u64(self.serialize))
+            .set("serialize_max_ns", ns_u64(self.serialize_max))
+            .set("communicate_ns", ns_u64(self.communicate))
+            .set("delivery_ns", ns_u64(self.delivery))
+            .set("simulated_net_ns", ns_u64(self.simulated_net))
     }
 }
 
@@ -310,14 +356,15 @@ impl RunStats {
     }
 
     /// The simulated end-to-end parallel runtime: per-superstep worker
-    /// makespan + measured communication + serialization + the simulated
-    /// network charge, plus the recovery overhead (checkpointing, retry
-    /// backoff and rollback/replay traffic) and the reliable-delivery
-    /// overhead (retransmission traffic).
+    /// makespans (compute and serialization) + measured communication and
+    /// delivery-protocol time + the simulated network charge, plus the
+    /// recovery overhead (checkpointing, retry backoff and rollback/replay
+    /// traffic) and the reliable-delivery overhead (retransmission
+    /// traffic).
     pub fn simulated_parallel_time(&self) -> Duration {
         self.steps
             .iter()
-            .map(|s| s.compute_max + s.serialize + s.communicate + s.simulated_net)
+            .map(|s| s.compute_max + s.serialize_max + s.communicate + s.delivery + s.simulated_net)
             .sum::<Duration>()
             + self.recovery.overhead()
             + self.delivery.overhead()
@@ -326,6 +373,20 @@ impl RunStats {
     /// Summed serialization time.
     pub fn serialize_time(&self) -> Duration {
         self.steps.iter().map(|s| s.serialize).sum()
+    }
+
+    /// Summed per-superstep serialization *makespan* (slowest bucketing
+    /// thread): the serialize-phase analogue of
+    /// [`RunStats::parallel_compute_time`] — the number the hot-path
+    /// scaling experiments report, because wall-clock parallel speedups are
+    /// unobservable on a single-core host.
+    pub fn parallel_serialize_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.serialize_max).sum()
+    }
+
+    /// Summed reliable-delivery protocol wall time.
+    pub fn delivery_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.delivery).sum()
     }
 
     /// Summed communication time (measured, excluding simulated network).
@@ -378,32 +439,47 @@ impl RunStats {
     }
 
     /// Aggregate totals as JSON, without the per-step array — the payload
-    /// of `results/*.json` summaries (durations in µs).
+    /// of `results/*.json` summaries. Durations come in µs (rounded
+    /// half-up) with exact ns companions.
     pub fn summary_json(&self) -> Json {
         let (vmap, dense, sparse, global) = self.kind_counts();
         Json::object()
             .set("supersteps", self.num_supersteps())
             .set("total_bytes", self.total_bytes())
             .set("total_messages", self.total_messages())
-            .set("compute_us", self.compute_time().as_micros() as u64)
+            .set("compute_us", us_half_up(self.compute_time()))
             .set(
                 "parallel_compute_us",
-                self.parallel_compute_time().as_micros() as u64,
+                us_half_up(self.parallel_compute_time()),
             )
-            .set("serialize_us", self.serialize_time().as_micros() as u64)
-            .set("communicate_us", self.communicate_time().as_micros() as u64)
+            .set("serialize_us", us_half_up(self.serialize_time()))
             .set(
-                "simulated_net_us",
-                self.simulated_net_time().as_micros() as u64,
+                "parallel_serialize_us",
+                us_half_up(self.parallel_serialize_time()),
             )
+            .set("communicate_us", us_half_up(self.communicate_time()))
+            .set("delivery_us", us_half_up(self.delivery_time()))
+            .set("simulated_net_us", us_half_up(self.simulated_net_time()))
             .set(
                 "simulated_parallel_us",
-                self.simulated_parallel_time().as_micros() as u64,
+                us_half_up(self.simulated_parallel_time()),
             )
+            .set("barrier_skew_us", us_half_up(self.barrier_skew_time()))
+            .set("compute_ns", ns_u64(self.compute_time()))
+            .set("parallel_compute_ns", ns_u64(self.parallel_compute_time()))
+            .set("serialize_ns", ns_u64(self.serialize_time()))
             .set(
-                "barrier_skew_us",
-                self.barrier_skew_time().as_micros() as u64,
+                "parallel_serialize_ns",
+                ns_u64(self.parallel_serialize_time()),
             )
+            .set("communicate_ns", ns_u64(self.communicate_time()))
+            .set("delivery_ns", ns_u64(self.delivery_time()))
+            .set("simulated_net_ns", ns_u64(self.simulated_net_time()))
+            .set(
+                "simulated_parallel_ns",
+                ns_u64(self.simulated_parallel_time()),
+            )
+            .set("barrier_skew_ns", ns_u64(self.barrier_skew_time()))
             .set(
                 "kind_counts",
                 Json::object()
@@ -612,6 +688,58 @@ mod tests {
             r.delivery,
             DeliveryStats::default(),
             "clear resets delivery"
+        );
+    }
+
+    #[test]
+    fn us_rounds_half_up_and_ns_is_exact() {
+        assert_eq!(us_half_up(Duration::from_nanos(499)), 0);
+        assert_eq!(us_half_up(Duration::from_nanos(500)), 1);
+        assert_eq!(us_half_up(Duration::from_nanos(600)), 1);
+        assert_eq!(us_half_up(Duration::from_nanos(1499)), 1);
+        assert_eq!(us_half_up(Duration::from_nanos(1500)), 2);
+        assert_eq!(ns_u64(Duration::from_nanos(600)), 600);
+
+        // Sub-µs phases are visible in step JSON via the ns fields and the
+        // rounded µs fields — the truncation bug that zeroed
+        // microbench-scale steps.
+        let mut s = StepStats::new(StepKind::EdgeMapSparse, 1);
+        s.serialize = Duration::from_nanos(700);
+        s.delivery = Duration::from_nanos(900);
+        let j = s.to_json();
+        assert_eq!(j.get("serialize_us").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("serialize_ns").and_then(Json::as_u64), Some(700));
+        assert_eq!(j.get("delivery_us").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("delivery_ns").and_then(Json::as_u64), Some(900));
+    }
+
+    #[test]
+    fn serialize_max_and_delivery_feed_simulated_time() {
+        let mut r = RunStats::default();
+        let mut s = StepStats::new(StepKind::EdgeMapSparse, 4);
+        s.compute_max = Duration::from_micros(100);
+        s.serialize = Duration::from_micros(80); // wall: sum over threads
+        s.serialize_max = Duration::from_micros(20); // makespan: slowest thread
+        s.communicate = Duration::from_micros(10);
+        s.delivery = Duration::from_micros(7);
+        r.push(s);
+        assert_eq!(r.serialize_time(), Duration::from_micros(80));
+        assert_eq!(r.parallel_serialize_time(), Duration::from_micros(20));
+        assert_eq!(r.delivery_time(), Duration::from_micros(7));
+        // Simulated parallel time charges the makespan, not the wall sum.
+        assert_eq!(
+            r.simulated_parallel_time(),
+            Duration::from_micros(100 + 20 + 10 + 7)
+        );
+        let j = r.summary_json();
+        assert_eq!(
+            j.get("parallel_serialize_us").and_then(Json::as_u64),
+            Some(20)
+        );
+        assert_eq!(j.get("delivery_us").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            j.get("parallel_serialize_ns").and_then(Json::as_u64),
+            Some(20_000)
         );
     }
 

@@ -1,0 +1,163 @@
+//! Cross-crate tests of the superstep hot-path overhaul: the
+//! pooled-parallel fast path (per-thread bucket sets merged in worker
+//! order, reused step buffers, clone-free mirror sync) must be invisible
+//! to algorithms — every catalogue algorithm produces **bit-identical**
+//! results and identical per-superstep `upd_*`/`sync_*` counters under
+//! both [`HotPath`] variants — and the phase timers introduced alongside
+//! it (`delivery`, the ns-precision fields) must be populated.
+
+use flash_bench::cli::{dispatch, CliOptions, ALGOS};
+use flash_graph::generators;
+use flash_runtime::{FaultPlan, HotPath, RunStats};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn graph() -> Arc<flash_graph::Graph> {
+    Arc::new(generators::erdos_renyi(48, 160, 11))
+}
+
+fn opts(algo: &str, hotpath: HotPath) -> CliOptions {
+    let mut o = CliOptions {
+        algo: algo.to_string(),
+        workers: 4,
+        iters: 3,
+        hotpath,
+        ..CliOptions::default()
+    };
+    // `dispatch` takes the graph explicitly; the dataset field is unused.
+    o.dataset = Some(flash_graph::Dataset::Orkut);
+    o
+}
+
+/// Per-superstep message/byte counters, which must not move by a single
+/// unit between the two hot paths.
+fn counter_trace(stats: &RunStats) -> Vec<(u64, u64, u64, u64)> {
+    stats
+        .steps()
+        .iter()
+        .map(|s| (s.upd_messages, s.upd_bytes, s.sync_messages, s.sync_bytes))
+        .collect()
+}
+
+/// The property the whole overhaul hangs on: for every algorithm in the
+/// catalogue, the pooled-parallel hot path and the pre-overhaul
+/// fresh-serial baseline produce the same result summary, the same number
+/// of supersteps and identical per-superstep traffic counters.
+#[test]
+fn catalogue_is_bit_identical_across_hot_paths() {
+    let g = graph();
+    let weighted = Arc::new(generators::with_random_weights(&g, 0.1, 2.0, 4));
+    for &algo in &ALGOS {
+        let graph = if algo == "msf" || algo == "sssp" {
+            &weighted
+        } else {
+            &g
+        };
+        let (pooled_summary, pooled_stats) = dispatch(&opts(algo, HotPath::PooledParallel), graph)
+            .unwrap_or_else(|e| panic!("{algo} (pooled): {e}"));
+        let (fresh_summary, fresh_stats) = dispatch(&opts(algo, HotPath::FreshSerial), graph)
+            .unwrap_or_else(|e| panic!("{algo} (fresh-serial): {e}"));
+        assert_eq!(pooled_summary, fresh_summary, "{algo}: result diverged");
+        assert_eq!(
+            pooled_stats.num_supersteps(),
+            fresh_stats.num_supersteps(),
+            "{algo}: superstep count diverged"
+        );
+        assert_eq!(
+            counter_trace(&pooled_stats),
+            counter_trace(&fresh_stats),
+            "{algo}: upd/sync counters diverged"
+        );
+    }
+}
+
+/// The pooled path is also deterministic against *itself*: two runs on the
+/// same graph produce identical summaries and counter traces (the merge of
+/// per-thread bucket sets is in fixed worker order, not completion order).
+#[test]
+fn pooled_path_is_self_deterministic() {
+    let g = graph();
+    let (s1, t1) = dispatch(&opts("cc", HotPath::PooledParallel), &g).expect("first run");
+    let (s2, t2) = dispatch(&opts("cc", HotPath::PooledParallel), &g).expect("second run");
+    assert_eq!(s1, s2);
+    assert_eq!(counter_trace(&t1), counter_trace(&t2));
+}
+
+/// The delivery phase (the ack/retransmit protocol of the reliable
+/// transport) used to vanish from the stats because it ran after the
+/// serialize timer had stopped. Under channel faults it must now be
+/// recorded — and visible in the per-step JSON.
+#[test]
+fn delivery_phase_is_timed_under_channel_faults() {
+    let g = graph();
+    let mut lossy = opts("bfs", HotPath::PooledParallel);
+    lossy.faults = Some(FaultPlan::parse("loss=0.2,seed=9,retries=8").expect("plan parses"));
+    let (_, stats) = dispatch(&lossy, &g).expect("lossy run succeeds");
+    assert!(
+        stats.delivery_time() > Duration::ZERO,
+        "delivery phase not timed: {:?}",
+        stats.delivery_time()
+    );
+    let rendered = stats
+        .steps()
+        .iter()
+        .map(|s| s.to_json().to_string())
+        .collect::<String>();
+    assert!(rendered.contains("\"delivery_us\""));
+    assert!(rendered.contains("\"delivery_ns\""));
+}
+
+/// Sub-µs phases used to floor to zero in the JSON (`as_micros() as u64`).
+/// Every phase now carries an exact ns companion, and the µs field rounds
+/// half-up, so microbench-scale steps stay non-zero.
+#[test]
+fn step_json_carries_ns_precision_phase_fields() {
+    let g = graph();
+    let (_, stats) = dispatch(&opts("bfs", HotPath::PooledParallel), &g).expect("run succeeds");
+    let steps = stats.steps();
+    assert!(!steps.is_empty());
+    for s in steps {
+        let j = s.to_json().to_string();
+        for field in [
+            "compute_ns",
+            "compute_max_ns",
+            "barrier_skew_ns",
+            "serialize_ns",
+            "serialize_max_ns",
+            "communicate_ns",
+            "delivery_ns",
+            "simulated_net_ns",
+        ] {
+            assert!(j.contains(&format!("\"{field}\"")), "missing {field}: {j}");
+        }
+    }
+    // The run actually did work, so the exact-ns compute must be nonzero
+    // even where the µs rendering could legitimately round to zero.
+    assert!(steps
+        .iter()
+        .any(|s| s.to_json().to_string().contains("\"compute_ns\":")));
+    assert!(stats.serialize_time() + stats.compute_time() > Duration::ZERO);
+}
+
+/// `serialize_max` (the bucketing makespan charged by
+/// `simulated_parallel_time`) can never exceed the measured serialize wall
+/// time, and must be positive whenever serialization happened at all.
+#[test]
+fn serialize_makespan_is_bounded_by_wall_time() {
+    let g = graph();
+    for hotpath in [HotPath::PooledParallel, HotPath::FreshSerial] {
+        let mut o = opts("cc", hotpath);
+        o.mode = flash_runtime::ModePolicy::ForceSparse;
+        let (_, stats) = dispatch(&o, &g).expect("run succeeds");
+        for s in stats.steps() {
+            assert!(
+                s.serialize_max <= s.serialize,
+                "{hotpath:?}: makespan {:?} exceeds wall {:?}",
+                s.serialize_max,
+                s.serialize
+            );
+        }
+        assert!(stats.parallel_serialize_time() > Duration::ZERO);
+        assert!(stats.serialize_time() >= stats.parallel_serialize_time());
+    }
+}

@@ -15,6 +15,10 @@ echo "==> cargo clippy (hot-path crates, deny redundant clones / index loops)"
 cargo clippy -p flash-runtime -p flash-core --all-targets -- \
     -D warnings -D clippy::redundant_clone -D clippy::needless_range_loop
 
+echo "==> cargo clippy (obs crate, deny float-precision casts in metrics)"
+cargo clippy -p flash-obs --all-targets -- \
+    -D warnings -D clippy::cast_precision_loss
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -33,7 +37,14 @@ cargo run --release -q -p flash-bench --bin fig_lossy -- --smoke
 echo "==> hot-path smoke (pooled-parallel vs fresh-serial must be bit-identical)"
 cargo run --release -q -p flash-bench --bin perf_hotpath -- --smoke
 
+echo "==> trace analyzer smoke (record, validate schema, critical path, Chrome export)"
+cargo run --release -q -p flash-bench --bin flash_trace -- --smoke
+
 echo "==> bench snapshot (regenerates BENCH_flash.json at the repo root)"
 FLASH_SCALE=small cargo run --release -q -p flash-bench --bin bench_flash
+
+echo "==> perf-regression gate (warn-only: small-scale timings are noisy)"
+FLASH_SCALE=small FLASH_BASELINE_WARN=1 \
+    cargo run --release -q -p flash-bench --bin bench_flash -- --baseline BENCH_flash.json
 
 echo "==> OK"

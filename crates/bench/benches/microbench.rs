@@ -158,9 +158,49 @@ fn bench_superstep_phases() -> Vec<flash_bench::microbench::BenchResult> {
     group.finish()
 }
 
+/// Observability overhead: the cost of one full-frontier vertex-map
+/// superstep under each sink (none, `NullSink`, `CollectSink`, a
+/// `JsonLinesSink` into `io::sink()`), plus the `--metrics` registry.
+/// The delta against `sink/none` is the per-superstep event cost; the
+/// JSONL number exercises the buffered writer path end to end.
+fn bench_obs_overhead() -> Vec<flash_bench::microbench::BenchResult> {
+    use flash_obs::{CollectSink, JsonLinesSink, NullSink, Sink};
+
+    let g = Arc::new(generators::rmat(12, 8, Default::default(), 7));
+    let mut group = Group::new("obs_overhead");
+
+    let configs: Vec<(&str, ClusterConfig)> = vec![
+        ("sink/none", ClusterConfig::with_workers(4)),
+        (
+            "sink/null",
+            ClusterConfig::with_workers(4).sink(Arc::new(NullSink) as Arc<dyn Sink>),
+        ),
+        (
+            "sink/collect",
+            ClusterConfig::with_workers(4).sink(Arc::new(CollectSink::new()) as Arc<dyn Sink>),
+        ),
+        (
+            "sink/jsonl",
+            ClusterConfig::with_workers(4)
+                .sink(Arc::new(JsonLinesSink::new(std::io::sink())) as Arc<dyn Sink>),
+        ),
+        ("metrics/on", ClusterConfig::with_workers(4).metrics()),
+    ];
+    for (label, cfg) in configs {
+        let mut ctx = FlashContext::build(Arc::clone(&g), cfg, |v| Val { x: v as u64 }).unwrap();
+        let all = ctx.all();
+        group.bench(label, || {
+            ctx.vertex_map(&all, |_, _| true, |_, val| val.x = val.x.wrapping_add(1))
+        });
+    }
+
+    group.finish()
+}
+
 fn main() {
     let mut results = bench_primitives();
     results.extend(bench_substrate());
     results.extend(bench_superstep_phases());
+    results.extend(bench_obs_overhead());
     finish_suite("microbench", &results);
 }

@@ -8,7 +8,15 @@
 //! `FLASH_SCALE=small` uses the reduced dataset; `FLASH_BENCH_DIR` moves
 //! the snapshot. A per-algorithm detail file also lands in
 //! `results/bench_flash.json`.
+//!
+//! **Regression gate:** `bench_flash --baseline <BENCH_flash.json>`
+//! compares the fresh run against a committed baseline instead of
+//! overwriting it (tolerance on the measured time via `--tolerance F`,
+//! default 0.5; supersteps and bytes compare exactly) and exits nonzero
+//! on regression. `FLASH_BASELINE_WARN=1` downgrades failures to a
+//! warning for small-scale CI runs where timing noise dominates.
 
+use flash_bench::baseline;
 use flash_bench::cli::{dispatch, CliOptions, ALGOS};
 use flash_bench::harness::Scale;
 use flash_bench::jsonio;
@@ -63,7 +71,77 @@ fn superstep_phases(g: &Arc<flash_graph::Graph>) -> Result<Json, String> {
         .set("serialize_speedup", speedup))
 }
 
+struct GateOptions {
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_gate_args(mut it: impl Iterator<Item = String>) -> Result<GateOptions, String> {
+    let mut o = GateOptions {
+        baseline: None,
+        tolerance: baseline::DEFAULT_TOLERANCE,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => o.baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                o.tolerance = v
+                    .parse()
+                    .map_err(|_| "--tolerance needs a number".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: bench_flash [--baseline <BENCH_flash.json> [--tolerance F]]"
+                ))
+            }
+        }
+    }
+    Ok(o)
+}
+
+/// Runs the gate: parses the committed baseline, compares, prints the
+/// verdict table. Returns `Err` on regression (unless warn-only).
+fn run_gate(gate: &GateOptions, snapshot: &Json) -> Result<(), String> {
+    let path = gate.baseline.as_deref().expect("gate mode");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let base = flash_obs::json::parse(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))?;
+    let result = baseline::compare(&base, snapshot, gate.tolerance);
+    println!(
+        "\nbaseline gate vs {path} (tolerance {:.0}%):",
+        gate.tolerance * 100.0
+    );
+    for line in &result.lines {
+        println!("  {line}");
+    }
+    if result.passed() {
+        println!("baseline gate: PASS");
+        return Ok(());
+    }
+    for r in &result.regressions {
+        eprintln!("regression: {r}");
+    }
+    if std::env::var("FLASH_BASELINE_WARN").as_deref() == Ok("1") {
+        eprintln!(
+            "baseline gate: {} regression(s) — WARN ONLY (FLASH_BASELINE_WARN=1)",
+            result.regressions.len()
+        );
+        return Ok(());
+    }
+    Err(format!(
+        "{} regression(s) vs baseline",
+        result.regressions.len()
+    ))
+}
+
 fn main() {
+    let gate = match parse_gate_args(std::env::args().skip(1)) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let scale = Scale::from_env();
     let g = Arc::new(scale.load(Dataset::Orkut));
     // MSF and SSSP need edge weights; the stand-ins are unweighted, so
@@ -126,8 +204,17 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nwarning: could not write detail json: {e}"),
     }
-    match jsonio::write_bench_snapshot(&snapshot) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write snapshot: {e}"),
+    if gate.baseline.is_some() {
+        // Gate mode compares against the committed snapshot instead of
+        // overwriting it.
+        if let Err(e) = run_gate(&gate, &snapshot) {
+            eprintln!("bench_flash: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        match jsonio::write_bench_snapshot(&snapshot) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write snapshot: {e}"),
+        }
     }
 }

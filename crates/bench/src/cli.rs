@@ -57,6 +57,10 @@ pub struct CliOptions {
     /// pooled-parallel default, or the pre-overhaul serial baseline kept
     /// for A/B perf comparisons.
     pub hotpath: HotPath,
+    /// Record phase/transport/recovery percentile histograms into the
+    /// stats JSON (`--metrics`). Never changes results — only aggregates
+    /// durations the runtime already measures.
+    pub metrics: bool,
 }
 
 impl Default for CliOptions {
@@ -79,6 +83,7 @@ impl Default for CliOptions {
             checkpoint_every: 0,
             checkpoint_off: false,
             hotpath: HotPath::default(),
+            metrics: false,
         }
     }
 }
@@ -158,6 +163,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             }
             "--simulate-network" => opts.simulate_network = true,
             "--json" => opts.json = true,
+            "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = Some(value_of(&arg, &mut it)?),
             "--faults" => {
                 let v = value_of(&arg, &mut it)?;
@@ -218,7 +224,8 @@ pub fn usage() -> String {
         "usage: flash --algo <name> (--dataset <OR|TW|US|EU|UK|SK> | --input <edges.txt>)\n\
          \x20      [--workers N] [--threads N] [--mode auto|push|pull] [--root V]\n\
          \x20      [--iters N] [--k N] [--symmetric] [--simulate-network]\n\
-         \x20      [--json] [--trace <file|-|text>] [--hotpath pooled|fresh-serial]\n\
+         \x20      [--json] [--metrics] [--trace <file|-|text>]\n\
+         \x20      [--hotpath pooled|fresh-serial]\n\
          \x20      [--faults <plan>] [--checkpoint-every N|off]\n\
          fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
          \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW,\n\
@@ -268,6 +275,9 @@ pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
     }
     if opts.checkpoint_off {
         cfg = cfg.checkpoint_off();
+    }
+    if opts.metrics {
+        cfg = cfg.metrics();
     }
     match trace_sink(opts) {
         Ok(Some(sink)) => cfg = cfg.sink(sink),
@@ -669,5 +679,16 @@ mod tests {
         assert!(u.contains("loss=P"));
         assert!(u.contains("corruptRate=P"));
         assert!(u.contains("N|off"));
+        assert!(u.contains("--metrics"));
+    }
+
+    #[test]
+    fn parses_metrics_flag_and_wires_it_into_the_config() {
+        let o = parse_args(args("--algo bfs --dataset or --metrics")).unwrap();
+        assert!(o.metrics);
+        assert!(cluster_config(&o).metrics);
+        let off = parse_args(args("--algo bfs --dataset or")).unwrap();
+        assert!(!off.metrics, "metrics are opt-in");
+        assert!(!cluster_config(&off).metrics);
     }
 }

@@ -20,17 +20,20 @@
 //! | `fig5_breakdown`       | §V-E (time breakdown) |
 //! | `summary_verdicts`     | §V-B headline claims |
 //!
-//! | `bench_flash`          | aggregate `BENCH_flash.json` perf snapshot |
+//! | `bench_flash`          | aggregate `BENCH_flash.json` perf snapshot, plus the `--baseline` perf-regression gate ([`baseline`]) |
+//! | `flash_trace`          | critical-path analyzer over `--trace` JSONL files, with Chrome trace export ([`trace`]) |
 //!
 //! Micro-benchmarks live in `benches/` and run on the offline
 //! [`microbench`] harness. Every binary writes a machine-readable JSON
 //! artifact via [`jsonio`] alongside its text table.
 
+pub mod baseline;
 pub mod cli;
 pub mod harness;
 pub mod jsonio;
 pub mod lloc;
 pub mod microbench;
 pub mod report;
+pub mod trace;
 
 pub use harness::{App, Framework, RunResult, Scale};

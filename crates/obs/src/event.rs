@@ -20,6 +20,25 @@ pub struct Event {
 /// The payload of an [`Event`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum EventKind {
+    /// Trace header: always the first line of a JSONL trace, identifying
+    /// the schema version and the run's configuration so analyzers can
+    /// validate a trace before interpreting it.
+    RunMeta {
+        /// Trace schema version
+        /// ([`TRACE_SCHEMA_VERSION`](crate::TRACE_SCHEMA_VERSION)).
+        schema: u64,
+        /// Fault-plan PRNG seed (0 when no plan is configured).
+        seed: u64,
+        /// Logical worker (partition) count.
+        workers: usize,
+        /// Physical host count at startup (before any elastic membership
+        /// change).
+        hosts: usize,
+        /// Hot-path mode label: `"pooled-parallel"` or `"fresh-serial"`.
+        hotpath: String,
+        /// Compact fault-plan description (`"none"` when faults are off).
+        fault_plan: String,
+    },
     /// A cluster came up: emitted once from `Cluster::new`.
     RunStart {
         /// Simulated worker count.
@@ -297,6 +316,7 @@ impl EventKind {
     /// Stable string tag identifying the variant (the `"event"` field).
     pub fn tag(&self) -> &'static str {
         match self {
+            EventKind::RunMeta { .. } => "run_meta",
             EventKind::RunStart { .. } => "run_start",
             EventKind::StepStart { .. } => "step_start",
             EventKind::WorkerPhase { .. } => "worker_phase",
@@ -325,6 +345,20 @@ impl Event {
             .set("event", self.kind.tag())
             .set("seq", self.seq);
         match &self.kind {
+            EventKind::RunMeta {
+                schema,
+                seed,
+                workers,
+                hosts,
+                hotpath,
+                fault_plan,
+            } => base
+                .set("schema", *schema)
+                .set("seed", *seed)
+                .set("workers", *workers)
+                .set("hosts", *hosts)
+                .set("hotpath", hotpath.as_str())
+                .set("fault_plan", fault_plan.as_str()),
             EventKind::RunStart {
                 workers,
                 vertices,
@@ -563,6 +597,17 @@ impl Event {
     /// [`TextSink`](crate::sink::TextSink).
     pub fn to_text(&self) -> String {
         match &self.kind {
+            EventKind::RunMeta {
+                schema,
+                seed,
+                workers,
+                hosts,
+                hotpath,
+                fault_plan,
+            } => format!(
+                "[{:>4}] trace schema v{schema}: {workers} workers on {hosts} hosts, hotpath={hotpath}, faults={fault_plan}, seed={seed}",
+                self.seq
+            ),
             EventKind::RunStart {
                 workers,
                 vertices,
@@ -791,6 +836,15 @@ mod tests {
     #[test]
     fn tags_are_distinct() {
         let tags = [
+            EventKind::RunMeta {
+                schema: 1,
+                seed: 0,
+                workers: 1,
+                hosts: 1,
+                hotpath: String::new(),
+                fault_plan: String::new(),
+            }
+            .tag(),
             EventKind::RunStart {
                 workers: 1,
                 vertices: 1,
@@ -915,6 +969,41 @@ mod tests {
         ];
         let unique: std::collections::BTreeSet<_> = tags.iter().collect();
         assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn run_meta_renders_and_round_trips() {
+        let e = Event {
+            seq: 0,
+            kind: EventKind::RunMeta {
+                schema: crate::TRACE_SCHEMA_VERSION,
+                seed: 42,
+                workers: 4,
+                hosts: 2,
+                hotpath: "pooled-parallel".to_string(),
+                fault_plan: "loss=0.01".to_string(),
+            },
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("run_meta"));
+        assert_eq!(
+            j.get("schema").and_then(Json::as_u64),
+            Some(crate::TRACE_SCHEMA_VERSION)
+        );
+        assert_eq!(j.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(j.get("workers").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("hosts").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            j.get("hotpath").and_then(Json::as_str),
+            Some("pooled-parallel")
+        );
+        assert_eq!(
+            j.get("fault_plan").and_then(Json::as_str),
+            Some("loss=0.01")
+        );
+        let back = json::parse(&j.to_string()).unwrap();
+        assert_eq!(back, j);
+        assert!(e.to_text().contains("schema v1"));
     }
 
     #[test]

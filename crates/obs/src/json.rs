@@ -219,21 +219,28 @@ impl From<f64> for Json {
     }
 }
 impl From<u64> for Json {
+    // Integers up to 2^53 render exactly through f64; the runtime's
+    // counters (ns, bytes, steps) stay far below that. This is the ONE
+    // sanctioned u64→f64 entry point in the crate — everything else must
+    // go through it (`clippy::cast_precision_loss` is denied in CI).
+    #[allow(clippy::cast_precision_loss)]
     fn from(n: u64) -> Json {
         Json::Num(n as f64)
     }
 }
 impl From<u32> for Json {
     fn from(n: u32) -> Json {
-        Json::Num(n as f64)
+        Json::Num(f64::from(n))
     }
 }
 impl From<usize> for Json {
     fn from(n: usize) -> Json {
-        Json::Num(n as f64)
+        Json::from(n as u64)
     }
 }
 impl From<i64> for Json {
+    // Same contract as `From<u64>`: exact for |n| ≤ 2^53.
+    #[allow(clippy::cast_precision_loss)]
     fn from(n: i64) -> Json {
         Json::Num(n as f64)
     }

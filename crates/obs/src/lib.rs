@@ -10,7 +10,10 @@
 //!   run/superstep spans, per-worker phase timings, barrier skew,
 //!   message/byte counts, sync-plan and adaptive-kernel decisions;
 //! * [`sink`] — the [`Sink`] trait plus [`NullSink`], [`CollectSink`],
-//!   [`JsonLinesSink`], and [`TextSink`].
+//!   [`JsonLinesSink`], and [`TextSink`];
+//! * [`metrics`] — deterministic [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   primitives and the [`MetricsRegistry`] the runtime snapshots into the
+//!   stats JSON (log2-bucketed ns histograms with p50/p90/p99/max).
 //!
 //! The runtime (`flash-runtime`) owns the emission sites; this crate only
 //! defines the vocabulary, so it stays a leaf with zero dependencies.
@@ -19,8 +22,15 @@
 
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod sink;
 
 pub use event::{Event, EventKind};
 pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use sink::{CollectSink, JsonLinesSink, NullSink, Sink, TextSink};
+
+/// Version of the JSONL trace schema. Bumped whenever an event's JSON
+/// shape changes incompatibly; the `run_meta` header event carries it so
+/// analyzers (`flash_trace`) can refuse traces they do not understand.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;

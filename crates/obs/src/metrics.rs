@@ -1,0 +1,546 @@
+//! Deterministic metrics primitives: counters, gauges and log2-bucketed
+//! histograms with percentile queries.
+//!
+//! Everything here is plain data — no atomics, no clocks, no allocation
+//! beyond the owning maps — because the runtime is single-coordinator and
+//! all recording happens between supersteps on the coordinator thread.
+//! Determinism is the contract: the same run produces the same registry,
+//! bit for bit, and [`Histogram::merge`] is commutative and associative so
+//! per-worker histograms can be folded in any order.
+//!
+//! ## Bucketing math
+//!
+//! A [`Histogram`] has 65 buckets indexed by the *bit length* of the
+//! sample: bucket 0 holds exactly the value 0, and bucket `i` (1 ≤ i ≤ 64)
+//! holds values in `[2^(i-1), 2^i - 1]`. Recording is a `leading_zeros`
+//! instruction, merging is element-wise addition, and a percentile query
+//! walks the buckets to the requested rank and reports the containing
+//! bucket's upper bound clamped into `[min, max]` (min and max are tracked
+//! exactly). The reported quantile is therefore *exact within its bucket*:
+//! the true rank statistic lies in the same power-of-two bucket, so the
+//! relative error is bounded by the bucket width — strictly less than 2×.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Number of histogram buckets: one for zero plus one per possible bit
+/// length of a `u64` sample.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A point-in-time level (last write wins).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+}
+
+/// A deterministic log2-bucketed histogram of `u64` samples (nanoseconds,
+/// bytes, counts — any non-negative magnitude).
+///
+/// Tracks exact `count`, `sum`, `min` and `max` alongside the buckets, so
+/// extreme statistics are exact and interior percentiles are exact within
+/// their power-of-two bucket (see the module docs for the math).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for the value 0, else the bit length.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: 0 for bucket 0, else `2^i - 1`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a [`Duration`] as whole nanoseconds (saturating at
+    /// `u64::MAX`, ≈ 584 years).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Folds `other` into `self`. Commutative and associative: merging a
+    /// set of histograms yields the same result in any order, which is
+    /// what makes per-worker aggregation deterministic.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100, integer), or `None` if the
+    /// histogram is empty.
+    ///
+    /// Computed in pure integer arithmetic: the rank is
+    /// `ceil(count * p / 100)` (at least 1), and the result is the upper
+    /// bound of the bucket containing that rank, clamped into
+    /// `[min, max]`. Guarantees `percentile(p) <= max()` and
+    /// `percentile(p) >= min()` for every `p`.
+    pub fn percentile(&self, p: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.min(100);
+        let rank = (self.count.saturating_mul(p).saturating_add(99) / 100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Renders the summary the stats JSON embeds: exact count/sum/min/max
+    /// plus bucket-resolution p50/p90/p99. Empty histograms render all
+    /// five magnitude fields as 0 with `count` 0.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("min", self.min().unwrap_or(0))
+            .set("max", self.max().unwrap_or(0))
+            .set("p50", self.percentile(50).unwrap_or(0))
+            .set("p90", self.percentile(90).unwrap_or(0))
+            .set("p99", self.percentile(99).unwrap_or(0))
+    }
+}
+
+/// A named collection of [`Counter`]s, [`Gauge`]s and [`Histogram`]s.
+///
+/// Backed by `BTreeMap`s so iteration — and therefore the rendered JSON —
+/// is deterministic regardless of registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Sets the named gauge, creating it first.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.entry(name.to_string()).or_default().set(v);
+    }
+
+    /// Records a sample into the named histogram, creating it first.
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Records a [`Duration`] in nanoseconds into the named histogram.
+    pub fn record_duration(&mut self, name: &str, d: Duration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_duration(d);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::get)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).map(Gauge::get)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Names of all histograms, in deterministic (sorted) order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Drops every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value (last write wins), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, c) in &other.counters {
+            self.counters.entry(k.clone()).or_default().add(c.get());
+        }
+        for (k, g) in &other.gauges {
+            self.gauges.entry(k.clone()).or_default().set(g.get());
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the registry as the `metrics` stats block:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count,sum,min,max,p50,p90,p99}}}`.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (k, c) in &self.counters {
+            counters = counters.set(k, c.get());
+        }
+        let mut gauges = Json::object();
+        for (k, g) in &self.gauges {
+            gauges = gauges.set(k, g.get());
+        }
+        let mut hists = Json::object();
+        for (k, h) in &self.histograms {
+            hists = hists.set(k, h.to_json());
+        }
+        Json::object()
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("histograms", hists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_saturates() {
+        let mut c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let mut g = Gauge::new();
+        g.set(9);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50), None);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("p99").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn single_sample_every_percentile_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for p in [0, 1, 50, 90, 99, 100] {
+            assert_eq!(h.percentile(p), Some(777), "p{p}");
+        }
+        assert_eq!(h.min(), Some(777));
+        assert_eq!(h.max(), Some(777));
+        assert_eq!(h.sum(), 777);
+    }
+
+    #[test]
+    fn percentiles_bounded_by_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 900, 901, 5000, 123_456, 7] {
+            h.record(v);
+        }
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        for p in 0..=100 {
+            let q = h.percentile(p).unwrap();
+            assert!(q >= min && q <= max, "p{p} = {q} outside [{min}, {max}]");
+        }
+        assert!(h.percentile(50).unwrap() <= h.percentile(90).unwrap());
+        assert!(h.percentile(90).unwrap() <= h.percentile(99).unwrap());
+        assert_eq!(h.percentile(100), Some(max));
+    }
+
+    #[test]
+    fn percentile_exact_within_bucket() {
+        // The reported quantile must share a power-of-two bucket with the
+        // true rank statistic: error < bucket width < true value.
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (1..=100u64).map(|i| i * 37).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [50u64, 90, 99] {
+            let rank = (h.count() * p).div_ceil(100).max(1) as usize;
+            let truth = sorted[rank - 1];
+            let got = h.percentile(p).unwrap();
+            assert_eq!(
+                bucket_index(got),
+                bucket_index(truth),
+                "p{p}: {got} vs true {truth} in different buckets"
+            );
+            assert!(got >= truth, "upper-bound estimate must not undershoot");
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let parts = [
+            mk(&[1, 5, 5000]),
+            mk(&[]),
+            mk(&[2, 2, 2, 900_000]),
+            mk(&[u64::MAX, 0]),
+        ];
+        let mut fwd = Histogram::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        // And merging equals recording everything into one histogram.
+        let all = mk(&[1, 5, 5000, 2, 2, 2, 900_000, u64::MAX, 0]);
+        assert_eq!(fwd, all);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanos() {
+        let mut h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.min(), Some(3000));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("transport/dedup_hits", 2);
+        m.counter_add("transport/dedup_hits", 1);
+        m.gauge_set("membership/live_workers", 4);
+        m.record("step/delivery_ns", 1500);
+        m.record("step/delivery_ns", 900);
+        assert_eq!(m.counter("transport/dedup_hits"), 3);
+        assert_eq!(m.gauge("membership/live_workers"), Some(4));
+        assert_eq!(m.histogram("step/delivery_ns").unwrap().count(), 2);
+        assert_eq!(m.counter("never"), 0);
+        assert!(m.histogram("never").is_none());
+        let j = m.to_json();
+        assert_eq!(
+            j.get("counters")
+                .and_then(|c| c.get("transport/dedup_hits"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            j.get("histograms")
+                .and_then(|h| h.get("step/delivery_ns"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn registry_merge_folds_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.record("h", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 7);
+        b.record("h", 20);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(7));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(20));
+    }
+
+    #[test]
+    fn registry_json_is_deterministic() {
+        let mut a = MetricsRegistry::new();
+        a.record("z", 1);
+        a.record("a", 2);
+        a.counter_add("k2", 1);
+        a.counter_add("k1", 1);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("k1", 1);
+        b.counter_add("k2", 1);
+        b.record("a", 2);
+        b.record("z", 1);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+}

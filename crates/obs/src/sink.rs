@@ -7,7 +7,7 @@
 //! interior mutability in the implementations below.
 
 use crate::event::Event;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::sync::Mutex;
 
 /// Receives trace events from the runtime.
@@ -66,24 +66,35 @@ impl Sink for CollectSink {
 
 /// Writes one compact JSON object per line (JSONL) to any [`Write`] target
 /// — a file for offline analysis, or an in-memory buffer in tests.
+///
+/// Writes are buffered through an internal [`BufWriter`], so a trace line
+/// costs a formatted append to an in-memory buffer rather than a syscall
+/// per event. The buffer drains on [`Sink::flush`], on
+/// [`JsonLinesSink::into_inner`], and on drop (`BufWriter`'s `Drop` flushes
+/// whatever remains), so a trace file is complete once the sink is gone
+/// even if nobody called `flush`.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write + Send> {
-    writer: Mutex<W>,
+    writer: Mutex<BufWriter<W>>,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> JsonLinesSink<W> {
         JsonLinesSink {
-            writer: Mutex::new(writer),
+            writer: Mutex::new(BufWriter::new(writer)),
         }
     }
 
     /// Consumes the sink and returns the inner writer (flushing first).
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().unwrap();
-        let _ = w.flush();
-        w
+        let buf = self.writer.into_inner().unwrap();
+        // `BufWriter::into_inner` flushes; on error it hands the buffer
+        // back and we honor the "sinks swallow I/O errors" contract.
+        match buf.into_inner() {
+            Ok(w) => w,
+            Err(e) => e.into_inner().into_parts().0,
+        }
     }
 }
 
@@ -177,6 +188,42 @@ mod tests {
                 Some("step_start")
             );
         }
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_buffers_writes_until_flush() {
+        let shared = SharedBuf::default();
+        let sink = JsonLinesSink::new(shared.clone());
+        sink.emit(&ev(0));
+        // A single line is far below BufWriter's capacity: nothing should
+        // have reached the underlying writer yet.
+        assert!(shared.0.lock().unwrap().is_empty());
+        sink.flush();
+        assert!(!shared.0.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let shared = SharedBuf::default();
+        {
+            let sink = JsonLinesSink::new(shared.clone());
+            sink.emit(&ev(1));
+        } // dropped without an explicit flush
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("step_start"));
     }
 
     #[test]

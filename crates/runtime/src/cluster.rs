@@ -139,6 +139,34 @@ impl<V: VertexData> Cluster<V> {
             failed: None,
             buffers: StepBuffers::new(),
         };
+        // The run_meta header is always the first trace line: analyzers
+        // (flash_trace) validate its schema version before reading on.
+        let hotpath = match cluster.config.hotpath {
+            HotPath::PooledParallel => "pooled-parallel",
+            HotPath::FreshSerial => "fresh-serial",
+        };
+        let (seed, fault_plan) = match &cluster.config.fault_plan {
+            None => (0, "none".to_string()),
+            Some(p) => (
+                p.seed,
+                format!(
+                    "specs={} loss={} dup={} corrupt={} retries={}",
+                    p.specs.len(),
+                    p.loss,
+                    p.dup_rate,
+                    p.corrupt_rate,
+                    p.max_retries
+                ),
+            ),
+        };
+        cluster.emit(EventKind::RunMeta {
+            schema: flash_obs::TRACE_SCHEMA_VERSION,
+            seed,
+            workers: cluster.config.workers,
+            hosts: cluster.partition.num_live_hosts(),
+            hotpath: hotpath.to_string(),
+            fault_plan,
+        });
         let (net_latency_us, net_bandwidth_bps) = match &cluster.config.network {
             Some(net) => (
                 net.latency.as_micros() as u64,
@@ -630,7 +658,13 @@ impl<V: VertexData> Cluster<V> {
         if let Some(net) = &self.config.network {
             // Persisting a checkpoint costs one round of shipping the
             // master state off-worker.
-            self.stats.recovery.checkpoint_time += net.cost(1, cp.bytes);
+            let cost = net.cost(1, cp.bytes);
+            self.stats.recovery.checkpoint_time += cost;
+            if self.config.metrics {
+                self.stats
+                    .metrics
+                    .record_duration("recovery/checkpoint_ns", cost);
+            }
         }
         self.emit(EventKind::CheckpointTaken {
             step: self.next_step,
@@ -896,7 +930,13 @@ impl<V: VertexData> Cluster<V> {
         self.stats.recovery.rollbacks += 1;
         self.stats.recovery.replayed_supersteps += replayed;
         if let Some(net) = &self.config.network {
-            self.stats.recovery.replay_net += net.recovery_cost(replayed, bytes);
+            let cost = net.recovery_cost(replayed, bytes);
+            self.stats.recovery.replay_net += cost;
+            if self.config.metrics {
+                self.stats
+                    .metrics
+                    .record_duration("recovery/replay_ns", cost);
+            }
         }
         self.emit(EventKind::RecoveryReplay {
             step: step_id,
@@ -965,8 +1005,13 @@ impl<V: VertexData> Cluster<V> {
         }
         if !report.moved.is_empty() {
             if let Some(net) = &self.config.network {
-                self.stats.recovery.migration_net +=
-                    net.cost(1 + report.moved.len() as u32, total_bytes);
+                let cost = net.cost(1 + report.moved.len() as u32, total_bytes);
+                self.stats.recovery.migration_net += cost;
+                if self.config.metrics {
+                    self.stats
+                        .metrics
+                        .record_duration("recovery/migration_ns", cost);
+                }
             }
         }
     }
@@ -1009,8 +1054,19 @@ impl<V: VertexData> Cluster<V> {
             .map(|i| i.plan().backoff(attempt as u32))
             .unwrap_or_default();
         self.stats.recovery.retry_backoff += backoff;
+        if self.config.metrics {
+            self.stats
+                .metrics
+                .record_duration("recovery/backoff_ns", backoff);
+        }
         if let Some(net) = &self.config.network {
-            self.stats.recovery.replay_net += net.recovery_cost(replayed, bytes);
+            let cost = net.recovery_cost(replayed, bytes);
+            self.stats.recovery.replay_net += cost;
+            if self.config.metrics {
+                self.stats
+                    .metrics
+                    .record_duration("recovery/replay_ns", cost);
+            }
         }
         self.emit(EventKind::RecoveryReplay {
             step: step_id,
@@ -1244,6 +1300,10 @@ impl<V: VertexData> Cluster<V> {
                 scan_overhead = scan_wall.elapsed().saturating_sub(scan_max);
             }
         }
+        // Scan time as charged: wall so far minus the single-core
+        // thread-spawn artifact, exactly what `communicate` will include.
+        let scan_charged = t.elapsed().saturating_sub(scan_overhead);
+        let commit_timer = Instant::now();
 
         // Pass 2 — commit. Full mode clones master → mirror by reference
         // (`clone_from` reuses the destination's allocations; no owned
@@ -1288,6 +1348,14 @@ impl<V: VertexData> Cluster<V> {
             }
         }
 
+        if self.config.metrics {
+            self.stats
+                .metrics
+                .record_duration("step/mirror_scan_ns", scan_charged);
+            self.stats
+                .metrics
+                .record_duration("step/commit_ns", commit_timer.elapsed());
+        }
         stats.communicate += t.elapsed().saturating_sub(scan_overhead);
         stats.delivery += self.deliver_round(step_id, "sync", &sync_batches);
         if !fresh {
@@ -1333,6 +1401,7 @@ impl<V: VertexData> Cluster<V> {
             &scripted,
             self.config.network.as_ref(),
             &mut self.stats.delivery,
+            self.config.metrics.then_some(&mut self.stats.metrics),
         );
         for kind in outcome.events {
             self.emit(kind);
@@ -1351,6 +1420,19 @@ impl<V: VertexData> Cluster<V> {
         if let Some(net) = &self.config.network {
             let rounds = u32::from(stats.upd_bytes > 0) + u32::from(stats.sync_bytes > 0);
             stats.simulated_net = net.cost(rounds, stats.total_bytes());
+        }
+        if self.config.metrics {
+            let m = &mut self.stats.metrics;
+            m.record_duration("step/compute_max_ns", stats.compute_max);
+            m.record_duration("step/barrier_skew_ns", stats.barrier_skew());
+            m.record_duration("step/serialize_ns", stats.serialize);
+            m.record_duration("step/bucketing_ns", stats.serialize_max);
+            m.record_duration("step/delivery_ns", stats.delivery);
+            m.record_duration("step/simulated_net_ns", stats.simulated_net);
+            m.gauge_set(
+                "cluster/live_hosts",
+                i64::try_from(self.partition.num_live_hosts()).unwrap_or(i64::MAX),
+            );
         }
         let step_id = self.next_step;
         self.next_step += 1;
@@ -1661,6 +1743,14 @@ mod tests {
         assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
         assert!(matches!(
             events[0].kind,
+            EventKind::RunMeta {
+                schema: flash_obs::TRACE_SCHEMA_VERSION,
+                workers: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1].kind,
             EventKind::RunStart { workers: 2, .. }
         ));
         assert!(matches!(

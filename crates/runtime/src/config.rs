@@ -112,6 +112,12 @@ pub struct ClusterConfig {
     pub checkpoint_disabled: bool,
     /// Superstep hot-path implementation (see [`HotPath`]).
     pub hotpath: HotPath,
+    /// Record phase/transport/recovery histograms into
+    /// [`RunStats::metrics`](crate::stats::RunStats::metrics). Off by
+    /// default: recording only aggregates already-measured durations (it
+    /// never adds timers or changes results), but the stats JSON stays
+    /// lean unless asked for.
+    pub metrics: bool,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -131,6 +137,7 @@ impl fmt::Debug for ClusterConfig {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("checkpoint_disabled", &self.checkpoint_disabled)
             .field("hotpath", &self.hotpath)
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -151,6 +158,7 @@ impl Default for ClusterConfig {
             checkpoint_every: 0,
             checkpoint_disabled: false,
             hotpath: HotPath::default(),
+            metrics: false,
         }
     }
 }
@@ -238,6 +246,16 @@ impl ClusterConfig {
     /// single-threaded bucketing baseline for A/B measurements.
     pub fn hotpath(mut self, hp: HotPath) -> Self {
         self.hotpath = hp;
+        self
+    }
+
+    /// Enables metrics recording (builder style): superstep phase,
+    /// transport and recovery histograms accumulate into
+    /// `RunStats::metrics` and render in the stats JSON with
+    /// p50/p90/p99/max. Guaranteed not to change results: the catalogue
+    /// bit-identity test runs every algorithm with metrics on and off.
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 

@@ -65,6 +65,7 @@ pub use fault::{
     format_duration, parse_duration, FaultKind, FaultPlan, FaultSpec, DEFAULT_DETECTOR_TIMEOUT,
     MAX_PLAUSIBLE_STEP,
 };
+pub use flash_obs::MetricsRegistry;
 pub use netmodel::NetworkModel;
 pub use stats::{ns_u64, us_half_up, DeliveryStats, RecoveryStats, RunStats, StepKind, StepStats};
 pub use transport::{batch_checksum, DedupWindow, Transport};

@@ -5,7 +5,7 @@
 //! plus exact message/byte counts, which also back the micro-benchmarks
 //! (mode switching, sync-policy ablations) and Fig. 4(a)'s frontier sizes.
 
-use flash_obs::Json;
+use flash_obs::{Json, MetricsRegistry};
 use std::time::Duration;
 
 /// Renders a duration in microseconds, rounded half-up — so a 600 ns phase
@@ -307,6 +307,12 @@ pub struct RunStats {
     /// Reliable-delivery activity of the run (zeros when the plan has no
     /// channel faults).
     pub delivery: DeliveryStats,
+    /// Percentile histograms and counters of superstep phases, transport
+    /// activity and recovery work. Empty unless the cluster was configured
+    /// with [`ClusterConfig::metrics`](crate::ClusterConfig::metrics);
+    /// recording never changes results (only already-measured durations
+    /// are aggregated).
+    pub metrics: MetricsRegistry,
 }
 
 impl RunStats {
@@ -325,11 +331,13 @@ impl RunStats {
         self.steps.len()
     }
 
-    /// Clears all records, including recovery and delivery counters.
+    /// Clears all records, including recovery/delivery counters and
+    /// metrics.
     pub fn clear(&mut self) {
         self.steps.clear();
         self.recovery = RecoveryStats::default();
         self.delivery = DeliveryStats::default();
+        self.metrics.clear();
     }
 
     /// Total cross-worker bytes over the run.
@@ -490,6 +498,7 @@ impl RunStats {
             )
             .set("recovery", self.recovery.to_json())
             .set("delivery", self.delivery.to_json())
+            .set("metrics", self.metrics.to_json())
     }
 
     /// Full machine-readable rendering: the summary plus every superstep.
@@ -741,6 +750,31 @@ mod tests {
             j.get("parallel_serialize_ns").and_then(Json::as_u64),
             Some(20_000)
         );
+    }
+
+    #[test]
+    fn metrics_block_renders_and_clears() {
+        let mut r = RunStats::default();
+        r.metrics.record("step/compute_max_ns", 1000);
+        r.metrics.record("step/compute_max_ns", 3000);
+        r.metrics.counter_add("transport/dedup_hits", 2);
+        let j = r.summary_json();
+        let m = j.get("metrics").expect("summary carries metrics");
+        let h = m
+            .get("histograms")
+            .and_then(|h| h.get("step/compute_max_ns"))
+            .expect("histogram rendered");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(h.get("max").and_then(Json::as_u64), Some(3000));
+        assert!(h.get("p50").is_some() && h.get("p90").is_some() && h.get("p99").is_some());
+        assert_eq!(
+            m.get("counters")
+                .and_then(|c| c.get("transport/dedup_hits"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        r.clear();
+        assert!(r.metrics.is_empty(), "clear resets metrics");
     }
 
     #[test]

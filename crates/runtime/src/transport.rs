@@ -38,7 +38,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::netmodel::NetworkModel;
 use crate::stats::DeliveryStats;
 use flash_graph::Prng;
-use flash_obs::EventKind;
+use flash_obs::{EventKind, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -189,12 +189,20 @@ impl Transport {
     /// superstep `step`. `round` is `"upd"` (mirror→master) or `"sync"`
     /// (master→mirror); `scripted` carries the channel faults fired by the
     /// injector this round, resolved to sending hosts. Counters accumulate
-    /// into `stats`; retransmission time is charged through `net`.
+    /// into `stats`; retransmission time is charged through `net`. When
+    /// `metrics` is provided, per-retransmit latencies (the simulated
+    /// ack-deadline + re-ship charge) land in the
+    /// `transport/retransmit_latency_ns` histogram and dedup-window
+    /// discards in the `transport/dedup_hits` counter.
     ///
     /// Every batch either lands exactly once in the receive window or —
     /// after `1 + max_retries` lost transmissions — produces a
     /// [`RuntimeError::DeliveryExhausted`] in the outcome, disabling the
     /// transport for the rest of the run.
+    // One parameter per independent output channel (stats, metrics) —
+    // bundling them would just move the argument list into a struct the
+    // single caller builds inline.
+    #[allow(clippy::too_many_arguments)]
     pub fn deliver(
         &mut self,
         step: u64,
@@ -203,6 +211,7 @@ impl Transport {
         scripted: &[ScriptedChannelFault],
         net: Option<&NetworkModel>,
         stats: &mut DeliveryStats,
+        mut metrics: Option<&mut MetricsRegistry>,
     ) -> RoundOutcome {
         let mut out = RoundOutcome::default();
         if !self.active || batches.is_empty() {
@@ -240,6 +249,9 @@ impl Transport {
                         delivered = true;
                     } else {
                         stats.dedup_hits += 1;
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.counter_add("transport/dedup_hits", 1);
+                        }
                         out.events.push(EventKind::BatchDeduped {
                             step,
                             round: round.to_string(),
@@ -291,6 +303,9 @@ impl Transport {
                             delivered = true;
                         } else {
                             stats.dedup_hits += 1;
+                            if let Some(m) = metrics.as_deref_mut() {
+                                m.counter_add("transport/dedup_hits", 1);
+                            }
                             out.events.push(EventKind::BatchDeduped {
                                 step,
                                 round: round.to_string(),
@@ -318,7 +333,11 @@ impl Transport {
                 stats.retransmits += 1;
                 stats.retransmitted_bytes += bytes;
                 if let Some(net) = net {
-                    stats.retransmit_net += net.retransmit_cost(bytes);
+                    let cost = net.retransmit_cost(bytes);
+                    stats.retransmit_net += cost;
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.record_duration("transport/retransmit_latency_ns", cost);
+                    }
                 }
                 out.events.push(EventKind::BatchRetransmitted {
                     step,
@@ -385,6 +404,7 @@ mod tests {
             &[],
             Some(&NetworkModel::ten_gbe()),
             &mut stats,
+            None,
         );
         assert!(out.failure.is_none());
         assert!(out.events.is_empty());
@@ -401,7 +421,7 @@ mod tests {
         let b = batches(&[((0, 1), (10, 80))]);
         let scripted = [(FaultKind::Drop, 0, 1)];
         let net = NetworkModel::ten_gbe();
-        let out = t.deliver(1, "upd", &b, &scripted, Some(&net), &mut stats);
+        let out = t.deliver(1, "upd", &b, &scripted, Some(&net), &mut stats, None);
         assert!(out.failure.is_none());
         assert_eq!(stats.batches_dropped, 1);
         assert_eq!(stats.retransmits, 1);
@@ -424,6 +444,7 @@ mod tests {
             &scripted,
             Some(&NetworkModel::ten_gbe()),
             &mut stats,
+            None,
         );
         assert!(out.failure.is_none());
         assert_eq!(stats.batches_duplicated, 1);
@@ -446,6 +467,7 @@ mod tests {
             &scripted,
             Some(&NetworkModel::ten_gbe()),
             &mut stats,
+            None,
         );
         assert!(out.failure.is_none());
         assert_eq!(stats.batches_reordered, 1);
@@ -469,6 +491,7 @@ mod tests {
             &scripted,
             Some(&NetworkModel::ten_gbe()),
             &mut stats,
+            None,
         );
         assert_eq!(
             out.failure,
@@ -491,6 +514,7 @@ mod tests {
             &[],
             Some(&NetworkModel::ten_gbe()),
             &mut stats,
+            None,
         );
         assert!(out.failure.is_none() && out.events.is_empty());
         assert_eq!(stats, before);
@@ -511,6 +535,7 @@ mod tests {
                     &[],
                     Some(&NetworkModel::ten_gbe()),
                     &mut stats,
+                    None,
                 );
                 assert!(out.failure.is_none(), "retries=8 outlasts loss=0.5");
             }
@@ -538,6 +563,7 @@ mod tests {
                 &[],
                 Some(&NetworkModel::ten_gbe()),
                 &mut stats,
+                None,
             );
             assert!(out.failure.is_none());
         }
@@ -563,6 +589,7 @@ mod tests {
                 &[],
                 Some(&NetworkModel::ten_gbe()),
                 &mut stats,
+                None,
             );
             assert!(out.failure.is_none());
         }
@@ -584,6 +611,7 @@ mod tests {
                 &[],
                 Some(&NetworkModel::ten_gbe()),
                 &mut stats,
+                None,
             );
         }
         assert_eq!(t.next_seq[1], 3, "pair (0,1) advanced once per round");

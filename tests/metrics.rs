@@ -1,0 +1,232 @@
+//! Cross-crate tests of the metrics layer: the registry's statistical
+//! guarantees at integration scale, and the non-negotiable invariant that
+//! `--metrics` never changes what an algorithm computes — only what gets
+//! reported about it.
+
+use flash_bench::cli::{dispatch, parse_args, CliOptions, ALGOS};
+use flash_obs::{Histogram, Json, MetricsRegistry};
+use std::sync::Arc;
+
+/// Splitmix64: a deterministic value stream for property checks.
+fn splitmix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn sharded_registries_merge_to_the_same_percentiles_in_any_order() {
+    // Simulate per-worker registries filled with disjoint slices of one
+    // value stream, then merge them in two different orders: the combined
+    // histograms must be identical, and identical to recording the whole
+    // stream into one registry.
+    let mut seed = 0xF1A5_u64;
+    let values: Vec<u64> = (0..4000)
+        .map(|_| splitmix(&mut seed) % 10_000_000)
+        .collect();
+
+    let shards: Vec<MetricsRegistry> = values
+        .chunks(500)
+        .map(|chunk| {
+            let mut r = MetricsRegistry::new();
+            for &v in chunk {
+                r.record("step/compute_max_ns", v);
+                r.counter_add("transport/dedup_hits", 1);
+            }
+            r
+        })
+        .collect();
+
+    let mut forward = MetricsRegistry::new();
+    for s in &shards {
+        forward.merge(s);
+    }
+    let mut reverse = MetricsRegistry::new();
+    for s in shards.iter().rev() {
+        reverse.merge(s);
+    }
+    let mut whole = MetricsRegistry::new();
+    for &v in &values {
+        whole.record("step/compute_max_ns", v);
+    }
+
+    assert_eq!(forward.to_json().to_string(), reverse.to_json().to_string());
+    let h = |r: &MetricsRegistry| r.histogram("step/compute_max_ns").cloned().unwrap();
+    assert_eq!(h(&forward), h(&whole));
+    assert_eq!(forward.counter("transport/dedup_hits"), 4000);
+}
+
+#[test]
+fn percentiles_respect_bounds_on_random_streams() {
+    // For any recorded stream: min <= p50 <= p90 <= p99 <= max, and each
+    // percentile is within one log2 bucket of the true rank statistic.
+    let mut seed = 77_u64;
+    for round in 0..20 {
+        let n = 1 + (round * 37) % 400;
+        let mut h = Histogram::new();
+        let mut vals: Vec<u64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = splitmix(&mut seed) % (1 << (8 + round % 40));
+            h.record(v);
+            vals.push(v);
+        }
+        vals.sort_unstable();
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        let mut prev = min;
+        for p in [50u64, 90, 99] {
+            let got = h.percentile(p).unwrap();
+            assert!(got >= prev, "p{p} not monotone");
+            assert!(got <= max, "p{p} exceeds max");
+            prev = got;
+            // Bucket-width error bound: the reported value is >= the true
+            // rank statistic and at most 2x above it (one log2 bucket),
+            // modulo the exact min/max clamp.
+            let rank = ((n as u64 * p).div_ceil(100)).max(1) as usize;
+            let truth = vals[rank - 1];
+            assert!(got >= truth, "p{p}={got} below true rank value {truth}");
+            assert!(
+                got <= truth.saturating_mul(2).max(min),
+                "p{p}={got} more than a bucket above {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_sample_histograms_behave() {
+    let empty = Histogram::new();
+    assert_eq!(empty.count(), 0);
+    assert!(empty.percentile(50).is_none() && empty.max().is_none());
+    let mut one = Histogram::new();
+    one.record(12345);
+    for p in [1u64, 50, 99, 100] {
+        assert_eq!(one.percentile(p), Some(12345));
+    }
+    assert_eq!((one.min(), one.max()), (Some(12345), Some(12345)));
+}
+
+fn run_catalogue(metrics: bool) -> Vec<(String, String, Json)> {
+    let g = Arc::new(flash_graph::generators::erdos_renyi(60, 240, 5));
+    let weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &g, 0.1, 2.0, 4,
+    ));
+    ALGOS
+        .iter()
+        .map(|algo| {
+            let mut o: CliOptions = parse_args(
+                ["--algo", algo, "--dataset", "OR", "--workers", "3"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            )
+            .unwrap();
+            o.iters = 3;
+            o.metrics = metrics;
+            let graph = if *algo == "msf" || *algo == "sssp" {
+                &weighted
+            } else {
+                &g
+            };
+            let (summary, stats) = dispatch(&o, graph).expect(algo);
+            let counters = Json::object()
+                .set("supersteps", stats.num_supersteps())
+                .set("total_bytes", stats.total_bytes())
+                .set("total_messages", stats.total_messages())
+                .set(
+                    "per_step",
+                    Json::Arr(
+                        stats
+                            .steps()
+                            .iter()
+                            .map(|s| {
+                                Json::object()
+                                    .set("upd_bytes", s.upd_bytes)
+                                    .set("upd_messages", s.upd_messages)
+                                    .set("sync_bytes", s.sync_bytes)
+                                    .set("sync_messages", s.sync_messages)
+                            })
+                            .collect(),
+                    ),
+                );
+            (algo.to_string(), summary, counters)
+        })
+        .collect()
+}
+
+#[test]
+fn catalogue_is_bit_identical_with_metrics_on_and_off() {
+    let off = run_catalogue(false);
+    let on = run_catalogue(true);
+    assert_eq!(off.len(), ALGOS.len());
+    for ((algo, sum_off, ctr_off), (_, sum_on, ctr_on)) in off.iter().zip(on.iter()) {
+        assert_eq!(sum_off, sum_on, "{algo}: result digest changed");
+        assert_eq!(
+            ctr_off.to_string(),
+            ctr_on.to_string(),
+            "{algo}: upd/sync counters changed"
+        );
+    }
+}
+
+#[test]
+fn stats_json_carries_percentiles_for_every_recorded_histogram() {
+    let g = Arc::new(flash_graph::generators::erdos_renyi(120, 500, 11));
+    let mut o: CliOptions = parse_args(
+        ["--algo", "bfs", "--dataset", "OR", "--workers", "4"]
+            .iter()
+            .map(|s| s.to_string()),
+    )
+    .unwrap();
+    o.metrics = true;
+    o.simulate_network = true;
+    let (_, stats) = dispatch(&o, &g).expect("bfs");
+
+    let doc = stats.summary_json();
+    let metrics = doc.get("metrics").expect("metrics block");
+    let histograms = metrics.get("histograms").expect("histograms section");
+    let Json::Obj(map) = histograms else {
+        panic!("histograms must be an object")
+    };
+    // The superstep phases the runtime promises to measure.
+    for name in [
+        "step/compute_max_ns",
+        "step/barrier_skew_ns",
+        "step/serialize_ns",
+        "step/bucketing_ns",
+        "step/delivery_ns",
+        "step/simulated_net_ns",
+        "step/mirror_scan_ns",
+        "step/commit_ns",
+    ] {
+        assert!(map.contains_key(name), "missing histogram {name}");
+    }
+    // Every histogram carries the full percentile summary, internally
+    // consistent.
+    for (name, h) in map {
+        for field in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+            assert!(
+                h.get(field).and_then(Json::as_u64).is_some(),
+                "{name} missing {field}"
+            );
+        }
+        let f = |k: &str| h.get(k).and_then(Json::as_u64).unwrap();
+        assert!(f("min") <= f("p50") && f("p50") <= f("p90"));
+        assert!(f("p90") <= f("p99") && f("p99") <= f("max"));
+        assert_eq!(
+            f("count"),
+            stats.num_supersteps() as u64,
+            "{name}: one sample per superstep"
+        );
+    }
+
+    // Metrics off (the default) keeps the block empty.
+    let o_off: CliOptions = parse_args(
+        ["--algo", "bfs", "--dataset", "OR", "--workers", "4"]
+            .iter()
+            .map(|s| s.to_string()),
+    )
+    .unwrap();
+    let (_, stats_off) = dispatch(&o_off, &g).expect("bfs");
+    assert!(stats_off.metrics.is_empty());
+}

@@ -27,10 +27,15 @@ fn event_ordering_matches_superstep_order() {
     for (i, e) in events.iter().enumerate() {
         assert_eq!(e.seq, i as u64);
     }
+    // The run_meta header always leads, then run_start.
     assert!(matches!(
         events.first().unwrap().kind,
-        EventKind::RunStart { .. }
+        EventKind::RunMeta {
+            schema: flash_obs::TRACE_SCHEMA_VERSION,
+            ..
+        }
     ));
+    assert!(matches!(events[1].kind, EventKind::RunStart { .. }));
     assert!(matches!(
         events.last().unwrap().kind,
         EventKind::RunEnd { .. }
@@ -210,6 +215,13 @@ fn jsonl_trace_round_trips_through_the_parser() {
     let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert!(!lines.is_empty());
+    // The first line is the schema header analyzers validate against.
+    let head = flash_obs::json::parse(lines[0]).expect("header parses");
+    assert_eq!(head.get("event").and_then(Json::as_str), Some("run_meta"));
+    assert_eq!(
+        head.get("schema").and_then(Json::as_u64),
+        Some(flash_obs::TRACE_SCHEMA_VERSION)
+    );
     let mut bytes = 0u64;
     let mut last_seq = None;
     for line in &lines {

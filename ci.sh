@@ -40,10 +40,13 @@ cargo run --release -q -p flash-bench --bin perf_hotpath -- --smoke
 echo "==> trace analyzer smoke (record, validate schema, critical path, Chrome export)"
 cargo run --release -q -p flash-bench --bin flash_trace -- --smoke
 
+echo "==> block-storage smoke (out-of-core engine must be bit-identical)"
+cargo run --release -q -p flash-bench --bin fig_scale -- --smoke
+
 echo "==> bench snapshot (regenerates BENCH_flash.json at the repo root)"
 FLASH_SCALE=small cargo run --release -q -p flash-bench --bin bench_flash
 
-echo "==> perf-regression gate (warn-only: small-scale timings are noisy)"
+echo "==> perf-regression gate (supersteps/total_bytes enforced; timing warn-only)"
 FLASH_SCALE=small FLASH_BASELINE_WARN=1 \
     cargo run --release -q -p flash-bench --bin bench_flash -- --baseline BENCH_flash.json
 

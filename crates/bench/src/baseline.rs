@@ -13,8 +13,11 @@
 //!
 //! Non-algorithm sections of the snapshot (e.g. `superstep_phases`) are
 //! ignored. The `bench_flash --baseline <path>` CLI wraps [`compare`] and
-//! exits nonzero on regression; `FLASH_BASELINE_WARN=1` downgrades the
-//! gate to warn-only for small-scale CI runs.
+//! exits nonzero on regression. The two promise classes are enforced
+//! separately: `FLASH_BASELINE_WARN=1` downgrades **timing** regressions
+//! to warnings (for small-scale CI runs where noise dominates), but
+//! deterministic `supersteps`/`total_bytes` mismatches always fail —
+//! they mean behavior changed, not that the machine was busy.
 
 use flash_obs::Json;
 
@@ -32,14 +35,24 @@ pub const NOISE_FLOOR_SECS: f64 = 0.010;
 pub struct GateResult {
     /// One human-readable line per compared algorithm.
     pub lines: Vec<String>,
-    /// One description per detected regression (empty = gate passes).
-    pub regressions: Vec<String>,
+    /// Deterministic-promise breaks (`supersteps`/`total_bytes` changed,
+    /// an algorithm missing, a malformed baseline). These mean behavior
+    /// changed and are never downgradeable to warnings.
+    pub exact_regressions: Vec<String>,
+    /// Measured `simulated_parallel_time` regressions beyond tolerance.
+    /// Downgradeable to warn-only on noisy hosts.
+    pub time_regressions: Vec<String>,
 }
 
 impl GateResult {
-    /// True when no regression was detected.
+    /// True when no regression of either class was detected.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.exact_regressions.is_empty() && self.time_regressions.is_empty()
+    }
+
+    /// All regressions, exact first.
+    pub fn all_regressions(&self) -> impl Iterator<Item = &String> {
+        self.exact_regressions.iter().chain(&self.time_regressions)
     }
 }
 
@@ -59,7 +72,7 @@ fn is_algo_record(j: &Json) -> bool {
 pub fn compare(baseline: &Json, fresh: &Json, tolerance: f64) -> GateResult {
     let mut out = GateResult::default();
     let Json::Obj(entries) = baseline else {
-        out.regressions
+        out.exact_regressions
             .push("baseline is not a JSON object".to_string());
         return out;
     };
@@ -68,7 +81,7 @@ pub fn compare(baseline: &Json, fresh: &Json, tolerance: f64) -> GateResult {
             continue;
         }
         let Some(cur) = fresh.get(algo).filter(|c| is_algo_record(c)) else {
-            out.regressions
+            out.exact_regressions
                 .push(format!("{algo}: missing from fresh run"));
             continue;
         };
@@ -81,12 +94,12 @@ pub fn compare(baseline: &Json, fresh: &Json, tolerance: f64) -> GateResult {
 
         let (bs, cs) = (get_u(base, "supersteps"), get_u(cur, "supersteps"));
         if bs != cs {
-            out.regressions
+            out.exact_regressions
                 .push(format!("{algo}: supersteps changed {bs} -> {cs}"));
         }
         let (bb, cb) = (get_u(base, "total_bytes"), get_u(cur, "total_bytes"));
         if bb != cb {
-            out.regressions
+            out.exact_regressions
                 .push(format!("{algo}: total_bytes changed {bb} -> {cb}"));
         }
 
@@ -94,7 +107,7 @@ pub fn compare(baseline: &Json, fresh: &Json, tolerance: f64) -> GateResult {
         let ratio = if bt > 0.0 { ct / bt } else { f64::INFINITY };
         let slow = ct > bt * (1.0 + tolerance) && (ct - bt) > NOISE_FLOOR_SECS;
         if slow {
-            out.regressions.push(format!(
+            out.time_regressions.push(format!(
                 "{algo}: simulated_parallel_time {bt:.4}s -> {ct:.4}s ({ratio:.2}x, tolerance {:.0}%)",
                 tolerance * 100.0
             ));
@@ -110,8 +123,8 @@ pub fn compare(baseline: &Json, fresh: &Json, tolerance: f64) -> GateResult {
             "{algo:<10} {bt:>9.4}s -> {ct:>9.4}s ({ratio:>5.2}x)  steps {bs:>4} -> {cs:<4}  bytes {bb:>12} -> {cb:<12}  {verdict}"
         ));
     }
-    if out.lines.is_empty() && out.regressions.is_empty() {
-        out.regressions
+    if out.lines.is_empty() && out.passed() {
+        out.exact_regressions
             .push("baseline contains no algorithm records".to_string());
     }
     out
@@ -144,7 +157,7 @@ mod tests {
             ("superstep_phases", Json::object().set("workload", "cc")),
         ]);
         let r = compare(&base, &base, DEFAULT_TOLERANCE);
-        assert!(r.passed(), "{:?}", r.regressions);
+        assert!(r.passed(), "{:?}", r.all_regressions().collect::<Vec<_>>());
         assert_eq!(r.lines.len(), 2, "phase section is not an algo record");
     }
 
@@ -154,8 +167,12 @@ mod tests {
         let slow = snapshot(&[("bfs", record(1.5, 1000, 8))]);
         let r = compare(&base, &slow, DEFAULT_TOLERANCE);
         assert!(!r.passed());
-        assert!(r.regressions[0].contains("simulated_parallel_time"));
-        assert!(r.regressions[0].contains("3.00x"));
+        assert!(r.time_regressions[0].contains("simulated_parallel_time"));
+        assert!(r.time_regressions[0].contains("3.00x"));
+        assert!(
+            r.exact_regressions.is_empty(),
+            "slowdown is a timing regression"
+        );
     }
 
     #[test]
@@ -163,7 +180,7 @@ mod tests {
         let base = snapshot(&[("bfs", record(0.5, 1000, 8))]);
         // 40% slower: within the 50% tolerance.
         let r = compare(&base, &snapshot(&[("bfs", record(0.7, 1000, 8))]), 0.5);
-        assert!(r.passed(), "{:?}", r.regressions);
+        assert!(r.passed(), "{:?}", r.all_regressions().collect::<Vec<_>>());
         // 3x slower but only 4ms absolute: below the noise floor.
         let tiny = snapshot(&[("bfs", record(0.002, 1000, 8))]);
         let tiny_slow = snapshot(&[("bfs", record(0.006, 1000, 8))]);
@@ -184,10 +201,10 @@ mod tests {
         let base = snapshot(&[("bfs", record(0.5, 1000, 8))]);
         let r = compare(&base, &snapshot(&[("bfs", record(0.5, 1001, 8))]), 0.5);
         assert!(!r.passed());
-        assert!(r.regressions[0].contains("total_bytes"));
+        assert!(r.exact_regressions[0].contains("total_bytes"));
         let r = compare(&base, &snapshot(&[("bfs", record(0.5, 1000, 9))]), 0.5);
         assert!(!r.passed());
-        assert!(r.regressions[0].contains("supersteps"));
+        assert!(r.exact_regressions[0].contains("supersteps"));
     }
 
     #[test]
@@ -195,7 +212,7 @@ mod tests {
         let base = snapshot(&[("bfs", record(0.5, 1000, 8))]);
         let r = compare(&base, &snapshot(&[("cc", record(0.5, 1000, 8))]), 0.5);
         assert!(!r.passed());
-        assert!(r.regressions[0].contains("missing"));
+        assert!(r.exact_regressions[0].contains("missing"));
         let grown = snapshot(&[("bfs", record(0.5, 1000, 8)), ("cc", record(1.0, 1, 1))]);
         assert!(compare(&base, &grown, 0.5).passed());
     }

@@ -13,8 +13,9 @@
 //! compares the fresh run against a committed baseline instead of
 //! overwriting it (tolerance on the measured time via `--tolerance F`,
 //! default 0.5; supersteps and bytes compare exactly) and exits nonzero
-//! on regression. `FLASH_BASELINE_WARN=1` downgrades failures to a
-//! warning for small-scale CI runs where timing noise dominates.
+//! on regression. `FLASH_BASELINE_WARN=1` downgrades **timing**
+//! failures to a warning for small-scale CI runs where noise dominates;
+//! deterministic `supersteps`/`total_bytes` mismatches always fail.
 
 use flash_bench::baseline;
 use flash_bench::cli::{dispatch, CliOptions, ALGOS};
@@ -118,19 +119,28 @@ fn run_gate(gate: &GateOptions, snapshot: &Json) -> Result<(), String> {
         println!("baseline gate: PASS");
         return Ok(());
     }
-    for r in &result.regressions {
+    for r in result.all_regressions() {
         eprintln!("regression: {r}");
+    }
+    // Deterministic promises (supersteps, total_bytes) are enforced
+    // unconditionally: a mismatch means behavior changed, and no amount
+    // of machine noise explains it away.
+    if !result.exact_regressions.is_empty() {
+        return Err(format!(
+            "{} deterministic regression(s) vs baseline (not downgradeable)",
+            result.exact_regressions.len()
+        ));
     }
     if std::env::var("FLASH_BASELINE_WARN").as_deref() == Ok("1") {
         eprintln!(
-            "baseline gate: {} regression(s) — WARN ONLY (FLASH_BASELINE_WARN=1)",
-            result.regressions.len()
+            "baseline gate: {} timing regression(s) — WARN ONLY (FLASH_BASELINE_WARN=1)",
+            result.time_regressions.len()
         );
         return Ok(());
     }
     Err(format!(
-        "{} regression(s) vs baseline",
-        result.regressions.len()
+        "{} timing regression(s) vs baseline",
+        result.time_regressions.len()
     ))
 }
 

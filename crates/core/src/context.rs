@@ -3,10 +3,13 @@
 use crate::edgeset::EdgeSet;
 use crate::subset::VertexSubset;
 use crate::EdgeRef;
-use flash_graph::{BitSet, Graph, HashPartitioner, PartitionMap, VertexId};
+use flash_graph::{
+    BitSet, BlockHandle, BlockTouch, Graph, HashPartitioner, PartitionMap, VertexId, Weight,
+};
 use flash_runtime::par::parallel_chunks;
 use flash_runtime::{
-    Cluster, ClusterConfig, ModePolicy, RunStats, RuntimeError, StepKind, SyncScope, VertexData,
+    Cluster, ClusterConfig, ModePolicy, RunStats, RuntimeError, StepKind, StorageMode, SyncScope,
+    VertexData, WorkerCtx,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -211,6 +214,19 @@ impl<V: VertexData> FlashContext<V> {
     // EDGEMAP
     // ------------------------------------------------------------------
 
+    /// The block-streaming handle an `EDGEMAP` over `h` should use, if
+    /// any: block storage must be configured, the edge set must be
+    /// streamable (a fixed orientation of `E`), and the graph must be
+    /// block-backed. Virtual edge sets fall back to the in-memory
+    /// kernels — they reach beyond `E`, so no edge block contains them.
+    fn streaming(&self, h: &EdgeSet<V>) -> Option<Arc<BlockHandle>> {
+        if self.cluster.config().storage == StorageMode::Block && h.is_streamable() {
+            self.cluster.graph().block_handle().cloned()
+        } else {
+            None
+        }
+    }
+
     /// `EDGEMAP(U, H, F, M, C, R)` (Algorithm 4): dispatches to the dense
     /// (pull) or sparse (push) kernel by the density of the active set —
     /// dense when `|U| + outEdges(U) > threshold * |E|`, following Ligra —
@@ -299,7 +315,11 @@ impl<V: VertexData> FlashContext<V> {
         let n = self.num_vertices();
         let scope = sync_scope(h);
         let kind = StepKind::EdgeMapDense;
+        let stream = self.streaming(h);
         let out = self.cluster.step_direct(kind, u.len(), scope, |ctx| {
+            if let Some(bh) = stream.as_deref() {
+                return dense_streamed(ctx, bh, u, h, &f, &m, &c);
+            }
             let g = ctx.graph();
             let masters = ctx.masters();
             let cur = ctx.current_slice();
@@ -376,7 +396,11 @@ impl<V: VertexData> FlashContext<V> {
         );
         let n = self.num_vertices();
         let scope = sync_scope(h);
+        let stream = self.streaming(h);
         let out = self.cluster.step_reduce(u.len(), scope, &r, |ctx| {
+            if let Some(bh) = stream.as_deref() {
+                return sparse_streamed(ctx, bh, u, h, &f, &m, &c, &r);
+            }
             let g = ctx.graph();
             let actives = u.filter_masters(ctx.masters());
             let cur = ctx.current_slice();
@@ -480,6 +504,258 @@ impl<V: VertexData> FlashContext<V> {
         let msgs = self.num_workers().saturating_sub(1) as u64;
         self.cluster.set_value_global(v, val);
         self.cluster.record_global(msgs, bytes, t0.elapsed());
+    }
+}
+
+/// Per-destination streaming state of the dense (pull) kernel: a cursor
+/// into the sorted source list, advanced one source block at a time.
+struct DenseRow<'g, W> {
+    d: VertexId,
+    /// The destination's block index (one coordinate of every edge block
+    /// this row touches).
+    db: u32,
+    srcs: &'g [VertexId],
+    wts: Option<&'g [Weight]>,
+    cursor: usize,
+    d_new: Option<W>,
+    /// Set when the per-edge condition `c` failed mid-list — the paper's
+    /// early exit; remaining blocks of this row are skipped (and not
+    /// charged).
+    stopped: bool,
+}
+
+/// The streamed `EDGEMAPDENSE` kernel (DESIGN.md §13). Functionally
+/// identical to the in-memory pull kernel — for every destination the
+/// sources are still visited in ascending order, so results are
+/// bit-identical — but the *visit order across destinations* is
+/// block-major: all rows consume source block `sb` before any row moves
+/// to `sb + 1`, the access pattern an out-of-core engine needs so one
+/// streamed edge block serves every resident row. Touched blocks are
+/// recorded per chunk and replayed against the worker's FIFO cache for
+/// deterministic bytes-streamed accounting.
+fn dense_streamed<V: VertexData>(
+    ctx: &mut WorkerCtx<'_, V>,
+    bh: &BlockHandle,
+    u: &VertexSubset,
+    h: &EdgeSet<V>,
+    f: &(impl Fn(EdgeRef, &V, &V) -> bool + Sync),
+    m: &(impl Fn(EdgeRef, &V, &mut V) + Sync),
+    c: &(impl Fn(VertexId, &V) -> bool + Sync),
+) -> Vec<VertexId> {
+    let g = ctx.graph();
+    let grid = bh.grid();
+    let nb = grid.nb();
+    let reverse = matches!(h, EdgeSet::Reverse);
+    let gate = match h {
+        EdgeSet::TargetsIn(set) => Some(set),
+        _ => None,
+    };
+    let worker = ctx.worker();
+    let masters = ctx.masters();
+    let cur = ctx.current_slice();
+    let results = parallel_chunks(masters, ctx.threads(), |chunk| {
+        let mut rows: Vec<DenseRow<'_, V>> = chunk
+            .iter()
+            .copied()
+            .filter(|&d| c(d, &cur[d as usize]) && gate.is_none_or(|set| set.contains(d)))
+            .map(|d| {
+                let (srcs, wts) = if reverse {
+                    (g.out_neighbors(d), g.out_weights(d))
+                } else {
+                    (g.in_neighbors(d), g.in_weights(d))
+                };
+                DenseRow {
+                    d,
+                    db: grid.block_of(d) as u32,
+                    srcs,
+                    wts,
+                    cursor: 0,
+                    d_new: None,
+                    stopped: false,
+                }
+            })
+            .collect();
+        let mut touches: Vec<BlockTouch> = Vec::new();
+        for sb in 0..nb {
+            let end = grid.block_end(sb);
+            for row in rows.iter_mut() {
+                let lo = row.cursor;
+                let mut hi = lo;
+                while hi < row.srcs.len() && (row.srcs[hi] as usize) < end {
+                    hi += 1;
+                }
+                row.cursor = hi;
+                if lo == hi || row.stopped {
+                    continue;
+                }
+                // This slice lives in one edge block; pulling reads the
+                // in-CSR copy of block (sb, db), reversed pulls the
+                // out-CSR copy of (db, sb). Consecutive rows of the same
+                // destination block share the touch.
+                let touch: BlockTouch = if reverse {
+                    (0, row.db, sb as u32)
+                } else {
+                    (1, sb as u32, row.db)
+                };
+                if touches.last() != Some(&touch) {
+                    touches.push(touch);
+                }
+                for i in lo..hi {
+                    let d_ref: &V = row.d_new.as_ref().unwrap_or(&cur[row.d as usize]);
+                    if !c(row.d, d_ref) {
+                        row.stopped = true;
+                        break;
+                    }
+                    let s = row.srcs[i];
+                    if !u.contains(s) {
+                        continue;
+                    }
+                    let s_val = &cur[s as usize];
+                    let e = EdgeRef {
+                        src: s,
+                        dst: row.d,
+                        weight: row.wts.map_or(1.0, |w| w[i]),
+                    };
+                    if f(e, s_val, d_ref) {
+                        let mut val = d_ref.clone();
+                        m(e, s_val, &mut val);
+                        row.d_new = Some(val);
+                    }
+                }
+            }
+        }
+        let mut writes: Vec<(VertexId, V)> = Vec::new();
+        let mut outs: Vec<VertexId> = Vec::new();
+        for row in rows {
+            if let Some(val) = row.d_new {
+                outs.push(row.d);
+                writes.push((row.d, val));
+            }
+        }
+        (writes, outs, touches)
+    });
+    let mut all_outs = Vec::new();
+    for (writes, outs, touches) in results {
+        bh.replay(worker, &touches);
+        ctx.write_masters(writes);
+        all_outs.extend(outs);
+    }
+    all_outs
+}
+
+/// Per-source streaming state of the sparse (push) kernel: a cursor into
+/// the sorted target list, advanced one destination block at a time.
+struct SparseRow<'g> {
+    s: VertexId,
+    /// The source's block index.
+    sb: u32,
+    tgts: &'g [VertexId],
+    wts: Option<&'g [Weight]>,
+    cursor: usize,
+}
+
+/// The streamed `EDGEMAPSPARSE` kernel (DESIGN.md §13). Pushes the same
+/// updates as the in-memory kernel — any one destination still receives
+/// its updates in ascending source order, so reduction is bit-identical —
+/// but iterates destination blocks outermost, the GPOP-style binned
+/// scatter that confines the random target accesses of one pass to a
+/// single block's range. Block touches are replayed for deterministic
+/// streaming accounting.
+#[allow(clippy::too_many_arguments)]
+fn sparse_streamed<V: VertexData>(
+    ctx: &mut WorkerCtx<'_, V>,
+    bh: &BlockHandle,
+    u: &VertexSubset,
+    h: &EdgeSet<V>,
+    f: &(impl Fn(EdgeRef, &V, &V) -> bool + Sync),
+    m: &(impl Fn(EdgeRef, &V, &mut V) + Sync),
+    c: &(impl Fn(VertexId, &V) -> bool + Sync),
+    r: &(impl Fn(&V, &mut V) + Sync),
+) {
+    let g = ctx.graph();
+    let grid = bh.grid();
+    let nb = grid.nb();
+    let reverse = matches!(h, EdgeSet::Reverse);
+    let gate = match h {
+        EdgeSet::TargetsIn(set) => Some(set),
+        _ => None,
+    };
+    let worker = ctx.worker();
+    let actives = u.filter_masters(ctx.masters());
+    let cur = ctx.current_slice();
+    let results = parallel_chunks(&actives, ctx.threads(), |chunk| {
+        let mut rows: Vec<SparseRow<'_>> = chunk
+            .iter()
+            .copied()
+            .map(|s| {
+                let (tgts, wts) = if reverse {
+                    (g.in_neighbors(s), g.in_weights(s))
+                } else {
+                    (g.out_neighbors(s), g.out_weights(s))
+                };
+                SparseRow {
+                    s,
+                    sb: grid.block_of(s) as u32,
+                    tgts,
+                    wts,
+                    cursor: 0,
+                }
+            })
+            .collect();
+        let mut updates: Vec<(VertexId, V)> = Vec::new();
+        let mut touches: Vec<BlockTouch> = Vec::new();
+        for db in 0..nb {
+            let end = grid.block_end(db);
+            for row in rows.iter_mut() {
+                let lo = row.cursor;
+                let mut hi = lo;
+                while hi < row.tgts.len() && (row.tgts[hi] as usize) < end {
+                    hi += 1;
+                }
+                row.cursor = hi;
+                if lo == hi {
+                    continue;
+                }
+                // Pushing reads the out-CSR copy of block (sb, db);
+                // reversed pushes read the in-CSR copy of (db, sb).
+                let touch: BlockTouch = if reverse {
+                    (1, db as u32, row.sb)
+                } else {
+                    (0, row.sb, db as u32)
+                };
+                if touches.last() != Some(&touch) {
+                    touches.push(touch);
+                }
+                let s_val = &cur[row.s as usize];
+                for i in lo..hi {
+                    let d = row.tgts[i];
+                    if let Some(set) = gate {
+                        if !set.contains(d) {
+                            continue;
+                        }
+                    }
+                    let d_val = &cur[d as usize];
+                    if !c(d, d_val) {
+                        continue;
+                    }
+                    let e = EdgeRef {
+                        src: row.s,
+                        dst: d,
+                        weight: row.wts.map_or(1.0, |w| w[i]),
+                    };
+                    if f(e, s_val, d_val) {
+                        let mut temp = d_val.clone();
+                        m(e, s_val, &mut temp);
+                        updates.push((d, temp));
+                    }
+                }
+            }
+        }
+        (updates, touches)
+    });
+    for (updates, touches) in results {
+        bh.replay(worker, &touches);
+        ctx.puts(updates, r);
     }
 }
 

@@ -109,6 +109,18 @@ impl<V> EdgeSet<V> {
         )
     }
 
+    /// `true` if the streamed (out-of-core) kernels can serve this set by
+    /// scanning edge blocks of the on-disk graph: the set must be a subset
+    /// of `E` (or `reverse(E)`) known without evaluating per-vertex
+    /// functions. Virtual sets (two-hop, custom) fall back to the
+    /// in-memory kernels even under block storage.
+    pub fn is_streamable(&self) -> bool {
+        matches!(
+            self,
+            EdgeSet::Forward | EdgeSet::Reverse | EdgeSet::TargetsIn(_)
+        )
+    }
+
     /// `true` if the sparse (push) kernel can enumerate this set from the
     /// source side.
     pub fn supports_push(&self) -> bool {
@@ -291,6 +303,19 @@ mod tests {
         assert!(EdgeSet::<P>::two_hop().is_virtual());
         let both: EdgeSet<P> = EdgeSet::custom(|_, _| vec![], |_, _| vec![]);
         assert!(both.supports_push() && both.supports_pull() && both.is_virtual());
+    }
+
+    #[test]
+    fn streamability_follows_materialization() {
+        assert!(EdgeSet::<P>::forward().is_streamable());
+        assert!(EdgeSet::<P>::reverse().is_streamable());
+        let u = VertexSubset::from_ids(4, [1]);
+        assert!(EdgeSet::<P>::targets_in(&u).is_streamable());
+        assert!(!EdgeSet::<P>::two_hop().is_streamable());
+        assert!(!EdgeSet::<P>::custom_out(|_, p: &P| vec![p.parent]).is_streamable());
+        assert!(!EdgeSet::<P>::custom_in(|_, p: &P| vec![p.parent]).is_streamable());
+        let both: EdgeSet<P> = EdgeSet::custom(|_, _| vec![], |_, _| vec![]);
+        assert!(!both.is_streamable());
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum GraphError {
     },
     /// Underlying I/O failure (message-only so the error stays `Clone`).
     Io(String),
+    /// A block file (`.fgb`) failed validation: wrong magic, version,
+    /// endianness, or a truncated/inconsistent section layout.
+    BlockFormat(String),
     /// A membership change (rebalance/rejoin) on a [`crate::PartitionMap`]
     /// was rejected — e.g. an unknown host, a host already in the requested
     /// state, or a change that would leave no live hosts.
@@ -56,6 +59,7 @@ impl fmt::Display for GraphError {
             GraphError::NoWorkers => write!(f, "a partition requires at least one worker"),
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::BlockFormat(msg) => write!(f, "block file rejected: {msg}"),
             GraphError::Membership(msg) => write!(f, "membership change rejected: {msg}"),
         }
     }
@@ -83,6 +87,9 @@ mod tests {
         let m = GraphError::Membership("host 3 is already dead".into());
         assert!(m.to_string().contains("membership"));
         assert!(m.to_string().contains("host 3"));
+        let b = GraphError::BlockFormat("bad magic".into());
+        assert!(b.to_string().contains("block file"));
+        assert!(b.to_string().contains("bad magic"));
     }
 
     #[test]

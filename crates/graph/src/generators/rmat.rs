@@ -36,8 +36,11 @@ impl Default for RmatParams {
 /// samples dropped, so the realized count is slightly lower — as in the
 /// Graph500 reference generator's simple-graph mode).
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
+    assert!(scale < 32, "2^{scale} vertices exceeds the u32 id space");
     let n = 1usize << scale;
-    let m = edge_factor * n;
+    let m = edge_factor
+        .checked_mul(n)
+        .expect("edge_factor * 2^scale overflows usize");
     let mut r = rng(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {

@@ -11,8 +11,15 @@ use crate::{Graph, GraphBuilder, VertexId};
 /// moderate skew, high local density.
 pub fn web_graph(n: usize, avg_degree: usize, communities: usize, seed: u64) -> Graph {
     assert!(communities >= 1 && communities <= n, "bad community count");
+    assert!(
+        n < u32::MAX as usize,
+        "{n} vertices exceeds the u32 id space"
+    );
     let mut r = rng(seed);
-    let m = n * avg_degree / 2;
+    let m = n
+        .checked_mul(avg_degree)
+        .expect("n * avg_degree overflows usize")
+        / 2;
     let comm_size = n.div_ceil(communities);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m + n);
     let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * m);
@@ -28,7 +35,9 @@ pub fn web_graph(n: usize, avg_degree: usize, communities: usize, seed: u64) -> 
     // the roots moderately hot — the web graphs' degree skew sits between
     // the social and road classes.
     for v in 0..n {
-        let root = ((v / comm_size) * comm_size) as VertexId;
+        let root_id = (v / comm_size) * comm_size;
+        debug_assert!(root_id < n, "community root wrapped past n");
+        let root = root_id as VertexId;
         if root != v as VertexId {
             edges.push((v as VertexId, root));
             endpoints.push(root);
@@ -41,7 +50,8 @@ pub fn web_graph(n: usize, avg_degree: usize, communities: usize, seed: u64) -> 
             // Intra-community link.
             let comm = (s as usize) / comm_size;
             let lo = comm * comm_size;
-            let hi = ((comm + 1) * comm_size).min(n);
+            let hi = (comm + 1).saturating_mul(comm_size).min(n);
+            debug_assert!(lo < hi && hi <= n, "community range wrapped");
             r.gen_range(lo as VertexId..hi as VertexId)
         } else if endpoints.is_empty() {
             r.gen_range(0..n as VertexId)

@@ -1,7 +1,9 @@
 //! The immutable property graph shared by all FLASH components.
 
+use crate::blocks::BlockHandle;
 use crate::csr::Csr;
 use crate::{VertexId, Weight};
+use std::sync::Arc;
 
 /// An immutable directed (optionally weighted) graph in dual-CSR form.
 ///
@@ -18,6 +20,7 @@ pub struct Graph {
     out: Csr,
     inn: Csr,
     symmetric: bool,
+    blocks: Option<Arc<BlockHandle>>,
 }
 
 impl Graph {
@@ -31,7 +34,20 @@ impl Graph {
             out,
             inn,
             symmetric,
+            blocks: None,
         }
+    }
+
+    /// Attaches the block grid/cache handle a block-backed graph streams
+    /// through (set by [`crate::blocks::open_blocks`]).
+    pub(crate) fn attach_blocks(&mut self, handle: Arc<BlockHandle>) {
+        self.blocks = Some(handle);
+    }
+
+    /// The block grid/cache handle, when this graph is block-backed.
+    #[inline]
+    pub fn block_handle(&self) -> Option<&Arc<BlockHandle>> {
+        self.blocks.as_ref()
     }
 
     /// Number of vertices `|V|`.
@@ -141,9 +157,15 @@ impl Graph {
         }
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (owned CSR arrays only).
     pub fn heap_bytes(&self) -> usize {
         self.out.heap_bytes() + self.inn.heap_bytes()
+    }
+
+    /// Bytes of adjacency served from a mapped block file (0 when fully
+    /// in-memory).
+    pub fn mapped_bytes(&self) -> usize {
+        self.out.mapped_bytes() + self.inn.mapped_bytes()
     }
 
     /// The out-adjacency CSR (for engines that need raw access).

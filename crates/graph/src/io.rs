@@ -67,6 +67,12 @@ pub fn read_edge_list<R: Read>(reader: R, opts: ReadOptions) -> Result<Graph, Gr
                     msg: "weight column missing on weighted edge list".into(),
                 })
             }
+            Some(false) if wtok.is_some() => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: "unexpected weight column on unweighted edge list".into(),
+                })
+            }
             _ => {}
         }
         if weighted == Some(true) {
@@ -134,6 +140,21 @@ mod tests {
         let text = "0 1 2.5\n1 2\n";
         let err = read_edge_list(text.as_bytes(), ReadOptions::default()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn weight_column_appearing_late_errors_instead_of_dropping() {
+        // The first line fixes the arity at 2; a later 3-column line must
+        // be a typed error (it used to be silently truncated).
+        let text = "0 1\n1 2 2.5\n";
+        let err = read_edge_list(text.as_bytes(), ReadOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("unexpected weight column"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   for the paper's real-world datasets.
 //! * [`datasets`] — a registry mapping the paper's Table III datasets to
 //!   scaled synthetic counterparts.
+//! * [`blocks`] — the out-of-core `.fgb` block format: an mmap-or-buffered
+//!   reader serving CSR adjacency zero-copy, plus the M-Flash-style
+//!   source×destination block grid the streaming EDGEMAP path charges.
 //! * [`bitset`], [`dsu`], [`stats`], [`io`] — supporting utilities
 //!   (the paper's `dsu_find`/`dsu_union` built-ins live in [`dsu`]).
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod bitset;
+pub mod blocks;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
@@ -49,6 +53,7 @@ pub mod rng;
 pub mod stats;
 
 pub use bitset::BitSet;
+pub use blocks::{open_blocks, write_blocks, BlockGrid, BlockHandle, BlockTouch, StreamSnapshot};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, Domain};

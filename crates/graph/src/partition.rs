@@ -365,6 +365,7 @@ impl PartitionMap {
                 .filter(|&h| !self.dead[h])
                 .min_by_key(|&h| (load[h], h))
                 .expect("at least one live host");
+            debug_assert!(to <= u16::MAX as usize, "host id {to} overflows u16");
             self.host[w] = to as u16;
             load[to] += self.masters[w].len();
             moved.push(PartitionMove {
@@ -398,6 +399,7 @@ impl PartitionMap {
         }
         self.dead[host] = false;
         let from = self.host[host] as usize;
+        debug_assert!(host <= u16::MAX as usize, "host id {host} overflows u16");
         self.host[host] = host as u16;
         self.epoch += 1;
         Ok(RebalanceReport {

@@ -45,8 +45,14 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
 }
 
 /// BFS levels from `root` over out-edges; unreachable = `usize::MAX`.
+///
+/// An out-of-range `root` (including any root on an empty graph) is
+/// defined as "nothing reachable": every entry stays `usize::MAX`.
 pub fn bfs_levels(g: &Graph, root: VertexId) -> Vec<usize> {
     let mut dist = vec![usize::MAX; g.num_vertices()];
+    if root as usize >= g.num_vertices() {
+        return dist;
+    }
     let mut q = VecDeque::new();
     dist[root as usize] = 0;
     q.push_back(root);
@@ -63,8 +69,12 @@ pub fn bfs_levels(g: &Graph, root: VertexId) -> Vec<usize> {
 
 /// Double-sweep pseudo-diameter: BFS from `start`, then BFS from the
 /// farthest reached vertex; returns that eccentricity (a lower bound on the
-/// true diameter, exact on trees).
+/// true diameter, exact on trees). Returns 0 when `start` is out of range
+/// (e.g. on an empty graph).
 pub fn pseudo_diameter(g: &Graph, start: VertexId) -> usize {
+    if start as usize >= g.num_vertices() {
+        return 0;
+    }
     let first = bfs_levels(g, start);
     let far = first
         .iter()
@@ -154,6 +164,35 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(graph_stats(&g).components, 3);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_have_defined_stats() {
+        // Regression: the whole stats path used to panic on an empty
+        // graph (unguarded `dist[root] = 0`) and on out-of-range roots.
+        let empty = crate::GraphBuilder::new(0).build().unwrap();
+        assert_eq!(bfs_levels(&empty, 0), Vec::<usize>::new());
+        assert_eq!(pseudo_diameter(&empty, 0), 0);
+        let s = graph_stats(&empty);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.pseudo_diameter, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(degree_histogram(&empty), (0, vec![]));
+
+        let single = crate::GraphBuilder::new(1).build().unwrap();
+        assert_eq!(bfs_levels(&single, 0), vec![0]);
+        assert_eq!(pseudo_diameter(&single, 0), 0);
+        let s = graph_stats(&single);
+        assert_eq!((s.vertices, s.edges, s.pseudo_diameter), (1, 0, 0));
+        assert_eq!(s.components, 1);
+        assert_eq!(degree_histogram(&single), (1, vec![]));
+
+        // Out-of-range root: defined, not a panic.
+        assert_eq!(bfs_levels(&single, 7), vec![usize::MAX]);
+        assert_eq!(pseudo_diameter(&single, 7), 0);
     }
 
     #[test]

@@ -2,16 +2,18 @@
 //! mirror synchronization.
 
 use crate::checkpoint::{Checkpoint, RecoveryLog, StepDelta};
-use crate::config::{ClusterConfig, HotPath, SyncMode, SyncScope, DEFAULT_CHECKPOINT_INTERVAL};
+use crate::config::{
+    ClusterConfig, HotPath, StorageMode, SyncMode, SyncScope, DEFAULT_CHECKPOINT_INTERVAL,
+};
 use crate::ctx::WorkerCtx;
 use crate::error::RuntimeError;
 use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
 use crate::par::{parallel_ranges, parallel_scratch_chunks};
 use crate::state::{StepBuffers, WorkerState};
-use crate::stats::{ns_u64, us_half_up, RunStats, StepKind, StepStats};
+use crate::stats::{ns_u64, us_half_up, RunStats, StepKind, StepStats, StorageInfo};
 use crate::transport::{RoundBatches, ScriptedChannelFault, Transport};
 use crate::VertexData;
-use flash_graph::{Graph, PartitionMap, RebalanceReport, VertexId};
+use flash_graph::{Graph, PartitionMap, RebalanceReport, StreamSnapshot, VertexId};
 use flash_obs::{Event, EventKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,6 +69,10 @@ pub struct Cluster<V: VertexData> {
     /// Pooled per-superstep scratch buffers, reused clear-don't-drop across
     /// supersteps under [`HotPath::PooledParallel`] (DESIGN.md §11).
     buffers: StepBuffers<V>,
+    /// Cumulative block-streaming counters already attributed to finished
+    /// supersteps: `finish_step` charges each step the *delta* between the
+    /// graph's [`flash_graph::BlockHandle`] snapshot and this mark.
+    stream_mark: StreamSnapshot,
 }
 
 impl<V: VertexData> Cluster<V> {
@@ -99,6 +105,13 @@ impl<V: VertexData> Cluster<V> {
             plan.validate(config.workers)
                 .map_err(RuntimeError::InvalidFaultPlan)?;
         }
+        if config.storage == StorageMode::Block && graph.block_handle().is_none() {
+            return Err(RuntimeError::Storage(
+                "block storage requires a block-backed graph (open it via \
+                 flash_graph::blocks::open_blocks)"
+                    .into(),
+            ));
+        }
         let n = graph.num_vertices();
         let states = (0..config.workers)
             .map(|_| WorkerState::new(n, &init))
@@ -124,6 +137,14 @@ impl<V: VertexData> Cluster<V> {
         } else {
             config.checkpoint_every as u64
         };
+        // The handle's counters are cumulative over the *graph's*
+        // lifetime (several clusters may share one block-backed graph),
+        // so this cluster's deltas start at the current reading, not at
+        // zero.
+        let stream_mark = graph
+            .block_handle()
+            .map(|h| h.snapshot())
+            .unwrap_or_default();
         let mut cluster = Cluster {
             graph,
             partition,
@@ -138,7 +159,9 @@ impl<V: VertexData> Cluster<V> {
             checkpoint_every,
             failed: None,
             buffers: StepBuffers::new(),
+            stream_mark,
         };
+        cluster.stats.storage = cluster.storage_info();
         // The run_meta header is always the first trace line: analyzers
         // (flash_trace) validate its schema version before reading on.
         let hotpath = match cluster.config.hotpath {
@@ -225,9 +248,36 @@ impl<V: VertexData> Cluster<V> {
         &self.stats
     }
 
+    /// A fresh snapshot of the storage footprint: the configured mode,
+    /// the resident vertex-state bytes (every worker holds a full replica
+    /// of the `n`-slot state array — the only per-vertex data a streaming
+    /// run keeps in memory), the graph's owned-heap vs memory-mapped
+    /// split, and the dense/sparse block census when block-backed.
+    fn storage_info(&self) -> StorageInfo {
+        let mut info = StorageInfo {
+            mode: match self.config.storage {
+                StorageMode::InMemory => "in-memory",
+                StorageMode::Block => "block",
+            },
+            resident_state_bytes: (self.states.len() as u64)
+                .saturating_mul(self.graph.num_vertices() as u64)
+                .saturating_mul(std::mem::size_of::<V>() as u64),
+            graph_heap_bytes: self.graph.heap_bytes() as u64,
+            graph_mapped_bytes: self.graph.mapped_bytes() as u64,
+            dense_blocks: 0,
+            sparse_blocks: 0,
+        };
+        if let Some(h) = self.graph.block_handle() {
+            info.dense_blocks = h.grid().num_dense() as u64;
+            info.sparse_blocks = h.grid().num_sparse() as u64;
+        }
+        info
+    }
+
     /// Takes and resets the recorded statistics, emitting a `run_end`
     /// trace event summarizing them.
     pub fn take_stats(&mut self) -> RunStats {
+        self.stats.storage = self.storage_info();
         let stats = std::mem::take(&mut self.stats);
         let simulated = stats.simulated_parallel_time();
         self.emit(EventKind::RunEnd {
@@ -237,6 +287,7 @@ impl<V: VertexData> Cluster<V> {
             simulated_parallel_us: us_half_up(simulated),
             simulated_parallel_ns: ns_u64(simulated),
         });
+        self.stats.storage = self.storage_info();
         stats
     }
 
@@ -1417,6 +1468,27 @@ impl<V: VertexData> Cluster<V> {
     /// Charges the simulated network, records the superstep, emits its
     /// `step_end` event and advances the step counter.
     fn finish_step(&mut self, mut stats: StepStats) {
+        if let Some(h) = self.graph.block_handle() {
+            // Charge this step the streaming delta since the previous one:
+            // the handle's counters are cumulative over the graph's
+            // lifetime (and shared across clusters on the same graph).
+            let snap = h.snapshot();
+            stats.streamed_bytes = snap
+                .bytes_streamed
+                .saturating_sub(self.stream_mark.bytes_streamed);
+            stats.streamed_blocks = snap
+                .blocks_streamed
+                .saturating_sub(self.stream_mark.blocks_streamed);
+            stats.block_cache_hits = snap.cache_hits.saturating_sub(self.stream_mark.cache_hits);
+            self.stream_mark = snap;
+            if self.config.metrics && stats.streamed_blocks > 0 {
+                let m = &mut self.stats.metrics;
+                m.counter_add("storage/bytes_streamed", stats.streamed_bytes);
+                m.counter_add("storage/blocks_streamed", stats.streamed_blocks);
+                m.counter_add("storage/cache_hits", stats.block_cache_hits);
+                m.record("step/streamed_bytes", stats.streamed_bytes);
+            }
+        }
         if let Some(net) = &self.config.network {
             let rounds = u32::from(stats.upd_bytes > 0) + u32::from(stats.sync_bytes > 0);
             stats.simulated_net = net.cost(rounds, stats.total_bytes());

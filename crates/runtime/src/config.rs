@@ -69,6 +69,21 @@ pub enum HotPath {
     FreshSerial,
 }
 
+/// Where the adjacency a cluster iterates lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Whole graph resident on the heap — the default, used by every
+    /// existing test and benchmark.
+    #[default]
+    InMemory,
+    /// Out-of-core block engine: adjacency served from a mapped `.fgb`
+    /// file ([`flash_graph::blocks`]), streamable EDGEMAP kernels charge
+    /// the M-Flash block grid, and per-step bytes-streamed / cache-hit
+    /// counters land in the stats. Requires a graph opened with
+    /// [`flash_graph::blocks::open_blocks`].
+    Block,
+}
+
 /// Configuration of a simulated FLASH cluster.
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -118,6 +133,9 @@ pub struct ClusterConfig {
     /// never adds timers or changes results), but the stats JSON stays
     /// lean unless asked for.
     pub metrics: bool,
+    /// Adjacency storage engine (see [`StorageMode`]). `Block` is opt-in
+    /// and requires a block-backed graph.
+    pub storage: StorageMode,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -138,6 +156,7 @@ impl fmt::Debug for ClusterConfig {
             .field("checkpoint_disabled", &self.checkpoint_disabled)
             .field("hotpath", &self.hotpath)
             .field("metrics", &self.metrics)
+            .field("storage", &self.storage)
             .finish()
     }
 }
@@ -159,6 +178,7 @@ impl Default for ClusterConfig {
             checkpoint_disabled: false,
             hotpath: HotPath::default(),
             metrics: false,
+            storage: StorageMode::default(),
         }
     }
 }
@@ -259,6 +279,15 @@ impl ClusterConfig {
         self
     }
 
+    /// Selects the adjacency storage engine (builder style).
+    /// [`StorageMode::Block`] turns on the out-of-core streaming path;
+    /// the cluster then requires a graph opened via
+    /// [`flash_graph::blocks::open_blocks`].
+    pub fn storage(mut self, s: StorageMode) -> Self {
+        self.storage = s;
+        self
+    }
+
     /// Declares the algorithm's [`ProgramPlan`] (builder style): its
     /// critical properties become the payload of `sync_plan` trace events.
     pub fn plan(mut self, plan: &ProgramPlan) -> Self {
@@ -346,6 +375,14 @@ mod tests {
         let c = ClusterConfig::default().hotpath(HotPath::FreshSerial);
         assert_eq!(c.hotpath, HotPath::FreshSerial);
         assert!(format!("{c:?}").contains("FreshSerial"));
+    }
+
+    #[test]
+    fn storage_defaults_to_in_memory() {
+        assert_eq!(ClusterConfig::default().storage, StorageMode::InMemory);
+        let c = ClusterConfig::default().storage(StorageMode::Block);
+        assert_eq!(c.storage, StorageMode::Block);
+        assert!(format!("{c:?}").contains("Block"));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub enum RuntimeError {
         /// Transmission attempts made (`1 +` the retransmit budget).
         attempts: u32,
     },
+    /// The storage configuration cannot serve this graph — e.g.
+    /// `StorageMode::Block` on a graph that was not opened through
+    /// `flash_graph::blocks::open_blocks`.
+    Storage(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -105,6 +109,7 @@ impl fmt::Display for RuntimeError {
                 "reliable delivery exhausted after {attempts} transmission attempts at \
                  superstep {step} (batch from host {sender} to host {receiver})"
             ),
+            RuntimeError::Storage(msg) => write!(f, "storage configuration rejected: {msg}"),
         }
     }
 }
@@ -145,5 +150,8 @@ mod tests {
         assert!(msg.contains("delivery"), "{msg}");
         assert!(msg.contains('3') && msg.contains('4'), "{msg}");
         assert!(msg.contains("host 1") && msg.contains("host 2"), "{msg}");
+        let s = RuntimeError::Storage("block storage requires a block-backed graph".into());
+        assert!(s.to_string().contains("storage"), "{s}");
+        assert!(s.to_string().contains("block-backed"), "{s}");
     }
 }

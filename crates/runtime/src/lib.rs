@@ -58,7 +58,7 @@ pub mod transport;
 
 pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, StepOutput};
-pub use config::{ClusterConfig, HotPath, ModePolicy, SyncMode, SyncScope};
+pub use config::{ClusterConfig, HotPath, ModePolicy, StorageMode, SyncMode, SyncScope};
 pub use ctx::WorkerCtx;
 pub use error::RuntimeError;
 pub use fault::{
@@ -67,7 +67,9 @@ pub use fault::{
 };
 pub use flash_obs::MetricsRegistry;
 pub use netmodel::NetworkModel;
-pub use stats::{ns_u64, us_half_up, DeliveryStats, RecoveryStats, RunStats, StepKind, StepStats};
+pub use stats::{
+    ns_u64, us_half_up, DeliveryStats, RecoveryStats, RunStats, StepKind, StepStats, StorageInfo,
+};
 pub use transport::{batch_checksum, DedupWindow, Transport};
 
 /// Vertex state stored by FLASHWARE for every vertex of the graph.

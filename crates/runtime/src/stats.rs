@@ -95,6 +95,13 @@ pub struct StepStats {
     pub delivery: Duration,
     /// Simulated network time (see [`crate::netmodel::NetworkModel`]).
     pub simulated_net: Duration,
+    /// Block bytes streamed from out-of-core storage this superstep
+    /// (zero outside [`StorageMode::Block`](crate::StorageMode) runs).
+    pub streamed_bytes: u64,
+    /// Edge blocks streamed from out-of-core storage this superstep.
+    pub streamed_blocks: u64,
+    /// Block touches served from a worker's dense-block cache.
+    pub block_cache_hits: u64,
 }
 
 impl StepStats {
@@ -114,6 +121,9 @@ impl StepStats {
             communicate: Duration::ZERO,
             delivery: Duration::ZERO,
             simulated_net: Duration::ZERO,
+            streamed_bytes: 0,
+            streamed_blocks: 0,
+            block_cache_hits: 0,
         }
     }
 
@@ -137,7 +147,7 @@ impl StepStats {
     /// µs field (rounded half-up) and an exact ns field, so
     /// microbench-scale steps never flatten to zero.
     pub fn to_json(&self) -> Json {
-        Json::object()
+        let mut j = Json::object()
             .set("kind", self.kind.label())
             .set("active", self.active)
             .set("upd_messages", self.upd_messages)
@@ -161,7 +171,16 @@ impl StepStats {
             .set("serialize_max_ns", ns_u64(self.serialize_max))
             .set("communicate_ns", ns_u64(self.communicate))
             .set("delivery_ns", ns_u64(self.delivery))
-            .set("simulated_net_ns", ns_u64(self.simulated_net))
+            .set("simulated_net_ns", ns_u64(self.simulated_net));
+        // Streaming counters appear only on block-storage supersteps, so
+        // in-memory stats JSON stays byte-for-byte what it always was.
+        if self.streamed_bytes + self.streamed_blocks + self.block_cache_hits > 0 {
+            j = j
+                .set("streamed_bytes", self.streamed_bytes)
+                .set("streamed_blocks", self.streamed_blocks)
+                .set("block_cache_hits", self.block_cache_hits);
+        }
+        j
     }
 }
 
@@ -297,6 +316,52 @@ impl DeliveryStats {
     }
 }
 
+/// Storage-engine facts of a run: which engine served the adjacency and
+/// how much state stayed resident. All-defaults on in-memory runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageInfo {
+    /// Engine label: `"in-memory"` (default) or `"block"`.
+    pub mode: &'static str,
+    /// Peak resident vertex-state bytes across all workers (replicated
+    /// master+mirror arrays) — the state that must fit in memory when the
+    /// adjacency streams from disk.
+    pub resident_state_bytes: u64,
+    /// Graph bytes on the owned heap (adjacency arrays, in-memory mode).
+    pub graph_heap_bytes: u64,
+    /// Graph bytes served from the mapped block file.
+    pub graph_mapped_bytes: u64,
+    /// Non-empty dense blocks in the M-Flash grid (0 when in-memory).
+    pub dense_blocks: u64,
+    /// Non-empty sparse blocks in the M-Flash grid (0 when in-memory).
+    pub sparse_blocks: u64,
+}
+
+impl Default for StorageInfo {
+    fn default() -> Self {
+        StorageInfo {
+            mode: "in-memory",
+            resident_state_bytes: 0,
+            graph_heap_bytes: 0,
+            graph_mapped_bytes: 0,
+            dense_blocks: 0,
+            sparse_blocks: 0,
+        }
+    }
+}
+
+impl StorageInfo {
+    /// Machine-readable rendering (the `storage` object of the summary).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("mode", self.mode)
+            .set("peak_resident_state_bytes", self.resident_state_bytes)
+            .set("graph_heap_bytes", self.graph_heap_bytes)
+            .set("graph_mapped_bytes", self.graph_mapped_bytes)
+            .set("dense_blocks", self.dense_blocks)
+            .set("sparse_blocks", self.sparse_blocks)
+    }
+}
+
 /// Accumulated statistics of a run (a sequence of supersteps).
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -313,6 +378,8 @@ pub struct RunStats {
     /// recording never changes results (only already-measured durations
     /// are aggregated).
     pub metrics: MetricsRegistry,
+    /// Storage-engine facts (mode, resident state, block counts).
+    pub storage: StorageInfo,
 }
 
 impl RunStats {
@@ -338,6 +405,22 @@ impl RunStats {
         self.recovery = RecoveryStats::default();
         self.delivery = DeliveryStats::default();
         self.metrics.clear();
+        self.storage = StorageInfo::default();
+    }
+
+    /// Total block bytes streamed from out-of-core storage over the run.
+    pub fn bytes_streamed(&self) -> u64 {
+        self.steps.iter().map(|s| s.streamed_bytes).sum()
+    }
+
+    /// Total edge blocks streamed from out-of-core storage over the run.
+    pub fn blocks_streamed(&self) -> u64 {
+        self.steps.iter().map(|s| s.streamed_blocks).sum()
+    }
+
+    /// Total block touches served from dense-block caches over the run.
+    pub fn block_cache_hits(&self) -> u64 {
+        self.steps.iter().map(|s| s.block_cache_hits).sum()
     }
 
     /// Total cross-worker bytes over the run.
@@ -499,6 +582,14 @@ impl RunStats {
             .set("recovery", self.recovery.to_json())
             .set("delivery", self.delivery.to_json())
             .set("metrics", self.metrics.to_json())
+            .set(
+                "storage",
+                self.storage
+                    .to_json()
+                    .set("bytes_streamed", self.bytes_streamed())
+                    .set("blocks_streamed", self.blocks_streamed())
+                    .set("cache_hits", self.block_cache_hits()),
+            )
     }
 
     /// Full machine-readable rendering: the summary plus every superstep.
@@ -555,9 +646,50 @@ mod tests {
     fn clear_resets() {
         let mut r = RunStats::default();
         r.push(step(StepKind::VertexMap, 1, 1, 1));
+        r.storage.mode = "block";
+        r.storage.resident_state_bytes = 64;
         r.clear();
         assert_eq!(r.num_supersteps(), 0);
         assert_eq!(r.total_bytes(), 0);
+        assert_eq!(r.storage, StorageInfo::default(), "clear resets storage");
+    }
+
+    #[test]
+    fn streaming_counters_accumulate_and_render() {
+        let mut r = RunStats::default();
+        let mut s = step(StepKind::EdgeMapSparse, 10, 80, 40);
+        s.streamed_bytes = 1024;
+        s.streamed_blocks = 3;
+        s.block_cache_hits = 2;
+        r.push(s);
+        r.push(step(StepKind::VertexMap, 10, 0, 0));
+        r.storage.mode = "block";
+        r.storage.resident_state_bytes = 4096;
+        r.storage.dense_blocks = 5;
+        assert_eq!(r.bytes_streamed(), 1024);
+        assert_eq!(r.blocks_streamed(), 3);
+        assert_eq!(r.block_cache_hits(), 2);
+        let j = r.to_json();
+        let storage = j.get("storage").expect("storage object");
+        assert_eq!(storage.get("mode").and_then(Json::as_str), Some("block"));
+        assert_eq!(
+            storage
+                .get("peak_resident_state_bytes")
+                .and_then(Json::as_u64),
+            Some(4096)
+        );
+        assert_eq!(
+            storage.get("bytes_streamed").and_then(Json::as_u64),
+            Some(1024)
+        );
+        assert_eq!(storage.get("cache_hits").and_then(Json::as_u64), Some(2));
+        let steps = j.get("steps").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            steps[0].get("streamed_bytes").and_then(Json::as_u64),
+            Some(1024)
+        );
+        // In-memory steps carry no streaming keys at all.
+        assert_eq!(steps[1].get("streamed_bytes"), None);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! `fig_consensus` — the consensus-backed-control-plane experiment.
+//!
+//! Runs every catalogue algorithm on the same generated graph under
+//! coordinator-loss and byzantine-worker scenarios: the elected leader
+//! crashing early, late, and twice in one run; a worker returning a
+//! checksum-mismatched sync payload (`lie@`); and a combined plan layering
+//! both. The paper-level invariant under test is that the replicated
+//! control plane never changes *results*: every scenario must reproduce
+//! the clean run's summary and superstep count bit-identically, while the
+//! `ConsensusStats` counters show the machinery actually worked (elections
+//! held, leader crashes survived, log entries committed, liars accused).
+//!
+//! Two extra probes sharpen the claim:
+//!
+//! * a **per-superstep sweep** crashes the leader at *every* superstep of
+//!   one algorithm's schedule in turn — re-election must recover each one;
+//! * a **quorum-loss probe** runs `lie@` on a two-host cluster, where the
+//!   checksum vote splits 1–1 and nobody can be out-voted: the run must
+//!   degrade to a clean quorum error, never a panic.
+//!
+//! ```text
+//! fig_consensus [--smoke] [--workers N]
+//! ```
+//!
+//! `--smoke` runs one algorithm through every scenario — the CI entry
+//! point. Writes `results/consensus.json` (override dir with
+//! `FLASH_RESULTS_DIR`).
+
+use flash_bench::cli::{dispatch, CliOptions, ALGOS};
+use flash_bench::jsonio;
+use flash_bench::report::render_table;
+use flash_obs::Json;
+use flash_runtime::FaultPlan;
+use std::sync::Arc;
+
+/// The control-plane fault scenarios every algorithm runs through. All
+/// assume 4 workers: the double crash leaves two hosts, and the lie needs
+/// three live hosts for an honest majority to pin it.
+const SCENARIOS: [(&str, &str); 5] = [
+    ("leader-early", "leader@0,retries=1"),
+    ("leader-late", "leader@3,retries=1"),
+    ("double-leader", "leader@1,leader@3,retries=1"),
+    ("lie", "lie@1:w2,retries=1"),
+    ("lie+leader", "lie@1:w3,leader@3,retries=1"),
+];
+
+fn main() {
+    let mut smoke = false;
+    let mut workers = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: fig_consensus [--smoke] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let algos: &[&str] = if smoke { &["bfs"] } else { &ALGOS };
+    println!(
+        "Consensus control-plane experiment — {} algorithm(s), {} workers, {} scenario(s)\n",
+        algos.len(),
+        workers,
+        SCENARIOS.len()
+    );
+
+    let g = Arc::new(flash_graph::generators::erdos_renyi(48, 160, 11));
+    let weighted = Arc::new(flash_graph::generators::with_random_weights(
+        &g, 0.1, 2.0, 4,
+    ));
+
+    let base_opts = |algo: &str| {
+        let mut o = CliOptions {
+            algo: algo.to_string(),
+            workers,
+            iters: 3,
+            ..CliOptions::default()
+        };
+        // `dispatch` takes the graph explicitly; the dataset field is only
+        // used for loading, which this binary bypasses.
+        o.dataset = Some(flash_graph::Dataset::Orkut);
+        o
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut broken = Vec::new();
+    // Aggregated across the sweep: thin schedules may deny an individual
+    // plan the chance to fire, but the sweep as a whole must exercise
+    // every mechanism.
+    let (mut total_elections, mut total_crashes, mut total_accusations, mut total_committed) =
+        (0u64, 0u64, 0u64, 0u64);
+    for &algo in algos {
+        let graph = if algo == "msf" || algo == "sssp" {
+            &weighted
+        } else {
+            &g
+        };
+        let clean_opts = base_opts(algo);
+        let (clean_summary, clean_stats) = match dispatch(&clean_opts, graph) {
+            Ok(r) => r,
+            Err(e) => {
+                broken.push(format!("{algo} (clean): {e}"));
+                continue;
+            }
+        };
+
+        for (label, plan_text) in SCENARIOS {
+            let mut opts = clean_opts.clone();
+            opts.faults = Some(FaultPlan::parse(plan_text).expect("scenario plan"));
+            let (summary, stats) = match dispatch(&opts, graph) {
+                Ok(r) => r,
+                Err(e) => {
+                    broken.push(format!("{algo} ({label}): {e}"));
+                    continue;
+                }
+            };
+            let identical =
+                summary == clean_summary && stats.num_supersteps() == clean_stats.num_supersteps();
+            if !identical {
+                broken.push(format!(
+                    "{algo} ({label}): diverged — clean {:?} ({} steps) vs faulted {:?} ({} steps)",
+                    clean_summary,
+                    clean_stats.num_supersteps(),
+                    summary,
+                    stats.num_supersteps()
+                ));
+            }
+            let c = &stats.consensus;
+            total_elections += c.elections;
+            total_crashes += c.leader_crashes;
+            total_accusations += c.accusations;
+            total_committed += c.entries_committed;
+            if c.entries_appended != c.entries_committed {
+                broken.push(format!(
+                    "{algo} ({label}): {} appended but only {} committed",
+                    c.entries_appended, c.entries_committed
+                ));
+            }
+            rows.push((
+                format!("{algo} [{label}]"),
+                vec![
+                    if identical { "ok" } else { "DIVERGED" }.to_string(),
+                    stats.num_supersteps().to_string(),
+                    c.elections.to_string(),
+                    c.leader_crashes.to_string(),
+                    c.accusations.to_string(),
+                    c.entries_committed.to_string(),
+                ],
+            ));
+            json_rows.push(
+                Json::object()
+                    .set("algo", algo)
+                    .set("scenario", label)
+                    .set("identical", identical)
+                    .set("summary", summary.as_str())
+                    .set("supersteps", stats.num_supersteps())
+                    .set("consensus", c.to_json()),
+            );
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["Run", "exact", "steps", "elect", "crash", "accuse", "commit"],
+            &rows
+        )
+    );
+
+    // The sweep must have actually exercised the control plane.
+    if total_elections == 0 {
+        broken.push("no election was ever held".to_string());
+    }
+    if total_crashes == 0 {
+        broken.push("no leader crash ever fired".to_string());
+    }
+    if total_accusations == 0 {
+        broken.push("no lying worker was ever accused".to_string());
+    }
+    if total_committed == 0 {
+        broken.push("no decision was ever committed through the log".to_string());
+    }
+
+    // Per-superstep sweep: crash the leader at every superstep of one
+    // algorithm's schedule in turn; each run must recover bit-identically
+    // through re-election.
+    let sweep_opts = base_opts("bfs");
+    let mut step_sweep = Json::object().set("algo", "bfs");
+    let mut sweep_runs = 0u64;
+    match dispatch(&sweep_opts, &g) {
+        Ok((clean_summary, clean_stats)) => {
+            let steps = clean_stats.num_supersteps();
+            for step in 0..steps {
+                let mut opts = sweep_opts.clone();
+                let plan = format!("leader@{step},retries=1");
+                opts.faults = Some(FaultPlan::parse(&plan).expect("sweep plan"));
+                match dispatch(&opts, &g) {
+                    Ok((summary, stats)) => {
+                        sweep_runs += 1;
+                        if summary != clean_summary
+                            || stats.num_supersteps() != clean_stats.num_supersteps()
+                        {
+                            broken.push(format!(
+                                "step sweep (leader@{step}): diverged — clean {clean_summary:?} \
+                                 vs faulted {summary:?}"
+                            ));
+                        }
+                    }
+                    Err(e) => broken.push(format!("step sweep (leader@{step}): {e}")),
+                }
+            }
+            println!(
+                "step sweep: leader crashed at each of bfs's {steps} supersteps — \
+                 {sweep_runs} run(s) recovered"
+            );
+            step_sweep = step_sweep.set("supersteps", steps).set("runs", sweep_runs);
+        }
+        Err(e) => broken.push(format!("step sweep (clean bfs): {e}")),
+    }
+
+    // Quorum-loss probe: on two hosts the checksum vote splits 1–1 and no
+    // honest majority can pin the liar — the run must degrade to a clean
+    // quorum error, never a panic.
+    let mut probe = base_opts("bfs");
+    probe.workers = 2;
+    probe.faults = Some(FaultPlan::parse("lie@1:w1,retries=1").expect("probe plan"));
+    let quorum_probe = match dispatch(&probe, &g) {
+        Err(e) if e.contains("quorum") => {
+            println!("quorum-loss probe: clean error as expected — {e}");
+            Json::object()
+                .set("clean_error", true)
+                .set("error", e.as_str())
+        }
+        Err(e) => {
+            broken.push(format!("quorum-loss probe: unexpected error {e:?}"));
+            Json::object()
+                .set("clean_error", false)
+                .set("error", e.as_str())
+        }
+        Ok(_) => {
+            broken.push("quorum-loss probe: run succeeded without an honest majority".to_string());
+            Json::object().set("clean_error", false)
+        }
+    };
+
+    let doc = Json::object()
+        .set("figure", "consensus")
+        .set("workers", workers as u64)
+        .set("smoke", smoke)
+        .set(
+            "scenarios",
+            Json::Arr(
+                SCENARIOS
+                    .iter()
+                    .map(|(label, plan)| Json::object().set("label", *label).set("plan", *plan))
+                    .collect(),
+            ),
+        )
+        .set("rows", Json::Arr(json_rows))
+        .set(
+            "totals",
+            Json::object()
+                .set("elections", total_elections)
+                .set("leader_crashes", total_crashes)
+                .set("accusations", total_accusations)
+                .set("entries_committed", total_committed),
+        )
+        .set("step_sweep", step_sweep)
+        .set("quorum_probe", quorum_probe)
+        .set(
+            "failures",
+            Json::Arr(broken.iter().map(|s| Json::from(s.as_str())).collect()),
+        );
+    match jsonio::write_results("consensus", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write json: {e}"),
+    }
+
+    if !broken.is_empty() {
+        eprintln!("\nFAIL — {} problem(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall runs stayed bit-identical under leader crashes and lying workers");
+}

@@ -13,9 +13,12 @@ use crate::harness::Scale;
 use flash_graph::io::{read_edge_list, ReadOptions};
 use flash_graph::{Dataset, Graph};
 use flash_obs::Json;
-use flash_runtime::{ClusterConfig, FaultPlan, HotPath, ModePolicy, NetworkModel, StorageMode};
+use flash_runtime::{
+    parse_duration, ClusterConfig, FaultPlan, HotPath, ModePolicy, NetworkModel, StorageMode,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +69,10 @@ pub struct CliOptions {
     /// the out-of-core block engine (the graph is converted to a block
     /// file and `EDGEMAP`s stream edge blocks; results are bit-identical).
     pub storage: StorageMode,
+    /// Barrier-deadline failure-detector timeout (`--detector-timeout D`,
+    /// with a `ns`/`us`/`ms`/`s` suffix). Overrides the fault plan's
+    /// `detector=` option; `None` defers to the plan.
+    pub detector_timeout: Option<Duration>,
 }
 
 impl Default for CliOptions {
@@ -90,6 +97,7 @@ impl Default for CliOptions {
             hotpath: HotPath::default(),
             metrics: false,
             storage: StorageMode::default(),
+            detector_timeout: None,
         }
     }
 }
@@ -194,6 +202,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     opts.checkpoint_off = false;
                 }
             }
+            "--detector-timeout" => {
+                // `parse_duration` rejects bare numbers with a suffix hint,
+                // the same no-ambiguous-units rule `--checkpoint-every`
+                // applies to `0`.
+                let v = value_of(&arg, &mut it)?;
+                opts.detector_timeout =
+                    Some(parse_duration(&v).map_err(|e| format!("--detector-timeout: {e}"))?);
+            }
             "--storage" => {
                 opts.storage = match value_of(&arg, &mut it)?.as_str() {
                     "mem" | "memory" | "in-memory" => StorageMode::InMemory,
@@ -240,9 +256,12 @@ pub fn usage() -> String {
          \x20      [--json] [--metrics] [--trace <file|-|text>]\n\
          \x20      [--hotpath pooled|fresh-serial] [--storage mem|block]\n\
          \x20      [--faults <plan>] [--checkpoint-every N|off]\n\
+         \x20      [--detector-timeout D]\n\
          fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
          \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW,\n\
-         \x20            drop@STEP:wW[:xN], dup@STEP:wW, reorder@STEP:wW\n\
+         \x20            drop@STEP:wW[:xN], dup@STEP:wW, reorder@STEP:wW,\n\
+         \x20            leader@STEP (crash the elected coordinator),\n\
+         \x20            lie@STEP:wW (byzantine checksum mismatch)\n\
          \x20            plus retries=N, backoff=D, cap=D, detector=D, seed=N,\n\
          \x20            loss=P, dupRate=P, corruptRate=P options\n\
          \x20            (e.g. --faults drop@3:w1,loss=0.05,retries=4)\n\
@@ -289,6 +308,9 @@ pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
     }
     if opts.checkpoint_off {
         cfg = cfg.checkpoint_off();
+    }
+    if let Some(d) = opts.detector_timeout {
+        cfg = cfg.detector_timeout(d);
     }
     if opts.metrics {
         cfg = cfg.metrics();
@@ -723,6 +745,36 @@ mod tests {
         assert!(u.contains("corruptRate=P"));
         assert!(u.contains("N|off"));
         assert!(u.contains("--metrics"));
+        assert!(u.contains("leader@STEP"));
+        assert!(u.contains("lie@STEP:wW"));
+        assert!(u.contains("--detector-timeout"));
+    }
+
+    #[test]
+    fn parses_consensus_fault_specs() {
+        let o = parse_args(args("--algo bfs --dataset or --faults leader@2,lie@4:w1")).unwrap();
+        let plan = o.faults.expect("plan parsed");
+        assert_eq!(plan.specs.len(), 2);
+        assert!(plan.has_consensus_faults());
+        assert!(parse_args(args("--algo bfs --dataset or --faults leader@2:w1")).is_err());
+        assert!(parse_args(args("--algo bfs --dataset or --faults lie@2")).is_err());
+    }
+
+    #[test]
+    fn parses_detector_timeout_and_wires_it_into_the_config() {
+        let o = parse_args(args("--algo bfs --dataset or --detector-timeout 50ms")).unwrap();
+        assert_eq!(o.detector_timeout, Some(Duration::from_millis(50)));
+        assert_eq!(
+            cluster_config(&o).detector_timeout,
+            Some(Duration::from_millis(50))
+        );
+        let d = parse_args(args("--algo bfs --dataset or")).unwrap();
+        assert_eq!(d.detector_timeout, None, "defers to the plan by default");
+        assert_eq!(cluster_config(&d).detector_timeout, None);
+        // Bare numbers are ambiguous, exactly like `--checkpoint-every 0`.
+        let e = parse_args(args("--algo bfs --dataset or --detector-timeout 100"))
+            .expect_err("unitless timeout");
+        assert!(e.contains("ns"), "error names the accepted suffixes: {e}");
     }
 
     #[test]

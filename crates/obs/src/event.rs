@@ -297,6 +297,54 @@ pub enum EventKind {
         /// Per-(sender, receiver) wire sequence number of the batch.
         seq_no: u64,
     },
+    /// The replicated control plane elected a leader host (the initial
+    /// election, or a re-election after the previous leader crashed).
+    LeaderElected {
+        /// The consensus term the leader now serves.
+        term: u64,
+        /// The elected leader host.
+        leader: usize,
+        /// The superstep at which the election concluded.
+        step: u64,
+        /// Votes the winner received (every live host grants its vote).
+        votes: usize,
+        /// Hosts live in the electorate.
+        live_hosts: usize,
+    },
+    /// A control-plane decision was committed to the replicated log by a
+    /// majority of live hosts, and only then applied.
+    LogCommitted {
+        /// The consensus term the entry was appended under.
+        term: u64,
+        /// The entry's log index (1-based, strictly sequential).
+        index: u64,
+        /// The superstep the decision belongs to.
+        step: u64,
+        /// Entry kind: `"epoch_bump"`, `"checkpoint_commit"` or
+        /// `"death_declaration"`.
+        kind: String,
+        /// Acknowledgements received from live hosts.
+        acks: usize,
+        /// Acknowledgements a majority required.
+        quorum: usize,
+    },
+    /// The checksum quorum caught a worker returning a sync payload whose
+    /// checksum disagrees with the honest majority; the accusation is
+    /// escalated to a death declaration through the consensus log.
+    WorkerAccused {
+        /// The superstep at which the lie was detected.
+        step: u64,
+        /// The accused worker.
+        worker: usize,
+        /// Replicas whose recomputed checksum agrees with the majority.
+        accusers: usize,
+        /// Replicas a majority required.
+        quorum: usize,
+        /// The checksum the honest majority recomputed.
+        expected: u64,
+        /// The checksum the accused worker reported.
+        observed: u64,
+    },
     /// A run finished (emitted by `Cluster::take_stats`).
     RunEnd {
         /// Supersteps executed.
@@ -332,6 +380,9 @@ impl EventKind {
             EventKind::BatchDropped { .. } => "batch_dropped",
             EventKind::BatchRetransmitted { .. } => "batch_retransmitted",
             EventKind::BatchDeduped { .. } => "batch_deduped",
+            EventKind::LeaderElected { .. } => "leader_elected",
+            EventKind::LogCommitted { .. } => "log_committed",
+            EventKind::WorkerAccused { .. } => "worker_accused",
             EventKind::RunEnd { .. } => "run_end",
         }
     }
@@ -578,6 +629,46 @@ impl Event {
                 .set("sender", *sender)
                 .set("receiver", *receiver)
                 .set("seq_no", *seq_no),
+            EventKind::LeaderElected {
+                term,
+                leader,
+                step,
+                votes,
+                live_hosts,
+            } => base
+                .set("term", *term)
+                .set("leader", *leader)
+                .set("step", *step)
+                .set("votes", *votes)
+                .set("live_hosts", *live_hosts),
+            EventKind::LogCommitted {
+                term,
+                index,
+                step,
+                kind,
+                acks,
+                quorum,
+            } => base
+                .set("term", *term)
+                .set("index", *index)
+                .set("step", *step)
+                .set("kind", kind.as_str())
+                .set("acks", *acks)
+                .set("quorum", *quorum),
+            EventKind::WorkerAccused {
+                step,
+                worker,
+                accusers,
+                quorum,
+                expected,
+                observed,
+            } => base
+                .set("step", *step)
+                .set("worker", *worker)
+                .set("accusers", *accusers)
+                .set("quorum", *quorum)
+                .set("expected", *expected)
+                .set("observed", *observed),
             EventKind::RunEnd {
                 supersteps,
                 total_bytes,
@@ -753,6 +844,38 @@ impl Event {
                 seq_no,
             } => format!(
                 "[{:>4}] step {step} {round} batch {sender}->{receiver} #{seq_no} duplicate discarded",
+                self.seq
+            ),
+            EventKind::LeaderElected {
+                term,
+                leader,
+                step,
+                votes,
+                live_hosts,
+            } => format!(
+                "[{:>4}] step {step} term {term}: host {leader} elected leader ({votes}/{live_hosts} votes)",
+                self.seq
+            ),
+            EventKind::LogCommitted {
+                term,
+                index,
+                step,
+                kind,
+                acks,
+                quorum,
+            } => format!(
+                "[{:>4}] step {step} log[{index}] committed ({kind}, term {term}, {acks} acks, quorum {quorum})",
+                self.seq
+            ),
+            EventKind::WorkerAccused {
+                step,
+                worker,
+                accusers,
+                quorum,
+                expected,
+                observed,
+            } => format!(
+                "[{:>4}] step {step} worker {worker} accused of lying by {accusers} replicas (quorum {quorum}): checksum {observed:#x} != {expected:#x}",
                 self.seq
             ),
             EventKind::RunEnd {
@@ -958,6 +1081,32 @@ mod tests {
                 seq_no: 0,
             }
             .tag(),
+            EventKind::LeaderElected {
+                term: 0,
+                leader: 0,
+                step: 0,
+                votes: 0,
+                live_hosts: 0,
+            }
+            .tag(),
+            EventKind::LogCommitted {
+                term: 0,
+                index: 0,
+                step: 0,
+                kind: String::new(),
+                acks: 0,
+                quorum: 0,
+            }
+            .tag(),
+            EventKind::WorkerAccused {
+                step: 0,
+                worker: 0,
+                accusers: 0,
+                quorum: 0,
+                expected: 0,
+                observed: 0,
+            }
+            .tag(),
             EventKind::RunEnd {
                 supersteps: 0,
                 total_bytes: 0,
@@ -969,6 +1118,81 @@ mod tests {
         ];
         let unique: std::collections::BTreeSet<_> = tags.iter().collect();
         assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn consensus_events_render_and_round_trip() {
+        let events = [
+            Event {
+                seq: 0,
+                kind: EventKind::LeaderElected {
+                    term: 2,
+                    leader: 1,
+                    step: 5,
+                    votes: 3,
+                    live_hosts: 3,
+                },
+            },
+            Event {
+                seq: 1,
+                kind: EventKind::LogCommitted {
+                    term: 2,
+                    index: 4,
+                    step: 5,
+                    kind: "checkpoint_commit".to_string(),
+                    acks: 3,
+                    quorum: 2,
+                },
+            },
+            Event {
+                seq: 2,
+                kind: EventKind::WorkerAccused {
+                    step: 5,
+                    worker: 2,
+                    accusers: 3,
+                    quorum: 2,
+                    expected: 0xABCD,
+                    observed: 0x1234,
+                },
+            },
+        ];
+        let j0 = events[0].to_json();
+        assert_eq!(
+            j0.get("event").and_then(Json::as_str),
+            Some("leader_elected")
+        );
+        assert_eq!(j0.get("term").and_then(Json::as_u64), Some(2));
+        assert_eq!(j0.get("leader").and_then(Json::as_u64), Some(1));
+        assert_eq!(j0.get("votes").and_then(Json::as_u64), Some(3));
+        let j1 = events[1].to_json();
+        assert_eq!(
+            j1.get("event").and_then(Json::as_str),
+            Some("log_committed")
+        );
+        assert_eq!(j1.get("index").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            j1.get("kind").and_then(Json::as_str),
+            Some("checkpoint_commit")
+        );
+        assert_eq!(j1.get("quorum").and_then(Json::as_u64), Some(2));
+        let j2 = events[2].to_json();
+        assert_eq!(
+            j2.get("event").and_then(Json::as_str),
+            Some("worker_accused")
+        );
+        assert_eq!(j2.get("worker").and_then(Json::as_u64), Some(2));
+        assert_eq!(j2.get("accusers").and_then(Json::as_u64), Some(3));
+        assert_eq!(j2.get("expected").and_then(Json::as_u64), Some(0xABCD));
+        assert_eq!(j2.get("observed").and_then(Json::as_u64), Some(0x1234));
+        for e in &events {
+            let back = json::parse(&e.to_json().to_string()).unwrap();
+            assert_eq!(back, e.to_json());
+            assert!(!e.to_text().is_empty());
+        }
+        assert!(events[0].to_text().contains("elected leader"));
+        assert!(events[0].to_text().contains("3/3 votes"));
+        assert!(events[1].to_text().contains("log[4] committed"));
+        assert!(events[2].to_text().contains("accused of lying"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::checkpoint::{Checkpoint, RecoveryLog, StepDelta};
 use crate::config::{
     ClusterConfig, HotPath, StorageMode, SyncMode, SyncScope, DEFAULT_CHECKPOINT_INTERVAL,
 };
+use crate::consensus::{checksum_quorum, Consensus, LogEntryKind};
 use crate::ctx::WorkerCtx;
 use crate::error::RuntimeError;
 use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
@@ -59,6 +60,12 @@ pub struct Cluster<V: VertexData> {
     /// Reliable-delivery transport, present only when the fault plan has
     /// channel faults (scripted or probabilistic).
     transport: Option<Transport>,
+    /// Replicated control plane, present whenever a fault plan is attached
+    /// (same condition as `injector`): control-plane decisions — epoch
+    /// bumps, checkpoint commits, death declarations — replicate through
+    /// its majority-committed log under an elected leader. Fault-free runs
+    /// skip the layer entirely.
+    consensus: Option<Consensus>,
     /// Last checkpoint plus the redo log of supersteps published since.
     recovery: RecoveryLog<V>,
     /// Effective checkpoint interval in supersteps (0 = disabled).
@@ -126,6 +133,7 @@ impl<V: VertexData> Cluster<V> {
             .fault_plan
             .clone()
             .map(|p| FaultInjector::new(p, workers));
+        let consensus = injector.as_ref().map(|_| Consensus::new());
         // Rollback needs a checkpoint to roll back to, so a fault plan
         // forces periodic checkpointing on even if the config left the
         // interval at 0 (the `faults` builder normally sets it already) —
@@ -155,6 +163,7 @@ impl<V: VertexData> Cluster<V> {
             next_seq: 0,
             injector,
             transport,
+            consensus,
             recovery: RecoveryLog::new(),
             checkpoint_every,
             failed: None,
@@ -204,6 +213,11 @@ impl<V: VertexData> Cluster<V> {
             net_latency_us,
             net_bandwidth_bps,
         });
+        // A cluster under a fault plan seats its coordinator before the
+        // first superstep, so every later decision has a leader to commit
+        // it — and `leader@0` has someone to crash.
+        let live = cluster.partition.live_hosts();
+        cluster.elect_leader(0, &live);
         Ok(cluster)
     }
 
@@ -722,6 +736,16 @@ impl<V: VertexData> Cluster<V> {
             bytes: cp.bytes,
             interval: self.checkpoint_every,
         });
+        // The snapshot becomes the durable recovery point only once a
+        // majority of the live hosts commits it to the replicated log —
+        // otherwise a survivor could roll back to a checkpoint the rest of
+        // the cluster never heard about.
+        let voters = self.partition.num_live_hosts();
+        self.commit_decision(
+            self.next_step,
+            LogEntryKind::CheckpointCommit { bytes: cp.bytes },
+            voters,
+        );
         self.recovery.install(cp);
     }
 
@@ -776,11 +800,16 @@ impl<V: VertexData> Cluster<V> {
 
             // Failure detector, deadline half: a straggler whose simulated
             // delay reaches the detector timeout missed the barrier for good
-            // and is declared permanently dead right away.
-            let detector = self
-                .injector
-                .as_ref()
-                .map_or(Duration::MAX, |i| i.plan().detector_timeout);
+            // and is declared permanently dead right away. A config-level
+            // override (`--detector-timeout`) wins over the plan's
+            // `detector=` option.
+            let detector = match self.config.detector_timeout {
+                Some(d) => d,
+                None => self
+                    .injector
+                    .as_ref()
+                    .map_or(Duration::MAX, |i| i.plan().detector_timeout),
+            };
             let mut deadline_dead: Vec<usize> = stragglers
                 .iter()
                 .filter(|s| s.delay >= detector)
@@ -795,6 +824,144 @@ impl<V: VertexData> Cluster<V> {
                         continue;
                     }
                     Err(e) => {
+                        if self.failed.is_none() {
+                            self.failed = Some(e);
+                        }
+                        if let Some(inj) = &mut self.injector {
+                            inj.active = false;
+                        }
+                        return (outs, durations);
+                    }
+                }
+            }
+
+            // Coordinator crash: a `leader@` fault kills whichever host
+            // currently leads the control plane. The survivors elect a new
+            // leader, the death declaration commits under the new term, and
+            // the superstep retries from the checkpoint like any other
+            // permanent loss — so results stay bit-identical.
+            let leader_fires = match &mut self.injector {
+                Some(inj) => inj.leader_crashes(step_id),
+                None => 0,
+            };
+            if leader_fires > 0 {
+                let mut error = None;
+                let mut crashed = false;
+                for _ in 0..leader_fires {
+                    let Some(leader) = self.consensus.as_ref().and_then(|c| c.leader()) else {
+                        break;
+                    };
+                    crashed = true;
+                    self.stats.consensus.leader_crashes += 1;
+                    self.stats.recovery.faults_injected += 1;
+                    self.emit(EventKind::FaultInjected {
+                        step: step_id,
+                        worker: leader,
+                        kind: FaultKind::Leader.label().to_string(),
+                        attempt,
+                    });
+                    if let Some(cons) = &mut self.consensus {
+                        cons.vacate();
+                    }
+                    if let Err(e) = self.declare_dead(step_id, &[leader], "leader", attempt) {
+                        error = Some(e);
+                        break;
+                    }
+                }
+                match error {
+                    None if crashed => {
+                        attempt = 0;
+                        continue;
+                    }
+                    None => {}
+                    Some(e) => {
+                        if self.failed.is_none() {
+                            self.failed = Some(e);
+                        }
+                        if let Some(inj) = &mut self.injector {
+                            inj.active = false;
+                        }
+                        return (outs, durations);
+                    }
+                }
+            }
+
+            // Byzantine workers: a `lie@` fault makes a worker report a
+            // checksum-mismatched sync payload. Every live host recomputes
+            // the payload checksum independently; a strict majority
+            // agreeing on the true value pins the lie on the worker, and
+            // the accusation escalates to a committed death declaration.
+            // Without enough honest replicas to form that majority the run
+            // degrades to [`RuntimeError::QuorumLost`].
+            let liars = match &mut self.injector {
+                Some(inj) => inj.liars(step_id),
+                None => Vec::new(),
+            };
+            if !liars.is_empty() {
+                let mut error = None;
+                let mut accused = false;
+                for w in liars {
+                    let st = &self.states[w];
+                    let expected = payload_checksum(
+                        st.pending
+                            .iter()
+                            .map(|(v, val)| (*v, val.bytes()))
+                            .chain(st.direct.iter().map(|(v, val)| (*v, val.bytes()))),
+                    );
+                    let nonce = match &mut self.injector {
+                        Some(inj) => inj.corruption_nonce(),
+                        None => 1,
+                    };
+                    let observed = expected ^ nonce;
+                    let liar_host = self.partition.host_of_worker(w);
+                    let votes: Vec<(usize, u64)> = self
+                        .partition
+                        .live_hosts()
+                        .into_iter()
+                        .map(|h| (h, if h == liar_host { observed } else { expected }))
+                        .collect();
+                    self.stats.recovery.faults_injected += 1;
+                    self.emit(EventKind::FaultInjected {
+                        step: step_id,
+                        worker: w,
+                        kind: FaultKind::Lie.label().to_string(),
+                        attempt,
+                    });
+                    match checksum_quorum(&votes) {
+                        Ok(verdict) => {
+                            self.stats.consensus.accusations += 1;
+                            self.emit(EventKind::WorkerAccused {
+                                step: step_id,
+                                worker: w,
+                                accusers: verdict.accusers,
+                                quorum: verdict.quorum,
+                                expected: verdict.expected,
+                                observed,
+                            });
+                            accused = true;
+                            if let Err(e) = self.declare_dead(step_id, &[w], "accused", attempt) {
+                                error = Some(e);
+                            }
+                        }
+                        Err(needed) => {
+                            error = Some(RuntimeError::QuorumLost {
+                                step: step_id,
+                                live: votes.len(),
+                                needed,
+                            });
+                        }
+                    }
+                    if error.is_some() {
+                        break;
+                    }
+                }
+                match error {
+                    None if accused => {
+                        attempt = 0;
+                        continue;
+                    }
+                    None => {}
+                    Some(e) => {
                         if self.failed.is_none() {
                             self.failed = Some(e);
                         }
@@ -902,14 +1069,18 @@ impl<V: VertexData> Cluster<V> {
                         detected.push(spec);
                     }
                 }
-                // Stragglers, rejoins and channel faults never surface
-                // here: `failures()` filters them out (channel faults are
-                // handled below the barrier by the transport).
+                // Stragglers, rejoins, channel faults and the consensus
+                // faults never surface here: `failures()` filters them out
+                // (channel faults are handled below the barrier by the
+                // transport; leader crashes and lies have their own quorum
+                // paths in `compute_with_recovery`).
                 FaultKind::Straggler
                 | FaultKind::Rejoin
                 | FaultKind::Drop
                 | FaultKind::Duplicate
-                | FaultKind::Reorder => {}
+                | FaultKind::Reorder
+                | FaultKind::Leader
+                | FaultKind::Lie => {}
             }
         }
         detected
@@ -965,6 +1136,34 @@ impl<V: VertexData> Cluster<V> {
                 worker: lost,
                 step: step_id,
             });
+        }
+        // Control plane first: the death is a replicated decision, voted
+        // on by the survivors only (the dying hosts cannot acknowledge
+        // their own funeral). If the current leader is among the dying —
+        // or the leadership is already vacant — the survivors elect a new
+        // leader before the declaration commits under its term.
+        if self.consensus.is_some() {
+            let survivors: Vec<usize> = self
+                .partition
+                .live_hosts()
+                .into_iter()
+                .filter(|h| !dead.contains(h))
+                .collect();
+            let leader_gone = match self.consensus.as_ref().and_then(|c| c.leader()) {
+                None => true,
+                Some(l) => dead.contains(&l) || !self.partition.is_host_live(l),
+            };
+            if leader_gone && !survivors.is_empty() {
+                self.elect_leader(step_id, &survivors);
+            }
+            self.commit_decision(
+                step_id,
+                LogEntryKind::DeathDeclaration {
+                    hosts: dead.to_vec(),
+                    reason: reason.to_string(),
+                },
+                survivors.len(),
+            );
         }
         for st in &mut self.states {
             st.discard_staged();
@@ -1062,6 +1261,97 @@ impl<V: VertexData> Cluster<V> {
                     self.stats
                         .metrics
                         .record_duration("recovery/migration_ns", cost);
+                }
+            }
+        }
+        // The epoch bump is a control-plane decision: the survivors must
+        // majority-commit it before acting under the new hosting.
+        let voters = self.partition.num_live_hosts();
+        self.commit_decision(
+            step_id,
+            LogEntryKind::EpochBump {
+                epoch: report.epoch,
+                cause: cause.to_string(),
+            },
+            voters,
+        );
+    }
+
+    /// Wire bytes one replicated log record occupies per receiving
+    /// replica: `(term, index, step)` plus a small tagged payload.
+    const LOG_RECORD_BYTES: u64 = 64;
+
+    /// Runs one election among `live` hosts through the control plane (a
+    /// no-op without one): bumps the term, seats the smallest live host,
+    /// charges the two-round vote traffic (RequestVote + grants) to the
+    /// simulated network, and emits the `leader_elected` event.
+    fn elect_leader(&mut self, step: u64, live: &[usize]) {
+        let Some(cons) = &mut self.consensus else {
+            return;
+        };
+        let Some(el) = cons.elect(live) else {
+            // No live host to elect — the run is already degrading through
+            // the membership error path; nothing to record here.
+            return;
+        };
+        self.stats.consensus.elections += 1;
+        if let Some(net) = &self.config.network {
+            let cost = net.cost(2, Self::LOG_RECORD_BYTES * el.live_hosts as u64);
+            self.stats.consensus.election_net += cost;
+            if self.config.metrics {
+                self.stats
+                    .metrics
+                    .record_duration("consensus/election_ns", cost);
+            }
+        }
+        self.emit(EventKind::LeaderElected {
+            term: el.term,
+            leader: el.leader,
+            step,
+            votes: el.votes,
+            live_hosts: el.live_hosts,
+        });
+    }
+
+    /// Appends one decision to the replicated log and commits it with
+    /// `voters` acknowledging replicas (a no-op without a control plane):
+    /// charges the append + ack rounds to the simulated network and emits
+    /// the `log_committed` event. A voter set that cannot form a majority
+    /// degrades the run to [`RuntimeError::QuorumLost`] — set once, like
+    /// every other terminal fault.
+    fn commit_decision(&mut self, step: u64, kind: LogEntryKind, voters: usize) {
+        let Some(cons) = &mut self.consensus else {
+            return;
+        };
+        self.stats.consensus.entries_appended += 1;
+        match cons.commit(step, kind.clone(), voters) {
+            Ok(commit) => {
+                self.stats.consensus.entries_committed += 1;
+                if let Some(net) = &self.config.network {
+                    let cost = net.cost(2, Self::LOG_RECORD_BYTES * voters as u64);
+                    self.stats.consensus.commit_net += cost;
+                    if self.config.metrics {
+                        self.stats
+                            .metrics
+                            .record_duration("consensus/commit_ns", cost);
+                    }
+                }
+                self.emit(EventKind::LogCommitted {
+                    term: commit.term,
+                    index: commit.index,
+                    step,
+                    kind: kind.label().to_string(),
+                    acks: commit.acks,
+                    quorum: commit.quorum,
+                });
+            }
+            Err(needed) => {
+                if self.failed.is_none() {
+                    self.failed = Some(RuntimeError::QuorumLost {
+                        step,
+                        live: voters,
+                        needed,
+                    });
                 }
             }
         }
@@ -1560,7 +1850,9 @@ fn clone_full_to<V: VertexData>(states: &mut [WorkerState<V>], w: usize, r: usiz
 
 /// Applies one critical payload to every recipient replica, cloning for
 /// all but the last recipient and *moving* the payload into the last —
-/// saving one clone per synchronized vertex.
+/// saving one clone per synchronized vertex. Structured so the move is
+/// provable to the compiler: the sync path runs at every barrier,
+/// including mid-recovery, and must stay panic-free.
 fn apply_critical_last_move<V: VertexData>(
     states: &mut [WorkerState<V>],
     vi: usize,
@@ -1568,14 +1860,13 @@ fn apply_critical_last_move<V: VertexData>(
     recipients: impl Iterator<Item = usize>,
 ) {
     let mut recipients = recipients.peekable();
-    let mut payload = Some(payload);
     while let Some(r) = recipients.next() {
-        let p = if recipients.peek().is_some() {
-            payload.as_ref().expect("present until last").clone()
+        if recipients.peek().is_some() {
+            states[r].current[vi].apply_critical(payload.clone());
         } else {
-            payload.take().expect("present until last")
-        };
-        states[r].current[vi].apply_critical(p);
+            states[r].current[vi].apply_critical(payload);
+            return;
+        }
     }
 }
 
@@ -2128,6 +2419,153 @@ mod tests {
         assert_eq!(vals, clean.0);
         assert_eq!(stats.recovery.workers_lost, 0, "no membership change");
         assert_eq!(stats.recovery.checkpoints, 0, "checkpointing stayed off");
+    }
+
+    #[test]
+    fn leader_crash_recovers_through_reelection_bit_identically() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let (vals, stats, err) = run_program(faulted_config("leader@1,retries=1"));
+        assert!(err.is_none(), "re-election is not a failure: {err:?}");
+        assert_eq!(clean.0, vals, "leader crash must not change results");
+        assert_eq!(clean.1.num_supersteps(), stats.num_supersteps());
+        let cons = &stats.consensus;
+        assert_eq!(cons.leader_crashes, 1);
+        assert_eq!(cons.elections, 2, "initial election + re-election");
+        assert!(
+            cons.entries_committed >= 3,
+            "checkpoints + death declaration + epoch bump: {cons:?}"
+        );
+        assert_eq!(cons.entries_appended, cons.entries_committed);
+        assert!(cons.election_net > Duration::ZERO, "network model charged");
+        assert!(cons.commit_net > Duration::ZERO);
+        assert_eq!(stats.recovery.workers_lost, 1, "the old leader host died");
+        // The fault-free control plane never spins up at all.
+        assert_eq!(clean.1.consensus, crate::stats::ConsensusStats::default());
+    }
+
+    #[test]
+    fn lying_worker_is_accused_and_dies_bit_identically() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        let (vals, stats, err) = run_program(faulted_config("lie@1:w2,retries=1"));
+        assert!(err.is_none(), "a pinned lie recovers cleanly: {err:?}");
+        assert_eq!(clean.0, vals, "accusation must not change results");
+        assert_eq!(clean.1.num_supersteps(), stats.num_supersteps());
+        assert_eq!(stats.consensus.accusations, 1);
+        assert_eq!(stats.recovery.workers_lost, 1, "the liar was executed");
+        assert!(stats.consensus.overhead().max(stats.consensus.commit_net) > Duration::ZERO);
+    }
+
+    #[test]
+    fn lie_without_honest_majority_degrades_to_quorum_lost() {
+        // Two hosts: the vote splits 1–1 and nobody can be out-voted.
+        let clean = {
+            let cfg = ClusterConfig::with_workers(2).sequential();
+            run_program(cfg)
+        };
+        let cfg = ClusterConfig::with_workers(2)
+            .sequential()
+            .network(crate::NetworkModel::ten_gbe())
+            .checkpoint_every(2)
+            .faults(crate::fault::FaultPlan::parse("lie@1:w1").unwrap());
+        let (vals, stats, err) = run_program(cfg);
+        match err {
+            Some(RuntimeError::QuorumLost { step, live, needed }) => {
+                assert_eq!(step, 1);
+                assert_eq!(live, 2);
+                assert_eq!(needed, 2);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+        // The injector shut down and the run finished deterministically.
+        assert_eq!(vals, clean.0);
+        assert_eq!(stats.consensus.accusations, 0, "nobody could be pinned");
+        assert_eq!(stats.recovery.workers_lost, 0);
+    }
+
+    #[test]
+    fn consensus_decisions_emit_trace_events_in_order() {
+        use flash_obs::CollectSink;
+        let sink = Arc::new(CollectSink::new());
+        let cfg = faulted_config("leader@1,retries=1")
+            .sink(Arc::clone(&sink) as Arc<dyn flash_obs::Sink>);
+        let _ = run_program(cfg);
+        let events = sink.events();
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+
+        // Elections: the initial one at term 1 seats host 0 before any
+        // superstep; the re-election at term 2 seats the smallest survivor.
+        let elections: Vec<(u64, usize)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::LeaderElected { term, leader, .. } => Some((*term, *leader)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(elections, vec![(1, 0), (2, 1)]);
+
+        // The log commits in index order, and the death declaration is
+        // committed under the new term by the new leader.
+        let commits: Vec<(u64, u64, String)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::LogCommitted {
+                    term, index, kind, ..
+                } => Some((*term, *index, kind.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(commits.iter().enumerate().all(|(i, c)| c.1 == i as u64 + 1));
+        assert!(commits.windows(2).all(|w| w[0].0 <= w[1].0), "terms sorted");
+        let death = commits
+            .iter()
+            .find(|c| c.2 == "death_declaration")
+            .expect("death committed through the log");
+        assert_eq!(death.0, 2, "committed under the re-elected term");
+        assert!(commits.iter().any(|c| c.2 == "checkpoint_commit"));
+        assert!(commits.iter().any(|c| c.2 == "epoch_bump"));
+
+        // Ordering: re-election precedes the death commit, which precedes
+        // the worker's death event and the epoch bump commit.
+        let reelect_pos = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::LeaderElected { term: 2, .. }))
+            .expect("re-election event");
+        let death_pos = events
+            .iter()
+            .position(
+                |e| matches!(&e.kind, EventKind::LogCommitted { kind, .. } if kind == "death_declaration"),
+            )
+            .expect("death commit event");
+        let dead_pos = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::WorkerDeclaredDead { .. }))
+            .expect("worker_declared_dead event");
+        let epoch_commit_pos = events
+            .iter()
+            .position(
+                |e| matches!(&e.kind, EventKind::LogCommitted { kind, .. } if kind == "epoch_bump"),
+            )
+            .expect("epoch commit event");
+        assert!(reelect_pos < death_pos, "new leader seated before commit");
+        assert!(death_pos < dead_pos, "decision committed before applied");
+        assert!(dead_pos < epoch_commit_pos);
+    }
+
+    #[test]
+    fn config_detector_timeout_overrides_plan_option() {
+        let clean = run_program(ClusterConfig::with_workers(3).sequential());
+        // The plan's detector is generous, but the config tightens it to
+        // 50ms, so a 200ms straggler is declared dead at the barrier.
+        let cfg = faulted_config("straggle@1:w2:200ms,detector=10s")
+            .detector_timeout(Duration::from_millis(50));
+        let (vals, stats, err) = run_program(cfg);
+        assert!(err.is_none());
+        assert_eq!(clean.0, vals);
+        assert_eq!(stats.recovery.workers_lost, 1);
+        // Without the override the plan's 10s detector tolerates it.
+        let (_, stats2, err2) = run_program(faulted_config("straggle@1:w2:200ms,detector=10s"));
+        assert!(err2.is_none());
+        assert_eq!(stats2.recovery.workers_lost, 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::plan::ProgramPlan;
 use flash_obs::Sink;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Checkpoint interval (in supersteps) used when a fault plan is present
 /// but no explicit interval was configured: rollback needs a checkpoint to
@@ -136,6 +137,11 @@ pub struct ClusterConfig {
     /// Adjacency storage engine (see [`StorageMode`]). `Block` is opt-in
     /// and requires a block-backed graph.
     pub storage: StorageMode,
+    /// Failure-detector deadline override: a straggler whose simulated
+    /// barrier delay reaches this is declared permanently dead. `None`
+    /// falls back to the fault plan's `detector=` option (default
+    /// [`crate::fault::DEFAULT_DETECTOR_TIMEOUT`]); `Some` wins over both.
+    pub detector_timeout: Option<Duration>,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -157,6 +163,7 @@ impl fmt::Debug for ClusterConfig {
             .field("hotpath", &self.hotpath)
             .field("metrics", &self.metrics)
             .field("storage", &self.storage)
+            .field("detector_timeout", &self.detector_timeout)
             .finish()
     }
 }
@@ -179,6 +186,7 @@ impl Default for ClusterConfig {
             hotpath: HotPath::default(),
             metrics: false,
             storage: StorageMode::default(),
+            detector_timeout: None,
         }
     }
 }
@@ -288,6 +296,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Overrides the failure-detector deadline (builder style): a
+    /// straggler whose simulated barrier delay reaches `d` is declared
+    /// permanently dead. Wins over the fault plan's `detector=` option.
+    pub fn detector_timeout(mut self, d: Duration) -> Self {
+        self.detector_timeout = Some(d);
+        self
+    }
+
     /// Declares the algorithm's [`ProgramPlan`] (builder style): its
     /// critical properties become the payload of `sync_plan` trace events.
     pub fn plan(mut self, plan: &ProgramPlan) -> Self {
@@ -383,6 +399,14 @@ mod tests {
         let c = ClusterConfig::default().storage(StorageMode::Block);
         assert_eq!(c.storage, StorageMode::Block);
         assert!(format!("{c:?}").contains("Block"));
+    }
+
+    #[test]
+    fn detector_timeout_defaults_to_none_and_overrides() {
+        assert!(ClusterConfig::default().detector_timeout.is_none());
+        let c = ClusterConfig::default().detector_timeout(Duration::from_millis(25));
+        assert_eq!(c.detector_timeout, Some(Duration::from_millis(25)));
+        assert!(format!("{c:?}").contains("detector_timeout"));
     }
 
     #[test]

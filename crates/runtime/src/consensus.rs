@@ -1,0 +1,474 @@
+//! The replicated control plane: a Raft-style elected coordinator and a
+//! durable, majority-committed decision log (DESIGN.md §14).
+//!
+//! Before this module, the cluster's control-plane decisions — membership
+//! epoch bumps, checkpoint commits, death declarations — were *ambient*:
+//! applied by whatever code path reached them first, with no notion of who
+//! decided or what a survivor would know after a coordinator loss. This
+//! module reifies them as entries in a replicated log driven by an elected
+//! leader:
+//!
+//! * **Elections** (Raft §5.2, simplified for a simulated full-information
+//!   cluster): each election bumps the term and seats exactly one candidate
+//!   — the smallest live host — with a vote from every live host. Election
+//!   safety (at most one leader per term) therefore holds *by
+//!   construction*: a term admits one candidate and is never reused.
+//! * **The log** (Raft §5.3): entries carry `(term, index, step, kind)`.
+//!   Indices are 1-based and strictly sequential; terms along the log are
+//!   non-decreasing (the Log Matching property). An entry is *committed*
+//!   once a majority of the voting hosts acknowledge it; only committed
+//!   entries are applied.
+//! * **Byzantine accusation**: a worker that returns a checksum-mismatched
+//!   sync payload is caught by [`checksum_quorum`] — every live replica
+//!   recomputes the payload checksum independently, and a strict majority
+//!   agreeing on a different value than the worker reported pins the lie
+//!   on it. The accusation escalates to a death declaration through the
+//!   same committed log.
+//!
+//! The consensus layer is built only when a fault plan is attached (the
+//! cluster is "under test"); fault-free runs skip it entirely and pay
+//! nothing, keeping the fault-free hot path and its stats byte-identical.
+//!
+//! Everything here is deterministic: no randomness, no wall clocks, no
+//! timeouts — liveness comes from the simulation's synchronous barriers,
+//! so the usual Raft timers collapse into explicit `elect` calls at the
+//! points where the cluster observes a leader loss.
+
+// The control plane is exactly the code that runs when the cluster is
+// already degraded; a panic here would turn a recoverable fault into an
+// abort. Everything must degrade to typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+/// A control-plane decision, replicated through the log before it is
+/// applied. The serialized form (see [`LogEntryKind::label`]) is what the
+/// `log_committed` trace event reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogEntryKind {
+    /// A membership epoch bump: the partition map re-homed partitions
+    /// (death rebalance or rejoin) and every survivor must agree on the
+    /// epoch before acting under it.
+    EpochBump {
+        /// The epoch the cluster moves to.
+        epoch: u64,
+        /// What caused the bump (`"die"`, `"rejoin"`, `"deadline"`,
+        /// `"leader"`, `"accused"`).
+        cause: String,
+    },
+    /// A checkpoint becomes the durable recovery point only once a
+    /// majority acknowledges it — otherwise a surviving minority could
+    /// roll back to a checkpoint the leader never finished installing.
+    CheckpointCommit {
+        /// Serialized size of the checkpoint being committed.
+        bytes: u64,
+    },
+    /// A declaration that hosts are permanently dead. Voted on by the
+    /// *survivors* only — the dying hosts cannot acknowledge their own
+    /// funeral.
+    DeathDeclaration {
+        /// The hosts being declared dead.
+        hosts: Vec<usize>,
+        /// Why (`"die"`, `"deadline"`, `"leader"`, `"accused"`).
+        reason: String,
+    },
+}
+
+impl LogEntryKind {
+    /// The stable string tag used in trace events and result JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LogEntryKind::EpochBump { .. } => "epoch_bump",
+            LogEntryKind::CheckpointCommit { .. } => "checkpoint_commit",
+            LogEntryKind::DeathDeclaration { .. } => "death_declaration",
+        }
+    }
+}
+
+/// One replicated log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The leader term under which the entry was appended.
+    pub term: u64,
+    /// 1-based, strictly sequential position in the log.
+    pub index: u64,
+    /// The superstep at which the decision was taken.
+    pub step: u64,
+    /// The decision itself.
+    pub kind: LogEntryKind,
+}
+
+/// The outcome of one election.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Election {
+    /// The new (strictly increased) term.
+    pub term: u64,
+    /// The elected leader host.
+    pub leader: usize,
+    /// Votes received — every live host in this full-information model.
+    pub votes: usize,
+    /// Live hosts at election time.
+    pub live_hosts: usize,
+}
+
+/// The outcome of one committed log entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Commit {
+    /// Term under which the entry committed.
+    pub term: u64,
+    /// Log index of the entry.
+    pub index: u64,
+    /// Acknowledgements received.
+    pub acks: usize,
+    /// Acknowledgements a majority required.
+    pub quorum: usize,
+}
+
+/// The verdict of a checksum quorum over one worker's sync payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChecksumVerdict {
+    /// The majority checksum — what the payload *actually* hashes to.
+    pub expected: u64,
+    /// How many replicas voted for the majority value.
+    pub accusers: usize,
+    /// The strict majority that was required to pin the lie.
+    pub quorum: usize,
+}
+
+/// The replicated control-plane state machine. One logical instance is
+/// shared by all hosts of the simulated cluster; per-host divergence is
+/// impossible here by construction, which is exactly the property a real
+/// deployment buys with Raft's AppendEntries consistency check.
+#[derive(Clone, Debug, Default)]
+pub struct Consensus {
+    term: u64,
+    leader: Option<usize>,
+    log: Vec<LogEntry>,
+    committed: u64,
+}
+
+impl Consensus {
+    /// A fresh control plane: term 0, no leader, empty log. The cluster
+    /// runs the first election before its first superstep.
+    pub fn new() -> Self {
+        Consensus::default()
+    }
+
+    /// The current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// The current leader host, if one has been elected and not lost.
+    pub fn leader(&self) -> Option<usize> {
+        self.leader
+    }
+
+    /// The full replicated log, committed prefix first.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Index of the last committed entry (0 = nothing committed).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Runs one election among `live` hosts: bumps the term and seats the
+    /// smallest live host with a vote from every live host. Returns `None`
+    /// when no host is live (the cluster is gone; callers surface
+    /// [`RuntimeError::QuorumLost`](crate::RuntimeError::QuorumLost)).
+    ///
+    /// Exactly one candidate stands per term and terms are never reused,
+    /// so *election safety* — at most one leader per term — holds by
+    /// construction; the property test below checks it anyway.
+    pub fn elect(&mut self, live: &[usize]) -> Option<Election> {
+        let leader = live.iter().copied().min()?;
+        self.term += 1;
+        self.leader = Some(leader);
+        Some(Election {
+            term: self.term,
+            leader,
+            votes: live.len(),
+            live_hosts: live.len(),
+        })
+    }
+
+    /// Marks the leadership vacant (the leader host crashed). The next
+    /// decision requires a fresh election first.
+    pub fn vacate(&mut self) {
+        self.leader = None;
+    }
+
+    /// Appends a decision under the current term and commits it with
+    /// `voters` acknowledging replicas. Every live voter acks in this
+    /// synchronous model, so the entry commits iff the voter set can form
+    /// a majority at all — `Err(needed)` reports the quorum that zero
+    /// voters could not meet.
+    pub fn commit(
+        &mut self,
+        step: u64,
+        kind: LogEntryKind,
+        voters: usize,
+    ) -> Result<Commit, usize> {
+        let quorum = voters / 2 + 1;
+        if voters == 0 {
+            return Err(quorum);
+        }
+        let index = self.log.len() as u64 + 1;
+        self.log.push(LogEntry {
+            term: self.term,
+            index,
+            step,
+            kind,
+        });
+        self.committed = index;
+        Ok(Commit {
+            term: self.term,
+            index,
+            acks: voters,
+            quorum,
+        })
+    }
+
+    /// Checks the Log Matching property over the whole log: indices are
+    /// 1-based and strictly sequential, terms are non-decreasing, and the
+    /// commit index never exceeds the log length. Debug/test helper;
+    /// returns the first violation as text.
+    pub fn check_log_matching(&self) -> Result<(), String> {
+        for (i, entry) in self.log.iter().enumerate() {
+            let want = i as u64 + 1;
+            if entry.index != want {
+                return Err(format!(
+                    "log index {} at position {i} (expected {want})",
+                    entry.index
+                ));
+            }
+            if i > 0 && entry.term < self.log[i - 1].term {
+                return Err(format!(
+                    "term regressed from {} to {} at index {want}",
+                    self.log[i - 1].term,
+                    entry.term
+                ));
+            }
+            if entry.term > self.term {
+                return Err(format!(
+                    "entry at index {want} carries future term {} (current {})",
+                    entry.term, self.term
+                ));
+            }
+        }
+        if self.committed > self.log.len() as u64 {
+            return Err(format!(
+                "commit index {} exceeds log length {}",
+                self.committed,
+                self.log.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a byzantine checksum dispute: `votes` pairs each live host
+/// with the checksum it independently computed for one worker's sync
+/// payload. A strict majority agreeing on one value pins that value as
+/// the truth; `Ok` carries the verdict, `Err(needed)` means no value
+/// reached the quorum (too few replicas to out-vote the liar — with two
+/// hosts the vote splits 1–1 and nobody can be accused).
+pub fn checksum_quorum(votes: &[(usize, u64)]) -> Result<ChecksumVerdict, usize> {
+    let quorum = votes.len() / 2 + 1;
+    // Tiny vote sets (≤ hosts) — a linear count beats a hash map.
+    for &(_, candidate) in votes {
+        let accusers = votes.iter().filter(|&&(_, c)| c == candidate).count();
+        if accusers >= quorum {
+            return Ok(ChecksumVerdict {
+                expected: candidate,
+                accusers,
+                quorum,
+            });
+        }
+    }
+    Err(quorum)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use flash_graph::Prng;
+
+    #[test]
+    fn first_election_seats_smallest_live_host() {
+        let mut c = Consensus::new();
+        let el = c.elect(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(el.term, 1);
+        assert_eq!(el.leader, 0);
+        assert_eq!(el.votes, 4);
+        assert_eq!(c.leader(), Some(0));
+
+        // Host 0 crashes; the survivors seat host 1 under a new term.
+        c.vacate();
+        assert_eq!(c.leader(), None);
+        let el2 = c.elect(&[1, 2, 3]).unwrap();
+        assert_eq!(el2.term, 2);
+        assert_eq!(el2.leader, 1);
+        assert_eq!(el2.votes, 3);
+    }
+
+    #[test]
+    fn electing_with_no_live_hosts_fails() {
+        let mut c = Consensus::new();
+        assert_eq!(c.elect(&[]), None);
+        assert_eq!(c.term(), 0, "a failed election burns no term");
+    }
+
+    #[test]
+    fn commit_appends_sequentially_and_reports_quorum() {
+        let mut c = Consensus::new();
+        c.elect(&[0, 1, 2]).unwrap();
+        let a = c
+            .commit(0, LogEntryKind::CheckpointCommit { bytes: 128 }, 3)
+            .unwrap();
+        assert_eq!((a.index, a.term, a.acks, a.quorum), (1, 1, 3, 2));
+        let b = c
+            .commit(
+                4,
+                LogEntryKind::DeathDeclaration {
+                    hosts: vec![2],
+                    reason: "die".into(),
+                },
+                2,
+            )
+            .unwrap();
+        assert_eq!((b.index, b.acks, b.quorum), (2, 2, 2));
+        let e = c
+            .commit(
+                4,
+                LogEntryKind::EpochBump {
+                    epoch: 1,
+                    cause: "die".into(),
+                },
+                2,
+            )
+            .unwrap();
+        assert_eq!(e.index, 3);
+        assert_eq!(c.committed(), 3);
+        assert_eq!(c.log().len(), 3);
+        assert_eq!(c.log()[1].kind.label(), "death_declaration");
+        c.check_log_matching().unwrap();
+    }
+
+    #[test]
+    fn commit_with_zero_voters_reports_needed_quorum() {
+        let mut c = Consensus::new();
+        c.elect(&[0]).unwrap();
+        assert_eq!(
+            c.commit(1, LogEntryKind::CheckpointCommit { bytes: 1 }, 0),
+            Err(1)
+        );
+        assert_eq!(c.log().len(), 0, "a failed commit appends nothing");
+    }
+
+    /// Property: across arbitrary interleavings of elections (over random
+    /// live sets) and commits, every term seats at most one leader and
+    /// terms strictly increase per election.
+    #[test]
+    fn property_election_safety_under_random_membership() {
+        let mut prng = Prng::seed_from_u64(0xE1EC);
+        for case in 0..200u64 {
+            let hosts = 1 + (prng.next_u64() % 8) as usize;
+            let mut c = Consensus::new();
+            let mut leaders_by_term: Vec<(u64, usize)> = Vec::new();
+            for _ in 0..16 {
+                // A random non-empty live subset of the hosts.
+                let mut live: Vec<usize> = (0..hosts)
+                    .filter(|_| prng.next_u64().is_multiple_of(2))
+                    .collect();
+                if live.is_empty() {
+                    live.push((prng.next_u64() % hosts as u64) as usize);
+                }
+                let before = c.term();
+                let el = c.elect(&live).expect("non-empty live set");
+                assert!(el.term > before, "case {case}: terms strictly increase");
+                assert!(live.contains(&el.leader), "case {case}: leader is live");
+                assert!(
+                    leaders_by_term.iter().all(|&(t, _)| t != el.term),
+                    "case {case}: term {} reused",
+                    el.term
+                );
+                leaders_by_term.push((el.term, el.leader));
+                if prng.next_u64().is_multiple_of(2) {
+                    let _ = c.commit(
+                        el.term,
+                        LogEntryKind::CheckpointCommit { bytes: 64 },
+                        live.len(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Property: the log built by arbitrary elect/commit sequences always
+    /// satisfies Log Matching (sequential indices, non-decreasing terms,
+    /// commit index in bounds).
+    #[test]
+    fn property_log_matching_under_random_histories() {
+        let mut prng = Prng::seed_from_u64(0x106);
+        for case in 0..200u64 {
+            let mut c = Consensus::new();
+            c.elect(&[0, 1, 2, 3]).unwrap();
+            for step in 0..32u64 {
+                match prng.next_u64() % 4 {
+                    0 => {
+                        let survivors = 1 + (prng.next_u64() % 4) as usize;
+                        let live: Vec<usize> = (0..survivors).collect();
+                        c.elect(&live).unwrap();
+                    }
+                    1 => {
+                        let _ = c.commit(step, LogEntryKind::CheckpointCommit { bytes: 32 }, 3);
+                    }
+                    2 => {
+                        let _ = c.commit(
+                            step,
+                            LogEntryKind::EpochBump {
+                                epoch: step,
+                                cause: "die".into(),
+                            },
+                            2,
+                        );
+                    }
+                    _ => {
+                        let _ = c.commit(
+                            step,
+                            LogEntryKind::DeathDeclaration {
+                                hosts: vec![(prng.next_u64() % 4) as usize],
+                                reason: "deadline".into(),
+                            },
+                            1 + (prng.next_u64() % 3) as usize,
+                        );
+                    }
+                }
+                c.check_log_matching()
+                    .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_quorum_pins_the_dissenter() {
+        // Hosts 0 and 2 agree; host 1 lies.
+        let verdict = checksum_quorum(&[(0, 0xAB), (1, 0xFF), (2, 0xAB)]).unwrap();
+        assert_eq!(verdict.expected, 0xAB);
+        assert_eq!(verdict.accusers, 2);
+        assert_eq!(verdict.quorum, 2);
+    }
+
+    #[test]
+    fn checksum_quorum_needs_a_strict_majority() {
+        // Two hosts, split vote: nobody can be out-voted.
+        assert_eq!(checksum_quorum(&[(0, 0xAB), (1, 0xFF)]), Err(2));
+        // No votes at all.
+        assert_eq!(checksum_quorum(&[]), Err(1));
+        // Unanimity trivially passes.
+        let v = checksum_quorum(&[(0, 7), (1, 7)]).unwrap();
+        assert_eq!((v.expected, v.accusers), (7, 2));
+    }
+}

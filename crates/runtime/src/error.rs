@@ -68,6 +68,19 @@ pub enum RuntimeError {
     /// `StorageMode::Block` on a graph that was not opened through
     /// `flash_graph::blocks::open_blocks`.
     Storage(String),
+    /// The replicated control plane lost its quorum: too few live hosts
+    /// remain to commit a decision (or to pin a byzantine accusation on a
+    /// majority of honest replicas), so the run degrades to this clean
+    /// error — the consensus-layer mirror of
+    /// [`RuntimeError::RecoveryExhausted`].
+    QuorumLost {
+        /// The superstep at which the quorum was lost.
+        step: u64,
+        /// Live hosts remaining.
+        live: usize,
+        /// Hosts a majority would have required.
+        needed: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -110,6 +123,11 @@ impl fmt::Display for RuntimeError {
                  superstep {step} (batch from host {sender} to host {receiver})"
             ),
             RuntimeError::Storage(msg) => write!(f, "storage configuration rejected: {msg}"),
+            RuntimeError::QuorumLost { step, live, needed } => write!(
+                f,
+                "control-plane quorum lost at superstep {step}: {live} live hosts remain \
+                 but a majority needs {needed}"
+            ),
         }
     }
 }
@@ -153,5 +171,16 @@ mod tests {
         let s = RuntimeError::Storage("block storage requires a block-backed graph".into());
         assert!(s.to_string().contains("storage"), "{s}");
         assert!(s.to_string().contains("block-backed"), "{s}");
+        let q = RuntimeError::QuorumLost {
+            step: 6,
+            live: 1,
+            needed: 2,
+        };
+        let msg = q.to_string();
+        assert!(msg.contains("quorum"), "{msg}");
+        assert!(
+            msg.contains('6') && msg.contains('1') && msg.contains('2'),
+            "{msg}"
+        );
     }
 }

@@ -36,6 +36,14 @@
 //!                       receive-side dedup window discards the copy)
 //! reorder@3:w1          worker 1's batches arrive a round late, after the
 //!                       sender has already retransmitted them
+//! leader@4              crash whichever host currently leads the
+//!                       replicated control plane at superstep 4, forcing
+//!                       the survivors to elect a new leader mid-run (the
+//!                       spec names no worker — it targets whoever leads)
+//! lie@5:w2              worker 2 returns a checksum-mismatched sync
+//!                       payload at superstep 5; the replica checksum
+//!                       quorum detects the lie and escalates it to a
+//!                       death declaration through the consensus log
 //! loss=0.05             seeded probabilistic mode: every cross-host batch
 //!                       transmission is dropped with probability 0.05
 //! dupRate=0.01          every delivered batch is duplicated with
@@ -117,6 +125,16 @@ pub enum FaultKind {
     /// is delayed past the ack deadline and arrives a round late, racing
     /// its own retransmission; the dedup window keeps exactly one copy.
     Reorder,
+    /// The host currently leading the replicated control plane crashes
+    /// permanently at the scripted superstep, forcing the surviving hosts
+    /// to elect a new leader mid-run. The spec names no worker: it targets
+    /// *whoever leads* when it fires (DESIGN.md §14).
+    Leader,
+    /// The worker lies: its sync payload checksum does not match what the
+    /// replica quorum recomputes. Detection accuses the worker and
+    /// escalates to a death declaration committed through the consensus
+    /// log — the byzantine fault of DESIGN.md §14.
+    Lie,
 }
 
 impl FaultKind {
@@ -131,6 +149,8 @@ impl FaultKind {
             FaultKind::Drop => "drop",
             FaultKind::Duplicate => "dup",
             FaultKind::Reorder => "reorder",
+            FaultKind::Leader => "leader",
+            FaultKind::Lie => "lie",
         }
     }
 
@@ -324,6 +344,14 @@ impl FaultPlan {
             || self.corrupt_rate > 0.0
     }
 
+    /// Whether the plan attacks the replicated control plane directly — a
+    /// scripted `leader@` crash or a byzantine `lie@` worker.
+    pub fn has_consensus_faults(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| matches!(s.kind, FaultKind::Leader | FaultKind::Lie))
+    }
+
     /// Validates the plan against a cluster of `workers` workers. Called
     /// when the plan is attached so a spec that could never fire (or would
     /// kill the whole cluster) fails fast instead of silently doing
@@ -385,7 +413,14 @@ impl FaultPlan {
             ws.dedup();
             ws
         };
-        if !dying.is_empty() && dying.len() >= workers {
+        // Every `leader@` crash kills one live host, so together with the
+        // scripted deaths the plan must still leave at least one survivor.
+        let leader_kills = self
+            .specs
+            .iter()
+            .filter(|s| s.kind == FaultKind::Leader)
+            .count();
+        if (!dying.is_empty() || leader_kills > 0) && dying.len() + leader_kills >= workers {
             return Err("the plan kills every worker; at least one must survive".into());
         }
         for (name, rate) in [
@@ -409,13 +444,23 @@ impl FaultPlan {
             .specs
             .iter()
             .map(|s| {
-                let mut out = format!("{}@{}:w{}", s.kind.label(), s.step, s.worker);
+                // `leader` names no worker: it targets whoever leads.
+                let mut out = if s.kind == FaultKind::Leader {
+                    format!("leader@{}", s.step)
+                } else {
+                    format!("{}@{}:w{}", s.kind.label(), s.step, s.worker)
+                };
                 if s.kind == FaultKind::Straggler {
                     out.push_str(&format!(":{}", format_duration(s.delay)));
                 }
-                // `die` is implicitly every-attempt and `rejoin` fires once;
-                // neither takes an :xN in the grammar.
-                if s.times != 1 && !matches!(s.kind, FaultKind::Die | FaultKind::Rejoin) {
+                // `die` is implicitly every-attempt; `rejoin`, `leader` and
+                // `lie` fire once — none takes an :xN in the grammar.
+                if s.times != 1
+                    && !matches!(
+                        s.kind,
+                        FaultKind::Die | FaultKind::Rejoin | FaultKind::Leader | FaultKind::Lie
+                    )
+                {
                     out.push_str(&format!(":x{}", s.times));
                 }
                 out
@@ -472,10 +517,12 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
         "drop" => FaultKind::Drop,
         "dup" => FaultKind::Duplicate,
         "reorder" => FaultKind::Reorder,
+        "leader" => FaultKind::Leader,
+        "lie" => FaultKind::Lie,
         other => {
             return Err(format!(
                 "unknown fault kind {other:?} (expected crash, corrupt, straggle, die, \
-                 rejoin, drop, dup or reorder)"
+                 rejoin, drop, dup, reorder, leader or lie)"
             ))
         }
     };
@@ -484,6 +531,22 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
     let step: u64 = step_s
         .parse()
         .map_err(|_| format!("invalid superstep {step_s:?} in fault spec {part:?}"))?;
+    if kind == FaultKind::Leader {
+        if let Some(extra) = segs.next() {
+            return Err(format!(
+                "leader faults target whoever leads at the step and take no worker or \
+                 extra segment; {:?} does not apply in {part:?}",
+                extra.trim()
+            ));
+        }
+        return Ok(FaultSpec {
+            step,
+            worker: 0,
+            kind,
+            times: 1,
+            delay: DEFAULT_STRAGGLE_DELAY,
+        });
+    }
     let worker_s = segs
         .next()
         .ok_or_else(|| format!("fault spec {part:?} needs a worker (e.g. {kind_s}@{step}:w1)"))?
@@ -505,6 +568,11 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
             return Err(format!(
                 "{} faults are permanent membership events; {seg:?} does not apply in {part:?}",
                 kind.label()
+            ));
+        }
+        if kind == FaultKind::Lie {
+            return Err(format!(
+                "lie faults are one-shot accusations; {seg:?} does not apply in {part:?}"
             ));
         }
         if matches!(kind, FaultKind::Duplicate | FaultKind::Reorder) {
@@ -679,6 +747,33 @@ impl FaultInjector {
     /// Straggler specs firing at `step`, consuming one fire from each.
     pub(crate) fn stragglers(&mut self, step: u64) -> Vec<FaultSpec> {
         self.take(step, |k| k == FaultKind::Straggler)
+    }
+
+    /// How many `leader@` crashes fire at `step`, consuming each. The
+    /// spec's worker field is a placeholder ("whoever leads"), so the
+    /// usual dead-worker suppression does not apply — a leader crash
+    /// always hits a live host by definition.
+    pub(crate) fn leader_crashes(&mut self, step: u64) -> u32 {
+        if !self.active {
+            return 0;
+        }
+        let mut fires = 0;
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.kind == FaultKind::Leader && spec.step <= step && self.fired[i] < spec.times {
+                self.fired[i] += 1;
+                fires += 1;
+            }
+        }
+        fires
+    }
+
+    /// Workers whose `lie@` spec fires at `step`, consuming each. A dead
+    /// worker cannot lie, so the usual suppression applies.
+    pub(crate) fn liars(&mut self, step: u64) -> Vec<usize> {
+        self.take(step, |k| k == FaultKind::Lie)
+            .into_iter()
+            .map(|s| s.worker)
+            .collect()
     }
 
     /// Rejoin specs firing at `step`, consuming each (they fire once).
@@ -1038,6 +1133,77 @@ mod tests {
         let failures = inj.failures(1);
         assert_eq!(failures.len(), 1, "only the crash rolls the step back");
         assert_eq!(failures[0].kind, FaultKind::Crash);
+    }
+
+    #[test]
+    fn parses_leader_and_lie_specs() {
+        let p = FaultPlan::parse("leader@4,lie@5:w2").unwrap();
+        assert_eq!(p.specs.len(), 2);
+        assert_eq!(p.specs[0].kind, FaultKind::Leader);
+        assert_eq!(p.specs[0].step, 4);
+        assert_eq!(p.specs[0].times, 1, "a leader crash fires once");
+        assert_eq!(p.specs[1].kind, FaultKind::Lie);
+        assert_eq!(p.specs[1].worker, 2);
+        assert!(p.has_consensus_faults());
+        assert!(!FaultPlan::parse("crash@1:w0")
+            .unwrap()
+            .has_consensus_faults());
+        // `leader` names no worker; `lie` requires one; neither takes an
+        // extra segment.
+        assert!(FaultPlan::parse("leader@4:w1").is_err());
+        assert!(FaultPlan::parse("leader@4:x2").is_err());
+        assert!(FaultPlan::parse("lie@5").is_err());
+        assert!(FaultPlan::parse("lie@5:w2:x2").is_err());
+        assert!(FaultPlan::parse("lie@5:w2:400us").is_err());
+        // And the summary round-trips without a worker on the leader spec.
+        let summary = p.summary();
+        assert!(summary.contains("leader@4"), "{summary}");
+        assert!(!summary.contains("leader@4:w"), "{summary}");
+        assert_eq!(FaultPlan::parse(&summary).unwrap(), p);
+    }
+
+    #[test]
+    fn validate_counts_leader_crashes_as_kills() {
+        let p = FaultPlan::parse("leader@2,die@3:w1").unwrap();
+        assert!(p.validate(3).is_ok());
+        assert!(
+            p.validate(2).is_err(),
+            "leader crash + die would kill both workers"
+        );
+        assert!(FaultPlan::parse("leader@2").unwrap().validate(1).is_err());
+        assert!(FaultPlan::parse("leader@2").unwrap().validate(2).is_ok());
+        // Duplicate leader specs at the same step are still caught.
+        assert!(FaultPlan::parse("leader@2,leader@2")
+            .unwrap()
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::parse("leader@2,leader@5")
+            .unwrap()
+            .validate(4)
+            .is_ok());
+    }
+
+    #[test]
+    fn injector_fires_leader_crashes_and_liars() {
+        let plan = FaultPlan::parse("leader@2,lie@3:w1").unwrap();
+        let mut inj = FaultInjector::new(plan, 4);
+        assert_eq!(inj.leader_crashes(1), 0, "not armed yet");
+        assert!(inj.liars(2).is_empty());
+        assert_eq!(inj.leader_crashes(2), 1);
+        assert_eq!(inj.leader_crashes(3), 0, "one-shot");
+        assert_eq!(inj.liars(3), vec![1]);
+        assert!(inj.liars(4).is_empty(), "one-shot");
+        // Neither kind surfaces through the rollback-failure path.
+        let plan = FaultPlan::parse("leader@1,lie@1:w0,crash@1:w2").unwrap();
+        let mut inj = FaultInjector::new(plan, 4);
+        let failures = inj.failures(1);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FaultKind::Crash);
+        // A dead worker cannot lie.
+        let plan = FaultPlan::parse("lie@3:w1").unwrap();
+        let mut inj = FaultInjector::new(plan, 4);
+        inj.mark_dead(1);
+        assert!(inj.liars(3).is_empty(), "dead workers cannot lie");
     }
 
     #[test]

@@ -41,11 +41,18 @@
 //!   faults and seeded `loss=`/`dupRate=`/`corruptRate=` modes exercise an
 //!   ack/retransmit protocol with wire sequence numbers, batch checksums
 //!   and a receive-side dedup window, so delivery stays exactly-once from
-//!   the algorithm's point of view ([`transport`], DESIGN.md §10).
+//!   the algorithm's point of view ([`transport`], DESIGN.md §10);
+//! * **a consensus-backed control plane** — whenever a fault plan is
+//!   attached, control-plane decisions (epoch bumps, checkpoint commits,
+//!   death declarations) replicate through a Raft-style majority-committed
+//!   log under an elected leader; `leader@` faults crash the coordinator
+//!   mid-run and `lie@` faults exercise byzantine checksum-quorum
+//!   detection ([`consensus`], DESIGN.md §14).
 
 pub mod checkpoint;
 pub mod cluster;
 pub mod config;
+pub mod consensus;
 pub mod ctx;
 pub mod error;
 pub mod fault;
@@ -59,6 +66,9 @@ pub mod transport;
 pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, StepOutput};
 pub use config::{ClusterConfig, HotPath, ModePolicy, StorageMode, SyncMode, SyncScope};
+pub use consensus::{
+    checksum_quorum, ChecksumVerdict, Commit, Consensus, Election, LogEntry, LogEntryKind,
+};
 pub use ctx::WorkerCtx;
 pub use error::RuntimeError;
 pub use fault::{
@@ -68,7 +78,8 @@ pub use fault::{
 pub use flash_obs::MetricsRegistry;
 pub use netmodel::NetworkModel;
 pub use stats::{
-    ns_u64, us_half_up, DeliveryStats, RecoveryStats, RunStats, StepKind, StepStats, StorageInfo,
+    ns_u64, us_half_up, ConsensusStats, DeliveryStats, RecoveryStats, RunStats, StepKind,
+    StepStats, StorageInfo,
 };
 pub use transport::{batch_checksum, DedupWindow, Transport};
 

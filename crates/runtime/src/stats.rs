@@ -316,6 +316,53 @@ impl DeliveryStats {
     }
 }
 
+/// Replicated control-plane counters of a run: elections held, log
+/// entries committed by majority, and byzantine accusations (all zero on
+/// runs without a fault plan). See [`crate::consensus`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConsensusStats {
+    /// Elections held: the initial election plus every re-election after a
+    /// leader crash.
+    pub elections: u64,
+    /// Leader hosts crashed by `leader@` faults.
+    pub leader_crashes: u64,
+    /// Entries appended to the replicated decision log.
+    pub entries_appended: u64,
+    /// Entries committed by a majority of live hosts (and only then
+    /// applied).
+    pub entries_committed: u64,
+    /// Workers accused of lying by the checksum quorum and escalated to a
+    /// death declaration.
+    pub accusations: u64,
+    /// Simulated network time of election rounds (vote request and grant
+    /// per live host).
+    pub election_net: Duration,
+    /// Simulated network time of log replication (append and ack per live
+    /// host, per committed entry).
+    pub commit_net: Duration,
+}
+
+impl ConsensusStats {
+    /// Total simulated control-plane overhead added to the parallel
+    /// runtime: election traffic plus log-replication traffic.
+    pub fn overhead(&self) -> Duration {
+        self.election_net + self.commit_net
+    }
+
+    /// Machine-readable rendering (durations in µs).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("elections", self.elections)
+            .set("leader_crashes", self.leader_crashes)
+            .set("entries_appended", self.entries_appended)
+            .set("entries_committed", self.entries_committed)
+            .set("accusations", self.accusations)
+            .set("election_net_us", self.election_net.as_micros() as u64)
+            .set("commit_net_us", self.commit_net.as_micros() as u64)
+            .set("overhead_us", self.overhead().as_micros() as u64)
+    }
+}
+
 /// Storage-engine facts of a run: which engine served the adjacency and
 /// how much state stayed resident. All-defaults on in-memory runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -372,6 +419,9 @@ pub struct RunStats {
     /// Reliable-delivery activity of the run (zeros when the plan has no
     /// channel faults).
     pub delivery: DeliveryStats,
+    /// Replicated control-plane activity of the run (zeros when no fault
+    /// plan was configured — fault-free runs skip the consensus layer).
+    pub consensus: ConsensusStats,
     /// Percentile histograms and counters of superstep phases, transport
     /// activity and recovery work. Empty unless the cluster was configured
     /// with [`ClusterConfig::metrics`](crate::ClusterConfig::metrics);
@@ -404,6 +454,7 @@ impl RunStats {
         self.steps.clear();
         self.recovery = RecoveryStats::default();
         self.delivery = DeliveryStats::default();
+        self.consensus = ConsensusStats::default();
         self.metrics.clear();
         self.storage = StorageInfo::default();
     }
@@ -450,7 +501,8 @@ impl RunStats {
     /// makespans (compute and serialization) + measured communication and
     /// delivery-protocol time + the simulated network charge, plus the
     /// recovery overhead (checkpointing, retry backoff and rollback/replay
-    /// traffic) and the reliable-delivery overhead (retransmission
+    /// traffic), the reliable-delivery overhead (retransmission traffic)
+    /// and the control-plane overhead (election and log-replication
     /// traffic).
     pub fn simulated_parallel_time(&self) -> Duration {
         self.steps
@@ -459,6 +511,7 @@ impl RunStats {
             .sum::<Duration>()
             + self.recovery.overhead()
             + self.delivery.overhead()
+            + self.consensus.overhead()
     }
 
     /// Summed serialization time.
@@ -581,6 +634,7 @@ impl RunStats {
             )
             .set("recovery", self.recovery.to_json())
             .set("delivery", self.delivery.to_json())
+            .set("consensus", self.consensus.to_json())
             .set("metrics", self.metrics.to_json())
             .set(
                 "storage",
@@ -829,6 +883,43 @@ mod tests {
             r.delivery,
             DeliveryStats::default(),
             "clear resets delivery"
+        );
+    }
+
+    #[test]
+    fn consensus_overhead_feeds_simulated_time_and_json() {
+        let mut r = RunStats::default();
+        let mut s = StepStats::new(StepKind::VertexMap, 1);
+        s.compute_max = Duration::from_micros(100);
+        r.push(s);
+        let base = r.simulated_parallel_time();
+        r.consensus.elections = 2;
+        r.consensus.leader_crashes = 1;
+        r.consensus.entries_appended = 5;
+        r.consensus.entries_committed = 5;
+        r.consensus.accusations = 1;
+        r.consensus.election_net = Duration::from_micros(30);
+        r.consensus.commit_net = Duration::from_micros(20);
+        assert_eq!(r.consensus.overhead(), Duration::from_micros(50));
+        assert_eq!(
+            r.simulated_parallel_time(),
+            base + Duration::from_micros(50)
+        );
+        let j = r.summary_json();
+        let c = j.get("consensus").expect("summary carries consensus");
+        assert_eq!(c.get("elections").and_then(Json::as_u64), Some(2));
+        assert_eq!(c.get("leader_crashes").and_then(Json::as_u64), Some(1));
+        assert_eq!(c.get("entries_appended").and_then(Json::as_u64), Some(5));
+        assert_eq!(c.get("entries_committed").and_then(Json::as_u64), Some(5));
+        assert_eq!(c.get("accusations").and_then(Json::as_u64), Some(1));
+        assert_eq!(c.get("election_net_us").and_then(Json::as_u64), Some(30));
+        assert_eq!(c.get("commit_net_us").and_then(Json::as_u64), Some(20));
+        assert_eq!(c.get("overhead_us").and_then(Json::as_u64), Some(50));
+        r.clear();
+        assert_eq!(
+            r.consensus,
+            ConsensusStats::default(),
+            "clear resets consensus"
         );
     }
 

@@ -37,6 +37,9 @@ cargo run --release -q -p flash-bench --bin fig_lossy -- --smoke
 echo "==> consensus smoke (leader crashes + lying workers must be exact)"
 cargo run --release -q -p flash-bench --bin fig_consensus -- --smoke
 
+echo "==> durability smoke (cold restarts + torn/bitrot scrub fallback must be exact)"
+cargo run --release -q -p flash-bench --bin fig_durable -- --smoke
+
 echo "==> hot-path smoke (pooled-parallel vs fresh-serial must be bit-identical)"
 cargo run --release -q -p flash-bench --bin perf_hotpath -- --smoke
 

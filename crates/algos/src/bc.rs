@@ -27,6 +27,7 @@ pub struct BcVertex {
     pub b: f64,
 }
 flash_runtime::full_sync!(BcVertex);
+flash_runtime::durable_value!(BcVertex { level, num, b });
 
 /// Table II plan: all three properties cross vertex boundaries.
 pub fn plan() -> ProgramPlan {
@@ -76,7 +77,7 @@ pub fn run(
     root: VertexId,
 ) -> Result<AlgoOutput<Vec<f64>>, RuntimeError> {
     let mut ctx: FlashContext<BcVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| BcVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, |_| BcVertex {
             level: -1,
             num: 0.0,
             b: 0.0,

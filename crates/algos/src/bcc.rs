@@ -34,6 +34,7 @@ pub struct BccVertex {
     pub p: i64,
 }
 flash_runtime::full_sync!(BccVertex);
+flash_runtime::durable_value!(BccVertex { cid, d, dis, p });
 
 /// The result: per-vertex BCC label of the edge to the BFS parent
 /// (roots and isolated vertices get their own id), plus articulation
@@ -68,7 +69,7 @@ pub fn run(
     assert!(graph.is_symmetric(), "BCC needs an undirected graph");
     let g = Arc::clone(graph);
     let mut ctx: FlashContext<BccVertex> =
-        FlashContext::build(Arc::clone(graph), config, |v| BccVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, |v| BccVertex {
             cid: v,
             d: 0,
             dis: -1,

@@ -14,6 +14,7 @@ pub struct BfsVertex {
     pub dis: u32,
 }
 flash_runtime::full_sync!(BfsVertex);
+flash_runtime::durable_value!(BfsVertex { dis });
 
 /// The Table II access plan of BFS: `dis` is got and put on sparse-map
 /// targets, hence critical — which is why [`BfsVertex`] syncs fully.
@@ -33,7 +34,7 @@ pub fn run(
     root: VertexId,
 ) -> Result<AlgoOutput<Vec<u32>>, RuntimeError> {
     let mut ctx: FlashContext<BfsVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| BfsVertex { dis: INF })?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| BfsVertex { dis: INF })?;
 
     // FLASH-ALGORITHM-BEGIN: bfs
     let all = ctx.all();

@@ -23,6 +23,11 @@ pub struct BipVertex {
     pub conflict: bool,
 }
 flash_runtime::full_sync!(BipVertex);
+flash_runtime::durable_value!(BipVertex {
+    comp,
+    side,
+    conflict
+});
 
 /// The verdict: a 2-coloring when bipartite, or `None` with the conflict
 /// count when not.
@@ -60,7 +65,7 @@ pub fn run(
         "bipartiteness is an undirected notion"
     );
     let mut ctx: FlashContext<BipVertex> =
-        FlashContext::build(Arc::clone(graph), config, |v| BipVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, |v| BipVertex {
             comp: v,
             side: -1,
             conflict: false,

@@ -22,6 +22,7 @@ pub struct CcVertex {
     pub cc: u32,
 }
 flash_runtime::full_sync!(CcVertex);
+flash_runtime::durable_value!(CcVertex { cc });
 
 /// Table II plan: `cc` is read as dense source / written on sparse targets.
 pub fn plan() -> ProgramPlan {
@@ -38,7 +39,7 @@ pub fn run(
     config: ClusterConfig,
 ) -> Result<AlgoOutput<Vec<VertexId>>, RuntimeError> {
     let mut ctx: FlashContext<CcVertex> =
-        FlashContext::build(Arc::clone(graph), config, |v| CcVertex { cc: v })?;
+        FlashContext::build_durable(Arc::clone(graph), config, |v| CcVertex { cc: v })?;
 
     // FLASH-ALGORITHM-BEGIN: cc
     let mut u = ctx.vertex_map(&ctx.all(), |_, _| true, |v, val| val.cc = v);

@@ -68,6 +68,7 @@ impl VertexData for CcOptVertex {
         self.gp = c.gp;
     }
 }
+flash_runtime::durable_value!(CcOptVertex { p, f, s, gp, old });
 
 /// Table II plan for CC-opt: `p`, `f`, `s`, `gp` cross vertex boundaries in
 /// edge maps; `old` lives only in `VERTEXMAP`s.
@@ -186,7 +187,7 @@ pub fn run(
         graph.is_symmetric(),
         "connected components are defined on undirected (symmetric) graphs"
     );
-    let mut ctx: Ctx = FlashContext::build(Arc::clone(graph), config, |v| CcOptVertex {
+    let mut ctx: Ctx = FlashContext::build_durable(Arc::clone(graph), config, |v| CcOptVertex {
         p: v,
         f: v,
         s: false,

@@ -39,6 +39,7 @@ impl VertexData for ClVertex {
         c.bytes()
     }
 }
+flash_runtime::durable_value!(ClVertex { out });
 
 /// Table II plan for CL.
 pub fn plan() -> ProgramPlan {
@@ -78,7 +79,7 @@ pub fn run(
     assert!(k >= 3, "use vertex/edge counts for k < 3");
     let g = Arc::clone(graph);
     let mut ctx: FlashContext<ClVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| ClVertex::default())?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| ClVertex::default())?;
 
     // FLASH-ALGORITHM-BEGIN: clique
     let all = ctx.all();

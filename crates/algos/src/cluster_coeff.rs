@@ -41,6 +41,7 @@ impl VertexData for CcoefVertex {
         c.bytes()
     }
 }
+flash_runtime::durable_value!(CcoefVertex { out, tri });
 
 /// Table II plan.
 pub fn plan() -> ProgramPlan {
@@ -65,7 +66,7 @@ pub fn run(
     let g1 = Arc::clone(graph);
     let g2 = Arc::clone(graph);
     let mut ctx: FlashContext<CcoefVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| CcoefVertex::default())?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| CcoefVertex::default())?;
 
     // FLASH-ALGORITHM-BEGIN: cluster_coeff
     let all = ctx.all();

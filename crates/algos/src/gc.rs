@@ -39,6 +39,7 @@ impl VertexData for GcVertex {
         8 + 4 * self.colors.len()
     }
 }
+flash_runtime::durable_value!(GcVertex { c, cc, colors });
 
 /// Table II plan for GC.
 pub fn plan() -> ProgramPlan {
@@ -63,7 +64,7 @@ pub fn run(
     );
     let g = Arc::clone(graph);
     let mut ctx: FlashContext<GcVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| GcVertex::default())?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| GcVertex::default())?;
 
     // FLASH-ALGORITHM-BEGIN: gc
     let all = ctx.all();

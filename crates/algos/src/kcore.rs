@@ -21,6 +21,7 @@ pub struct KcoreVertex {
     pub core: u32,
 }
 flash_runtime::full_sync!(KcoreVertex);
+flash_runtime::durable_value!(KcoreVertex { d, core });
 
 /// Table II plan for k-core.
 pub fn plan() -> ProgramPlan {
@@ -43,7 +44,7 @@ pub fn run(
     );
     let g = Arc::clone(graph);
     let mut ctx: FlashContext<KcoreVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| KcoreVertex { d: 0, core: 0 })?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| KcoreVertex { d: 0, core: 0 })?;
 
     // FLASH-ALGORITHM-BEGIN: kcore
     let all = ctx.all();

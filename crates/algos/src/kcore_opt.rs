@@ -40,6 +40,7 @@ impl VertexData for KcoreOptVertex {
         std::mem::size_of::<u32>() + std::mem::size_of::<i64>() + self.c.len() * 4
     }
 }
+flash_runtime::durable_value!(KcoreOptVertex { core, cnt, c });
 
 /// Table II plan for optimized k-core.
 pub fn plan() -> ProgramPlan {
@@ -63,7 +64,7 @@ pub fn run(
     );
     let g = Arc::clone(graph);
     let mut ctx: FlashContext<KcoreOptVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| KcoreOptVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, |_| KcoreOptVertex {
             core: 0,
             cnt: 0,
             c: Vec::new(),

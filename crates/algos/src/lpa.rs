@@ -36,6 +36,7 @@ impl VertexData for LpaVertex {
         8 + 4 * self.set.len()
     }
 }
+flash_runtime::durable_value!(LpaVertex { c, cc, set });
 
 /// Table II plan for LPA.
 pub fn plan() -> ProgramPlan {
@@ -55,7 +56,7 @@ pub fn run(
     iters: usize,
 ) -> Result<AlgoOutput<Vec<u32>>, RuntimeError> {
     let mut ctx: FlashContext<LpaVertex> =
-        FlashContext::build(Arc::clone(graph), config, |v| LpaVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, |v| LpaVertex {
             c: v,
             cc: v,
             set: Vec::new(),

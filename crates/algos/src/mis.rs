@@ -24,6 +24,7 @@ pub struct MisVertex {
     pub r: u64,
 }
 flash_runtime::full_sync!(MisVertex);
+flash_runtime::durable_value!(MisVertex { d, b, r });
 
 /// Table II plan for MIS.
 pub fn plan() -> ProgramPlan {
@@ -45,7 +46,7 @@ pub fn run(
     let g = Arc::clone(graph);
     let n = graph.num_vertices() as u64;
     let mut ctx: FlashContext<MisVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| MisVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, |_| MisVertex {
             d: false,
             b: true,
             r: 0,

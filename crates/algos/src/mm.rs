@@ -20,6 +20,7 @@ pub struct MmVertex {
     pub p: i64,
 }
 flash_runtime::full_sync!(MmVertex);
+flash_runtime::durable_value!(MmVertex { s, p });
 
 /// Table II plan for MM.
 pub fn plan() -> ProgramPlan {
@@ -40,7 +41,7 @@ pub fn run(
 ) -> Result<AlgoOutput<MatchingResult>, RuntimeError> {
     assert!(graph.is_symmetric(), "matching needs an undirected graph");
     let mut ctx: FlashContext<MmVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| MmVertex { s: -1, p: -1 })?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| MmVertex { s: -1, p: -1 })?;
 
     // FLASH-ALGORITHM-BEGIN: mm
     let all = ctx.all();

@@ -25,6 +25,7 @@ pub struct MmOptVertex {
     pub p: i64,
 }
 flash_runtime::full_sync!(MmOptVertex);
+flash_runtime::durable_value!(MmOptVertex { s, p });
 
 /// Table II plan for MM-opt (same property footprint as MM, plus the
 /// virtual candidate edges).
@@ -46,7 +47,7 @@ pub fn run(
 ) -> Result<AlgoOutput<MatchingResult>, RuntimeError> {
     assert!(graph.is_symmetric(), "matching needs an undirected graph");
     let mut ctx: FlashContext<MmOptVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| MmOptVertex { s: -1, p: -1 })?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| MmOptVertex { s: -1, p: -1 })?;
 
     // FLASH-ALGORITHM-BEGIN: mm_opt
     let all = ctx.all();

@@ -19,6 +19,7 @@ use std::sync::Arc;
 #[derive(Clone, Default)]
 pub struct MsfVertex;
 flash_runtime::full_sync!(MsfVertex);
+flash_runtime::durable_value!(MsfVertex {});
 
 /// The result: forest edges and their total weight.
 #[derive(Debug, Clone)]
@@ -65,7 +66,7 @@ pub fn run(
     assert!(graph.is_symmetric(), "MSF needs an undirected graph");
     let n = graph.num_vertices();
     let mut ctx: FlashContext<MsfVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| MsfVertex)?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| MsfVertex)?;
 
     // FLASH-ALGORITHM-BEGIN: msf
     // Each worker runs Kruskal over its masters' edges (each undirected

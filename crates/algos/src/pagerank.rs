@@ -21,6 +21,7 @@ pub struct PrVertex {
     pub acc: f64,
 }
 flash_runtime::full_sync!(PrVertex);
+flash_runtime::durable_value!(PrVertex { rank, acc });
 
 /// Damping factor used throughout (the paper-standard 0.85).
 pub const DAMPING: f64 = 0.85;
@@ -45,7 +46,7 @@ pub fn run(
     let n = graph.num_vertices().max(1) as f64;
     let g = Arc::clone(graph);
     let mut ctx: FlashContext<PrVertex> =
-        FlashContext::build(Arc::clone(graph), config, move |_| PrVertex {
+        FlashContext::build_durable(Arc::clone(graph), config, move |_| PrVertex {
             rank: 1.0 / n,
             acc: 0.0,
         })?;

@@ -38,6 +38,7 @@ impl VertexData for RcVertex {
         c.bytes()
     }
 }
+flash_runtime::durable_value!(RcVertex { out, out_l, count });
 
 /// Table II plan for RC.
 pub fn plan() -> ProgramPlan {
@@ -59,7 +60,7 @@ pub fn run(graph: &Arc<Graph>, config: ClusterConfig) -> Result<AlgoOutput<u64>,
         "rectangle counting needs an undirected graph"
     );
     let mut ctx: FlashContext<RcVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| RcVertex::default())?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| RcVertex::default())?;
 
     // FLASH-ALGORITHM-BEGIN: rc
     let all = ctx.all();

@@ -24,6 +24,7 @@ pub struct SccVertex {
     pub fid: u32,
 }
 flash_runtime::full_sync!(SccVertex);
+flash_runtime::durable_value!(SccVertex { scc, fid });
 
 /// Table II plan for SCC.
 pub fn plan() -> ProgramPlan {
@@ -45,7 +46,7 @@ pub fn run(
     config: ClusterConfig,
 ) -> Result<AlgoOutput<Vec<VertexId>>, RuntimeError> {
     let mut ctx: FlashContext<SccVertex> =
-        FlashContext::build(Arc::clone(graph), config, |v| SccVertex { scc: -1, fid: v })?;
+        FlashContext::build_durable(Arc::clone(graph), config, |v| SccVertex { scc: -1, fid: v })?;
 
     // FLASH-ALGORITHM-BEGIN: scc
     let all = ctx.all();

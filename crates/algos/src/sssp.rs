@@ -19,6 +19,7 @@ pub struct SsspVertex {
     pub dis: f64,
 }
 flash_runtime::full_sync!(SsspVertex);
+flash_runtime::durable_value!(SsspVertex { dis });
 
 /// Table II plan for SSSP.
 pub fn plan() -> ProgramPlan {
@@ -35,9 +36,10 @@ pub fn run(
     config: ClusterConfig,
     root: VertexId,
 ) -> Result<AlgoOutput<Vec<f64>>, RuntimeError> {
-    let mut ctx: FlashContext<SsspVertex> = FlashContext::build(Arc::clone(graph), config, |_| {
-        SsspVertex { dis: f64::INFINITY }
-    })?;
+    let mut ctx: FlashContext<SsspVertex> =
+        FlashContext::build_durable(Arc::clone(graph), config, |_| SsspVertex {
+            dis: f64::INFINITY,
+        })?;
 
     // FLASH-ALGORITHM-BEGIN: sssp
     let all = ctx.all();

@@ -39,6 +39,7 @@ impl VertexData for TcVertex {
         c.bytes()
     }
 }
+flash_runtime::durable_value!(TcVertex { out, count });
 
 /// Table II plan for TC: the neighbor list is built on sparse targets and
 /// read again as edge endpoints — critical, exactly the serialization
@@ -61,7 +62,7 @@ pub fn run(graph: &Arc<Graph>, config: ClusterConfig) -> Result<AlgoOutput<u64>,
     let g1 = Arc::clone(graph);
     let g2 = Arc::clone(graph);
     let mut ctx: FlashContext<TcVertex> =
-        FlashContext::build(Arc::clone(graph), config, |_| TcVertex::default())?;
+        FlashContext::build_durable(Arc::clone(graph), config, |_| TcVertex::default())?;
 
     // FLASH-ALGORITHM-BEGIN: tc
     let all = ctx.all();

@@ -73,6 +73,20 @@ pub struct CliOptions {
     /// with a `ns`/`us`/`ms`/`s` suffix). Overrides the fault plan's
     /// `detector=` option; `None` defers to the plan.
     pub detector_timeout: Option<Duration>,
+    /// Durable checkpoint store directory (`--durable-dir DIR`): every
+    /// checkpoint plus the per-step delta log is committed to disk through
+    /// a crash-consistent two-phase commit. `None` keeps the store fully
+    /// inert.
+    pub durable_dir: Option<String>,
+    /// Resume from the durable store (`--resume`): load the newest valid
+    /// generation and continue bit-identically where a killed run left
+    /// off. Requires `--durable-dir`.
+    pub resume: bool,
+    /// Scripted cold-restart kill switch (`--halt-after N`): durable
+    /// persistence freezes at superstep `N` and the run reports a clean
+    /// `Halted` error, simulating a whole-process kill. Requires
+    /// `--durable-dir`.
+    pub halt_after: Option<u64>,
 }
 
 impl Default for CliOptions {
@@ -98,6 +112,9 @@ impl Default for CliOptions {
             metrics: false,
             storage: StorageMode::default(),
             detector_timeout: None,
+            durable_dir: None,
+            resume: false,
+            halt_after: None,
         }
     }
 }
@@ -217,6 +234,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     other => return Err(format!("unknown storage mode {other:?}")),
                 };
             }
+            "--durable-dir" => opts.durable_dir = Some(value_of(&arg, &mut it)?),
+            "--resume" => opts.resume = true,
+            "--halt-after" => {
+                opts.halt_after = Some(
+                    value_of(&arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--halt-after needs a superstep number".to_string())?,
+                );
+            }
             "--hotpath" => {
                 opts.hotpath = match value_of(&arg, &mut it)?.as_str() {
                     "pooled" | "pooled-parallel" => HotPath::PooledParallel,
@@ -244,6 +270,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     if opts.workers == 0 {
         return Err("--workers must be at least 1".to_string());
     }
+    if opts.durable_dir.is_none() && (opts.resume || opts.halt_after.is_some()) {
+        return Err("--resume and --halt-after require --durable-dir".to_string());
+    }
     Ok(opts)
 }
 
@@ -257,11 +286,13 @@ pub fn usage() -> String {
          \x20      [--hotpath pooled|fresh-serial] [--storage mem|block]\n\
          \x20      [--faults <plan>] [--checkpoint-every N|off]\n\
          \x20      [--detector-timeout D]\n\
+         \x20      [--durable-dir DIR] [--resume] [--halt-after N]\n\
          fault plans: comma-separated crash@STEP:wW[:xN], corrupt@STEP:wW[:xN],\n\
          \x20            straggle@STEP:wW:DELAY, die@STEP:wW, rejoin@STEP:wW,\n\
          \x20            drop@STEP:wW[:xN], dup@STEP:wW, reorder@STEP:wW,\n\
          \x20            leader@STEP (crash the elected coordinator),\n\
-         \x20            lie@STEP:wW (byzantine checksum mismatch)\n\
+         \x20            lie@STEP:wW (byzantine checksum mismatch),\n\
+         \x20            ioerr@STEP, torn@STEP, bitrot@STEP[:bB] (durable store)\n\
          \x20            plus retries=N, backoff=D, cap=D, detector=D, seed=N,\n\
          \x20            loss=P, dupRate=P, corruptRate=P options\n\
          \x20            (e.g. --faults drop@3:w1,loss=0.05,retries=4)\n\
@@ -311,6 +342,15 @@ pub fn cluster_config(opts: &CliOptions) -> ClusterConfig {
     }
     if let Some(d) = opts.detector_timeout {
         cfg = cfg.detector_timeout(d);
+    }
+    if let Some(dir) = &opts.durable_dir {
+        cfg = cfg.durable_dir(dir.clone());
+        if opts.resume {
+            cfg = cfg.resume();
+        }
+        if let Some(n) = opts.halt_after {
+            cfg = cfg.halt_after(n);
+        }
     }
     if opts.metrics {
         cfg = cfg.metrics();
@@ -675,9 +715,8 @@ mod tests {
 
     #[test]
     fn file_input_roundtrip() {
-        let dir = std::env::temp_dir().join("flash_cli_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("g.txt");
+        let guard = flash_graph::testutil::TempDirGuard::new("cli");
+        let path = guard.path().join("g.txt");
         std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
         let o = parse_args(args(&format!(
             "--algo tc --input {} --symmetric --workers 2",

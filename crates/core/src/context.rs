@@ -60,6 +60,43 @@ impl<V: VertexData> FlashContext<V> {
         })
     }
 
+    /// Builds a context with the default hash partitioner for a vertex
+    /// type the durable checkpoint store can serialize. Behaves exactly
+    /// like [`FlashContext::build`] when no `durable_dir` is configured
+    /// (the store stays fully inert); with one, checkpoints and per-step
+    /// deltas are committed to disk, and `config.durable_resume` resumes
+    /// a killed run bit-identically.
+    pub fn build_durable(
+        graph: Arc<Graph>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError>
+    where
+        V: flash_runtime::DurableValue,
+    {
+        let partition = PartitionMap::build(&graph, config.workers, &HashPartitioner)
+            .map_err(|_| RuntimeError::NoWorkers)?;
+        Self::with_partition_durable(graph, Arc::new(partition), config, init)
+    }
+
+    /// [`FlashContext::build_durable`] over an explicit partitioning.
+    pub fn with_partition_durable(
+        graph: Arc<Graph>,
+        partition: Arc<PartitionMap>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError>
+    where
+        V: flash_runtime::DurableValue,
+    {
+        let cluster = if config.durable_dir.is_some() {
+            Cluster::new_durable(graph, partition, config, init)?
+        } else {
+            Cluster::new(graph, partition, config, init)?
+        };
+        Ok(FlashContext { cluster })
+    }
+
     /// The shared graph.
     pub fn graph(&self) -> &Graph {
         self.cluster.graph()

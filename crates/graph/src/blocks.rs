@@ -4,18 +4,24 @@
 //!
 //! # File format (`FGB1`)
 //!
-//! A `.fgb` file is a 64-byte header followed by 8-aligned sections, all
-//! host-endian (an endianness marker in the header rejects foreign
+//! A `.fgb` file is a 128-byte header followed by 8-aligned sections,
+//! all host-endian (an endianness marker in the header rejects foreign
 //! files, which keeps the mmap reinterpretation sound):
 //!
 //! ```text
 //! header   magic "FGB1" · version u32 · endian u32 (0x01020304) ·
 //!          flags u32 (bit0 weighted, bit1 symmetric) · n u64 · m u64 ·
-//!          block_bits u32 · nb u32 · zero pad to 64 B
+//!          block_bits u32 · nb u32 · 7×u64 per-section FNV-1a
+//!          checksums · zero pad to 128 B
 //! sections out_offsets (n+1)×u64 · out_targets m×u32 (pad 8) ·
 //!          [out_weights m×f32 (pad 8)] · in_offsets · in_targets ·
 //!          [in_weights] · grid nb²×u64
 //! ```
+//!
+//! Version 2 added the checksum block (one FNV-1a hash per section, in
+//! file order, absent weight sections hashing as empty) and grew the
+//! header from 64 to 128 bytes; version-1 files are still readable but
+//! carry no content checksums.
 //!
 //! The `grid` section stores per-block arc counts in row-major
 //! `[source_block × nb + dest_block]` order, over out-edges.
@@ -39,11 +45,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 const MAGIC: &[u8; 4] = b"FGB1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const ENDIAN_MARK: u32 = 0x0102_0304;
-const HEADER_LEN: usize = 64;
+const HEADER_LEN_V1: usize = 64;
+const HEADER_LEN: usize = 128;
 const FLAG_WEIGHTED: u32 = 1;
 const FLAG_SYMMETRIC: u32 = 2;
+/// Sections covered by the v2 header checksums, in file order.
+const NUM_SECTIONS: usize = 7;
+/// Header offset of the first per-section checksum slot.
+const CHECKSUM_OFF: usize = 40;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
 
 /// Dense blocks cached per worker before FIFO eviction kicks in.
 const CACHE_BLOCKS: usize = 256;
@@ -131,12 +151,12 @@ struct Layout {
     total: usize,
 }
 
-fn layout(n: usize, m: usize, nb: usize, weighted: bool) -> Option<Layout> {
+fn layout(n: usize, m: usize, nb: usize, weighted: bool, header_len: usize) -> Option<Layout> {
     let offsets_sz = n.checked_add(1)?.checked_mul(8)?;
     let targets_sz = pad8(m.checked_mul(4)?);
     let weights_sz = if weighted { targets_sz } else { 0 };
     let grid_sz = nb.checked_mul(nb)?.checked_mul(8)?;
-    let out_offsets = HEADER_LEN;
+    let out_offsets = header_len;
     let out_targets = out_offsets.checked_add(offsets_sz)?;
     let out_weights = out_targets.checked_add(targets_sz)?;
     let in_offsets = out_weights.checked_add(weights_sz)?;
@@ -377,7 +397,12 @@ impl BlockHandle {
         let mut blocks = 0u64;
         let mut hits = 0u64;
         {
-            let mut caches = self.caches.lock().expect("block cache poisoned");
+            // A panicked kernel thread leaves only fully-applied cache
+            // entries behind, so the poisoned state is safe to adopt.
+            let mut caches = self
+                .caches
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let cache = caches.entry(worker).or_default();
             for &touch in touches {
                 let (_, sb, db) = touch;
@@ -450,8 +475,41 @@ fn write_weights<W: std::io::Write>(w: &mut W, weights: &[Weight]) -> std::io::R
     Ok(())
 }
 
+/// Forwards writes into the inner writer while folding every byte into
+/// an FNV-1a running hash, so [`write_blocks`] can stamp per-section
+/// checksums without buffering whole sections.
+struct HashingWriter<'a, W: std::io::Write> {
+    inner: &'a mut W,
+    hash: u64,
+}
+
+impl<'a, W: std::io::Write> HashingWriter<'a, W> {
+    fn new(inner: &'a mut W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.hash = buf.iter().fold(self.hash, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+        });
+        self.inner.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Writes `g` to `path` in the `.fgb` block format described in the
-/// module docs. The grid section is computed here with one edge scan.
+/// module docs. The grid section is computed here with one edge scan;
+/// per-section checksums are accumulated while streaming and patched
+/// into the header afterwards.
 pub fn write_blocks(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphError> {
     let n = g.num_vertices();
     let m = g.num_edges();
@@ -478,17 +536,37 @@ pub fn write_blocks(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphError>
     header[36..40].copy_from_slice(&(grid.nb as u32).to_ne_bytes());
     w.write_all(&header)?;
 
+    let mut sums = [0u64; NUM_SECTIONS];
+    let mut si = 0;
     for csr in [g.out_csr(), g.in_csr()] {
-        write_offsets(&mut w, csr.offsets())?;
-        write_targets(&mut w, csr.targets())?;
+        let mut hw = HashingWriter::new(&mut w);
+        write_offsets(&mut hw, csr.offsets())?;
+        sums[si] = hw.hash;
+        let mut hw = HashingWriter::new(&mut w);
+        write_targets(&mut hw, csr.targets())?;
+        sums[si + 1] = hw.hash;
+        let mut hw = HashingWriter::new(&mut w);
         if let Some(weights) = csr.weights() {
-            write_weights(&mut w, weights)?;
+            write_weights(&mut hw, weights)?;
         }
+        sums[si + 2] = hw.hash;
+        si += 3;
     }
+    let mut hw = HashingWriter::new(&mut w);
     for &c in &grid.edge_counts {
-        w.write_all(&c.to_ne_bytes())?;
+        hw.write_all(&c.to_ne_bytes())?;
     }
+    sums[si] = hw.hash;
+
     w.flush()?;
+    let mut file = w
+        .into_inner()
+        .map_err(std::io::IntoInnerError::into_error)?;
+    use std::io::Seek as _;
+    file.seek(std::io::SeekFrom::Start(CHECKSUM_OFF as u64))?;
+    for s in sums {
+        file.write_all(&s.to_ne_bytes())?;
+    }
     Ok(())
 }
 
@@ -500,12 +578,20 @@ fn bad(msg: impl Into<String>) -> GraphError {
     GraphError::BlockFormat(msg.into())
 }
 
-fn u32_at(bytes: &[u8], at: usize) -> u32 {
-    u32::from_ne_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+fn u32_at(bytes: &[u8], at: usize) -> Result<u32, GraphError> {
+    let raw = bytes
+        .get(at..at + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or_else(|| bad(format!("header field at {at} is past the end of the file")))?;
+    Ok(u32::from_ne_bytes(raw))
 }
 
-fn u64_at(bytes: &[u8], at: usize) -> u64 {
-    u64::from_ne_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+fn u64_at(bytes: &[u8], at: usize) -> Result<u64, GraphError> {
+    let raw = bytes
+        .get(at..at + 8)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .ok_or_else(|| bad(format!("header field at {at} is past the end of the file")))?;
+    Ok(u64::from_ne_bytes(raw))
 }
 
 /// Builds the `n + 1` offsets segment at `at`: a zero-copy view on
@@ -555,7 +641,7 @@ pub fn open_blocks(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
 fn open_blocks_impl(path: &Path, force_heap: bool) -> Result<Graph, GraphError> {
     let meta = std::fs::metadata(path)?;
     let file_len = usize::try_from(meta.len()).map_err(|_| bad("file too large for this host"))?;
-    if file_len < HEADER_LEN {
+    if file_len < HEADER_LEN_V1 {
         return Err(bad(format!("{file_len} bytes is shorter than the header")));
     }
     let buf = load_buffer(path, file_len, force_heap)?;
@@ -564,37 +650,66 @@ fn open_blocks_impl(path: &Path, force_heap: bool) -> Result<Graph, GraphError> 
     if &bytes[0..4] != MAGIC {
         return Err(bad("bad magic (not an FGB1 file)"));
     }
-    let version = u32_at(bytes, 4);
-    if version != VERSION {
-        return Err(bad(format!("unsupported version {version}")));
+    let version = u32_at(bytes, 4)?;
+    let header_len = match version {
+        1 => HEADER_LEN_V1,
+        2 => HEADER_LEN,
+        v => return Err(bad(format!("unsupported version {v}"))),
+    };
+    if file_len < header_len {
+        return Err(bad(format!(
+            "{file_len} bytes is shorter than the v{version} header"
+        )));
     }
-    if u32_at(bytes, 8) != ENDIAN_MARK {
+    if u32_at(bytes, 8)? != ENDIAN_MARK {
         return Err(bad("endianness mismatch (written on a different host)"));
     }
-    let flags = u32_at(bytes, 12);
+    let flags = u32_at(bytes, 12)?;
     if flags & !(FLAG_WEIGHTED | FLAG_SYMMETRIC) != 0 {
         return Err(bad(format!("unknown flags {flags:#x}")));
     }
     let weighted = flags & FLAG_WEIGHTED != 0;
     let symmetric = flags & FLAG_SYMMETRIC != 0;
-    let n = usize::try_from(u64_at(bytes, 16)).map_err(|_| bad("n overflows this host"))?;
-    let m = usize::try_from(u64_at(bytes, 24)).map_err(|_| bad("m overflows this host"))?;
+    let n = usize::try_from(u64_at(bytes, 16)?).map_err(|_| bad("n overflows this host"))?;
+    let m = usize::try_from(u64_at(bytes, 24)?).map_err(|_| bad("m overflows this host"))?;
     if n >= u32::MAX as usize {
         return Err(bad(format!("{n} vertices exceeds the u32 id space")));
     }
-    let block_bits = u32_at(bytes, 32);
-    let nb = u32_at(bytes, 36) as usize;
+    let block_bits = u32_at(bytes, 32)?;
+    let nb = u32_at(bytes, 36)? as usize;
     if block_bits >= usize::BITS || nb == 0 || nb != n.div_ceil(1usize << block_bits).max(1) {
         return Err(bad(format!(
             "inconsistent grid geometry (block_bits {block_bits}, nb {nb}, n {n})"
         )));
     }
-    let lay = layout(n, m, nb, weighted).ok_or_else(|| bad("section layout overflows"))?;
+    let lay =
+        layout(n, m, nb, weighted, header_len).ok_or_else(|| bad("section layout overflows"))?;
     if lay.total != file_len {
         return Err(bad(format!(
             "expected {} bytes for n={n} m={m}, file has {file_len}",
             lay.total
         )));
+    }
+
+    if version >= 2 {
+        let sections = [
+            ("out_offsets", lay.out_offsets, lay.out_targets),
+            ("out_targets", lay.out_targets, lay.out_weights),
+            ("out_weights", lay.out_weights, lay.in_offsets),
+            ("in_offsets", lay.in_offsets, lay.in_targets),
+            ("in_targets", lay.in_targets, lay.in_weights),
+            ("in_weights", lay.in_weights, lay.grid),
+            ("grid", lay.grid, lay.total),
+        ];
+        for (i, (name, start, end)) in sections.into_iter().enumerate() {
+            let want = u64_at(bytes, CHECKSUM_OFF + i * 8)?;
+            let got = fnv1a(&bytes[start..end]);
+            if want != got {
+                return Err(bad(format!(
+                    "{name} section checksum mismatch (stored {want:#018x}, computed {got:#018x})"
+                )));
+            }
+        }
     }
 
     let grid_raw: Segment<u64> = Segment::mapped(Arc::clone(&buf), lay.grid, nb * nb);
@@ -629,12 +744,7 @@ mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
     use crate::generators;
-
-    fn temp_path(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("flash-blocks-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).expect("temp dir");
-        dir.join(name)
-    }
+    use crate::testutil::TempDirGuard;
 
     fn assert_bit_identical(a: &Graph, b: &Graph) {
         assert_eq!(a.num_vertices(), b.num_vertices());
@@ -651,7 +761,8 @@ mod tests {
     }
 
     fn round_trip(g: &Graph, name: &str) {
-        let path = temp_path(name);
+        let guard = TempDirGuard::new("blocks");
+        let path = guard.path().join(name);
         write_blocks(g, &path).expect("write");
         for force_heap in [false, true] {
             let back = open_blocks_impl(&path, force_heap).expect("open");
@@ -668,7 +779,6 @@ mod tests {
                 assert!(back.mapped_bytes() > 0 || g.num_edges() == 0);
             }
         }
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -708,7 +818,8 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_truncation() {
-        let path = temp_path("garbage.fgb");
+        let guard = TempDirGuard::new("blocks");
+        let path = guard.path().join("garbage.fgb");
         std::fs::write(
             &path,
             b"not a block file at all, padded to 64+ bytes ....................",
@@ -732,7 +843,67 @@ mod tests {
             open_blocks_impl(&path, true),
             Err(GraphError::BlockFormat(_))
         ));
-        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn detects_section_bitrot_via_checksums() {
+        let guard = TempDirGuard::new("blocks");
+        let path = guard.path().join("bitrot.fgb");
+        let g = generators::with_random_weights(&generators::erdos_renyi(100, 500, 5), 0.5, 2.0, 6);
+        write_blocks(&g, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // A flipped bit anywhere in the body lands in exactly one section
+        // and must trip that section's checksum before anything parses.
+        for at in [
+            HEADER_LEN,
+            HEADER_LEN + 9,
+            (HEADER_LEN + full.len()) / 2,
+            full.len() - 1,
+        ] {
+            let mut rotten = full.clone();
+            rotten[at] ^= 0x40;
+            std::fs::write(&path, &rotten).unwrap();
+            match open_blocks_impl(&path, true) {
+                Err(GraphError::BlockFormat(msg)) => {
+                    assert!(
+                        msg.contains("checksum"),
+                        "byte {at}: unexpected error {msg}"
+                    )
+                }
+                other => panic!("byte {at}: expected checksum error, got {other:?}"),
+            }
+        }
+        std::fs::write(&path, &full).unwrap();
+        assert_bit_identical(&g, &open_blocks_impl(&path, true).unwrap());
+    }
+
+    #[test]
+    fn still_reads_version_1_files() {
+        // Synthesize a v1 file from the v2 writer's output: same fields,
+        // no checksum block, 64-byte header.
+        let guard = TempDirGuard::new("blocks");
+        let g = generators::erdos_renyi(50, 200, 3);
+        let p2 = guard.path().join("v2.fgb");
+        write_blocks(&g, &p2).unwrap();
+        let full = std::fs::read(&p2).unwrap();
+        let mut v1 = full[..CHECKSUM_OFF].to_vec();
+        v1.resize(HEADER_LEN_V1, 0);
+        v1[4..8].copy_from_slice(&1u32.to_ne_bytes());
+        v1.extend_from_slice(&full[HEADER_LEN..]);
+        let p1 = guard.path().join("v1.fgb");
+        std::fs::write(&p1, &v1).unwrap();
+        for force_heap in [false, true] {
+            assert_bit_identical(&g, &open_blocks_impl(&p1, force_heap).unwrap());
+        }
+        // Unknown future versions are still rejected.
+        let mut v9 = full.clone();
+        v9[4..8].copy_from_slice(&9u32.to_ne_bytes());
+        let p9 = guard.path().join("v9.fgb");
+        std::fs::write(&p9, &v9).unwrap();
+        assert!(matches!(
+            open_blocks_impl(&p9, true),
+            Err(GraphError::BlockFormat(_))
+        ));
     }
 
     #[test]
@@ -763,7 +934,8 @@ mod tests {
     #[test]
     fn replay_charges_misses_hits_and_sparse_bypass() {
         let g = generators::erdos_renyi(20_000, 400_000, 17);
-        let path = temp_path("replay.fgb");
+        let guard = TempDirGuard::new("blocks");
+        let path = guard.path().join("replay.fgb");
         write_blocks(&g, &path).unwrap();
         let back = open_blocks_impl(&path, true).unwrap();
         let handle = back.block_handle().unwrap();

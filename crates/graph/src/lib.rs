@@ -51,6 +51,8 @@ pub mod io;
 pub mod partition;
 pub mod rng;
 pub mod stats;
+#[doc(hidden)]
+pub mod testutil;
 
 pub use bitset::BitSet;
 pub use blocks::{open_blocks, write_blocks, BlockGrid, BlockHandle, BlockTouch, StreamSnapshot};

@@ -1,0 +1,74 @@
+//! Test-only filesystem helpers shared across the workspace.
+//!
+//! Hidden from docs: nothing here is part of the public API surface; the
+//! module is `pub` only so downstream crates' test suites can reuse it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory, removed on drop.
+///
+/// Ad-hoc `std::env::temp_dir().join("fixed-name")` directories collide
+/// between concurrently running tests (and between repeated runs that
+/// crashed before cleanup). The guard's name folds in the process id and
+/// a process-wide counter, so every instantiation — across threads and
+/// across test binaries — gets its own directory, and `Drop` removes the
+/// whole tree even when the test fails an assertion.
+///
+/// ```
+/// use flash_graph::testutil::TempDirGuard;
+/// let dir = TempDirGuard::new("doc-example");
+/// std::fs::write(dir.path().join("probe"), b"x").unwrap();
+/// ```
+pub struct TempDirGuard {
+    path: PathBuf,
+}
+
+impl TempDirGuard {
+    /// Creates `$TMPDIR/flash-<label>-<pid>-<seq>`, pre-created and empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created — in a test helper a
+    /// loud failure beats silently writing into a shared location.
+    #[allow(clippy::expect_used)]
+    pub fn new(label: &str) -> Self {
+        let seq = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("flash-{label}-{}-{seq}", std::process::id()));
+        // A stale dir with the same name can only be ours (pid + seq), so
+        // clear it rather than failing.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDirGuard { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_cleaned_up() {
+        let a = TempDirGuard::new("guard");
+        let b = TempDirGuard::new("guard");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("probe"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropped guard removes its tree");
+    }
+}

@@ -345,6 +345,39 @@ pub enum EventKind {
         /// The checksum the accused worker reported.
         observed: u64,
     },
+    /// The durable checkpoint store committed a generation to disk
+    /// (tmp + fsync + atomic rename) — only after this does the
+    /// `CheckpointCommit` consensus entry replicate.
+    CheckpointDurable {
+        /// The generation number committed.
+        generation: u64,
+        /// The superstep the generation's checkpoint frame precedes.
+        step: u64,
+        /// Frames in the generation file (checkpoint + delta tail).
+        frames: u64,
+        /// Bytes written and fsynced for this commit.
+        bytes: u64,
+    },
+    /// The scrub pass at open found a damaged generation (bad frame
+    /// checksum, truncation, or unreadable header) and skipped it.
+    CheckpointScrubbed {
+        /// The damaged generation number.
+        generation: u64,
+        /// What the scrub found: e.g. `"frame checksum mismatch"`,
+        /// `"truncated mid-frame"`.
+        reason: String,
+        /// Whether an older valid generation was available to fall back
+        /// to (`false` means the store degraded to `DurabilityLost`).
+        fallback: bool,
+    },
+    /// A durable write or fsync failed (injected `ioerr@` fault): the
+    /// commit was skipped and the store self-heals on its next write.
+    DurableIoError {
+        /// The superstep whose durable write failed.
+        step: u64,
+        /// The failed operation: `"checkpoint"` or `"delta"`.
+        op: String,
+    },
     /// A run finished (emitted by `Cluster::take_stats`).
     RunEnd {
         /// Supersteps executed.
@@ -383,6 +416,9 @@ impl EventKind {
             EventKind::LeaderElected { .. } => "leader_elected",
             EventKind::LogCommitted { .. } => "log_committed",
             EventKind::WorkerAccused { .. } => "worker_accused",
+            EventKind::CheckpointDurable { .. } => "checkpoint_durable",
+            EventKind::CheckpointScrubbed { .. } => "checkpoint_scrubbed",
+            EventKind::DurableIoError { .. } => "durable_io_error",
             EventKind::RunEnd { .. } => "run_end",
         }
     }
@@ -669,6 +705,27 @@ impl Event {
                 .set("quorum", *quorum)
                 .set("expected", *expected)
                 .set("observed", *observed),
+            EventKind::CheckpointDurable {
+                generation,
+                step,
+                frames,
+                bytes,
+            } => base
+                .set("generation", *generation)
+                .set("step", *step)
+                .set("frames", *frames)
+                .set("bytes", *bytes),
+            EventKind::CheckpointScrubbed {
+                generation,
+                reason,
+                fallback,
+            } => base
+                .set("generation", *generation)
+                .set("reason", reason.as_str())
+                .set("fallback", *fallback),
+            EventKind::DurableIoError { step, op } => {
+                base.set("step", *step).set("op", op.as_str())
+            }
             EventKind::RunEnd {
                 supersteps,
                 total_bytes,
@@ -876,6 +933,32 @@ impl Event {
                 observed,
             } => format!(
                 "[{:>4}] step {step} worker {worker} accused of lying by {accusers} replicas (quorum {quorum}): checksum {observed:#x} != {expected:#x}",
+                self.seq
+            ),
+            EventKind::CheckpointDurable {
+                generation,
+                step,
+                frames,
+                bytes,
+            } => format!(
+                "[{:>4}] step {step} durable gen {generation} committed: {frames} frame(s), {bytes}B fsynced",
+                self.seq
+            ),
+            EventKind::CheckpointScrubbed {
+                generation,
+                reason,
+                fallback,
+            } => format!(
+                "[{:>4}] scrub: gen {generation} damaged ({reason}); {}",
+                self.seq,
+                if *fallback {
+                    "falling back to previous generation"
+                } else {
+                    "no valid generation remains"
+                }
+            ),
+            EventKind::DurableIoError { step, op } => format!(
+                "[{:>4}] step {step} durable {op} write failed (injected ioerr); commit skipped",
                 self.seq
             ),
             EventKind::RunEnd {
@@ -1107,6 +1190,24 @@ mod tests {
                 observed: 0,
             }
             .tag(),
+            EventKind::CheckpointDurable {
+                generation: 0,
+                step: 0,
+                frames: 0,
+                bytes: 0,
+            }
+            .tag(),
+            EventKind::CheckpointScrubbed {
+                generation: 0,
+                reason: String::new(),
+                fallback: false,
+            }
+            .tag(),
+            EventKind::DurableIoError {
+                step: 0,
+                op: String::new(),
+            }
+            .tag(),
             EventKind::RunEnd {
                 supersteps: 0,
                 total_bytes: 0,
@@ -1118,6 +1219,68 @@ mod tests {
         ];
         let unique: std::collections::BTreeSet<_> = tags.iter().collect();
         assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn durable_events_render_and_round_trip() {
+        let events = [
+            Event {
+                seq: 0,
+                kind: EventKind::CheckpointDurable {
+                    generation: 3,
+                    step: 8,
+                    frames: 5,
+                    bytes: 4096,
+                },
+            },
+            Event {
+                seq: 1,
+                kind: EventKind::CheckpointScrubbed {
+                    generation: 3,
+                    reason: "frame checksum mismatch".into(),
+                    fallback: true,
+                },
+            },
+            Event {
+                seq: 2,
+                kind: EventKind::DurableIoError {
+                    step: 4,
+                    op: "checkpoint".into(),
+                },
+            },
+        ];
+        let j = events[0].to_json();
+        assert_eq!(
+            j.get("event").and_then(Json::as_str),
+            Some("checkpoint_durable")
+        );
+        assert_eq!(j.get("generation").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("frames").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("bytes").and_then(Json::as_u64), Some(4096));
+        let j = events[1].to_json();
+        assert_eq!(
+            j.get("event").and_then(Json::as_str),
+            Some("checkpoint_scrubbed")
+        );
+        assert_eq!(
+            j.get("reason").and_then(Json::as_str),
+            Some("frame checksum mismatch")
+        );
+        assert_eq!(j.get("fallback").and_then(Json::as_bool), Some(true));
+        let j = events[2].to_json();
+        assert_eq!(
+            j.get("event").and_then(Json::as_str),
+            Some("durable_io_error")
+        );
+        assert_eq!(j.get("op").and_then(Json::as_str), Some("checkpoint"));
+        for e in &events {
+            let parsed = json::parse(&e.to_json().to_string()).expect("round-trip");
+            assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(e.seq));
+            assert!(!e.to_text().is_empty());
+        }
+        assert!(events[0].to_text().contains("gen 3"));
+        assert!(events[1].to_text().contains("falling back"));
+        assert!(events[2].to_text().contains("ioerr"));
     }
 
     #[test]

@@ -84,6 +84,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`, when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, when it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

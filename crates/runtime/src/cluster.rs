@@ -7,6 +7,7 @@ use crate::config::{
 };
 use crate::consensus::{checksum_quorum, Consensus, LogEntryKind};
 use crate::ctx::WorkerCtx;
+use crate::durable::{DiskWrite, DurableSession, DurableValue, ScrubReport};
 use crate::error::RuntimeError;
 use crate::fault::{payload_checksum, FaultInjector, FaultKind, FaultSpec};
 use crate::par::{parallel_ranges, parallel_scratch_chunks};
@@ -73,6 +74,18 @@ pub struct Cluster<V: VertexData> {
     /// Terminal recovery failure: set once the retry budget of some
     /// superstep is exhausted, surfaced via [`Cluster::fault_error`].
     failed: Option<RuntimeError>,
+    /// Durable checkpoint store session, present only when the cluster was
+    /// built through [`Cluster::new_durable`] / [`Cluster::resume`] with a
+    /// `durable_dir` configured. `None` keeps every durable hook inert —
+    /// runs without the store execute byte-identically to before it
+    /// existed (DESIGN.md §15).
+    durable: Option<DurableSession<V>>,
+    /// Whether an `ioerr@` disk fault fired for the current superstep: the
+    /// durable write(s) of this step fail and their commits are skipped.
+    disk_ioerr: bool,
+    /// At-rest damage (`torn@`/`bitrot@`) to apply to the newest committed
+    /// generation at this superstep's end: `(kind, byte offset, mask)`.
+    disk_damage: Vec<(FaultKind, u64, u8)>,
     /// Pooled per-superstep scratch buffers, reused clear-don't-drop across
     /// supersteps under [`HotPath::PooledParallel`] (DESIGN.md §11).
     buffers: StepBuffers<V>,
@@ -92,6 +105,84 @@ impl<V: VertexData> Cluster<V> {
         partition: Arc<PartitionMap>,
         config: ClusterConfig,
         init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError> {
+        if config.durable_dir.is_some() {
+            return Err(RuntimeError::Storage(
+                "durable_dir is configured but this constructor cannot serialize vertex \
+                 state; build the cluster through Cluster::new_durable (the vertex type \
+                 must implement DurableValue)"
+                    .into(),
+            ));
+        }
+        Self::new_inner(graph, partition, config, init, None, Vec::new())
+    }
+
+    /// Builds a cluster with the durable checkpoint store attached
+    /// (`config.durable_dir` must be set): every checkpoint plus the
+    /// per-step delta log is committed to disk through a crash-consistent
+    /// two-phase commit, so a killed run can be resumed bit-identically by
+    /// [`Cluster::resume`]. With `config.durable_resume` set, this *opens*
+    /// the store instead of starting it fresh.
+    pub fn new_durable(
+        graph: Arc<Graph>,
+        partition: Arc<PartitionMap>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError>
+    where
+        V: DurableValue,
+    {
+        let Some(dir) = config.durable_dir.clone() else {
+            return Err(RuntimeError::Storage(
+                "Cluster::new_durable requires config.durable_dir".into(),
+            ));
+        };
+        if config.checkpoint_disabled {
+            return Err(RuntimeError::Storage(
+                "the durable store persists at checkpoint boundaries; checkpoint_off \
+                 conflicts with durable_dir"
+                    .into(),
+            ));
+        }
+        let workers = config.workers;
+        let vertices = graph.num_vertices();
+        let halt = config.durable_halt_after;
+        let (session, scrubs) = if config.durable_resume {
+            DurableSession::open(&dir, workers, vertices, halt, V::encode, V::decode)?
+        } else {
+            (
+                DurableSession::create(&dir, workers, vertices, halt, V::encode, V::decode)?,
+                Vec::new(),
+            )
+        };
+        Self::new_inner(graph, partition, config, init, Some(session), scrubs)
+    }
+
+    /// Resumes a killed run from the durable checkpoint store in
+    /// `config.durable_dir`: the scrub pass loads the newest valid
+    /// generation (falling back past damaged ones), the loaded checkpoint
+    /// and delta log replay as the driver re-executes, and the run
+    /// continues bit-identically to an uninterrupted one.
+    pub fn resume(
+        graph: Arc<Graph>,
+        partition: Arc<PartitionMap>,
+        mut config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+    ) -> Result<Self, RuntimeError>
+    where
+        V: DurableValue,
+    {
+        config.durable_resume = true;
+        Self::new_durable(graph, partition, config, init)
+    }
+
+    fn new_inner(
+        graph: Arc<Graph>,
+        partition: Arc<PartitionMap>,
+        config: ClusterConfig,
+        init: impl Fn(VertexId) -> V,
+        durable: Option<DurableSession<V>>,
+        scrubs: Vec<ScrubReport>,
     ) -> Result<Self, RuntimeError> {
         if config.workers == 0 {
             return Err(RuntimeError::NoWorkers);
@@ -138,9 +229,11 @@ impl<V: VertexData> Cluster<V> {
         // forces periodic checkpointing on even if the config left the
         // interval at 0 (the `faults` builder normally sets it already) —
         // unless the config explicitly opted out via `checkpoint_off`.
+        // (The durable store likewise persists at checkpoint boundaries,
+        // so it forces the interval on the same way.)
         let checkpoint_every = if config.checkpoint_disabled {
             0
-        } else if config.checkpoint_every == 0 && injector.is_some() {
+        } else if config.checkpoint_every == 0 && (injector.is_some() || durable.is_some()) {
             DEFAULT_CHECKPOINT_INTERVAL as u64
         } else {
             config.checkpoint_every as u64
@@ -167,6 +260,9 @@ impl<V: VertexData> Cluster<V> {
             recovery: RecoveryLog::new(),
             checkpoint_every,
             failed: None,
+            durable,
+            disk_ioerr: false,
+            disk_damage: Vec::new(),
             buffers: StepBuffers::new(),
             stream_mark,
         };
@@ -218,6 +314,30 @@ impl<V: VertexData> Cluster<V> {
         // it — and `leader@0` has someone to crash.
         let live = cluster.partition.live_hosts();
         cluster.elect_leader(0, &live);
+        // Surface what the resume-time scrub pass found: each damaged
+        // generation is one event (and one fallback hop when an older
+        // generation remained to fall back to).
+        for report in scrubs {
+            cluster.stats.durability.scrub_repairs += 1;
+            if report.fallback {
+                cluster.stats.durability.fallbacks += 1;
+            }
+            cluster.emit(EventKind::CheckpointScrubbed {
+                generation: report.generation,
+                reason: report.reason,
+                fallback: report.fallback,
+            });
+        }
+        // Scripted faults wholly before the resume frontier already fired
+        // in the killed run; spending them keeps a resumed run from
+        // re-firing them *after* the frontier (where `step <= now` would
+        // otherwise match). Within the replayed prefix the loaded frames
+        // are authoritative anyway.
+        if let Some(frontier) = cluster.durable.as_ref().and_then(|d| d.resume_frontier()) {
+            if let Some(inj) = &mut cluster.injector {
+                inj.drain_through(frontier);
+            }
+        }
         Ok(cluster)
     }
 
@@ -451,6 +571,7 @@ impl<V: VertexData> Cluster<V> {
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
         self.maybe_rejoin();
+        self.poll_disk_faults();
         self.maybe_checkpoint();
         let step_id = self.next_step;
         self.emit(EventKind::StepStart {
@@ -491,7 +612,7 @@ impl<V: VertexData> Cluster<V> {
         stats.communicate = t1.elapsed();
 
         self.sync_mirrors(&updated, scope, &mut stats);
-        self.record_delta(&updated);
+        self.record_delta(&mut updated);
         self.finish_step(stats);
         StepOutput {
             per_worker,
@@ -512,6 +633,7 @@ impl<V: VertexData> Cluster<V> {
         f: impl Fn(&mut WorkerCtx<'_, V>) -> Out + Sync,
     ) -> StepOutput<Out> {
         self.maybe_rejoin();
+        self.poll_disk_faults();
         self.maybe_checkpoint();
         let step_id = self.next_step;
         self.emit(EventKind::StepStart {
@@ -569,7 +691,7 @@ impl<V: VertexData> Cluster<V> {
         }
 
         self.sync_mirrors(&updated, scope, &mut stats);
-        self.record_delta(&updated);
+        self.record_delta(&mut updated);
         self.finish_step(stats);
         StepOutput {
             per_worker,
@@ -717,6 +839,57 @@ impl<V: VertexData> Cluster<V> {
         if !due {
             return;
         }
+        // Durable store first: on a resumed run the loaded checkpoint
+        // frame is authoritative (it overwrites the re-executed state
+        // before the snapshot below captures it), and on a live run the
+        // two-phase commit must land *before* the consensus
+        // CheckpointCommit — the replicated log never commits a
+        // generation whose bytes are not durable. A failed write skips
+        // the whole checkpoint (install, stats, consensus): the interval
+        // logic then retries at the very next superstep, and the store
+        // self-heals by rewriting the full generation.
+        if self.durable.is_some() {
+            let step = self.next_step;
+            let ioerr = self.disk_ioerr;
+            let mut outcome = Ok(DiskWrite::None);
+            if let Some(d) = self.durable.as_mut() {
+                outcome =
+                    d.on_checkpoint(step, &mut self.states, ioerr, &mut self.stats.durability);
+                debug_assert!(
+                    d.last_apply_matched,
+                    "resumed re-execution diverged from the durable log at the step-{step} \
+                     checkpoint"
+                );
+            }
+            match outcome {
+                Ok(DiskWrite::None) => {}
+                Ok(DiskWrite::Committed {
+                    generation,
+                    frames,
+                    bytes,
+                }) => {
+                    self.emit(EventKind::CheckpointDurable {
+                        generation,
+                        step,
+                        frames,
+                        bytes,
+                    });
+                }
+                Ok(DiskWrite::Failed { op }) => {
+                    self.emit(EventKind::DurableIoError {
+                        step,
+                        op: op.to_string(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    if self.failed.is_none() {
+                        self.failed = Some(e);
+                    }
+                    return;
+                }
+            }
+        }
         let cp = Checkpoint::capture(self.next_step, &self.states, &self.partition);
         self.stats.recovery.checkpoints += 1;
         self.stats.recovery.checkpoint_bytes += cp.bytes;
@@ -749,9 +922,100 @@ impl<V: VertexData> Cluster<V> {
         self.recovery.install(cp);
     }
 
+    /// Consumes the disk-fault specs armed for the superstep about to run
+    /// (`ioerr@`/`torn@`/`bitrot@`), splitting them into the write-failure
+    /// flag the durable hooks consult and the at-rest damage
+    /// [`Cluster::record_delta`] applies at the step's end. Inert without
+    /// a durable store — the specs would have nothing to hit.
+    fn poll_disk_faults(&mut self) {
+        self.disk_ioerr = false;
+        if self.durable.is_none() {
+            return;
+        }
+        let step = self.next_step;
+        let specs = match &mut self.injector {
+            Some(inj) => inj.disk_faults(step),
+            None => Vec::new(),
+        };
+        for spec in specs {
+            self.emit(EventKind::FaultInjected {
+                step,
+                worker: spec.worker,
+                kind: spec.kind.label().to_string(),
+                attempt: 0,
+            });
+            if spec.kind == FaultKind::Ioerr {
+                self.disk_ioerr = true;
+            } else {
+                // The mask is a seeded nonzero byte, so a bitrot flip is
+                // guaranteed to actually change the file.
+                let mask = match &mut self.injector {
+                    Some(inj) => (inj.corruption_nonce() % 255 + 1) as u8,
+                    None => 1,
+                };
+                self.disk_damage.push((spec.kind, spec.byte, mask));
+            }
+        }
+    }
+
     /// Appends the superstep's published writes to the redo log (only
-    /// while a fault plan is active — fault-free runs pay nothing).
-    fn record_delta(&mut self, updated: &[Vec<VertexId>]) {
+    /// while a fault plan is active — fault-free runs pay nothing), after
+    /// feeding them through the durable store's delta hook. On a resumed
+    /// run the loaded delta frame is authoritative: it overwrites both the
+    /// re-executed state and the `updated` lists, so the driver's control
+    /// flow continues exactly as the killed run's did.
+    fn record_delta(&mut self, updated: &mut Vec<Vec<VertexId>>) {
+        if self.durable.is_some() {
+            let step = self.next_step;
+            let ioerr = self.disk_ioerr;
+            let mut outcome = Ok(DiskWrite::None);
+            if let Some(d) = self.durable.as_mut() {
+                outcome = d.on_delta(
+                    step,
+                    &mut self.states,
+                    updated,
+                    ioerr,
+                    &mut self.stats.durability,
+                );
+                debug_assert!(
+                    d.last_apply_matched,
+                    "resumed re-execution diverged from the durable log at step {step}"
+                );
+            }
+            match outcome {
+                Ok(DiskWrite::Failed { op }) => {
+                    self.emit(EventKind::DurableIoError {
+                        step,
+                        op: op.to_string(),
+                    });
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    if self.failed.is_none() {
+                        self.failed = Some(e);
+                    }
+                }
+            }
+            // At-rest damage lands at the end of the step, after the
+            // writes it is scripted to corrupt, and wedges the store so
+            // no later rewrite masks it.
+            let damage = std::mem::take(&mut self.disk_damage);
+            if let Some(d) = self.durable.as_mut() {
+                for (kind, byte, mask) in damage {
+                    d.damage(kind, byte, mask);
+                }
+                // The scripted kill switch: persistence froze at this
+                // step, so the in-memory run from here on is doomed work
+                // a real kill would lose — the run degrades to a clean
+                // `Halted` while compute continues deterministically
+                // (the QuorumLost degradation pattern).
+                if let Some(k) = d.halted_at() {
+                    if self.failed.is_none() {
+                        self.failed = Some(RuntimeError::Halted { step: k });
+                    }
+                }
+            }
+        }
         if self.injector.is_some() {
             self.recovery
                 .record(StepDelta::capture(&self.states, updated));
@@ -1069,18 +1333,23 @@ impl<V: VertexData> Cluster<V> {
                         detected.push(spec);
                     }
                 }
-                // Stragglers, rejoins, channel faults and the consensus
-                // faults never surface here: `failures()` filters them out
-                // (channel faults are handled below the barrier by the
-                // transport; leader crashes and lies have their own quorum
-                // paths in `compute_with_recovery`).
+                // Stragglers, rejoins, channel faults, the consensus
+                // faults and the disk faults never surface here:
+                // `failures()` filters them out (channel faults are
+                // handled below the barrier by the transport; leader
+                // crashes and lies have their own quorum paths in
+                // `compute_with_recovery`; disk faults hit the durable
+                // store through `poll_disk_faults`).
                 FaultKind::Straggler
                 | FaultKind::Rejoin
                 | FaultKind::Drop
                 | FaultKind::Duplicate
                 | FaultKind::Reorder
                 | FaultKind::Leader
-                | FaultKind::Lie => {}
+                | FaultKind::Lie
+                | FaultKind::Ioerr
+                | FaultKind::Torn
+                | FaultKind::Bitrot => {}
             }
         }
         detected

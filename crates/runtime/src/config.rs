@@ -142,6 +142,23 @@ pub struct ClusterConfig {
     /// falls back to the fault plan's `detector=` option (default
     /// [`crate::fault::DEFAULT_DETECTOR_TIMEOUT`]); `Some` wins over both.
     pub detector_timeout: Option<Duration>,
+    /// Directory for the durable checkpoint store ([`crate::durable`]);
+    /// `None` keeps the store fully inert (the default — no durable code
+    /// runs at all). Requires constructing the cluster through the
+    /// durable-aware constructors, because the vertex type must implement
+    /// [`crate::durable::DurableValue`].
+    pub durable_dir: Option<std::path::PathBuf>,
+    /// Resume from the durable store instead of starting fresh: the
+    /// newest valid generation in [`durable_dir`](Self::durable_dir) is
+    /// loaded and replayed, continuing bit-identically where the killed
+    /// run left off. Ignored without a durable directory.
+    pub durable_resume: bool,
+    /// Scripted cold-restart kill switch: durable persistence freezes at
+    /// the first superstep `>= N` and the run degrades to
+    /// [`RuntimeError::Halted`](crate::RuntimeError) — simulating a
+    /// whole-process kill whose in-memory result is lost. Ignored without
+    /// a durable directory.
+    pub durable_halt_after: Option<u64>,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -164,6 +181,9 @@ impl fmt::Debug for ClusterConfig {
             .field("metrics", &self.metrics)
             .field("storage", &self.storage)
             .field("detector_timeout", &self.detector_timeout)
+            .field("durable_dir", &self.durable_dir)
+            .field("durable_resume", &self.durable_resume)
+            .field("durable_halt_after", &self.durable_halt_after)
             .finish()
     }
 }
@@ -187,6 +207,9 @@ impl Default for ClusterConfig {
             metrics: false,
             storage: StorageMode::default(),
             detector_timeout: None,
+            durable_dir: None,
+            durable_resume: false,
+            durable_halt_after: None,
         }
     }
 }
@@ -304,6 +327,33 @@ impl ClusterConfig {
         self
     }
 
+    /// Points the durable checkpoint store at `dir` (builder style).
+    /// Checkpointing is forced on (at [`DEFAULT_CHECKPOINT_INTERVAL`])
+    /// unless an interval was already configured, because the store
+    /// persists at checkpoint boundaries.
+    pub fn durable_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        if self.checkpoint_every == 0 {
+            self.checkpoint_every = DEFAULT_CHECKPOINT_INTERVAL;
+        }
+        self
+    }
+
+    /// Resumes from the durable store instead of starting fresh (builder
+    /// style). Ignored without [`durable_dir`](Self::durable_dir).
+    pub fn resume(mut self) -> Self {
+        self.durable_resume = true;
+        self
+    }
+
+    /// Arms the scripted cold-restart kill switch (builder style):
+    /// durable persistence freezes at the first superstep `>= n` and the
+    /// run degrades to [`RuntimeError::Halted`](crate::RuntimeError).
+    pub fn halt_after(mut self, n: u64) -> Self {
+        self.durable_halt_after = Some(n);
+        self
+    }
+
     /// Declares the algorithm's [`ProgramPlan`] (builder style): its
     /// critical properties become the payload of `sync_plan` trace events.
     pub fn plan(mut self, plan: &ProgramPlan) -> Self {
@@ -407,6 +457,40 @@ mod tests {
         let c = ClusterConfig::default().detector_timeout(Duration::from_millis(25));
         assert_eq!(c.detector_timeout, Some(Duration::from_millis(25)));
         assert!(format!("{c:?}").contains("detector_timeout"));
+    }
+
+    #[test]
+    fn durable_builders_wire_the_store() {
+        let c = ClusterConfig::default();
+        assert!(c.durable_dir.is_none());
+        assert!(!c.durable_resume);
+        assert!(c.durable_halt_after.is_none());
+
+        let c = ClusterConfig::default().durable_dir("/tmp/x");
+        assert_eq!(
+            c.durable_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
+        assert_eq!(
+            c.checkpoint_every, DEFAULT_CHECKPOINT_INTERVAL,
+            "durable store forces checkpointing on"
+        );
+        let c = ClusterConfig::default()
+            .checkpoint_every(7)
+            .durable_dir("/tmp/x");
+        assert_eq!(c.checkpoint_every, 7, "explicit interval wins");
+
+        let c = ClusterConfig::default()
+            .durable_dir("/tmp/x")
+            .resume()
+            .halt_after(9);
+        assert!(c.durable_resume);
+        assert_eq!(c.durable_halt_after, Some(9));
+        let dbg = format!("{c:?}");
+        assert!(
+            dbg.contains("durable_dir") && dbg.contains("halt_after"),
+            "{dbg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1191 @@
+//! Durable checkpoint store — cold-restart recovery (DESIGN.md §15).
+//!
+//! The in-memory recovery layer ([`crate::checkpoint`]) survives faults
+//! *within one process lifetime*: a whole-process kill loses every
+//! superstep of work. This module extends the `.fgb` on-disk discipline
+//! to *mutable* state: each checkpoint (full per-replica vertex state)
+//! plus the per-step delta log is written to a versioned on-disk format
+//! so a cold restart can resume the run bit-identically.
+//!
+//! # On-disk format (`FCK1`)
+//!
+//! One file per checkpoint **generation**, `gen-N.fck`:
+//!
+//! ```text
+//! header (48 B): magic "FCK1", version u32, generation u64,
+//!                checkpoint step u64, workers u64, vertices u64,
+//!                FNV-1a checksum of the preceding 40 bytes
+//! frames:        kind u32 (0 checkpoint | 1 delta), step u64,
+//!                payload_len u64, payload, FNV-1a frame checksum u64
+//! footer:        magic "FCKF", frame count u64,
+//!                FNV-1a checksum of magic + count
+//! ```
+//!
+//! Frame 0 is the generation's checkpoint (every replica's full state —
+//! replicas may diverge in non-critical fields under `CriticalOnly`
+//! sync, so masters alone are not enough to rebuild the cluster);
+//! frames 1.. are the step-tagged delta log recorded after it. All
+//! integers are little-endian.
+//!
+//! # Commit protocol
+//!
+//! Every write is a crash-consistent two-phase commit: serialize the
+//! whole generation, write to `gen-N.tmp`, `fsync`, atomically rename
+//! onto `gen-N.fck`. Only after the rename does `maybe_checkpoint` feed
+//! the consensus `CheckpointCommit` entry — the replicated log never
+//! commits a generation whose bytes are not durable. The two newest
+//! generations are retained so a damaged newest generation can fall
+//! back to its predecessor (replaying the longer delta tail).
+//!
+//! # Scrub and fallback
+//!
+//! Opening a store for resume runs a scrub pass: stale `.tmp` files are
+//! deleted, and generations are validated newest-first — header and
+//! footer checksums, every frame checksum, frame count. A damaged
+//! generation is reported (a `checkpoint_scrubbed` trace event) and the
+//! scrub falls back to the next older one; when no valid generation
+//! remains the run degrades to a typed
+//! [`RuntimeError::DurabilityLost`].
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use crate::error::RuntimeError;
+use crate::fault::FaultKind;
+use crate::state::WorkerState;
+use crate::stats::DurabilityStats;
+use crate::VertexData;
+use flash_graph::VertexId;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every generation file.
+pub const MAGIC: [u8; 4] = *b"FCK1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Magic bytes opening the footer.
+const FOOTER_MAGIC: [u8; 4] = *b"FCKF";
+/// Fixed header length in bytes.
+const HEADER_LEN: usize = 48;
+/// Frame kind: a full per-replica checkpoint.
+const FRAME_CHECKPOINT: u32 = 0;
+/// Frame kind: one superstep's delta (updated lists + values).
+const FRAME_DELTA: u32 = 1;
+
+/// FNV-1a over a byte slice — the same constants the sync-payload and
+/// wire-batch checksums use ([`crate::fault::payload_checksum`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Cursor over a frame payload handed to [`DurableValue::decode`].
+/// Returns `None` past the end, so a short or corrupted payload degrades
+/// to a decode failure instead of a panic.
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameReader { buf, pos: 0 }
+    }
+
+    /// The next `n` bytes, or `None` when fewer remain.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// A field type the [`durable_value!`](crate::durable_value) macro knows
+/// how to serialize: fixed-width little-endian for scalars, length-
+/// prefixed for vectors.
+pub trait DurableField: Sized {
+    /// Appends the encoded field.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decodes one field, `None` on truncation or an invalid encoding.
+    fn take(r: &mut FrameReader<'_>) -> Option<Self>;
+}
+
+macro_rules! durable_scalar {
+    ($($t:ty),*) => {$(
+        impl DurableField for $t {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn take(r: &mut FrameReader<'_>) -> Option<Self> {
+                let b = r.bytes(std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(b.try_into().ok()?))
+            }
+        }
+    )*};
+}
+durable_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl DurableField for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn take(r: &mut FrameReader<'_>) -> Option<Self> {
+        match r.bytes(1)? {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl DurableField for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn take(r: &mut FrameReader<'_>) -> Option<Self> {
+        usize::try_from(u64::take(r)?).ok()
+    }
+}
+
+impl<T: DurableField> DurableField for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        for item in self {
+            item.put(out);
+        }
+    }
+    fn take(r: &mut FrameReader<'_>) -> Option<Self> {
+        let len = usize::try_from(u64::take(r)?).ok()?;
+        // A corrupted length must not trigger a huge allocation: the
+        // payload can hold at most `remaining` one-byte items.
+        if len > r.remaining() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::take(r)?);
+        }
+        Some(out)
+    }
+}
+
+/// A vertex type the durable store can serialize. Implement with the
+/// [`durable_value!`](crate::durable_value) macro (listing every field),
+/// or by hand for exotic layouts. The contract is a lossless round-trip:
+/// `decode(encode(v)) == v` bit-for-bit, so a resumed run continues
+/// bit-identically to an uninterrupted one.
+pub trait DurableValue: VertexData {
+    /// Appends the vertex's full state.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one vertex, `None` on truncation or an invalid encoding.
+    fn decode(r: &mut FrameReader<'_>) -> Option<Self>;
+}
+
+/// Implements [`DurableValue`] for a struct by listing *all* of its
+/// fields (the compiler rejects a partial list):
+///
+/// ```
+/// #[derive(Clone, Default)]
+/// struct Dist { d: u32, seen: bool }
+/// flash_runtime::full_sync!(Dist);
+/// flash_runtime::durable_value!(Dist { d, seen });
+/// ```
+#[macro_export]
+macro_rules! durable_value {
+    ($t:ty { $($f:ident),* $(,)? }) => {
+        impl $crate::durable::DurableValue for $t {
+            fn encode(&self, out: &mut ::std::vec::Vec<u8>) {
+                let _ = &out;
+                $($crate::durable::DurableField::put(&self.$f, out);)*
+            }
+            fn decode(
+                r: &mut $crate::durable::FrameReader<'_>,
+            ) -> ::core::option::Option<Self> {
+                let _ = &r;
+                ::core::option::Option::Some(Self {
+                    $($f: $crate::durable::DurableField::take(r)?,)*
+                })
+            }
+        }
+    };
+}
+
+/// One frame of a generation file.
+#[derive(Clone, Debug, PartialEq)]
+struct FrameData {
+    kind: u32,
+    step: u64,
+    payload: Vec<u8>,
+}
+
+impl FrameData {
+    /// The checksum covers the frame's framing and payload, so a flipped
+    /// bit anywhere in the frame is detected.
+    fn checksum(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(20 + self.payload.len());
+        bytes.extend_from_slice(&self.kind.to_le_bytes());
+        bytes.extend_from_slice(&self.step.to_le_bytes());
+        bytes.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.payload);
+        fnv1a(&bytes)
+    }
+}
+
+/// A parsed, fully validated generation file.
+struct ParsedStore {
+    generation: u64,
+    checkpoint_step: u64,
+    workers: u64,
+    vertices: u64,
+    frames: Vec<FrameData>,
+}
+
+fn serialize_store(
+    generation: u64,
+    checkpoint_step: u64,
+    workers: u64,
+    vertices: u64,
+    frames: &[FrameData],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        HEADER_LEN + frames.iter().map(|f| 28 + f.payload.len()).sum::<usize>() + 20,
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&checkpoint_step.to_le_bytes());
+    out.extend_from_slice(&workers.to_le_bytes());
+    out.extend_from_slice(&vertices.to_le_bytes());
+    let hsum = fnv1a(&out[..HEADER_LEN - 8]);
+    out.extend_from_slice(&hsum.to_le_bytes());
+    for f in frames {
+        out.extend_from_slice(&f.kind.to_le_bytes());
+        out.extend_from_slice(&f.step.to_le_bytes());
+        out.extend_from_slice(&(f.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&f.payload);
+        out.extend_from_slice(&f.checksum().to_le_bytes());
+    }
+    out.extend_from_slice(&FOOTER_MAGIC);
+    out.extend_from_slice(&(frames.len() as u64).to_le_bytes());
+    let mut fsum = Vec::with_capacity(12);
+    fsum.extend_from_slice(&FOOTER_MAGIC);
+    fsum.extend_from_slice(&(frames.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&fsum).to_le_bytes());
+    out
+}
+
+fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn read_u64(buf: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(buf.get(at..at + 8)?.try_into().ok()?))
+}
+
+/// Parses and validates a generation file. The error string is the scrub
+/// reason reported in `checkpoint_scrubbed` events.
+fn parse_store(buf: &[u8]) -> Result<ParsedStore, String> {
+    if buf.len() < HEADER_LEN {
+        return Err("truncated header".into());
+    }
+    if buf[0..4] != MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = read_u32(buf, 4).ok_or("truncated header")?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}"));
+    }
+    let hsum = read_u64(buf, HEADER_LEN - 8).ok_or("truncated header")?;
+    if hsum != fnv1a(&buf[..HEADER_LEN - 8]) {
+        return Err("header checksum mismatch".into());
+    }
+    let generation = read_u64(buf, 8).ok_or("truncated header")?;
+    let checkpoint_step = read_u64(buf, 16).ok_or("truncated header")?;
+    let workers = read_u64(buf, 24).ok_or("truncated header")?;
+    let vertices = read_u64(buf, 32).ok_or("truncated header")?;
+    let mut frames = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        let head = buf
+            .get(pos..pos + 4)
+            .ok_or("truncated mid-frame (no footer)")?;
+        if head == FOOTER_MAGIC {
+            let count = read_u64(buf, pos + 4).ok_or("truncated footer")?;
+            let fsum = read_u64(buf, pos + 12).ok_or("truncated footer")?;
+            let mut check = Vec::with_capacity(12);
+            check.extend_from_slice(&FOOTER_MAGIC);
+            check.extend_from_slice(&count.to_le_bytes());
+            if fsum != fnv1a(&check) {
+                return Err("footer checksum mismatch".into());
+            }
+            if count != frames.len() as u64 {
+                return Err(format!(
+                    "footer frame count {count} != {} frames present",
+                    frames.len()
+                ));
+            }
+            if pos + 20 != buf.len() {
+                return Err("trailing bytes after footer".into());
+            }
+            return Ok(ParsedStore {
+                generation,
+                checkpoint_step,
+                workers,
+                vertices,
+                frames,
+            });
+        }
+        let kind = read_u32(buf, pos).ok_or("truncated mid-frame")?;
+        if kind != FRAME_CHECKPOINT && kind != FRAME_DELTA {
+            return Err(format!("unknown frame kind {kind}"));
+        }
+        let step = read_u64(buf, pos + 4).ok_or("truncated mid-frame")?;
+        let payload_len = usize::try_from(read_u64(buf, pos + 12).ok_or("truncated mid-frame")?)
+            .map_err(|_| "implausible payload length".to_string())?;
+        let payload = buf
+            .get(pos + 20..pos + 20 + payload_len)
+            .ok_or("truncated mid-frame")?
+            .to_vec();
+        let sum = read_u64(buf, pos + 20 + payload_len).ok_or("truncated mid-frame")?;
+        let frame = FrameData {
+            kind,
+            step,
+            payload,
+        };
+        if sum != frame.checksum() {
+            return Err(format!("frame checksum mismatch (frame {})", frames.len()));
+        }
+        frames.push(frame);
+        pos += 28 + payload_len;
+    }
+}
+
+/// One damaged generation the scrub pass found at open.
+#[derive(Clone, Debug)]
+pub(crate) struct ScrubReport {
+    /// The damaged generation number (from the filename).
+    pub(crate) generation: u64,
+    /// What the scrub found.
+    pub(crate) reason: String,
+    /// Whether an older generation remained to fall back to.
+    pub(crate) fallback: bool,
+}
+
+/// Outcome of a durable write attempt, for the cluster's bookkeeping.
+pub(crate) enum DiskWrite {
+    /// Nothing was written: the store is replaying, frozen, or has no
+    /// generation yet. (Replay applications also land here.)
+    None,
+    /// A new generation was committed (tmp + fsync + rename succeeded).
+    Committed {
+        /// The generation number committed.
+        generation: u64,
+        /// Frames in the generation file.
+        frames: u64,
+        /// Bytes written and fsynced.
+        bytes: u64,
+    },
+    /// The write or fsync failed — an injected `ioerr@` fault or a real
+    /// I/O error. The commit is skipped; the store self-heals on its
+    /// next write by rewriting the whole generation.
+    Failed {
+        /// The failed operation: `"checkpoint"` or `"delta"`.
+        op: &'static str,
+    },
+}
+
+/// The cluster's handle on a durable store: the current generation's
+/// frames, the replay cursor for resumed runs, and the fault wiring.
+/// Fully inert when absent — a run without `--durable-dir` never
+/// constructs one.
+pub(crate) struct DurableSession<V> {
+    dir: PathBuf,
+    encode: fn(&V, &mut Vec<u8>),
+    decode: fn(&mut FrameReader<'_>) -> Option<V>,
+    workers: usize,
+    vertices: usize,
+    /// The current generation number; meaningful once `has_generation`.
+    generation: u64,
+    checkpoint_step: u64,
+    has_generation: bool,
+    frames: Vec<FrameData>,
+    /// Replay cursor into `frames`: below `frames.len()` the session is
+    /// fast-forwarding a resumed run and writes nothing.
+    cursor: usize,
+    /// Set after `torn@`/`bitrot@` damage is applied: all further writes
+    /// are skipped so the at-rest damage survives to the next cold
+    /// start. Models the process dying right after the damage landed.
+    wedged: bool,
+    /// The scripted cold-restart kill switch: persistence freezes at the
+    /// first superstep `>= halt_after` and the run degrades to
+    /// [`RuntimeError::Halted`].
+    halt_after: Option<u64>,
+    halted: Option<u64>,
+    /// Whether the last replay application matched the re-executed
+    /// in-memory state byte-for-byte (always expected; surfaced for a
+    /// debug assertion in the cluster).
+    pub(crate) last_apply_matched: bool,
+}
+
+impl<V> std::fmt::Debug for DurableSession<V> {
+    // Manual impl: a derive would demand `V: Debug` even though no field
+    // holds a `V`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableSession")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation)
+            .field("has_generation", &self.has_generation)
+            .field("checkpoint_step", &self.checkpoint_step)
+            .field("frames", &self.frames.len())
+            .field("cursor", &self.cursor)
+            .field("wedged", &self.wedged)
+            .field("halt_after", &self.halt_after)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: VertexData> DurableSession<V> {
+    /// Opens a fresh store for a new run: creates the directory and
+    /// clears any stale generation or tmp files from a previous run.
+    pub(crate) fn create(
+        dir: &Path,
+        workers: usize,
+        vertices: usize,
+        halt_after: Option<u64>,
+        encode: fn(&V, &mut Vec<u8>),
+        decode: fn(&mut FrameReader<'_>) -> Option<V>,
+    ) -> Result<Self, RuntimeError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| RuntimeError::Storage(format!("durable dir {dir:?}: {e}")))?;
+        for (gen, path) in list_generations(dir) {
+            let _ = gen;
+            let _ = fs::remove_file(path);
+        }
+        remove_tmp_files(dir);
+        Ok(DurableSession {
+            dir: dir.to_path_buf(),
+            encode,
+            decode,
+            workers,
+            vertices,
+            generation: 0,
+            checkpoint_step: 0,
+            has_generation: false,
+            frames: Vec::new(),
+            cursor: 0,
+            wedged: false,
+            halt_after,
+            halted: None,
+            last_apply_matched: true,
+        })
+    }
+
+    /// Opens an existing store for resume: scrubs the directory, loads
+    /// the newest valid generation, and arms the replay cursor. Damaged
+    /// generations are reported; no valid generation degrades to
+    /// [`RuntimeError::DurabilityLost`].
+    pub(crate) fn open(
+        dir: &Path,
+        workers: usize,
+        vertices: usize,
+        halt_after: Option<u64>,
+        encode: fn(&V, &mut Vec<u8>),
+        decode: fn(&mut FrameReader<'_>) -> Option<V>,
+    ) -> Result<(Self, Vec<ScrubReport>), RuntimeError> {
+        remove_tmp_files(dir);
+        let mut gens = list_generations(dir);
+        gens.sort_by_key(|g| std::cmp::Reverse(g.0));
+        if gens.is_empty() {
+            return Err(RuntimeError::DurabilityLost(format!(
+                "directory {dir:?} holds no generation files"
+            )));
+        }
+        let total = gens.len();
+        let mut reports = Vec::new();
+        for (i, (gen, path)) in gens.iter().enumerate() {
+            let reason = match fs::read(path) {
+                Ok(buf) => match parse_store(&buf) {
+                    Ok(parsed) => {
+                        if parsed.generation != *gen {
+                            format!(
+                                "header generation {} != filename generation {gen}",
+                                parsed.generation
+                            )
+                        } else if parsed.workers != workers as u64
+                            || parsed.vertices != vertices as u64
+                        {
+                            format!(
+                                "geometry mismatch: file has {} workers x {} vertices, \
+                                 cluster has {workers} x {vertices}",
+                                parsed.workers, parsed.vertices
+                            )
+                        } else {
+                            return Ok((
+                                DurableSession {
+                                    dir: dir.to_path_buf(),
+                                    encode,
+                                    decode,
+                                    workers,
+                                    vertices,
+                                    generation: *gen,
+                                    checkpoint_step: parsed.checkpoint_step,
+                                    has_generation: true,
+                                    frames: parsed.frames,
+                                    cursor: 0,
+                                    wedged: false,
+                                    halt_after,
+                                    halted: None,
+                                    last_apply_matched: true,
+                                },
+                                reports,
+                            ));
+                        }
+                    }
+                    Err(reason) => reason,
+                },
+                Err(e) => format!("unreadable: {e}"),
+            };
+            reports.push(ScrubReport {
+                generation: *gen,
+                reason,
+                fallback: i + 1 < total,
+            });
+        }
+        Err(RuntimeError::DurabilityLost(format!(
+            "all {total} generation file(s) in {dir:?} damaged: {}",
+            reports
+                .iter()
+                .map(|r| format!("gen {} ({})", r.generation, r.reason))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )))
+    }
+
+    /// Whether the session is still fast-forwarding loaded frames.
+    pub(crate) fn replaying(&self) -> bool {
+        self.cursor < self.frames.len()
+    }
+
+    /// The first superstep past the loaded log — scripted faults before
+    /// it already fired in the original run and must not re-fire.
+    pub(crate) fn resume_frontier(&self) -> Option<u64> {
+        if self.frames.is_empty() || !self.has_generation {
+            return None;
+        }
+        self.frames.last().map(|f| f.step + 1)
+    }
+
+    /// The superstep the kill switch fired at, if it has.
+    pub(crate) fn halted_at(&self) -> Option<u64> {
+        self.halted
+    }
+
+    fn check_halt(&mut self, step: u64) {
+        if self.halted.is_none() {
+            if let Some(k) = self.halt_after {
+                if step >= k {
+                    self.halted = Some(step);
+                }
+            }
+        }
+    }
+
+    fn frozen(&self) -> bool {
+        self.wedged || self.halted.is_some()
+    }
+
+    fn gen_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation}.fck"))
+    }
+
+    fn encode_checkpoint(&self, states: &[WorkerState<V>]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for st in states {
+            for v in &st.current {
+                (self.encode)(v, &mut out);
+            }
+        }
+        out
+    }
+
+    fn apply_checkpoint(&self, payload: &[u8], states: &mut [WorkerState<V>]) -> Option<()> {
+        let mut r = FrameReader::new(payload);
+        for st in states.iter_mut() {
+            for v in st.current.iter_mut() {
+                *v = (self.decode)(&mut r)?;
+            }
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(())
+    }
+
+    fn encode_delta(&self, states: &[WorkerState<V>], updated: &[Vec<VertexId>]) -> Vec<u8> {
+        let mut out = Vec::new();
+        (updated.len() as u32).put(&mut out);
+        for list in updated {
+            (list.len() as u32).put(&mut out);
+            for &v in list {
+                v.put(&mut out);
+            }
+        }
+        for st in states {
+            for list in updated {
+                for &v in list {
+                    if let Some(val) = st.current.get(v as usize) {
+                        (self.encode)(val, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_delta(
+        &self,
+        payload: &[u8],
+        states: &mut [WorkerState<V>],
+        updated: &mut Vec<Vec<VertexId>>,
+    ) -> Option<()> {
+        let mut r = FrameReader::new(payload);
+        let lists = usize::try_from(u32::take(&mut r)?).ok()?;
+        let mut from_disk: Vec<Vec<VertexId>> = Vec::with_capacity(lists);
+        for _ in 0..lists {
+            let len = usize::try_from(u32::take(&mut r)?).ok()?;
+            if len > self.vertices {
+                return None;
+            }
+            let mut ids = Vec::with_capacity(len);
+            for _ in 0..len {
+                let v = VertexId::take(&mut r)?;
+                if v as usize >= self.vertices {
+                    return None;
+                }
+                ids.push(v);
+            }
+            from_disk.push(ids);
+        }
+        for st in states.iter_mut() {
+            for list in &from_disk {
+                for &v in list {
+                    let val = (self.decode)(&mut r)?;
+                    *st.current.get_mut(v as usize)? = val;
+                }
+            }
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        *updated = from_disk;
+        Some(())
+    }
+
+    fn persist(&self) -> io::Result<u64> {
+        let bytes = serialize_store(
+            self.generation,
+            self.checkpoint_step,
+            self.workers as u64,
+            self.vertices as u64,
+            &self.frames,
+        );
+        let tmp = self.dir.join(format!("gen-{}.tmp", self.generation));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.gen_path(self.generation))?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// The checkpoint hook, called by `maybe_checkpoint` *before* the
+    /// stats/trace/consensus bookkeeping, at the superstep the snapshot
+    /// precedes. On a resumed run the loaded checkpoint frame is applied
+    /// (disk is authoritative); on a live run a new generation is
+    /// committed. Only a [`DiskWrite::Committed`] outcome may feed the
+    /// consensus `CheckpointCommit` entry.
+    pub(crate) fn on_checkpoint(
+        &mut self,
+        step: u64,
+        states: &mut [WorkerState<V>],
+        ioerr: bool,
+        stats: &mut DurabilityStats,
+    ) -> Result<DiskWrite, RuntimeError> {
+        self.check_halt(step);
+        if self.replaying() {
+            let matches = {
+                let f = &self.frames[self.cursor];
+                f.kind == FRAME_CHECKPOINT && f.step == step
+            };
+            if matches {
+                let payload = std::mem::take(&mut self.frames[self.cursor].payload);
+                self.last_apply_matched = self.encode_checkpoint(states) == payload;
+                if !self.last_apply_matched {
+                    self.apply_checkpoint(&payload, states).ok_or_else(|| {
+                        RuntimeError::DurabilityLost(format!(
+                            "generation {} checkpoint frame failed to decode \
+                             (vertex codec mismatch?)",
+                            self.generation
+                        ))
+                    })?;
+                }
+                self.frames[self.cursor].payload = payload;
+                self.cursor += 1;
+            }
+            return Ok(DiskWrite::None);
+        }
+        if self.frozen() {
+            return Ok(DiskWrite::None);
+        }
+        if ioerr {
+            stats.io_errors += 1;
+            return Ok(DiskWrite::Failed { op: "checkpoint" });
+        }
+        self.generation = if self.has_generation {
+            self.generation + 1
+        } else {
+            0
+        };
+        self.has_generation = true;
+        self.checkpoint_step = step;
+        self.frames = vec![FrameData {
+            kind: FRAME_CHECKPOINT,
+            step,
+            payload: self.encode_checkpoint(states),
+        }];
+        self.cursor = self.frames.len();
+        match self.persist() {
+            Ok(bytes) => {
+                stats.generations_written += 1;
+                stats.bytes_fsynced += bytes;
+                // Two-generation retention: the predecessor stays (the
+                // scrub's fallback target), anything older goes.
+                if self.generation >= 2 {
+                    let _ = fs::remove_file(self.gen_path(self.generation - 2));
+                }
+                Ok(DiskWrite::Committed {
+                    generation: self.generation,
+                    frames: self.frames.len() as u64,
+                    bytes,
+                })
+            }
+            Err(_) => {
+                stats.io_errors += 1;
+                Ok(DiskWrite::Failed { op: "checkpoint" })
+            }
+        }
+    }
+
+    /// The delta hook, called by `record_delta` after a compute
+    /// superstep's barrier. On a resumed run the loaded delta frame is
+    /// applied (overwriting the re-executed state and the `updated`
+    /// lists — disk is authoritative); on a live run the frame is
+    /// appended and the whole generation rewritten through the two-phase
+    /// commit.
+    pub(crate) fn on_delta(
+        &mut self,
+        step: u64,
+        states: &mut [WorkerState<V>],
+        updated: &mut Vec<Vec<VertexId>>,
+        ioerr: bool,
+        stats: &mut DurabilityStats,
+    ) -> Result<DiskWrite, RuntimeError> {
+        self.check_halt(step);
+        if self.replaying() {
+            let matches = {
+                let f = &self.frames[self.cursor];
+                f.kind == FRAME_DELTA && f.step == step
+            };
+            if matches {
+                let payload = std::mem::take(&mut self.frames[self.cursor].payload);
+                self.last_apply_matched = self.encode_delta(states, updated) == payload;
+                if !self.last_apply_matched {
+                    self.apply_delta(&payload, states, updated).ok_or_else(|| {
+                        RuntimeError::DurabilityLost(format!(
+                            "generation {} delta frame (step {step}) failed to decode \
+                             (vertex codec mismatch?)",
+                            self.generation
+                        ))
+                    })?;
+                }
+                self.frames[self.cursor].payload = payload;
+                self.cursor += 1;
+                stats.resumed_steps += 1;
+            }
+            return Ok(DiskWrite::None);
+        }
+        if self.frozen() || !self.has_generation {
+            return Ok(DiskWrite::None);
+        }
+        if ioerr {
+            stats.io_errors += 1;
+            return Ok(DiskWrite::Failed { op: "delta" });
+        }
+        self.frames.push(FrameData {
+            kind: FRAME_DELTA,
+            step,
+            payload: self.encode_delta(states, updated),
+        });
+        self.cursor = self.frames.len();
+        match self.persist() {
+            Ok(bytes) => {
+                stats.bytes_fsynced += bytes;
+                stats.delta_frames += 1;
+                Ok(DiskWrite::None)
+            }
+            Err(_) => {
+                stats.io_errors += 1;
+                Ok(DiskWrite::Failed { op: "delta" })
+            }
+        }
+    }
+
+    /// Applies scripted at-rest damage (`torn@` / `bitrot@`) to the
+    /// newest *committed* generation file and wedges the store so later
+    /// writes do not mask it — modeling the process dying right after
+    /// the damage landed. `mask` must be nonzero so a bitrot flip is
+    /// guaranteed detectable.
+    pub(crate) fn damage(&mut self, kind: FaultKind, byte: u64, mask: u8) {
+        self.wedged = true;
+        if !self.has_generation {
+            return;
+        }
+        let path = self.gen_path(self.generation);
+        let Ok(buf) = fs::read(&path) else {
+            return;
+        };
+        let damaged: Vec<u8> = match kind {
+            FaultKind::Torn => {
+                // Cut mid-frame: keep the header plus roughly two thirds
+                // of the body, never the footer.
+                let keep = (HEADER_LEN + 5).max(buf.len().saturating_mul(2) / 3);
+                let keep = keep.min(buf.len().saturating_sub(1));
+                buf.get(..keep).map(<[u8]>::to_vec).unwrap_or_default()
+            }
+            FaultKind::Bitrot => {
+                let mut b = buf;
+                if b.is_empty() {
+                    return;
+                }
+                let at = usize::try_from(byte).unwrap_or(usize::MAX).min(b.len() - 1);
+                b[at] ^= if mask == 0 { 1 } else { mask };
+                b
+            }
+            _ => return,
+        };
+        let write = (|| -> io::Result<()> {
+            let mut f = OpenOptions::new().write(true).truncate(true).open(&path)?;
+            f.write_all(&damaged)?;
+            f.sync_all()
+        })();
+        let _ = write;
+    }
+}
+
+fn remove_tmp_files(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Generation files in `dir` as `(generation, path)`, unordered.
+fn list_generations(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(gen) = name
+            .strip_prefix("gen-")
+            .and_then(|r| r.strip_suffix(".fck"))
+            .and_then(|g| g.parse::<u64>().ok())
+        {
+            out.push((gen, path));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use flash_graph::testutil::TempDirGuard;
+
+    #[derive(Clone, Debug, Default, PartialEq)]
+    struct Val {
+        a: u32,
+        b: i64,
+        c: f64,
+        d: bool,
+        e: Vec<u32>,
+    }
+    crate::full_sync!(Val);
+    crate::durable_value!(Val { a, b, c, d, e });
+
+    #[derive(Clone, Default, PartialEq, Debug)]
+    struct Unit;
+    crate::full_sync!(Unit);
+    crate::durable_value!(Unit {});
+
+    #[test]
+    fn durable_value_round_trips() {
+        let v = Val {
+            a: 7,
+            b: -9,
+            c: 2.5,
+            d: true,
+            e: vec![1, 2, 3],
+        };
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = FrameReader::new(&buf);
+        assert_eq!(Val::decode(&mut r), Some(v));
+        assert_eq!(r.remaining(), 0);
+
+        // Truncation degrades to None, never a panic.
+        let mut r = FrameReader::new(&buf[..buf.len() - 1]);
+        assert_eq!(Val::decode(&mut r), None);
+
+        // A unit struct costs zero bytes.
+        let mut buf = Vec::new();
+        Unit.encode(&mut buf);
+        assert!(buf.is_empty());
+        let mut r = FrameReader::new(&buf);
+        assert_eq!(Unit::decode(&mut r), Some(Unit));
+    }
+
+    #[test]
+    fn bool_and_vec_decoding_reject_garbage() {
+        let mut r = FrameReader::new(&[2]);
+        assert_eq!(bool::take(&mut r), None, "2 is not a bool");
+        // A corrupted huge vector length must not allocate.
+        let mut buf = Vec::new();
+        (u64::MAX).put(&mut buf);
+        let mut r = FrameReader::new(&buf);
+        assert_eq!(Vec::<u32>::take(&mut r), None);
+    }
+
+    #[test]
+    fn store_serialization_round_trips_and_detects_damage() {
+        let frames = vec![
+            FrameData {
+                kind: FRAME_CHECKPOINT,
+                step: 4,
+                payload: vec![1, 2, 3, 4],
+            },
+            FrameData {
+                kind: FRAME_DELTA,
+                step: 4,
+                payload: vec![9, 9],
+            },
+            FrameData {
+                kind: FRAME_DELTA,
+                step: 5,
+                payload: vec![],
+            },
+        ];
+        let bytes = serialize_store(3, 4, 2, 16, &frames);
+        let parsed = parse_store(&bytes).expect("round-trip");
+        assert_eq!(parsed.generation, 3);
+        assert_eq!(parsed.checkpoint_step, 4);
+        assert_eq!(parsed.workers, 2);
+        assert_eq!(parsed.vertices, 16);
+        assert_eq!(parsed.frames, frames);
+
+        // Every single-byte flip anywhere in the file is detected.
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                parse_store(&bad).is_err(),
+                "flip at byte {at} went undetected"
+            );
+        }
+        // So is truncation at every possible length.
+        for len in 0..bytes.len() {
+            assert!(
+                parse_store(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn session_commits_generations_with_retention() {
+        let dir = TempDirGuard::new("durable-session");
+        let mut stats = DurabilityStats::default();
+        let mut states: Vec<WorkerState<Val>> = (0..2)
+            .map(|_| WorkerState::new(4, &|_| Val::default()))
+            .collect();
+        let mut s: DurableSession<Val> =
+            DurableSession::create(dir.path(), 2, 4, None, Val::encode, Val::decode).unwrap();
+        // Three checkpoints: gen 0, 1, 2 — retention keeps the last two.
+        for step in [0u64, 4, 8] {
+            states[0].current[0].a = step as u32;
+            let out = s
+                .on_checkpoint(step, &mut states, false, &mut stats)
+                .unwrap();
+            assert!(matches!(out, DiskWrite::Committed { .. }));
+            let mut upd = vec![vec![0u32], vec![]];
+            let out = s
+                .on_delta(step, &mut states, &mut upd, false, &mut stats)
+                .unwrap();
+            assert!(matches!(out, DiskWrite::None));
+        }
+        assert_eq!(stats.generations_written, 3);
+        assert_eq!(stats.delta_frames, 3);
+        assert!(stats.bytes_fsynced > 0);
+        let mut gens: Vec<u64> = list_generations(dir.path())
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect();
+        gens.sort_unstable();
+        assert_eq!(gens, vec![1, 2], "gen 0 removed by retention");
+
+        // The newest generation re-opens with its delta tail.
+        let (s2, reports) =
+            DurableSession::<Val>::open(dir.path(), 2, 4, None, Val::encode, Val::decode).unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(s2.generation, 2);
+        assert_eq!(s2.frames.len(), 2, "checkpoint + one delta");
+        assert!(s2.replaying());
+        assert_eq!(s2.resume_frontier(), Some(9));
+    }
+
+    #[test]
+    fn ioerr_skips_commit_and_store_self_heals() {
+        let dir = TempDirGuard::new("durable-ioerr");
+        let mut stats = DurabilityStats::default();
+        let mut states: Vec<WorkerState<Val>> = (0..1)
+            .map(|_| WorkerState::new(2, &|_| Val::default()))
+            .collect();
+        let mut s: DurableSession<Val> =
+            DurableSession::create(dir.path(), 1, 2, None, Val::encode, Val::decode).unwrap();
+        let out = s.on_checkpoint(0, &mut states, true, &mut stats).unwrap();
+        assert!(matches!(out, DiskWrite::Failed { op: "checkpoint" }));
+        assert_eq!(stats.io_errors, 1);
+        assert!(list_generations(dir.path()).is_empty(), "nothing committed");
+        // The next write rewrites the whole generation — self-healing.
+        let out = s.on_checkpoint(1, &mut states, false, &mut stats).unwrap();
+        assert!(matches!(out, DiskWrite::Committed { .. }));
+        assert_eq!(list_generations(dir.path()).len(), 1);
+    }
+
+    #[test]
+    fn torn_and_bitrot_damage_fall_back_to_previous_generation() {
+        for kind in [FaultKind::Torn, FaultKind::Bitrot] {
+            let dir = TempDirGuard::new("durable-damage");
+            let mut stats = DurabilityStats::default();
+            let mut states: Vec<WorkerState<Val>> = (0..2)
+                .map(|_| WorkerState::new(4, &|_| Val::default()))
+                .collect();
+            let mut s: DurableSession<Val> =
+                DurableSession::create(dir.path(), 2, 4, None, Val::encode, Val::decode).unwrap();
+            s.on_checkpoint(0, &mut states, false, &mut stats).unwrap();
+            let mut upd = vec![vec![1u32], vec![]];
+            s.on_delta(0, &mut states, &mut upd, false, &mut stats)
+                .unwrap();
+            s.on_checkpoint(4, &mut states, false, &mut stats).unwrap();
+            // Damage the newest committed generation (gen 1) and verify
+            // the wedge freezes later writes.
+            s.damage(kind, 60, 0x20);
+            let mut upd = vec![vec![2u32], vec![]];
+            let frames_before = s.frames.len();
+            s.on_delta(4, &mut states, &mut upd, false, &mut stats)
+                .unwrap();
+            assert_eq!(s.frames.len(), frames_before, "wedged store is frozen");
+
+            let (s2, reports) =
+                DurableSession::<Val>::open(dir.path(), 2, 4, None, Val::encode, Val::decode)
+                    .unwrap();
+            assert_eq!(s2.generation, 0, "fell back to the previous generation");
+            assert_eq!(reports.len(), 1, "{kind:?}");
+            assert!(reports[0].fallback);
+            assert_eq!(reports[0].generation, 1);
+        }
+    }
+
+    #[test]
+    fn open_with_nothing_valid_degrades_to_durability_lost() {
+        let dir = TempDirGuard::new("durable-lost");
+        let err = DurableSession::<Val>::open(dir.path(), 1, 2, None, Val::encode, Val::decode)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DurabilityLost(_)), "{err}");
+
+        // A lone damaged generation is scrubbed and then nothing remains.
+        fs::write(dir.path().join("gen-0.fck"), b"FCK1garbage").unwrap();
+        let err = DurableSession::<Val>::open(dir.path(), 1, 2, None, Val::encode, Val::decode)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DurabilityLost(_)), "{err}");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_scrubbed_not_loaded() {
+        let dir = TempDirGuard::new("durable-geometry");
+        let mut stats = DurabilityStats::default();
+        let mut states: Vec<WorkerState<Val>> = (0..2)
+            .map(|_| WorkerState::new(4, &|_| Val::default()))
+            .collect();
+        let mut s: DurableSession<Val> =
+            DurableSession::create(dir.path(), 2, 4, None, Val::encode, Val::decode).unwrap();
+        s.on_checkpoint(0, &mut states, false, &mut stats).unwrap();
+        // Re-open with a different cluster geometry: the generation is
+        // valid bytes but unusable, so it must be scrubbed.
+        let err = DurableSession::<Val>::open(dir.path(), 3, 4, None, Val::encode, Val::decode)
+            .unwrap_err();
+        assert!(err.to_string().contains("no valid generation"), "{err}");
+    }
+
+    #[test]
+    fn halt_after_freezes_persistence() {
+        let dir = TempDirGuard::new("durable-halt");
+        let mut stats = DurabilityStats::default();
+        let mut states: Vec<WorkerState<Val>> = (0..1)
+            .map(|_| WorkerState::new(2, &|_| Val::default()))
+            .collect();
+        let mut s: DurableSession<Val> =
+            DurableSession::create(dir.path(), 1, 2, Some(3), Val::encode, Val::decode).unwrap();
+        s.on_checkpoint(0, &mut states, false, &mut stats).unwrap();
+        let mut upd = vec![vec![0u32]];
+        s.on_delta(2, &mut states, &mut upd, false, &mut stats)
+            .unwrap();
+        assert!(s.halted_at().is_none());
+        s.on_delta(3, &mut states, &mut upd, false, &mut stats)
+            .unwrap();
+        assert_eq!(s.halted_at(), Some(3));
+        assert_eq!(stats.delta_frames, 1, "the halted step never persisted");
+    }
+}

@@ -81,6 +81,20 @@ pub enum RuntimeError {
         /// Hosts a majority would have required.
         needed: usize,
     },
+    /// The durable checkpoint store holds no valid generation: the scrub
+    /// pass found every on-disk generation damaged (or the directory
+    /// empty on a `--resume`), so a cold restart has nothing to recover
+    /// from — the durability-layer mirror of
+    /// [`RuntimeError::RecoveryExhausted`].
+    DurabilityLost(String),
+    /// The run was halted by the scripted cold-restart kill switch
+    /// (`durable_halt_after`): durable persistence froze at the scripted
+    /// superstep — simulating a whole-process kill — so the in-memory
+    /// result is discarded and the run must be resumed from disk.
+    Halted {
+        /// The superstep the simulated kill landed on.
+        step: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -127,6 +141,15 @@ impl fmt::Display for RuntimeError {
                 f,
                 "control-plane quorum lost at superstep {step}: {live} live hosts remain \
                  but a majority needs {needed}"
+            ),
+            RuntimeError::DurabilityLost(msg) => write!(
+                f,
+                "durable checkpoint store has no valid generation to recover from: {msg}"
+            ),
+            RuntimeError::Halted { step } => write!(
+                f,
+                "run halted at superstep {step} (simulated process kill); resume from the \
+                 durable checkpoint store to continue"
             ),
         }
     }
@@ -182,5 +205,11 @@ mod tests {
             msg.contains('6') && msg.contains('1') && msg.contains('2'),
             "{msg}"
         );
+        let d = RuntimeError::DurabilityLost("all 2 generations damaged".into());
+        assert!(d.to_string().contains("no valid generation"), "{d}");
+        assert!(d.to_string().contains("all 2 generations damaged"), "{d}");
+        let h = RuntimeError::Halted { step: 9 };
+        assert!(h.to_string().contains('9'), "{h}");
+        assert!(h.to_string().contains("resume"), "{h}");
     }
 }

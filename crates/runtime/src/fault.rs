@@ -44,6 +44,20 @@
 //!                       payload at superstep 5; the replica checksum
 //!                       quorum detects the lie and escalates it to a
 //!                       death declaration through the consensus log
+//! ioerr@4               the durable checkpoint store's write/fsync fails
+//!                       at superstep 4: the commit is skipped (and never
+//!                       fed to the consensus log) and the store self-heals
+//!                       on its next write. Names no worker — it targets
+//!                       the store itself (DESIGN.md §15)
+//! torn@4                the newest committed checkpoint generation is
+//!                       truncated mid-frame after superstep 4's commit,
+//!                       simulating a crash mid-write; the scrub pass at
+//!                       the next cold start detects the damage and falls
+//!                       back to the previous generation
+//! bitrot@4:b17          byte 17 of the newest committed checkpoint
+//!                       generation is flipped (seeded nonzero mask) after
+//!                       superstep 4's commit — at-rest corruption the
+//!                       scrub pass must detect via frame checksums
 //! loss=0.05             seeded probabilistic mode: every cross-host batch
 //!                       transmission is dropped with probability 0.05
 //! dupRate=0.01          every delivered batch is duplicated with
@@ -135,6 +149,21 @@ pub enum FaultKind {
     /// escalates to a death declaration committed through the consensus
     /// log — the byzantine fault of DESIGN.md §14.
     Lie,
+    /// The durable checkpoint store's write/fsync fails at the scripted
+    /// superstep: the generation commit is skipped (and never fed to the
+    /// consensus log), and the store self-heals on the next write by
+    /// rewriting the whole generation. Names no worker — it targets the
+    /// store itself (DESIGN.md §15).
+    Ioerr,
+    /// The newest *committed* checkpoint generation is truncated mid-frame
+    /// after the scripted superstep's commit — the on-disk damage a crash
+    /// mid-write leaves behind. Detected by the scrub pass at the next
+    /// cold start, which falls back to the previous valid generation.
+    Torn,
+    /// One byte of the newest committed checkpoint generation is flipped
+    /// (seeded nonzero mask) after the scripted superstep's commit —
+    /// at-rest corruption detected by the scrub pass via frame checksums.
+    Bitrot,
 }
 
 impl FaultKind {
@@ -151,6 +180,9 @@ impl FaultKind {
             FaultKind::Reorder => "reorder",
             FaultKind::Leader => "leader",
             FaultKind::Lie => "lie",
+            FaultKind::Ioerr => "ioerr",
+            FaultKind::Torn => "torn",
+            FaultKind::Bitrot => "bitrot",
         }
     }
 
@@ -162,6 +194,18 @@ impl FaultKind {
             self,
             FaultKind::Drop | FaultKind::Duplicate | FaultKind::Reorder
         )
+    }
+
+    /// Whether this kind targets the durable checkpoint store (handled by
+    /// [`crate::durable`]) rather than a worker or the channel.
+    pub fn is_disk(self) -> bool {
+        matches!(self, FaultKind::Ioerr | FaultKind::Torn | FaultKind::Bitrot)
+    }
+
+    /// Whether the spec names no worker: `leader@` targets whoever leads,
+    /// and the disk kinds target the durable store itself.
+    pub fn is_workerless(self) -> bool {
+        self == FaultKind::Leader || self.is_disk()
     }
 }
 
@@ -182,6 +226,9 @@ pub struct FaultSpec {
     /// Extra compute delay for [`FaultKind::Straggler`]; ignored for other
     /// kinds.
     pub delay: Duration,
+    /// Byte offset the [`FaultKind::Bitrot`] flip lands on (clamped to the
+    /// generation's length at fire time); ignored for other kinds.
+    pub byte: u64,
 }
 
 /// A scripted fault-injection plan plus the recovery policy.
@@ -247,6 +294,7 @@ impl FaultPlan {
             kind,
             times: if kind == FaultKind::Die { u32::MAX } else { 1 },
             delay: DEFAULT_STRAGGLE_DELAY,
+            byte: 0,
         });
         self
     }
@@ -306,6 +354,7 @@ impl FaultPlan {
             kind,
             times: 1,
             delay: Duration::from_micros(100 + prng.next_u64() % 900),
+            byte: 0,
         };
         FaultPlan {
             specs: vec![
@@ -350,6 +399,12 @@ impl FaultPlan {
         self.specs
             .iter()
             .any(|s| matches!(s.kind, FaultKind::Leader | FaultKind::Lie))
+    }
+
+    /// Whether the plan attacks the durable checkpoint store — a scripted
+    /// `ioerr@`, `torn@` or `bitrot@` spec.
+    pub fn has_disk_faults(&self) -> bool {
+        self.specs.iter().any(|s| s.kind.is_disk())
     }
 
     /// Validates the plan against a cluster of `workers` workers. Called
@@ -444,22 +499,24 @@ impl FaultPlan {
             .specs
             .iter()
             .map(|s| {
-                // `leader` names no worker: it targets whoever leads.
-                let mut out = if s.kind == FaultKind::Leader {
-                    format!("leader@{}", s.step)
+                // Worker-less kinds name no worker: `leader` targets
+                // whoever leads, the disk kinds target the durable store.
+                let mut out = if s.kind == FaultKind::Bitrot {
+                    format!("bitrot@{}:b{}", s.step, s.byte)
+                } else if s.kind.is_workerless() {
+                    format!("{}@{}", s.kind.label(), s.step)
                 } else {
                     format!("{}@{}:w{}", s.kind.label(), s.step, s.worker)
                 };
                 if s.kind == FaultKind::Straggler {
                     out.push_str(&format!(":{}", format_duration(s.delay)));
                 }
-                // `die` is implicitly every-attempt; `rejoin`, `leader` and
-                // `lie` fire once — none takes an :xN in the grammar.
+                // `die` is implicitly every-attempt; `rejoin`, `lie` and
+                // the worker-less kinds fire once — none takes an :xN in
+                // the grammar.
                 if s.times != 1
-                    && !matches!(
-                        s.kind,
-                        FaultKind::Die | FaultKind::Rejoin | FaultKind::Leader | FaultKind::Lie
-                    )
+                    && !matches!(s.kind, FaultKind::Die | FaultKind::Rejoin | FaultKind::Lie)
+                    && !s.kind.is_workerless()
                 {
                     out.push_str(&format!(":x{}", s.times));
                 }
@@ -519,10 +576,13 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
         "reorder" => FaultKind::Reorder,
         "leader" => FaultKind::Leader,
         "lie" => FaultKind::Lie,
+        "ioerr" => FaultKind::Ioerr,
+        "torn" => FaultKind::Torn,
+        "bitrot" => FaultKind::Bitrot,
         other => {
             return Err(format!(
                 "unknown fault kind {other:?} (expected crash, corrupt, straggle, die, \
-                 rejoin, drop, dup, reorder, leader or lie)"
+                 rejoin, drop, dup, reorder, leader, lie, ioerr, torn or bitrot)"
             ))
         }
     };
@@ -531,11 +591,35 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
     let step: u64 = step_s
         .parse()
         .map_err(|_| format!("invalid superstep {step_s:?} in fault spec {part:?}"))?;
-    if kind == FaultKind::Leader {
+    if kind.is_workerless() {
+        // `bitrot@STEP:bB` carries the byte offset of the flip; the other
+        // worker-less kinds take nothing after the step.
+        let mut byte = 0u64;
+        if kind == FaultKind::Bitrot {
+            if let Some(seg) = segs.next() {
+                byte = seg
+                    .trim()
+                    .strip_prefix('b')
+                    .and_then(|b| b.parse().ok())
+                    .ok_or_else(|| {
+                        format!(
+                            "invalid byte offset {:?} in fault spec {part:?} (expected \
+                             bitrot@{step}:bB)",
+                            seg.trim()
+                        )
+                    })?;
+            }
+        }
         if let Some(extra) = segs.next() {
             return Err(format!(
-                "leader faults target whoever leads at the step and take no worker or \
-                 extra segment; {:?} does not apply in {part:?}",
+                "{} faults target {} and take no worker or extra segment; {:?} does not \
+                 apply in {part:?}",
+                kind.label(),
+                if kind == FaultKind::Leader {
+                    "whoever leads at the step"
+                } else {
+                    "the durable checkpoint store"
+                },
                 extra.trim()
             ));
         }
@@ -545,6 +629,7 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
             kind,
             times: 1,
             delay: DEFAULT_STRAGGLE_DELAY,
+            byte,
         });
     }
     let worker_s = segs
@@ -561,6 +646,7 @@ fn parse_spec(part: &str) -> Result<FaultSpec, String> {
         kind,
         times: if kind == FaultKind::Die { u32::MAX } else { 1 },
         delay: DEFAULT_STRAGGLE_DELAY,
+        byte: 0,
     };
     for seg in segs {
         let seg = seg.trim();
@@ -781,6 +867,36 @@ impl FaultInjector {
         self.take(step, |k| k == FaultKind::Rejoin)
     }
 
+    /// Disk-fault specs (`ioerr@`/`torn@`/`bitrot@`) firing at `step`,
+    /// consuming each. The spec's worker field is a placeholder (the
+    /// faults target the durable store, not a worker), so the dead-worker
+    /// suppression does not apply.
+    pub(crate) fn disk_faults(&mut self, step: u64) -> Vec<FaultSpec> {
+        if !self.active {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.kind.is_disk() && spec.step <= step && self.fired[i] < spec.times.max(1) {
+                self.fired[i] += 1;
+                out.push(spec.clone());
+            }
+        }
+        out
+    }
+
+    /// Consumes every spec scripted strictly before `step` without firing
+    /// it. A resumed run fast-forwarding through supersteps already
+    /// reflected in the durable log uses this so faults that fired before
+    /// the original run died do not re-fire at a later, wrong superstep.
+    pub(crate) fn drain_through(&mut self, step: u64) {
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.step < step {
+                self.fired[i] = spec.times.max(1);
+            }
+        }
+    }
+
     /// A spec fires at the first *eligible* superstep at or after its
     /// scripted step: global-reduce supersteps never ship vertex state and
     /// are skipped by the fault paths, so `corrupt@3` on a program whose
@@ -857,6 +973,7 @@ mod tests {
                 kind: FaultKind::Crash,
                 times: 1,
                 delay: DEFAULT_STRAGGLE_DELAY,
+                byte: 0,
             }
         );
         assert_eq!(p.specs[1].times, 2);
@@ -964,6 +1081,55 @@ mod tests {
         // And the summary round-trips without an :xN.
         let again = FaultPlan::parse(&p.summary()).unwrap();
         assert_eq!(p, again);
+    }
+
+    #[test]
+    fn parses_disk_fault_specs() {
+        let p = FaultPlan::parse("ioerr@4,torn@6,bitrot@8:b17").unwrap();
+        assert_eq!(p.specs.len(), 3);
+        assert_eq!(p.specs[0].kind, FaultKind::Ioerr);
+        assert_eq!(p.specs[1].kind, FaultKind::Torn);
+        assert_eq!(p.specs[2].kind, FaultKind::Bitrot);
+        assert_eq!(p.specs[2].byte, 17);
+        assert!(p.has_disk_faults());
+        assert!(!FaultPlan::parse("crash@1:w0").unwrap().has_disk_faults());
+        // The summary round-trips, including the byte offset.
+        let again = FaultPlan::parse(&p.summary()).unwrap();
+        assert_eq!(p, again);
+        // Disk faults name no worker and take no worker segment; bitrot's
+        // byte offset must be b-prefixed.
+        assert!(FaultPlan::parse("ioerr@4:w1").is_err());
+        assert!(FaultPlan::parse("torn@4:x2").is_err());
+        assert!(FaultPlan::parse("bitrot@4:17").is_err());
+        assert!(FaultPlan::parse("bitrot@4:b1:b2").is_err());
+        // A bitrot without an offset defaults to byte 0.
+        assert_eq!(FaultPlan::parse("bitrot@4").unwrap().specs[0].byte, 0);
+    }
+
+    #[test]
+    fn disk_faults_fire_once_and_ignore_dead_workers() {
+        let plan = FaultPlan::parse("ioerr@2,bitrot@3:b9").unwrap();
+        let mut inj = FaultInjector::new(plan, 4);
+        inj.mark_dead(0); // the placeholder worker being dead is irrelevant
+        assert!(inj.disk_faults(1).is_empty());
+        let fired = inj.disk_faults(2);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, FaultKind::Ioerr);
+        let fired = inj.disk_faults(3);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].byte, 9);
+        assert!(inj.disk_faults(4).is_empty(), "each spec fires once");
+    }
+
+    #[test]
+    fn drain_through_spends_earlier_specs() {
+        let plan = FaultPlan::parse("crash@2:w0,die@3:w1,crash@5:w0").unwrap();
+        let mut inj = FaultInjector::new(plan, 4);
+        inj.drain_through(4);
+        assert!(inj.failures(4).is_empty(), "pre-frontier specs are spent");
+        let late = inj.failures(5);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].step, 5, "post-frontier specs still fire");
     }
 
     #[test]

@@ -47,13 +47,20 @@
 //!   death declarations) replicate through a Raft-style majority-committed
 //!   log under an elected leader; `leader@` faults crash the coordinator
 //!   mid-run and `lie@` faults exercise byzantine checksum-quorum
-//!   detection ([`consensus`], DESIGN.md §14).
+//!   detection ([`consensus`], DESIGN.md §14);
+//! * **a durable checkpoint store** — with a durable directory configured,
+//!   every checkpoint plus the per-step delta log is committed to a
+//!   versioned on-disk format (`FCK1`) through a crash-consistent
+//!   two-phase commit, so a cold restart resumes bit-identically; seeded
+//!   `ioerr@`/`torn@`/`bitrot@` disk faults exercise a scrub-and-fallback
+//!   recovery path ([`durable`], DESIGN.md §15).
 
 pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod consensus;
 pub mod ctx;
+pub mod durable;
 pub mod error;
 pub mod fault;
 pub mod netmodel;
@@ -70,6 +77,7 @@ pub use consensus::{
     checksum_quorum, ChecksumVerdict, Commit, Consensus, Election, LogEntry, LogEntryKind,
 };
 pub use ctx::WorkerCtx;
+pub use durable::{DurableField, DurableValue, FrameReader};
 pub use error::RuntimeError;
 pub use fault::{
     format_duration, parse_duration, FaultKind, FaultPlan, FaultSpec, DEFAULT_DETECTOR_TIMEOUT,
@@ -78,8 +86,8 @@ pub use fault::{
 pub use flash_obs::MetricsRegistry;
 pub use netmodel::NetworkModel;
 pub use stats::{
-    ns_u64, us_half_up, ConsensusStats, DeliveryStats, RecoveryStats, RunStats, StepKind,
-    StepStats, StorageInfo,
+    ns_u64, us_half_up, ConsensusStats, DeliveryStats, DurabilityStats, RecoveryStats, RunStats,
+    StepKind, StepStats, StorageInfo,
 };
 pub use transport::{batch_checksum, DedupWindow, Transport};
 

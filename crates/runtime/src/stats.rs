@@ -363,6 +363,44 @@ impl ConsensusStats {
     }
 }
 
+/// Durable-checkpoint-store counters of a run: generations committed to
+/// disk, bytes fsynced, and the scrub pass's damage accounting (all zero
+/// on runs without a durable directory). See [`crate::durable`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Checkpoint generations committed to disk (tmp + fsync + rename).
+    pub generations_written: u64,
+    /// Bytes written and fsynced across every generation rewrite,
+    /// including the per-step delta-log appends.
+    pub bytes_fsynced: u64,
+    /// Delta-log frames appended after their generation's checkpoint.
+    pub delta_frames: u64,
+    /// Damaged generations the scrub pass detected (and skipped) at open.
+    pub scrub_repairs: u64,
+    /// Times the scrub pass fell back to an older generation because a
+    /// newer one was damaged.
+    pub fallbacks: u64,
+    /// Durable writes skipped because an injected `ioerr@` fault failed
+    /// the write/fsync (the store self-heals on its next write).
+    pub io_errors: u64,
+    /// Supersteps fast-forwarded from the durable log on a resumed run.
+    pub resumed_steps: u64,
+}
+
+impl DurabilityStats {
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("generations_written", self.generations_written)
+            .set("bytes_fsynced", self.bytes_fsynced)
+            .set("delta_frames", self.delta_frames)
+            .set("scrub_repairs", self.scrub_repairs)
+            .set("fallbacks", self.fallbacks)
+            .set("io_errors", self.io_errors)
+            .set("resumed_steps", self.resumed_steps)
+    }
+}
+
 /// Storage-engine facts of a run: which engine served the adjacency and
 /// how much state stayed resident. All-defaults on in-memory runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -422,6 +460,9 @@ pub struct RunStats {
     /// Replicated control-plane activity of the run (zeros when no fault
     /// plan was configured — fault-free runs skip the consensus layer).
     pub consensus: ConsensusStats,
+    /// Durable-checkpoint-store activity of the run (zeros when no
+    /// durable directory was configured — the store is fully inert).
+    pub durability: DurabilityStats,
     /// Percentile histograms and counters of superstep phases, transport
     /// activity and recovery work. Empty unless the cluster was configured
     /// with [`ClusterConfig::metrics`](crate::ClusterConfig::metrics);
@@ -455,6 +496,7 @@ impl RunStats {
         self.recovery = RecoveryStats::default();
         self.delivery = DeliveryStats::default();
         self.consensus = ConsensusStats::default();
+        self.durability = DurabilityStats::default();
         self.metrics.clear();
         self.storage = StorageInfo::default();
     }
@@ -635,6 +677,7 @@ impl RunStats {
             .set("recovery", self.recovery.to_json())
             .set("delivery", self.delivery.to_json())
             .set("consensus", self.consensus.to_json())
+            .set("durability", self.durability.to_json())
             .set("metrics", self.metrics.to_json())
             .set(
                 "storage",
@@ -920,6 +963,33 @@ mod tests {
             r.consensus,
             ConsensusStats::default(),
             "clear resets consensus"
+        );
+    }
+
+    #[test]
+    fn durability_stats_render_and_clear() {
+        let mut r = RunStats::default();
+        r.durability.generations_written = 3;
+        r.durability.bytes_fsynced = 4096;
+        r.durability.delta_frames = 11;
+        r.durability.scrub_repairs = 1;
+        r.durability.fallbacks = 1;
+        r.durability.io_errors = 2;
+        r.durability.resumed_steps = 7;
+        let j = r.summary_json();
+        let d = j.get("durability").expect("summary carries durability");
+        assert_eq!(d.get("generations_written").and_then(Json::as_u64), Some(3));
+        assert_eq!(d.get("bytes_fsynced").and_then(Json::as_u64), Some(4096));
+        assert_eq!(d.get("delta_frames").and_then(Json::as_u64), Some(11));
+        assert_eq!(d.get("scrub_repairs").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("fallbacks").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("io_errors").and_then(Json::as_u64), Some(2));
+        assert_eq!(d.get("resumed_steps").and_then(Json::as_u64), Some(7));
+        r.clear();
+        assert_eq!(
+            r.durability,
+            DurabilityStats::default(),
+            "clear resets durability"
         );
     }
 

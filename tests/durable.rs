@@ -1,0 +1,242 @@
+//! Cross-crate tests of the durable checkpoint store: a run killed after
+//! **every** superstep must resume from disk bit-identically, torn and
+//! bit-rotted generations must scrub and fall back to the previous valid
+//! generation, injected I/O errors must stay invisible to results, and a
+//! store with nothing valid left must degrade to a clean
+//! `RuntimeError::DurabilityLost`, never a panic.
+
+use flash_graph::generators;
+use flash_graph::testutil::TempDirGuard;
+use flash_obs::{CollectSink, EventKind, Sink};
+use flash_runtime::{ClusterConfig, FaultPlan, RuntimeError};
+use std::sync::Arc;
+
+fn graph() -> Arc<flash_graph::Graph> {
+    Arc::new(generators::erdos_renyi(120, 500, 11))
+}
+
+fn base_config(workers: usize) -> ClusterConfig {
+    ClusterConfig::with_workers(workers)
+        .sequential()
+        .checkpoint_every(2)
+}
+
+/// Runs `run` clean (no durable store), then once per superstep `k`:
+/// halts a durable run at `k` (the scripted kill switch), resumes from
+/// the on-disk store, and requires the resumed result and superstep
+/// count to match the clean run exactly.
+fn assert_resumes_after_every_kill<T, F>(name: &str, run: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(ClusterConfig) -> Result<(T, flash_runtime::RunStats), RuntimeError>,
+{
+    let (clean, clean_stats) = run(base_config(3)).expect("clean run");
+    let supersteps = clean_stats.num_supersteps() as u64;
+    assert!(supersteps > 1, "{name}: too short to interrupt");
+    let mut resumed_any = false;
+    for k in 1..supersteps {
+        let dir = TempDirGuard::new(&format!("durable-{name}-{k}"));
+        let halted = run(base_config(3).durable_dir(dir.path()).halt_after(k));
+        match halted {
+            Err(RuntimeError::Halted { step }) => assert!(step >= k, "{name}@{k}"),
+            Err(e) => panic!("{name}@{k}: unexpected error {e}"),
+            // The kill switch only fires at a durable hook; a run that
+            // finished first must still have matched the clean result.
+            Ok((out, _)) => {
+                assert_eq!(clean, out, "{name}@{k}: uninterrupted durable diverged");
+                continue;
+            }
+        }
+        let (resumed, stats) = run(base_config(3).durable_dir(dir.path()).resume())
+            .unwrap_or_else(|e| panic!("{name}@{k}: resume failed: {e}"));
+        assert_eq!(clean, resumed, "{name}@{k}: resumed result diverged");
+        assert_eq!(
+            clean_stats.num_supersteps(),
+            stats.num_supersteps(),
+            "{name}@{k}: superstep count diverged"
+        );
+        if stats.durability.resumed_steps > 0 {
+            resumed_any = true;
+        }
+    }
+    assert!(resumed_any, "{name}: no kill point replayed any delta");
+}
+
+#[test]
+fn bfs_resumes_bit_identically_after_kill_at_every_superstep() {
+    let g = graph();
+    assert_resumes_after_every_kill("bfs", |cfg| {
+        flash_algos::bfs::run(&g, cfg, 0).map(|o| (o.result, o.stats))
+    });
+}
+
+#[test]
+fn pagerank_resumes_bit_identically_after_kill_at_every_superstep() {
+    // Float state: compare the raw f64 bits, not approximate values.
+    let g = graph();
+    assert_resumes_after_every_kill("pagerank", |cfg| {
+        flash_algos::pagerank::run(&g, cfg, 5).map(|o| {
+            let bits: Vec<u64> = o.result.iter().map(|x| x.to_bits()).collect();
+            (bits, o.stats)
+        })
+    });
+}
+
+#[test]
+fn sssp_resumes_bit_identically_on_a_weighted_graph() {
+    let g = Arc::new(generators::with_random_weights(&graph(), 0.1, 2.0, 4));
+    assert_resumes_after_every_kill("sssp", |cfg| {
+        flash_algos::sssp::run(&g, cfg, 0).map(|o| {
+            let bits: Vec<u64> = o.result.iter().map(|x| x.to_bits()).collect();
+            (bits, o.stats)
+        })
+    });
+}
+
+#[test]
+fn uninterrupted_durable_run_matches_the_plain_run() {
+    let g = graph();
+    let (clean, clean_stats) = {
+        let out = flash_algos::cc::run(&g, base_config(3)).expect("clean cc");
+        (out.result, out.stats)
+    };
+    let dir = TempDirGuard::new("durable-plain");
+    let out = flash_algos::cc::run(&g, base_config(3).durable_dir(dir.path())).expect("durable cc");
+    assert_eq!(clean, out.result);
+    assert_eq!(clean_stats.num_supersteps(), out.stats.num_supersteps());
+    let d = &out.stats.durability;
+    assert!(d.generations_written >= 1, "{d:?}");
+    assert!(d.delta_frames >= 1, "{d:?}");
+    assert!(d.bytes_fsynced > 0, "{d:?}");
+    assert_eq!(d.fallbacks, 0, "{d:?}");
+    assert_eq!(d.io_errors, 0, "{d:?}");
+    // The plain twin never paid any durability cost.
+    assert_eq!(clean_stats.durability, Default::default());
+}
+
+#[test]
+fn retention_keeps_at_most_two_generations_and_no_tmp_files() {
+    let g = graph();
+    let dir = TempDirGuard::new("durable-retention");
+    let cfg = base_config(3).checkpoint_every(1).durable_dir(dir.path());
+    let out = flash_algos::bfs::run(&g, cfg, 0).expect("bfs");
+    assert!(
+        out.stats.durability.generations_written >= 3,
+        "{:?}",
+        out.stats.durability
+    );
+    let names: Vec<String> = std::fs::read_dir(dir.path())
+        .expect("store dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    let gens = names.iter().filter(|n| n.ends_with(".fck")).count();
+    assert!(
+        (1..=2).contains(&gens),
+        "expected <=2 generations: {names:?}"
+    );
+    assert!(
+        !names.iter().any(|n| n.ends_with(".tmp")),
+        "tmp file leaked: {names:?}"
+    );
+}
+
+/// Runs bfs with a disk-fault plan against a durable store, then
+/// resumes cold and checks the scrub fell back to an older generation.
+fn assert_scrub_falls_back(plan: &str) {
+    let g = graph();
+    let clean = flash_algos::bfs::run(&g, base_config(3), 0)
+        .expect("clean")
+        .result;
+    let dir = TempDirGuard::new("durable-scrub");
+    let faults = FaultPlan::parse(plan).expect("plan parses");
+    let damaged =
+        flash_algos::bfs::run(&g, base_config(3).durable_dir(dir.path()).faults(faults), 0)
+            .expect("damage lands on disk, not in the compute");
+    assert_eq!(clean, damaged.result, "{plan}: damaged run diverged");
+
+    let sink = Arc::new(CollectSink::new());
+    let cfg = base_config(3)
+        .durable_dir(dir.path())
+        .resume()
+        .sink(Arc::clone(&sink) as Arc<dyn Sink>);
+    let resumed = flash_algos::bfs::run(&g, cfg, 0).expect("resume after scrub");
+    assert_eq!(clean, resumed.result, "{plan}: resumed result diverged");
+    let d = &resumed.stats.durability;
+    assert!(d.scrub_repairs >= 1, "{plan}: {d:?}");
+    assert!(d.fallbacks >= 1, "{plan}: {d:?}");
+    let scrubbed: Vec<_> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::CheckpointScrubbed {
+                generation,
+                reason,
+                fallback,
+            } => Some((*generation, reason.clone(), *fallback)),
+            _ => None,
+        })
+        .collect();
+    assert!(!scrubbed.is_empty(), "{plan}: no scrub event");
+    assert!(
+        scrubbed.iter().all(|(_, _, fallback)| *fallback),
+        "{plan}: {scrubbed:?}"
+    );
+}
+
+#[test]
+fn torn_write_scrubs_and_falls_back_to_previous_generation() {
+    assert_scrub_falls_back("torn@3");
+}
+
+#[test]
+fn bitrot_scrubs_and_falls_back_to_previous_generation() {
+    assert_scrub_falls_back("bitrot@3:b64");
+}
+
+#[test]
+fn io_errors_skip_the_commit_but_never_touch_results() {
+    let g = graph();
+    let clean = flash_algos::bfs::run(&g, base_config(3), 0)
+        .expect("clean")
+        .result;
+    let dir = TempDirGuard::new("durable-ioerr");
+    let sink = Arc::new(CollectSink::new());
+    let cfg = base_config(3)
+        .durable_dir(dir.path())
+        .faults(FaultPlan::parse("ioerr@2").expect("plan"))
+        .sink(Arc::clone(&sink) as Arc<dyn Sink>);
+    let out = flash_algos::bfs::run(&g, cfg, 0).expect("ioerr is transparent");
+    assert_eq!(clean, out.result);
+    assert!(
+        out.stats.durability.io_errors >= 1,
+        "{:?}",
+        out.stats.durability
+    );
+    assert!(sink
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::DurableIoError { .. })));
+    // The store self-healed: a cold resume still works.
+    let resumed = flash_algos::bfs::run(&g, base_config(3).durable_dir(dir.path()).resume(), 0)
+        .expect("resume after ioerr");
+    assert_eq!(clean, resumed.result);
+}
+
+#[test]
+fn nothing_valid_on_disk_degrades_to_durability_lost() {
+    let g = graph();
+    // Kill before the first commit: the store directory stays empty.
+    let dir = TempDirGuard::new("durable-lost");
+    let halted = flash_algos::bfs::run(&g, base_config(3).durable_dir(dir.path()).halt_after(0), 0);
+    assert!(
+        matches!(halted, Err(RuntimeError::Halted { .. })),
+        "{halted:?}"
+    );
+    let resumed = flash_algos::bfs::run(&g, base_config(3).durable_dir(dir.path()).resume(), 0);
+    match resumed {
+        Err(RuntimeError::DurabilityLost(msg)) => {
+            assert!(!msg.is_empty());
+        }
+        other => panic!("expected DurabilityLost, got {other:?}"),
+    }
+}

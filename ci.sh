@@ -49,6 +49,9 @@ cargo run --release -q -p flash-bench --bin flash_trace -- --smoke
 echo "==> block-storage smoke (out-of-core engine must be bit-identical)"
 cargo run --release -q -p flash-bench --bin fig_scale -- --smoke
 
+echo "==> serving smoke (concurrent sessions + incremental repair must be exact)"
+cargo run --release -q -p flash-bench --bin fig_serve -- --smoke
+
 echo "==> bench snapshot (regenerates BENCH_flash.json at the repo root)"
 FLASH_SCALE=small cargo run --release -q -p flash-bench --bin bench_flash
 

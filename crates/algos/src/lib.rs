@@ -30,6 +30,7 @@
 //! | [`cluster_coeff`] | local clustering coefficients         | (named in §I) |
 //! | [`bridges`]   | bridge detection                          | (named in §I) |
 //! | [`bipartite`] | bipartiteness / 2-coloring                | (extension) |
+//! | [`incremental`] | maintained CC/PageRank for `flash serve`  | (serving, §16) |
 //!
 //! Every module exposes a `run(graph, config, …) -> AlgoOutput<_>` entry
 //! point and a `plan()` describing its Table II property-access footprint.
@@ -45,6 +46,7 @@ pub mod clique;
 pub mod cluster_coeff;
 pub mod common;
 pub mod gc;
+pub mod incremental;
 pub mod kcore;
 pub mod kcore_opt;
 pub mod lpa;

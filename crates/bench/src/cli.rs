@@ -296,6 +296,10 @@ pub fn usage() -> String {
          \x20            plus retries=N, backoff=D, cap=D, detector=D, seed=N,\n\
          \x20            loss=P, dupRate=P, corruptRate=P options\n\
          \x20            (e.g. --faults drop@3:w1,loss=0.05,retries=4)\n\
+         subcommands: serve — snapshot-isolated serving workload\n\
+         \x20            (flash serve [--smoke] [--sessions N] [--queries N]\n\
+         \x20             [--batches N] [--batch-size N] [--workers N]\n\
+         \x20             [--scale N] [--seed N])\n\
          algorithms: {}",
         ALGOS.join(", ")
     )

@@ -34,6 +34,7 @@ pub mod jsonio;
 pub mod lloc;
 pub mod microbench;
 pub mod report;
+pub mod serve;
 pub mod trace;
 
 pub use harness::{App, Framework, RunResult, Scale};

@@ -4,7 +4,8 @@ use crate::edgeset::EdgeSet;
 use crate::subset::VertexSubset;
 use crate::EdgeRef;
 use flash_graph::{
-    BitSet, BlockHandle, BlockTouch, Graph, HashPartitioner, PartitionMap, VertexId, Weight,
+    BitSet, BlockHandle, BlockTouch, Graph, HashPartitioner, PartitionMap, StreamScope, VertexId,
+    Weight,
 };
 use flash_runtime::par::parallel_chunks;
 use flash_runtime::{
@@ -37,15 +38,16 @@ pub struct FlashContext<V: VertexData> {
 }
 
 impl<V: VertexData> FlashContext<V> {
-    /// Builds a context with the default hash partitioner.
+    /// Builds a context with the default hash partitioner — or over
+    /// `config.shared_partition` when one is attached (serving sessions
+    /// share one partition map across every query cluster).
     pub fn build(
         graph: Arc<Graph>,
         config: ClusterConfig,
         init: impl Fn(VertexId) -> V,
     ) -> Result<Self, RuntimeError> {
-        let partition = PartitionMap::build(&graph, config.workers, &HashPartitioner)
-            .map_err(|_| RuntimeError::NoWorkers)?;
-        Self::with_partition(graph, Arc::new(partition), config, init)
+        let partition = Self::partition_for(&graph, &config)?;
+        Self::with_partition(graph, partition, config, init)
     }
 
     /// Builds a context over an explicit partitioning.
@@ -74,9 +76,23 @@ impl<V: VertexData> FlashContext<V> {
     where
         V: flash_runtime::DurableValue,
     {
-        let partition = PartitionMap::build(&graph, config.workers, &HashPartitioner)
-            .map_err(|_| RuntimeError::NoWorkers)?;
-        Self::with_partition_durable(graph, Arc::new(partition), config, init)
+        let partition = Self::partition_for(&graph, &config)?;
+        Self::with_partition_durable(graph, partition, config, init)
+    }
+
+    /// The partition a default-built context runs over: the config's
+    /// shared map when attached, else a fresh hash partitioning.
+    fn partition_for(
+        graph: &Arc<Graph>,
+        config: &ClusterConfig,
+    ) -> Result<Arc<PartitionMap>, RuntimeError> {
+        match &config.shared_partition {
+            Some(p) => Ok(Arc::clone(p)),
+            None => Ok(Arc::new(
+                PartitionMap::build(graph, config.workers, &HashPartitioner)
+                    .map_err(|_| RuntimeError::NoWorkers)?,
+            )),
+        }
     }
 
     /// [`FlashContext::build_durable`] over an explicit partitioning.
@@ -252,13 +268,16 @@ impl<V: VertexData> FlashContext<V> {
     // ------------------------------------------------------------------
 
     /// The block-streaming handle an `EDGEMAP` over `h` should use, if
-    /// any: block storage must be configured, the edge set must be
-    /// streamable (a fixed orientation of `E`), and the graph must be
-    /// block-backed. Virtual edge sets fall back to the in-memory
-    /// kernels — they reach beyond `E`, so no edge block contains them.
-    fn streaming(&self, h: &EdgeSet<V>) -> Option<Arc<BlockHandle>> {
+    /// any — paired with this cluster's private [`StreamScope`] so the
+    /// replayed accounting lands in per-run counters: block storage must
+    /// be configured, the edge set must be streamable (a fixed
+    /// orientation of `E`), and the graph must be block-backed. Virtual
+    /// edge sets fall back to the in-memory kernels — they reach beyond
+    /// `E`, so no edge block contains them.
+    fn streaming(&self, h: &EdgeSet<V>) -> Option<(Arc<BlockHandle>, Arc<StreamScope>)> {
         if self.cluster.config().storage == StorageMode::Block && h.is_streamable() {
-            self.cluster.graph().block_handle().cloned()
+            let bh = self.cluster.graph().block_handle().cloned()?;
+            Some((bh, Arc::clone(self.cluster.stream_scope())))
         } else {
             None
         }
@@ -354,8 +373,8 @@ impl<V: VertexData> FlashContext<V> {
         let kind = StepKind::EdgeMapDense;
         let stream = self.streaming(h);
         let out = self.cluster.step_direct(kind, u.len(), scope, |ctx| {
-            if let Some(bh) = stream.as_deref() {
-                return dense_streamed(ctx, bh, u, h, &f, &m, &c);
+            if let Some((bh, sc)) = stream.as_ref() {
+                return dense_streamed(ctx, bh, sc, u, h, &f, &m, &c);
             }
             let g = ctx.graph();
             let masters = ctx.masters();
@@ -435,8 +454,8 @@ impl<V: VertexData> FlashContext<V> {
         let scope = sync_scope(h);
         let stream = self.streaming(h);
         let out = self.cluster.step_reduce(u.len(), scope, &r, |ctx| {
-            if let Some(bh) = stream.as_deref() {
-                return sparse_streamed(ctx, bh, u, h, &f, &m, &c, &r);
+            if let Some((bh, sc)) = stream.as_ref() {
+                return sparse_streamed(ctx, bh, sc, u, h, &f, &m, &c, &r);
             }
             let g = ctx.graph();
             let actives = u.filter_masters(ctx.masters());
@@ -570,9 +589,11 @@ struct DenseRow<'g, W> {
 /// streamed edge block serves every resident row. Touched blocks are
 /// recorded per chunk and replayed against the worker's FIFO cache for
 /// deterministic bytes-streamed accounting.
+#[allow(clippy::too_many_arguments)]
 fn dense_streamed<V: VertexData>(
     ctx: &mut WorkerCtx<'_, V>,
     bh: &BlockHandle,
+    scope: &StreamScope,
     u: &VertexSubset,
     h: &EdgeSet<V>,
     f: &(impl Fn(EdgeRef, &V, &V) -> bool + Sync),
@@ -673,7 +694,7 @@ fn dense_streamed<V: VertexData>(
     });
     let mut all_outs = Vec::new();
     for (writes, outs, touches) in results {
-        bh.replay(worker, &touches);
+        bh.replay(scope, worker, &touches);
         ctx.write_masters(writes);
         all_outs.extend(outs);
     }
@@ -702,6 +723,7 @@ struct SparseRow<'g> {
 fn sparse_streamed<V: VertexData>(
     ctx: &mut WorkerCtx<'_, V>,
     bh: &BlockHandle,
+    scope: &StreamScope,
     u: &VertexSubset,
     h: &EdgeSet<V>,
     f: &(impl Fn(EdgeRef, &V, &V) -> bool + Sync),
@@ -791,7 +813,7 @@ fn sparse_streamed<V: VertexData>(
         (updates, touches)
     });
     for (updates, touches) in results {
-        bh.replay(worker, &touches);
+        bh.replay(scope, worker, &touches);
         ctx.puts(updates, r);
     }
 }

@@ -348,30 +348,58 @@ impl BlockCache {
     }
 }
 
-/// The per-graph streaming state a block-backed [`Graph`] carries: the
-/// block grid, byte/hit counters, and per-worker FIFO caches of dense
-/// blocks. Kernels record which blocks they touched and replay the list
-/// here once per superstep, which keeps the accounting deterministic
-/// even when worker chunks execute on racing threads.
-pub struct BlockHandle {
-    grid: BlockGrid,
-    weighted: bool,
+/// Per-run streaming accounting: byte/hit counters and per-worker FIFO
+/// caches of dense blocks. Each cluster owns its *own* scope, so several
+/// concurrent runs sharing one block-backed [`Graph`] never charge each
+/// other's deltas or warm each other's caches. (The handle itself used to
+/// carry these counters; because it is `Arc`-shared per graph, two
+/// simultaneous clusters would double-count one another's streaming.)
+#[derive(Default)]
+pub struct StreamScope {
     bytes_streamed: AtomicU64,
     blocks_streamed: AtomicU64,
     cache_hits: AtomicU64,
     caches: Mutex<HashMap<usize, BlockCache>>,
 }
 
+impl StreamScope {
+    /// A fresh scope with zeroed counters and cold caches.
+    pub fn new() -> StreamScope {
+        StreamScope::default()
+    }
+
+    /// Reads the monotone streaming counters.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
+            blocks_streamed: self.blocks_streamed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamScope")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// The immutable per-graph block descriptor a block-backed [`Graph`]
+/// carries: just the block grid and weight flag. All mutable streaming
+/// state (counters, caches) lives in a per-run [`StreamScope`]; kernels
+/// record which blocks they touched and replay the list against a scope
+/// once per superstep, which keeps the accounting deterministic even
+/// when worker chunks execute on racing threads.
+pub struct BlockHandle {
+    grid: BlockGrid,
+    weighted: bool,
+}
+
 impl BlockHandle {
     fn new(grid: BlockGrid, weighted: bool) -> Self {
-        BlockHandle {
-            grid,
-            weighted,
-            bytes_streamed: AtomicU64::new(0),
-            blocks_streamed: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            caches: Mutex::new(HashMap::new()),
-        }
+        BlockHandle { grid, weighted }
     }
 
     /// The block grid.
@@ -386,10 +414,11 @@ impl BlockHandle {
         self.weighted
     }
 
-    /// Replays one worker's ordered block-touch list against its cache:
-    /// dense blocks hit or enter the FIFO cache, sparse blocks always
-    /// stream. Charges the global counters once per call.
-    pub fn replay(&self, worker: usize, touches: &[BlockTouch]) {
+    /// Replays one worker's ordered block-touch list against the scope's
+    /// cache for that worker: dense blocks hit or enter the FIFO cache,
+    /// sparse blocks always stream. Charges the scope's counters once
+    /// per call.
+    pub fn replay(&self, scope: &StreamScope, worker: usize, touches: &[BlockTouch]) {
         if touches.is_empty() {
             return;
         }
@@ -399,7 +428,7 @@ impl BlockHandle {
         {
             // A panicked kernel thread leaves only fully-applied cache
             // entries behind, so the poisoned state is safe to adopt.
-            let mut caches = self
+            let mut caches = scope
                 .caches
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -418,18 +447,9 @@ impl BlockHandle {
                 bytes += self.grid.block_bytes(sb, db);
             }
         }
-        self.bytes_streamed.fetch_add(bytes, Ordering::Relaxed);
-        self.blocks_streamed.fetch_add(blocks, Ordering::Relaxed);
-        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
-    }
-
-    /// Reads the monotone streaming counters.
-    pub fn snapshot(&self) -> StreamSnapshot {
-        StreamSnapshot {
-            bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
-            blocks_streamed: self.blocks_streamed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-        }
+        scope.bytes_streamed.fetch_add(bytes, Ordering::Relaxed);
+        scope.blocks_streamed.fetch_add(blocks, Ordering::Relaxed);
+        scope.cache_hits.fetch_add(hits, Ordering::Relaxed);
     }
 }
 
@@ -439,7 +459,6 @@ impl std::fmt::Debug for BlockHandle {
             .field("nb", &self.grid.nb)
             .field("dense", &self.grid.num_dense())
             .field("sparse", &self.grid.num_sparse())
-            .field("snapshot", &self.snapshot())
             .finish()
     }
 }
@@ -945,8 +964,9 @@ mod tests {
             .find(|&(sb, db)| grid.is_dense(sb as usize, db as usize))
             .expect("a dense block");
         let touch = (0u8, dense.0, dense.1);
-        handle.replay(0, &[touch, touch]);
-        let snap = handle.snapshot();
+        let scope = StreamScope::new();
+        handle.replay(&scope, 0, &[touch, touch]);
+        let snap = scope.snapshot();
         assert_eq!(snap.blocks_streamed, 1, "second touch hits the cache");
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(
@@ -954,8 +974,41 @@ mod tests {
             grid.block_bytes(dense.0 as usize, dense.1 as usize)
         );
         // Another worker has its own cache: same touch misses again.
-        handle.replay(1, &[touch]);
-        assert_eq!(handle.snapshot().blocks_streamed, 2);
+        handle.replay(&scope, 1, &[touch]);
+        assert_eq!(scope.snapshot().blocks_streamed, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stream_scopes_are_isolated_per_run() {
+        // Regression: counters used to live on the Arc-shared BlockHandle,
+        // so two simultaneous runs over one graph double-charged each
+        // other's deltas. Each scope must now see only its own traffic.
+        let g = generators::erdos_renyi(20_000, 400_000, 17);
+        let guard = TempDirGuard::new("blocks");
+        let path = guard.path().join("scopes.fgb");
+        write_blocks(&g, &path).unwrap();
+        let back = open_blocks_impl(&path, true).unwrap();
+        let handle = back.block_handle().unwrap();
+        let grid = handle.grid();
+        let dense = (0..grid.nb() as u32)
+            .flat_map(|sb| (0..grid.nb() as u32).map(move |db| (sb, db)))
+            .find(|&(sb, db)| grid.is_dense(sb as usize, db as usize))
+            .expect("a dense block");
+        let touch = (0u8, dense.0, dense.1);
+        let a = StreamScope::new();
+        let b = StreamScope::new();
+        handle.replay(&a, 0, &[touch, touch, touch]);
+        handle.replay(&b, 0, &[touch]);
+        // Scope `a` saw one miss + two hits; `b`'s cache is cold, so its
+        // single touch is a miss — and neither sees the other's counts.
+        assert_eq!(a.snapshot().blocks_streamed, 1);
+        assert_eq!(a.snapshot().cache_hits, 2);
+        assert_eq!(b.snapshot().blocks_streamed, 1);
+        assert_eq!(b.snapshot().cache_hits, 0);
+        let bytes = grid.block_bytes(dense.0 as usize, dense.1 as usize);
+        assert_eq!(a.snapshot().bytes_streamed, bytes);
+        assert_eq!(b.snapshot().bytes_streamed, bytes);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -48,6 +48,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod overlay;
 pub mod partition;
 pub mod rng;
 pub mod stats;
@@ -55,13 +56,16 @@ pub mod stats;
 pub mod testutil;
 
 pub use bitset::BitSet;
-pub use blocks::{open_blocks, write_blocks, BlockGrid, BlockHandle, BlockTouch, StreamSnapshot};
+pub use blocks::{
+    open_blocks, write_blocks, BlockGrid, BlockHandle, BlockTouch, StreamScope, StreamSnapshot,
+};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, Domain};
 pub use dsu::DisjointSets;
 pub use error::GraphError;
 pub use graph::Graph;
+pub use overlay::{AppliedBatch, DeltaOverlay, EdgeUpdate};
 pub use partition::{
     ChunkPartitioner, HashPartitioner, PartitionMap, PartitionMove, Partitioner, RebalanceReport,
 };

@@ -378,6 +378,45 @@ pub enum EventKind {
         /// The failed operation: `"checkpoint"` or `"delta"`.
         op: String,
     },
+    /// A serving session opened over a shared immutable snapshot
+    /// (emitted by `flash_runtime::Session::new`).
+    SessionStart {
+        /// The session id (unique within one serving process).
+        session: u64,
+        /// Vertices in the shared snapshot.
+        vertices: usize,
+        /// Directed edges in the shared snapshot.
+        edges: usize,
+        /// Logical workers each query cluster simulates.
+        workers: usize,
+    },
+    /// A serving session closed after its last query.
+    SessionEnd {
+        /// The session id.
+        session: u64,
+        /// Queries the session answered.
+        queries: u64,
+        /// Total query latency across the session, in microseconds.
+        total_latency_us: u64,
+    },
+    /// A streaming edge-update batch was applied to the delta overlay
+    /// (and any maintained results incrementally repaired).
+    UpdateApplied {
+        /// The session id the batch was applied under.
+        session: u64,
+        /// Batch sequence number (0-based within the session).
+        batch: u64,
+        /// Edges effectively inserted (duplicates are no-ops).
+        inserted: u64,
+        /// Edges effectively removed (absent edges are no-ops).
+        removed: u64,
+        /// Vertices whose neighborhoods the batch touched — the repair
+        /// frontier seed.
+        touched: u64,
+        /// Which maintained results were repaired, e.g. `"cc"`,
+        /// `"cc+pagerank"`, or `"none"`.
+        repaired: String,
+    },
     /// A run finished (emitted by `Cluster::take_stats`).
     RunEnd {
         /// Supersteps executed.
@@ -419,6 +458,9 @@ impl EventKind {
             EventKind::CheckpointDurable { .. } => "checkpoint_durable",
             EventKind::CheckpointScrubbed { .. } => "checkpoint_scrubbed",
             EventKind::DurableIoError { .. } => "durable_io_error",
+            EventKind::SessionStart { .. } => "session_start",
+            EventKind::SessionEnd { .. } => "session_end",
+            EventKind::UpdateApplied { .. } => "update_applied",
             EventKind::RunEnd { .. } => "run_end",
         }
     }
@@ -726,6 +768,38 @@ impl Event {
             EventKind::DurableIoError { step, op } => {
                 base.set("step", *step).set("op", op.as_str())
             }
+            EventKind::SessionStart {
+                session,
+                vertices,
+                edges,
+                workers,
+            } => base
+                .set("session", *session)
+                .set("vertices", *vertices)
+                .set("edges", *edges)
+                .set("workers", *workers),
+            EventKind::SessionEnd {
+                session,
+                queries,
+                total_latency_us,
+            } => base
+                .set("session", *session)
+                .set("queries", *queries)
+                .set("total_latency_us", *total_latency_us),
+            EventKind::UpdateApplied {
+                session,
+                batch,
+                inserted,
+                removed,
+                touched,
+                repaired,
+            } => base
+                .set("session", *session)
+                .set("batch", *batch)
+                .set("inserted", *inserted)
+                .set("removed", *removed)
+                .set("touched", *touched)
+                .set("repaired", repaired.as_str()),
             EventKind::RunEnd {
                 supersteps,
                 total_bytes,
@@ -959,6 +1033,34 @@ impl Event {
             ),
             EventKind::DurableIoError { step, op } => format!(
                 "[{:>4}] step {step} durable {op} write failed (injected ioerr); commit skipped",
+                self.seq
+            ),
+            EventKind::SessionStart {
+                session,
+                vertices,
+                edges,
+                workers,
+            } => format!(
+                "[{:>4}] session {session} start: |V|={vertices}, |E|={edges}, {workers} workers",
+                self.seq
+            ),
+            EventKind::SessionEnd {
+                session,
+                queries,
+                total_latency_us,
+            } => format!(
+                "[{:>4}] session {session} end: {queries} queries, {total_latency_us}us total latency",
+                self.seq
+            ),
+            EventKind::UpdateApplied {
+                session,
+                batch,
+                inserted,
+                removed,
+                touched,
+                repaired,
+            } => format!(
+                "[{:>4}] session {session} update batch {batch}: +{inserted} -{removed} edges, {touched} vertices touched, repaired={repaired}",
                 self.seq
             ),
             EventKind::RunEnd {
@@ -1208,6 +1310,28 @@ mod tests {
                 op: String::new(),
             }
             .tag(),
+            EventKind::SessionStart {
+                session: 0,
+                vertices: 0,
+                edges: 0,
+                workers: 0,
+            }
+            .tag(),
+            EventKind::SessionEnd {
+                session: 0,
+                queries: 0,
+                total_latency_us: 0,
+            }
+            .tag(),
+            EventKind::UpdateApplied {
+                session: 0,
+                batch: 0,
+                inserted: 0,
+                removed: 0,
+                touched: 0,
+                repaired: String::new(),
+            }
+            .tag(),
             EventKind::RunEnd {
                 supersteps: 0,
                 total_bytes: 0,
@@ -1356,6 +1480,74 @@ mod tests {
         assert!(events[0].to_text().contains("3/3 votes"));
         assert!(events[1].to_text().contains("log[4] committed"));
         assert!(events[2].to_text().contains("accused of lying"));
+    }
+
+    #[test]
+    fn session_events_render_and_round_trip() {
+        let events = [
+            Event {
+                seq: 0,
+                kind: EventKind::SessionStart {
+                    session: 3,
+                    vertices: 1000,
+                    edges: 5000,
+                    workers: 4,
+                },
+            },
+            Event {
+                seq: 1,
+                kind: EventKind::UpdateApplied {
+                    session: 3,
+                    batch: 0,
+                    inserted: 12,
+                    removed: 4,
+                    touched: 20,
+                    repaired: "cc+pagerank".to_string(),
+                },
+            },
+            Event {
+                seq: 2,
+                kind: EventKind::SessionEnd {
+                    session: 3,
+                    queries: 250,
+                    total_latency_us: 98765,
+                },
+            },
+        ];
+        let j0 = events[0].to_json();
+        assert_eq!(
+            j0.get("event").and_then(Json::as_str),
+            Some("session_start")
+        );
+        assert_eq!(j0.get("session").and_then(Json::as_u64), Some(3));
+        assert_eq!(j0.get("vertices").and_then(Json::as_u64), Some(1000));
+        let j1 = events[1].to_json();
+        assert_eq!(
+            j1.get("event").and_then(Json::as_str),
+            Some("update_applied")
+        );
+        assert_eq!(j1.get("inserted").and_then(Json::as_u64), Some(12));
+        assert_eq!(j1.get("removed").and_then(Json::as_u64), Some(4));
+        assert_eq!(j1.get("touched").and_then(Json::as_u64), Some(20));
+        assert_eq!(
+            j1.get("repaired").and_then(Json::as_str),
+            Some("cc+pagerank")
+        );
+        let j2 = events[2].to_json();
+        assert_eq!(j2.get("event").and_then(Json::as_str), Some("session_end"));
+        assert_eq!(j2.get("queries").and_then(Json::as_u64), Some(250));
+        assert_eq!(
+            j2.get("total_latency_us").and_then(Json::as_u64),
+            Some(98765)
+        );
+        for e in &events {
+            let back = json::parse(&e.to_json().to_string()).unwrap();
+            assert_eq!(back, e.to_json());
+            assert!(!e.to_text().is_empty());
+        }
+        assert!(events[0].to_text().contains("session 3 start"));
+        assert!(events[1].to_text().contains("+12 -4 edges"));
+        assert!(events[2].to_text().contains("250 queries"));
     }
 
     #[test]

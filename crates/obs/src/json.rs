@@ -432,17 +432,40 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 5 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            // Surrogate pairs are not emitted by our writer;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            match code {
+                                0xD800..=0xDBFF => {
+                                    // A high surrogate is only meaningful as
+                                    // the first half of an escaped pair:
+                                    // peek at a following `\uXXXX` and, when
+                                    // it holds the low half, combine the two
+                                    // into one scalar (RFC 8259 §7).
+                                    let lo = if self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                        && self.bytes.get(self.pos + 2) == Some(&b'u')
+                                    {
+                                        self.hex4(self.pos + 3).ok()
+                                    } else {
+                                        None
+                                    };
+                                    if let Some(lo @ 0xDC00..=0xDFFF) = lo {
+                                        let scalar =
+                                            0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                                        self.pos += 6;
+                                    } else {
+                                        // Genuinely lone high surrogate: the
+                                        // replacement char. A following
+                                        // non-surrogate escape is left in
+                                        // place and decoded on its own.
+                                        out.push('\u{fffd}');
+                                    }
+                                }
+                                // A low surrogate with no preceding high
+                                // half is always lone.
+                                0xDC00..=0xDFFF => out.push('\u{fffd}'),
+                                _ => out.push(char::from_u32(code).unwrap_or('\u{fffd}')),
+                            }
                         }
                         _ => return Err(self.err("invalid escape")),
                     }
@@ -460,6 +483,16 @@ impl<'a> Parser<'a> {
                 None => return Err(self.err("unterminated string")),
             }
         }
+    }
+
+    /// Decodes the four hex digits of a `\uXXXX` escape starting at `at`.
+    fn hex4(&self, at: usize) -> Result<u32, ParseError> {
+        if at + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[at..at + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))
     }
 
     fn number(&mut self) -> Result<Json, ParseError> {
@@ -572,6 +605,95 @@ mod tests {
     fn large_integers_render_exactly() {
         let n = 1u64 << 52;
         assert_eq!(Json::from(n).to_string(), n.to_string());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // An escaped pair is one astral scalar, not two U+FFFD.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+        assert_eq!(parse("\"\\uD83D\\uDE00\"").unwrap().as_str(), Some("😀"));
+        assert_eq!(
+            parse("\"x\\ud83d\\ude00y\"").unwrap().as_str(),
+            Some("x😀y")
+        );
+        // Extremes of the astral range.
+        assert_eq!(
+            parse("\"\\ud800\\udc00\"").unwrap().as_str(),
+            Some("\u{10000}")
+        );
+        assert_eq!(
+            parse("\"\\udbff\\udfff\"").unwrap().as_str(),
+            Some("\u{10ffff}")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_char() {
+        // Genuinely lone halves map to U+FFFD...
+        assert_eq!(parse("\"\\ud800\"").unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(parse("\"\\udc00\"").unwrap().as_str(), Some("\u{fffd}"));
+        // ...including a high half followed by a non-surrogate escape,
+        // which must still be decoded on its own.
+        assert_eq!(
+            parse("\"\\ud800\\u0041\"").unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+        // Two high halves: each is lone.
+        assert_eq!(
+            parse("\"\\ud800\\ud800\"").unwrap().as_str(),
+            Some("\u{fffd}\u{fffd}")
+        );
+        // High half at end of string, or followed by a plain char.
+        assert_eq!(parse("\"\\ud800z\"").unwrap().as_str(), Some("\u{fffd}z"));
+    }
+
+    #[test]
+    fn non_bmp_strings_round_trip() {
+        // Property test: random strings mixing ASCII, control chars, BMP
+        // and astral scalars survive writer -> parser unchanged, and the
+        // escaped-pair spelling of the same string parses identically.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // xorshift64* — deterministic, no external crates.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for _ in 0..200 {
+            let len = (next() % 24) as usize;
+            let s: String = (0..len)
+                .map(|_| match next() % 4 {
+                    0 => char::from_u32(0x20 + (next() % 0x5f) as u32).unwrap(),
+                    1 => char::from_u32((next() % 0x20) as u32).unwrap(),
+                    2 => {
+                        // BMP, skipping the surrogate gap.
+                        let c = 0xe000 + (next() % (0x10000 - 0xe000)) as u32;
+                        char::from_u32(c).unwrap()
+                    }
+                    _ => {
+                        // Astral plane: U+10000 ..= U+10FFFF.
+                        let c = 0x10000 + (next() % 0xf0000) as u32;
+                        char::from_u32(c).unwrap()
+                    }
+                })
+                .collect();
+            let j = Json::from(s.as_str());
+            let back = parse(&j.to_string()).expect("writer output parses");
+            assert_eq!(back.as_str(), Some(s.as_str()), "raw round trip");
+            // The same string spelled entirely with \uXXXX escapes (astral
+            // chars as surrogate pairs) must decode to the identical value.
+            let mut escaped = String::from("\"");
+            for c in s.chars() {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    escaped.push_str(&format!("\\u{unit:04x}"));
+                }
+            }
+            escaped.push('"');
+            let back = parse(&escaped).expect("escaped spelling parses");
+            assert_eq!(back.as_str(), Some(s.as_str()), "escaped round trip");
+        }
     }
 
     #[test]

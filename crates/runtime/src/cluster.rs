@@ -15,7 +15,7 @@ use crate::state::{StepBuffers, WorkerState};
 use crate::stats::{ns_u64, us_half_up, RunStats, StepKind, StepStats, StorageInfo};
 use crate::transport::{RoundBatches, ScriptedChannelFault, Transport};
 use crate::VertexData;
-use flash_graph::{Graph, PartitionMap, RebalanceReport, StreamSnapshot, VertexId};
+use flash_graph::{Graph, PartitionMap, RebalanceReport, StreamScope, StreamSnapshot, VertexId};
 use flash_obs::{Event, EventKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -89,9 +89,14 @@ pub struct Cluster<V: VertexData> {
     /// Pooled per-superstep scratch buffers, reused clear-don't-drop across
     /// supersteps under [`HotPath::PooledParallel`] (DESIGN.md §11).
     buffers: StepBuffers<V>,
+    /// This cluster's private block-streaming scope: counters and FIFO
+    /// caches for replays of this run's block touches. Owned per cluster
+    /// (not per graph) so concurrent runs over one shared block-backed
+    /// graph never charge each other's deltas.
+    stream_scope: Arc<StreamScope>,
     /// Cumulative block-streaming counters already attributed to finished
     /// supersteps: `finish_step` charges each step the *delta* between the
-    /// graph's [`flash_graph::BlockHandle`] snapshot and this mark.
+    /// [`StreamScope`] snapshot and this mark.
     stream_mark: StreamSnapshot,
 }
 
@@ -238,14 +243,13 @@ impl<V: VertexData> Cluster<V> {
         } else {
             config.checkpoint_every as u64
         };
-        // The handle's counters are cumulative over the *graph's*
-        // lifetime (several clusters may share one block-backed graph),
-        // so this cluster's deltas start at the current reading, not at
-        // zero.
-        let stream_mark = graph
-            .block_handle()
-            .map(|h| h.snapshot())
-            .unwrap_or_default();
+        // Scratch buffers come from the config's shared pool when one is
+        // attached (serving sessions), else start fresh. Pooled buffers
+        // are handed out pristine and returned at drop.
+        let buffers = match &config.buffer_pool {
+            Some(pool) => pool.checkout(),
+            None => StepBuffers::new(),
+        };
         let mut cluster = Cluster {
             graph,
             partition,
@@ -263,8 +267,12 @@ impl<V: VertexData> Cluster<V> {
             durable,
             disk_ioerr: false,
             disk_damage: Vec::new(),
-            buffers: StepBuffers::new(),
-            stream_mark,
+            buffers,
+            // A fresh scope per cluster: counters start at zero and the
+            // FIFO caches are cold, regardless of how many other clusters
+            // already streamed from the same graph.
+            stream_scope: Arc::new(StreamScope::new()),
+            stream_mark: StreamSnapshot::default(),
         };
         cluster.stats.storage = cluster.storage_info();
         // The run_meta header is always the first trace line: analyzers
@@ -430,6 +438,13 @@ impl<V: VertexData> Cluster<V> {
     /// events with the step they decide for.
     pub fn next_step_id(&self) -> u64 {
         self.next_step
+    }
+
+    /// This cluster's private block-streaming scope. Streamed kernels
+    /// replay their block-touch lists against it so storage accounting
+    /// stays per run even when several clusters share one graph.
+    pub fn stream_scope(&self) -> &Arc<StreamScope> {
+        &self.stream_scope
     }
 
     /// The terminal fault-recovery error, if some superstep exhausted its
@@ -2027,11 +2042,11 @@ impl<V: VertexData> Cluster<V> {
     /// Charges the simulated network, records the superstep, emits its
     /// `step_end` event and advances the step counter.
     fn finish_step(&mut self, mut stats: StepStats) {
-        if let Some(h) = self.graph.block_handle() {
+        if self.graph.block_handle().is_some() {
             // Charge this step the streaming delta since the previous one:
-            // the handle's counters are cumulative over the graph's
-            // lifetime (and shared across clusters on the same graph).
-            let snap = h.snapshot();
+            // the scope's counters are cumulative over this cluster's
+            // lifetime (and private to it).
+            let snap = self.stream_scope.snapshot();
             stats.streamed_bytes = snap
                 .bytes_streamed
                 .saturating_sub(self.stream_mark.bytes_streamed);
@@ -2098,6 +2113,16 @@ impl<V: VertexData> Cluster<V> {
             });
         }
         self.stats.push(stats);
+    }
+}
+
+impl<V: VertexData> Drop for Cluster<V> {
+    fn drop(&mut self) {
+        // Return pooled scratch to the shared pool (reset happens at
+        // checkin). Clusters without a pool just drop their buffers.
+        if let Some(pool) = self.config.buffer_pool.clone() {
+            pool.checkin(std::mem::replace(&mut self.buffers, StepBuffers::new()));
+        }
     }
 }
 

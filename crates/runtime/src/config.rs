@@ -3,6 +3,8 @@
 use crate::fault::FaultPlan;
 use crate::netmodel::NetworkModel;
 use crate::plan::ProgramPlan;
+use crate::session::BufferPool;
+use flash_graph::PartitionMap;
 use flash_obs::Sink;
 use std::fmt;
 use std::sync::Arc;
@@ -159,6 +161,19 @@ pub struct ClusterConfig {
     /// whole-process kill whose in-memory result is lost. Ignored without
     /// a durable directory.
     pub durable_halt_after: Option<u64>,
+    /// Pre-built partition the context constructors reuse instead of
+    /// hashing the graph again. Serving sessions set it so every query
+    /// cluster over one snapshot shares a single `Arc<PartitionMap>`
+    /// (crate::session). Must match the graph and `workers`.
+    pub shared_partition: Option<Arc<PartitionMap>>,
+    /// Shared [`BufferPool`] the cluster checks its `StepBuffers` out of
+    /// at construction and back into at drop, so back-to-back query runs
+    /// reuse superstep scratch allocations instead of reallocating.
+    /// `None` (the default) keeps buffers cluster-private.
+    pub buffer_pool: Option<Arc<BufferPool>>,
+    /// Serving-session id this cluster executes under, if any; stamps
+    /// session-scoped trace events. `None` outside a serving session.
+    pub session_id: Option<u64>,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -184,6 +199,15 @@ impl fmt::Debug for ClusterConfig {
             .field("durable_dir", &self.durable_dir)
             .field("durable_resume", &self.durable_resume)
             .field("durable_halt_after", &self.durable_halt_after)
+            .field(
+                "shared_partition",
+                &self.shared_partition.as_ref().map(|_| "<PartitionMap>"),
+            )
+            .field(
+                "buffer_pool",
+                &self.buffer_pool.as_ref().map(|_| "<BufferPool>"),
+            )
+            .field("session_id", &self.session_id)
             .finish()
     }
 }
@@ -210,6 +234,9 @@ impl Default for ClusterConfig {
             durable_dir: None,
             durable_resume: false,
             durable_halt_after: None,
+            shared_partition: None,
+            buffer_pool: None,
+            session_id: None,
         }
     }
 }
@@ -351,6 +378,29 @@ impl ClusterConfig {
     /// run degrades to [`RuntimeError::Halted`](crate::RuntimeError).
     pub fn halt_after(mut self, n: u64) -> Self {
         self.durable_halt_after = Some(n);
+        self
+    }
+
+    /// Reuses a pre-built partition (builder style): the context
+    /// constructors skip hashing the graph and share this map. The map's
+    /// worker count must equal `workers` and its vertex count must match
+    /// the graph handed to the constructor.
+    pub fn shared_partition(mut self, partition: Arc<PartitionMap>) -> Self {
+        self.shared_partition = Some(partition);
+        self
+    }
+
+    /// Attaches a shared superstep [`BufferPool`] (builder style): the
+    /// cluster checks scratch buffers out at construction and back in at
+    /// drop, so consecutive query runs reuse allocations.
+    pub fn buffer_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.buffer_pool = Some(pool);
+        self
+    }
+
+    /// Tags this cluster with a serving-session id (builder style).
+    pub fn session_id(mut self, id: u64) -> Self {
+        self.session_id = Some(id);
         self
     }
 

@@ -179,6 +179,43 @@ impl<V: VertexData> StepBuffers<V> {
         }
         lists
     }
+
+    /// Clears every pooled buffer in place — capacity survives, contents
+    /// do not — returning the pool to the state a fresh construction
+    /// provides. Called when a buffer set is checked back into a shared
+    /// [`BufferPool`](crate::session::BufferPool) so the next run starts
+    /// from a pristine pool even if the previous run left residue (e.g.
+    /// an error path that skipped a `recycle_updated`).
+    pub(crate) fn reset(&mut self) {
+        for l in self.buckets.iter_mut() {
+            l.clear();
+        }
+        for set in self.bucket_sets.iter_mut() {
+            for l in set.iter_mut() {
+                l.clear();
+            }
+        }
+        for l in self.updated.iter_mut() {
+            l.clear();
+        }
+        self.host_buf.clear();
+        self.upd_batches.clear();
+        self.sync_batches.clear();
+    }
+
+    /// `true` when every pooled buffer is empty — the invariant each run
+    /// must observe on its first superstep, asserted at pool checkin.
+    pub(crate) fn is_pristine(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+            && self
+                .bucket_sets
+                .iter()
+                .all(|set| set.iter().all(Vec::is_empty))
+            && self.updated.iter().all(Vec::is_empty)
+            && self.host_buf.is_empty()
+            && self.upd_batches.is_empty()
+            && self.sync_batches.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +257,28 @@ mod tests {
         b.put_upd_batches(batches);
         assert!(b.take_upd_batches().is_empty(), "cleared on take");
         assert!(b.take_sync_batches().is_empty());
+    }
+
+    #[test]
+    fn reset_restores_pristine_state_without_dropping_capacity() {
+        let mut b: StepBuffers<D> = StepBuffers::new();
+        assert!(b.is_pristine(), "fresh pool is pristine");
+        let mut buckets = b.take_buckets(3);
+        buckets[0].push((1, D { v: 9 }));
+        b.put_buckets(buckets);
+        let mut upd = b.take_updated(2);
+        upd[1].push(4);
+        b.recycle_updated(upd);
+        b.host_buf.extend_from_slice(&[1, 2, 3]);
+        b.bucket_sets.push(vec![vec![(0, D { v: 1 })]]);
+        let mut batches = b.take_upd_batches();
+        batches.insert((0, 1), (2, 64));
+        b.put_upd_batches(batches);
+        assert!(!b.is_pristine(), "residue is visible");
+        b.reset();
+        assert!(b.is_pristine(), "reset clears every buffer");
+        // Capacity survived the reset: the next take reuses allocations.
+        assert!(b.take_buckets(3)[0].capacity() > 0);
     }
 
     #[test]

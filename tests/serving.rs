@@ -1,0 +1,215 @@
+//! Serving-layer integration tests (DESIGN.md §16).
+//!
+//! Three independent guarantees, each probed end to end:
+//!
+//! 1. **Snapshot isolation** — N concurrent sessions over one frozen
+//!    snapshot produce answers bit-identical to solo baselines, for a
+//!    sweep of algorithms and roots (the query plane of `flash serve`).
+//! 2. **Per-run storage isolation** — two block-backed runs executing
+//!    simultaneously each report exactly the streaming byte/block counts
+//!    a solo run reports (the regression fixed by moving streaming
+//!    accounting off the shared `BlockHandle` onto per-cluster
+//!    `StreamScope`s).
+//! 3. **Incremental repair** — maintained CC stays bit-identical to a
+//!    full recompute and maintained PageRank stays inside its documented
+//!    tolerance bound across a long random churn of the delta overlay.
+
+use flash_algos::incremental::{full_cc, full_pagerank, MaintainedCc, MaintainedPageRank};
+use flash_graph::{generators, DeltaOverlay, EdgeUpdate, Graph, Prng, VertexId};
+use flash_runtime::{ClusterConfig, ServingStats, Session, StorageMode};
+use std::sync::Arc;
+
+/// FNV-1a checksum over little-endian `u32`s.
+fn sum_u32(values: &[u32]) -> u64 {
+    values.iter().fold(0xcbf2_9ce4_8422_2325u64, |mut h, v| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    })
+}
+
+/// FNV-1a checksum over exact `f64` bit patterns.
+fn sum_f64(values: &[f64]) -> u64 {
+    values.iter().fold(0xcbf2_9ce4_8422_2325u64, |mut h, v| {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    })
+}
+
+/// The per-session query list: every kind, roots spread over the graph.
+fn checksum(graph: &Arc<Graph>, cfg: ClusterConfig, query: usize, root: VertexId) -> u64 {
+    match query % 4 {
+        0 => sum_u32(&flash_algos::bfs::run(graph, cfg, root).unwrap().result),
+        1 => sum_f64(&flash_algos::sssp::run(graph, cfg, root).unwrap().result),
+        2 => sum_f64(&flash_algos::pagerank::run(graph, cfg, 4).unwrap().result),
+        _ => sum_u32(&flash_algos::cc::run(graph, cfg).unwrap().result),
+    }
+}
+
+#[test]
+fn concurrent_sessions_match_solo_baselines_bitwise() {
+    let graph = Arc::new(generators::rmat(
+        7,
+        6,
+        generators::RmatParams::default(),
+        33,
+    ));
+    let n = graph.num_vertices() as u64;
+    let template = ClusterConfig::with_workers(2);
+    const SESSIONS: usize = 4;
+    const QUERIES: usize = 8;
+
+    // Solo baselines, one query at a time on a private session.
+    let mut baselines = vec![vec![0u64; QUERIES]; SESSIONS];
+    {
+        let solo = Session::new(0, Arc::clone(&graph), template.clone()).unwrap();
+        for (s, row) in baselines.iter_mut().enumerate() {
+            for (q, slot) in row.iter_mut().enumerate() {
+                let root = ((s * 31 + q * 7) as u64 % n) as VertexId;
+                *slot = checksum(&graph, solo.config(), q, root);
+            }
+        }
+    }
+
+    // The same queries, all sessions in flight at once, sharing one
+    // partition map and buffer pool through the session template.
+    let shared = Session::new(1, Arc::clone(&graph), template.clone()).unwrap();
+    let mut shared_template = template.clone();
+    shared_template.shared_partition = Some(Arc::clone(shared.partition()));
+    shared_template.buffer_pool = Some(Arc::clone(shared.pool()));
+    drop(shared);
+
+    let mut stats = ServingStats::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (s, row) in baselines.iter().enumerate() {
+            let session = Arc::new(
+                Session::new(10 + s as u64, Arc::clone(&graph), shared_template.clone()).unwrap(),
+            );
+            let graph = Arc::clone(&graph);
+            let worker = Arc::clone(&session);
+            handles.push((
+                session,
+                scope.spawn(move || {
+                    for (q, &expect) in row.iter().enumerate() {
+                        let root =
+                            ((s * 31 + q * 7) as u64 % graph.num_vertices() as u64) as VertexId;
+                        let t = std::time::Instant::now();
+                        let got = checksum(&graph, worker.config(), q, root);
+                        worker.record_query(t.elapsed().as_micros() as u64);
+                        assert_eq!(
+                            got, expect,
+                            "session {s} query {q} diverged from its solo baseline"
+                        );
+                    }
+                }),
+            ));
+        }
+        for (session, handle) in handles {
+            handle.join().unwrap();
+            stats.absorb(&session);
+        }
+    });
+    assert_eq!(stats.sessions, SESSIONS as u64);
+    assert_eq!(stats.queries, (SESSIONS * QUERIES) as u64);
+    assert_eq!(stats.latency.count(), (SESSIONS * QUERIES) as u64);
+}
+
+#[test]
+fn simultaneous_block_runs_report_solo_streaming_counts() {
+    let graph = Arc::new(generators::erdos_renyi(96, 400, 21));
+    let opts = |algo: &str| flash_bench::cli::CliOptions {
+        algo: algo.to_string(),
+        workers: 2,
+        storage: StorageMode::Block,
+        ..flash_bench::cli::CliOptions::default()
+    };
+    // Solo reference: each run alone reports its own streaming volume.
+    let solo_bfs = flash_bench::cli::dispatch(&opts("bfs"), &graph).unwrap();
+    let solo_cc = flash_bench::cli::dispatch(&opts("cc"), &graph).unwrap();
+    assert!(
+        solo_bfs.1.bytes_streamed() > 0 && solo_cc.1.bytes_streamed() > 0,
+        "block runs must stream"
+    );
+
+    // The same two runs concurrently over one process. Before streaming
+    // accounting moved to per-cluster scopes, the shared handle's
+    // counters bled between runs and these totals were garbage.
+    for _ in 0..4 {
+        let (bfs, cc) = std::thread::scope(|scope| {
+            let g1 = Arc::clone(&graph);
+            let g2 = Arc::clone(&graph);
+            let o1 = opts("bfs");
+            let o2 = opts("cc");
+            let h1 = scope.spawn(move || flash_bench::cli::dispatch(&o1, &g1).unwrap());
+            let h2 = scope.spawn(move || flash_bench::cli::dispatch(&o2, &g2).unwrap());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        assert_eq!(bfs.0, solo_bfs.0, "bfs summary changed under concurrency");
+        assert_eq!(cc.0, solo_cc.0, "cc summary changed under concurrency");
+        assert_eq!(
+            (bfs.1.bytes_streamed(), bfs.1.blocks_streamed()),
+            (solo_bfs.1.bytes_streamed(), solo_bfs.1.blocks_streamed()),
+            "bfs streaming accounting contaminated by the concurrent cc run"
+        );
+        assert_eq!(
+            (cc.1.bytes_streamed(), cc.1.blocks_streamed()),
+            (solo_cc.1.bytes_streamed(), solo_cc.1.blocks_streamed()),
+            "cc streaming accounting contaminated by the concurrent bfs run"
+        );
+    }
+}
+
+#[test]
+fn incremental_repair_survives_long_random_churn() {
+    let base = Arc::new(generators::rmat(8, 4, generators::RmatParams::default(), 5));
+    let eps = 1e-10;
+    let mut view = DeltaOverlay::new(Arc::clone(&base));
+    let mut cc = MaintainedCc::new(&view);
+    let mut pr = MaintainedPageRank::new(&view, eps);
+    let n = view.num_vertices() as u64;
+    let mut rng = Prng::seed_from_u64(77);
+    for round in 0..30 {
+        let updates: Vec<EdgeUpdate> = (0..12)
+            .map(|_| {
+                let s = (rng.next_u64() % n) as VertexId;
+                let d = (rng.next_u64() % n) as VertexId;
+                if rng.next_u64().is_multiple_of(3) {
+                    EdgeUpdate::Delete(s, d)
+                } else {
+                    EdgeUpdate::Insert(s, d)
+                }
+            })
+            .collect();
+        let batch = view.apply_batch(&updates);
+        cc.repair(&view, &batch.touched);
+        pr.repair(&view);
+        assert_eq!(
+            cc.labels(),
+            full_cc(&view).as_slice(),
+            "round {round}: incremental CC diverged from full recompute"
+        );
+        let reference = full_pagerank(&view, eps);
+        let l1: f64 = pr
+            .ranks()
+            .iter()
+            .zip(reference.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            l1 <= pr.comparison_bound(),
+            "round {round}: PageRank L1 {l1:e} exceeds bound {:e}",
+            pr.comparison_bound()
+        );
+    }
+    // Compaction: materializing and re-wrapping preserves the view.
+    let compacted = Arc::new(view.materialize().unwrap());
+    let fresh = DeltaOverlay::new(Arc::clone(&compacted));
+    assert_eq!(full_cc(&fresh), full_cc(&view));
+    assert_eq!(fresh.num_edges(), view.num_edges());
+}
